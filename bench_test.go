@@ -1,0 +1,392 @@
+package sdwp
+
+// One testing.B target per experiment in DESIGN.md §4. The cmd/experiments
+// harness prints the human-readable tables; these benches make the same
+// measurements reproducible via `go test -bench`.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sdwp/internal/geoidx"
+	"sdwp/internal/geom"
+	"sdwp/internal/prml"
+)
+
+// benchEnv lazily builds one standard scenario per fact count and caches it
+// across benchmarks (dataset generation dominates otherwise).
+type benchEnv struct {
+	engine *Engine
+	ds     *Dataset
+}
+
+var (
+	benchMu   sync.Mutex
+	benchEnvs = map[int]*benchEnv{}
+)
+
+func getBenchEnv(b *testing.B, facts int) *benchEnv {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if e, ok := benchEnvs[facts]; ok {
+		return e
+	}
+	cfg := DefaultDataConfig()
+	cfg.Stores = 2000
+	cfg.Sales = facts
+	ds, err := GenerateData(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users, err := NewSalesUserStore(map[string]string{
+		"alice": "RegionalSalesManager",
+		"bob":   "Accountant",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(ds.Cube, users, EngineOptions{})
+	e.SetParam("threshold", Number(2))
+	if _, err := e.AddRules(PaperRules); err != nil {
+		b.Fatal(err)
+	}
+	env := &benchEnv{engine: e, ds: ds}
+	benchEnvs[facts] = env
+	return env
+}
+
+var familyQuery = Query{
+	Fact:       "Sales",
+	GroupBy:    []LevelRef{{Dimension: "Product", Level: "Family"}},
+	Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: SUM}},
+}
+
+// BenchmarkX1SchemaRule measures Example 5.1: applying the addSpatiality
+// schema rule during session start (schema clone + two schema actions).
+func BenchmarkX1SchemaRule(b *testing.B) {
+	env := getBenchEnv(b, 20000)
+	loc := env.ds.CityLocs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := env.engine.StartSession("alice", loc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.engine.EndSession(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX2InstanceRule measures Example 5.2's store sweep in isolation
+// across store counts: the Foreach + Distance < 5km rule evaluation.
+func BenchmarkX2InstanceRule(b *testing.B) {
+	for _, stores := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("stores=%d", stores), func(b *testing.B) {
+			cfg := DefaultDataConfig()
+			cfg.Stores = stores
+			cfg.Sales = 1000 // facts irrelevant here
+			ds, err := GenerateData(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			users, err := NewSalesUserStore(map[string]string{"u": "RegionalSalesManager"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := NewEngine(ds.Cube, users, EngineOptions{})
+			// Only the instance rule, isolated.
+			if _, err := e.AddRules(`Rule:5kmStores When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`); err != nil {
+				b.Fatal(err)
+			}
+			loc := ds.CityLocs[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := e.StartSession("u", loc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.EndSession(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkX3InterestTracking measures Example 5.3's tracking path: a
+// spatial selection over cities plus the SpatialSelection rule firing.
+func BenchmarkX3InterestTracking(b *testing.B) {
+	env := getBenchEnv(b, 20000)
+	s, err := env.engine.StartSession("alice", env.ds.CityLocs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SpatialSelect("GeoMD.Store.City",
+			"Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC1PersonalizedVsFullScan is experiment C1: the same OLAP query
+// through a personalized view vs the whole warehouse.
+func BenchmarkC1PersonalizedVsFullScan(b *testing.B) {
+	for _, facts := range []int{20000, 200000} {
+		env := getBenchEnv(b, facts)
+		s, err := env.engine.StartSession("alice", env.ds.CityLocs[7])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("facts=%d/personalized", facts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(familyQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("facts=%d/baseline", facts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.QueryBaseline(familyQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkC2PreselectVsPerQuery is experiment C2: a 10-query analysis
+// session where selection happens once at login vs re-running the spatial
+// filter for every query.
+func BenchmarkC2PreselectVsPerQuery(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	loc := env.ds.CityLocs[7]
+	const queriesPerSession = 10
+	b.Run("preselected", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := env.engine.StartSession("alice", loc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for q := 0; q < queriesPerSession; q++ {
+				if _, err := s.Query(familyQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := env.engine.EndSession(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("perquery", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < queriesPerSession; q++ {
+				s, err := env.engine.StartSession("alice", loc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Query(familyQuery); err != nil {
+					b.Fatal(err)
+				}
+				if err := env.engine.EndSession(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkC3PRMLParse is experiment C3's parsing cost: the paper's four
+// rules through lexer, parser and classifier.
+func BenchmarkC3PRMLParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rules, err := ParseRules(PaperRules)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rules {
+			_ = prml.Classify(r)
+		}
+	}
+}
+
+// BenchmarkC3SessionStart is experiment C3's end-to-end login cost with the
+// full paper rule set.
+func BenchmarkC3SessionStart(b *testing.B) {
+	env := getBenchEnv(b, 20000)
+	loc := env.ds.CityLocs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := env.engine.StartSession("bob", loc) // bob: no schema actions
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.engine.EndSession(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC4RTreeVsLinear is experiment C4: radius queries through the
+// R-tree vs the linear baseline.
+func BenchmarkC4RTreeVsLinear(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		rng := rand.New(rand.NewSource(42))
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*12-9, rng.Float64()*7+36)
+		}
+		center := geom.Pt(-3.7, 40.4)
+		rt := geoidx.NewPointIndex(pts)
+		lin := geoidx.NewLinearPointIndex(pts)
+		b.Run(fmt.Sprintf("n=%d/rtree", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt.WithinKm(center, 25, func(int32) bool { return true })
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/linear", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lin.WithinKm(center, 25, func(int32) bool { return true })
+			}
+		})
+	}
+}
+
+// BenchmarkC5CubeRollup is experiment C5: aggregation grouped at each level
+// of the Store hierarchy.
+func BenchmarkC5CubeRollup(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	for _, level := range []string{"Store", "City", "State", "Country"} {
+		q := Query{
+			Fact:       "Sales",
+			GroupBy:    []LevelRef{{Dimension: "Store", Level: level}},
+			Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: SUM}},
+		}
+		b.Run("level="+level, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.ds.Cube.Execute(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRuleOptimizer measures the DESIGN.md §6 ablation of the
+// radius-query rule plan: Example 5.2's rule executed through the R-tree
+// fast path vs the generic tree-walking interpreter.
+func BenchmarkAblationRuleOptimizer(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "optimized"
+		if disable {
+			name = "interpreted"
+		}
+		for _, stores := range []int{10000, 100000} {
+			b.Run(fmt.Sprintf("%s/stores=%d", name, stores), func(b *testing.B) {
+				cfg := DefaultDataConfig()
+				cfg.Stores = stores
+				cfg.Sales = 1000
+				ds, err := GenerateData(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				users, err := NewSalesUserStore(map[string]string{"u": "RegionalSalesManager"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := NewEngine(ds.Cube, users, EngineOptions{DisableRuleOptimizer: disable})
+				if _, err := e.AddRules(`Rule:near When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`); err != nil {
+					b.Fatal(err)
+				}
+				loc := ds.CityLocs[0]
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, err := e.StartSession("u", loc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := e.EndSession(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationGeodeticVsPlanar measures the ablation of DESIGN.md §6:
+// the geodetic (haversine) Distance operator vs the naive planar-degrees
+// one, over the Example 5.2 rule evaluation.
+func BenchmarkAblationGeodeticVsPlanar(b *testing.B) {
+	for _, planar := range []bool{false, true} {
+		name := "geodetic"
+		if planar {
+			name = "planar"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultDataConfig()
+			cfg.Stores = 10000
+			cfg.Sales = 1000
+			ds, err := GenerateData(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			users, err := NewSalesUserStore(map[string]string{"u": "RegionalSalesManager"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := NewEngine(ds.Cube, users, EngineOptions{Planar: planar})
+			if _, err := e.AddRules(`Rule:near When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`); err != nil {
+				b.Fatal(err)
+			}
+			loc := ds.CityLocs[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := e.StartSession("u", loc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.EndSession(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+// Command solapd serves the spatial-data-warehouse personalization engine
+// over HTTP: a synthetic warehouse (see internal/datagen), the paper's
+// Fig. 4 user profile, and the Section 5 PRML rules (or a rule file of your
+// own).
+//
+// Usage:
+//
+//	solapd [-addr :8080] [-seed 1] [-stores 300] [-sales 20000]
+//	       [-rules file.prml] [-users alice=RegionalSalesManager,bob=Accountant]
+//	       [-threshold 2]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"sdwp"
+	"sdwp/internal/cube"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+		cities    = flag.Int("cities", 0, "number of cities (0 = default)")
+		stores    = flag.Int("stores", 0, "number of stores (0 = default)")
+		sales     = flag.Int("sales", 0, "number of sales facts (0 = default)")
+		rulesPath = flag.String("rules", "", "PRML rule file (default: the paper's Section 5 rules)")
+		dataPath  = flag.String("data", "", "warehouse snapshot JSON (default: generate synthetic data; see sdwctl gen -out)")
+		profiles  = flag.String("profiles", "", "user-profile JSON file: loaded at boot if present, saved on SIGINT/SIGTERM")
+		usersSpec = flag.String("users", "alice=RegionalSalesManager,bob=Accountant",
+			"comma-separated user=role assignments")
+		threshold = flag.Float64("threshold", 2, "designer threshold for the TrainAirportCity rule")
+	)
+	flag.Parse()
+
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Seed = *seed
+	if *cities > 0 {
+		cfg.Cities = *cities
+	}
+	if *stores > 0 {
+		cfg.Stores = *stores
+	}
+	if *sales > 0 {
+		cfg.Sales = *sales
+	}
+	var warehouse *sdwp.Cube
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			log.Fatalf("open data: %v", err)
+		}
+		warehouse, err = cube.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load data: %v", err)
+		}
+	} else {
+		ds, err := sdwp.GenerateData(cfg)
+		if err != nil {
+			log.Fatalf("generate data: %v", err)
+		}
+		warehouse = ds.Cube
+	}
+
+	roles := map[string]string{}
+	for _, pair := range strings.Split(*usersSpec, ",") {
+		if pair == "" {
+			continue
+		}
+		name, role, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("bad -users entry %q (want user=role)", pair)
+		}
+		roles[strings.TrimSpace(name)] = strings.TrimSpace(role)
+	}
+	users, err := sdwp.NewSalesUserStore(roles)
+	if err != nil {
+		log.Fatalf("user store: %v", err)
+	}
+
+	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{})
+	engine.SetParam("threshold", sdwp.Number(*threshold))
+
+	src := sdwp.PaperRules
+	if *rulesPath != "" {
+		data, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			log.Fatalf("read rules: %v", err)
+		}
+		src = string(data)
+	}
+	rules, err := engine.AddRules(src)
+	if err != nil {
+		log.Fatalf("rules: %v", err)
+	}
+
+	// Profile persistence: the user model accumulates interest degrees
+	// across sessions; deployments keep it on disk.
+	if *profiles != "" {
+		if data, err := os.ReadFile(*profiles); err == nil {
+			if err := json.Unmarshal(data, users); err != nil {
+				log.Fatalf("load profiles: %v", err)
+			}
+			fmt.Printf("solapd: loaded %d user profiles from %s\n", users.Len(), *profiles)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("read profiles: %v", err)
+		}
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			data, err := json.MarshalIndent(users, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*profiles, data, 0o644)
+			}
+			if err != nil {
+				log.Printf("save profiles: %v", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nsolapd: saved %d user profiles to %s\n", users.Len(), *profiles)
+			os.Exit(0)
+		}()
+	}
+
+	fmt.Printf("solapd: %d stores / %d cities / %d facts, %d rules, %d users\n",
+		cfg.Stores, cfg.Cities, warehouse.FactData("Sales").Len(), len(rules), len(roles))
+	fmt.Printf("solapd: listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, sdwp.NewHTTPServer(engine)))
+}

@@ -1,0 +1,105 @@
+package sdwp_test
+
+// Godoc examples for the public facade.
+
+import (
+	"fmt"
+	"log"
+
+	"sdwp"
+)
+
+// ExampleParseRules shows parsing, classifying and canonically reprinting
+// PRML rules.
+func ExampleParseRules() {
+	rules, err := sdwp.ParseRules(`
+Rule:addSpatiality When SessionStart do
+  If (SUS.DecisionMaker.dm2role.name = 'RegionalSalesManager') then
+    AddLayer('Airport', POINT)
+    BecomeSpatial(MD.Sales.Store.geometry, POINT)
+  endIf
+endWhen`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sdwp.FormatRules(rules...))
+	// Output:
+	// Rule:addSpatiality When SessionStart do
+	//   If ((SUS.DecisionMaker.dm2role.name = 'RegionalSalesManager')) then
+	//     AddLayer('Airport', POINT)
+	//     BecomeSpatial(MD.Sales.Store.geometry, POINT)
+	//   endIf
+	// endWhen
+}
+
+// ExampleNewSchemaBuilder builds a tiny multidimensional model and runs an
+// aggregation.
+func ExampleNewSchemaBuilder() {
+	b := sdwp.NewSchemaBuilder("TinyDW")
+	b.Dimension("Region").Level("Shop", "name").Level("Area", "name")
+	b.Fact("Visits").Measure("Count").Uses("Region")
+	md, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := sdwp.NewCube(sdwp.WrapGeo(md))
+	north, _ := c.AddMember("Region", "Area", "North", -1)
+	shop, _ := c.AddMember("Region", "Shop", "S1", north)
+	_ = c.AddFact("Visits", map[string]int32{"Region": shop}, map[string]float64{"Count": 3})
+	_ = c.AddFact("Visits", map[string]int32{"Region": shop}, map[string]float64{"Count": 4})
+
+	res, err := c.Execute(sdwp.Query{
+		Fact:       "Visits",
+		GroupBy:    []sdwp.LevelRef{{Dimension: "Region", Level: "Area"}},
+		Aggregates: []sdwp.MeasureAgg{{Measure: "Count", Agg: sdwp.SUM}},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s: %.0f\n", row.Groups[0], row.Values[0])
+	}
+	// Output:
+	// North: 7
+}
+
+// ExampleHaversineKm computes a great-circle distance.
+func ExampleHaversineKm() {
+	alicante := sdwp.Pt(-0.4810, 38.3452)
+	madrid := sdwp.Pt(-3.7038, 40.4168)
+	fmt.Printf("%.1f km\n", sdwp.HaversineKm(alicante, madrid))
+	// Output:
+	// 360.2 km
+}
+
+// ExampleEngine_StartSession runs the paper's Fig. 1 process for one user.
+func ExampleEngine_StartSession() {
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Cities = 10
+	cfg.Stores = 40
+	cfg.Customers = 20
+	cfg.Sales = 500
+	ds, err := sdwp.GenerateData(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	users, err := sdwp.NewSalesUserStore(map[string]string{"alice": "RegionalSalesManager"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{})
+	engine.SetParam("threshold", sdwp.Number(2))
+	if _, err := engine.AddRules(sdwp.PaperRules); err != nil {
+		log.Fatal(err)
+	}
+	s, err := engine.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range s.Schema().Diff(engine.Cube().Schema()) {
+		fmt.Println(d)
+	}
+	// Output:
+	// +SpatialLevel Store.Store POINT
+	// +Layer Airport POINT
+}

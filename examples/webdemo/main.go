@@ -1,0 +1,116 @@
+// Command webdemo runs the personalization engine behind its HTTP API (the
+// paper's web deployment shape) and drives one complete client session
+// against it: login (rules fire), schema inspection, a personalized OLAP
+// query, and a spatial selection that updates the user profile.
+//
+// By default the demo binds an ephemeral port, runs its scripted client,
+// prints every exchange, and exits. Pass -listen :8080 to keep the server
+// running for manual exploration with curl.
+//
+// Run with: go run ./examples/webdemo
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"sdwp"
+)
+
+func main() {
+	listen := flag.String("listen", "", "address to keep serving on (empty: run scripted demo and exit)")
+	flag.Parse()
+
+	ds, err := sdwp.GenerateData(sdwp.DefaultDataConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	users, err := sdwp.NewSalesUserStore(map[string]string{
+		"alice": "RegionalSalesManager",
+		"bob":   "Accountant",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{})
+	engine.SetParam("threshold", sdwp.Number(2))
+	if _, err := engine.AddRules(sdwp.PaperRules); err != nil {
+		log.Fatal(err)
+	}
+	handler := sdwp.NewHTTPServer(engine)
+
+	if *listen != "" {
+		fmt.Printf("serving on %s — try:\n", *listen)
+		fmt.Println(`  curl -s -X POST localhost` + *listen + `/api/login -d '{"user":"alice","locationWKT":"POINT (-0.48 38.34)"}'`)
+		log.Fatal(http.ListenAndServe(*listen, handler))
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer srv.Close()
+
+	post := func(path string, body any) map[string]any {
+		data, _ := json.Marshal(body)
+		fmt.Printf("\nPOST %s\n  → %s\n", path, data)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out := map[string]any{}
+		raw, _ := io.ReadAll(resp.Body)
+		_ = json.Unmarshal(raw, &out)
+		short := string(raw)
+		if len(short) > 300 {
+			short = short[:300] + "…"
+		}
+		fmt.Printf("  ← %s %s\n", resp.Status, short)
+		return out
+	}
+
+	loc := ds.CityLocs[0]
+	login := post("/api/login", map[string]string{
+		"user":        "alice",
+		"locationWKT": fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y),
+	})
+	token, _ := login["session"].(string)
+	if token == "" {
+		log.Fatal("login failed")
+	}
+
+	post("/api/query", map[string]any{
+		"session":    token,
+		"fact":       "Sales",
+		"groupBy":    []map[string]string{{"dimension": "Product", "level": "Family"}},
+		"aggregates": []map[string]string{{"measure": "UnitSales", "agg": "SUM"}},
+	})
+
+	post("/api/select", map[string]string{
+		"session":   token,
+		"target":    "GeoMD.Store.City",
+		"predicate": "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km",
+	})
+
+	fmt.Printf("\nGET /api/profile?user=alice\n")
+	resp, err := http.Get(base + "/api/profile?user=alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("  ← %s %s\n", resp.Status, raw)
+
+	post("/api/logout", map[string]string{"session": token})
+	fmt.Println("\ndemo complete")
+}

@@ -1,0 +1,258 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if s.Any() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if s.Test(2) {
+		t.Fatal("bit 2 should be clear")
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		s := Full(n)
+		if got := s.Count(); got != n {
+			t.Errorf("Full(%d).Count() = %d", n, got)
+		}
+	}
+}
+
+func TestNilUniverseSemantics(t *testing.T) {
+	var s *Set
+	if !s.Test(5) {
+		t.Error("nil set must Test true for non-negative index")
+	}
+	if s.Test(-1) {
+		t.Error("nil set must Test false for negative index")
+	}
+	if s.Clone() != nil {
+		t.Error("Clone of nil must be nil")
+	}
+	if s.String() != "{universe}" {
+		t.Errorf("String = %q", s.String())
+	}
+	// IntersectWith(nil) is a no-op.
+	a := FromIndices(10, []int{1, 2, 3})
+	a.IntersectWith(nil)
+	if a.Count() != 3 {
+		t.Error("IntersectWith(nil) changed the set")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromIndices(200, []int{1, 100, 150})
+	b := FromIndices(200, []int{100, 199})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Indices(); len(got) != 4 {
+		t.Fatalf("union = %v", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Indices(); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("intersection = %v", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 150 {
+		t.Fatalf("difference = %v", got)
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	s := FromIndices(300, []int{7, 64, 65, 256})
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	want := []int{7, 64, 65, 256}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	var first []int
+	s.ForEach(func(i int) bool { first = append(first, i); return false })
+	if len(first) != 1 || first[0] != 7 {
+		t.Fatalf("early stop got %v", first)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndices(64, []int{3})
+	b := FromIndices(64, []int{3})
+	c := FromIndices(65, []int{3})
+	if !a.Equal(b) {
+		t.Error("equal sets reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different capacity reported equal")
+	}
+	var n1, n2 *Set
+	if !n1.Equal(n2) {
+		t.Error("nil == nil expected")
+	}
+	if a.Equal(nil) {
+		t.Error("set == nil unexpected")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	s := New(10)
+	mustPanic("negative New", func() { New(-1) })
+	mustPanic("Set out of range", func() { s.Set(10) })
+	mustPanic("Clear negative", func() { s.Clear(-1) })
+	mustPanic("nil write", func() { var n *Set; n.Set(0) })
+	mustPanic("capacity mismatch", func() { s.UnionWith(New(11)) })
+	mustPanic("nil operand", func() { s.UnionWith(nil) })
+}
+
+// Property: for random index sets, Count == len(unique indices) and
+// Indices round-trips through FromIndices.
+func TestQuickFromIndicesRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 1 << 16
+		seen := map[int]bool{}
+		idx := make([]int, 0, len(raw))
+		for _, r := range raw {
+			i := int(r)
+			if !seen[i] {
+				seen[i] = true
+				idx = append(idx, i)
+			}
+		}
+		s := FromIndices(n, idx)
+		if s.Count() != len(idx) {
+			return false
+		}
+		back := s.Indices()
+		s2 := FromIndices(n, back)
+		return s.Equal(s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish — difference is intersection with complement.
+func TestQuickDifferenceLaw(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a := New(n)
+		b := New(n)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		d := a.Clone()
+		d.DifferenceWith(b)
+		// complement of b
+		nb := Full(n)
+		nb.DifferenceWith(b)
+		i := a.Clone()
+		i.IntersectWith(nb)
+		return d.Equal(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := Full(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Count()
+	}
+}
+
+func BenchmarkForEachSparse(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < 1<<20; i += 1024 {
+		s.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := 0
+		s.ForEach(func(int) bool { c++; return true })
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := FromIndices(10, []int{1, 5}).String(); got != "{1, 5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	// More than 16 bits truncate with an ellipsis.
+	big := Full(64)
+	s := big.String()
+	if len(s) == 0 || s[len(s)-1] != '}' {
+		t.Errorf("String shape: %q", s)
+	}
+	found := false
+	for _, r := range s {
+		if r == '…' {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected ellipsis in %q", s)
+	}
+}
+
+func TestIndicesNil(t *testing.T) {
+	var s *Set
+	if s.Indices() != nil {
+		t.Error("nil Indices should be nil")
+	}
+	if s.Len() != 0 || s.Count() != 0 || s.Any() {
+		t.Error("nil set stats")
+	}
+}

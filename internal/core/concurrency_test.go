@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sdwp/internal/cube"
+)
+
+// TestConcurrentSessions drives many users through the full lifecycle in
+// parallel: session start (rule evaluation + schema cloning), queries,
+// spatial selections (profile writes) and session end. Run with -race.
+func TestConcurrentSessions(t *testing.T) {
+	e, ds := newTestEngine(t)
+	// Extra users so goroutines hit distinct and shared profiles.
+	for i := 0; i < 4; i++ {
+		if _, err := e.Users().GetOrCreate(fmt.Sprintf("user%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := cube.Query{
+		Fact:       "Sales",
+		GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+		Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			user := "alice"
+			if g%2 == 1 {
+				user = "bob"
+			}
+			loc := ds.CityLocs[g%len(ds.CityLocs)]
+			for round := 0; round < 5; round++ {
+				s, err := e.StartSession(user, loc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.Query(q); err != nil {
+					errs <- err
+					return
+				}
+				if user == "alice" {
+					if _, err := s.SpatialSelect("GeoMD.Store.City",
+						"Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km"); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := e.EndSession(s); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Alice's degree advanced once per selecting round (4 goroutines × 5).
+	deg, err := e.Users().Get("alice").Resolve([]string{"dm2airportcity", "degree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 20.0 {
+		t.Fatalf("degree = %v, want 20 (no lost updates)", deg)
+	}
+}
+
+// TestConcurrentQueriesOneSession exercises the view's materialization
+// cache under parallel readers.
+func TestConcurrentQueriesOneSession(t *testing.T) {
+	e, ds := newTestEngine(t)
+	s, err := e.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cube.Query{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+	var wg sync.WaitGroup
+	results := make([]int, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Query(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res.MatchedFacts
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("inconsistent results: %v", results)
+		}
+	}
+}

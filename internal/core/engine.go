@@ -1,0 +1,286 @@
+// Package core implements the paper's primary contribution: the spatial
+// personalization engine for data warehouses. It wires together the three
+// conceptual models — the spatial-aware user model (package usermodel), the
+// multidimensional/GeoMD model (packages mdmodel and geomd) and the PRML
+// rule language (package prml) — over the SOLAP cube substrate (package
+// cube), and executes the two-phase personalization process of the paper's
+// Fig. 1:
+//
+//  1. When a decision maker starts an analysis session, schema rules run
+//     first and produce a per-session personalized GeoMD model
+//     (BecomeSpatial, AddLayer), then instance rules run and produce a
+//     personalized cube view (SelectInstance under spatial conditions).
+//  2. During the session, spatial selections the user performs fire
+//     tracking rules that acquire knowledge into the user model
+//     (SetContent), which future sessions' rules can react to.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/geom"
+	"sdwp/internal/prml"
+	"sdwp/internal/usermodel"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Planar switches the Distance/unary-Distance operators from geodetic
+	// kilometres (the default, for lon/lat data) to planar units (used by
+	// tests and the ablation benchmarks; see DESIGN.md §6).
+	Planar bool
+	// DisableRuleOptimizer turns off the radius-query execution plan for
+	// the Foreach/Distance/SelectInstance idiom (see internal/core/
+	// optimize.go), forcing the generic rule interpreter. Used by the
+	// ablation benchmarks.
+	DisableRuleOptimizer bool
+}
+
+// Engine is the personalization engine for one warehouse deployment.
+type Engine struct {
+	cube  *cube.Cube
+	users *usermodel.Store
+	opts  Options
+
+	mu       sync.Mutex
+	rules    []*prml.Rule
+	params   map[string]prml.Value
+	sessions map[string]*Session
+	seq      int
+}
+
+// NewEngine creates an engine over a loaded cube and a user-profile store.
+func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
+	return &Engine{
+		cube:     c,
+		users:    users,
+		opts:     opts,
+		params:   map[string]prml.Value{},
+		sessions: map[string]*Session{},
+	}
+}
+
+// Cube returns the engine's cube.
+func (e *Engine) Cube() *cube.Cube { return e.cube }
+
+// Users returns the engine's user-profile store.
+func (e *Engine) Users() *usermodel.Store { return e.users }
+
+// SetParam declares a designer-defined constant available to rules (the
+// paper's Example 5.3 threshold).
+func (e *Engine) SetParam(name string, v prml.Value) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.params[name] = v
+}
+
+// Param returns a declared constant.
+func (e *Engine) Param(name string) (prml.Value, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.params[name]
+	return v, ok
+}
+
+// paramNames returns the declared constant names for the analyzer.
+func (e *Engine) paramNames() map[string]bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]bool, len(e.params))
+	for k := range e.params {
+		out[k] = true
+	}
+	return out
+}
+
+// AddRules parses, analyzes and registers PRML rules. Analysis findings are
+// returned as an error; nothing is registered in that case.
+func (e *Engine) AddRules(src string) ([]*prml.Rule, error) {
+	rules, err := prml.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	existing := append([]*prml.Rule(nil), e.rules...)
+	e.mu.Unlock()
+	all := append(existing, rules...)
+	if issues := prml.Analyze(all, prml.AnalyzeOptions{Params: e.paramNames()}); len(issues) > 0 {
+		return nil, issues[0]
+	}
+	e.mu.Lock()
+	e.rules = all
+	e.mu.Unlock()
+	return rules, nil
+}
+
+// Rules returns the registered rules in registration order.
+func (e *Engine) Rules() []*prml.Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*prml.Rule(nil), e.rules...)
+}
+
+// RemoveRule unregisters the named rule, reporting whether it existed.
+// Live sessions keep the personalization the rule already applied; the rule
+// simply stops firing for future events.
+func (e *Engine) RemoveRule(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, r := range e.rules {
+		if r.Name == name {
+			e.rules = append(e.rules[:i], e.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// rulesByKind returns registered rules of one kind, preserving order.
+func (e *Engine) rulesByKind(k prml.RuleKind) []*prml.Rule {
+	var out []*prml.Rule
+	for _, r := range e.Rules() {
+		if prml.Classify(r) == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// StartSession begins an analysis session for the user at the given
+// location (nil when unknown): it materializes the SUS session/location
+// entities, clones the base GeoMD schema, and fires the SessionStart rules
+// in the Fig. 1 phase order — schema rules, then instance rules, then pure
+// acquisition rules.
+func (e *Engine) StartSession(userID string, location geom.Geometry) (*Session, error) {
+	profile, err := e.users.GetOrCreate(userID)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.wireSession(profile, location); err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	e.seq++
+	id := fmt.Sprintf("s%06d", e.seq)
+	e.mu.Unlock()
+
+	s := &Session{
+		ID:       id,
+		UserID:   userID,
+		engine:   e,
+		user:     profile,
+		schema:   e.cube.Schema().Clone(),
+		view:     cube.NewView(e.cube),
+		location: location,
+	}
+
+	for _, kind := range []prml.RuleKind{prml.RuleSchema, prml.RuleInstance, prml.RuleOther} {
+		for _, r := range e.rulesByKind(kind) {
+			if r.Event.Kind != prml.EvSessionStart {
+				continue
+			}
+			if _, err := s.exec(r); err != nil {
+				return nil, fmt.Errorf("core: session start: %w", err)
+			}
+		}
+	}
+	// Pre-materialize the personalized view so the session's first query
+	// pays no selection cost (the paper's one-time "the spatial analysis
+	// have been done" property, Section 4.2.4).
+	for _, f := range e.cube.Schema().MD.Facts {
+		s.view.Materialize(f.Name)
+	}
+
+	e.mu.Lock()
+	e.sessions[id] = s
+	e.mu.Unlock()
+	return s, nil
+}
+
+// Session returns a live session by id, or nil.
+func (e *Engine) Session(id string) *Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sessions[id]
+}
+
+// EndSession fires SessionEnd rules and removes the session.
+func (e *Engine) EndSession(s *Session) error {
+	for _, r := range e.Rules() {
+		if r.Event.Kind != prml.EvSessionEnd {
+			continue
+		}
+		if _, err := s.exec(r); err != nil {
+			return fmt.Errorf("core: session end: %w", err)
+		}
+	}
+	e.mu.Lock()
+	delete(e.sessions, s.ID)
+	e.mu.Unlock()
+	return nil
+}
+
+// wireSession materializes the SUS «Session» and «LocationContext» entities
+// on the user's profile graph, following the profile's association
+// definitions (Fig. 4: DecisionMaker --dm2session--> Session
+// --s2location--> Location). The wiring is structural: it finds the first
+// association from the user class to a «Session» class and from there to a
+// «LocationContext» class, so concrete profiles can use any role names.
+func (e *Engine) wireSession(user *usermodel.Entity, location geom.Geometry) error {
+	p := e.users.Profile()
+	userClass := user.Class().Name
+
+	sessRole, sessClass := findAssocByStereo(p, userClass, usermodel.StereoSession)
+	if sessRole == "" {
+		return nil // profile has no session concept; nothing to wire
+	}
+	sess := usermodel.NewEntity(p.Class(sessClass))
+	// Stamp the conventional startedAt property when the profile declares
+	// it (the Fig. 4 AnalysisSession does).
+	if pd := p.Class(sessClass).Prop("startedAt"); pd != nil && pd.Type == usermodel.PropString {
+		if err := sess.Set("startedAt", time.Now().UTC().Format(time.RFC3339)); err != nil {
+			return fmt.Errorf("core: wiring session: %w", err)
+		}
+	}
+	if err := user.Link(p, sessRole, sess); err != nil {
+		return fmt.Errorf("core: wiring session: %w", err)
+	}
+	locRole, locClass := findAssocByStereo(p, sessClass, usermodel.StereoLocationContext)
+	if locRole == "" || location == nil {
+		return nil
+	}
+	loc := usermodel.NewEntity(p.Class(locClass))
+	if prop := findGeometryProp(p.Class(locClass)); prop != "" {
+		if err := loc.Set(prop, location); err != nil {
+			return fmt.Errorf("core: wiring location: %w", err)
+		}
+	}
+	if err := sess.Link(p, locRole, loc); err != nil {
+		return fmt.Errorf("core: wiring location: %w", err)
+	}
+	return nil
+}
+
+// findAssocByStereo finds the first association (in role order) from the
+// given class to a class with the wanted stereotype.
+func findAssocByStereo(p *usermodel.Profile, from string, want usermodel.Stereotype) (role, to string) {
+	for _, d := range p.Assocs(from) {
+		if c := p.Class(d.To); c != nil && c.Stereo == want {
+			return d.Role, d.To
+		}
+	}
+	return "", ""
+}
+
+func findGeometryProp(c *usermodel.ClassDef) string {
+	for _, pd := range c.Props {
+		if pd.Type == usermodel.PropGeometry {
+			return pd.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"sdwp/internal/datagen"
+	"sdwp/internal/prml"
+)
+
+// optimizerEngines builds two engines over the same dataset: one with the
+// rule optimizer, one forcing the generic interpreter.
+func optimizerEngines(t testing.TB, cfg datagen.Config, rules string) (*Engine, *Engine, *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(disable bool) *Engine {
+		users, err := datagen.NewUserStore(map[string]string{"u": "RegionalSalesManager"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(ds.Cube, users, Options{DisableRuleOptimizer: disable})
+		e.SetParam("threshold", prml.NumberVal(2))
+		if _, err := e.AddRules(rules); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return mk(false), mk(true), ds
+}
+
+const radiusRule = `
+Rule:near When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`
+
+// The optimized plan must select exactly the same members as the
+// interpreter, across several login locations.
+func TestOptimizerMatchesInterpreter(t *testing.T) {
+	cfg := datagen.Default()
+	cfg.Stores = 500
+	cfg.Sales = 100
+	fast, slow, ds := optimizerEngines(t, cfg, radiusRule)
+	for _, cityIdx := range []int{0, 5, 11, 17} {
+		loc := ds.CityLocs[cityIdx]
+		sf, err := fast.StartSession("u", loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := slow.StartSession("u", loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf := sf.View().LevelMask("Store", "Store")
+		ms := ss.View().LevelMask("Store", "Store")
+		if !mf.Equal(ms) {
+			t.Fatalf("city %d: optimizer %s != interpreter %s", cityIdx, mf, ms)
+		}
+	}
+}
+
+// The reference geometry may be a whole layer ("near any highway"); the
+// optimizer must still agree (MembersWithinKm handles non-point centers by
+// exact scan).
+func TestOptimizerLayerReference(t *testing.T) {
+	const rules = `
+Rule:addRoads When SessionStart do
+  AddLayer('Highway', LINE)
+endWhen
+Rule:near When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, GeoMD.Highway.geometry) < 10km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`
+	cfg := datagen.Default()
+	cfg.Stores = 300
+	cfg.Sales = 100
+	fast, slow, ds := optimizerEngines(t, cfg, rules)
+	sf, err := fast.StartSession("u", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := slow.StartSession("u", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := sf.View().LevelMask("Store", "Store")
+	ms := ss.View().LevelMask("Store", "Store")
+	if mf == nil || !mf.Equal(ms) {
+		t.Fatalf("optimizer %s != interpreter %s", mf, ms)
+	}
+	if !mf.Any() {
+		t.Fatal("no stores near highways; geography too sparse for the test")
+	}
+}
+
+// Shapes the optimizer must NOT claim: they fall back to the interpreter
+// and still work.
+func TestOptimizerBailsOutOnOtherShapes(t *testing.T) {
+	const rules = `
+Rule:twoActions When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+      SetContent(SUS.DecisionMaker.name, 'seen')
+    endIf
+  endForeach
+endWhen
+Rule:greaterThan When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) > 5000km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen
+Rule:attrCond When SessionStart do
+  Foreach c in (GeoMD.Store.City)
+    If (c.population > 1000000) then
+      SelectInstance(c)
+    endIf
+  endForeach
+endWhen`
+	cfg := datagen.Default()
+	cfg.Stores = 100
+	cfg.Sales = 100
+	fast, slow, ds := optimizerEngines(t, cfg, rules)
+	sf, err := fast.StartSession("u", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := slow.StartSession("u", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range [][2]string{{"Store", "Store"}, {"Store", "City"}} {
+		mf := sf.View().LevelMask(lvl[0], lvl[1])
+		ms := ss.View().LevelMask(lvl[0], lvl[1])
+		if !mf.Equal(ms) {
+			t.Fatalf("%s.%s: optimizer path diverged: %s vs %s", lvl[0], lvl[1], mf, ms)
+		}
+	}
+	if got := sf.User().GetString("name"); got != "seen" {
+		t.Errorf("interpreter fallback skipped actions: name = %q", got)
+	}
+}
+
+// Planar mode must never use the (geodetic) optimizer.
+func TestOptimizerDisabledInPlanarMode(t *testing.T) {
+	cfg := datagen.Default()
+	cfg.Stores = 50
+	cfg.Sales = 50
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := datagen.NewUserStore(map[string]string{"u": "X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ds.Cube, users, Options{Planar: true})
+	if _, err := e.AddRules(radiusRule); err != nil {
+		t.Fatal(err)
+	}
+	// In planar degree units, a 5 "km" radius is a 5-degree radius; the
+	// session must start (interpreter path) without error.
+	s, err := e.StartSession("u", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := s.View().LevelMask("Store", "Store")
+	if mask == nil || !mask.Any() {
+		t.Fatal("planar interpreter selected nothing within 5 degrees")
+	}
+}

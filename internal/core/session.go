@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/geom"
+	"sdwp/internal/geomd"
+	"sdwp/internal/prml"
+	"sdwp/internal/usermodel"
+)
+
+// Session is one decision maker's personalized analysis session: the
+// outcome of the Fig. 1 process — a personalized GeoMD schema plus a
+// personalized cube view — together with the event surface the BI front end
+// drives (queries and spatial selections).
+type Session struct {
+	ID     string
+	UserID string
+
+	engine   *Engine
+	user     *usermodel.Entity
+	location geom.Geometry
+
+	mu     sync.Mutex
+	schema *geomd.Schema
+	view   *cube.View
+}
+
+// Schema returns the session's personalized GeoMD schema.
+func (s *Session) Schema() *geomd.Schema {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schema
+}
+
+// View returns the session's personalized cube view.
+func (s *Session) View() *cube.View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// User returns the decision maker's profile root entity.
+func (s *Session) User() *usermodel.Entity { return s.user }
+
+// Engine returns the engine this session belongs to.
+func (s *Session) Engine() *Engine { return s.engine }
+
+// Location returns the session's location context geometry (nil if
+// unknown).
+func (s *Session) Location() geom.Geometry { return s.location }
+
+// Query runs an OLAP query through the personalized view — what the
+// paper's "succeeding analysis in any BI tool" sees.
+func (s *Session) Query(q cube.Query) (*cube.Result, error) {
+	return s.engine.cube.Execute(q, s.View())
+}
+
+// QueryBaseline runs the same query against the whole warehouse (the
+// non-personalized baseline of experiment C1).
+func (s *Session) QueryBaseline(q cube.Query) (*cube.Result, error) {
+	return s.engine.cube.Execute(q, nil)
+}
+
+// exec runs one rule body in this session's environment.
+func (s *Session) exec(r *prml.Rule) (prml.Stats, error) {
+	env := &sessionEnv{s: s}
+	return prml.NewEvaluator(env).Exec(r)
+}
+
+// SelectionResult reports what a SpatialSelect did.
+type SelectionResult struct {
+	// Selected lists the instances the predicate matched (and that were
+	// added to the personalized view).
+	Selected []prml.Instance
+	// RulesFired lists the tracking rules triggered by the selection.
+	RulesFired []string
+}
+
+// SpatialSelect performs an interactive spatial selection — the user picks
+// the instances of target (a GeoMD path such as GeoMD.Store.City) that
+// satisfy predicate (a PRML boolean expression over that element, e.g.
+// Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km).
+//
+// The selection (i) restricts the personalized view to the matched
+// instances, and (ii) fires every registered SpatialSelection tracking rule
+// whose event target is the same element and whose event expression is
+// satisfied by at least one matched instance (the operational semantics
+// chosen in DESIGN.md §2).
+func (s *Session) SpatialSelect(target string, predicate string) (*SelectionResult, error) {
+	targetPath, err := parseTargetPath(target)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := prml.ParseExpr(predicate)
+	if err != nil {
+		return nil, err
+	}
+
+	env := &sessionEnv{s: s}
+	ev := prml.NewEvaluator(env)
+	res := &SelectionResult{}
+
+	// Evaluate the predicate once per instance of the target element, with
+	// the instance bound as the "current" value of the target path.
+	err = env.Iterate(targetPath, func(inst prml.Instance) error {
+		env.bind(targetPath, inst)
+		v, err := ev.EvalExpr(pred)
+		env.unbind()
+		if err != nil {
+			return err
+		}
+		if v.Kind != prml.KindBool {
+			return fmt.Errorf("core: selection predicate is %s, want bool", v.Kind)
+		}
+		if v.Bool {
+			if err := env.SelectInstance(prml.InstVal(inst)); err != nil {
+				return err
+			}
+			res.Selected = append(res.Selected, inst)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Selected) == 0 {
+		return res, nil
+	}
+
+	// Fire matching tracking rules.
+	for _, r := range s.engine.rulesByKind(prml.RuleTracking) {
+		if r.Event.Target == nil || r.Event.Target.String() != targetPath.String() {
+			continue
+		}
+		fired := false
+		for _, inst := range res.Selected {
+			env.bind(r.Event.Target, inst)
+			ok, err := ev.EvalEventCond(r.Event.Cond, "", prml.Instance{})
+			env.unbind()
+			if err != nil {
+				return nil, fmt.Errorf("core: event condition of rule %s: %w", r.Name, err)
+			}
+			if ok {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			continue
+		}
+		if _, err := s.exec(r); err != nil {
+			return nil, err
+		}
+		res.RulesFired = append(res.RulesFired, r.Name)
+	}
+	return res, nil
+}
+
+// parseTargetPath parses and validates a GeoMD element path.
+func parseTargetPath(target string) (*prml.PathExpr, error) {
+	e, err := prml.ParseExpr(target)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := e.(*prml.PathExpr)
+	if !ok || p.Root != prml.RootGeoMD {
+		return nil, fmt.Errorf("core: selection target must be a GeoMD path, got %q", target)
+	}
+	return p, nil
+}

@@ -1,0 +1,447 @@
+// Package cube is the spatial OLAP storage and query engine underneath the
+// personalization layer — the substrate the paper assumes ("any BI tool")
+// but which this reproduction builds from scratch.
+//
+// Storage is columnar: each dimension level keeps parallel arrays of member
+// descriptors, attribute columns, parent pointers into the next coarser
+// level, and (for spatial levels) geometries. Facts keep one int32 key
+// column per dimension (referencing the finest level) plus one float64
+// column per measure. Thematic layers (external geographic data, paper
+// Fig. 6) keep named geometry objects with an R-tree over point layers.
+//
+// Queries aggregate measures grouped by arbitrary hierarchy levels, under
+// attribute filters and under the selection masks produced by the paper's
+// SelectInstance personalization action (package core builds those masks).
+package cube
+
+import (
+	"fmt"
+	"sync"
+
+	"sdwp/internal/geoidx"
+	"sdwp/internal/geom"
+	"sdwp/internal/geomd"
+	"sdwp/internal/mdmodel"
+)
+
+// NoParent marks a member of the coarsest level (or an unset parent).
+const NoParent int32 = -1
+
+// LevelData stores the members of one hierarchy level.
+type LevelData struct {
+	level   *mdmodel.Level
+	names   []string         // descriptor column (display names)
+	attrs   map[string][]any // other attribute columns
+	parents []int32          // index into the next coarser level
+	geoms   []geom.Geometry  // nil until the level becomes spatial
+
+	byName  map[string]int32   // descriptor → member index (first wins)
+	ptIndex *geoidx.PointIndex // lazy spatial index over point geometries
+}
+
+// Len returns the member count.
+func (ld *LevelData) Len() int { return len(ld.names) }
+
+// Name returns the descriptor of member i.
+func (ld *LevelData) Name(i int32) string { return ld.names[i] }
+
+// Parent returns the parent member index (NoParent at the top level).
+func (ld *LevelData) Parent(i int32) int32 {
+	if int(i) >= len(ld.parents) {
+		return NoParent
+	}
+	return ld.parents[i]
+}
+
+// Geometry returns member i's geometry (nil if not spatial or unset).
+func (ld *LevelData) Geometry(i int32) geom.Geometry {
+	if ld.geoms == nil || int(i) >= len(ld.geoms) {
+		return nil
+	}
+	return ld.geoms[i]
+}
+
+// Attr returns the named attribute of member i (the descriptor is exposed
+// under its declared attribute name too).
+func (ld *LevelData) Attr(name string, i int32) (any, bool) {
+	for _, a := range ld.level.Attributes {
+		if a.Name == name && a.Kind == mdmodel.KindDescriptor {
+			return ld.names[i], true
+		}
+	}
+	col, ok := ld.attrs[name]
+	if !ok || int(i) >= len(col) {
+		return nil, false
+	}
+	return col[i], true
+}
+
+// IndexOf returns the member index with the given descriptor, or -1.
+func (ld *LevelData) IndexOf(name string) int32 {
+	if i, ok := ld.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// DimData stores one dimension's level tables, finest first.
+type DimData struct {
+	dim    *mdmodel.Dimension
+	levels []*LevelData
+
+	// ancMu guards ancCache: per target level, the ancestor of every
+	// finest-level member (computed lazily; queries then resolve roll-ups
+	// with one array lookup instead of climbing the parent chain per fact).
+	ancMu    sync.Mutex
+	ancCache map[int][]int32
+}
+
+// Level returns the level table by name, or nil.
+func (dd *DimData) Level(name string) *LevelData {
+	i := dd.dim.LevelIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return dd.levels[i]
+}
+
+// LevelAt returns the level table by hierarchy position.
+func (dd *DimData) LevelAt(i int) *LevelData { return dd.levels[i] }
+
+// LevelName returns the name of the level at hierarchy position i.
+func (dd *DimData) LevelName(i int) string { return dd.dim.Levels[i].Name }
+
+// LevelIndex returns the hierarchy position of the named level, or -1.
+func (dd *DimData) LevelIndex(name string) int { return dd.dim.LevelIndex(name) }
+
+// NumLevels returns the hierarchy depth.
+func (dd *DimData) NumLevels() int { return len(dd.levels) }
+
+// Ancestor climbs from a member of the level at position from to its
+// ancestor at position to (from ≤ to). Returns NoParent if any link is
+// missing.
+func (dd *DimData) Ancestor(from, to int, member int32) int32 {
+	cur := member
+	for l := from; l < to; l++ {
+		if cur == NoParent {
+			return NoParent
+		}
+		cur = dd.levels[l].Parent(cur)
+	}
+	return cur
+}
+
+// ancestorsFromFinest returns (building on first use) the ancestor at level
+// position to for every member of the finest level.
+func (dd *DimData) ancestorsFromFinest(to int) []int32 {
+	dd.ancMu.Lock()
+	defer dd.ancMu.Unlock()
+	if cached, ok := dd.ancCache[to]; ok {
+		return cached
+	}
+	finest := dd.levels[0]
+	out := make([]int32, finest.Len())
+	for i := range out {
+		out[i] = dd.Ancestor(0, to, int32(i))
+	}
+	if dd.ancCache == nil {
+		dd.ancCache = map[int][]int32{}
+	}
+	dd.ancCache[to] = out
+	return out
+}
+
+// invalidateAncestors drops the roll-up cache after membership changes.
+func (dd *DimData) invalidateAncestors() {
+	dd.ancMu.Lock()
+	dd.ancCache = nil
+	dd.ancMu.Unlock()
+}
+
+// FactData stores one fact table.
+type FactData struct {
+	fact     *mdmodel.Fact
+	n        int
+	dimKeys  map[string][]int32
+	measures map[string][]float64
+}
+
+// Len returns the number of fact instances.
+func (fd *FactData) Len() int { return fd.n }
+
+// Measure returns the named measure of fact instance i and whether the
+// measure exists.
+func (fd *FactData) Measure(name string, i int32) (float64, bool) {
+	col, ok := fd.measures[name]
+	if !ok || int(i) >= len(col) {
+		return 0, ok && false
+	}
+	return col[i], true
+}
+
+// DimKey returns fact instance i's member index into the named dimension's
+// finest level and whether the fact uses that dimension.
+func (fd *FactData) DimKey(dim string, i int32) (int32, bool) {
+	col, ok := fd.dimKeys[dim]
+	if !ok || int(i) >= len(col) {
+		return NoParent, false
+	}
+	return col[i], true
+}
+
+// LayerData stores the objects of one thematic layer.
+type LayerData struct {
+	layer   geomd.Layer
+	names   []string
+	geoms   []geom.Geometry
+	ptIndex *geoidx.PointIndex
+}
+
+// Len returns the object count.
+func (ld *LayerData) Len() int { return len(ld.names) }
+
+// Name returns object i's name.
+func (ld *LayerData) Name(i int32) string { return ld.names[i] }
+
+// Geometry returns object i's geometry.
+func (ld *LayerData) Geometry(i int32) geom.Geometry { return ld.geoms[i] }
+
+// Type returns the layer's declared geometry type.
+func (ld *LayerData) Type() geom.Type { return ld.layer.Geom }
+
+// Cube is the warehouse instance store for one GeoMD schema. The schema
+// held here is the designer's base model; per-session personalized schemas
+// are clones that reference the same instance data.
+type Cube struct {
+	schema *geomd.Schema
+	dims   map[string]*DimData
+	facts  map[string]*FactData
+	layers map[string]*LayerData // the geographic catalog: all loadable layers
+}
+
+// New creates an empty cube for the schema.
+func New(s *geomd.Schema) *Cube {
+	c := &Cube{
+		schema: s,
+		dims:   map[string]*DimData{},
+		facts:  map[string]*FactData{},
+		layers: map[string]*LayerData{},
+	}
+	for _, d := range s.MD.Dimensions {
+		dd := &DimData{dim: d}
+		for _, l := range d.Levels {
+			dd.levels = append(dd.levels, &LevelData{
+				level:  l,
+				attrs:  map[string][]any{},
+				byName: map[string]int32{},
+			})
+		}
+		c.dims[d.Name] = dd
+	}
+	for _, f := range s.MD.Facts {
+		fd := &FactData{fact: f, dimKeys: map[string][]int32{}, measures: map[string][]float64{}}
+		for _, dn := range f.Dimensions {
+			fd.dimKeys[dn] = nil
+		}
+		for _, m := range f.Measures {
+			fd.measures[m.Name] = nil
+		}
+		c.facts[f.Name] = fd
+	}
+	return c
+}
+
+// Schema returns the cube's base GeoMD schema.
+func (c *Cube) Schema() *geomd.Schema { return c.schema }
+
+// Dimension returns a dimension's data, or nil.
+func (c *Cube) Dimension(name string) *DimData { return c.dims[name] }
+
+// Fact returns a fact's data, or nil.
+func (c *Cube) FactData(name string) *FactData { return c.facts[name] }
+
+// Layer returns a catalog layer's data, or nil.
+func (c *Cube) Layer(name string) *LayerData { return c.layers[name] }
+
+// AddMember appends a member to a level. parent indexes the next coarser
+// level (NoParent at the coarsest level). Members must therefore be loaded
+// coarse-to-fine. Returns the new member's index.
+func (c *Cube) AddMember(dim, level, descriptor string, parent int32) (int32, error) {
+	dd := c.dims[dim]
+	if dd == nil {
+		return 0, fmt.Errorf("cube: unknown dimension %q", dim)
+	}
+	li := dd.dim.LevelIndex(level)
+	if li < 0 {
+		return 0, fmt.Errorf("cube: dimension %q has no level %q", dim, level)
+	}
+	ld := dd.levels[li]
+	if li == dd.NumLevels()-1 {
+		if parent != NoParent {
+			return 0, fmt.Errorf("cube: member of top level %s.%s cannot have a parent", dim, level)
+		}
+	} else {
+		up := dd.levels[li+1]
+		if parent == NoParent || int(parent) >= up.Len() {
+			return 0, fmt.Errorf("cube: member %q of %s.%s has invalid parent %d (next level has %d members)",
+				descriptor, dim, level, parent, up.Len())
+		}
+	}
+	dd.invalidateAncestors()
+	idx := int32(ld.Len())
+	ld.names = append(ld.names, descriptor)
+	ld.parents = append(ld.parents, parent)
+	if ld.geoms != nil {
+		ld.geoms = append(ld.geoms, nil)
+	}
+	for k := range ld.attrs {
+		ld.attrs[k] = append(ld.attrs[k], nil)
+	}
+	if _, dup := ld.byName[descriptor]; !dup {
+		ld.byName[descriptor] = idx
+	}
+	return idx, nil
+}
+
+// SetMemberAttr sets a declared attribute value on a member.
+func (c *Cube) SetMemberAttr(dim, level string, member int32, attr string, v any) error {
+	ld, err := c.levelData(dim, level)
+	if err != nil {
+		return err
+	}
+	a := ld.level.Attribute(attr)
+	if a == nil {
+		return fmt.Errorf("cube: level %s.%s has no attribute %q", dim, level, attr)
+	}
+	if int(member) >= ld.Len() {
+		return fmt.Errorf("cube: member %d out of range for %s.%s", member, dim, level)
+	}
+	if a.Kind == mdmodel.KindDescriptor {
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("cube: descriptor %q wants string", attr)
+		}
+		ld.names[member] = s
+		return nil
+	}
+	col := ld.attrs[attr]
+	if col == nil {
+		col = make([]any, ld.Len())
+	}
+	for len(col) < ld.Len() {
+		col = append(col, nil)
+	}
+	col[member] = v
+	ld.attrs[attr] = col
+	return nil
+}
+
+// SetMemberGeometry attaches a geometry to a member. The level need not be
+// spatial in the base schema — BecomeSpatial may promote it later; data can
+// be staged eagerly (the usual deployment loads geometry for candidate
+// levels and lets rules decide which users see it).
+func (c *Cube) SetMemberGeometry(dim, level string, member int32, g geom.Geometry) error {
+	ld, err := c.levelData(dim, level)
+	if err != nil {
+		return err
+	}
+	if int(member) >= ld.Len() {
+		return fmt.Errorf("cube: member %d out of range for %s.%s", member, dim, level)
+	}
+	if ld.geoms == nil {
+		ld.geoms = make([]geom.Geometry, ld.Len())
+	}
+	for len(ld.geoms) < ld.Len() {
+		ld.geoms = append(ld.geoms, nil)
+	}
+	ld.geoms[member] = g
+	ld.ptIndex = nil // invalidate lazy index
+	return nil
+}
+
+func (c *Cube) levelData(dim, level string) (*LevelData, error) {
+	dd := c.dims[dim]
+	if dd == nil {
+		return nil, fmt.Errorf("cube: unknown dimension %q", dim)
+	}
+	ld := dd.Level(level)
+	if ld == nil {
+		return nil, fmt.Errorf("cube: dimension %q has no level %q", dim, level)
+	}
+	return ld, nil
+}
+
+// AddFact appends a fact instance. keys maps every fact dimension to a
+// member index of that dimension's finest level; measures maps measure
+// names to values (missing measures default to 0).
+func (c *Cube) AddFact(fact string, keys map[string]int32, measures map[string]float64) error {
+	fd := c.facts[fact]
+	if fd == nil {
+		return fmt.Errorf("cube: unknown fact %q", fact)
+	}
+	for _, dn := range fd.fact.Dimensions {
+		k, ok := keys[dn]
+		if !ok {
+			return fmt.Errorf("cube: fact %q instance missing key for dimension %q", fact, dn)
+		}
+		finest := c.dims[dn].levels[0]
+		if k < 0 || int(k) >= finest.Len() {
+			return fmt.Errorf("cube: fact %q key %d out of range for %s (%d members)",
+				fact, k, dn, finest.Len())
+		}
+	}
+	for mn := range measures {
+		if fd.fact.Measure(mn) == nil {
+			return fmt.Errorf("cube: fact %q has no measure %q", fact, mn)
+		}
+	}
+	for _, dn := range fd.fact.Dimensions {
+		fd.dimKeys[dn] = append(fd.dimKeys[dn], keys[dn])
+	}
+	for _, m := range fd.fact.Measures {
+		fd.measures[m.Name] = append(fd.measures[m.Name], measures[m.Name])
+	}
+	fd.n++
+	return nil
+}
+
+// RegisterLayer declares a layer in the geographic catalog (the pool of
+// external spatial data AddLayer rules may pull in) and returns its data
+// holder for object loading.
+func (c *Cube) RegisterLayer(name string, t geom.Type) (*LayerData, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cube: empty layer name")
+	}
+	if _, ok := c.layers[name]; ok {
+		return nil, fmt.Errorf("cube: layer %q already registered", name)
+	}
+	ld := &LayerData{layer: geomd.Layer{Name: name, Geom: t}}
+	c.layers[name] = ld
+	return ld, nil
+}
+
+// AddLayerObject appends a named geometry to a catalog layer; the geometry
+// type must match the layer declaration.
+func (c *Cube) AddLayerObject(layer, name string, g geom.Geometry) (int32, error) {
+	ld := c.layers[layer]
+	if ld == nil {
+		return 0, fmt.Errorf("cube: unknown layer %q", layer)
+	}
+	if g == nil || g.Type() != ld.layer.Geom {
+		return 0, fmt.Errorf("cube: layer %q wants %s objects", layer, ld.layer.Geom)
+	}
+	idx := int32(ld.Len())
+	ld.names = append(ld.names, name)
+	ld.geoms = append(ld.geoms, g)
+	ld.ptIndex = nil
+	return idx, nil
+}
+
+// Layers returns the catalog layer names (unordered).
+func (c *Cube) Layers() []string {
+	out := make([]string, 0, len(c.layers))
+	for n := range c.layers {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package cube
+
+import "testing"
+
+func TestQueryOrderByAndLimit(t *testing.T) {
+	c := testWarehouse(t)
+	q := Query{
+		Fact:       "Sales",
+		GroupBy:    []LevelRef{{"Store", "Store"}},
+		Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: AggSum}},
+		OrderBy:    &OrderBy{Agg: 0, Desc: true},
+	}
+	res, err := c.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store sums: s0=7, s1=2, s2=3, s3=4, s4=5 → desc: s0,s4,s3,s2,s1.
+	wantOrder := []string{"s0", "s4", "s3", "s2", "s1"}
+	for i, w := range wantOrder {
+		if res.Rows[i].Groups[0] != w {
+			t.Fatalf("row %d = %s, want %s (rows %+v)", i, res.Rows[i].Groups[0], w, res.Rows)
+		}
+	}
+	// Ascending order.
+	q.OrderBy = &OrderBy{Agg: 0}
+	res, _ = c.Execute(q, nil)
+	if res.Rows[0].Groups[0] != "s1" || res.Rows[4].Groups[0] != "s0" {
+		t.Fatalf("asc rows = %+v", res.Rows)
+	}
+	// Top-2.
+	q.OrderBy = &OrderBy{Agg: 0, Desc: true}
+	q.Limit = 2
+	res, _ = c.Execute(q, nil)
+	if len(res.Rows) != 2 || res.Rows[0].Groups[0] != "s0" || res.Rows[1].Groups[0] != "s4" {
+		t.Fatalf("top-2 = %+v", res.Rows)
+	}
+	// Limit without OrderBy keeps name order.
+	q.OrderBy = nil
+	q.Limit = 3
+	res, _ = c.Execute(q, nil)
+	if len(res.Rows) != 3 || res.Rows[0].Groups[0] != "s0" {
+		t.Fatalf("limited rows = %+v", res.Rows)
+	}
+	// Ties break by group name: COUNT per day groups d0=3, d1=3.
+	q2 := Query{
+		Fact:       "Sales",
+		GroupBy:    []LevelRef{{"Time", "Day"}},
+		Aggregates: []MeasureAgg{{Agg: AggCount}},
+		OrderBy:    &OrderBy{Agg: 0, Desc: true},
+	}
+	res, err = c.Execute(q2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Groups[0] != "2009-06-01" {
+		t.Fatalf("tie-break rows = %+v", res.Rows)
+	}
+}
+
+func TestQueryOrderByValidation(t *testing.T) {
+	c := testWarehouse(t)
+	if _, err := c.Execute(Query{
+		Fact:       "Sales",
+		Aggregates: []MeasureAgg{{Agg: AggCount}},
+		OrderBy:    &OrderBy{Agg: 5},
+	}, nil); err == nil {
+		t.Error("out-of-range OrderBy accepted")
+	}
+	if _, err := c.Execute(Query{
+		Fact:       "Sales",
+		Aggregates: []MeasureAgg{{Agg: AggCount}},
+		Limit:      -1,
+	}, nil); err == nil {
+		t.Error("negative limit accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package cube
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sdwp/internal/geom"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := testWarehouse(t)
+	_, _ = c.RegisterLayer("Airport", geom.TypePoint)
+	_, _ = c.AddLayerObject("Airport", "ALC", geom.Pt(-0.56, 38.28))
+
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structure survives.
+	if back.Dimension("Store").Level("Store").Len() != 5 {
+		t.Error("stores lost")
+	}
+	if back.FactData("Sales").Len() != c.FactData("Sales").Len() {
+		t.Error("facts lost")
+	}
+	if l := back.Layer("Airport"); l == nil || l.Len() != 1 || l.Name(0) != "ALC" {
+		t.Error("layer lost")
+	}
+	// Attributes and geometry survive.
+	if v, ok := back.Dimension("Store").Level("City").Attr("population", 2); !ok || v != 3200000.0 {
+		t.Errorf("population = %v, %v", v, ok)
+	}
+	g := back.Dimension("Store").Level("Store").Geometry(0)
+	if g == nil || g.Type() != geom.TypePoint {
+		t.Error("geometry lost")
+	}
+
+	// Queries agree between original and restored cubes.
+	q := Query{
+		Fact:       "Sales",
+		GroupBy:    []LevelRef{{"Store", "City"}},
+		Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: AggSum}, {Agg: AggCount}},
+	}
+	want, err := c.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(want.Rows), len(got.Rows))
+	}
+	for i := range want.Rows {
+		if want.Rows[i].Groups[0] != got.Rows[i].Groups[0] ||
+			want.Rows[i].Values[0] != got.Rows[i].Values[0] ||
+			want.Rows[i].Values[1] != got.Rows[i].Values[1] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, want.Rows[i], got.Rows[i])
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	c := testWarehouse(t)
+	base, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(s *Snapshot)) error {
+		var s Snapshot
+		if err := json.Unmarshal(base, &s); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&s)
+		_, err := FromSnapshot(&s)
+		return err
+	}
+	cases := []struct {
+		name   string
+		mutate func(s *Snapshot)
+		frag   string
+	}{
+		{"no schema", func(s *Snapshot) { s.Schema = nil }, "no schema"},
+		{"missing level table", func(s *Snapshot) {
+			s.Dimensions["Store"] = s.Dimensions["Store"][:2]
+		}, "level tables"},
+		{"parent out of range", func(s *Snapshot) {
+			s.Dimensions["Store"][0].Parents[0] = 99
+		}, "invalid parent"},
+		{"parents length mismatch", func(s *Snapshot) {
+			s.Dimensions["Store"][0].Parents = s.Dimensions["Store"][0].Parents[:1]
+		}, "parents"},
+		{"bad geometry WKT", func(s *Snapshot) {
+			s.Dimensions["Store"][0].Geoms[0] = "POINT(broken"
+		}, "wkt"},
+		{"wrong level name", func(s *Snapshot) {
+			s.Dimensions["Store"][0].Level = "Shop"
+		}, "schema wants"},
+		{"attr column length", func(s *Snapshot) {
+			s.Dimensions["Store"][1].Attrs["population"] = []any{1.0}
+		}, "values for"},
+		{"fact key out of range", func(s *Snapshot) {
+			f := s.Facts["Sales"]
+			f.Keys["Store"][0] = 1000
+			s.Facts["Sales"] = f
+		}, "out of range"},
+		{"fact key column short", func(s *Snapshot) {
+			f := s.Facts["Sales"]
+			f.Keys["Store"] = f.Keys["Store"][:2]
+			s.Facts["Sales"] = f
+		}, "keys for dimension"},
+		{"measure column short", func(s *Snapshot) {
+			f := s.Facts["Sales"]
+			f.Measures["UnitSales"] = f.Measures["UnitSales"][:1]
+			s.Facts["Sales"] = f
+		}, "measure"},
+	}
+	for _, tc := range cases {
+		err := corrupt(tc.mutate)
+		if err == nil {
+			t.Errorf("%s: corruption accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.frag)) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestReadRejectsGarbageJSON(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	c := testWarehouse(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := c.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

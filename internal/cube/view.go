@@ -1,0 +1,252 @@
+package cube
+
+import (
+	"fmt"
+	"sync"
+
+	"sdwp/internal/bitset"
+)
+
+// View is a personalized window over a cube: the accumulated effect of the
+// paper's SelectInstance actions in one analysis session. A nil mask means
+// "everything visible" (bitset's nil-as-universe convention).
+//
+// Selections compose by union within a level (repeated SelectInstance calls
+// "also add" instances, per Example 5.3) and by intersection across levels
+// and with the fact mask (a fact is visible only if every constrained
+// coordinate is selected).
+type View struct {
+	cube *Cube
+	// levelMasks maps "Dim.Level" to the selected members of that level.
+	levelMasks map[string]*bitset.Set
+	// factMasks maps fact names to directly selected fact instances.
+	factMasks map[string]*bitset.Set
+
+	// materialized caches the per-fact combination of all masks so queries
+	// iterate only visible facts. Guarded by matMu; invalidated on every
+	// new selection.
+	matMu        sync.Mutex
+	materialized map[string]*bitset.Set
+}
+
+// NewView returns an unrestricted view over the cube.
+func NewView(c *Cube) *View {
+	return &View{
+		cube:       c,
+		levelMasks: map[string]*bitset.Set{},
+		factMasks:  map[string]*bitset.Set{},
+	}
+}
+
+// Cube returns the underlying cube.
+func (v *View) Cube() *Cube { return v.cube }
+
+func levelKey(dim, level string) string { return dim + "." + level }
+
+// SelectMember adds one member of a level to the view's selection. The
+// first selection on a level restricts the level to exactly the selected
+// members; later selections extend the set.
+func (v *View) SelectMember(dim, level string, member int32) error {
+	ld, err := v.cube.levelData(dim, level)
+	if err != nil {
+		return err
+	}
+	if member < 0 || int(member) >= ld.Len() {
+		return fmt.Errorf("cube: member %d out of range for %s.%s", member, dim, level)
+	}
+	key := levelKey(dim, level)
+	m := v.levelMasks[key]
+	if m == nil {
+		m = bitset.New(ld.Len())
+		v.levelMasks[key] = m
+	}
+	m.Set(int(member))
+	v.invalidate()
+	return nil
+}
+
+// SelectFact adds one fact instance to the view's fact selection.
+func (v *View) SelectFact(fact string, idx int32) error {
+	fd := v.cube.facts[fact]
+	if fd == nil {
+		return fmt.Errorf("cube: unknown fact %q", fact)
+	}
+	if idx < 0 || int(idx) >= fd.n {
+		return fmt.Errorf("cube: fact index %d out of range for %q", idx, fact)
+	}
+	m := v.factMasks[fact]
+	if m == nil {
+		m = bitset.New(fd.n)
+		v.factMasks[fact] = m
+	}
+	m.Set(int(idx))
+	v.invalidate()
+	return nil
+}
+
+// invalidate drops the materialized cache after a selection change.
+func (v *View) invalidate() {
+	v.matMu.Lock()
+	v.materialized = nil
+	v.matMu.Unlock()
+}
+
+// Materialize returns the combined per-fact visibility mask for one fact
+// table (nil when the view leaves that fact unrestricted). The result is
+// cached until the next selection, so the per-query cost of a personalized
+// view is one bitset iteration instead of per-fact mask checks.
+func (v *View) Materialize(fact string) *bitset.Set {
+	fd := v.cube.facts[fact]
+	if fd == nil {
+		return nil
+	}
+	restricted := v.factMasks[fact] != nil
+	if !restricted {
+		for key := range v.levelMasks {
+			dim, _ := splitKey(key)
+			if v.cube.dims[dim] != nil && fd.fact.HasDimension(dim) {
+				restricted = true
+				break
+			}
+		}
+	}
+	if !restricted {
+		return nil
+	}
+	v.matMu.Lock()
+	defer v.matMu.Unlock()
+	if m, ok := v.materialized[fact]; ok {
+		return m
+	}
+	// Start from the direct fact mask (or everything), then intersect one
+	// dimension at a time. Each level mask is first pushed down to the
+	// dimension's finest level — one hierarchy climb per *member* — so the
+	// per-fact work is a single bitset test per constrained dimension.
+	var m *bitset.Set
+	if fm := v.factMasks[fact]; fm != nil {
+		m = fm.Clone()
+	} else {
+		m = bitset.Full(fd.n)
+	}
+	for key, mask := range v.levelMasks {
+		dim, level := splitKey(key)
+		dd := v.cube.dims[dim]
+		if dd == nil || !fd.fact.HasDimension(dim) {
+			continue
+		}
+		li := dd.dim.LevelIndex(level)
+		if li < 0 {
+			continue
+		}
+		finest := dd.levels[0]
+		allowed := bitset.New(finest.Len())
+		for j := int32(0); int(j) < finest.Len(); j++ {
+			if anc := dd.Ancestor(0, li, j); anc != NoParent && mask.Test(int(anc)) {
+				allowed.Set(int(j))
+			}
+		}
+		keys := fd.dimKeys[dim]
+		m.ForEach(func(i int) bool {
+			if !allowed.Test(int(keys[i])) {
+				m.Clear(i)
+			}
+			return true
+		})
+	}
+	if v.materialized == nil {
+		v.materialized = map[string]*bitset.Set{}
+	}
+	v.materialized[fact] = m
+	return m
+}
+
+// LevelMask returns the mask for a level (nil = unrestricted).
+func (v *View) LevelMask(dim, level string) *bitset.Set {
+	return v.levelMasks[levelKey(dim, level)]
+}
+
+// FactMask returns the mask for a fact (nil = unrestricted).
+func (v *View) FactMask(fact string) *bitset.Set { return v.factMasks[fact] }
+
+// Restricted reports whether any selection has been applied.
+func (v *View) Restricted() bool {
+	return len(v.levelMasks) > 0 || len(v.factMasks) > 0
+}
+
+// MemberVisible reports whether a member passes the view's mask for its
+// level (unrestricted levels pass everything).
+func (v *View) MemberVisible(dim, level string, member int32) bool {
+	m := v.levelMasks[levelKey(dim, level)]
+	if m == nil {
+		return true
+	}
+	return m.Test(int(member))
+}
+
+// FactVisible reports whether fact instance idx passes the fact mask and
+// every level mask (its coordinates' ancestors must be selected at each
+// constrained level).
+func (v *View) FactVisible(fact string, idx int32) bool {
+	fd := v.cube.facts[fact]
+	if fd == nil {
+		return false
+	}
+	if m := v.factMasks[fact]; m != nil && !m.Test(int(idx)) {
+		return false
+	}
+	for key, mask := range v.levelMasks {
+		dim, level := splitKey(key)
+		dd := v.cube.dims[dim]
+		if dd == nil || !fd.fact.HasDimension(dim) {
+			continue
+		}
+		li := dd.dim.LevelIndex(level)
+		if li < 0 {
+			continue
+		}
+		anc := dd.Ancestor(0, li, fd.dimKeys[dim][idx])
+		if anc == NoParent || !mask.Test(int(anc)) {
+			return false
+		}
+	}
+	return true
+}
+
+func splitKey(key string) (dim, level string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
+
+// VisibleFactCount counts the fact instances visible through the view.
+func (v *View) VisibleFactCount(fact string) int {
+	fd := v.cube.facts[fact]
+	if fd == nil {
+		return 0
+	}
+	if !v.Restricted() {
+		return fd.n
+	}
+	n := 0
+	for i := int32(0); int(i) < fd.n; i++ {
+		if v.FactVisible(fact, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy of the view's masks.
+func (v *View) Clone() *View {
+	c := NewView(v.cube)
+	for k, m := range v.levelMasks {
+		c.levelMasks[k] = m.Clone()
+	}
+	for k, m := range v.factMasks {
+		c.factMasks[k] = m.Clone()
+	}
+	return c
+}

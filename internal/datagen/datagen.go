@@ -1,0 +1,464 @@
+// Package datagen generates the synthetic spatial warehouse used by the
+// examples, tests and benchmark harness: the paper's Fig. 2 sales schema,
+// the Fig. 4 spatial-aware user profile, and a deterministic geographic
+// catalog standing in for the external spatial data sources the paper
+// relies on (geoportals, OpenStreetMap, commercial map layers) — see the
+// substitution table in DESIGN.md.
+//
+// Geography is generated over a Spain-like bounding box in lon/lat degrees.
+// Train lines are polylines whose vertices pass exactly through the city
+// and airport points they serve, so the paper's Example 5.3 rule (splitting
+// a train line at a city and an airport) finds real connections.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/geom"
+	"sdwp/internal/geomd"
+	"sdwp/internal/mdmodel"
+	"sdwp/internal/usermodel"
+)
+
+// Config sizes the generated warehouse. Zero values take defaults.
+type Config struct {
+	Seed      int64
+	States    int // second-coarsest Store level
+	Cities    int
+	Stores    int
+	Customers int
+	Products  int
+	Days      int
+	Sales     int
+
+	// AirportEvery places one airport near every n-th city.
+	AirportEvery int
+	// TrainLines is the number of train lines; each connects a run of
+	// nearby cities and the airports among them.
+	TrainLines int
+	// Hospitals is the number of hospital points (an extra catalog layer
+	// exercising rules beyond the paper's examples).
+	Hospitals int
+	// Highways is the number of highway polylines.
+	Highways int
+
+	// Bounding box (lon/lat degrees); defaults to a Spain-like extent.
+	LonMin, LonMax, LatMin, LatMax float64
+}
+
+// Default returns the configuration used by the examples: a small but
+// non-trivial warehouse (fast to build in tests).
+func Default() Config {
+	return Config{
+		Seed:         1,
+		States:       8,
+		Cities:       60,
+		Stores:       300,
+		Customers:    500,
+		Products:     80,
+		Days:         90,
+		Sales:        20000,
+		AirportEvery: 5,
+		TrainLines:   12,
+		Hospitals:    40,
+		Highways:     8,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := Default()
+	if c.States == 0 {
+		c.States = d.States
+	}
+	if c.Cities == 0 {
+		c.Cities = d.Cities
+	}
+	if c.Stores == 0 {
+		c.Stores = d.Stores
+	}
+	if c.Customers == 0 {
+		c.Customers = d.Customers
+	}
+	if c.Products == 0 {
+		c.Products = d.Products
+	}
+	if c.Days == 0 {
+		c.Days = d.Days
+	}
+	if c.Sales == 0 {
+		c.Sales = d.Sales
+	}
+	if c.AirportEvery == 0 {
+		c.AirportEvery = d.AirportEvery
+	}
+	if c.TrainLines == 0 {
+		c.TrainLines = d.TrainLines
+	}
+	if c.LonMax == 0 && c.LonMin == 0 {
+		c.LonMin, c.LonMax = -9.0, 3.0
+	}
+	if c.LatMax == 0 && c.LatMin == 0 {
+		c.LatMin, c.LatMax = 36.0, 43.5
+	}
+}
+
+// Layer names of the geographic catalog.
+const (
+	LayerAirport  = "Airport"
+	LayerTrain    = "Train"
+	LayerHospital = "Hospital"
+	LayerHighway  = "Highway"
+)
+
+// Dataset is a generated warehouse plus the ground-truth locations tests
+// assert against.
+type Dataset struct {
+	Cube *cube.Cube
+
+	CityLocs     []geom.Point // by City member index
+	StoreLocs    []geom.Point // by Store member index
+	StoreCity    []int32      // Store member → City member
+	AirportLocs  []geom.Point // by Airport layer object index
+	AirportCity  []int32      // Airport object → City member it serves
+	TrainRoutes  [][]int32    // per train line: the city members it passes
+	CustomerLocs []geom.Point
+}
+
+// SalesSchema builds the paper's Fig. 2 multidimensional model for sales
+// analysis: the Sales fact with UnitSales/StoreCost/StoreSales measures and
+// the Customer, Store (expanded hierarchy), Product and Time dimensions.
+func SalesSchema() *geomd.Schema {
+	b := mdmodel.NewBuilder("SalesDW")
+	b.Dimension("Store").
+		Level("Store", "name").OID("storeID").Attr("address", mdmodel.TypeString).
+		Level("City", "name").Attr("population", mdmodel.TypeNumber).
+		Level("State", "name").
+		Level("Country", "name")
+	b.Dimension("Customer").
+		Level("Customer", "name").Attr("age", mdmodel.TypeNumber).
+		Level("Segment", "name")
+	b.Dimension("Product").
+		Level("Product", "name").Attr("brand", mdmodel.TypeString).
+		Level("Family", "name")
+	b.Dimension("Time").
+		Level("Day", "date").
+		Level("Month", "name").
+		Level("Year", "name")
+	b.Fact("Sales").
+		Measure("UnitSales").Measure("StoreCost").Measure("StoreSales").
+		Uses("Store", "Customer", "Product", "Time")
+	return geomd.New(b.MustBuild())
+}
+
+// Fig4Profile builds the paper's Fig. 4 spatial-aware user model: a
+// DecisionMaker («User») with a Role («Characteristic»), an AnalysisSession
+// («Session») carrying a Location («LocationContext») point, and an
+// AirportCity («SpatialSelection») interest counter.
+func Fig4Profile() (*usermodel.Profile, error) {
+	p := usermodel.NewProfile()
+	type cls struct {
+		name   string
+		stereo usermodel.Stereotype
+		props  []usermodel.PropDef
+	}
+	for _, c := range []cls{
+		{"DecisionMaker", usermodel.StereoUser,
+			[]usermodel.PropDef{{Name: "name", Type: usermodel.PropString}}},
+		{"Role", usermodel.StereoCharacteristic,
+			[]usermodel.PropDef{{Name: "name", Type: usermodel.PropString}}},
+		{"AnalysisSession", usermodel.StereoSession,
+			[]usermodel.PropDef{{Name: "startedAt", Type: usermodel.PropString}}},
+		{"Location", usermodel.StereoLocationContext,
+			[]usermodel.PropDef{{Name: "geometry", Type: usermodel.PropGeometry, GeomType: geom.TypePoint}}},
+		{"AirportCity", usermodel.StereoSpatialSelection, nil}, // degree auto-added
+	} {
+		if _, err := p.AddClass(c.name, c.stereo, c.props...); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range [][3]string{
+		{"DecisionMaker", "dm2role", "Role"},
+		{"DecisionMaker", "dm2session", "AnalysisSession"},
+		{"DecisionMaker", "dm2airportcity", "AirportCity"},
+		{"AnalysisSession", "s2location", "Location"},
+	} {
+		if err := p.AddAssoc(a[0], a[1], a[2]); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewUserStore builds a user store over the Fig. 4 profile with the given
+// users pre-created and their Role characteristic set.
+func NewUserStore(roles map[string]string) (*usermodel.Store, error) {
+	p, err := Fig4Profile()
+	if err != nil {
+		return nil, err
+	}
+	st, err := usermodel.NewStore(p)
+	if err != nil {
+		return nil, err
+	}
+	for user, roleName := range roles {
+		dm, err := st.Create(user)
+		if err != nil {
+			return nil, err
+		}
+		if err := dm.Set("name", user); err != nil {
+			return nil, err
+		}
+		role := usermodel.NewEntity(p.Class("Role"))
+		if err := role.Set("name", roleName); err != nil {
+			return nil, err
+		}
+		if err := dm.Link(p, "dm2role", role); err != nil {
+			return nil, err
+		}
+		ac := usermodel.NewEntity(p.Class("AirportCity"))
+		if err := dm.Link(p, "dm2airportcity", ac); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Generate builds the warehouse.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := SalesSchema()
+	c := cube.New(schema)
+	ds := &Dataset{Cube: c}
+
+	// --- Store dimension (coarse to fine) ---
+	country, err := c.AddMember("Store", "Country", "Spain", cube.NoParent)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < cfg.States; s++ {
+		if _, err := c.AddMember("Store", "State", fmt.Sprintf("State%02d", s), country); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Cities; i++ {
+		loc := geom.Pt(
+			cfg.LonMin+rng.Float64()*(cfg.LonMax-cfg.LonMin),
+			cfg.LatMin+rng.Float64()*(cfg.LatMax-cfg.LatMin),
+		)
+		state := int32(i % cfg.States)
+		city, err := c.AddMember("Store", "City", fmt.Sprintf("City%03d", i), state)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberAttr("Store", "City", city, "population",
+			float64(20000+rng.Intn(3000000))); err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberGeometry("Store", "City", city, loc); err != nil {
+			return nil, err
+		}
+		ds.CityLocs = append(ds.CityLocs, loc)
+	}
+	for i := 0; i < cfg.Stores; i++ {
+		city := int32(rng.Intn(cfg.Cities))
+		base := ds.CityLocs[city]
+		// Stores scatter within ~6 km of their city centre.
+		loc := geom.Pt(
+			base.X+rng.NormFloat64()*0.03,
+			base.Y+rng.NormFloat64()*0.02,
+		)
+		st, err := c.AddMember("Store", "Store", fmt.Sprintf("Store%04d", i), city)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberAttr("Store", "Store", st, "storeID", fmt.Sprintf("S%04d", i)); err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberAttr("Store", "Store", st, "address",
+			fmt.Sprintf("%d Main St, City%03d", i, city)); err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberGeometry("Store", "Store", st, loc); err != nil {
+			return nil, err
+		}
+		ds.StoreLocs = append(ds.StoreLocs, loc)
+		ds.StoreCity = append(ds.StoreCity, city)
+	}
+
+	// --- Customer dimension ---
+	segments := []string{"Retail", "Wholesale", "Online"}
+	for i, s := range segments {
+		if _, err := c.AddMember("Customer", "Segment", s, cube.NoParent); err != nil {
+			return nil, err
+		}
+		_ = i
+	}
+	for i := 0; i < cfg.Customers; i++ {
+		city := ds.CityLocs[rng.Intn(cfg.Cities)]
+		loc := geom.Pt(city.X+rng.NormFloat64()*0.05, city.Y+rng.NormFloat64()*0.04)
+		cu, err := c.AddMember("Customer", "Customer", fmt.Sprintf("Customer%05d", i),
+			int32(rng.Intn(len(segments))))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberAttr("Customer", "Customer", cu, "age", float64(18+rng.Intn(70))); err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberGeometry("Customer", "Customer", cu, loc); err != nil {
+			return nil, err
+		}
+		ds.CustomerLocs = append(ds.CustomerLocs, loc)
+	}
+
+	// --- Product dimension ---
+	families := []string{"Food", "Drink", "Household", "Electronics", "Clothing"}
+	for _, f := range families {
+		if _, err := c.AddMember("Product", "Family", f, cube.NoParent); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Products; i++ {
+		pr, err := c.AddMember("Product", "Product", fmt.Sprintf("Product%03d", i),
+			int32(i%len(families)))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SetMemberAttr("Product", "Product", pr, "brand",
+			fmt.Sprintf("Brand%02d", i%17)); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Time dimension ---
+	months := (cfg.Days + 29) / 30
+	years := (months + 11) / 12
+	for y := 0; y < years; y++ {
+		if _, err := c.AddMember("Time", "Year", fmt.Sprintf("%d", 2009+y), cube.NoParent); err != nil {
+			return nil, err
+		}
+	}
+	for m := 0; m < months; m++ {
+		if _, err := c.AddMember("Time", "Month", fmt.Sprintf("%d-%02d", 2009+m/12, m%12+1),
+			int32(m/12)); err != nil {
+			return nil, err
+		}
+	}
+	for d := 0; d < cfg.Days; d++ {
+		m := d / 30
+		if _, err := c.AddMember("Time", "Day", fmt.Sprintf("%d-%02d-%02d", 2009+m/12, m%12+1, d%30+1),
+			int32(m)); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Geographic catalog layers ---
+	if err := genLayers(cfg, rng, c, ds); err != nil {
+		return nil, err
+	}
+
+	// --- Sales facts ---
+	for i := 0; i < cfg.Sales; i++ {
+		units := float64(1 + rng.Intn(20))
+		cost := units * (2 + rng.Float64()*8)
+		err := c.AddFact("Sales", map[string]int32{
+			"Store":    int32(rng.Intn(cfg.Stores)),
+			"Customer": int32(rng.Intn(cfg.Customers)),
+			"Product":  int32(rng.Intn(cfg.Products)),
+			"Time":     int32(rng.Intn(cfg.Days)),
+		}, map[string]float64{
+			"UnitSales":  units,
+			"StoreCost":  cost,
+			"StoreSales": cost * (1.1 + rng.Float64()*0.5),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// genLayers populates the geographic catalog.
+func genLayers(cfg Config, rng *rand.Rand, c *cube.Cube, ds *Dataset) error {
+	// Airports near every AirportEvery-th city, offset ~8-15 km.
+	if _, err := c.RegisterLayer(LayerAirport, geom.TypePoint); err != nil {
+		return err
+	}
+	for city := 0; city < cfg.Cities; city += cfg.AirportEvery {
+		base := ds.CityLocs[city]
+		loc := geom.Pt(base.X+0.08+rng.Float64()*0.06, base.Y+0.02+rng.Float64()*0.04)
+		if _, err := c.AddLayerObject(LayerAirport, fmt.Sprintf("APT%03d", city), loc); err != nil {
+			return err
+		}
+		ds.AirportLocs = append(ds.AirportLocs, loc)
+		ds.AirportCity = append(ds.AirportCity, int32(city))
+	}
+
+	// Train lines: each connects a run of cities ordered by longitude,
+	// passing exactly through city points and the airports of served
+	// cities.
+	if _, err := c.RegisterLayer(LayerTrain, geom.TypeLine); err != nil {
+		return err
+	}
+	cityByAirport := map[int32]geom.Point{}
+	for i, cityIdx := range ds.AirportCity {
+		cityByAirport[cityIdx] = ds.AirportLocs[i]
+	}
+	for line := 0; line < cfg.TrainLines; line++ {
+		start := rng.Intn(cfg.Cities)
+		stops := 3 + rng.Intn(4)
+		var pts []geom.Point
+		var route []int32
+		for s := 0; s < stops; s++ {
+			cityIdx := int32((start + s*3) % cfg.Cities)
+			route = append(route, cityIdx)
+			pts = append(pts, ds.CityLocs[cityIdx])
+			// Swing by the airport if this city has one.
+			if apt, ok := cityByAirport[cityIdx]; ok {
+				pts = append(pts, apt)
+			}
+		}
+		if len(pts) < 2 {
+			continue
+		}
+		if _, err := c.AddLayerObject(LayerTrain, fmt.Sprintf("Line%02d", line),
+			geom.Line{Pts: pts}); err != nil {
+			return err
+		}
+		ds.TrainRoutes = append(ds.TrainRoutes, route)
+	}
+
+	// Hospitals: random points near cities.
+	if _, err := c.RegisterLayer(LayerHospital, geom.TypePoint); err != nil {
+		return err
+	}
+	for i := 0; i < cfg.Hospitals; i++ {
+		base := ds.CityLocs[rng.Intn(cfg.Cities)]
+		loc := geom.Pt(base.X+rng.NormFloat64()*0.02, base.Y+rng.NormFloat64()*0.02)
+		if _, err := c.AddLayerObject(LayerHospital, fmt.Sprintf("HOSP%03d", i), loc); err != nil {
+			return err
+		}
+	}
+
+	// Highways: long polylines across the bounding box.
+	if _, err := c.RegisterLayer(LayerHighway, geom.TypeLine); err != nil {
+		return err
+	}
+	for i := 0; i < cfg.Highways; i++ {
+		y := cfg.LatMin + rng.Float64()*(cfg.LatMax-cfg.LatMin)
+		pts := []geom.Point{}
+		for x := cfg.LonMin; x <= cfg.LonMax; x += 1.5 {
+			pts = append(pts, geom.Pt(x, y+rng.NormFloat64()*0.2))
+		}
+		if _, err := c.AddLayerObject(LayerHighway, fmt.Sprintf("HWY%02d", i),
+			geom.Line{Pts: pts}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"sdwp/internal/geom"
+	"sdwp/internal/usermodel"
+)
+
+// TestFig2SalesSchema is experiment F2: the generated schema has the shape
+// of the paper's Fig. 2.
+func TestFig2SalesSchema(t *testing.T) {
+	s := SalesSchema()
+	md := s.MD
+	if err := md.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := md.Fact("Sales")
+	if f == nil {
+		t.Fatal("Sales fact missing")
+	}
+	for _, m := range []string{"UnitSales", "StoreCost", "StoreSales"} {
+		if f.Measure(m) == nil {
+			t.Errorf("measure %s missing", m)
+		}
+	}
+	for _, d := range []string{"Store", "Customer", "Product", "Time"} {
+		if !f.HasDimension(d) {
+			t.Errorf("dimension %s missing from fact", d)
+		}
+	}
+	// The expanded Store hierarchy of Fig. 2.
+	store := md.Dimension("Store")
+	want := []string{"Store", "City", "State", "Country"}
+	if len(store.Levels) != len(want) {
+		t.Fatalf("Store levels = %d", len(store.Levels))
+	}
+	for i, lv := range want {
+		if store.Levels[i].Name != lv {
+			t.Errorf("Store level %d = %s, want %s", i, store.Levels[i].Name, lv)
+		}
+	}
+	// Base schema carries no spatiality — that is personalization's job.
+	if len(s.SpatialLevels()) != 0 || len(s.Layers()) != 0 {
+		t.Error("base schema must not be spatial")
+	}
+	// Rendered form mentions the Fig. 2 elements.
+	out := s.Render()
+	for _, frag := range []string{"Fact Sales", "Dimension Store", "Base City"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestFig4ProfileShape(t *testing.T) {
+	p, err := Fig4Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UserClass() != "DecisionMaker" {
+		t.Errorf("user class = %q", p.UserClass())
+	}
+	for _, want := range []struct {
+		class  string
+		stereo usermodel.Stereotype
+	}{
+		{"Role", usermodel.StereoCharacteristic},
+		{"AnalysisSession", usermodel.StereoSession},
+		{"Location", usermodel.StereoLocationContext},
+		{"AirportCity", usermodel.StereoSpatialSelection},
+	} {
+		c := p.Class(want.class)
+		if c == nil || c.Stereo != want.stereo {
+			t.Errorf("class %s = %+v", want.class, c)
+		}
+	}
+	if p.Class("AirportCity").Prop("degree") == nil {
+		t.Error("AirportCity degree missing")
+	}
+}
+
+func TestNewUserStore(t *testing.T) {
+	st, err := NewUserStore(map[string]string{"alice": "RegionalSalesManager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := st.Get("alice")
+	if dm == nil {
+		t.Fatal("alice missing")
+	}
+	v, err := dm.Resolve([]string{"dm2role", "name"})
+	if err != nil || v != "RegionalSalesManager" {
+		t.Fatalf("role = %v, %v", v, err)
+	}
+	if d, err := dm.Resolve([]string{"dm2airportcity", "degree"}); err != nil || d != 0.0 {
+		t.Fatalf("degree = %v, %v", d, err)
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Cities: 20, Stores: 80, Customers: 50, Products: 30, Days: 40, Sales: 1000, TrainLines: 5, Hospitals: 10, Highways: 3, States: 4, AirportEvery: 4}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ds.Cube
+	if got := c.Dimension("Store").Level("City").Len(); got != 20 {
+		t.Errorf("cities = %d", got)
+	}
+	if got := c.Dimension("Store").Level("Store").Len(); got != 80 {
+		t.Errorf("stores = %d", got)
+	}
+	if got := c.FactData("Sales").Len(); got != 1000 {
+		t.Errorf("sales = %d", got)
+	}
+	if got := c.Layer(LayerAirport).Len(); got != 5 { // every 4th of 20 cities
+		t.Errorf("airports = %d", got)
+	}
+	if c.Layer(LayerTrain).Len() == 0 || c.Layer(LayerHospital).Len() != 10 || c.Layer(LayerHighway).Len() != 3 {
+		t.Error("layer sizes wrong")
+	}
+	// Ground-truth slices align.
+	if len(ds.CityLocs) != 20 || len(ds.StoreLocs) != 80 || len(ds.StoreCity) != 80 {
+		t.Error("ground truth slices wrong")
+	}
+	// Determinism: same seed, same data.
+	ds2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.StoreLocs {
+		if !ds.StoreLocs[i].Eq(ds2.StoreLocs[i]) {
+			t.Fatalf("store %d location differs across runs", i)
+		}
+	}
+	// Different seed, different data.
+	cfg.Seed = 8
+	ds3, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ds.StoreLocs {
+		if !ds.StoreLocs[i].Eq(ds3.StoreLocs[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical geography")
+	}
+}
+
+func TestGenerateGeographyInvariants(t *testing.T) {
+	ds, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	// Stores are near their city (within ~25 km; 4σ of the scatter).
+	for i, sl := range ds.StoreLocs {
+		cityLoc := ds.CityLocs[ds.StoreCity[i]]
+		if d := geom.Haversine(sl, cityLoc); d > 25 {
+			t.Errorf("store %d is %.1f km from its city", i, d)
+		}
+	}
+	// Airports are 5-20 km from their city.
+	for i, al := range ds.AirportLocs {
+		cityLoc := ds.CityLocs[ds.AirportCity[i]]
+		d := geom.Haversine(al, cityLoc)
+		if d < 2 || d > 25 {
+			t.Errorf("airport %d is %.1f km from its city", i, d)
+		}
+	}
+	// Train lines pass exactly through the cities on their route.
+	trains := ds.Cube.Layer(LayerTrain)
+	for li, route := range ds.TrainRoutes {
+		line := trains.Geometry(int32(li))
+		for _, cityIdx := range route {
+			if geom.Distance(ds.CityLocs[cityIdx], line) > 1e-9 {
+				t.Errorf("train %d misses city %d", li, cityIdx)
+			}
+		}
+	}
+	// All coordinates inside the bounding box (with scatter slack).
+	box := geom.Rect{Min: geom.Pt(cfg.LonMin-0.5, cfg.LatMin-0.5), Max: geom.Pt(cfg.LonMax+0.5, cfg.LatMax+0.5)}
+	_ = box
+	for _, p := range ds.CityLocs {
+		if p.X < -9.0 || p.X > 3.0 || p.Y < 36.0 || p.Y > 43.5 {
+			t.Fatalf("city outside bbox: %v", p)
+		}
+	}
+}
+
+func TestGenerateFactKeysValid(t *testing.T) {
+	ds, err := Generate(Config{Seed: 3, Cities: 10, Stores: 30, Customers: 20, Products: 10, Days: 20, Sales: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := ds.Cube.FactData("Sales")
+	nStores := ds.Cube.Dimension("Store").Level("Store").Len()
+	for i := int32(0); int(i) < fd.Len(); i++ {
+		k, ok := fd.DimKey("Store", i)
+		if !ok || k < 0 || int(k) >= nStores {
+			t.Fatalf("fact %d has bad store key %d", i, k)
+		}
+		if v, ok := fd.Measure("UnitSales", i); !ok || v <= 0 {
+			t.Fatalf("fact %d has bad UnitSales %v", i, v)
+		}
+	}
+}
+
+func TestDefaultsFill(t *testing.T) {
+	var cfg Config
+	cfg.fillDefaults()
+	if cfg.Cities == 0 || cfg.LonMin == 0 && cfg.LonMax == 0 {
+		t.Error("defaults not filled")
+	}
+	if _, err := Generate(Config{}); err != nil {
+		t.Fatalf("zero config must generate: %v", err)
+	}
+}
+
+func BenchmarkGenerateDefault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

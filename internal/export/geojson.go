@@ -1,0 +1,272 @@
+// Package export renders personalized sessions as GeoJSON (RFC 7946) for
+// map front ends — the "visualization aspects of the SDW" the paper lists
+// as future work. A session exports exactly what its personalized GeoMD
+// schema contains: the thematic layers its AddLayer rules admitted and the
+// spatial levels its BecomeSpatial rules promoted, with each member's
+// selection state from the personalized view.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sdwp/internal/core"
+	"sdwp/internal/geom"
+)
+
+// Feature is a GeoJSON feature.
+type Feature struct {
+	Type       string          `json:"type"`
+	Geometry   json.RawMessage `json:"geometry"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+// FeatureCollection is a GeoJSON feature collection.
+type FeatureCollection struct {
+	Type     string    `json:"type"`
+	Features []Feature `json:"features"`
+}
+
+// geoJSONGeom is the wire form of a GeoJSON geometry.
+type geoJSONGeom struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates,omitempty"`
+	Geometries  []geoJSONGeom   `json:"geometries,omitempty"`
+}
+
+// MarshalGeometry encodes a geometry as a GeoJSON geometry object.
+func MarshalGeometry(g geom.Geometry) (json.RawMessage, error) {
+	gg, err := toGeoJSON(g)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(gg)
+}
+
+func toGeoJSON(g geom.Geometry) (geoJSONGeom, error) {
+	marshal := func(v any) json.RawMessage {
+		raw, _ := json.Marshal(v)
+		return raw
+	}
+	switch gg := g.(type) {
+	case geom.Point:
+		return geoJSONGeom{Type: "Point", Coordinates: marshal([2]float64{gg.X, gg.Y})}, nil
+	case geom.Line:
+		coords := make([][2]float64, len(gg.Pts))
+		for i, p := range gg.Pts {
+			coords[i] = [2]float64{p.X, p.Y}
+		}
+		return geoJSONGeom{Type: "LineString", Coordinates: marshal(coords)}, nil
+	case geom.Polygon:
+		rings := make([][][2]float64, 0, 1+len(gg.Holes))
+		rings = append(rings, closedRing(gg.Shell))
+		for _, h := range gg.Holes {
+			rings = append(rings, closedRing(h))
+		}
+		return geoJSONGeom{Type: "Polygon", Coordinates: marshal(rings)}, nil
+	case geom.Collection:
+		out := geoJSONGeom{Type: "GeometryCollection", Geometries: []geoJSONGeom{}}
+		for _, m := range gg.Geoms {
+			sub, err := toGeoJSON(m)
+			if err != nil {
+				return geoJSONGeom{}, err
+			}
+			out.Geometries = append(out.Geometries, sub)
+		}
+		return out, nil
+	case nil:
+		return geoJSONGeom{}, fmt.Errorf("export: nil geometry")
+	}
+	return geoJSONGeom{}, fmt.Errorf("export: unsupported geometry %T", g)
+}
+
+// closedRing emits the GeoJSON convention of repeating the first vertex.
+func closedRing(r geom.Ring) [][2]float64 {
+	out := make([][2]float64, 0, len(r)+1)
+	for _, p := range r {
+		out = append(out, [2]float64{p.X, p.Y})
+	}
+	if len(r) > 0 {
+		out = append(out, [2]float64{r[0].X, r[0].Y})
+	}
+	return out
+}
+
+// UnmarshalGeometry decodes a GeoJSON geometry object.
+func UnmarshalGeometry(raw json.RawMessage) (geom.Geometry, error) {
+	var gg geoJSONGeom
+	if err := json.Unmarshal(raw, &gg); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	return fromGeoJSON(gg)
+}
+
+func fromGeoJSON(gg geoJSONGeom) (geom.Geometry, error) {
+	switch gg.Type {
+	case "Point":
+		var c [2]float64
+		if err := json.Unmarshal(gg.Coordinates, &c); err != nil {
+			return nil, fmt.Errorf("export: point coordinates: %w", err)
+		}
+		return geom.Pt(c[0], c[1]), nil
+	case "LineString":
+		var cs [][2]float64
+		if err := json.Unmarshal(gg.Coordinates, &cs); err != nil {
+			return nil, fmt.Errorf("export: linestring coordinates: %w", err)
+		}
+		if len(cs) < 2 {
+			return nil, fmt.Errorf("export: linestring needs 2+ points")
+		}
+		pts := make([]geom.Point, len(cs))
+		for i, c := range cs {
+			pts[i] = geom.Pt(c[0], c[1])
+		}
+		return geom.Line{Pts: pts}, nil
+	case "Polygon":
+		var rings [][][2]float64
+		if err := json.Unmarshal(gg.Coordinates, &rings); err != nil {
+			return nil, fmt.Errorf("export: polygon coordinates: %w", err)
+		}
+		if len(rings) == 0 {
+			return nil, fmt.Errorf("export: polygon needs a shell")
+		}
+		conv := func(ring [][2]float64) (geom.Ring, error) {
+			pts := make(geom.Ring, 0, len(ring))
+			for _, c := range ring {
+				pts = append(pts, geom.Pt(c[0], c[1]))
+			}
+			if len(pts) >= 2 && pts[0].Eq(pts[len(pts)-1]) {
+				pts = pts[:len(pts)-1]
+			}
+			if len(pts) < 3 {
+				return nil, fmt.Errorf("export: ring needs 3+ distinct points")
+			}
+			return pts, nil
+		}
+		shell, err := conv(rings[0])
+		if err != nil {
+			return nil, err
+		}
+		poly := geom.Polygon{Shell: shell}
+		for _, h := range rings[1:] {
+			hole, err := conv(h)
+			if err != nil {
+				return nil, err
+			}
+			poly.Holes = append(poly.Holes, hole)
+		}
+		return poly, nil
+	case "GeometryCollection":
+		var gs []geom.Geometry
+		for _, sub := range gg.Geometries {
+			m, err := fromGeoJSON(sub)
+			if err != nil {
+				return nil, err
+			}
+			gs = append(gs, m)
+		}
+		return geom.Collection{Geoms: gs}, nil
+	}
+	return nil, fmt.Errorf("export: unsupported GeoJSON type %q", gg.Type)
+}
+
+// Options configures a session export.
+type Options struct {
+	// SimplifyTolerance, when positive, Douglas-Peucker-simplifies line and
+	// polygon geometries before encoding (planar degrees).
+	SimplifyTolerance float64
+	// SelectedOnly limits spatial-level members to those selected in the
+	// personalized view.
+	SelectedOnly bool
+}
+
+// Session renders a personalized session as a FeatureCollection: one
+// feature per object of every layer in the session's schema, one per member
+// of every spatial level (with its selection state), plus the user's
+// location context when known.
+func Session(s *core.Session, opts Options) (*FeatureCollection, error) {
+	fc := &FeatureCollection{Type: "FeatureCollection", Features: []Feature{}}
+	schema := s.Schema()
+	c := s.Engine().Cube()
+
+	emit := func(g geom.Geometry, props map[string]any) error {
+		if opts.SimplifyTolerance > 0 {
+			g = geom.Simplify(g, opts.SimplifyTolerance)
+		}
+		raw, err := MarshalGeometry(g)
+		if err != nil {
+			return err
+		}
+		fc.Features = append(fc.Features, Feature{Type: "Feature", Geometry: raw, Properties: props})
+		return nil
+	}
+
+	// Thematic layers the user's schema rules admitted.
+	for _, layer := range schema.Layers() {
+		ld := c.Layer(layer.Name)
+		if ld == nil {
+			continue
+		}
+		for i := int32(0); int(i) < ld.Len(); i++ {
+			err := emit(ld.Geometry(i), map[string]any{
+				"kind":  "layer",
+				"layer": layer.Name,
+				"name":  ld.Name(i),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Spatial levels the user's schema rules promoted.
+	view := s.View()
+	for _, qualified := range schema.SpatialLevels() {
+		dim, level := splitQualified(qualified)
+		dd := c.Dimension(dim)
+		if dd == nil {
+			continue
+		}
+		ld := dd.Level(level)
+		if ld == nil {
+			continue
+		}
+		for i := int32(0); int(i) < ld.Len(); i++ {
+			g := ld.Geometry(i)
+			if g == nil {
+				continue
+			}
+			selected := view.MemberVisible(dim, level, i) && view.LevelMask(dim, level) != nil
+			if opts.SelectedOnly && !selected {
+				continue
+			}
+			err := emit(g, map[string]any{
+				"kind":      "member",
+				"dimension": dim,
+				"level":     level,
+				"name":      ld.Name(i),
+				"selected":  selected,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The decision maker's location context.
+	if loc := s.Location(); loc != nil {
+		if err := emit(loc, map[string]any{"kind": "userLocation", "user": s.UserID}); err != nil {
+			return nil, err
+		}
+	}
+	return fc, nil
+}
+
+func splitQualified(q string) (dim, level string) {
+	for i := 0; i < len(q); i++ {
+		if q[i] == '.' {
+			return q[:i], q[i+1:]
+		}
+	}
+	return q, ""
+}

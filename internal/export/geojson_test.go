@@ -1,0 +1,201 @@
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sdwp/internal/core"
+	"sdwp/internal/datagen"
+	"sdwp/internal/geom"
+	"sdwp/internal/prml"
+)
+
+func TestGeometryRoundTrip(t *testing.T) {
+	geoms := []geom.Geometry{
+		geom.Pt(1.5, -2.25),
+		geom.Ln(geom.Pt(0, 0), geom.Pt(3, 4), geom.Pt(5, 0)),
+		geom.Poly(geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(2, 2), geom.Pt(0, 2)),
+		geom.Polygon{
+			Shell: geom.Ring{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4)},
+			Holes: []geom.Ring{{geom.Pt(1, 1), geom.Pt(2, 1), geom.Pt(2, 2), geom.Pt(1, 2)}},
+		},
+		geom.Coll(geom.Pt(1, 1), geom.Ln(geom.Pt(0, 0), geom.Pt(1, 1))),
+	}
+	for _, g := range geoms {
+		raw, err := MarshalGeometry(g)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", g.WKT(), err)
+		}
+		back, err := UnmarshalGeometry(raw)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if !geom.Equals(g, back) {
+			t.Errorf("round trip changed %s → %s", g.WKT(), back.WKT())
+		}
+	}
+}
+
+func TestGeometryEncodingShapes(t *testing.T) {
+	raw, err := MarshalGeometry(geom.Pt(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"type":"Point","coordinates":[1,2]}` {
+		t.Errorf("point encoding = %s", raw)
+	}
+	// Polygon rings are closed on output.
+	raw, _ = MarshalGeometry(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)))
+	if !strings.Contains(string(raw), `[[[0,0],[1,0],[0,1],[0,0]]]`) {
+		t.Errorf("polygon encoding = %s", raw)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, raw := range []string{
+		`not json`,
+		`{"type":"Volcano","coordinates":[1,2]}`,
+		`{"type":"Point","coordinates":"x"}`,
+		`{"type":"LineString","coordinates":[[1,2]]}`,
+		`{"type":"Polygon","coordinates":[]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[1,1]]]}`,
+		`{"type":"GeometryCollection","geometries":[{"type":"Volcano"}]}`,
+	} {
+		if _, err := UnmarshalGeometry(json.RawMessage(raw)); err == nil {
+			t.Errorf("accepted %s", raw)
+		}
+	}
+	if _, err := MarshalGeometry(nil); err == nil {
+		t.Error("marshal nil should fail")
+	}
+}
+
+func sessionForExport(t *testing.T) (*core.Session, *datagen.Dataset) {
+	t.Helper()
+	cfg := datagen.Default()
+	cfg.Cities = 15
+	cfg.Stores = 60
+	cfg.Customers = 30
+	cfg.Sales = 500
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := datagen.NewUserStore(map[string]string{"alice": "RegionalSalesManager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(ds.Cube, users, core.Options{})
+	e.SetParam("threshold", prml.NumberVal(2))
+	if _, err := e.AddRules(`
+Rule:addSpatiality When SessionStart do
+  AddLayer('Airport', POINT)
+  AddLayer('Train', LINE)
+  BecomeSpatial(MD.Sales.Store.geometry, POINT)
+endWhen
+Rule:near When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 10km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+func TestSessionExport(t *testing.T) {
+	s, ds := sessionForExport(t)
+	fc, err := Session(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" {
+		t.Fatalf("type = %s", fc.Type)
+	}
+	counts := map[string]int{}
+	selected := 0
+	for _, f := range fc.Features {
+		kind, _ := f.Properties["kind"].(string)
+		counts[kind]++
+		if sel, _ := f.Properties["selected"].(bool); sel {
+			selected++
+		}
+	}
+	airports := ds.Cube.Layer(datagen.LayerAirport).Len()
+	trains := ds.Cube.Layer(datagen.LayerTrain).Len()
+	if counts["layer"] != airports+trains {
+		t.Errorf("layer features = %d, want %d", counts["layer"], airports+trains)
+	}
+	if counts["member"] != 60 {
+		t.Errorf("member features = %d, want 60 stores", counts["member"])
+	}
+	if counts["userLocation"] != 1 {
+		t.Errorf("userLocation features = %d", counts["userLocation"])
+	}
+	if selected == 0 {
+		t.Error("no selected members exported")
+	}
+	// The whole collection is valid JSON.
+	if _, err := json.Marshal(fc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionExportSelectedOnly(t *testing.T) {
+	s, _ := sessionForExport(t)
+	all, err := Session(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Session(s, Options{SelectedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Features) >= len(all.Features) {
+		t.Fatalf("selected-only (%d) should be smaller than all (%d)",
+			len(sel.Features), len(all.Features))
+	}
+	for _, f := range sel.Features {
+		if f.Properties["kind"] == "member" {
+			if selFlag, _ := f.Properties["selected"].(bool); !selFlag {
+				t.Fatal("unselected member exported in SelectedOnly mode")
+			}
+		}
+	}
+}
+
+func TestSessionExportSimplifies(t *testing.T) {
+	s, ds := sessionForExport(t)
+	plain, err := Session(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplified, err := Session(s, Options{SimplifyTolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Features) != len(simplified.Features) {
+		t.Fatal("simplification must not drop features")
+	}
+	// Train lines have fewer coordinates after simplification.
+	rawLen := func(fc *FeatureCollection) int {
+		total := 0
+		for _, f := range fc.Features {
+			if f.Properties["layer"] == datagen.LayerTrain {
+				total += len(f.Geometry)
+			}
+		}
+		return total
+	}
+	if rawLen(simplified) >= rawLen(plain) {
+		t.Errorf("train lines not simplified: %d vs %d", rawLen(simplified), rawLen(plain))
+	}
+	_ = ds
+}

@@ -1,0 +1,231 @@
+package export
+
+import (
+	"fmt"
+	"strings"
+
+	"sdwp/internal/core"
+	"sdwp/internal/geom"
+)
+
+// This file renders a personalized session as a standalone SVG map — the
+// most direct form of the paper's "visualization aspects" future work: open
+// the file and see exactly the warehouse slice the rules gave this decision
+// maker. Styling is deliberately simple and semantic: layers in muted
+// strokes, spatial-level members as dots (selected ones emphasized), the
+// user location as a crosshair.
+
+// SVGOptions configures the rendering.
+type SVGOptions struct {
+	// Width of the output image in pixels; height follows the data's
+	// aspect ratio. Default 800.
+	Width int
+	// SimplifyTolerance forwards to the geometry simplifier (degrees).
+	SimplifyTolerance float64
+}
+
+// SessionSVG renders the session's personalized map.
+func SessionSVG(s *core.Session, opts SVGOptions) (string, error) {
+	if opts.Width <= 0 {
+		opts.Width = 800
+	}
+	fc, err := Session(s, Options{SimplifyTolerance: opts.SimplifyTolerance})
+	if err != nil {
+		return "", err
+	}
+	// Decode feature geometries once; compute the data bounds.
+	type item struct {
+		g     geom.Geometry
+		props map[string]any
+	}
+	items := make([]item, 0, len(fc.Features))
+	bounds := geom.EmptyRect()
+	for _, f := range fc.Features {
+		g, err := UnmarshalGeometry(f.Geometry)
+		if err != nil {
+			return "", err
+		}
+		items = append(items, item{g: g, props: f.Properties})
+		bounds = bounds.ExtendRect(g.Bounds())
+	}
+	if bounds.IsEmpty() {
+		return emptySVG(opts.Width), nil
+	}
+	bounds = bounds.Expand(0.05 * (bounds.Max.X - bounds.Min.X + 1e-9))
+
+	w := float64(opts.Width)
+	spanX := bounds.Max.X - bounds.Min.X
+	spanY := bounds.Max.Y - bounds.Min.Y
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	h := w * spanY / spanX
+	// Project lon/lat to image coordinates (y flipped).
+	px := func(p geom.Point) (float64, float64) {
+		return (p.X - bounds.Min.X) / spanX * w, h - (p.Y-bounds.Min.Y)/spanY*h
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fbfbf8"/>` + "\n")
+
+	var layers, members, user []string
+	for _, it := range items {
+		kind, _ := it.props["kind"].(string)
+		switch kind {
+		case "layer":
+			layerName, _ := it.props["layer"].(string)
+			layers = append(layers, renderGeom(it.g, px, layerStyle(layerName)))
+		case "member":
+			sel, _ := it.props["selected"].(bool)
+			style := `fill="#9aa5b1" stroke="none" r="3"`
+			if sel {
+				style = `fill="#d03838" stroke="#7a1414" stroke-width="1" r="5"`
+			}
+			members = append(members, renderGeom(it.g, px, style))
+		case "userLocation":
+			user = append(user, renderUser(it.g, px))
+		}
+	}
+	// Paint order: layers under members under the user marker.
+	for _, s := range layers {
+		b.WriteString(s)
+	}
+	for _, s := range members {
+		b.WriteString(s)
+	}
+	for _, s := range user {
+		b.WriteString(s)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func emptySVG(width int) string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"><rect width="100%%" height="100%%" fill="#fbfbf8"/></svg>`+"\n", width, width/2)
+}
+
+// layerStyle picks a stroke per layer name (stable hash → palette).
+func layerStyle(name string) string {
+	palette := []string{"#3f6fb5", "#4f9e54", "#b58a3f", "#8a5fb0", "#b05f77"}
+	sum := 0
+	for _, c := range name {
+		sum += int(c)
+	}
+	color := palette[sum%len(palette)]
+	return fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5" opacity="0.8" r="4" pfill="%s"`, color, color)
+}
+
+// renderGeom renders one geometry. The style string carries "r" for point
+// radius and "pfill" for the fill to use when a point is drawn from a
+// stroke-styled layer.
+func renderGeom(g geom.Geometry, px func(geom.Point) (float64, float64), style string) string {
+	radius := extractAttr(style, "r", "3")
+	pointFill := extractAttr(style, "pfill", "")
+	cleanStyle := removeAttr(removeAttr(style, "r"), "pfill")
+	var b strings.Builder
+	var walk func(geom.Geometry)
+	walk = func(g geom.Geometry) {
+		switch gg := g.(type) {
+		case geom.Point:
+			x, y := px(gg)
+			fill := extractAttr(cleanStyle, "fill", "#333")
+			if pointFill != "" {
+				fill = pointFill
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%s" fill="%s"/>`+"\n", x, y, radius, fill)
+		case geom.Line:
+			var pts []string
+			for _, p := range gg.Pts {
+				x, y := px(p)
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" %s/>`+"\n", strings.Join(pts, " "), cleanStyle)
+		case geom.Polygon:
+			var d strings.Builder
+			writeRingPath := func(r geom.Ring) {
+				for i, p := range r {
+					x, y := px(p)
+					if i == 0 {
+						fmt.Fprintf(&d, "M%.1f %.1f", x, y)
+					} else {
+						fmt.Fprintf(&d, "L%.1f %.1f", x, y)
+					}
+				}
+				d.WriteString("Z")
+			}
+			writeRingPath(gg.Shell)
+			for _, hole := range gg.Holes {
+				writeRingPath(hole)
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill-rule="evenodd" %s/>`+"\n", d.String(), cleanStyle)
+		case geom.Collection:
+			for _, m := range gg.Geoms {
+				walk(m)
+			}
+		}
+	}
+	walk(g)
+	return b.String()
+}
+
+// renderUser draws the decision maker's location as a crosshair.
+func renderUser(g geom.Geometry, px func(geom.Point) (float64, float64)) string {
+	p, ok := g.(geom.Point)
+	if !ok {
+		c := g.Bounds().Center()
+		p = c
+	}
+	x, y := px(p)
+	return fmt.Sprintf(
+		`<g stroke="#1a7a1a" stroke-width="2"><line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/><line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/><circle cx="%.1f" cy="%.1f" r="7" fill="none"/></g>`+"\n",
+		x-10, y, x+10, y, x, y-10, x, y+10, x, y)
+}
+
+// attrIndex finds attr="… at a word boundary (start of string or after a
+// space), returning the index of the value's first character, or -1.
+func attrIndex(style, attr string) int {
+	marker := attr + `="`
+	from := 0
+	for {
+		i := strings.Index(style[from:], marker)
+		if i < 0 {
+			return -1
+		}
+		i += from
+		if i == 0 || style[i-1] == ' ' {
+			return i + len(marker)
+		}
+		from = i + 1
+	}
+}
+
+// extractAttr pulls attr="value" out of a style string.
+func extractAttr(style, attr, fallback string) string {
+	i := attrIndex(style, attr)
+	if i < 0 {
+		return fallback
+	}
+	j := strings.IndexByte(style[i:], '"')
+	if j < 0 {
+		return fallback
+	}
+	return style[i : i+j]
+}
+
+// removeAttr strips attr="value" from a style string.
+func removeAttr(style, attr string) string {
+	i := attrIndex(style, attr)
+	if i < 0 {
+		return style
+	}
+	j := strings.IndexByte(style[i:], '"')
+	if j < 0 {
+		return style
+	}
+	start := i - len(attr) - 2
+	return strings.TrimSpace(style[:start] + style[i+j+1:])
+}

@@ -1,0 +1,75 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStyleAttrHelpers(t *testing.T) {
+	style := `fill="none" stroke="#3f6fb5" stroke-width="1.5" r="4" pfill="#3f6fb5"`
+	if got := extractAttr(style, "r", "x"); got != "4" {
+		t.Errorf("r = %q", got)
+	}
+	if got := extractAttr(style, "stroke", "x"); got != "#3f6fb5" {
+		t.Errorf("stroke = %q", got)
+	}
+	if got := extractAttr(style, "missing", "fb"); got != "fb" {
+		t.Errorf("fallback = %q", got)
+	}
+	// "r" must not match inside "stroke" or any other attribute name.
+	if got := extractAttr(`color="#fff"`, "r", "fb"); got != "fb" {
+		t.Errorf("boundary violated: %q", got)
+	}
+	out := removeAttr(style, "r")
+	if strings.Contains(out, ` r="`) || !strings.Contains(out, `stroke-width="1.5"`) {
+		t.Errorf("removeAttr = %q", out)
+	}
+	if got := removeAttr(style, "missing"); got != style {
+		t.Errorf("removeAttr missing changed string")
+	}
+}
+
+func TestSessionSVG(t *testing.T) {
+	s, _ := sessionForExport(t)
+	svg, err := SessionSVG(s, SVGOptions{Width: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="640"`,
+		"<polyline",        // train lines
+		"<circle",          // airports / stores
+		`fill="#d03838"`,   // selected members emphasized
+		`stroke="#1a7a1a"`, // user crosshair
+		"</svg>",
+	} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// All coordinates inside the viewBox (no negative positions).
+	if strings.Contains(svg, `cx="-`) || strings.Contains(svg, `x1="-`) {
+		// The crosshair may extend 10px past a point at the very edge; the
+		// bounds padding makes this effectively impossible for the data,
+		// so treat it as a bug.
+		t.Error("negative coordinates in SVG")
+	}
+}
+
+func TestSessionSVGDefaultsAndSimplify(t *testing.T) {
+	s, _ := sessionForExport(t)
+	svg, err := SessionSVG(s, SVGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, `width="800"`) {
+		t.Error("default width not applied")
+	}
+	simplified, err := SessionSVG(s, SVGOptions{SimplifyTolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(simplified) >= len(svg) {
+		t.Errorf("simplified SVG (%d bytes) not smaller than full (%d)", len(simplified), len(svg))
+	}
+}

@@ -1,0 +1,361 @@
+// Package geoidx provides spatial indexes over bounding rectangles: an
+// R-tree (quadratic split insertion and Sort-Tile-Recursive bulk loading)
+// and a linear-scan baseline with the same interface. The cube engine uses
+// these to answer the radius and proximity conditions of spatial
+// personalization rules; the benchmark harness compares the two (experiment
+// C4 in DESIGN.md).
+package geoidx
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"sdwp/internal/geom"
+)
+
+// Index is the query interface shared by RTree and Linear.
+type Index interface {
+	// Insert adds an item with the given bounds.
+	Insert(id int32, bounds geom.Rect)
+	// Search calls fn for every item whose bounds intersect query, until fn
+	// returns false.
+	Search(query geom.Rect, fn func(id int32) bool)
+	// Nearest returns up to k item ids ordered by the exact distance
+	// function dist (which the caller supplies, e.g. haversine to a point).
+	// lowerBound must return a lower bound of dist for any item inside a
+	// rectangle; rect-to-point planar distance is the usual choice.
+	Nearest(k int, lowerBound func(geom.Rect) float64, dist func(id int32) float64) []int32
+	// Len returns the number of items.
+	Len() int
+}
+
+const (
+	defaultMaxEntries = 16
+	minFillRatio      = 0.4
+)
+
+// RTree is an R-tree over int32 item ids.
+type RTree struct {
+	root       *node
+	size       int
+	maxEntries int
+	minEntries int
+}
+
+type node struct {
+	bounds   geom.Rect
+	leaf     bool
+	entries  []entry // for leaves
+	children []*node // for internal nodes
+}
+
+type entry struct {
+	bounds geom.Rect
+	id     int32
+}
+
+// NewRTree returns an empty R-tree. maxEntries ≤ 0 selects the default node
+// capacity of 16.
+func NewRTree(maxEntries int) *RTree {
+	if maxEntries <= 3 {
+		maxEntries = defaultMaxEntries
+	}
+	minEntries := int(float64(maxEntries) * minFillRatio)
+	if minEntries < 2 {
+		minEntries = 2
+	}
+	return &RTree{
+		root:       &node{leaf: true, bounds: geom.EmptyRect()},
+		maxEntries: maxEntries,
+		minEntries: minEntries,
+	}
+}
+
+// Len returns the number of indexed items.
+func (t *RTree) Len() int { return t.size }
+
+// Insert adds an item. The descent path is recorded so node bounds can be
+// extended and overflowing nodes split bottom-up along it.
+func (t *RTree) Insert(id int32, bounds geom.Rect) {
+	t.size++
+	// Descend to the leaf needing least enlargement, recording the path and
+	// extending bounds on the way down.
+	path := []*node{t.root}
+	n := t.root
+	for !n.leaf {
+		n.bounds = n.bounds.ExtendRect(bounds)
+		best := -1
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i, c := range n.children {
+			enl := c.bounds.ExtendRect(bounds).Area() - c.bounds.Area()
+			area := c.bounds.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.children[best]
+		path = append(path, n)
+	}
+	n.bounds = n.bounds.ExtendRect(bounds)
+	n.entries = append(n.entries, entry{bounds: bounds, id: id})
+
+	// Split bottom-up along the recorded path.
+	for i := len(path) - 1; i >= 0; i-- {
+		cur := path[i]
+		over := (cur.leaf && len(cur.entries) > t.maxEntries) ||
+			(!cur.leaf && len(cur.children) > t.maxEntries)
+		if !over {
+			break
+		}
+		a, b := t.split(cur)
+		if i == 0 {
+			t.root = &node{
+				leaf:     false,
+				children: []*node{a, b},
+				bounds:   a.bounds.ExtendRect(b.bounds),
+			}
+		} else {
+			parent := path[i-1]
+			for j, c := range parent.children {
+				if c == cur {
+					parent.children[j] = a
+					break
+				}
+			}
+			parent.children = append(parent.children, b)
+		}
+	}
+}
+
+// split performs a quadratic split of an overflowing node into two.
+func (t *RTree) split(n *node) (*node, *node) {
+	type item struct {
+		bounds geom.Rect
+		e      entry
+		c      *node
+	}
+	var items []item
+	if n.leaf {
+		for _, e := range n.entries {
+			items = append(items, item{bounds: e.bounds, e: e})
+		}
+	} else {
+		for _, c := range n.children {
+			items = append(items, item{bounds: c.bounds, c: c})
+		}
+	}
+	// Pick the two seeds wasting the most area if grouped together.
+	si, sj := 0, 1
+	worst := -math.MaxFloat64
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			waste := items[i].bounds.ExtendRect(items[j].bounds).Area() -
+				items[i].bounds.Area() - items[j].bounds.Area()
+			if waste > worst {
+				worst, si, sj = waste, i, j
+			}
+		}
+	}
+	ga := &node{leaf: n.leaf, bounds: items[si].bounds}
+	gb := &node{leaf: n.leaf, bounds: items[sj].bounds}
+	assign := func(g *node, it item) {
+		if n.leaf {
+			g.entries = append(g.entries, it.e)
+		} else {
+			g.children = append(g.children, it.c)
+		}
+		g.bounds = g.bounds.ExtendRect(it.bounds)
+	}
+	assign(ga, items[si])
+	assign(gb, items[sj])
+	count := func(g *node) int {
+		if n.leaf {
+			return len(g.entries)
+		}
+		return len(g.children)
+	}
+	for k, it := range items {
+		if k == si || k == sj {
+			continue
+		}
+		remaining := len(items) - k - 1
+		switch {
+		case count(ga)+remaining < t.minEntries:
+			assign(ga, it)
+		case count(gb)+remaining < t.minEntries:
+			assign(gb, it)
+		default:
+			enlA := ga.bounds.ExtendRect(it.bounds).Area() - ga.bounds.Area()
+			enlB := gb.bounds.ExtendRect(it.bounds).Area() - gb.bounds.Area()
+			if enlA < enlB || (enlA == enlB && count(ga) <= count(gb)) {
+				assign(ga, it)
+			} else {
+				assign(gb, it)
+			}
+		}
+	}
+	return ga, gb
+}
+
+// Search calls fn for every item whose bounds intersect query.
+func (t *RTree) Search(query geom.Rect, fn func(id int32) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if !n.bounds.Intersects(query) {
+			return true
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if e.bounds.Intersects(query) {
+					if !fn(e.id) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// pqItem is a priority-queue element for best-first traversal.
+type pqItem struct {
+	dist float64
+	n    *node
+	id   int32
+	item bool
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Nearest returns up to k ids in ascending order of dist, using lowerBound
+// over node rectangles to prune (best-first search).
+func (t *RTree) Nearest(k int, lowerBound func(geom.Rect) float64, dist func(id int32) float64) []int32 {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	q := &pq{{dist: lowerBound(t.root.bounds), n: t.root}}
+	var out []int32
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(q).(pqItem)
+		if it.item {
+			out = append(out, it.id)
+			continue
+		}
+		n := it.n
+		if n.leaf {
+			for _, e := range n.entries {
+				heap.Push(q, pqItem{dist: dist(e.id), id: e.id, item: true})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(q, pqItem{dist: lowerBound(c.bounds), n: c})
+			}
+		}
+	}
+	return out
+}
+
+// Bulk constructs an R-tree from items using Sort-Tile-Recursive packing,
+// which yields near-optimal leaves for static data.
+func Bulk(ids []int32, bounds []geom.Rect, maxEntries int) *RTree {
+	if len(ids) != len(bounds) {
+		panic("geoidx: ids and bounds length mismatch")
+	}
+	t := NewRTree(maxEntries)
+	t.size = len(ids)
+	if len(ids) == 0 {
+		return t
+	}
+	entries := make([]entry, len(ids))
+	for i := range ids {
+		entries[i] = entry{bounds: bounds[i], id: ids[i]}
+	}
+	leaves := strPack(entries, t.maxEntries)
+	t.root = buildUp(leaves, t.maxEntries)
+	return t
+}
+
+// strPack tiles entries into leaves: sort by center X, slice into vertical
+// strips of √(n/M) tiles, sort each strip by center Y, pack runs of M.
+func strPack(entries []entry, m int) []*node {
+	n := len(entries)
+	numLeaves := (n + m - 1) / m
+	numStrips := int(math.Ceil(math.Sqrt(float64(numLeaves))))
+	perStrip := numStrips * m
+
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].bounds.Center().X < entries[j].bounds.Center().X
+	})
+	var leaves []*node
+	for s := 0; s < n; s += perStrip {
+		e := s + perStrip
+		if e > n {
+			e = n
+		}
+		strip := entries[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].bounds.Center().Y < strip[j].bounds.Center().Y
+		})
+		for i := 0; i < len(strip); i += m {
+			j := i + m
+			if j > len(strip) {
+				j = len(strip)
+			}
+			leaf := &node{leaf: true, bounds: geom.EmptyRect()}
+			leaf.entries = append(leaf.entries, strip[i:j]...)
+			for _, en := range leaf.entries {
+				leaf.bounds = leaf.bounds.ExtendRect(en.bounds)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// buildUp packs a level of nodes into parents until a single root remains.
+func buildUp(level []*node, m int) *node {
+	for len(level) > 1 {
+		var next []*node
+		for i := 0; i < len(level); i += m {
+			j := i + m
+			if j > len(level) {
+				j = len(level)
+			}
+			p := &node{bounds: geom.EmptyRect()}
+			p.children = append(p.children, level[i:j]...)
+			for _, c := range p.children {
+				p.bounds = p.bounds.ExtendRect(c.bounds)
+			}
+			next = append(next, p)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Height returns the number of levels in the tree (1 for a lone leaf root).
+// Exposed for tests and diagnostics.
+func (t *RTree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}

@@ -1,0 +1,219 @@
+package geom
+
+import "math"
+
+// This file implements planar distance and length. PRML's binary Distance
+// operator maps to Distance (or GeodeticDistance for lon/lat data); the unary
+// form used in Example 5.3 maps to MinLength (see DESIGN.md for the
+// documented interpretation).
+
+// Distance returns the minimum planar distance between a and b, 0 if they
+// intersect, and +Inf if either is nil or empty.
+func Distance(a, b Geometry) float64 {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return math.Inf(1)
+	}
+	switch ga := a.(type) {
+	case Point:
+		return distPointGeom(ga, b)
+	case Line:
+		switch gb := b.(type) {
+		case Point:
+			return distPointGeom(gb, a)
+		case Line:
+			return distLineLine(ga, gb)
+		case Polygon:
+			return distLinePolygon(ga, gb)
+		case Collection:
+			return distCollection(gb, a)
+		}
+	case Polygon:
+		switch gb := b.(type) {
+		case Point:
+			return distPointGeom(gb, a)
+		case Line:
+			return distLinePolygon(gb, ga)
+		case Polygon:
+			return distPolygonPolygon(ga, gb)
+		case Collection:
+			return distCollection(gb, a)
+		}
+	case Collection:
+		return distCollection(ga, b)
+	}
+	return math.Inf(1)
+}
+
+func distPointGeom(p Point, g Geometry) float64 {
+	switch gg := g.(type) {
+	case Point:
+		return math.Hypot(p.X-gg.X, p.Y-gg.Y)
+	case Line:
+		best := math.Inf(1)
+		for i := 0; i < gg.NumSegments(); i++ {
+			a, b := gg.Segment(i)
+			if d := distPointSegment(p, a, b); d < best {
+				best = d
+			}
+		}
+		return best
+	case Polygon:
+		if pointInPolygon(p, gg) >= 0 {
+			return 0
+		}
+		best := math.Inf(1)
+		polygonEdges(gg, func(a, b Point) bool {
+			if d := distPointSegment(p, a, b); d < best {
+				best = d
+			}
+			return true
+		})
+		return best
+	case Collection:
+		best := math.Inf(1)
+		for _, m := range gg.Flatten() {
+			if d := distPointGeom(p, m); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	return math.Inf(1)
+}
+
+func distSegSeg(a, b, c, d Point) float64 {
+	if k, _, _ := segSegIntersection(a, b, c, d); k != segNone {
+		return 0
+	}
+	m := distPointSegment(a, c, d)
+	if v := distPointSegment(b, c, d); v < m {
+		m = v
+	}
+	if v := distPointSegment(c, a, b); v < m {
+		m = v
+	}
+	if v := distPointSegment(d, a, b); v < m {
+		m = v
+	}
+	return m
+}
+
+func distLineLine(a, b Line) float64 {
+	best := math.Inf(1)
+	for i := 0; i < a.NumSegments(); i++ {
+		p1, p2 := a.Segment(i)
+		for j := 0; j < b.NumSegments(); j++ {
+			q1, q2 := b.Segment(j)
+			if d := distSegSeg(p1, p2, q1, q2); d < best {
+				best = d
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+func distLinePolygon(l Line, p Polygon) float64 {
+	if linePolygonIntersects(l, p) {
+		return 0
+	}
+	best := math.Inf(1)
+	for i := 0; i < l.NumSegments(); i++ {
+		a, b := l.Segment(i)
+		polygonEdges(p, func(c, d Point) bool {
+			if v := distSegSeg(a, b, c, d); v < best {
+				best = v
+			}
+			return true
+		})
+	}
+	return best
+}
+
+func distPolygonPolygon(a, b Polygon) float64 {
+	if polygonPolygonIntersects(a, b) {
+		return 0
+	}
+	best := math.Inf(1)
+	polygonEdges(a, func(p1, p2 Point) bool {
+		polygonEdges(b, func(q1, q2 Point) bool {
+			if v := distSegSeg(p1, p2, q1, q2); v < best {
+				best = v
+			}
+			return true
+		})
+		return true
+	})
+	return best
+}
+
+func distCollection(c Collection, g Geometry) float64 {
+	best := math.Inf(1)
+	for _, m := range c.Flatten() {
+		if d := Distance(m, g); d < best {
+			best = d
+			if best == 0 {
+				return 0
+			}
+		}
+	}
+	return best
+}
+
+// Length returns the planar length of g: 0 for points, polyline length for
+// lines, shell+hole perimeter for polygons, and the sum over members for
+// collections.
+func Length(g Geometry) float64 {
+	switch gg := g.(type) {
+	case Point:
+		return 0
+	case Line:
+		s := 0.0
+		for i := 0; i < gg.NumSegments(); i++ {
+			a, b := gg.Segment(i)
+			s += math.Hypot(b.X-a.X, b.Y-a.Y)
+		}
+		return s
+	case Polygon:
+		s := 0.0
+		polygonEdges(gg, func(a, b Point) bool {
+			s += math.Hypot(b.X-a.X, b.Y-a.Y)
+			return true
+		})
+		return s
+	case Collection:
+		s := 0.0
+		for _, m := range gg.Flatten() {
+			s += Length(m)
+		}
+		return s
+	}
+	return 0
+}
+
+// MinLength implements the paper's unary Distance(g) as used in Example 5.3:
+// for a COLLECTION it returns the length of the shortest non-point member
+// (the "corresponding segment"); for other geometries it returns Length(g).
+// An empty geometry (or a collection with no non-point members) yields +Inf
+// so that threshold comparisons such as `< 50km` fail closed.
+func MinLength(g Geometry) float64 {
+	if g == nil || g.IsEmpty() {
+		return math.Inf(1)
+	}
+	c, ok := g.(Collection)
+	if !ok {
+		return Length(g)
+	}
+	best := math.Inf(1)
+	for _, m := range c.Flatten() {
+		if m.Type() == TypePoint || m.IsEmpty() {
+			continue
+		}
+		if l := Length(m); l < best {
+			best = l
+		}
+	}
+	return best
+}

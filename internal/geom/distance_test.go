@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsInf(want, 1) {
+		if !math.IsInf(got, 1) {
+			t.Errorf("%s: got %v, want +Inf", msg, got)
+		}
+		return
+	}
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (±%v)", msg, got, want, tol)
+	}
+}
+
+func TestDistancePointPoint(t *testing.T) {
+	almost(t, Distance(Pt(0, 0), Pt(3, 4)), 5, 1e-12, "3-4-5")
+	almost(t, Distance(Pt(1, 1), Pt(1, 1)), 0, 0, "same point")
+}
+
+func TestDistancePointLine(t *testing.T) {
+	l := Ln(Pt(0, 0), Pt(10, 0))
+	almost(t, Distance(Pt(5, 3), l), 3, 1e-12, "above midpoint")
+	almost(t, Distance(Pt(-3, 4), l), 5, 1e-12, "past endpoint")
+	almost(t, Distance(Pt(5, 0), l), 0, 0, "on line")
+	almost(t, Distance(l, Pt(5, 3)), 3, 1e-12, "symmetric")
+}
+
+func TestDistancePointPolygon(t *testing.T) {
+	almost(t, Distance(Pt(0.5, 0.5), unitSq), 0, 0, "inside → 0")
+	almost(t, Distance(Pt(0.5, -2), unitSq), 2, 1e-12, "below")
+	almost(t, Distance(Pt(4, 5), unitSq), 5, 1e-12, "diagonal corner")
+}
+
+func TestDistanceLineLine(t *testing.T) {
+	a := Ln(Pt(0, 0), Pt(10, 0))
+	b := Ln(Pt(0, 2), Pt(10, 2))
+	almost(t, Distance(a, b), 2, 1e-12, "parallel")
+	c := Ln(Pt(5, -1), Pt(5, 1))
+	almost(t, Distance(a, c), 0, 0, "crossing")
+}
+
+func TestDistancePolygonPolygon(t *testing.T) {
+	almost(t, Distance(unitSq, farSq), math.Hypot(9, 9), 1e-9, "corner-to-corner")
+	almost(t, Distance(unitSq, bigSq), 0, 0, "contained")
+}
+
+func TestDistanceCollection(t *testing.T) {
+	c := Coll(Pt(100, 100), Pt(0, 3))
+	almost(t, Distance(c, Pt(0, 0)), 3, 1e-12, "min over members")
+	almost(t, Distance(Pt(0, 0), c), 3, 1e-12, "symmetric")
+}
+
+func TestDistanceEmptyIsInf(t *testing.T) {
+	almost(t, Distance(nil, Pt(0, 0)), math.Inf(1), 0, "nil")
+	almost(t, Distance(Line{}, Pt(0, 0)), math.Inf(1), 0, "empty line")
+	almost(t, Distance(Collection{}, Pt(0, 0)), math.Inf(1), 0, "empty collection")
+}
+
+func TestLength(t *testing.T) {
+	almost(t, Length(Pt(1, 1)), 0, 0, "point")
+	almost(t, Length(Ln(Pt(0, 0), Pt(3, 4))), 5, 1e-12, "segment")
+	almost(t, Length(Ln(Pt(0, 0), Pt(3, 0), Pt(3, 4))), 7, 1e-12, "polyline")
+	almost(t, Length(unitSq), 4, 1e-12, "square perimeter")
+	almost(t, Length(Coll(Ln(Pt(0, 0), Pt(1, 0)), Ln(Pt(0, 0), Pt(0, 2)))), 3, 1e-12, "collection sum")
+}
+
+func TestMinLength(t *testing.T) {
+	almost(t, MinLength(Ln(Pt(0, 0), Pt(3, 4))), 5, 1e-12, "single line")
+	c := Coll(Ln(Pt(0, 0), Pt(10, 0)), Ln(Pt(0, 0), Pt(0, 2)), Pt(5, 5))
+	almost(t, MinLength(c), 2, 1e-12, "shortest non-point member")
+	almost(t, MinLength(Coll(Pt(1, 1))), math.Inf(1), 0, "points only → Inf")
+	almost(t, MinLength(nil), math.Inf(1), 0, "nil → Inf")
+	almost(t, MinLength(Collection{}), math.Inf(1), 0, "empty → Inf")
+}
+
+// Property: Distance is symmetric and non-negative; zero iff Intersects for
+// point/polygon pairs.
+func TestQuickDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		p := Pt(rng.Float64()*6-3, rng.Float64()*6-3)
+		l := Ln(Pt(rng.Float64()*6-3, rng.Float64()*6-3), Pt(rng.Float64()*6-3, rng.Float64()*6-3))
+		d1, d2 := Distance(p, l), Distance(l, p)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("asymmetric distance %v vs %v", d1, d2)
+		}
+		if d1 < 0 {
+			t.Fatalf("negative distance %v", d1)
+		}
+		in := Intersects(p, unitSq)
+		d := Distance(p, unitSq)
+		if in && d > Epsilon {
+			t.Fatalf("intersecting but distance %v", d)
+		}
+		if !in && d <= 0 {
+			t.Fatalf("non-intersecting but distance %v (p=%v)", d, p)
+		}
+	}
+}
+
+// Property: triangle inequality for point distances.
+func TestQuickTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		a := Pt(rng.Float64()*10, rng.Float64()*10)
+		b := Pt(rng.Float64()*10, rng.Float64()*10)
+		c := Pt(rng.Float64()*10, rng.Float64()*10)
+		if Distance(a, c) > Distance(a, b)+Distance(b, c)+1e-9 {
+			t.Fatalf("triangle inequality violated at %v %v %v", a, b, c)
+		}
+	}
+}
+
+func BenchmarkDistancePointLine100(b *testing.B) {
+	pts := make([]Point, 101)
+	for i := range pts {
+		pts[i] = Pt(float64(i), math.Sin(float64(i)))
+	}
+	l := Line{Pts: pts}
+	p := Pt(50, 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(p, l)
+	}
+}

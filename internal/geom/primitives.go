@@ -1,0 +1,274 @@
+package geom
+
+import "math"
+
+// This file holds the low-level planar primitives the predicates, distance
+// functions and intersection operator are built from: orientation tests,
+// point-on-segment, segment-segment intersection and point-in-ring.
+
+// cross returns the z component of (b-a) × (c-a). Positive means c is to the
+// left of the directed line a→b.
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// dot returns (b-a) · (c-a).
+func dot(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.X-a.X) + (b.Y-a.Y)*(c.Y-a.Y)
+}
+
+// onSegment reports whether p lies on the closed segment ab within Epsilon.
+func onSegment(p, a, b Point) bool {
+	return distPointSegment(p, a, b) <= Epsilon
+}
+
+// distPointSegment returns the planar distance from p to the closed segment
+// ab.
+func distPointSegment(p, a, b Point) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	l2 := abx*abx + aby*aby
+	if l2 == 0 {
+		return math.Hypot(p.X-a.X, p.Y-a.Y)
+	}
+	t := ((p.X-a.X)*abx + (p.Y-a.Y)*aby) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	qx, qy := a.X+t*abx, a.Y+t*aby
+	return math.Hypot(p.X-qx, p.Y-qy)
+}
+
+// projectOnSegment returns the point on segment ab closest to p and the
+// parameter t in [0,1] at which it occurs.
+func projectOnSegment(p, a, b Point) (Point, float64) {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	l2 := abx*abx + aby*aby
+	if l2 == 0 {
+		return a, 0
+	}
+	t := ((p.X-a.X)*abx + (p.Y-a.Y)*aby) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return Point{a.X + t*abx, a.Y + t*aby}, t
+}
+
+// segSegIntersection classifies the intersection of closed segments ab and
+// cd. kind is one of:
+//
+//	segNone     — disjoint
+//	segPoint    — a single intersection point (returned in p)
+//	segOverlap  — collinear overlap (the shared sub-segment in p, q)
+type segKind uint8
+
+const (
+	segNone segKind = iota
+	segPoint
+	segOverlap
+)
+
+func segSegIntersection(a, b, c, d Point) (kind segKind, p, q Point) {
+	d1 := cross(c, d, a)
+	d2 := cross(c, d, b)
+	d3 := cross(a, b, c)
+	d4 := cross(a, b, d)
+
+	// Proper crossing.
+	if ((d1 > Epsilon && d2 < -Epsilon) || (d1 < -Epsilon && d2 > Epsilon)) &&
+		((d3 > Epsilon && d4 < -Epsilon) || (d3 < -Epsilon && d4 > Epsilon)) {
+		t := d1 / (d1 - d2)
+		return segPoint, Point{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}, Point{}
+	}
+
+	collinear := math.Abs(d1) <= Epsilon && math.Abs(d2) <= Epsilon &&
+		math.Abs(d3) <= Epsilon && math.Abs(d4) <= Epsilon
+	if collinear {
+		// Project onto the dominant axis and compute the parameter overlap.
+		axis := func(p Point) float64 {
+			if math.Abs(b.X-a.X) >= math.Abs(b.Y-a.Y) {
+				return p.X
+			}
+			return p.Y
+		}
+		amin, amax := axis(a), axis(b)
+		if amin > amax {
+			amin, amax = amax, amin
+		}
+		cmin, cmax := axis(c), axis(d)
+		if cmin > cmax {
+			cmin, cmax = cmax, cmin
+		}
+		lo := math.Max(amin, cmin)
+		hi := math.Min(amax, cmax)
+		if lo > hi+Epsilon {
+			return segNone, Point{}, Point{}
+		}
+		at := func(v float64) Point {
+			den := axis(b) - axis(a)
+			if math.Abs(den) <= Epsilon {
+				return a
+			}
+			t := (v - axis(a)) / den
+			return Point{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}
+		}
+		pLo, pHi := at(lo), at(hi)
+		if pLo.Eq(pHi) {
+			return segPoint, pLo, Point{}
+		}
+		return segOverlap, pLo, pHi
+	}
+
+	// Endpoint touches.
+	switch {
+	case math.Abs(d1) <= Epsilon && onSegment(a, c, d):
+		return segPoint, a, Point{}
+	case math.Abs(d2) <= Epsilon && onSegment(b, c, d):
+		return segPoint, b, Point{}
+	case math.Abs(d3) <= Epsilon && onSegment(c, a, b):
+		return segPoint, c, Point{}
+	case math.Abs(d4) <= Epsilon && onSegment(d, a, b):
+		return segPoint, d, Point{}
+	}
+	return segNone, Point{}, Point{}
+}
+
+// pointInRing reports whether p is strictly inside (1), on the boundary of
+// (0), or outside (-1) the ring. Uses the even-odd ray casting rule with a
+// boundary pre-check.
+func pointInRing(p Point, r Ring) int {
+	n := len(r)
+	if n < 3 {
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		if onSegment(p, r[i], r[(i+1)%n]) {
+			return 0
+		}
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		yi, yj := r[i].Y, r[j].Y
+		if (yi > p.Y) != (yj > p.Y) {
+			xint := r[i].X + (p.Y-yi)/(yj-yi)*(r[j].X-r[i].X)
+			if p.X < xint {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	if inside {
+		return 1
+	}
+	return -1
+}
+
+// pointInPolygon reports whether p is strictly inside (1), on the boundary of
+// (0), or outside (-1) the polygon, accounting for holes.
+func pointInPolygon(p Point, poly Polygon) int {
+	s := pointInRing(p, poly.Shell)
+	if s <= 0 {
+		return s
+	}
+	for _, h := range poly.Holes {
+		switch pointInRing(p, h) {
+		case 1:
+			return -1 // inside a hole → outside the polygon
+		case 0:
+			return 0 // on a hole boundary → on the polygon boundary
+		}
+	}
+	return 1
+}
+
+// ringEdges calls fn for every edge of the ring, including the closing edge.
+func ringEdges(r Ring, fn func(a, b Point) bool) {
+	n := len(r)
+	for i := 0; i < n; i++ {
+		if !fn(r[i], r[(i+1)%n]) {
+			return
+		}
+	}
+}
+
+// polygonEdges calls fn for every edge of the shell and every hole.
+func polygonEdges(p Polygon, fn func(a, b Point) bool) {
+	stop := false
+	wrap := func(a, b Point) bool {
+		if !fn(a, b) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	ringEdges(p.Shell, wrap)
+	if stop {
+		return
+	}
+	for _, h := range p.Holes {
+		ringEdges(h, wrap)
+		if stop {
+			return
+		}
+	}
+}
+
+// ringArea returns the signed area of the ring (positive if counter-
+// clockwise).
+func ringArea(r Ring) float64 {
+	n := len(r)
+	if n < 3 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += r[i].X*r[j].Y - r[j].X*r[i].Y
+	}
+	return s / 2
+}
+
+// Area returns the unsigned area of the polygon (shell minus holes) in the
+// planar coordinate space.
+func (p Polygon) Area() float64 {
+	a := math.Abs(ringArea(p.Shell))
+	for _, h := range p.Holes {
+		a -= math.Abs(ringArea(h))
+	}
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Centroid returns the area centroid of the polygon shell; for degenerate
+// shells it falls back to the vertex average.
+func (p Polygon) Centroid() Point {
+	n := len(p.Shell)
+	if n == 0 {
+		return Point{}
+	}
+	a := ringArea(p.Shell)
+	if math.Abs(a) <= Epsilon {
+		var c Point
+		for _, pt := range p.Shell {
+			c.X += pt.X
+			c.Y += pt.Y
+		}
+		c.X /= float64(n)
+		c.Y /= float64(n)
+		return c
+	}
+	var cx, cy float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		f := p.Shell[i].X*p.Shell[j].Y - p.Shell[j].X*p.Shell[i].Y
+		cx += (p.Shell[i].X + p.Shell[j].X) * f
+		cy += (p.Shell[i].Y + p.Shell[j].Y) * f
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}

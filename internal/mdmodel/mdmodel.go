@@ -1,0 +1,353 @@
+// Package mdmodel implements the conceptual multidimensional metamodel of
+// Luján-Mora, Trujillo & Song ("A UML profile for multidimensional modeling
+// in data warehouses", DKE 59(3)), which the paper uses as its base model
+// (Fig. 2): Fact classes with FactAttributes (measures), Dimension classes
+// whose hierarchy levels are Base classes carrying Descriptor and
+// DimensionAttribute properties, and roll-up/drill-down associations between
+// consecutive Base classes.
+//
+// The metamodel here is the executable equivalent of that UML profile: a
+// validated, cloneable, JSON-serializable object model that the GeoMD
+// extension (package geomd) decorates with spatiality and that the cube
+// engine (package cube) stores instances for.
+package mdmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DataType enumerates the value types a descriptor attribute or measure may
+// carry.
+type DataType uint8
+
+const (
+	TypeString DataType = iota + 1
+	TypeNumber
+	TypeBool
+)
+
+// String returns the lower-case name of the data type.
+func (d DataType) String() string {
+	switch d {
+	case TypeString:
+		return "string"
+	case TypeNumber:
+		return "number"
+	case TypeBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// AttrKind distinguishes the UML profile's property stereotypes on Base
+// classes.
+type AttrKind uint8
+
+const (
+	// KindOID marks the level's identifying attribute (stereotype «OID»).
+	KindOID AttrKind = iota + 1
+	// KindDescriptor marks the level's default display attribute («D»).
+	KindDescriptor
+	// KindAttribute marks ordinary descriptive attributes («DA»).
+	KindAttribute
+)
+
+// String returns the profile's shorthand for the attribute kind.
+func (k AttrKind) String() string {
+	switch k {
+	case KindOID:
+		return "OID"
+	case KindDescriptor:
+		return "D"
+	case KindAttribute:
+		return "DA"
+	default:
+		return "?"
+	}
+}
+
+// Attribute is a property of a Base class (hierarchy level).
+type Attribute struct {
+	Name string   `json:"name"`
+	Kind AttrKind `json:"kind"`
+	Type DataType `json:"type"`
+}
+
+// Level is a Base class: one level of a dimension hierarchy. Levels are
+// ordered fine-to-coarse by the dimension's Levels slice; the roll-up
+// association (role r in the profile) links Levels[i] to Levels[i+1], and
+// drill-down (role d) is the inverse.
+type Level struct {
+	Name       string      `json:"name"`
+	Attributes []Attribute `json:"attributes,omitempty"`
+}
+
+// Attribute returns the named attribute, or nil.
+func (l *Level) Attribute(name string) *Attribute {
+	for i := range l.Attributes {
+		if l.Attributes[i].Name == name {
+			return &l.Attributes[i]
+		}
+	}
+	return nil
+}
+
+// Dimension is a Dimension class with a single linear roll-up hierarchy of
+// Base classes, finest first. (The paper's examples use linear hierarchies:
+// Store → City → State → Country; multiple alternative hierarchies are out
+// of the paper's scope.)
+type Dimension struct {
+	Name   string   `json:"name"`
+	Levels []*Level `json:"levels"`
+}
+
+// Level returns the named level, or nil.
+func (d *Dimension) Level(name string) *Level {
+	for _, l := range d.Levels {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// LevelIndex returns the position of the named level in the fine-to-coarse
+// order, or -1.
+func (d *Dimension) LevelIndex(name string) int {
+	for i, l := range d.Levels {
+		if l.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Finest returns the finest (first) level.
+func (d *Dimension) Finest() *Level {
+	if len(d.Levels) == 0 {
+		return nil
+	}
+	return d.Levels[0]
+}
+
+// RollUpPath returns the level names from the finest level up to and
+// including the named level, or nil if the level does not exist.
+func (d *Dimension) RollUpPath(name string) []string {
+	i := d.LevelIndex(name)
+	if i < 0 {
+		return nil
+	}
+	out := make([]string, 0, i+1)
+	for j := 0; j <= i; j++ {
+		out = append(out, d.Levels[j].Name)
+	}
+	return out
+}
+
+// Measure is a FactAttribute of a Fact class.
+type Measure struct {
+	Name string   `json:"name"`
+	Type DataType `json:"type"`
+}
+
+// Fact is a Fact class: measures plus the dimensions that contextualize
+// them.
+type Fact struct {
+	Name       string    `json:"name"`
+	Measures   []Measure `json:"measures"`
+	Dimensions []string  `json:"dimensions"` // names of participating dimensions
+}
+
+// Measure returns the named measure, or nil.
+func (f *Fact) Measure(name string) *Measure {
+	for i := range f.Measures {
+		if f.Measures[i].Name == name {
+			return &f.Measures[i]
+		}
+	}
+	return nil
+}
+
+// HasDimension reports whether the fact references the named dimension.
+func (f *Fact) HasDimension(name string) bool {
+	for _, d := range f.Dimensions {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Schema is a complete multidimensional model: the conceptual star/snowflake
+// of one analysis domain.
+type Schema struct {
+	Name       string       `json:"name"`
+	Facts      []*Fact      `json:"facts"`
+	Dimensions []*Dimension `json:"dimensions"`
+}
+
+// Fact returns the named fact, or nil.
+func (s *Schema) Fact(name string) *Fact {
+	for _, f := range s.Facts {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Dimension returns the named dimension, or nil.
+func (s *Schema) Dimension(name string) *Dimension {
+	for _, d := range s.Dimensions {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural well-formedness rules of the profile:
+// non-empty unique names, every fact dimension resolvable, every dimension
+// non-empty, unique level names within a dimension, unique attribute names
+// within a level, and exactly one Descriptor per level (the profile's «D»
+// stereotype; the Descriptor doubles as the member display name in the cube
+// engine).
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("mdmodel: schema has no name")
+	}
+	if len(s.Facts) == 0 {
+		return fmt.Errorf("mdmodel: schema %q has no facts", s.Name)
+	}
+	dimSeen := map[string]bool{}
+	for _, d := range s.Dimensions {
+		if d.Name == "" {
+			return fmt.Errorf("mdmodel: dimension with empty name")
+		}
+		if dimSeen[d.Name] {
+			return fmt.Errorf("mdmodel: duplicate dimension %q", d.Name)
+		}
+		dimSeen[d.Name] = true
+		if len(d.Levels) == 0 {
+			return fmt.Errorf("mdmodel: dimension %q has no levels", d.Name)
+		}
+		lvlSeen := map[string]bool{}
+		for _, l := range d.Levels {
+			if l.Name == "" {
+				return fmt.Errorf("mdmodel: dimension %q has a level with empty name", d.Name)
+			}
+			if lvlSeen[l.Name] {
+				return fmt.Errorf("mdmodel: dimension %q has duplicate level %q", d.Name, l.Name)
+			}
+			lvlSeen[l.Name] = true
+			attrSeen := map[string]bool{}
+			descriptors := 0
+			for _, a := range l.Attributes {
+				if a.Name == "" {
+					return fmt.Errorf("mdmodel: level %s.%s has an attribute with empty name", d.Name, l.Name)
+				}
+				if attrSeen[a.Name] {
+					return fmt.Errorf("mdmodel: level %s.%s has duplicate attribute %q", d.Name, l.Name, a.Name)
+				}
+				attrSeen[a.Name] = true
+				if a.Kind == KindDescriptor {
+					descriptors++
+				}
+			}
+			if descriptors != 1 {
+				return fmt.Errorf("mdmodel: level %s.%s needs exactly one Descriptor attribute, has %d", d.Name, l.Name, descriptors)
+			}
+		}
+	}
+	factSeen := map[string]bool{}
+	for _, f := range s.Facts {
+		if f.Name == "" {
+			return fmt.Errorf("mdmodel: fact with empty name")
+		}
+		if factSeen[f.Name] {
+			return fmt.Errorf("mdmodel: duplicate fact %q", f.Name)
+		}
+		factSeen[f.Name] = true
+		if len(f.Dimensions) == 0 {
+			return fmt.Errorf("mdmodel: fact %q references no dimensions", f.Name)
+		}
+		refSeen := map[string]bool{}
+		for _, dn := range f.Dimensions {
+			if !dimSeen[dn] {
+				return fmt.Errorf("mdmodel: fact %q references unknown dimension %q", f.Name, dn)
+			}
+			if refSeen[dn] {
+				return fmt.Errorf("mdmodel: fact %q references dimension %q twice", f.Name, dn)
+			}
+			refSeen[dn] = true
+		}
+		mSeen := map[string]bool{}
+		for _, m := range f.Measures {
+			if m.Name == "" {
+				return fmt.Errorf("mdmodel: fact %q has a measure with empty name", f.Name)
+			}
+			if mSeen[m.Name] {
+				return fmt.Errorf("mdmodel: fact %q has duplicate measure %q", f.Name, m.Name)
+			}
+			mSeen[m.Name] = true
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the schema. Personalization rules operate on
+// per-session clones so one decision maker's BecomeSpatial never leaks into
+// another's view (paper Fig. 1).
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Name: s.Name}
+	for _, f := range s.Facts {
+		nf := &Fact{Name: f.Name}
+		nf.Measures = append([]Measure(nil), f.Measures...)
+		nf.Dimensions = append([]string(nil), f.Dimensions...)
+		c.Facts = append(c.Facts, nf)
+	}
+	for _, d := range s.Dimensions {
+		nd := &Dimension{Name: d.Name}
+		for _, l := range d.Levels {
+			nl := &Level{Name: l.Name}
+			nl.Attributes = append([]Attribute(nil), l.Attributes...)
+			nd.Levels = append(nd.Levels, nl)
+		}
+		c.Dimensions = append(c.Dimensions, nd)
+	}
+	return c
+}
+
+// Render pretty-prints the schema in the textual shape of the paper's class
+// diagrams: one fact block and one block per dimension, hierarchy shown
+// fine → coarse. Deterministic output (dimensions in declaration order).
+func (s *Schema) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Schema %s\n", s.Name)
+	for _, f := range s.Facts {
+		fmt.Fprintf(&b, "  Fact %s\n", f.Name)
+		for _, m := range f.Measures {
+			fmt.Fprintf(&b, "    FA %s: %s\n", m.Name, m.Type)
+		}
+		fmt.Fprintf(&b, "    dims: %s\n", strings.Join(f.Dimensions, ", "))
+	}
+	for _, d := range s.Dimensions {
+		fmt.Fprintf(&b, "  Dimension %s\n", d.Name)
+		for i, l := range d.Levels {
+			arrow := ""
+			if i > 0 {
+				arrow = " (r↑)"
+			}
+			fmt.Fprintf(&b, "    Base %s%s\n", l.Name, arrow)
+			attrs := append([]Attribute(nil), l.Attributes...)
+			sort.Slice(attrs, func(x, y int) bool { return attrs[x].Kind < attrs[y].Kind })
+			for _, a := range attrs {
+				fmt.Fprintf(&b, "      %s %s: %s\n", a.Kind, a.Name, a.Type)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package mdmodel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// salesSchema builds the paper's Fig. 2 sales model.
+func salesSchema(t testing.TB) *Schema {
+	t.Helper()
+	b := NewBuilder("SalesDW")
+	b.Dimension("Store").
+		Level("Store", "name").Attr("address", TypeString).OID("storeID").
+		Level("City", "name").Attr("population", TypeNumber).
+		Level("State", "name").
+		Level("Country", "name")
+	b.Dimension("Customer").
+		Level("Customer", "name").Attr("age", TypeNumber).
+		Level("Segment", "name")
+	b.Dimension("Product").
+		Level("Product", "name").Attr("brand", TypeString).
+		Level("Family", "name")
+	b.Dimension("Time").
+		Level("Day", "date").
+		Level("Month", "name").
+		Level("Year", "name")
+	b.Fact("Sales").
+		Measure("UnitSales").Measure("StoreCost").Measure("StoreSales").
+		Uses("Store", "Customer", "Product", "Time")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("build sales schema: %v", err)
+	}
+	return s
+}
+
+func TestBuilderBuildsFig2Shape(t *testing.T) {
+	s := salesSchema(t)
+	if len(s.Dimensions) != 4 {
+		t.Fatalf("dimensions = %d, want 4", len(s.Dimensions))
+	}
+	f := s.Fact("Sales")
+	if f == nil {
+		t.Fatal("Sales fact missing")
+	}
+	if len(f.Measures) != 3 {
+		t.Fatalf("measures = %d, want 3", len(f.Measures))
+	}
+	st := s.Dimension("Store")
+	if st == nil || len(st.Levels) != 4 {
+		t.Fatalf("Store hierarchy wrong: %+v", st)
+	}
+	if st.Finest().Name != "Store" {
+		t.Errorf("finest = %q", st.Finest().Name)
+	}
+	if got := st.RollUpPath("State"); len(got) != 3 || got[2] != "State" {
+		t.Errorf("RollUpPath(State) = %v", got)
+	}
+	if st.RollUpPath("Planet") != nil {
+		t.Error("RollUpPath of unknown level should be nil")
+	}
+	if !f.HasDimension("Time") || f.HasDimension("Weather") {
+		t.Error("HasDimension wrong")
+	}
+	if f.Measure("UnitSales") == nil || f.Measure("Profit") != nil {
+		t.Error("Measure lookup wrong")
+	}
+}
+
+func TestLevelAndAttributeLookups(t *testing.T) {
+	s := salesSchema(t)
+	city := s.Dimension("Store").Level("City")
+	if city == nil {
+		t.Fatal("City level missing")
+	}
+	if city.Attribute("population") == nil {
+		t.Error("population attribute missing")
+	}
+	if city.Attribute("elevation") != nil {
+		t.Error("unknown attribute should be nil")
+	}
+	if s.Dimension("Store").LevelIndex("Country") != 3 {
+		t.Error("LevelIndex wrong")
+	}
+	if s.Dimension("Nope") != nil || s.Fact("Nope") != nil {
+		t.Error("unknown lookups should be nil")
+	}
+}
+
+func TestValidateRejectsBadSchemas(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Schema
+		frag  string
+	}{
+		{"no name", func() *Schema { return &Schema{} }, "no name"},
+		{"no facts", func() *Schema { return &Schema{Name: "X"} }, "no facts"},
+		{"fact without dims", func() *Schema {
+			return &Schema{Name: "X", Facts: []*Fact{{Name: "F"}}}
+		}, "references no dimensions"},
+		{"unknown dim ref", func() *Schema {
+			return &Schema{Name: "X", Facts: []*Fact{{Name: "F", Dimensions: []string{"D"}}}}
+		}, "unknown dimension"},
+		{"duplicate dim", func() *Schema {
+			d1 := &Dimension{Name: "D", Levels: []*Level{{Name: "L", Attributes: []Attribute{{Name: "n", Kind: KindDescriptor, Type: TypeString}}}}}
+			d2 := &Dimension{Name: "D", Levels: d1.Levels}
+			return &Schema{Name: "X", Dimensions: []*Dimension{d1, d2},
+				Facts: []*Fact{{Name: "F", Dimensions: []string{"D"}}}}
+		}, "duplicate dimension"},
+		{"dim without levels", func() *Schema {
+			return &Schema{Name: "X", Dimensions: []*Dimension{{Name: "D"}},
+				Facts: []*Fact{{Name: "F", Dimensions: []string{"D"}}}}
+		}, "has no levels"},
+		{"level without descriptor", func() *Schema {
+			d := &Dimension{Name: "D", Levels: []*Level{{Name: "L"}}}
+			return &Schema{Name: "X", Dimensions: []*Dimension{d},
+				Facts: []*Fact{{Name: "F", Dimensions: []string{"D"}}}}
+		}, "exactly one Descriptor"},
+		{"two descriptors", func() *Schema {
+			d := &Dimension{Name: "D", Levels: []*Level{{Name: "L", Attributes: []Attribute{
+				{Name: "a", Kind: KindDescriptor, Type: TypeString},
+				{Name: "b", Kind: KindDescriptor, Type: TypeString},
+			}}}}
+			return &Schema{Name: "X", Dimensions: []*Dimension{d},
+				Facts: []*Fact{{Name: "F", Dimensions: []string{"D"}}}}
+		}, "exactly one Descriptor"},
+		{"duplicate level", func() *Schema {
+			l := &Level{Name: "L", Attributes: []Attribute{{Name: "n", Kind: KindDescriptor, Type: TypeString}}}
+			d := &Dimension{Name: "D", Levels: []*Level{l, {Name: "L", Attributes: l.Attributes}}}
+			return &Schema{Name: "X", Dimensions: []*Dimension{d},
+				Facts: []*Fact{{Name: "F", Dimensions: []string{"D"}}}}
+		}, "duplicate level"},
+		{"duplicate measure", func() *Schema {
+			d := &Dimension{Name: "D", Levels: []*Level{{Name: "L", Attributes: []Attribute{{Name: "n", Kind: KindDescriptor, Type: TypeString}}}}}
+			return &Schema{Name: "X", Dimensions: []*Dimension{d},
+				Facts: []*Fact{{Name: "F", Dimensions: []string{"D"},
+					Measures: []Measure{{Name: "m", Type: TypeNumber}, {Name: "m", Type: TypeNumber}}}}}
+		}, "duplicate measure"},
+		{"duplicate fact dim ref", func() *Schema {
+			d := &Dimension{Name: "D", Levels: []*Level{{Name: "L", Attributes: []Attribute{{Name: "n", Kind: KindDescriptor, Type: TypeString}}}}}
+			return &Schema{Name: "X", Dimensions: []*Dimension{d},
+				Facts: []*Fact{{Name: "F", Dimensions: []string{"D", "D"}}}}
+		}, "twice"},
+	}
+	for _, tc := range cases {
+		err := tc.build().Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestBuilderRejectsUndeclaredDimension(t *testing.T) {
+	b := NewBuilder("X")
+	b.Fact("F").Measure("m").Uses("Ghost")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undeclared dimension") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := salesSchema(t)
+	c := s.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	c.Dimensions[0].Levels[0].Name = "Mutated"
+	c.Facts[0].Measures[0].Name = "Mutated"
+	c.Facts[0].Dimensions[0] = "Mutated"
+	if s.Dimensions[0].Levels[0].Name == "Mutated" {
+		t.Error("clone aliases levels")
+	}
+	if s.Facts[0].Measures[0].Name == "Mutated" {
+		t.Error("clone aliases measures")
+	}
+	if s.Facts[0].Dimensions[0] == "Mutated" {
+		t.Error("clone aliases dimension refs")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := salesSchema(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("deserialized schema invalid: %v", err)
+	}
+	if back.Name != s.Name || len(back.Dimensions) != len(s.Dimensions) {
+		t.Error("round trip lost structure")
+	}
+	if back.Dimension("Store").Level("City").Attribute("population") == nil {
+		t.Error("round trip lost attribute")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	out := salesSchema(t).Render()
+	for _, frag := range []string{
+		"Schema SalesDW",
+		"Fact Sales",
+		"FA UnitSales: number",
+		"dims: Store, Customer, Product, Time",
+		"Dimension Store",
+		"Base Store",
+		"Base City (r↑)",
+		"D name: string",
+		"OID storeID: string",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("").MustBuild()
+}
+
+func TestDataTypeAndKindStrings(t *testing.T) {
+	if TypeString.String() != "string" || TypeNumber.String() != "number" || TypeBool.String() != "bool" {
+		t.Error("DataType strings wrong")
+	}
+	if DataType(99).String() != "invalid" {
+		t.Error("invalid DataType string")
+	}
+	if KindOID.String() != "OID" || KindDescriptor.String() != "D" || KindAttribute.String() != "DA" {
+		t.Error("AttrKind strings wrong")
+	}
+	if AttrKind(99).String() != "?" {
+		t.Error("invalid AttrKind string")
+	}
+}

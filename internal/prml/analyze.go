@@ -1,0 +1,175 @@
+package prml
+
+import (
+	"fmt"
+)
+
+// AnalyzeOptions configures static analysis.
+type AnalyzeOptions struct {
+	// Params names the designer-defined constants available to rules (the
+	// paper's Example 5.3 uses "threshold", "a threshold defined by the
+	// designer"). Bare identifiers that are neither loop variables nor
+	// listed here are reported.
+	Params map[string]bool
+}
+
+// Issue is one static-analysis finding.
+type Issue struct {
+	Rule string
+	Pos  Pos
+	Msg  string
+}
+
+// Error renders the issue as "rule@pos: msg".
+func (i Issue) Error() string {
+	return fmt.Sprintf("prml: rule %s @ %s: %s", i.Rule, i.Pos, i.Msg)
+}
+
+// Analyze statically checks a rule set: path roots must be model prefixes,
+// loop variables or declared parameters; spatial operators must have the
+// right arity; schema actions must target model paths; rule names must be
+// unique. It returns all findings (empty slice = clean).
+func Analyze(rules []*Rule, opts AnalyzeOptions) []Issue {
+	var issues []Issue
+	names := map[string]bool{}
+	for _, r := range rules {
+		a := &analyzer{rule: r, opts: opts}
+		if r.Name == "" {
+			a.report(r.Pos, "rule has no name")
+		} else if names[r.Name] {
+			a.report(r.Pos, fmt.Sprintf("duplicate rule name %q", r.Name))
+		}
+		names[r.Name] = true
+
+		if r.Event.Kind == EvSpatialSelection {
+			if r.Event.Target == nil || r.Event.Target.Root != RootGeoMD {
+				a.report(r.Event.Pos, "SpatialSelection target must be a GeoMD path")
+			}
+			a.checkExpr(r.Event.Cond, map[string]bool{})
+		}
+		a.checkStmts(r.Body, map[string]bool{})
+		issues = append(issues, a.issues...)
+	}
+	return issues
+}
+
+type analyzer struct {
+	rule   *Rule
+	opts   AnalyzeOptions
+	issues []Issue
+}
+
+func (a *analyzer) report(pos Pos, msg string) {
+	a.issues = append(a.issues, Issue{Rule: a.rule.Name, Pos: pos, Msg: msg})
+}
+
+// checkStmts validates statements under the given loop-variable scope.
+func (a *analyzer) checkStmts(body []Stmt, scope map[string]bool) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *IfStmt:
+			a.checkExpr(st.Cond, scope)
+			a.checkStmts(st.Then, scope)
+			a.checkStmts(st.Else, scope)
+		case *ForeachStmt:
+			inner := make(map[string]bool, len(scope)+len(st.Vars))
+			for k := range scope {
+				inner[k] = true
+			}
+			for _, src := range st.Sources {
+				a.checkPath(src, scope)
+				if src.Root != RootGeoMD && src.Root != RootMD {
+					a.report(src.Pos, fmt.Sprintf("Foreach source %s must be an MD or GeoMD path", src))
+				}
+			}
+			for _, v := range st.Vars {
+				if v == RootSUS || v == RootMD || v == RootGeoMD {
+					a.report(st.Pos, fmt.Sprintf("loop variable %q shadows a model prefix", v))
+				}
+				if inner[v] {
+					a.report(st.Pos, fmt.Sprintf("duplicate loop variable %q", v))
+				}
+				inner[v] = true
+			}
+			a.checkStmts(st.Body, inner)
+		case *SetContentStmt:
+			a.checkPath(st.Target, scope)
+			if !st.Target.IsModelPath() {
+				a.report(st.Pos, "SetContent target must be a SUS, MD or GeoMD path")
+			}
+			a.checkExpr(st.Value, scope)
+		case *SelectInstanceStmt:
+			a.checkExpr(st.Target, scope)
+		case *BecomeSpatialStmt:
+			a.checkPath(st.Target, scope)
+			if st.Target.Root != RootMD && st.Target.Root != RootGeoMD {
+				a.report(st.Pos, "BecomeSpatial target must be an MD or GeoMD path")
+			} else if len(st.Target.Segs) < 2 {
+				a.report(st.Pos, "BecomeSpatial target must name a fact's level (e.g. MD.Sales.Store.geometry)")
+			}
+		case *AddLayerStmt:
+			if st.Layer == "" {
+				a.report(st.Pos, "AddLayer needs a non-empty layer name")
+			}
+		}
+	}
+}
+
+// spatialArity maps operators to their minimum and maximum argument counts.
+// Distance is unary (length of the "corresponding segment", Example 5.3) or
+// binary (distance between two geometries).
+var spatialArity = map[SpatialOp][2]int{
+	SpIntersect:    {2, 2},
+	SpDisjoint:     {2, 2},
+	SpCross:        {2, 2},
+	SpInside:       {2, 2},
+	SpEquals:       {2, 2},
+	SpDistance:     {1, 2},
+	SpIntersection: {2, 2},
+}
+
+func (a *analyzer) checkExpr(e Expr, scope map[string]bool) {
+	switch ex := e.(type) {
+	case nil:
+		return
+	case *PathExpr:
+		a.checkPath(ex, scope)
+	case *BinaryExpr:
+		a.checkExpr(ex.L, scope)
+		a.checkExpr(ex.R, scope)
+	case *UnaryExpr:
+		a.checkExpr(ex.X, scope)
+	case *CallExpr:
+		ar, ok := spatialArity[ex.Op]
+		if !ok {
+			a.report(ex.Pos, "unknown spatial operator")
+			return
+		}
+		if len(ex.Args) < ar[0] || len(ex.Args) > ar[1] {
+			a.report(ex.Pos, fmt.Sprintf("%s expects %d..%d arguments, got %d",
+				ex.Op, ar[0], ar[1], len(ex.Args)))
+		}
+		for _, arg := range ex.Args {
+			a.checkExpr(arg, scope)
+		}
+	}
+}
+
+func (a *analyzer) checkPath(p *PathExpr, scope map[string]bool) {
+	if p == nil {
+		return
+	}
+	if p.IsModelPath() {
+		if len(p.Segs) == 0 {
+			a.report(p.Pos, fmt.Sprintf("path %s needs at least one segment", p.Root))
+		}
+		return
+	}
+	if scope[p.Root] {
+		return // loop variable
+	}
+	if a.opts.Params != nil && a.opts.Params[p.Root] && len(p.Segs) == 0 {
+		return // designer-defined constant
+	}
+	a.report(p.Pos, fmt.Sprintf("unknown identifier %q (not a model prefix, loop variable or declared parameter)", p.Root))
+}

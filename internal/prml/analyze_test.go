@@ -1,0 +1,170 @@
+package prml
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyzeSrc(t *testing.T, src string, params ...string) []Issue {
+	t.Helper()
+	rules, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pm := map[string]bool{}
+	for _, p := range params {
+		pm[p] = true
+	}
+	return Analyze(rules, AnalyzeOptions{Params: pm})
+}
+
+func TestAnalyzePaperRulesClean(t *testing.T) {
+	src := ruleAddSpatiality + "\n" + rule5kmStores + "\n" +
+		ruleIntAirportCity + "\n" + ruleTrainAirportCity
+	issues := analyzeSrc(t, src, "threshold")
+	if len(issues) != 0 {
+		t.Fatalf("paper rules should analyze clean, got %v", issues)
+	}
+}
+
+func TestAnalyzeUnknownIdentifier(t *testing.T) {
+	issues := analyzeSrc(t, ruleTrainAirportCity) // threshold not declared
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, `"threshold"`) {
+		t.Fatalf("issues = %v", issues)
+	}
+	if issues[0].Rule != "TrainAirportCity" {
+		t.Errorf("issue rule = %q", issues[0].Rule)
+	}
+	if !strings.Contains(issues[0].Error(), "TrainAirportCity") {
+		t.Errorf("Error() = %q", issues[0].Error())
+	}
+}
+
+func TestAnalyzeDuplicateRuleNames(t *testing.T) {
+	src := `Rule:x When SessionStart do AddLayer('A', POINT) endWhen
+Rule:x When SessionStart do AddLayer('B', POINT) endWhen`
+	issues := analyzeSrc(t, src)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "duplicate rule name") {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestAnalyzeEventTarget(t *testing.T) {
+	src := `Rule:x When SpatialSelection(SUS.U.thing, true) do SetContent(SUS.U.x, 1) endWhen`
+	issues := analyzeSrc(t, src)
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Msg, "SpatialSelection target must be a GeoMD path") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestAnalyzeForeachSources(t *testing.T) {
+	src := `Rule:x When SessionStart do
+  Foreach s in (SUS.U)
+    SelectInstance(s)
+  endForeach
+endWhen`
+	issues := analyzeSrc(t, src)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "must be an MD or GeoMD path") {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestAnalyzeLoopVariableScoping(t *testing.T) {
+	// Loop variable visible in body, not outside.
+	src := `Rule:x When SessionStart do
+  Foreach s in (GeoMD.Store)
+    SelectInstance(s)
+  endForeach
+  SelectInstance(s)
+endWhen`
+	issues := analyzeSrc(t, src)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, `"s"`) {
+		t.Fatalf("issues = %v", issues)
+	}
+	// Shadowing a model prefix.
+	src2 := `Rule:x When SessionStart do
+  Foreach GeoMD in (GeoMD.Store)
+    SelectInstance(GeoMD)
+  endForeach
+endWhen`
+	issues2 := analyzeSrc(t, src2)
+	if len(issues2) == 0 || !strings.Contains(issues2[0].Msg, "shadows a model prefix") {
+		t.Fatalf("issues = %v", issues2)
+	}
+	// Duplicate loop variable.
+	src3 := `Rule:x When SessionStart do
+  Foreach a, a in (GeoMD.X, GeoMD.Y)
+    SelectInstance(a)
+  endForeach
+endWhen`
+	issues3 := analyzeSrc(t, src3)
+	if len(issues3) == 0 || !strings.Contains(issues3[0].Msg, "duplicate loop variable") {
+		t.Fatalf("issues = %v", issues3)
+	}
+}
+
+func TestAnalyzeActionTargets(t *testing.T) {
+	// SetContent must target a model path.
+	src := `Rule:x When SessionStart do
+  Foreach s in (GeoMD.Store)
+    SetContent(s.geometry, 1)
+  endForeach
+endWhen`
+	issues := analyzeSrc(t, src)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "SetContent target") {
+		t.Fatalf("issues = %v", issues)
+	}
+	// BecomeSpatial must target MD/GeoMD with a fact-level path.
+	src2 := `Rule:x When SessionStart do BecomeSpatial(SUS.U.geometry, POINT) endWhen`
+	issues2 := analyzeSrc(t, src2)
+	if len(issues2) != 1 || !strings.Contains(issues2[0].Msg, "BecomeSpatial target") {
+		t.Fatalf("issues = %v", issues2)
+	}
+	src3 := `Rule:x When SessionStart do BecomeSpatial(MD.Sales, POINT) endWhen`
+	issues3 := analyzeSrc(t, src3)
+	if len(issues3) != 1 || !strings.Contains(issues3[0].Msg, "fact's level") {
+		t.Fatalf("issues = %v", issues3)
+	}
+}
+
+func TestAnalyzeSpatialArity(t *testing.T) {
+	src := `Rule:x When SessionStart do
+  If (Intersect(GeoMD.A.geometry) = true) then
+    AddLayer('L', POINT)
+  endIf
+  If (Distance(GeoMD.A.geometry, GeoMD.B.geometry, GeoMD.C.geometry) < 1) then
+    AddLayer('M', POINT)
+  endIf
+endWhen`
+	issues := analyzeSrc(t, src)
+	if len(issues) != 2 {
+		t.Fatalf("issues = %v", issues)
+	}
+	for _, i := range issues {
+		if !strings.Contains(i.Msg, "arguments") {
+			t.Errorf("unexpected issue %v", i)
+		}
+	}
+}
+
+func TestAnalyzeBareModelRoot(t *testing.T) {
+	src := `Rule:x When SessionStart do SetContent(SUS, 1) endWhen`
+	issues := analyzeSrc(t, src)
+	if len(issues) == 0 || !strings.Contains(issues[0].Msg, "at least one segment") {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestAnalyzeEmptyAddLayerName(t *testing.T) {
+	src := `Rule:x When SessionStart do AddLayer('', POINT) endWhen`
+	issues := analyzeSrc(t, src)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "non-empty layer name") {
+		t.Fatalf("issues = %v", issues)
+	}
+}

@@ -1,0 +1,416 @@
+package prml
+
+import (
+	"fmt"
+
+	"sdwp/internal/geom"
+)
+
+// Evaluator executes rules against an Env. It is stateless between calls
+// and safe to reuse; per-execution statistics are returned by Exec.
+type Evaluator struct {
+	env Env
+}
+
+// NewEvaluator returns an evaluator bound to env.
+func NewEvaluator(env Env) *Evaluator { return &Evaluator{env: env} }
+
+// Stats reports what one rule execution did.
+type Stats struct {
+	ActionsRun     int // total personalization actions performed
+	InstancesSel   int // SelectInstance calls
+	SchemaActions  int // BecomeSpatial + AddLayer calls
+	ContentUpdates int // SetContent calls
+	LoopIterations int // Foreach body executions
+}
+
+// Exec runs the rule body (the caller decides whether the event matches).
+func (ev *Evaluator) Exec(r *Rule) (Stats, error) {
+	var st Stats
+	err := ev.execStmts(r.Body, scope{}, &st)
+	if err != nil {
+		return st, fmt.Errorf("rule %s: %w", r.Name, err)
+	}
+	return st, nil
+}
+
+// EvalEventCond evaluates a SpatialSelection event condition with the event
+// target bound as the variable named by bindVar (the engine binds each
+// selected instance in turn to decide whether the rule fires).
+func (ev *Evaluator) EvalEventCond(cond Expr, bindVar string, inst Instance) (bool, error) {
+	sc := scope{}
+	if bindVar != "" {
+		sc[bindVar] = InstVal(inst)
+	}
+	v, err := ev.evalExpr(cond, sc)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != KindBool {
+		return false, fmt.Errorf("prml: event condition is %s, want bool", v.Kind)
+	}
+	return v.Bool, nil
+}
+
+// EvalExpr evaluates a standalone expression with an empty scope (used by
+// the web API for ad-hoc predicates).
+func (ev *Evaluator) EvalExpr(e Expr) (Value, error) {
+	return ev.evalExpr(e, scope{})
+}
+
+// EvalExprWith evaluates an expression with one bound variable.
+func (ev *Evaluator) EvalExprWith(e Expr, varName string, val Value) (Value, error) {
+	return ev.evalExpr(e, scope{varName: val})
+}
+
+// scope maps loop variables to their current values.
+type scope map[string]Value
+
+func (s scope) child() scope {
+	c := make(scope, len(s)+2)
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (ev *Evaluator) execStmts(body []Stmt, sc scope, st *Stats) error {
+	for _, s := range body {
+		if err := ev.execStmt(s, sc, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *Evaluator) execStmt(s Stmt, sc scope, st *Stats) error {
+	switch stmt := s.(type) {
+	case *IfStmt:
+		v, err := ev.evalExpr(stmt.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if v.Kind != KindBool {
+			return fmt.Errorf("prml: %s: If condition is %s, want bool", stmt.Pos, v.Kind)
+		}
+		if v.Bool {
+			return ev.execStmts(stmt.Then, sc, st)
+		}
+		return ev.execStmts(stmt.Else, sc, st)
+
+	case *ForeachStmt:
+		if opt, ok := ev.env.(ForeachOptimizer); ok {
+			handled, n, err := opt.OptimizeForeach(stmt, func(e Expr) (Value, error) {
+				return ev.evalExpr(e, sc)
+			})
+			if err != nil {
+				return err
+			}
+			if handled {
+				st.LoopIterations += n
+				st.ActionsRun += n
+				st.InstancesSel += n
+				return nil
+			}
+		}
+		return ev.execForeach(stmt, sc, st, 0)
+
+	case *SetContentStmt:
+		v, err := ev.evalExpr(stmt.Value, sc)
+		if err != nil {
+			return err
+		}
+		if err := ev.env.SetContent(stmt.Target, v); err != nil {
+			return fmt.Errorf("prml: %s: %w", stmt.Pos, err)
+		}
+		st.ActionsRun++
+		st.ContentUpdates++
+		return nil
+
+	case *SelectInstanceStmt:
+		v, err := ev.evalExpr(stmt.Target, sc)
+		if err != nil {
+			return err
+		}
+		if err := ev.env.SelectInstance(v); err != nil {
+			return fmt.Errorf("prml: %s: %w", stmt.Pos, err)
+		}
+		st.ActionsRun++
+		st.InstancesSel++
+		return nil
+
+	case *BecomeSpatialStmt:
+		if err := ev.env.BecomeSpatial(stmt.Target, stmt.Geom); err != nil {
+			return fmt.Errorf("prml: %s: %w", stmt.Pos, err)
+		}
+		st.ActionsRun++
+		st.SchemaActions++
+		return nil
+
+	case *AddLayerStmt:
+		if err := ev.env.AddLayer(stmt.Layer, stmt.Geom); err != nil {
+			return fmt.Errorf("prml: %s: %w", stmt.Pos, err)
+		}
+		st.ActionsRun++
+		st.SchemaActions++
+		return nil
+	}
+	return fmt.Errorf("prml: unknown statement %T", s)
+}
+
+// execForeach iterates the cartesian product of the statement's sources,
+// binding one variable per source (Example 5.3's three-variable loop).
+func (ev *Evaluator) execForeach(f *ForeachStmt, sc scope, st *Stats, depth int) error {
+	if depth == len(f.Vars) {
+		st.LoopIterations++
+		return ev.execStmts(f.Body, sc, st)
+	}
+	return ev.env.Iterate(f.Sources[depth], func(inst Instance) error {
+		inner := sc.child()
+		inner[f.Vars[depth]] = InstVal(inst)
+		return ev.execForeach(f, inner, st, depth+1)
+	})
+}
+
+func (ev *Evaluator) evalExpr(e Expr, sc scope) (Value, error) {
+	switch ex := e.(type) {
+	case *NumberLit:
+		return NumberVal(ex.Value), nil
+	case *StringLit:
+		return StringVal(ex.Value), nil
+	case *BoolLit:
+		return BoolVal(ex.Value), nil
+	case *PathExpr:
+		return ev.evalPath(ex, sc)
+	case *UnaryExpr:
+		v, err := ev.evalExpr(ex.X, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		switch ex.Op {
+		case OpNot:
+			if v.Kind != KindBool {
+				return Value{}, fmt.Errorf("prml: %s: not applied to %s", ex.Pos, v.Kind)
+			}
+			return BoolVal(!v.Bool), nil
+		case OpNeg:
+			if v.Kind != KindNumber {
+				return Value{}, fmt.Errorf("prml: %s: unary minus applied to %s", ex.Pos, v.Kind)
+			}
+			return NumberVal(-v.Num), nil
+		}
+		return Value{}, fmt.Errorf("prml: %s: unknown unary operator", ex.Pos)
+	case *BinaryExpr:
+		return ev.evalBinary(ex, sc)
+	case *CallExpr:
+		return ev.evalCall(ex, sc)
+	}
+	return Value{}, fmt.Errorf("prml: unknown expression %T", e)
+}
+
+func (ev *Evaluator) evalPath(p *PathExpr, sc scope) (Value, error) {
+	if p.IsModelPath() {
+		return ev.env.ResolvePath(p)
+	}
+	if v, ok := sc[p.Root]; ok {
+		if len(p.Segs) == 0 {
+			return v, nil
+		}
+		if v.Kind != KindInstance {
+			return Value{}, fmt.Errorf("prml: %s: cannot navigate %s from %s value",
+				p.Pos, p.Segs[0], v.Kind)
+		}
+		return ev.env.Field(v.Inst, p.Segs)
+	}
+	if v, ok := ev.env.Param(p.Root); ok && len(p.Segs) == 0 {
+		return v, nil
+	}
+	return Value{}, fmt.Errorf("prml: %s: unknown identifier %q", p.Pos, p.Root)
+}
+
+func (ev *Evaluator) evalBinary(b *BinaryExpr, sc scope) (Value, error) {
+	// Short-circuit logical operators.
+	if b.Op == OpAnd || b.Op == OpOr {
+		l, err := ev.evalExpr(b.L, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind != KindBool {
+			return Value{}, fmt.Errorf("prml: %s: %s applied to %s", b.Pos, b.Op, l.Kind)
+		}
+		if b.Op == OpAnd && !l.Bool {
+			return BoolVal(false), nil
+		}
+		if b.Op == OpOr && l.Bool {
+			return BoolVal(true), nil
+		}
+		r, err := ev.evalExpr(b.R, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KindBool {
+			return Value{}, fmt.Errorf("prml: %s: %s applied to %s", b.Pos, b.Op, r.Kind)
+		}
+		return BoolVal(r.Bool), nil
+	}
+
+	l, err := ev.evalExpr(b.L, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ev.evalExpr(b.R, sc)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch b.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if l.Kind != KindNumber || r.Kind != KindNumber {
+			return Value{}, fmt.Errorf("prml: %s: arithmetic on %s and %s", b.Pos, l.Kind, r.Kind)
+		}
+		switch b.Op {
+		case OpAdd:
+			return NumberVal(l.Num + r.Num), nil
+		case OpSub:
+			return NumberVal(l.Num - r.Num), nil
+		case OpMul:
+			return NumberVal(l.Num * r.Num), nil
+		case OpDiv:
+			if r.Num == 0 {
+				return Value{}, fmt.Errorf("prml: %s: division by zero", b.Pos)
+			}
+			return NumberVal(l.Num / r.Num), nil
+		}
+	case OpEq, OpNe:
+		eq, err := valuesEqual(l, r)
+		if err != nil {
+			return Value{}, fmt.Errorf("prml: %s: %w", b.Pos, err)
+		}
+		if b.Op == OpNe {
+			eq = !eq
+		}
+		return BoolVal(eq), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		var cmp float64
+		switch {
+		case l.Kind == KindNumber && r.Kind == KindNumber:
+			cmp = l.Num - r.Num
+		case l.Kind == KindString && r.Kind == KindString:
+			switch {
+			case l.Str < r.Str:
+				cmp = -1
+			case l.Str > r.Str:
+				cmp = 1
+			}
+		default:
+			return Value{}, fmt.Errorf("prml: %s: cannot order %s and %s", b.Pos, l.Kind, r.Kind)
+		}
+		switch b.Op {
+		case OpLt:
+			return BoolVal(cmp < 0), nil
+		case OpLe:
+			return BoolVal(cmp <= 0), nil
+		case OpGt:
+			return BoolVal(cmp > 0), nil
+		case OpGe:
+			return BoolVal(cmp >= 0), nil
+		}
+	}
+	return Value{}, fmt.Errorf("prml: %s: unknown binary operator", b.Pos)
+}
+
+func valuesEqual(l, r Value) (bool, error) {
+	if l.Kind == KindNull || r.Kind == KindNull {
+		return l.Kind == r.Kind, nil
+	}
+	if l.Kind != r.Kind {
+		return false, nil
+	}
+	switch l.Kind {
+	case KindBool:
+		return l.Bool == r.Bool, nil
+	case KindNumber:
+		return l.Num == r.Num, nil
+	case KindString:
+		return l.Str == r.Str, nil
+	case KindGeom:
+		return geom.Equals(l.Geom, r.Geom), nil
+	case KindInstance:
+		return l.Inst == r.Inst, nil
+	}
+	return false, fmt.Errorf("cannot compare %s values", l.Kind)
+}
+
+// toGeometry coerces a value to a geometry: geometry values pass through;
+// instance values resolve their "geometry" field via the Env (so rules may
+// write Distance(s, ...) as shorthand for Distance(s.geometry, ...)).
+func (ev *Evaluator) toGeometry(v Value, pos Pos) (geom.Geometry, error) {
+	switch v.Kind {
+	case KindGeom:
+		return v.Geom, nil
+	case KindInstance:
+		f, err := ev.env.Field(v.Inst, []string{"geometry"})
+		if err != nil {
+			return nil, err
+		}
+		if f.Kind != KindGeom {
+			return nil, fmt.Errorf("prml: %s: instance %s has no geometry", pos, v.Inst)
+		}
+		return f.Geom, nil
+	case KindNull:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("prml: %s: expected geometry, got %s", pos, v.Kind)
+}
+
+func (ev *Evaluator) evalCall(c *CallExpr, sc scope) (Value, error) {
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := ev.evalExpr(a, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	ar := spatialArity[c.Op]
+	if len(args) < ar[0] || len(args) > ar[1] {
+		return Value{}, fmt.Errorf("prml: %s: %s expects %d..%d arguments, got %d",
+			c.Pos, c.Op, ar[0], ar[1], len(args))
+	}
+
+	// Unary Distance: the length of the "corresponding segment".
+	if c.Op == SpDistance && len(args) == 1 {
+		g, err := ev.toGeometry(args[0], c.Pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return NumberVal(ev.env.LengthKm(g)), nil
+	}
+
+	ga, err := ev.toGeometry(args[0], c.Pos)
+	if err != nil {
+		return Value{}, err
+	}
+	gb, err := ev.toGeometry(args[1], c.Pos)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch c.Op {
+	case SpDistance:
+		return NumberVal(ev.env.DistanceKm(ga, gb)), nil
+	case SpIntersect:
+		return BoolVal(geom.Intersects(ga, gb)), nil
+	case SpDisjoint:
+		return BoolVal(geom.Disjoint(ga, gb)), nil
+	case SpCross:
+		return BoolVal(geom.Crosses(ga, gb)), nil
+	case SpInside:
+		return BoolVal(geom.Within(ga, gb)), nil
+	case SpEquals:
+		return BoolVal(geom.Equals(ga, gb)), nil
+	case SpIntersection:
+		return GeomVal(geom.Intersection(ga, gb)), nil
+	}
+	return Value{}, fmt.Errorf("prml: %s: unknown spatial operator", c.Pos)
+}

@@ -1,0 +1,290 @@
+package prml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // value normalized to km when a unit suffix is present
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokColon
+	tokEq // =
+	tokNe // <>
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'<>'"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	default:
+		return "?"
+	}
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string  // identifier or string contents
+	num  float64 // numeric value (km-normalized if unit given)
+	unit string  // "", "km", "m"
+	pos  Pos
+}
+
+// lexer scans PRML source. Line comments start with "//" and run to end of
+// line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// errf builds a positioned lexical error.
+func (l *lexer) errf(p Pos, format string, args ...any) error {
+	return fmt.Errorf("prml: %s: %s", p, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	p := Pos{l.line, l.col}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: p}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isLetter(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: p}, nil
+	case isDigit(c):
+		return l.scanNumber(p)
+	case c == '\'' || c == '"':
+		return l.scanString(p)
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return token{kind: tokLParen, pos: p}, nil
+	case ')':
+		return token{kind: tokRParen, pos: p}, nil
+	case ',':
+		return token{kind: tokComma, pos: p}, nil
+	case '.':
+		return token{kind: tokDot, pos: p}, nil
+	case ':':
+		return token{kind: tokColon, pos: p}, nil
+	case '=':
+		return token{kind: tokEq, pos: p}, nil
+	case '+':
+		return token{kind: tokPlus, pos: p}, nil
+	case '-':
+		return token{kind: tokMinus, pos: p}, nil
+	case '*':
+		return token{kind: tokStar, pos: p}, nil
+	case '/':
+		return token{kind: tokSlash, pos: p}, nil
+	case '<':
+		switch l.peekByte() {
+		case '>':
+			l.advance()
+			return token{kind: tokNe, pos: p}, nil
+		case '=':
+			l.advance()
+			return token{kind: tokLe, pos: p}, nil
+		}
+		return token{kind: tokLt, pos: p}, nil
+	case '>':
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokGe, pos: p}, nil
+		}
+		return token{kind: tokGt, pos: p}, nil
+	}
+	return token{}, l.errf(p, "unexpected character %q", string(c))
+}
+
+// scanNumber scans digits, an optional fraction, and an optional distance
+// unit suffix (km or m), normalizing the value to kilometres when a unit is
+// present.
+func (l *lexer) scanNumber(p Pos) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	if l.peekByte() == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	numText := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(numText, 64)
+	if err != nil {
+		return token{}, l.errf(p, "bad number %q", numText)
+	}
+	// Unit suffix: consume the longest valid unit prefix ("km" or "m") and
+	// leave any following letters to the next token — the paper's rule name
+	// "5kmStores" must lex as number(5km) + identifier(Stores).
+	unit := ""
+	if isLetter(l.peekByte()) {
+		rest := l.src[l.pos:]
+		switch {
+		case len(rest) >= 2 && (rest[0] == 'k' || rest[0] == 'K') && (rest[1] == 'm' || rest[1] == 'M'):
+			l.advance()
+			l.advance()
+			unit = "km"
+		case rest[0] == 'm' || rest[0] == 'M':
+			l.advance()
+			unit = "m"
+			v /= 1000
+		default:
+			us := l.pos
+			for l.pos < len(l.src) && isLetter(l.peekByte()) {
+				l.advance()
+			}
+			return token{}, l.errf(p, "unknown distance unit %q (want km or m)", l.src[us:l.pos])
+		}
+	}
+	return token{kind: tokNumber, num: v, unit: unit, text: l.src[start:l.pos], pos: p}, nil
+}
+
+// scanString scans a quoted string (single or double quotes, no escapes —
+// the paper's rule texts never need them; a doubled quote inserts a literal
+// quote, SQL-style).
+func (l *lexer) scanString(p Pos) (token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == quote {
+			if l.peekByte() == quote { // doubled quote → literal
+				l.advance()
+				b.WriteByte(quote)
+				continue
+			}
+			return token{kind: tokString, text: b.String(), pos: p}, nil
+		}
+		if c == '\n' {
+			return token{}, l.errf(p, "unterminated string")
+		}
+		b.WriteByte(c)
+	}
+	return token{}, l.errf(p, "unterminated string")
+}
+
+// lexAll tokenizes the whole input (used by the parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

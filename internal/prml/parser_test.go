@@ -1,0 +1,334 @@
+package prml
+
+import (
+	"strings"
+	"testing"
+
+	"sdwp/internal/geom"
+)
+
+// The paper's three sample rules, verbatim modulo whitespace (Section 5).
+const (
+	ruleAddSpatiality = `
+Rule:addSpatiality When SessionStart do
+  If (SUS.DecisionMaker.dm2role.name = 'RegionalSalesManager') then
+    AddLayer('Airport', POINT)
+    BecomeSpatial(MD.Sales.Store.geometry, POINT)
+  endIf
+endWhen`
+
+	rule5kmStores = `
+Rule:5kmStores When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`
+
+	ruleIntAirportCity = `
+Rule:IntAirportCity When SpatialSelection(GeoMD.Store.City,
+    Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km) do
+  SetContent(SUS.DecisionMaker.dm2airportcity.degree,
+    SUS.DecisionMaker.dm2airportcity.degree + 1)
+endWhen`
+
+	ruleTrainAirportCity = `
+Rule:TrainAirportCity When SessionStart do
+  If (SUS.DecisionMaker.dm2airportcity.degree > threshold) then
+    AddLayer('Train', LINE)
+    Foreach t, c, a in (GeoMD.Train, GeoMD.Store.City, GeoMD.Airport)
+      If (Distance(Intersection(Intersection(t.geometry, c.geometry), a.geometry)) < 50km) then
+        SelectInstance(c)
+      endIf
+    endForeach
+  endIf
+endWhen`
+)
+
+func TestParseDigitLeadingRuleName(t *testing.T) {
+	// The paper names Example 5.2's rule "5kmStores"; the parser accepts
+	// digit-leading names after "Rule:".
+	r, err := ParseRule(rule5kmStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "5kmStores" {
+		t.Fatalf("name = %q", r.Name)
+	}
+}
+
+func TestParsePaperRules(t *testing.T) {
+	r1, err := ParseRule(ruleAddSpatiality)
+	if err != nil {
+		t.Fatalf("addSpatiality: %v", err)
+	}
+	if r1.Name != "addSpatiality" || r1.Event.Kind != EvSessionStart {
+		t.Fatalf("rule header wrong: %+v", r1)
+	}
+	ifStmt, ok := r1.Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("body[0] = %T", r1.Body[0])
+	}
+	if len(ifStmt.Then) != 2 {
+		t.Fatalf("then = %d stmts", len(ifStmt.Then))
+	}
+	al, ok := ifStmt.Then[0].(*AddLayerStmt)
+	if !ok || al.Layer != "Airport" || al.Geom != geom.TypePoint {
+		t.Fatalf("AddLayer = %+v", ifStmt.Then[0])
+	}
+	bs, ok := ifStmt.Then[1].(*BecomeSpatialStmt)
+	if !ok || bs.Geom != geom.TypePoint || bs.Target.String() != "MD.Sales.Store.geometry" {
+		t.Fatalf("BecomeSpatial = %+v", ifStmt.Then[1])
+	}
+
+	r2, err := ParseRule(rule5kmStores)
+	if err != nil {
+		t.Fatalf("5kmStores: %v", err)
+	}
+	fe, ok := r2.Body[0].(*ForeachStmt)
+	if !ok || len(fe.Vars) != 1 || fe.Vars[0] != "s" || fe.Sources[0].String() != "GeoMD.Store" {
+		t.Fatalf("Foreach = %+v", r2.Body[0])
+	}
+	inner, ok := fe.Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("foreach body = %T", fe.Body[0])
+	}
+	cmp, ok := inner.Cond.(*BinaryExpr)
+	if !ok || cmp.Op != OpLt {
+		t.Fatalf("condition = %+v", inner.Cond)
+	}
+	lit, ok := cmp.R.(*NumberLit)
+	if !ok || lit.Value != 5 || lit.Unit != "km" {
+		t.Fatalf("5km literal = %+v", cmp.R)
+	}
+	call, ok := cmp.L.(*CallExpr)
+	if !ok || call.Op != SpDistance || len(call.Args) != 2 {
+		t.Fatalf("Distance call = %+v", cmp.L)
+	}
+
+	r3, err := ParseRule(ruleIntAirportCity)
+	if err != nil {
+		t.Fatalf("IntAirportCity: %v", err)
+	}
+	if r3.Event.Kind != EvSpatialSelection {
+		t.Fatalf("event = %v", r3.Event.Kind)
+	}
+	if r3.Event.Target.String() != "GeoMD.Store.City" {
+		t.Fatalf("event target = %s", r3.Event.Target)
+	}
+	if _, ok := r3.Event.Cond.(*BinaryExpr); !ok {
+		t.Fatalf("event cond = %T", r3.Event.Cond)
+	}
+	sc, ok := r3.Body[0].(*SetContentStmt)
+	if !ok || sc.Target.String() != "SUS.DecisionMaker.dm2airportcity.degree" {
+		t.Fatalf("SetContent = %+v", r3.Body[0])
+	}
+	add, ok := sc.Value.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("degree+1 = %+v", sc.Value)
+	}
+
+	r4, err := ParseRule(ruleTrainAirportCity)
+	if err != nil {
+		t.Fatalf("TrainAirportCity: %v", err)
+	}
+	outer, ok := r4.Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("body[0] = %T", r4.Body[0])
+	}
+	fe3, ok := outer.Then[1].(*ForeachStmt)
+	if !ok || len(fe3.Vars) != 3 {
+		t.Fatalf("3-var foreach = %+v", outer.Then[1])
+	}
+	if fe3.Vars[0] != "t" || fe3.Sources[2].String() != "GeoMD.Airport" {
+		t.Fatalf("foreach vars/sources = %v %v", fe3.Vars, fe3.Sources)
+	}
+	cond := fe3.Body[0].(*IfStmt).Cond.(*BinaryExpr)
+	dist := cond.L.(*CallExpr)
+	if dist.Op != SpDistance || len(dist.Args) != 1 {
+		t.Fatalf("unary Distance = %+v", dist)
+	}
+	nested := dist.Args[0].(*CallExpr)
+	if nested.Op != SpIntersection {
+		t.Fatalf("nested = %+v", nested)
+	}
+	if inner2 := nested.Args[0].(*CallExpr); inner2.Op != SpIntersection {
+		t.Fatalf("inner intersection = %+v", inner2)
+	}
+}
+
+func TestParseMultipleRules(t *testing.T) {
+	rules, err := Parse(ruleAddSpatiality + "\n" + ruleTrainAirportCity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "addSpatiality" || rules[1].Name != "TrainAirportCity" {
+		t.Fatalf("rules = %v", rules)
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	e, err := ParseExpr("500m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit := e.(*NumberLit); lit.Value != 0.5 || lit.Unit != "m" {
+		t.Fatalf("500m = %+v", lit)
+	}
+	e, _ = ParseExpr("2.5km")
+	if lit := e.(*NumberLit); lit.Value != 2.5 {
+		t.Fatalf("2.5km = %+v", lit)
+	}
+	e, _ = ParseExpr("42")
+	if lit := e.(*NumberLit); lit.Value != 42 || lit.Unit != "" {
+		t.Fatalf("42 = %+v", lit)
+	}
+	if _, err := ParseExpr("5miles"); err == nil {
+		t.Error("unknown unit should error")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 < 10 and not false or true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top level must be or.
+	or, ok := e.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %+v", e)
+	}
+	and, ok := or.L.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("or.L = %+v", or.L)
+	}
+	cmp, ok := and.L.(*BinaryExpr)
+	if !ok || cmp.Op != OpLt {
+		t.Fatalf("and.L = %+v", and.L)
+	}
+	sum, ok := cmp.L.(*BinaryExpr)
+	if !ok || sum.Op != OpAdd {
+		t.Fatalf("cmp.L = %+v", cmp.L)
+	}
+	mul, ok := sum.R.(*BinaryExpr)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("sum.R = %+v", sum.R)
+	}
+}
+
+func TestParseParenthesesAndNegation(t *testing.T) {
+	e, err := ParseExpr("-(1 + 2) * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul := e.(*BinaryExpr)
+	if mul.Op != OpMul {
+		t.Fatalf("top = %+v", e)
+	}
+	neg := mul.L.(*UnaryExpr)
+	if neg.Op != OpNeg {
+		t.Fatalf("mul.L = %+v", mul.L)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e, err := ParseExpr("'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit := e.(*StringLit); lit.Value != "O'Brien" {
+		t.Fatalf("escaped = %q", lit.Value)
+	}
+	e, _ = ParseExpr(`"double"`)
+	if lit := e.(*StringLit); lit.Value != "double" {
+		t.Fatalf("double-quoted = %q", lit.Value)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// schema rule for the regional manager
+Rule:r When SessionStart do
+  AddLayer('X', POINT) // add the layer
+endWhen`
+	if _, err := ParseRule(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseElse(t *testing.T) {
+	src := `
+Rule:r When SessionStart do
+  If (true) then
+    AddLayer('A', POINT)
+  else
+    AddLayer('B', LINE)
+  endIf
+endWhen`
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := r.Body[0].(*IfStmt)
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatalf("else parse: %+v", ifs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "no rules"},
+		{"Rule addSpatiality When SessionStart do endWhen", "expected ':'"},
+		{"Rule:r When Never do endWhen", "unknown event"},
+		{"Rule:r When SessionStart do", "expected \"endWhen\""},
+		{"Rule:r When SessionStart do Frobnicate(1) endWhen", "unknown statement"},
+		{"Rule:r When SessionStart do If (true) AddLayer('A', POINT) endIf endWhen", "expected \"then\""},
+		{"Rule:r When SessionStart do Foreach in (GeoMD.Store) endForeach endWhen", "missing loop variable"},
+		{"Rule:r When SessionStart do Foreach a, b in (GeoMD.Store) endForeach endWhen", "2 variables but 1 sources"},
+		{"Rule:r When SessionStart do AddLayer(Airport, POINT) endWhen", "expected string"},
+		{"Rule:r When SessionStart do AddLayer('A', CIRCLE) endWhen", "unknown geometric type"},
+		{"Rule:r When SpatialSelection(GeoMD.Store) do endWhen", "expected ','"},
+		{"Rule:r When SessionStart do SelectInstance() endWhen", "expected an expression"},
+		{"Rule:5 When SessionStart do endWhen", "bare number"},
+		{"Rule:r When SessionStart do If (1 +) then endIf endWhen", "expected an expression"},
+		{"Rule:r When SessionStart do If ((true) then endIf endWhen", "expected ')'"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%q: expected error", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%q: error %q missing %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("Rule:r When SessionStart do\n  Frobnicate(1)\nendWhen")
+	if err == nil || !strings.Contains(err.Error(), "2:3") {
+		t.Fatalf("position missing: %v", err)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"€", "'unterminated", "'multi\nline'"} {
+		if _, err := Parse("Rule:r When SessionStart do AddLayer(" + src); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func BenchmarkParseTrainRule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRule(ruleTrainAirportCity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

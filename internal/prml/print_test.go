@@ -1,0 +1,163 @@
+package prml
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripPos removes source positions so structural comparison ignores
+// formatting differences.
+func stripPos(v any) {
+	stripValue(reflect.ValueOf(v))
+}
+
+func stripValue(rv reflect.Value) {
+	switch rv.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if !rv.IsNil() {
+			stripValue(rv.Elem())
+		}
+	case reflect.Struct:
+		for i := 0; i < rv.NumField(); i++ {
+			f := rv.Field(i)
+			if f.Type() == reflect.TypeOf(Pos{}) && f.CanSet() {
+				f.Set(reflect.Zero(f.Type()))
+				continue
+			}
+			stripValue(f)
+		}
+	case reflect.Slice:
+		for i := 0; i < rv.Len(); i++ {
+			stripValue(rv.Index(i))
+		}
+	}
+}
+
+// TestFig5MetamodelRoundTrip is experiment F5: every metamodel construct of
+// Fig. 5 (events, conditions, spatial expressions, all four actions)
+// round-trips through the canonical printer.
+func TestFig5MetamodelRoundTrip(t *testing.T) {
+	srcs := []string{
+		ruleAddSpatiality,
+		rule5kmStores,
+		ruleIntAirportCity,
+		ruleTrainAirportCity,
+		`
+Rule:kitchenSink When SessionEnd do
+  If (not (1 + 2 * 3 - 4 / 2 >= 5) or 'a' <> 'b' and true) then
+    SetContent(SUS.U.x, -3.5)
+  else
+    SelectInstance(GeoMD.Store)
+  endIf
+  Foreach a, b in (GeoMD.X, MD.Y.Z)
+    If (Intersect(a.geometry, b.geometry) = false) then
+      SelectInstance(a)
+    endIf
+    If (Cross(a.geometry, b.geometry) or Inside(a.geometry, b.geometry)
+        or Disjoint(a.geometry, b.geometry) or Equals(a.geometry, b.geometry)) then
+      SelectInstance(b)
+    endIf
+  endForeach
+  AddLayer('Highway''s', POLYGON)
+  BecomeSpatial(GeoMD.F.L.geometry, COLLECTION)
+  SetContent(SUS.U.seen, 500m)
+endWhen`,
+	}
+	for _, src := range srcs {
+		orig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		printed := Format(orig...)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, printed)
+		}
+		for _, r := range orig {
+			stripPos(r)
+		}
+		for _, r := range back {
+			stripPos(r)
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Errorf("round trip changed AST:\n--- printed ---\n%s", printed)
+		}
+	}
+}
+
+func TestFormatShape(t *testing.T) {
+	r, err := ParseRule(ruleTrainAirportCity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(r)
+	for _, frag := range []string{
+		"Rule:TrainAirportCity When SessionStart do",
+		"If ((SUS.DecisionMaker.dm2airportcity.degree > threshold)) then",
+		"AddLayer('Train', LINE)",
+		"Foreach t, c, a in (GeoMD.Train, GeoMD.Store.City, GeoMD.Airport)",
+		"Distance(Intersection(Intersection(t.geometry, c.geometry), a.geometry))",
+		"50km",
+		"SelectInstance(c)",
+		"endForeach",
+		"endWhen",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Format missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFormatUnits(t *testing.T) {
+	e, _ := ParseExpr("500m")
+	if got := FormatExpr(e); got != "500m" {
+		t.Errorf("500m formats as %q", got)
+	}
+	e, _ = ParseExpr("2.5km")
+	if got := FormatExpr(e); got != "2.5km" {
+		t.Errorf("2.5km formats as %q", got)
+	}
+	e, _ = ParseExpr("7")
+	if got := FormatExpr(e); got != "7" {
+		t.Errorf("7 formats as %q", got)
+	}
+}
+
+func TestFormatEventWithSelection(t *testing.T) {
+	r, _ := ParseRule(ruleIntAirportCity)
+	out := Format(r)
+	if !strings.Contains(out, "When SpatialSelection(GeoMD.Store.City, ") {
+		t.Errorf("event format wrong:\n%s", out)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want RuleKind
+	}{
+		{ruleAddSpatiality, RuleSchema},
+		{rule5kmStores, RuleInstance},
+		{ruleIntAirportCity, RuleTracking},
+		{ruleTrainAirportCity, RuleSchema}, // AddLayer + SelectInstance → schema phase
+		{`Rule:ack When SessionStart do SetContent(SUS.U.x, 1) endWhen`, RuleOther},
+		{`Rule:end When SessionEnd do SetContent(SUS.U.x, 0) endWhen`, RuleOther},
+	} {
+		r, err := ParseRule(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Classify(r); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", r.Name, got, tc.want)
+		}
+	}
+	for k, s := range map[RuleKind]string{
+		RuleSchema: "schema", RuleInstance: "instance",
+		RuleTracking: "tracking", RuleOther: "other", RuleKind(99): "?",
+	} {
+		if k.String() != s {
+			t.Errorf("RuleKind(%d).String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package prml
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser must never panic, whatever bytes arrive: web clients submit
+// rule sources directly (POST /api/rules).
+
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	inputs := []string{
+		"", " ", "\n\n\n", "((((((((",
+		")))))", "Rule", "Rule:", "Rule:x", "Rule:x When",
+		"When do endWhen", "endWhen endWhen endWhen",
+		"Rule:x When SessionStart do If If If endWhen",
+		"Rule:x When SessionStart do Foreach Foreach endWhen",
+		"'unterminated", `"unterminated`,
+		"Rule:x When SessionStart do SelectInstance(((((1)))) endWhen",
+		"Rule:x When SpatialSelection(,) do endWhen",
+		"1 + 2", ".....", ",,,,,", "km km km", "5km5km5km",
+		strings.Repeat("If (", 1000),
+		strings.Repeat("Rule:x When SessionStart do endWhen\n", 50) + "Rule:",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+			_, _ = ParseExpr(src)
+		}()
+	}
+}
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("Rule:xWhenSessionStartdoIfthenendIfForeachin()<>=+-*/.,'\"5km GeoMD.SUS\n\t")
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParseNeverPanicsOnMutatedRules mutates the paper's rules byte-wise:
+// deletions, substitutions, truncations.
+func TestParseNeverPanicsOnMutatedRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := ruleAddSpatiality + rule5kmStores + ruleTrainAirportCity
+	for trial := 0; trial < 2000; trial++ {
+		b := []byte(base)
+		switch rng.Intn(3) {
+		case 0: // delete a span
+			if len(b) > 10 {
+				i := rng.Intn(len(b) - 5)
+				b = append(b[:i], b[i+rng.Intn(5):]...)
+			}
+		case 1: // substitute bytes
+			for k := 0; k < 5; k++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			}
+		case 2: // truncate
+			b = b[:rng.Intn(len(b))]
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d: %v\n%s", trial, r, src)
+				}
+			}()
+			if rules, err := Parse(src); err == nil {
+				// Whatever parses must also print and re-parse.
+				if _, err := Parse(Format(rules...)); err != nil {
+					t.Fatalf("mutation %d: printed form fails to re-parse: %v", trial, err)
+				}
+			}
+		}()
+	}
+}
+
+// Analyzer must be panic-free on arbitrary (parseable) rules too.
+func TestAnalyzeNeverPanics(t *testing.T) {
+	srcs := []string{
+		"Rule:a When SessionStart do SelectInstance(GeoMD.X) endWhen",
+		"Rule:b When SpatialSelection(GeoMD.A.b, Distance(GeoMD.A.b) < 1) do SetContent(SUS.U.x, 1) endWhen",
+		"Rule:c When SessionEnd do If (not not not true) then AddLayer('x', COLLECTION) endIf endWhen",
+	}
+	for _, src := range srcs {
+		rules, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("analyze panic on %q: %v", src, r)
+				}
+			}()
+			_ = Analyze(rules, AnalyzeOptions{})
+		}()
+	}
+}

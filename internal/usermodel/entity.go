@@ -1,0 +1,245 @@
+package usermodel
+
+import (
+	"fmt"
+	"sync"
+
+	"sdwp/internal/geom"
+)
+
+// Entity is an instance of a SUS class: one node in a user's profile graph.
+// Property values are dynamically typed (string, float64, bool or
+// geom.Geometry) and checked against the class definition on write. Entities
+// are safe for concurrent use.
+type Entity struct {
+	class *ClassDef
+
+	mu    sync.RWMutex
+	props map[string]any
+	links map[string]*Entity
+}
+
+// NewEntity instantiates the class with zero-valued declared properties
+// (numbers 0, strings "", bools false, geometries nil).
+func NewEntity(class *ClassDef) *Entity {
+	e := &Entity{class: class, props: map[string]any{}, links: map[string]*Entity{}}
+	for _, pd := range class.Props {
+		switch pd.Type {
+		case PropString:
+			e.props[pd.Name] = ""
+		case PropNumber:
+			e.props[pd.Name] = 0.0
+		case PropBool:
+			e.props[pd.Name] = false
+		case PropGeometry:
+			e.props[pd.Name] = nil
+		}
+	}
+	return e
+}
+
+// Class returns the entity's class definition.
+func (e *Entity) Class() *ClassDef { return e.class }
+
+// Set writes a property value, enforcing the declared type. Numeric values
+// may be given as any Go numeric type and are normalized to float64.
+func (e *Entity) Set(prop string, v any) error {
+	pd := e.class.Prop(prop)
+	if pd == nil {
+		return fmt.Errorf("usermodel: class %q has no property %q", e.class.Name, prop)
+	}
+	norm, err := normalize(pd, v)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.props[prop] = norm
+	e.mu.Unlock()
+	return nil
+}
+
+func normalize(pd *PropDef, v any) (any, error) {
+	switch pd.Type {
+	case PropString:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("usermodel: property %q wants string, got %T", pd.Name, v)
+		}
+		return s, nil
+	case PropNumber:
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case float32:
+			return float64(n), nil
+		case int:
+			return float64(n), nil
+		case int32:
+			return float64(n), nil
+		case int64:
+			return float64(n), nil
+		}
+		return nil, fmt.Errorf("usermodel: property %q wants number, got %T", pd.Name, v)
+	case PropBool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("usermodel: property %q wants bool, got %T", pd.Name, v)
+		}
+		return b, nil
+	case PropGeometry:
+		if v == nil {
+			return nil, nil
+		}
+		g, ok := v.(geom.Geometry)
+		if !ok {
+			return nil, fmt.Errorf("usermodel: property %q wants geometry, got %T", pd.Name, v)
+		}
+		if pd.GeomType != geom.TypeInvalid && g.Type() != pd.GeomType {
+			return nil, fmt.Errorf("usermodel: property %q wants %s geometry, got %s",
+				pd.Name, pd.GeomType, g.Type())
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("usermodel: property %q has invalid declared type", pd.Name)
+}
+
+// Get reads a property value.
+func (e *Entity) Get(prop string) (any, error) {
+	if e.class.Prop(prop) == nil {
+		return nil, fmt.Errorf("usermodel: class %q has no property %q", e.class.Name, prop)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.props[prop], nil
+}
+
+// GetString reads a string property, with a zero fallback on type mismatch.
+func (e *Entity) GetString(prop string) string {
+	v, err := e.Get(prop)
+	if err != nil {
+		return ""
+	}
+	s, _ := v.(string)
+	return s
+}
+
+// GetNumber reads a numeric property.
+func (e *Entity) GetNumber(prop string) float64 {
+	v, err := e.Get(prop)
+	if err != nil {
+		return 0
+	}
+	n, _ := v.(float64)
+	return n
+}
+
+// GetGeometry reads a geometry property (nil if unset).
+func (e *Entity) GetGeometry(prop string) geom.Geometry {
+	v, err := e.Get(prop)
+	if err != nil || v == nil {
+		return nil
+	}
+	g, _ := v.(geom.Geometry)
+	return g
+}
+
+// Add increments a numeric property by delta and returns the new value —
+// the acquisition idiom of Example 5.3 (degree = degree + 1), performed
+// atomically so concurrent selections do not lose updates.
+func (e *Entity) Add(prop string, delta float64) (float64, error) {
+	pd := e.class.Prop(prop)
+	if pd == nil {
+		return 0, fmt.Errorf("usermodel: class %q has no property %q", e.class.Name, prop)
+	}
+	if pd.Type != PropNumber {
+		return 0, fmt.Errorf("usermodel: property %q is not numeric", prop)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, _ := e.props[prop].(float64)
+	cur += delta
+	e.props[prop] = cur
+	return cur, nil
+}
+
+// Link attaches target under the given association role, enforcing the
+// profile's association definitions.
+func (e *Entity) Link(p *Profile, role string, target *Entity) error {
+	def, ok := p.Assoc(e.class.Name, role)
+	if !ok {
+		return fmt.Errorf("usermodel: class %q has no association role %q", e.class.Name, role)
+	}
+	if target.class.Name != def.To {
+		return fmt.Errorf("usermodel: role %q wants class %q, got %q", role, def.To, target.class.Name)
+	}
+	e.mu.Lock()
+	e.links[role] = target
+	e.mu.Unlock()
+	return nil
+}
+
+// Nav follows the association role, returning nil if unlinked.
+func (e *Entity) Nav(role string) *Entity {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.links[role]
+}
+
+// Roles returns the currently linked roles (unsorted length check helper).
+func (e *Entity) Roles() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.links))
+	for r := range e.links {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Resolve navigates a path from this entity: each intermediate segment must
+// be an association role; the final segment may be a role (returning the
+// entity) or a property (returning its value). This implements the SUS path
+// expressions of PRML (e.g. dm2role.name, dm2session.s2location.geometry).
+func (e *Entity) Resolve(segments []string) (any, error) {
+	if len(segments) == 0 {
+		return e, nil
+	}
+	cur := e
+	for i, seg := range segments {
+		last := i == len(segments)-1
+		if next := cur.Nav(seg); next != nil {
+			if last {
+				return next, nil
+			}
+			cur = next
+			continue
+		}
+		if cur.class.Prop(seg) != nil {
+			if !last {
+				return nil, fmt.Errorf("usermodel: %q is a property of %q, cannot navigate further",
+					seg, cur.class.Name)
+			}
+			return cur.Get(seg)
+		}
+		return nil, fmt.Errorf("usermodel: class %q has neither role nor property %q",
+			cur.class.Name, seg)
+	}
+	return cur, nil
+}
+
+// SetPath navigates to the parent of the final segment and sets that
+// property — the write counterpart of Resolve used by SetContent actions.
+func (e *Entity) SetPath(segments []string, v any) error {
+	if len(segments) == 0 {
+		return fmt.Errorf("usermodel: empty path")
+	}
+	cur := e
+	for _, seg := range segments[:len(segments)-1] {
+		next := cur.Nav(seg)
+		if next == nil {
+			return fmt.Errorf("usermodel: class %q has no linked role %q", cur.class.Name, seg)
+		}
+		cur = next
+	}
+	return cur.Set(segments[len(segments)-1], v)
+}

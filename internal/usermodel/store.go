@@ -1,0 +1,224 @@
+package usermodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sdwp/internal/geom"
+)
+
+// Store holds the user profiles of a deployment: one root «User» entity per
+// user id, instantiated from a shared Profile. It is safe for concurrent
+// use and serializes to JSON for the web layer's persistence.
+type Store struct {
+	profile *Profile
+
+	mu    sync.RWMutex
+	users map[string]*Entity
+}
+
+// NewStore creates a store over a validated profile.
+func NewStore(p *Profile) (*Store, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{profile: p, users: map[string]*Entity{}}, nil
+}
+
+// Profile returns the store's SUS profile.
+func (s *Store) Profile() *Profile { return s.profile }
+
+// Create instantiates a new user profile rooted at the «User» class.
+func (s *Store) Create(userID string) (*Entity, error) {
+	if userID == "" {
+		return nil, fmt.Errorf("usermodel: empty user id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[userID]; ok {
+		return nil, fmt.Errorf("usermodel: user %q already exists", userID)
+	}
+	root := NewEntity(s.profile.Class(s.profile.UserClass()))
+	s.users[userID] = root
+	return root, nil
+}
+
+// Get returns the user's root entity, or nil.
+func (s *Store) Get(userID string) *Entity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.users[userID]
+}
+
+// GetOrCreate returns the user's root entity, creating it on first access.
+func (s *Store) GetOrCreate(userID string) (*Entity, error) {
+	if e := s.Get(userID); e != nil {
+		return e, nil
+	}
+	e, err := s.Create(userID)
+	if err != nil {
+		// Lost a race: the user now exists.
+		if e := s.Get(userID); e != nil {
+			return e, nil
+		}
+		return nil, err
+	}
+	return e, nil
+}
+
+// Users returns the known user ids, sorted.
+func (s *Store) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.users))
+	for id := range s.users {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of users.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users)
+}
+
+// entityJSON is the serialized form of an entity subtree.
+type entityJSON struct {
+	Class string                 `json:"class"`
+	Props map[string]any         `json:"props,omitempty"`
+	Links map[string]*entityJSON `json:"links,omitempty"`
+}
+
+// toJSON converts an entity subtree; geometry properties serialize as WKT
+// strings. seen guards against cycles.
+func (e *Entity) toJSON(seen map[*Entity]bool) (*entityJSON, error) {
+	if seen[e] {
+		return nil, fmt.Errorf("usermodel: cycle in profile graph at class %q", e.class.Name)
+	}
+	seen[e] = true
+	defer delete(seen, e)
+
+	out := &entityJSON{Class: e.class.Name, Props: map[string]any{}, Links: map[string]*entityJSON{}}
+	e.mu.RLock()
+	props := make(map[string]any, len(e.props))
+	for k, v := range e.props {
+		props[k] = v
+	}
+	links := make(map[string]*Entity, len(e.links))
+	for k, v := range e.links {
+		links[k] = v
+	}
+	e.mu.RUnlock()
+
+	for k, v := range props {
+		if g, ok := v.(geom.Geometry); ok {
+			out.Props[k] = g.WKT()
+		} else if v != nil {
+			out.Props[k] = v
+		}
+	}
+	for role, target := range links {
+		sub, err := target.toJSON(seen)
+		if err != nil {
+			return nil, err
+		}
+		out.Links[role] = sub
+	}
+	return out, nil
+}
+
+// fromJSON reconstructs an entity subtree against the profile.
+func fromJSON(p *Profile, in *entityJSON) (*Entity, error) {
+	class := p.Class(in.Class)
+	if class == nil {
+		return nil, fmt.Errorf("usermodel: unknown class %q in serialized profile", in.Class)
+	}
+	e := NewEntity(class)
+	for k, v := range in.Props {
+		pd := class.Prop(k)
+		if pd == nil {
+			return nil, fmt.Errorf("usermodel: class %q has no property %q", in.Class, k)
+		}
+		if pd.Type == PropGeometry {
+			s, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("usermodel: geometry property %q must be WKT string", k)
+			}
+			g, err := geom.ParseWKT(s)
+			if err != nil {
+				return nil, fmt.Errorf("usermodel: property %q: %w", k, err)
+			}
+			if err := e.Set(k, g); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.Set(k, v); err != nil {
+			return nil, err
+		}
+	}
+	for role, sub := range in.Links {
+		target, err := fromJSON(p, sub)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Link(p, role, target); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// MarshalJSON serializes all user profiles.
+func (s *Store) MarshalJSON() ([]byte, error) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.users))
+	for id := range s.users {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	users := make(map[string]*Entity, len(s.users))
+	for id, e := range s.users {
+		users[id] = e
+	}
+	s.mu.RUnlock()
+
+	out := make(map[string]*entityJSON, len(ids))
+	for _, id := range ids {
+		j, err := users[id].toJSON(map[*Entity]bool{})
+		if err != nil {
+			return nil, err
+		}
+		out[id] = j
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores user profiles (replacing current contents). The
+// store must already carry its profile.
+func (s *Store) UnmarshalJSON(data []byte) error {
+	var in map[string]*entityJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	users := make(map[string]*Entity, len(in))
+	for id, j := range in {
+		e, err := fromJSON(s.profile, j)
+		if err != nil {
+			return fmt.Errorf("user %q: %w", id, err)
+		}
+		if e.class.Name != s.profile.UserClass() {
+			return fmt.Errorf("usermodel: user %q root class %q is not the «User» class", id, e.class.Name)
+		}
+		users[id] = e
+	}
+	s.mu.Lock()
+	s.users = users
+	s.mu.Unlock()
+	return nil
+}

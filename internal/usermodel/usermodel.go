@@ -1,0 +1,262 @@
+// Package usermodel implements SUS, the paper's Spatial-aware User Model
+// (Fig. 3): a UML-profile-like definition layer whose class stereotypes are
+// «User», «Session», «Characteristic», «LocationContext» and
+// «SpatialSelection», plus a dynamic instance graph that stores each decision
+// maker's profile (Fig. 4) and is navigated by PRML path expressions such as
+// SUS.DecisionMaker.dm2role.name.
+//
+// The definition layer (Profile, ClassDef, PropDef, AssocDef) plays the role
+// of the UML profile: it constrains what the instance layer (Entity) may
+// store, so acquisition actions (SetContent) are type-checked against the
+// declared model.
+package usermodel
+
+import (
+	"fmt"
+	"sort"
+
+	"sdwp/internal/geom"
+)
+
+// Stereotype enumerates the SUS class stereotypes of Fig. 3.
+type Stereotype string
+
+const (
+	StereoUser             Stereotype = "User"
+	StereoSession          Stereotype = "Session"
+	StereoCharacteristic   Stereotype = "Characteristic"
+	StereoLocationContext  Stereotype = "LocationContext"
+	StereoSpatialSelection Stereotype = "SpatialSelection"
+)
+
+// valid reports whether the stereotype is one of the profile's five.
+func (s Stereotype) valid() bool {
+	switch s {
+	case StereoUser, StereoSession, StereoCharacteristic,
+		StereoLocationContext, StereoSpatialSelection:
+		return true
+	}
+	return false
+}
+
+// PropType enumerates property value types. GeometricTypes of the profile
+// map to PropGeometry with an associated geom.Type.
+type PropType uint8
+
+const (
+	PropString PropType = iota + 1
+	PropNumber
+	PropBool
+	PropGeometry
+)
+
+// String names the property type.
+func (p PropType) String() string {
+	switch p {
+	case PropString:
+		return "string"
+	case PropNumber:
+		return "number"
+	case PropBool:
+		return "bool"
+	case PropGeometry:
+		return "geometry"
+	default:
+		return "invalid"
+	}
+}
+
+// PropDef declares a property of a class. For PropGeometry properties,
+// GeomType restricts the allowed geometric primitive (one of the profile's
+// GeometricTypes enumeration: POINT, LINE, POLYGON, COLLECTION).
+type PropDef struct {
+	Name     string
+	Type     PropType
+	GeomType geom.Type // only for PropGeometry
+}
+
+// AssocDef declares a navigable association from one class to another under
+// a role name (e.g. DecisionMaker --dm2role--> Role).
+type AssocDef struct {
+	From string // source class
+	Role string // navigation role, unique per source class
+	To   string // target class
+}
+
+// ClassDef declares one SUS class.
+type ClassDef struct {
+	Name   string
+	Stereo Stereotype
+	Props  []PropDef
+}
+
+// Prop returns the named property definition, or nil.
+func (c *ClassDef) Prop(name string) *PropDef {
+	for i := range c.Props {
+		if c.Props[i].Name == name {
+			return &c.Props[i]
+		}
+	}
+	return nil
+}
+
+// Profile is the SUS definition layer: the set of classes and associations a
+// concrete system's user model supports.
+type Profile struct {
+	classes map[string]*ClassDef
+	assocs  map[string]map[string]AssocDef // from → role → def
+	user    string                         // the single «User» class name
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		classes: map[string]*ClassDef{},
+		assocs:  map[string]map[string]AssocDef{},
+	}
+}
+
+// AddClass declares a class. Exactly one «User» class is allowed; classes
+// stereotyped «SpatialSelection» automatically receive a numeric "degree"
+// property (the interest counter of Section 4.1) if not declared.
+func (p *Profile) AddClass(name string, stereo Stereotype, props ...PropDef) (*ClassDef, error) {
+	if name == "" {
+		return nil, fmt.Errorf("usermodel: class with empty name")
+	}
+	if !stereo.valid() {
+		return nil, fmt.Errorf("usermodel: class %q has unknown stereotype %q", name, stereo)
+	}
+	if _, ok := p.classes[name]; ok {
+		return nil, fmt.Errorf("usermodel: duplicate class %q", name)
+	}
+	if stereo == StereoUser {
+		if p.user != "" {
+			return nil, fmt.Errorf("usermodel: second «User» class %q (already have %q)", name, p.user)
+		}
+		p.user = name
+	}
+	c := &ClassDef{Name: name, Stereo: stereo}
+	seen := map[string]bool{}
+	for _, pd := range props {
+		if pd.Name == "" {
+			return nil, fmt.Errorf("usermodel: class %q has property with empty name", name)
+		}
+		if seen[pd.Name] {
+			return nil, fmt.Errorf("usermodel: class %q has duplicate property %q", name, pd.Name)
+		}
+		if pd.Type < PropString || pd.Type > PropGeometry {
+			return nil, fmt.Errorf("usermodel: class %q property %q has invalid type", name, pd.Name)
+		}
+		seen[pd.Name] = true
+		c.Props = append(c.Props, pd)
+	}
+	if stereo == StereoSpatialSelection && c.Prop("degree") == nil {
+		c.Props = append(c.Props, PropDef{Name: "degree", Type: PropNumber})
+	}
+	p.classes[name] = c
+	return c, nil
+}
+
+// AddAssoc declares an association. Role names must be unique per source
+// class and must not shadow a property of the source class (path navigation
+// would be ambiguous).
+func (p *Profile) AddAssoc(from, role, to string) error {
+	fc, ok := p.classes[from]
+	if !ok {
+		return fmt.Errorf("usermodel: association from unknown class %q", from)
+	}
+	if _, ok := p.classes[to]; !ok {
+		return fmt.Errorf("usermodel: association to unknown class %q", to)
+	}
+	if role == "" {
+		return fmt.Errorf("usermodel: association %s→%s with empty role", from, to)
+	}
+	if fc.Prop(role) != nil {
+		return fmt.Errorf("usermodel: role %q shadows a property of class %q", role, from)
+	}
+	if _, ok := p.assocs[from][role]; ok {
+		return fmt.Errorf("usermodel: duplicate role %q on class %q", role, from)
+	}
+	if p.assocs[from] == nil {
+		p.assocs[from] = map[string]AssocDef{}
+	}
+	p.assocs[from][role] = AssocDef{From: from, Role: role, To: to}
+	return nil
+}
+
+// Class returns the named class definition, or nil.
+func (p *Profile) Class(name string) *ClassDef { return p.classes[name] }
+
+// UserClass returns the name of the «User» class (empty if undeclared).
+func (p *Profile) UserClass() string { return p.user }
+
+// Assoc returns the association definition for from.role and whether it
+// exists.
+func (p *Profile) Assoc(from, role string) (AssocDef, bool) {
+	d, ok := p.assocs[from][role]
+	return d, ok
+}
+
+// Assocs returns the outgoing associations of a class, sorted by role name.
+func (p *Profile) Assocs(from string) []AssocDef {
+	roles := make([]string, 0, len(p.assocs[from]))
+	for r := range p.assocs[from] {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	out := make([]AssocDef, len(roles))
+	for i, r := range roles {
+		out[i] = p.assocs[from][r]
+	}
+	return out
+}
+
+// Classes returns all class names, sorted.
+func (p *Profile) Classes() []string {
+	out := make([]string, 0, len(p.classes))
+	for n := range p.classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassesByStereo returns the names of classes with the given stereotype,
+// sorted.
+func (p *Profile) ClassesByStereo(s Stereotype) []string {
+	var out []string
+	for n, c := range p.classes {
+		if c.Stereo == s {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks profile-level invariants: a «User» class exists, and
+// every «SpatialSelection» class is reachable from it (otherwise tracking
+// rules could never update it).
+func (p *Profile) Validate() error {
+	if p.user == "" {
+		return fmt.Errorf("usermodel: profile has no «User» class")
+	}
+	reach := map[string]bool{p.user: true}
+	frontier := []string{p.user}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, a := range p.assocs[cur] {
+			if !reach[a.To] {
+				reach[a.To] = true
+				frontier = append(frontier, a.To)
+			}
+		}
+	}
+	for name, c := range p.classes {
+		if c.Stereo == StereoSpatialSelection && !reach[name] {
+			return fmt.Errorf("usermodel: «SpatialSelection» class %q unreachable from user class %q", name, p.user)
+		}
+	}
+	return nil
+}

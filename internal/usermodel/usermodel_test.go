@@ -1,0 +1,452 @@
+package usermodel
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"sdwp/internal/geom"
+)
+
+// fig4Profile builds the paper's Fig. 4 motivating user model: a
+// DecisionMaker with a Role characteristic, a Session with a LocationContext
+// and an AirportCity spatial-selection interest counter.
+func fig4Profile(t testing.TB) *Profile {
+	t.Helper()
+	p := NewProfile()
+	mustClass := func(name string, st Stereotype, props ...PropDef) {
+		if _, err := p.AddClass(name, st, props...); err != nil {
+			t.Fatalf("AddClass(%s): %v", name, err)
+		}
+	}
+	mustClass("DecisionMaker", StereoUser, PropDef{Name: "name", Type: PropString})
+	mustClass("Role", StereoCharacteristic, PropDef{Name: "name", Type: PropString})
+	mustClass("AnalysisSession", StereoSession, PropDef{Name: "startedAt", Type: PropString})
+	mustClass("Location", StereoLocationContext,
+		PropDef{Name: "geometry", Type: PropGeometry, GeomType: geom.TypePoint})
+	mustClass("AirportCity", StereoSpatialSelection) // degree auto-added
+	for _, a := range [][3]string{
+		{"DecisionMaker", "dm2role", "Role"},
+		{"DecisionMaker", "dm2session", "AnalysisSession"},
+		{"DecisionMaker", "dm2airportcity", "AirportCity"},
+		{"AnalysisSession", "s2location", "Location"},
+	} {
+		if err := p.AddAssoc(a[0], a[1], a[2]); err != nil {
+			t.Fatalf("AddAssoc(%v): %v", a, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestFig3ProfileStereotypes(t *testing.T) {
+	p := fig4Profile(t)
+	if p.UserClass() != "DecisionMaker" {
+		t.Errorf("UserClass = %q", p.UserClass())
+	}
+	if got := p.ClassesByStereo(StereoSpatialSelection); len(got) != 1 || got[0] != "AirportCity" {
+		t.Errorf("SpatialSelection classes = %v", got)
+	}
+	if got := p.Classes(); len(got) != 5 {
+		t.Errorf("Classes = %v", got)
+	}
+	// degree auto-added to SpatialSelection classes.
+	if p.Class("AirportCity").Prop("degree") == nil {
+		t.Error("AirportCity must have auto degree property")
+	}
+	if d, ok := p.Assoc("DecisionMaker", "dm2role"); !ok || d.To != "Role" {
+		t.Errorf("Assoc dm2role = %+v,%v", d, ok)
+	}
+	if _, ok := p.Assoc("Role", "nothing"); ok {
+		t.Error("unknown assoc should not exist")
+	}
+}
+
+func TestProfileRejections(t *testing.T) {
+	p := NewProfile()
+	if _, err := p.AddClass("", StereoUser); err == nil {
+		t.Error("empty class name")
+	}
+	if _, err := p.AddClass("U", Stereotype("Wizard")); err == nil {
+		t.Error("unknown stereotype")
+	}
+	if _, err := p.AddClass("U", StereoUser); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddClass("U", StereoCharacteristic); err == nil {
+		t.Error("duplicate class")
+	}
+	if _, err := p.AddClass("U2", StereoUser); err == nil {
+		t.Error("second user class")
+	}
+	if _, err := p.AddClass("C", StereoCharacteristic,
+		PropDef{Name: "x", Type: PropString}, PropDef{Name: "x", Type: PropString}); err == nil {
+		t.Error("duplicate property")
+	}
+	if _, err := p.AddClass("C2", StereoCharacteristic, PropDef{Name: "x", Type: PropType(99)}); err == nil {
+		t.Error("invalid prop type")
+	}
+	if err := p.AddAssoc("Ghost", "r", "U"); err == nil {
+		t.Error("assoc from unknown class")
+	}
+	if err := p.AddAssoc("U", "r", "Ghost"); err == nil {
+		t.Error("assoc to unknown class")
+	}
+	if err := p.AddAssoc("U", "", "U"); err == nil {
+		t.Error("empty role")
+	}
+	// Role shadowing a property.
+	if _, err := p.AddClass("P", StereoCharacteristic, PropDef{Name: "name", Type: PropString}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddAssoc("P", "name", "U"); err == nil {
+		t.Error("role shadowing property")
+	}
+	if err := p.AddAssoc("U", "u2p", "P"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddAssoc("U", "u2p", "P"); err == nil {
+		t.Error("duplicate role")
+	}
+}
+
+func TestValidateUnreachableSpatialSelection(t *testing.T) {
+	p := NewProfile()
+	_, _ = p.AddClass("U", StereoUser)
+	_, _ = p.AddClass("Orphan", StereoSpatialSelection)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v", err)
+	}
+	// No user class at all.
+	p2 := NewProfile()
+	if err := p2.Validate(); err == nil {
+		t.Error("profile without user class must not validate")
+	}
+}
+
+func TestFig4MotivatingUserModel(t *testing.T) {
+	p := fig4Profile(t)
+	st, err := NewStore(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := st.Create("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Set("name", "Alice"); err != nil {
+		t.Fatal(err)
+	}
+	role := NewEntity(p.Class("Role"))
+	if err := role.Set("name", "RegionalSalesManager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Link(p, "dm2role", role); err != nil {
+		t.Fatal(err)
+	}
+	ac := NewEntity(p.Class("AirportCity"))
+	if err := dm.Link(p, "dm2airportcity", ac); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewEntity(p.Class("AnalysisSession"))
+	loc := NewEntity(p.Class("Location"))
+	if err := loc.Set("geometry", geom.Pt(-0.48, 38.34)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Link(p, "s2location", loc); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Link(p, "dm2session", sess); err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's path expressions resolve.
+	v, err := dm.Resolve([]string{"dm2role", "name"})
+	if err != nil || v != "RegionalSalesManager" {
+		t.Fatalf("SUS.DecisionMaker.dm2role.name = %v, %v", v, err)
+	}
+	v, err = dm.Resolve([]string{"name"})
+	if err != nil || v != "Alice" {
+		t.Fatalf("SUS.DecisionMaker.name = %v, %v", v, err)
+	}
+	g, err := dm.Resolve([]string{"dm2session", "s2location", "geometry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt, ok := g.(geom.Geometry); !ok || pt.Type() != geom.TypePoint {
+		t.Fatalf("location geometry = %T", g)
+	}
+	// Resolve to an entity when the path ends on a role.
+	e, err := dm.Resolve([]string{"dm2airportcity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent, ok := e.(*Entity); !ok || ent.Class().Name != "AirportCity" {
+		t.Fatalf("dm2airportcity = %T", e)
+	}
+	// degree starts at 0 and counts up (Example 5.3 acquisition).
+	if got := ac.GetNumber("degree"); got != 0 {
+		t.Fatalf("initial degree = %v", got)
+	}
+	if _, err := ac.Add("degree", 1); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = dm.Resolve([]string{"dm2airportcity", "degree"})
+	if v != 1.0 {
+		t.Fatalf("degree after increment = %v", v)
+	}
+	// SetPath writes through the graph.
+	if err := dm.SetPath([]string{"dm2airportcity", "degree"}, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.GetNumber("degree"); got != 5 {
+		t.Fatalf("degree after SetPath = %v", got)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	p := fig4Profile(t)
+	dm := NewEntity(p.Class("DecisionMaker"))
+	if _, err := dm.Resolve([]string{"nothing"}); err == nil {
+		t.Error("unknown segment")
+	}
+	if _, err := dm.Resolve([]string{"name", "deeper"}); err == nil {
+		t.Error("navigating through a property")
+	}
+	if _, err := dm.Resolve([]string{"dm2role", "name"}); err == nil {
+		t.Error("unlinked role navigation must fail")
+	}
+	if err := dm.SetPath(nil, 1); err == nil {
+		t.Error("empty SetPath")
+	}
+	if err := dm.SetPath([]string{"dm2role", "name"}, "x"); err == nil {
+		t.Error("SetPath through unlinked role")
+	}
+	got, err := dm.Resolve(nil)
+	if err != nil || got != dm {
+		t.Error("empty path resolves to self")
+	}
+}
+
+func TestEntityTypeChecking(t *testing.T) {
+	p := fig4Profile(t)
+	dm := NewEntity(p.Class("DecisionMaker"))
+	if err := dm.Set("name", 42); err == nil {
+		t.Error("string prop accepts number")
+	}
+	if err := dm.Set("ghost", "x"); err == nil {
+		t.Error("unknown prop")
+	}
+	ac := NewEntity(p.Class("AirportCity"))
+	if err := ac.Set("degree", 3); err != nil {
+		t.Errorf("int should normalize to number: %v", err)
+	}
+	if err := ac.Set("degree", "many"); err == nil {
+		t.Error("number prop accepts string")
+	}
+	if _, err := ac.Add("ghost", 1); err == nil {
+		t.Error("Add on unknown prop")
+	}
+	loc := NewEntity(p.Class("Location"))
+	if err := loc.Set("geometry", geom.Ln(geom.Pt(0, 0), geom.Pt(1, 1))); err == nil {
+		t.Error("POINT-typed geometry prop accepts LINE")
+	}
+	if err := loc.Set("geometry", geom.Pt(1, 2)); err != nil {
+		t.Errorf("point accepted: %v", err)
+	}
+	if err := loc.Set("geometry", "not a geometry"); err == nil {
+		t.Error("geometry prop accepts string")
+	}
+	role := NewEntity(p.Class("Role"))
+	if err := dm.Link(p, "ghostRole", role); err == nil {
+		t.Error("unknown role link")
+	}
+	if err := dm.Link(p, "dm2session", role); err == nil {
+		t.Error("wrong target class link")
+	}
+	if _, err := role.Add("name", 1); err == nil {
+		t.Error("Add on non-numeric prop")
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	p := fig4Profile(t)
+	st, err := NewStore(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(""); err == nil {
+		t.Error("empty user id")
+	}
+	u, err := st.Create("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create("alice"); err == nil {
+		t.Error("duplicate user")
+	}
+	if got := st.Get("alice"); got != u {
+		t.Error("Get returned different entity")
+	}
+	if st.Get("bob") != nil {
+		t.Error("unknown user should be nil")
+	}
+	got, err := st.GetOrCreate("bob")
+	if err != nil || got == nil {
+		t.Fatal("GetOrCreate failed")
+	}
+	if again, _ := st.GetOrCreate("bob"); again != got {
+		t.Error("GetOrCreate must be stable")
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	ids := st.Users()
+	if len(ids) != 2 || ids[0] != "alice" || ids[1] != "bob" {
+		t.Errorf("Users = %v", ids)
+	}
+	// Store requires a valid profile.
+	if _, err := NewStore(NewProfile()); err == nil {
+		t.Error("store over invalid profile")
+	}
+}
+
+func TestStoreJSONRoundTrip(t *testing.T) {
+	p := fig4Profile(t)
+	st, _ := NewStore(p)
+	dm, _ := st.Create("alice")
+	_ = dm.Set("name", "Alice")
+	role := NewEntity(p.Class("Role"))
+	_ = role.Set("name", "RegionalSalesManager")
+	_ = dm.Link(p, "dm2role", role)
+	ac := NewEntity(p.Class("AirportCity"))
+	_, _ = ac.Add("degree", 4)
+	_ = dm.Link(p, "dm2airportcity", ac)
+	sess := NewEntity(p.Class("AnalysisSession"))
+	loc := NewEntity(p.Class("Location"))
+	_ = loc.Set("geometry", geom.Pt(-3.7, 40.4))
+	_ = sess.Link(p, "s2location", loc)
+	_ = dm.Link(p, "dm2session", sess)
+
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := NewStore(p)
+	if err := json.Unmarshal(data, st2); err != nil {
+		t.Fatal(err)
+	}
+	dm2 := st2.Get("alice")
+	if dm2 == nil {
+		t.Fatal("alice lost in round trip")
+	}
+	v, err := dm2.Resolve([]string{"dm2role", "name"})
+	if err != nil || v != "RegionalSalesManager" {
+		t.Fatalf("role lost: %v, %v", v, err)
+	}
+	v, _ = dm2.Resolve([]string{"dm2airportcity", "degree"})
+	if v != 4.0 {
+		t.Fatalf("degree lost: %v", v)
+	}
+	g, err := dm2.Resolve([]string{"dm2session", "s2location", "geometry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt, ok := g.(geom.Point); !ok || !pt.Eq(geom.Pt(-3.7, 40.4)) {
+		t.Fatalf("geometry lost: %v", g)
+	}
+}
+
+func TestStoreJSONRejectsGarbage(t *testing.T) {
+	p := fig4Profile(t)
+	st, _ := NewStore(p)
+	for _, bad := range []string{
+		`{"u":{"class":"Ghost"}}`,
+		`{"u":{"class":"Role"}}`, // not the user class
+		`{"u":{"class":"DecisionMaker","props":{"ghost":1}}}`,
+		`{"u":{"class":"DecisionMaker","links":{"dm2role":{"class":"AnalysisSession"}}}}`,
+		`{"u":{"class":"DecisionMaker","links":{"dm2session":{"class":"AnalysisSession","links":{"s2location":{"class":"Location","props":{"geometry":"POINT (bad"}}}}}}}`,
+		`not json`,
+	} {
+		if err := json.Unmarshal([]byte(bad), st); err == nil {
+			t.Errorf("accepted garbage: %s", bad)
+		}
+	}
+}
+
+func TestConcurrentDegreeIncrements(t *testing.T) {
+	p := fig4Profile(t)
+	ac := NewEntity(p.Class("AirportCity"))
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ac.Add("degree", 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ac.GetNumber("degree"); got != n {
+		t.Fatalf("degree = %v, want %d", got, n)
+	}
+}
+
+func TestPropTypeStrings(t *testing.T) {
+	for pt, want := range map[PropType]string{
+		PropString: "string", PropNumber: "number", PropBool: "bool",
+		PropGeometry: "geometry", PropType(0): "invalid",
+	} {
+		if got := pt.String(); got != want {
+			t.Errorf("%d.String() = %q", pt, got)
+		}
+	}
+}
+
+func TestAccessorFallbacks(t *testing.T) {
+	p := fig4Profile(t)
+	dm := NewEntity(p.Class("DecisionMaker"))
+	// Typed getters fall back to zero values on unknown properties.
+	if dm.GetString("ghost") != "" || dm.GetNumber("ghost") != 0 || dm.GetGeometry("ghost") != nil {
+		t.Error("getter fallbacks wrong")
+	}
+	loc := NewEntity(p.Class("Location"))
+	if loc.GetGeometry("geometry") != nil {
+		t.Error("unset geometry should be nil")
+	}
+	_ = loc.Set("geometry", geom.Pt(1, 2))
+	if g := loc.GetGeometry("geometry"); g == nil || g.Type() != geom.TypePoint {
+		t.Error("geometry getter")
+	}
+	if len(dm.Roles()) != 0 {
+		t.Error("fresh entity has no linked roles")
+	}
+	role := NewEntity(p.Class("Role"))
+	_ = dm.Link(p, "dm2role", role)
+	if got := dm.Roles(); len(got) != 1 || got[0] != "dm2role" {
+		t.Errorf("Roles = %v", got)
+	}
+	if dm.Class().Name != "DecisionMaker" {
+		t.Error("Class accessor")
+	}
+}
+
+func TestAssocsListing(t *testing.T) {
+	p := fig4Profile(t)
+	assocs := p.Assocs("DecisionMaker")
+	if len(assocs) != 3 {
+		t.Fatalf("assocs = %+v", assocs)
+	}
+	// Sorted by role name.
+	if assocs[0].Role != "dm2airportcity" || assocs[2].Role != "dm2session" {
+		t.Errorf("order = %v %v %v", assocs[0].Role, assocs[1].Role, assocs[2].Role)
+	}
+	if len(p.Assocs("Role")) != 0 {
+		t.Error("Role has no outgoing assocs")
+	}
+}

@@ -1,0 +1,503 @@
+// Package webapi exposes the personalization engine over HTTP+JSON — the
+// web deployment shape the paper inherits from Web engineering: logging in
+// starts a personalized analysis session (firing the user's rules), and the
+// session token then scopes schema inspection, OLAP queries and spatial
+// selections.
+//
+// Endpoints (all JSON):
+//
+//	POST /api/login    {user, locationWKT?}            → {session}
+//	POST /api/logout   {session}                       → {ok}
+//	GET  /api/schema?session=...                       → personalized GeoMD
+//	POST /api/query    {session, fact, groupBy, aggregates, baseline?}
+//	POST /api/select   {session, target, predicate}    → selection result
+//	GET  /api/profile?user=...                         → SUS profile instance
+//	GET  /api/rules                                    → registered rules (canonical PRML)
+//	POST /api/rules    {source}                        → register rules
+//	GET  /api/layers                                   → geographic catalog
+//	GET  /api/geojson?session=...[&selected=1][&simplify=0.01]
+//	                                                   → personalized map (GeoJSON)
+//	GET  /api/healthz                                  → liveness
+package webapi
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"sdwp/internal/core"
+	"sdwp/internal/cube"
+	"sdwp/internal/export"
+	"sdwp/internal/geom"
+	"sdwp/internal/prml"
+)
+
+// Server serves the personalization API for one engine.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*core.Session // token → session
+}
+
+// NewServer builds a Server and its routes.
+func NewServer(e *core.Engine) *Server {
+	s := &Server{
+		engine:   e,
+		mux:      http.NewServeMux(),
+		sessions: map[string]*core.Session{},
+	}
+	s.mux.HandleFunc("/api/login", s.handleLogin)
+	s.mux.HandleFunc("/api/logout", s.handleLogout)
+	s.mux.HandleFunc("/api/schema", s.handleSchema)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/select", s.handleSelect)
+	s.mux.HandleFunc("/api/profile", s.handleProfile)
+	s.mux.HandleFunc("/api/rules", s.handleRules)
+	s.mux.HandleFunc("/api/layers", s.handleLayers)
+	s.mux.HandleFunc("/api/geojson", s.handleGeoJSON)
+	s.mux.HandleFunc("/api/map.svg", s.handleMapSVG)
+	s.mux.HandleFunc("/api/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- helpers ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is not recoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (s *Server) session(token string) *core.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[token]
+}
+
+// --- handlers ---
+
+type loginRequest struct {
+	User        string `json:"user"`
+	LocationWKT string `json:"locationWKT,omitempty"`
+}
+
+type loginResponse struct {
+	Session    string   `json:"session"`
+	SchemaDiff []string `json:"schemaDiff,omitempty"`
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req loginRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.User == "" {
+		writeErr(w, http.StatusBadRequest, "user is required")
+		return
+	}
+	var loc geom.Geometry
+	if req.LocationWKT != "" {
+		g, err := geom.ParseWKT(req.LocationWKT)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad locationWKT: %v", err)
+			return
+		}
+		loc = g
+	}
+	sess, err := s.engine.StartSession(req.User, loc)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "session start failed: %v", err)
+		return
+	}
+	token := newToken()
+	s.mu.Lock()
+	s.sessions[token] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, loginResponse{
+		Session:    token,
+		SchemaDiff: sess.Schema().Diff(s.engine.Cube().Schema()),
+	})
+}
+
+type logoutRequest struct {
+	Session string `json:"session"`
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req logoutRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess := s.session(req.Session)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	if err := s.engine.EndSession(sess); err != nil {
+		writeErr(w, http.StatusInternalServerError, "session end failed: %v", err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, req.Session)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	sess := s.session(r.URL.Query().Get("session"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, sess.Schema().Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Schema())
+}
+
+type queryRequest struct {
+	Session    string        `json:"session"`
+	Fact       string        `json:"fact"`
+	GroupBy    []levelRef    `json:"groupBy,omitempty"`
+	Aggregates []measureAgg  `json:"aggregates"`
+	Filters    []attrFilter  `json:"filters,omitempty"`
+	OrderBy    *cube.OrderBy `json:"orderBy,omitempty"`
+	Limit      int           `json:"limit,omitempty"`
+	Baseline   bool          `json:"baseline,omitempty"` // bypass personalization
+}
+
+type levelRef struct {
+	Dimension string `json:"dimension"`
+	Level     string `json:"level"`
+}
+
+type measureAgg struct {
+	Measure string `json:"measure,omitempty"`
+	Agg     string `json:"agg"`
+}
+
+type attrFilter struct {
+	Dimension string `json:"dimension"`
+	Level     string `json:"level"`
+	Attr      string `json:"attr"`
+	Op        string `json:"op"` // =, <>, <, <=, >, >=
+	Value     any    `json:"value"`
+}
+
+// filterOps maps the wire operators to cube filter operators.
+var filterOps = map[string]cube.FilterOp{
+	"=": cube.OpEq, "<>": cube.OpNe, "<": cube.OpLt,
+	"<=": cube.OpLe, ">": cube.OpGt, ">=": cube.OpGe,
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess := s.session(req.Session)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	q := cube.Query{Fact: req.Fact, OrderBy: req.OrderBy, Limit: req.Limit}
+	for _, g := range req.GroupBy {
+		q.GroupBy = append(q.GroupBy, cube.LevelRef{Dimension: g.Dimension, Level: g.Level})
+	}
+	for _, a := range req.Aggregates {
+		agg, err := cube.ParseAgg(a.Agg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: a.Measure, Agg: agg})
+	}
+	for _, f := range req.Filters {
+		op, ok := filterOps[f.Op]
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "unknown filter operator %q", f.Op)
+			return
+		}
+		q.Filters = append(q.Filters, cube.AttrFilter{
+			LevelRef: cube.LevelRef{Dimension: f.Dimension, Level: f.Level},
+			Attr:     f.Attr, Op: op, Value: f.Value,
+		})
+	}
+	var (
+		res *cube.Result
+		err error
+	)
+	if req.Baseline {
+		res, err = sess.QueryBaseline(q)
+	} else {
+		res, err = sess.Query(q)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "query failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type selectRequest struct {
+	Session   string `json:"session"`
+	Target    string `json:"target"`
+	Predicate string `json:"predicate"`
+}
+
+type selectResponse struct {
+	Selected   []string `json:"selected"`
+	RulesFired []string `json:"rulesFired,omitempty"`
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req selectRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess := s.session(req.Session)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	res, err := sess.SpatialSelect(req.Target, req.Predicate)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "selection failed: %v", err)
+		return
+	}
+	resp := selectResponse{RulesFired: res.RulesFired}
+	for _, inst := range res.Selected {
+		resp.Selected = append(resp.Selected, s.instanceName(inst))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// instanceName renders a selected instance as its display name.
+func (s *Server) instanceName(inst prml.Instance) string {
+	c := s.engine.Cube()
+	switch inst.Kind {
+	case prml.InstMember:
+		if dd := c.Dimension(inst.Dimension); dd != nil {
+			if ld := dd.Level(inst.Level); ld != nil && int(inst.Index) < ld.Len() {
+				return ld.Name(inst.Index)
+			}
+		}
+	case prml.InstLayerObject:
+		if ld := c.Layer(inst.Layer); ld != nil && int(inst.Index) < ld.Len() {
+			return ld.Name(inst.Index)
+		}
+	}
+	return inst.String()
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	user := r.URL.Query().Get("user")
+	if s.engine.Users().Get(user) == nil {
+		writeErr(w, http.StatusNotFound, "unknown user %q", user)
+		return
+	}
+	// Serialize just this user through the store's JSON form.
+	data, err := json.Marshal(s.engine.Users())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "profile marshal: %v", err)
+		return
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(data, &all); err != nil {
+		writeErr(w, http.StatusInternalServerError, "profile unmarshal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(all[user])
+}
+
+type rulesRequest struct {
+	Source string `json:"source,omitempty"` // POST: PRML source to register
+	Name   string `json:"name,omitempty"`   // DELETE: rule to remove
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, prml.Format(s.engine.Rules()...))
+	case http.MethodPost:
+		var req rulesRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		rules, err := s.engine.AddRules(req.Source)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "rules rejected: %v", err)
+			return
+		}
+		names := make([]string, len(rules))
+		for i, rl := range rules {
+			names[i] = rl.Name
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"added": names})
+	case http.MethodDelete:
+		var req rulesRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.Name == "" {
+			writeErr(w, http.StatusBadRequest, "name is required")
+			return
+		}
+		if !s.engine.RemoveRule(req.Name) {
+			writeErr(w, http.StatusNotFound, "no rule named %q", req.Name)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"removed": req.Name})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+type layerInfo struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Objects int    `json:"objects"`
+}
+
+func (s *Server) handleLayers(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	c := s.engine.Cube()
+	var out []layerInfo
+	for _, name := range c.Layers() {
+		ld := c.Layer(name)
+		out = append(out, layerInfo{Name: name, Type: ld.Type().String(), Objects: ld.Len()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGeoJSON renders the session's personalized map: the layers and
+// spatial levels of their schema plus selection states (see package
+// export).
+func (s *Server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	sess := s.session(r.URL.Query().Get("session"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	opts := export.Options{SelectedOnly: r.URL.Query().Get("selected") == "1"}
+	if tol := r.URL.Query().Get("simplify"); tol != "" {
+		v, err := strconv.ParseFloat(tol, 64)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "bad simplify tolerance %q", tol)
+			return
+		}
+		opts.SimplifyTolerance = v
+	}
+	fc, err := export.Session(sess, opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "export failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/geo+json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(fc)
+}
+
+// handleMapSVG renders the session's personalized map as an SVG image.
+func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	sess := s.session(r.URL.Query().Get("session"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	opts := export.SVGOptions{}
+	if ws := r.URL.Query().Get("width"); ws != "" {
+		v, err := strconv.Atoi(ws)
+		if err != nil || v <= 0 || v > 8192 {
+			writeErr(w, http.StatusBadRequest, "bad width %q", ws)
+			return
+		}
+		opts.Width = v
+	}
+	svg, err := export.SessionSVG(sess, opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "render failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(svg))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,565 @@
+package webapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sdwp/internal/core"
+	"sdwp/internal/datagen"
+	"sdwp/internal/prml"
+)
+
+const testRules = `
+Rule:addSpatiality When SessionStart do
+  If (SUS.DecisionMaker.dm2role.name = 'RegionalSalesManager') then
+    AddLayer('Airport', POINT)
+    BecomeSpatial(MD.Sales.Store.geometry, POINT)
+  endIf
+endWhen
+
+Rule:5kmStores When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen
+
+Rule:IntAirportCity When SpatialSelection(GeoMD.Store.City,
+    Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km) do
+  SetContent(SUS.DecisionMaker.dm2airportcity.degree,
+    SUS.DecisionMaker.dm2airportcity.degree + 1)
+endWhen
+`
+
+func newTestServer(t *testing.T) (*httptest.Server, *datagen.Dataset) {
+	t.Helper()
+	cfg := datagen.Default()
+	cfg.Cities = 20
+	cfg.Stores = 80
+	cfg.Customers = 50
+	cfg.Sales = 1500
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := datagen.NewUserStore(map[string]string{
+		"alice": "RegionalSalesManager",
+		"bob":   "Accountant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(ds.Cube, users, core.Options{})
+	e.SetParam("threshold", prml.NumberVal(2))
+	if _, err := e.AddRules(testRules); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(e))
+	t.Cleanup(srv.Close)
+	return srv, ds
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func login(t *testing.T, srv *httptest.Server, user, locWKT string) string {
+	t.Helper()
+	resp, body := postJSON(t, srv.URL+"/api/login", map[string]string{
+		"user": user, "locationWKT": locWKT,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login %s: %s (%s)", user, resp.Status, body)
+	}
+	var lr struct {
+		Session    string   `json:"session"`
+		SchemaDiff []string `json:"schemaDiff"`
+	}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Session == "" {
+		t.Fatal("empty session token")
+	}
+	return lr.Session
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, body := getBody(t, srv.URL+"/api/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %s %s", resp.Status, body)
+	}
+}
+
+func TestLoginPersonalizesSchema(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	wkt := fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y)
+
+	resp, body := postJSON(t, srv.URL+"/api/login", map[string]string{"user": "alice", "locationWKT": wkt})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login: %s %s", resp.Status, body)
+	}
+	var lr struct {
+		Session    string   `json:"session"`
+		SchemaDiff []string `json:"schemaDiff"`
+	}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	// The manager's login reports the Fig. 6 delta.
+	joined := strings.Join(lr.SchemaDiff, "|")
+	if !strings.Contains(joined, "+Layer Airport POINT") ||
+		!strings.Contains(joined, "+SpatialLevel Store.Store POINT") {
+		t.Fatalf("schemaDiff = %v", lr.SchemaDiff)
+	}
+
+	// Schema endpoint returns the personalized model.
+	resp, body = getBody(t, srv.URL+"/api/schema?session="+lr.Session)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schema: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), "Airport") {
+		t.Errorf("schema JSON missing Airport layer: %s", body)
+	}
+	// Text rendering too.
+	resp, body = getBody(t, srv.URL+"/api/schema?format=text&session="+lr.Session)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "Layer Airport: POINT") {
+		t.Errorf("schema text: %s %s", resp.Status, body)
+	}
+
+	// The accountant's diff is empty.
+	bobTok := login(t, srv, "bob", wkt)
+	_ = bobTok
+}
+
+func TestQueryPersonalizedVsBaseline(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[1]
+	tok := login(t, srv, "alice", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	q := map[string]any{
+		"session":    tok,
+		"fact":       "Sales",
+		"groupBy":    []map[string]string{{"dimension": "Store", "level": "City"}},
+		"aggregates": []map[string]string{{"measure": "UnitSales", "agg": "SUM"}},
+	}
+	resp, body := postJSON(t, srv.URL+"/api/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %s %s", resp.Status, body)
+	}
+	var personalized struct {
+		Rows         []struct{ Groups []string } `json:"rows"`
+		MatchedFacts int                         `json:"matchedFacts"`
+	}
+	if err := json.Unmarshal(body, &personalized); err != nil {
+		t.Fatal(err)
+	}
+
+	q["baseline"] = true
+	resp, body = postJSON(t, srv.URL+"/api/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline query: %s %s", resp.Status, body)
+	}
+	var baseline struct {
+		MatchedFacts int `json:"matchedFacts"`
+	}
+	if err := json.Unmarshal(body, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if personalized.MatchedFacts >= baseline.MatchedFacts {
+		t.Errorf("personalized %d !< baseline %d", personalized.MatchedFacts, baseline.MatchedFacts)
+	}
+}
+
+func TestSelectFiresTrackingRule(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	tok := login(t, srv, "alice", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	resp, body := postJSON(t, srv.URL+"/api/select", map[string]string{
+		"session":   tok,
+		"target":    "GeoMD.Store.City",
+		"predicate": "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select: %s %s", resp.Status, body)
+	}
+	var sr struct {
+		Selected   []string `json:"selected"`
+		RulesFired []string `json:"rulesFired"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Selected) == 0 {
+		t.Fatal("nothing selected")
+	}
+	if len(sr.RulesFired) != 1 || sr.RulesFired[0] != "IntAirportCity" {
+		t.Fatalf("rulesFired = %v", sr.RulesFired)
+	}
+	// Selected entries are city display names.
+	for _, name := range sr.Selected {
+		if !strings.HasPrefix(name, "City") {
+			t.Errorf("selected name %q is not a city descriptor", name)
+		}
+	}
+
+	// Profile shows the acquired degree.
+	resp, body = getBody(t, srv.URL+"/api/profile?user=alice")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), `"degree":1`) {
+		t.Errorf("profile missing degree: %s", body)
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, body := getBody(t, srv.URL+"/api/rules")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rules get: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), "Rule:addSpatiality") {
+		t.Errorf("rules text missing: %s", body)
+	}
+	// Register a new rule.
+	resp, body = postJSON(t, srv.URL+"/api/rules", map[string]string{
+		"source": "Rule:extra When SessionEnd do SetContent(SUS.DecisionMaker.name, 'bye') endWhen",
+	})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "extra") {
+		t.Fatalf("rules post: %s %s", resp.Status, body)
+	}
+	// Broken rules rejected with 422.
+	resp, _ = postJSON(t, srv.URL+"/api/rules", map[string]string{"source": "Rule:x When"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("broken rules: %s", resp.Status)
+	}
+}
+
+func TestLayersEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, body := getBody(t, srv.URL+"/api/layers")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("layers: %s", resp.Status)
+	}
+	var layers []struct {
+		Name    string `json:"name"`
+		Type    string `json:"type"`
+		Objects int    `json:"objects"`
+	}
+	if err := json.Unmarshal(body, &layers); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, l := range layers {
+		found[l.Name] = l.Objects > 0
+	}
+	for _, want := range []string{"Airport", "Train", "Hospital", "Highway"} {
+		if !found[want] {
+			t.Errorf("layer %s missing or empty (got %v)", want, layers)
+		}
+	}
+}
+
+func TestLogout(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	tok := login(t, srv, "alice", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+	resp, _ := postJSON(t, srv.URL+"/api/logout", map[string]string{"session": tok})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("logout: %s", resp.Status)
+	}
+	// The token is gone.
+	resp, _ = getBody(t, srv.URL+"/api/schema?session="+tok)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stale session: %s", resp.Status)
+	}
+	resp, _ = postJSON(t, srv.URL+"/api/logout", map[string]string{"session": tok})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double logout: %s", resp.Status)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	wkt := fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y)
+
+	// Wrong methods.
+	resp, _ := getBody(t, srv.URL+"/api/login")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET login: %s", resp.Status)
+	}
+	// Missing user.
+	resp, _ = postJSON(t, srv.URL+"/api/login", map[string]string{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty login: %s", resp.Status)
+	}
+	// Bad WKT.
+	resp, _ = postJSON(t, srv.URL+"/api/login", map[string]string{"user": "alice", "locationWKT": "POINT(oops"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad wkt: %s", resp.Status)
+	}
+	// Login without location fails the location rule (422).
+	resp, _ = postJSON(t, srv.URL+"/api/login", map[string]string{"user": "alice"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("no-location login: %s", resp.Status)
+	}
+	// Unknown fields rejected.
+	resp, _ = postJSON(t, srv.URL+"/api/login", map[string]string{"user": "alice", "bogus": "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %s", resp.Status)
+	}
+	// Unknown session on query/select.
+	resp, _ = postJSON(t, srv.URL+"/api/query", map[string]any{"session": "nope", "fact": "Sales",
+		"aggregates": []map[string]string{{"agg": "COUNT"}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session query: %s", resp.Status)
+	}
+	// Bad aggregation name.
+	tok := login(t, srv, "alice", wkt)
+	resp, _ = postJSON(t, srv.URL+"/api/query", map[string]any{"session": tok, "fact": "Sales",
+		"aggregates": []map[string]string{{"agg": "MEDIAN"}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad agg: %s", resp.Status)
+	}
+	// Bad query (unknown fact).
+	resp, _ = postJSON(t, srv.URL+"/api/query", map[string]any{"session": tok, "fact": "Ghost",
+		"aggregates": []map[string]string{{"agg": "COUNT"}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown fact: %s", resp.Status)
+	}
+	// Bad selection.
+	resp, _ = postJSON(t, srv.URL+"/api/select", map[string]string{"session": tok,
+		"target": "SUS.DecisionMaker", "predicate": "true"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad select target: %s", resp.Status)
+	}
+	// Unknown profile.
+	resp, _ = getBody(t, srv.URL+"/api/profile?user=ghost")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown profile: %s", resp.Status)
+	}
+}
+
+func TestGeoJSONEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	tok := login(t, srv, "alice", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	resp, body := getBody(t, srv.URL+"/api/geojson?session="+tok)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("geojson: %s %s", resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/geo+json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(body, &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) == 0 {
+		t.Fatalf("geojson shape: %s", body)
+	}
+	kinds := map[string]int{}
+	for _, f := range fc.Features {
+		k, _ := f.Properties["kind"].(string)
+		kinds[k]++
+	}
+	if kinds["layer"] == 0 || kinds["member"] == 0 || kinds["userLocation"] != 1 {
+		t.Fatalf("feature kinds = %v", kinds)
+	}
+
+	// Selected-only and simplified variants.
+	resp, selBody := getBody(t, srv.URL+"/api/geojson?selected=1&session="+tok)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("selected geojson: %s", resp.Status)
+	}
+	if len(selBody) >= len(body) {
+		t.Error("selected-only export should be smaller")
+	}
+	resp, _ = getBody(t, srv.URL+"/api/geojson?simplify=0.01&session="+tok)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simplified geojson: %s", resp.Status)
+	}
+	// Errors.
+	resp, _ = getBody(t, srv.URL+"/api/geojson?session=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: %s", resp.Status)
+	}
+	resp, _ = getBody(t, srv.URL+"/api/geojson?simplify=-1&session="+tok)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad simplify: %s", resp.Status)
+	}
+}
+
+func TestQueryFiltersOrderLimitOverHTTP(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	tok := login(t, srv, "bob", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	// Top-3 product families by units, cities over 1M population only.
+	resp, body := postJSON(t, srv.URL+"/api/query", map[string]any{
+		"session":    tok,
+		"fact":       "Sales",
+		"baseline":   true,
+		"groupBy":    []map[string]string{{"dimension": "Product", "level": "Family"}},
+		"aggregates": []map[string]string{{"measure": "UnitSales", "agg": "SUM"}},
+		"filters": []map[string]any{{
+			"dimension": "Store", "level": "City", "attr": "population",
+			"op": ">", "value": 1000000,
+		}},
+		"orderBy": map[string]any{"agg": 0, "desc": true},
+		"limit":   3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %s %s", resp.Status, body)
+	}
+	var res struct {
+		Rows []struct {
+			Groups []string  `json:"groups"`
+			Values []float64 `json:"values"`
+		} `json:"rows"`
+		MatchedFacts int `json:"matchedFacts"`
+		ScannedFacts int `json:"scannedFacts"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("limit ignored: %d rows", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Values[0] > res.Rows[i-1].Values[0] {
+			t.Fatalf("not descending: %+v", res.Rows)
+		}
+	}
+	if res.MatchedFacts >= res.ScannedFacts {
+		t.Fatalf("population filter had no effect: %d of %d", res.MatchedFacts, res.ScannedFacts)
+	}
+	// Unknown filter operator rejected.
+	resp, _ = postJSON(t, srv.URL+"/api/query", map[string]any{
+		"session":    tok,
+		"fact":       "Sales",
+		"aggregates": []map[string]string{{"agg": "COUNT"}},
+		"filters": []map[string]any{{
+			"dimension": "Store", "level": "City", "attr": "population",
+			"op": "~", "value": 1,
+		}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op: %s", resp.Status)
+	}
+}
+
+func TestRuleRemovalOverHTTP(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	wkt := fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y)
+
+	// Remove the schema rule; new manager sessions lose the Airport layer.
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/api/rules",
+		strings.NewReader(`{"name":"addSpatiality"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete rule: %s", resp.Status)
+	}
+	resp2, body := postJSON(t, srv.URL+"/api/login", map[string]string{"user": "alice", "locationWKT": wkt})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("login: %s %s", resp2.Status, body)
+	}
+	if strings.Contains(string(body), "Airport") {
+		t.Errorf("removed rule still fired: %s", body)
+	}
+	// Unknown rule → 404; missing name → 400.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/api/rules", strings.NewReader(`{"name":"ghost"}`))
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown rule: %s", resp.Status)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/api/rules", strings.NewReader(`{}`))
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing name: %s", resp.Status)
+	}
+}
+
+func TestMapSVGEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[0]
+	tok := login(t, srv, "alice", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	resp, body := getBody(t, srv.URL+"/api/map.svg?session="+tok)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map.svg: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.HasPrefix(string(body), "<svg") || !strings.Contains(string(body), "</svg>") {
+		t.Errorf("not an SVG: %.80s", body)
+	}
+	resp, body2 := getBody(t, srv.URL+"/api/map.svg?width=200&session="+tok)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body2), `width="200"`) {
+		t.Errorf("custom width: %s %.80s", resp.Status, body2)
+	}
+	resp, _ = getBody(t, srv.URL+"/api/map.svg?width=-3&session="+tok)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad width: %s", resp.Status)
+	}
+	resp, _ = getBody(t, srv.URL+"/api/map.svg?session=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: %s", resp.Status)
+	}
+}

@@ -1,0 +1,195 @@
+package sdwp
+
+// Facade-level tests: everything a downstream user does through the public
+// API, end to end. These double as living documentation for README's
+// quickstart snippet.
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func facadeEngine(t *testing.T) (*Engine, *Dataset) {
+	t.Helper()
+	cfg := DefaultDataConfig()
+	cfg.Cities = 20
+	cfg.Stores = 100
+	cfg.Customers = 50
+	cfg.Sales = 2000
+	ds, err := GenerateData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := NewSalesUserStore(map[string]string{
+		"alice": "RegionalSalesManager",
+		"bob":   "Accountant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ds.Cube, users, EngineOptions{})
+	e.SetParam("threshold", Number(2))
+	if _, err := e.AddRules(PaperRules); err != nil {
+		t.Fatal(err)
+	}
+	return e, ds
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	e, ds := facadeEngine(t)
+	s, err := e.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema personalization visible through the facade types.
+	if !s.Schema().IsSpatial("Store", "Store") {
+		t.Error("schema not personalized")
+	}
+	// Personalized query.
+	res, err := s.Query(Query{
+		Fact:       "Sales",
+		GroupBy:    []LevelRef{{Dimension: "Store", Level: "City"}},
+		Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: SUM}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.QueryBaseline(Query{
+		Fact:       "Sales",
+		Aggregates: []MeasureAgg{{Agg: COUNT}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchedFacts >= base.MatchedFacts {
+		t.Errorf("personalization did not restrict: %d vs %d", res.MatchedFacts, base.MatchedFacts)
+	}
+	// Interactive selection fires tracking rules.
+	sel, err := s.SpatialSelect("GeoMD.Store.City",
+		"Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) == 0 || len(sel.RulesFired) == 0 {
+		t.Errorf("selection result = %+v", sel)
+	}
+}
+
+func TestFacadeGeometryHelpers(t *testing.T) {
+	p := Pt(-0.48, 38.34)
+	if p.X != -0.48 || p.Y != 38.34 {
+		t.Error("Pt constructor")
+	}
+	g, err := ParseWKT("POINT (-3.7 40.4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := HaversineKm(p, g.(Point))
+	if d < 300 || d > 450 {
+		t.Errorf("Alicante–Madrid = %.0f km", d)
+	}
+	if POINT.String() != "POINT" || LINE.String() != "LINE" ||
+		POLYGON.String() != "POLYGON" || COLLECTION.String() != "COLLECTION" {
+		t.Error("geometry type constants")
+	}
+}
+
+func TestFacadeSchemaBuilder(t *testing.T) {
+	b := NewSchemaBuilder("TinyDW")
+	b.Dimension("Region").Level("Shop", "name").Level("Area", "name")
+	b.Fact("Visits").Measure("Count").Uses("Region")
+	md, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := WrapGeo(md)
+	c := NewCube(geo)
+	area, err := c.AddMember("Region", "Area", "North", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shop, err := c.AddMember("Region", "Shop", "S1", area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFact("Visits", map[string]int32{"Region": shop},
+		map[string]float64{"Count": 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(Query{
+		Fact:       "Visits",
+		GroupBy:    []LevelRef{{Dimension: "Region", Level: "Area"}},
+		Aggregates: []MeasureAgg{{Measure: "Count", Agg: SUM}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Groups[0] != "North" || res.Rows[0].Values[0] != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+}
+
+func TestFacadeCustomProfile(t *testing.T) {
+	p := NewProfile()
+	if _, err := p.AddClass("Analyst", "User"); err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewUserStore(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Create("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Get("u1") == nil {
+		t.Error("user not stored")
+	}
+}
+
+func TestFacadeRulesRoundTrip(t *testing.T) {
+	rules, err := ParseRules(PaperRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("paper rules = %d", len(rules))
+	}
+	text := FormatRules(rules...)
+	if !strings.Contains(text, "Rule:5kmStores") {
+		t.Errorf("formatted rules missing 5kmStores:\n%s", text)
+	}
+	back, err := ParseRules(text)
+	if err != nil || len(back) != 4 {
+		t.Fatalf("canonical form reparse: %v", err)
+	}
+}
+
+func TestFacadeHTTPServer(t *testing.T) {
+	e, _ := facadeEngine(t)
+	srv := httptest.NewServer(NewHTTPServer(e))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/api/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %s", resp.Status)
+	}
+}
+
+func TestFacadeParamValues(t *testing.T) {
+	if Number(3).Num != 3 {
+		t.Error("Number wrapper")
+	}
+	if String("x").Str != "x" {
+		t.Error("String wrapper")
+	}
+	if SalesSchema().MD.Fact("Sales") == nil {
+		t.Error("SalesSchema")
+	}
+	if p, err := Fig4Profile(); err != nil || p.UserClass() != "DecisionMaker" {
+		t.Error("Fig4Profile")
+	}
+}
