@@ -295,6 +295,66 @@ func BenchmarkC5CubeRollup(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelScan measures the partitioned parallel query executor
+// against the serial scan on the full (non-personalized) fact table, across
+// worker counts. workers=1 is the serial fallback path.
+func BenchmarkParallelScan(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	q := Query{
+		Fact:       "Sales",
+		GroupBy:    []LevelRef{{Dimension: "Store", Level: "City"}},
+		Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: SUM}},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.ds.Cube.ExecuteParallel(q, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSharedScanBatch measures the shared-scan batch API: eight
+// aggregate queries over the same fact table answered one by one vs in one
+// ExecuteBatch call (GLADE-style multi-query optimization), serial and
+// parallel.
+func BenchmarkSharedScanBatch(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	var qs []Query
+	for _, level := range []string{"Store", "City", "State", "Country"} {
+		for _, measure := range []string{"UnitSales", "StoreSales"} {
+			qs = append(qs, Query{
+				Fact:       "Sales",
+				GroupBy:    []LevelRef{{Dimension: "Store", Level: level}},
+				Aggregates: []MeasureAgg{{Measure: measure, Agg: SUM}},
+			})
+		}
+	}
+	b.Run("individual", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := env.ds.Cube.Execute(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("batch/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.ds.Cube.ExecuteBatch(qs, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationRuleOptimizer measures the DESIGN.md §6 ablation of the
 // radius-query rule plan: Example 5.2's rule executed through the R-tree
 // fast path vs the generic tree-walking interpreter.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -50,6 +51,8 @@ func main() {
 	runC5()
 	header("C6 — ablation: rule-plan optimizer (R-tree) vs interpreter")
 	runC6()
+	header("C7 — parallel partitioned scan & shared-scan query batch")
+	runC7()
 }
 
 func header(s string) {
@@ -357,6 +360,75 @@ endWhen`
 		fmt.Printf("  %10d %16s %16s %9.1fx\n", stores,
 			lat[0].Round(time.Microsecond), lat[1].Round(time.Microsecond),
 			float64(lat[1])/float64(lat[0]))
+	}
+}
+
+// runC7 measures the parallel partitioned query executor against the
+// serial scan, and the shared-scan batch API against answering the same
+// queries one by one — the multi-user dashboard workload: every logged-in
+// manager's personalized view aggregating over the same fact table.
+func runC7() {
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Stores = 2000
+	cfg.Sales = 200000
+	if *full {
+		cfg.Sales = 1000000
+	}
+	roles := map[string]string{}
+	const users = 8
+	for i := 0; i < users; i++ {
+		roles[fmt.Sprintf("mgr%02d", i)] = "RegionalSalesManager"
+	}
+	ds := must(sdwp.GenerateData(cfg))
+	userStore := must(sdwp.NewSalesUserStore(roles))
+	e := sdwp.NewEngine(ds.Cube, userStore, sdwp.EngineOptions{})
+	e.SetParam("threshold", sdwp.Number(2))
+	must(e.AddRules(sdwp.PaperRules))
+
+	q := sdwp.Query{
+		Fact:       "Sales",
+		GroupBy:    []sdwp.LevelRef{{Dimension: "Store", Level: "City"}},
+		Aggregates: []sdwp.MeasureAgg{{Measure: "UnitSales", Agg: sdwp.SUM}},
+	}
+
+	// Parallel partitioned scan vs serial, full warehouse.
+	fmt.Printf("  parallel scan (%d facts, group by Store.City):\n", cfg.Sales)
+	fmt.Printf("  %10s %14s %10s\n", "workers", "latency", "speedup")
+	serial := timeIt(5, func() { must(ds.Cube.Execute(q, nil)) })
+	fmt.Printf("  %10d %14s %9.1fx\n", 1, serial.Round(time.Microsecond), 1.0)
+	seen := map[int]bool{1: true}
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		w := workers
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		lat := timeIt(5, func() { must(ds.Cube.ExecuteParallel(q, nil, w)) })
+		fmt.Printf("  %10d %14s %9.1fx\n", w, lat.Round(time.Microsecond),
+			float64(serial)/float64(lat))
+	}
+
+	// Shared-scan batch: every manager's personalized view of the same
+	// aggregate, answered one by one vs in one batch.
+	var sessions []*sdwp.Session
+	var qs []sdwp.Query
+	for i := 0; i < users; i++ {
+		s := must(e.StartSession(fmt.Sprintf("mgr%02d", i), ds.CityLocs[i%len(ds.CityLocs)]))
+		sessions = append(sessions, s)
+		qs = append(qs, q)
+	}
+	fmt.Printf("  shared-scan batch (%d personalized sessions, same fact):\n", users)
+	oneByOne := timeIt(5, func() {
+		for _, s := range sessions {
+			must(s.Query(q))
+		}
+	})
+	batched := timeIt(5, func() { must(e.ExecuteBatch(qs, sessions)) })
+	fmt.Printf("  %14s %14s %10s\n", "one-by-one", "batched", "speedup")
+	fmt.Printf("  %14s %14s %9.1fx\n", oneByOne.Round(time.Microsecond),
+		batched.Round(time.Microsecond), float64(oneByOne)/float64(batched))
+	for _, s := range sessions {
+		mustErr(e.EndSession(s))
 	}
 }
 

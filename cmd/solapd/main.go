@@ -38,6 +38,8 @@ func main() {
 		usersSpec = flag.String("users", "alice=RegionalSalesManager,bob=Accountant",
 			"comma-separated user=role assignments")
 		threshold = flag.Float64("threshold", 2, "designer threshold for the TrainAirportCity rule")
+		workers   = flag.Int("workers", 0,
+			"query scan workers: 0 or 1 = serial, N = parallel partitioned scans, -1 = one per CPU")
 	)
 	flag.Parse()
 
@@ -87,7 +89,7 @@ func main() {
 		log.Fatalf("user store: %v", err)
 	}
 
-	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{})
+	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{QueryWorkers: *workers})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 
 	src := sdwp.PaperRules

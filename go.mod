@@ -1,0 +1,3 @@
+module sdwp
+
+go 1.22

@@ -178,6 +178,43 @@ func (s *Set) ForEach(fn func(i int) bool) {
 	}
 }
 
+// ForEachRange calls fn for each set bit i with lo <= i < hi in ascending
+// order until fn returns false. The bounds are clamped to the set's
+// capacity; a nil receiver iterates nothing.
+func (s *Set) ForEachRange(lo, hi int, fn func(i int) bool) {
+	if s == nil {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	for wi := loW; wi <= hiW; wi++ {
+		w := s.words[wi]
+		if wi == loW {
+			w &= ^uint64(0) << (uint(lo) % wordBits)
+		}
+		if wi == hiW {
+			if rem := uint(hi) % wordBits; rem != 0 {
+				w &= 1<<rem - 1
+			}
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // Indices returns the set bits in ascending order.
 func (s *Set) Indices() []int {
 	if s == nil {

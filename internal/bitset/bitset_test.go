@@ -1,6 +1,7 @@
 package bitset
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -244,6 +245,62 @@ func TestStringRendering(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("expected ellipsis in %q", s)
+	}
+}
+
+func TestForEachRange(t *testing.T) {
+	s := New(200)
+	bits := []int{0, 1, 63, 64, 65, 127, 128, 190, 199}
+	for _, b := range bits {
+		s.Set(b)
+	}
+	collect := func(lo, hi int) []int {
+		var out []int
+		s.ForEachRange(lo, hi, func(i int) bool {
+			out = append(out, i)
+			return true
+		})
+		return out
+	}
+	want := func(lo, hi int) []int {
+		var out []int
+		for _, b := range bits {
+			if b >= lo && b < hi {
+				out = append(out, b)
+			}
+		}
+		return out
+	}
+	// Ranges chosen to hit word boundaries, partial first/last words,
+	// single-word ranges, empty ranges and clamping.
+	ranges := [][2]int{
+		{0, 200}, {0, 64}, {64, 128}, {1, 64}, {63, 65}, {65, 127},
+		{128, 128}, {130, 129}, {-5, 10}, {190, 1000}, {199, 200}, {0, 1},
+	}
+	for _, r := range ranges {
+		got, exp := collect(r[0], r[1]), want(r[0], r[1])
+		if fmt.Sprint(got) != fmt.Sprint(exp) {
+			t.Errorf("ForEachRange(%d, %d) = %v, want %v", r[0], r[1], got, exp)
+		}
+	}
+	// Early stop.
+	var seen []int
+	s.ForEachRange(0, 200, func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 {
+		t.Errorf("early stop visited %v", seen)
+	}
+	// Nil receiver iterates nothing.
+	var nilSet *Set
+	nilSet.ForEachRange(0, 10, func(int) bool { t.Error("nil set visited"); return true })
+
+	// Full-range ForEachRange agrees with ForEach.
+	var all []int
+	s.ForEach(func(i int) bool { all = append(all, i); return true })
+	if fmt.Sprint(collect(0, s.Len())) != fmt.Sprint(all) {
+		t.Errorf("full range %v != ForEach %v", collect(0, s.Len()), all)
 	}
 }
 

@@ -74,6 +74,91 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 }
 
+// TestConcurrentQueriesVsViewMutation stress-tests the parallel and batch
+// executors against live session-view mutation: readers hammer Execute /
+// ExecuteBatch through the personalized view while writers keep firing
+// spatial selections that mutate the same view and invalidate its
+// materialized mask. Run with -race. Every query must see a consistent
+// snapshot: a result computed entirely before or entirely after some
+// selection, so MatchedFacts can only shrink over time (selections
+// intersect) and must never exceed the baseline.
+func TestConcurrentQueriesVsViewMutation(t *testing.T) {
+	e, ds := newTestEngineOpts(t, Options{QueryWorkers: 4})
+	s, err := e.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cube.Query{
+		Fact:       "Sales",
+		GroupBy:    []cube.LevelRef{{Dimension: "Product", Level: "Family"}},
+		Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}},
+	}
+	baseline, err := s.QueryBaseline(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	stop := make(chan struct{})
+
+	// Writers: interactive spatial selections narrowing the view.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for round := 0; round < 6; round++ {
+			if _, err := s.SpatialSelect("GeoMD.Store.City",
+				"Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Readers: parallel single queries and shared-scan batches.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if g%2 == 0 {
+					res, err := s.Query(q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.MatchedFacts > baseline.MatchedFacts {
+						errs <- fmt.Errorf("matched %d > baseline %d", res.MatchedFacts, baseline.MatchedFacts)
+						return
+					}
+				} else {
+					batch, err := s.QueryBatch([]cube.Query{q, q}, []bool{false, true})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if batch[0].MatchedFacts > batch[1].MatchedFacts {
+						errs <- fmt.Errorf("personalized matched %d > baseline %d",
+							batch[0].MatchedFacts, batch[1].MatchedFacts)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 // TestConcurrentQueriesOneSession exercises the view's materialization
 // cache under parallel readers.
 func TestConcurrentQueriesOneSession(t *testing.T) {

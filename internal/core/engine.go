@@ -37,7 +37,20 @@ type Options struct {
 	// optimize.go), forcing the generic rule interpreter. Used by the
 	// ablation benchmarks.
 	DisableRuleOptimizer bool
+	// QueryWorkers sizes the worker pool of the partitioned parallel query
+	// executor used by Session.Query/QueryBaseline/QueryBatch: 0 or 1 runs
+	// every query serially (the default, and the serial fallback), > 1
+	// splits each fact scan across that many goroutines, and < 0 uses one
+	// worker per logical CPU. Results are deterministic run to run for a
+	// given setting, and identical across settings whenever per-group
+	// measure sums are exact in float64 (always for COUNT/MIN/MAX and for
+	// integer-valued measures; otherwise equal up to floating-point
+	// summation order — see internal/cube/exec.go).
+	QueryWorkers int
 }
+
+// QueryWorkers returns the engine's configured query worker-pool size.
+func (e *Engine) QueryWorkers() int { return e.opts.QueryWorkers }
 
 // Engine is the personalization engine for one warehouse deployment.
 type Engine struct {
@@ -199,6 +212,27 @@ func (e *Engine) StartSession(userID string, location geom.Geometry) (*Session, 
 	e.sessions[id] = s
 	e.mu.Unlock()
 	return s, nil
+}
+
+// ExecuteBatch answers a batch of queries — each through its own session's
+// personalized view (a nil session entry is the non-personalized baseline)
+// — in one shared scan per fact table, the multi-tenant shape of a busy
+// deployment: many logged-in users' dashboards refreshing against the same
+// fact data. sessions may be nil (all baseline) or one entry per query.
+func (e *Engine) ExecuteBatch(qs []cube.Query, sessions []*Session) ([]*cube.Result, error) {
+	if sessions != nil && len(sessions) != len(qs) {
+		return nil, fmt.Errorf("core: batch has %d queries but %d sessions", len(qs), len(sessions))
+	}
+	var vs []*cube.View
+	if sessions != nil {
+		vs = make([]*cube.View, len(qs))
+		for i, s := range sessions {
+			if s != nil {
+				vs[i] = s.View()
+			}
+		}
+	}
+	return e.cube.ExecuteBatch(qs, vs, e.opts.QueryWorkers)
 }
 
 // Session returns a live session by id, or nil.

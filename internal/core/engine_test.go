@@ -51,6 +51,13 @@ endWhen
 // accountant.
 func newTestEngine(t testing.TB) (*Engine, *datagen.Dataset) {
 	t.Helper()
+	return newTestEngineOpts(t, Options{})
+}
+
+// newTestEngineOpts is newTestEngine with explicit engine options (e.g.
+// QueryWorkers for the parallel-executor stress tests).
+func newTestEngineOpts(t testing.TB, opts Options) (*Engine, *datagen.Dataset) {
+	t.Helper()
 	cfg := datagen.Default()
 	cfg.Cities = 30
 	cfg.Stores = 150
@@ -68,7 +75,7 @@ func newTestEngine(t testing.TB) (*Engine, *datagen.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(ds.Cube, users, Options{})
+	e := NewEngine(ds.Cube, users, opts)
 	e.SetParam("threshold", prml.NumberVal(2))
 	if _, err := e.AddRules(paperRules); err != nil {
 		t.Fatal(err)

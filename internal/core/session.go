@@ -53,15 +53,35 @@ func (s *Session) Engine() *Engine { return s.engine }
 func (s *Session) Location() geom.Geometry { return s.location }
 
 // Query runs an OLAP query through the personalized view — what the
-// paper's "succeeding analysis in any BI tool" sees.
+// paper's "succeeding analysis in any BI tool" sees. The scan is
+// partitioned across the engine's QueryWorkers pool (serial when
+// unconfigured).
 func (s *Session) Query(q cube.Query) (*cube.Result, error) {
-	return s.engine.cube.Execute(q, s.View())
+	return s.engine.cube.ExecuteParallel(q, s.View(), s.engine.opts.QueryWorkers)
 }
 
 // QueryBaseline runs the same query against the whole warehouse (the
 // non-personalized baseline of experiment C1).
 func (s *Session) QueryBaseline(q cube.Query) (*cube.Result, error) {
-	return s.engine.cube.Execute(q, nil)
+	return s.engine.cube.ExecuteParallel(q, nil, s.engine.opts.QueryWorkers)
+}
+
+// QueryBatch answers a batch of queries in one shared scan per fact table
+// (see cube.ExecuteBatch). baseline optionally marks queries that bypass
+// the personalized view (nil = all personalized; otherwise one entry per
+// query).
+func (s *Session) QueryBatch(qs []cube.Query, baseline []bool) ([]*cube.Result, error) {
+	if baseline != nil && len(baseline) != len(qs) {
+		return nil, fmt.Errorf("core: batch has %d queries but %d baseline flags", len(qs), len(baseline))
+	}
+	vs := make([]*cube.View, len(qs))
+	v := s.View()
+	for i := range qs {
+		if baseline == nil || !baseline[i] {
+			vs[i] = v
+		}
+	}
+	return s.engine.cube.ExecuteBatch(qs, vs, s.engine.opts.QueryWorkers)
 }
 
 // exec runs one rule body in this session's environment.

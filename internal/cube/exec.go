@@ -1,0 +1,578 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sdwp/internal/bitset"
+)
+
+// This file is the query executor: a compiled plan (queryPlan) over
+// thread-local partial aggregation tables (partial) that one goroutine or a
+// worker pool can fill and merge.
+//
+// The fact table is split into contiguous fixed-size chunks; worker w of W
+// owns chunks w, w+W, w+2W, … (a static stride), scans them in ascending
+// order into its own partial table, and the W partials are merged in
+// worker order. The chunk→worker assignment depends only on the fact count
+// and the worker count — never on goroutine scheduling — so a query
+// returns the same Result on every run, and the same Result as the serial
+// path whenever the per-group measure sums are exact in float64 (always
+// true for COUNT/MIN/MAX, and for SUM/AVG over integer-valued or dyadic
+// measures; otherwise equal up to floating-point summation order).
+
+// execChunkSize is the facts-per-chunk scan granularity. Chunks are the
+// unit of work interleaving: the shared-scan batch executor walks one
+// chunk of the fact columns (a few hundred KB, cache-hot) through every
+// query of the batch before moving to the next.
+const execChunkSize = 8192
+
+// chunkCount returns the number of contiguous scan chunks for n facts.
+func chunkCount(n int) int {
+	chunks := (n + execChunkSize - 1) / execChunkSize
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// groupSpec is one resolved group-by level. anc maps each finest-level
+// member to its ancestor at the group level (the roll-up cache), and keys
+// is the fact's key column for the dimension.
+type groupSpec struct {
+	dd   *DimData
+	li   int
+	anc  []int32
+	keys []int32
+}
+
+// filterSpec is one resolved attribute filter.
+type filterSpec struct {
+	dd   *DimData
+	li   int
+	f    AttrFilter
+	anc  []int32
+	keys []int32
+}
+
+// queryPlan is a validated, resolved query: every name bound to column
+// data, ready to scan. Plans are read-only after compile, so any number of
+// workers can share one.
+type queryPlan struct {
+	q       Query
+	fd      *FactData
+	groups  []groupSpec
+	filters []filterSpec
+	// measureCols holds the measure column per aggregate (nil for COUNT),
+	// hoisted out of the scan loop.
+	measureCols [][]float64
+}
+
+// compile resolves and validates a query against the cube.
+func (c *Cube) compile(q Query) (*queryPlan, error) {
+	fd := c.facts[q.Fact]
+	if fd == nil {
+		return nil, fmt.Errorf("cube: unknown fact %q", q.Fact)
+	}
+	if len(q.Aggregates) == 0 {
+		return nil, fmt.Errorf("cube: query needs at least one aggregate")
+	}
+	p := &queryPlan{q: q, fd: fd}
+
+	// Resolve group-by levels.
+	p.groups = make([]groupSpec, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		dd := c.dims[g.Dimension]
+		if dd == nil {
+			return nil, fmt.Errorf("cube: unknown dimension %q", g.Dimension)
+		}
+		if !fd.fact.HasDimension(g.Dimension) {
+			return nil, fmt.Errorf("cube: fact %q has no dimension %q", q.Fact, g.Dimension)
+		}
+		li := dd.dim.LevelIndex(g.Level)
+		if li < 0 {
+			return nil, fmt.Errorf("cube: dimension %q has no level %q", g.Dimension, g.Level)
+		}
+		p.groups[i] = groupSpec{dd: dd, li: li, anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[g.Dimension]}
+	}
+
+	// Resolve aggregates.
+	p.measureCols = make([][]float64, len(q.Aggregates))
+	for j, a := range q.Aggregates {
+		if a.Agg < AggSum || a.Agg > AggMax {
+			return nil, fmt.Errorf("cube: invalid aggregation in query")
+		}
+		if a.Agg == AggCount {
+			continue
+		}
+		if fd.fact.Measure(a.Measure) == nil {
+			return nil, fmt.Errorf("cube: fact %q has no measure %q", q.Fact, a.Measure)
+		}
+		p.measureCols[j] = fd.measures[a.Measure]
+	}
+
+	if q.OrderBy != nil && (q.OrderBy.Agg < 0 || q.OrderBy.Agg >= len(q.Aggregates)) {
+		return nil, fmt.Errorf("cube: OrderBy.Agg %d out of range (have %d aggregates)",
+			q.OrderBy.Agg, len(q.Aggregates))
+	}
+	if q.Limit < 0 {
+		return nil, fmt.Errorf("cube: negative Limit %d", q.Limit)
+	}
+
+	// Resolve filters.
+	p.filters = make([]filterSpec, len(q.Filters))
+	for i, f := range q.Filters {
+		dd := c.dims[f.Dimension]
+		if dd == nil {
+			return nil, fmt.Errorf("cube: unknown dimension %q in filter", f.Dimension)
+		}
+		if !fd.fact.HasDimension(f.Dimension) {
+			return nil, fmt.Errorf("cube: fact %q has no dimension %q in filter", q.Fact, f.Dimension)
+		}
+		li := dd.dim.LevelIndex(f.Level)
+		if li < 0 {
+			return nil, fmt.Errorf("cube: dimension %q has no level %q in filter", f.Dimension, f.Level)
+		}
+		if dd.levels[li].level.Attribute(f.Attr) == nil {
+			return nil, fmt.Errorf("cube: level %s has no attribute %q", f.LevelRef, f.Attr)
+		}
+		p.filters[i] = filterSpec{dd: dd, li: li, f: f, anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[f.Dimension]}
+	}
+	return p, nil
+}
+
+// accum is the aggregation state of one group.
+type accum struct {
+	members []int32
+	sums    []float64
+	mins    []float64
+	maxs    []float64
+	count   float64
+}
+
+// mergeFrom folds src into a: sums and counts add, MIN/MAX narrow. AVG
+// needs no state of its own — it divides sum by count at finalize.
+func (a *accum) mergeFrom(src *accum) {
+	a.count += src.count
+	for j := range a.sums {
+		a.sums[j] += src.sums[j]
+		if src.mins[j] < a.mins[j] {
+			a.mins[j] = src.mins[j]
+		}
+		if src.maxs[j] > a.maxs[j] {
+			a.maxs[j] = src.maxs[j]
+		}
+	}
+}
+
+// partial is one thread-local partial aggregation table plus scan
+// statistics. Single-level group-bys (the common OLAP roll-up) use a dense
+// slice indexed by group member; multi-level group-bys hash a composite
+// key.
+type partial struct {
+	p         *queryPlan
+	cells     map[string]*accum
+	dense     []*accum
+	denseNone *accum // the NoParent group of the dense path
+	scanned   int
+	matched   int
+
+	keyBuf        []byte
+	memberScratch []int32
+}
+
+func newPartial(p *queryPlan) *partial {
+	pt := &partial{
+		p:             p,
+		cells:         map[string]*accum{},
+		memberScratch: make([]int32, len(p.groups)),
+	}
+	if len(p.groups) == 1 {
+		pt.dense = make([]*accum, p.groups[0].dd.levels[p.groups[0].li].Len())
+	}
+	return pt
+}
+
+func (pt *partial) newAccum(members []int32) *accum {
+	n := len(pt.p.q.Aggregates)
+	cell := &accum{
+		members: append([]int32(nil), members...),
+		sums:    make([]float64, n),
+		mins:    make([]float64, n),
+		maxs:    make([]float64, n),
+	}
+	for j := range cell.mins {
+		cell.mins[j] = math.Inf(1)
+		cell.maxs[j] = math.Inf(-1)
+	}
+	return cell
+}
+
+// process folds fact instance i into the partial.
+func (pt *partial) process(i int32) {
+	p := pt.p
+	pt.scanned++
+	for _, fs := range p.filters {
+		anc := fs.anc[fs.keys[i]]
+		if anc == NoParent {
+			return
+		}
+		val, has := fs.dd.levels[fs.li].Attr(fs.f.Attr, anc)
+		if !has || !compare(val, fs.f.Op, fs.f.Value) {
+			return
+		}
+	}
+	pt.matched++
+
+	var cell *accum
+	if pt.dense != nil {
+		anc := p.groups[0].anc[p.groups[0].keys[i]]
+		pt.memberScratch[0] = anc
+		if anc == NoParent {
+			if pt.denseNone == nil {
+				pt.denseNone = pt.newAccum(pt.memberScratch)
+			}
+			cell = pt.denseNone
+		} else {
+			cell = pt.dense[anc]
+			if cell == nil {
+				cell = pt.newAccum(pt.memberScratch)
+				pt.dense[anc] = cell
+			}
+		}
+	} else {
+		pt.keyBuf = pt.keyBuf[:0]
+		for gi := range p.groups {
+			anc := p.groups[gi].anc[p.groups[gi].keys[i]]
+			pt.memberScratch[gi] = anc
+			pt.keyBuf = appendInt32(pt.keyBuf, anc)
+		}
+		cell = pt.cells[string(pt.keyBuf)]
+		if cell == nil {
+			cell = pt.newAccum(pt.memberScratch)
+			pt.cells[string(pt.keyBuf)] = cell
+		}
+	}
+	cell.count++
+	for j := range p.q.Aggregates {
+		col := p.measureCols[j]
+		if col == nil { // COUNT
+			continue
+		}
+		mv := col[i]
+		cell.sums[j] += mv
+		if mv < cell.mins[j] {
+			cell.mins[j] = mv
+		}
+		if mv > cell.maxs[j] {
+			cell.maxs[j] = mv
+		}
+	}
+}
+
+// scanRange folds facts [lo, hi) into the partial, visiting only mask bits
+// when a view mask is given (nil mask = the whole table).
+func (pt *partial) scanRange(lo, hi int, mask *bitset.Set) {
+	if mask != nil {
+		mask.ForEachRange(lo, hi, func(i int) bool {
+			pt.process(int32(i))
+			return true
+		})
+		return
+	}
+	for i := lo; i < hi; i++ {
+		pt.process(int32(i))
+	}
+}
+
+// merge folds src into pt. Callers merge the per-worker partials in worker
+// order, so for a given worker count the summation order is deterministic
+// (worker-major over the strided chunk ownership).
+func (pt *partial) merge(src *partial) {
+	pt.scanned += src.scanned
+	pt.matched += src.matched
+	if pt.dense != nil {
+		for idx, cell := range src.dense {
+			if cell == nil {
+				continue
+			}
+			if dst := pt.dense[idx]; dst == nil {
+				pt.dense[idx] = cell
+			} else {
+				dst.mergeFrom(cell)
+			}
+		}
+		if src.denseNone != nil {
+			if pt.denseNone == nil {
+				pt.denseNone = src.denseNone
+			} else {
+				pt.denseNone.mergeFrom(src.denseNone)
+			}
+		}
+		return
+	}
+	for k, cell := range src.cells {
+		if dst := pt.cells[k]; dst == nil {
+			pt.cells[k] = cell
+		} else {
+			dst.mergeFrom(cell)
+		}
+	}
+}
+
+// finalize turns a fully merged partial into the query Result: group names,
+// AVG division, ordering and limit.
+func (p *queryPlan) finalize(pt *partial) *Result {
+	res := &Result{ScannedFacts: pt.scanned, MatchedFacts: pt.matched}
+	for _, g := range p.q.GroupBy {
+		res.GroupCols = append(res.GroupCols, g.String())
+	}
+	for _, a := range p.q.Aggregates {
+		if a.Agg == AggCount {
+			res.AggCols = append(res.AggCols, "COUNT(*)")
+		} else {
+			res.AggCols = append(res.AggCols, fmt.Sprintf("%s(%s)", a.Agg, a.Measure))
+		}
+	}
+
+	// Collect dense-path cells into the common row loop.
+	cells := pt.cells
+	if pt.dense != nil {
+		for _, cell := range pt.dense {
+			if cell != nil {
+				cells[string(appendInt32(nil, cell.members[0]))] = cell
+			}
+		}
+		if pt.denseNone != nil {
+			cells[string(appendInt32(nil, NoParent))] = pt.denseNone
+		}
+	}
+
+	// Materialize rows.
+	for _, cell := range cells {
+		row := Row{Values: make([]float64, len(p.q.Aggregates))}
+		for gi, gs := range p.groups {
+			name := "(none)"
+			if cell.members[gi] != NoParent {
+				name = gs.dd.levels[gs.li].Name(cell.members[gi])
+			}
+			row.Groups = append(row.Groups, name)
+		}
+		for j, a := range p.q.Aggregates {
+			switch a.Agg {
+			case AggSum:
+				row.Values[j] = cell.sums[j]
+			case AggCount:
+				row.Values[j] = cell.count
+			case AggAvg:
+				row.Values[j] = cell.sums[j] / cell.count
+			case AggMin:
+				row.Values[j] = cell.mins[j]
+			case AggMax:
+				row.Values[j] = cell.maxs[j]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	byGroups := func(i, j int) bool {
+		a, b := res.Rows[i].Groups, res.Rows[j].Groups
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	}
+	if ob := p.q.OrderBy; ob != nil {
+		sort.Slice(res.Rows, func(i, j int) bool {
+			vi, vj := res.Rows[i].Values[ob.Agg], res.Rows[j].Values[ob.Agg]
+			if vi != vj {
+				if ob.Desc {
+					return vi > vj
+				}
+				return vi < vj
+			}
+			return byGroups(i, j)
+		})
+	} else {
+		sort.Slice(res.Rows, byGroups)
+	}
+	if p.q.Limit > 0 && len(res.Rows) > p.q.Limit {
+		res.Rows = res.Rows[:p.q.Limit]
+	}
+	return res
+}
+
+// normalizeWorkers maps the worker-count knob to a concrete pool size:
+// negative = one worker per logical CPU, 0 or 1 = serial.
+func normalizeWorkers(workers int) int {
+	if workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		return 1
+	}
+	return workers
+}
+
+// ExecuteParallel runs the query like Execute but partitions the fact scan
+// across a pool of workers goroutines, each aggregating into a thread-local
+// partial table; partials are merged in chunk order before ordering/limit.
+// workers <= 1 is the serial fallback (identical to Execute); workers < 0
+// uses one worker per logical CPU.
+func (c *Cube) ExecuteParallel(q Query, v *View, workers int) (*Result, error) {
+	p, err := c.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	var mask *bitset.Set
+	if v != nil {
+		// A personalized view materializes its combined mask once; the
+		// query then visits only visible facts — the mechanical form of the
+		// paper's "avoiding exploring a large and complex SDW". The
+		// non-personalized baseline (nil view) scans the whole fact table.
+		mask = v.Materialize(q.Fact)
+	}
+	return p.finalize(p.scan(mask, normalizeWorkers(workers))), nil
+}
+
+// scan fills and merges partials for the whole fact table.
+func (p *queryPlan) scan(mask *bitset.Set, workers int) *partial {
+	n := p.fd.n
+	chunks := chunkCount(n)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		pt := newPartial(p)
+		pt.scanRange(0, n, mask)
+		return pt
+	}
+	parts := make([]*partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pt := newPartial(p)
+			for ci := w; ci < chunks; ci += workers {
+				lo := ci * execChunkSize
+				hi := lo + execChunkSize
+				if hi > n {
+					hi = n
+				}
+				pt.scanRange(lo, hi, mask)
+			}
+			parts[w] = pt
+		}(w)
+	}
+	wg.Wait()
+	out := parts[0]
+	for _, src := range parts[1:] {
+		out.merge(src)
+	}
+	return out
+}
+
+// ExecuteBatch answers a batch of queries — e.g. many users' personalized
+// views of the same fact table — in one shared scan per fact table,
+// GLADE-style: queries are grouped by fact, the fact table is walked chunk
+// by chunk, and every query of the group aggregates from the same
+// cache-hot chunk before the scan moves on. Each result is identical to
+// running its query through Execute/ExecuteParallel alone.
+//
+// vs pairs each query with its personalized view; nil vs (or a nil entry)
+// means the non-personalized baseline. workers sizes the chunk worker pool
+// exactly as in ExecuteParallel. Validation errors of any query abort the
+// whole batch before scanning starts.
+func (c *Cube) ExecuteBatch(qs []Query, vs []*View, workers int) ([]*Result, error) {
+	if vs != nil && len(vs) != len(qs) {
+		return nil, fmt.Errorf("cube: batch has %d queries but %d views", len(qs), len(vs))
+	}
+	plans := make([]*queryPlan, len(qs))
+	masks := make([]*bitset.Set, len(qs))
+	for i, q := range qs {
+		p, err := c.compile(q)
+		if err != nil {
+			return nil, fmt.Errorf("cube: batch query %d: %w", i, err)
+		}
+		plans[i] = p
+		if vs != nil && vs[i] != nil {
+			masks[i] = vs[i].Materialize(q.Fact)
+		}
+	}
+
+	// Group queries by fact (first-appearance order) so each fact table is
+	// scanned once per batch.
+	var factOrder []string
+	groups := map[string][]int{}
+	for i, q := range qs {
+		if _, ok := groups[q.Fact]; !ok {
+			factOrder = append(factOrder, q.Fact)
+		}
+		groups[q.Fact] = append(groups[q.Fact], i)
+	}
+
+	results := make([]*Result, len(qs))
+	for _, fact := range factOrder {
+		scanShared(groups[fact], plans, masks, results, normalizeWorkers(workers))
+	}
+	return results, nil
+}
+
+// scanShared runs one shared scan for all queries over one fact table.
+// idxs indexes plans/masks/results; every plan shares the same FactData.
+// Each worker keeps one partial per query and walks its chunks through all
+// queries before moving on, so a chunk of fact columns is aggregated by
+// the whole batch while it is cache-hot.
+func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, results []*Result, workers int) {
+	n := plans[idxs[0]].fd.n
+	chunks := chunkCount(n)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([][]*partial, workers) // [worker][query-in-group]
+	scanStride := func(w int) {
+		row := make([]*partial, len(idxs))
+		for k, qi := range idxs {
+			row[k] = newPartial(plans[qi])
+		}
+		for ci := w; ci < chunks; ci += workers {
+			lo := ci * execChunkSize
+			hi := lo + execChunkSize
+			if hi > n {
+				hi = n
+			}
+			for k, qi := range idxs {
+				row[k].scanRange(lo, hi, masks[qi])
+			}
+		}
+		parts[w] = row
+	}
+	if workers == 1 {
+		scanStride(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				scanStride(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for k, qi := range idxs {
+		out := parts[0][k]
+		for w := 1; w < workers; w++ {
+			out.merge(parts[w][k])
+		}
+		results[qi] = plans[qi].finalize(out)
+	}
+}

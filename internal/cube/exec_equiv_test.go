@@ -1,0 +1,262 @@
+package cube_test
+
+// Randomized equivalence harness for the query executors: for generated
+// warehouses and randomized queries/views, the parallel partitioned
+// executor (every worker count 1–8) and the shared-scan batch executor
+// must return Results identical to the serial path — rows, row order,
+// group/aggregate columns, and ScannedFacts/MatchedFacts.
+//
+// SUM/AVG aggregates are drawn over UnitSales only: it is integer-valued,
+// so per-group sums are exact in float64 and byte-for-byte equality holds
+// regardless of summation order. COUNT/MIN/MAX are order-insensitive and
+// drawn over every measure.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/datagen"
+)
+
+// equivLevels lists the group-by candidates of the generated Sales schema.
+var equivLevels = map[string][]string{
+	"Store":    {"Store", "City", "State", "Country"},
+	"Customer": {"Customer", "Segment"},
+	"Product":  {"Product", "Family"},
+	"Time":     {"Day", "Month", "Year"},
+}
+
+var equivDims = []string{"Store", "Customer", "Product", "Time"}
+
+func randomQuery(rng *rand.Rand) cube.Query {
+	q := cube.Query{Fact: "Sales"}
+
+	// 0–3 group-by levels over distinct dimensions.
+	dims := append([]string(nil), equivDims...)
+	rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
+	for _, d := range dims[:rng.Intn(4)] {
+		levels := equivLevels[d]
+		q.GroupBy = append(q.GroupBy, cube.LevelRef{Dimension: d, Level: levels[rng.Intn(len(levels))]})
+	}
+
+	// 1–3 aggregates.
+	for n := 1 + rng.Intn(3); len(q.Aggregates) < n; {
+		switch rng.Intn(5) {
+		case 0:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Agg: cube.AggCount})
+		case 1:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: "UnitSales", Agg: cube.AggSum})
+		case 2:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: "UnitSales", Agg: cube.AggAvg})
+		case 3:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: measureAt(rng), Agg: cube.AggMin})
+		case 4:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: measureAt(rng), Agg: cube.AggMax})
+		}
+	}
+
+	// 0–2 attribute filters.
+	numericOps := []cube.FilterOp{cube.OpEq, cube.OpNe, cube.OpLt, cube.OpLe, cube.OpGt, cube.OpGe}
+	for i := rng.Intn(3); i > 0; i-- {
+		switch rng.Intn(3) {
+		case 0:
+			q.Filters = append(q.Filters, cube.AttrFilter{
+				LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+				Attr:     "population",
+				Op:       numericOps[rng.Intn(len(numericOps))],
+				Value:    float64(20000 + rng.Intn(3000000)),
+			})
+		case 1:
+			op := cube.OpEq
+			if rng.Intn(2) == 0 {
+				op = cube.OpNe
+			}
+			q.Filters = append(q.Filters, cube.AttrFilter{
+				LevelRef: cube.LevelRef{Dimension: "Product", Level: "Product"},
+				Attr:     "brand",
+				Op:       op,
+				Value:    fmt.Sprintf("Brand%02d", rng.Intn(17)),
+			})
+		case 2:
+			q.Filters = append(q.Filters, cube.AttrFilter{
+				LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
+				Attr:     "age",
+				Op:       numericOps[rng.Intn(len(numericOps))],
+				Value:    float64(18 + rng.Intn(70)),
+			})
+		}
+	}
+
+	// Optional aggregate-value ordering and top-n limit.
+	if len(q.Aggregates) > 0 && rng.Intn(2) == 0 {
+		q.OrderBy = &cube.OrderBy{Agg: rng.Intn(len(q.Aggregates)), Desc: rng.Intn(2) == 0}
+	}
+	if rng.Intn(2) == 0 {
+		q.Limit = 1 + rng.Intn(10)
+	}
+	return q
+}
+
+func measureAt(rng *rand.Rand) string {
+	return []string{"UnitSales", "StoreCost", "StoreSales"}[rng.Intn(3)]
+}
+
+// randomView builds nil (baseline) or a view with random member and fact
+// selections.
+func randomView(rng *rand.Rand, c *cube.Cube, cfg datagen.Config) *cube.View {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	v := cube.NewView(c)
+	pick := func(dim, level string, max, n int) {
+		for i := 0; i < n; i++ {
+			if err := v.SelectMember(dim, level, int32(rng.Intn(max))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		pick("Store", "City", cfg.Cities, 2+rng.Intn(8))
+	case 1:
+		pick("Store", "Store", cfg.Stores, 5+rng.Intn(20))
+	case 2:
+		pick("Product", "Family", 5, 1+rng.Intn(3))
+	case 3:
+		pick("Store", "City", cfg.Cities, 2+rng.Intn(8))
+		pick("Customer", "Segment", 3, 1+rng.Intn(2))
+	}
+	if rng.Intn(4) == 0 {
+		for i := 0; i < 50; i++ {
+			if err := v.SelectFact("Sales", int32(rng.Intn(cfg.Sales))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return v
+}
+
+func diffResults(t *testing.T, label string, got, want *cube.Result) {
+	t.Helper()
+	if reflect.DeepEqual(got, want) {
+		return
+	}
+	t.Errorf("%s: results differ", label)
+	t.Logf("want: cols=%v/%v scanned=%d matched=%d rows=%d",
+		want.GroupCols, want.AggCols, want.ScannedFacts, want.MatchedFacts, len(want.Rows))
+	t.Logf("got:  cols=%v/%v scanned=%d matched=%d rows=%d",
+		got.GroupCols, got.AggCols, got.ScannedFacts, got.MatchedFacts, len(got.Rows))
+	for i := 0; i < len(want.Rows) && i < len(got.Rows); i++ {
+		if !reflect.DeepEqual(want.Rows[i], got.Rows[i]) {
+			t.Logf("first differing row %d: want %v, got %v", i, want.Rows[i], got.Rows[i])
+			break
+		}
+	}
+}
+
+func TestExecutorEquivalenceRandomized(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := datagen.Config{
+				Seed: seed, States: 5, Cities: 15, Stores: 80, Customers: 60,
+				Products: 30, Days: 30, Sales: 4000,
+				AirportEvery: 5, TrainLines: 4, Hospitals: 5, Highways: 2,
+			}
+			ds, err := datagen.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 1000))
+
+			const cases = 24
+			qs := make([]cube.Query, cases)
+			vs := make([]*cube.View, cases)
+			serial := make([]*cube.Result, cases)
+			for i := range qs {
+				qs[i] = randomQuery(rng)
+				vs[i] = randomView(rng, ds.Cube, cfg)
+				serial[i], err = ds.Cube.Execute(qs[i], vs[i])
+				if err != nil {
+					t.Fatalf("case %d: serial: %v", i, err)
+				}
+			}
+
+			// Parallel executor across worker counts.
+			for i := range qs {
+				for w := 1; w <= 8; w++ {
+					got, err := ds.Cube.ExecuteParallel(qs[i], vs[i], w)
+					if err != nil {
+						t.Fatalf("case %d workers %d: %v", i, w, err)
+					}
+					diffResults(t, fmt.Sprintf("case %d workers %d", i, w), got, serial[i])
+				}
+			}
+
+			// Shared-scan batch executor (all cases in one batch).
+			for _, w := range []int{1, 3, 8} {
+				batch, err := ds.Cube.ExecuteBatch(qs, vs, w)
+				if err != nil {
+					t.Fatalf("batch workers %d: %v", w, err)
+				}
+				if len(batch) != cases {
+					t.Fatalf("batch workers %d: %d results, want %d", w, len(batch), cases)
+				}
+				for i := range qs {
+					diffResults(t, fmt.Sprintf("batch case %d workers %d", i, w), batch[i], serial[i])
+				}
+			}
+		})
+	}
+}
+
+// TestExecuteBatchValidation covers the batch-specific error paths: length
+// mismatch, an invalid query aborting the whole batch, and the empty
+// batch.
+func TestExecuteBatchValidation(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 1, States: 3, Cities: 6, Stores: 12, Customers: 10,
+		Products: 8, Days: 10, Sales: 200,
+		AirportEvery: 3, TrainLines: 2, Hospitals: 2, Highways: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := cube.Query{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+
+	if _, err := ds.Cube.ExecuteBatch([]cube.Query{good}, make([]*cube.View, 2), 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := cube.Query{Fact: "Ghost", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+	if _, err := ds.Cube.ExecuteBatch([]cube.Query{good, bad}, nil, 1); err == nil {
+		t.Error("invalid query accepted in batch")
+	}
+	res, err := ds.Cube.ExecuteBatch(nil, nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: res=%v err=%v", res, err)
+	}
+
+	// A batch mixing facts... the schema has one fact, so instead check a
+	// batch mixing personalized and baseline views of the same query.
+	v := cube.NewView(ds.Cube)
+	if err := v.SelectMember("Store", "City", 0); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ds.Cube.ExecuteBatch([]cube.Query{good, good}, []*cube.View{v, nil}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPers, _ := ds.Cube.Execute(good, v)
+	wantBase, _ := ds.Cube.Execute(good, nil)
+	if !reflect.DeepEqual(batch[0], wantPers) || !reflect.DeepEqual(batch[1], wantBase) {
+		t.Errorf("mixed views batch: got %+v / %+v, want %+v / %+v",
+			batch[0], batch[1], wantPers, wantBase)
+	}
+	if batch[0].MatchedFacts >= batch[1].MatchedFacts {
+		t.Errorf("personalized view should see fewer facts: %d vs %d",
+			batch[0].MatchedFacts, batch[1].MatchedFacts)
+	}
+}

@@ -2,9 +2,6 @@ package cube
 
 import (
 	"fmt"
-	"math"
-	"sdwp/internal/bitset"
-	"sort"
 	"strings"
 )
 
@@ -131,279 +128,11 @@ type Result struct {
 }
 
 // Execute runs the query through the given view (nil view = the whole
-// warehouse, the non-personalized baseline).
+// warehouse, the non-personalized baseline) on a single goroutine. See
+// ExecuteParallel for the partitioned executor and ExecuteBatch for the
+// shared-scan batch API; all three produce identical Results.
 func (c *Cube) Execute(q Query, v *View) (*Result, error) {
-	fd := c.facts[q.Fact]
-	if fd == nil {
-		return nil, fmt.Errorf("cube: unknown fact %q", q.Fact)
-	}
-	if len(q.Aggregates) == 0 {
-		return nil, fmt.Errorf("cube: query needs at least one aggregate")
-	}
-
-	// Resolve group-by levels. anc maps each finest-level member to its
-	// ancestor at the group level (the roll-up cache), and keys is the
-	// fact's key column for the dimension.
-	type groupSpec struct {
-		dd   *DimData
-		li   int
-		anc  []int32
-		keys []int32
-	}
-	groups := make([]groupSpec, len(q.GroupBy))
-	for i, g := range q.GroupBy {
-		dd := c.dims[g.Dimension]
-		if dd == nil {
-			return nil, fmt.Errorf("cube: unknown dimension %q", g.Dimension)
-		}
-		if !fd.fact.HasDimension(g.Dimension) {
-			return nil, fmt.Errorf("cube: fact %q has no dimension %q", q.Fact, g.Dimension)
-		}
-		li := dd.dim.LevelIndex(g.Level)
-		if li < 0 {
-			return nil, fmt.Errorf("cube: dimension %q has no level %q", g.Dimension, g.Level)
-		}
-		groups[i] = groupSpec{dd: dd, li: li, anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[g.Dimension]}
-	}
-
-	// Resolve aggregates.
-	for _, a := range q.Aggregates {
-		if a.Agg < AggSum || a.Agg > AggMax {
-			return nil, fmt.Errorf("cube: invalid aggregation in query")
-		}
-		if a.Agg != AggCount && fd.fact.Measure(a.Measure) == nil {
-			return nil, fmt.Errorf("cube: fact %q has no measure %q", q.Fact, a.Measure)
-		}
-	}
-
-	if q.OrderBy != nil && (q.OrderBy.Agg < 0 || q.OrderBy.Agg >= len(q.Aggregates)) {
-		return nil, fmt.Errorf("cube: OrderBy.Agg %d out of range (have %d aggregates)",
-			q.OrderBy.Agg, len(q.Aggregates))
-	}
-	if q.Limit < 0 {
-		return nil, fmt.Errorf("cube: negative Limit %d", q.Limit)
-	}
-
-	// Resolve filters.
-	type filterSpec struct {
-		dd   *DimData
-		li   int
-		f    AttrFilter
-		anc  []int32
-		keys []int32
-	}
-	filters := make([]filterSpec, len(q.Filters))
-	for i, f := range q.Filters {
-		dd := c.dims[f.Dimension]
-		if dd == nil {
-			return nil, fmt.Errorf("cube: unknown dimension %q in filter", f.Dimension)
-		}
-		if !fd.fact.HasDimension(f.Dimension) {
-			return nil, fmt.Errorf("cube: fact %q has no dimension %q in filter", q.Fact, f.Dimension)
-		}
-		li := dd.dim.LevelIndex(f.Level)
-		if li < 0 {
-			return nil, fmt.Errorf("cube: dimension %q has no level %q in filter", f.Dimension, f.Level)
-		}
-		if dd.levels[li].level.Attribute(f.Attr) == nil {
-			return nil, fmt.Errorf("cube: level %s has no attribute %q", f.LevelRef, f.Attr)
-		}
-		filters[i] = filterSpec{dd: dd, li: li, f: f, anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[f.Dimension]}
-	}
-
-	// Aggregation state per group key. Single-level group-bys (the common
-	// OLAP roll-up) use a dense slice indexed by group member; multi-level
-	// group-bys hash a composite key.
-	type accum struct {
-		members []int32
-		sums    []float64
-		mins    []float64
-		maxs    []float64
-		count   float64
-	}
-	newAccum := func(members []int32) *accum {
-		cell := &accum{
-			members: append([]int32(nil), members...),
-			sums:    make([]float64, len(q.Aggregates)),
-			mins:    make([]float64, len(q.Aggregates)),
-			maxs:    make([]float64, len(q.Aggregates)),
-		}
-		for j := range cell.mins {
-			cell.mins[j] = math.Inf(1)
-			cell.maxs[j] = math.Inf(-1)
-		}
-		return cell
-	}
-	cells := map[string]*accum{}
-	var dense []*accum
-	var denseNone *accum // the NoParent group of the dense path
-	if len(groups) == 1 {
-		dense = make([]*accum, groups[0].dd.levels[groups[0].li].Len())
-	}
-
-	res := &Result{}
-	for _, g := range q.GroupBy {
-		res.GroupCols = append(res.GroupCols, g.String())
-	}
-	for _, a := range q.Aggregates {
-		if a.Agg == AggCount {
-			res.AggCols = append(res.AggCols, "COUNT(*)")
-		} else {
-			res.AggCols = append(res.AggCols, fmt.Sprintf("%s(%s)", a.Agg, a.Measure))
-		}
-	}
-
-	var keyBuf []byte
-	memberScratch := make([]int32, len(groups))
-	process := func(i int32) {
-		res.ScannedFacts++
-		ok := true
-		for _, fs := range filters {
-			anc := fs.anc[fs.keys[i]]
-			if anc == NoParent {
-				ok = false
-				break
-			}
-			val, has := fs.dd.levels[fs.li].Attr(fs.f.Attr, anc)
-			if !has || !compare(val, fs.f.Op, fs.f.Value) {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			return
-		}
-		res.MatchedFacts++
-
-		var cell *accum
-		if dense != nil {
-			anc := groups[0].anc[groups[0].keys[i]]
-			memberScratch[0] = anc
-			if anc == NoParent {
-				if denseNone == nil {
-					denseNone = newAccum(memberScratch)
-				}
-				cell = denseNone
-			} else {
-				cell = dense[anc]
-				if cell == nil {
-					cell = newAccum(memberScratch)
-					dense[anc] = cell
-				}
-			}
-		} else {
-			keyBuf = keyBuf[:0]
-			for gi := range groups {
-				anc := groups[gi].anc[groups[gi].keys[i]]
-				memberScratch[gi] = anc
-				keyBuf = appendInt32(keyBuf, anc)
-			}
-			cell = cells[string(keyBuf)]
-			if cell == nil {
-				cell = newAccum(memberScratch)
-				cells[string(keyBuf)] = cell
-			}
-		}
-		cell.count++
-		for j, a := range q.Aggregates {
-			if a.Agg == AggCount {
-				continue
-			}
-			mv := fd.measures[a.Measure][i]
-			cell.sums[j] += mv
-			if mv < cell.mins[j] {
-				cell.mins[j] = mv
-			}
-			if mv > cell.maxs[j] {
-				cell.maxs[j] = mv
-			}
-		}
-	}
-
-	// A personalized view materializes its combined mask once; the query
-	// then visits only visible facts — the mechanical form of the paper's
-	// "avoiding exploring a large and complex SDW". The non-personalized
-	// baseline (nil view) scans the whole fact table.
-	var mask *bitset.Set
-	if v != nil {
-		mask = v.Materialize(q.Fact)
-	}
-	if mask != nil {
-		mask.ForEach(func(i int) bool {
-			process(int32(i))
-			return true
-		})
-	} else {
-		for i := int32(0); int(i) < fd.n; i++ {
-			process(i)
-		}
-	}
-
-	// Collect dense-path cells into the common row loop.
-	if dense != nil {
-		for _, cell := range dense {
-			if cell != nil {
-				cells[string(appendInt32(nil, cell.members[0]))] = cell
-			}
-		}
-		if denseNone != nil {
-			cells[string(appendInt32(nil, NoParent))] = denseNone
-		}
-	}
-
-	// Materialize rows.
-	for _, cell := range cells {
-		row := Row{Values: make([]float64, len(q.Aggregates))}
-		for gi, gs := range groups {
-			name := "(none)"
-			if cell.members[gi] != NoParent {
-				name = gs.dd.levels[gs.li].Name(cell.members[gi])
-			}
-			row.Groups = append(row.Groups, name)
-		}
-		for j, a := range q.Aggregates {
-			switch a.Agg {
-			case AggSum:
-				row.Values[j] = cell.sums[j]
-			case AggCount:
-				row.Values[j] = cell.count
-			case AggAvg:
-				row.Values[j] = cell.sums[j] / cell.count
-			case AggMin:
-				row.Values[j] = cell.mins[j]
-			case AggMax:
-				row.Values[j] = cell.maxs[j]
-			}
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	byGroups := func(i, j int) bool {
-		a, b := res.Rows[i].Groups, res.Rows[j].Groups
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	}
-	if ob := q.OrderBy; ob != nil {
-		sort.Slice(res.Rows, func(i, j int) bool {
-			vi, vj := res.Rows[i].Values[ob.Agg], res.Rows[j].Values[ob.Agg]
-			if vi != vj {
-				if ob.Desc {
-					return vi > vj
-				}
-				return vi < vj
-			}
-			return byGroups(i, j)
-		})
-	} else {
-		sort.Slice(res.Rows, byGroups)
-	}
-	if q.Limit > 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
-	}
-	return res, nil
+	return c.ExecuteParallel(q, v, 1)
 }
 
 func appendInt32(b []byte, v int32) []byte {

@@ -15,17 +15,27 @@ import (
 // "also add" instances, per Example 5.3) and by intersection across levels
 // and with the fact mask (a fact is visible only if every constrained
 // coordinate is selected).
+//
+// A View is safe for concurrent use: queries (serial, parallel and batch
+// executors) may run while the session mutates the view through new
+// selections. A query that races with a selection sees either the view
+// before or after that selection — never a torn state — because executors
+// work from the materialized snapshot mask taken at query start.
 type View struct {
 	cube *Cube
+
+	// mu guards all mutable state below. Materialized snapshots are built
+	// and replaced under the lock and never mutated in place afterwards,
+	// so queries can iterate them lock-free. Level/fact masks returned by
+	// the accessors are live sets: they must not be read concurrently
+	// with new selections on the same view.
+	mu sync.RWMutex
 	// levelMasks maps "Dim.Level" to the selected members of that level.
 	levelMasks map[string]*bitset.Set
 	// factMasks maps fact names to directly selected fact instances.
 	factMasks map[string]*bitset.Set
-
 	// materialized caches the per-fact combination of all masks so queries
-	// iterate only visible facts. Guarded by matMu; invalidated on every
-	// new selection.
-	matMu        sync.Mutex
+	// iterate only visible facts; invalidated on every new selection.
 	materialized map[string]*bitset.Set
 }
 
@@ -55,13 +65,15 @@ func (v *View) SelectMember(dim, level string, member int32) error {
 		return fmt.Errorf("cube: member %d out of range for %s.%s", member, dim, level)
 	}
 	key := levelKey(dim, level)
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	m := v.levelMasks[key]
 	if m == nil {
 		m = bitset.New(ld.Len())
 		v.levelMasks[key] = m
 	}
 	m.Set(int(member))
-	v.invalidate()
+	v.materialized = nil
 	return nil
 }
 
@@ -74,47 +86,33 @@ func (v *View) SelectFact(fact string, idx int32) error {
 	if idx < 0 || int(idx) >= fd.n {
 		return fmt.Errorf("cube: fact index %d out of range for %q", idx, fact)
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	m := v.factMasks[fact]
 	if m == nil {
 		m = bitset.New(fd.n)
 		v.factMasks[fact] = m
 	}
 	m.Set(int(idx))
-	v.invalidate()
-	return nil
-}
-
-// invalidate drops the materialized cache after a selection change.
-func (v *View) invalidate() {
-	v.matMu.Lock()
 	v.materialized = nil
-	v.matMu.Unlock()
+	return nil
 }
 
 // Materialize returns the combined per-fact visibility mask for one fact
 // table (nil when the view leaves that fact unrestricted). The result is
 // cached until the next selection, so the per-query cost of a personalized
-// view is one bitset iteration instead of per-fact mask checks.
+// view is one bitset iteration instead of per-fact mask checks. The
+// returned set is an immutable snapshot: later selections build a new one.
 func (v *View) Materialize(fact string) *bitset.Set {
 	fd := v.cube.facts[fact]
 	if fd == nil {
 		return nil
 	}
-	restricted := v.factMasks[fact] != nil
-	if !restricted {
-		for key := range v.levelMasks {
-			dim, _ := splitKey(key)
-			if v.cube.dims[dim] != nil && fd.fact.HasDimension(dim) {
-				restricted = true
-				break
-			}
-		}
-	}
-	if !restricted {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.restrictsLocked(fd) {
 		return nil
 	}
-	v.matMu.Lock()
-	defer v.matMu.Unlock()
 	if m, ok := v.materialized[fact]; ok {
 		return m
 	}
@@ -160,22 +158,48 @@ func (v *View) Materialize(fact string) *bitset.Set {
 	return m
 }
 
-// LevelMask returns the mask for a level (nil = unrestricted).
+// restrictsLocked reports whether any selection constrains the fact.
+// Callers hold v.mu.
+func (v *View) restrictsLocked(fd *FactData) bool {
+	if v.factMasks[fd.fact.Name] != nil {
+		return true
+	}
+	for key := range v.levelMasks {
+		dim, _ := splitKey(key)
+		if v.cube.dims[dim] != nil && fd.fact.HasDimension(dim) {
+			return true
+		}
+	}
+	return false
+}
+
+// LevelMask returns the mask for a level (nil = unrestricted). The
+// returned set is live: do not read it concurrently with new selections.
 func (v *View) LevelMask(dim, level string) *bitset.Set {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return v.levelMasks[levelKey(dim, level)]
 }
 
 // FactMask returns the mask for a fact (nil = unrestricted).
-func (v *View) FactMask(fact string) *bitset.Set { return v.factMasks[fact] }
+func (v *View) FactMask(fact string) *bitset.Set {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.factMasks[fact]
+}
 
 // Restricted reports whether any selection has been applied.
 func (v *View) Restricted() bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return len(v.levelMasks) > 0 || len(v.factMasks) > 0
 }
 
 // MemberVisible reports whether a member passes the view's mask for its
 // level (unrestricted levels pass everything).
 func (v *View) MemberVisible(dim, level string, member int32) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	m := v.levelMasks[levelKey(dim, level)]
 	if m == nil {
 		return true
@@ -187,6 +211,12 @@ func (v *View) MemberVisible(dim, level string, member int32) bool {
 // every level mask (its coordinates' ancestors must be selected at each
 // constrained level).
 func (v *View) FactVisible(fact string, idx int32) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.factVisibleLocked(fact, idx)
+}
+
+func (v *View) factVisibleLocked(fact string, idx int32) bool {
 	fd := v.cube.facts[fact]
 	if fd == nil {
 		return false
@@ -227,12 +257,14 @@ func (v *View) VisibleFactCount(fact string) int {
 	if fd == nil {
 		return 0
 	}
-	if !v.Restricted() {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if len(v.levelMasks) == 0 && len(v.factMasks) == 0 {
 		return fd.n
 	}
 	n := 0
 	for i := int32(0); int(i) < fd.n; i++ {
-		if v.FactVisible(fact, i) {
+		if v.factVisibleLocked(fact, i) {
 			n++
 		}
 	}
@@ -242,6 +274,8 @@ func (v *View) VisibleFactCount(fact string) int {
 // Clone returns an independent copy of the view's masks.
 func (v *View) Clone() *View {
 	c := NewView(v.cube)
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	for k, m := range v.levelMasks {
 		c.levelMasks[k] = m.Clone()
 	}

@@ -10,6 +10,8 @@
 //	POST /api/logout   {session}                       → {ok}
 //	GET  /api/schema?session=...                       → personalized GeoMD
 //	POST /api/query    {session, fact, groupBy, aggregates, baseline?}
+//	POST /api/query/batch {session, queries: [{fact, ...}, ...]}
+//	                                                   → {results} (one shared scan)
 //	POST /api/select   {session, target, predicate}    → selection result
 //	GET  /api/profile?user=...                         → SUS profile instance
 //	GET  /api/rules                                    → registered rules (canonical PRML)
@@ -56,6 +58,7 @@ func NewServer(e *core.Engine) *Server {
 	s.mux.HandleFunc("/api/logout", s.handleLogout)
 	s.mux.HandleFunc("/api/schema", s.handleSchema)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/api/select", s.handleSelect)
 	s.mux.HandleFunc("/api/profile", s.handleProfile)
 	s.mux.HandleFunc("/api/rules", s.handleRules)
@@ -210,7 +213,13 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 }
 
 type queryRequest struct {
-	Session    string        `json:"session"`
+	Session string `json:"session"`
+	querySpec
+}
+
+// querySpec is the wire form of one OLAP query (shared by /api/query and
+// the entries of /api/query/batch).
+type querySpec struct {
 	Fact       string        `json:"fact"`
 	GroupBy    []levelRef    `json:"groupBy,omitempty"`
 	Aggregates []measureAgg  `json:"aggregates"`
@@ -244,6 +253,32 @@ var filterOps = map[string]cube.FilterOp{
 	"<=": cube.OpLe, ">": cube.OpGt, ">=": cube.OpGe,
 }
 
+// toCubeQuery translates a wire query into a cube query.
+func (qs querySpec) toCubeQuery() (cube.Query, error) {
+	q := cube.Query{Fact: qs.Fact, OrderBy: qs.OrderBy, Limit: qs.Limit}
+	for _, g := range qs.GroupBy {
+		q.GroupBy = append(q.GroupBy, cube.LevelRef{Dimension: g.Dimension, Level: g.Level})
+	}
+	for _, a := range qs.Aggregates {
+		agg, err := cube.ParseAgg(a.Agg)
+		if err != nil {
+			return cube.Query{}, err
+		}
+		q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: a.Measure, Agg: agg})
+	}
+	for _, f := range qs.Filters {
+		op, ok := filterOps[f.Op]
+		if !ok {
+			return cube.Query{}, fmt.Errorf("unknown filter operator %q", f.Op)
+		}
+		q.Filters = append(q.Filters, cube.AttrFilter{
+			LevelRef: cube.LevelRef{Dimension: f.Dimension, Level: f.Level},
+			Attr:     f.Attr, Op: op, Value: f.Value,
+		})
+	}
+	return q, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
@@ -257,33 +292,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown session")
 		return
 	}
-	q := cube.Query{Fact: req.Fact, OrderBy: req.OrderBy, Limit: req.Limit}
-	for _, g := range req.GroupBy {
-		q.GroupBy = append(q.GroupBy, cube.LevelRef{Dimension: g.Dimension, Level: g.Level})
+	q, err := req.toCubeQuery()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	for _, a := range req.Aggregates {
-		agg, err := cube.ParseAgg(a.Agg)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: a.Measure, Agg: agg})
-	}
-	for _, f := range req.Filters {
-		op, ok := filterOps[f.Op]
-		if !ok {
-			writeErr(w, http.StatusBadRequest, "unknown filter operator %q", f.Op)
-			return
-		}
-		q.Filters = append(q.Filters, cube.AttrFilter{
-			LevelRef: cube.LevelRef{Dimension: f.Dimension, Level: f.Level},
-			Attr:     f.Attr, Op: op, Value: f.Value,
-		})
-	}
-	var (
-		res *cube.Result
-		err error
-	)
+	var res *cube.Result
 	if req.Baseline {
 		res, err = sess.QueryBaseline(q)
 	} else {
@@ -294,6 +308,64 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+type batchQueryRequest struct {
+	Session string      `json:"session"`
+	Queries []querySpec `json:"queries"`
+}
+
+// maxBatchQueries bounds the per-request work of /api/query/batch: every
+// query in a batch holds its own partial aggregation tables during the
+// shared scan, so an unbounded batch would let one request allocate
+// arbitrarily much.
+const maxBatchQueries = 64
+
+type batchQueryResponse struct {
+	Results []*cube.Result `json:"results"`
+}
+
+// handleQueryBatch answers many queries of one session in a single shared
+// scan per fact table (cube.ExecuteBatch): the wire shape of a dashboard
+// refreshing all of its tiles at once.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req batchQueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess := s.session(req.Session)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch needs at least one query")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest, "batch has %d queries, max %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	qs := make([]cube.Query, len(req.Queries))
+	baseline := make([]bool, len(req.Queries))
+	for i, spec := range req.Queries {
+		q, err := spec.toCubeQuery()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		qs[i] = q
+		baseline[i] = spec.Baseline
+	}
+	results, err := sess.QueryBatch(qs, baseline)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "batch query failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchQueryResponse{Results: results})
 }
 
 type selectRequest struct {

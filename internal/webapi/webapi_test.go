@@ -207,6 +207,89 @@ func TestQueryPersonalizedVsBaseline(t *testing.T) {
 	}
 }
 
+// TestQueryBatchEndpoint drives /api/query/batch: a personalized and a
+// baseline variant of the same query answered in one shared scan must
+// match the results of the one-at-a-time /api/query endpoint exactly.
+func TestQueryBatchEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t)
+	loc := ds.CityLocs[1]
+	tok := login(t, srv, "alice", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	spec := map[string]any{
+		"fact":       "Sales",
+		"groupBy":    []map[string]string{{"dimension": "Store", "level": "City"}},
+		"aggregates": []map[string]string{{"measure": "UnitSales", "agg": "SUM"}},
+	}
+	baseSpec := map[string]any{
+		"fact":       "Sales",
+		"groupBy":    []map[string]string{{"dimension": "Store", "level": "City"}},
+		"aggregates": []map[string]string{{"measure": "UnitSales", "agg": "SUM"}},
+		"baseline":   true,
+	}
+	resp, body := postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": tok,
+		"queries": []map[string]any{spec, baseSpec},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %s %s", resp.Status, body)
+	}
+	var batch struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(batch.Results))
+	}
+
+	// Each batch entry must be byte-identical to the single-query answer.
+	for i, single := range []map[string]any{spec, baseSpec} {
+		q := map[string]any{"session": tok}
+		for k, v := range single {
+			q[k] = v
+		}
+		resp, one := postJSON(t, srv.URL+"/api/query", q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single %d: %s %s", i, resp.Status, one)
+		}
+		if string(bytes.TrimSpace(one)) != string(bytes.TrimSpace(batch.Results[i])) {
+			t.Errorf("batch result %d differs from single query:\nbatch:  %s\nsingle: %s",
+				i, batch.Results[i], one)
+		}
+	}
+
+	// Error paths: unknown session, empty batch, invalid query.
+	resp, _ = postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": "nope", "queries": []map[string]any{spec}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: %s", resp.Status)
+	}
+	resp, _ = postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": tok, "queries": []map[string]any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: %s", resp.Status)
+	}
+	resp, _ = postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": tok,
+		"queries": []map[string]any{{
+			"fact":       "Sales",
+			"aggregates": []map[string]string{{"agg": "BOGUS"}},
+		}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad aggregation: %s", resp.Status)
+	}
+	oversized := make([]map[string]any, maxBatchQueries+1)
+	for i := range oversized {
+		oversized[i] = spec
+	}
+	resp, _ = postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": tok, "queries": oversized})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: %s", resp.Status)
+	}
+}
+
 func TestSelectFiresTrackingRule(t *testing.T) {
 	srv, ds := newTestServer(t)
 	loc := ds.CityLocs[0]

@@ -15,6 +15,10 @@
 //   - start per-user Sessions: schema rules personalize the GeoMD schema,
 //     instance rules personalize the cube view, and spatial selections fire
 //     tracking rules that learn the user's interests;
+//   - query at scale: EngineOptions.QueryWorkers partitions every fact scan
+//     across a worker pool (Cube.ExecuteParallel), and Session.QueryBatch /
+//     Engine.ExecuteBatch / Cube.ExecuteBatch answer many queries in one
+//     shared scan per fact table (see README.md);
 //   - optionally serve everything over HTTP with NewHTTPServer.
 //
 // See examples/quickstart for a complete program.
