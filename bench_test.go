@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sdwp/internal/geoidx"
 	"sdwp/internal/geom"
@@ -352,6 +354,109 @@ func BenchmarkSharedScanBatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCoalescedConcurrentQueries measures the query scheduler under
+// the workload it exists for: many goroutines issuing concurrent
+// personalized single queries. direct bypasses the scheduler (one scan per
+// query); coalesced routes through it (window 0: batches form behind the
+// in-flight bound). The coalesced run reports queries-per-scan — its
+// whole point is making that > 1.
+func BenchmarkCoalescedConcurrentQueries(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	const concurrentSessions = 8
+	for _, mode := range []string{"direct", "coalesced"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := EngineOptions{DisableScheduler: mode == "direct"}
+			if mode == "coalesced" {
+				// A sub-millisecond window plus one scan slot is the
+				// configuration that actually merges concurrent clients
+				// into shared scans on any host (with window 0 a fast
+				// single-CPU host dispatches each query before the next
+				// client gets scheduled).
+				opts.CoalesceWindow = 200 * time.Microsecond
+				opts.MaxInFlightScans = 1
+			}
+			users, err := NewSalesUserStore(map[string]string{"alice": "RegionalSalesManager"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := NewEngine(env.ds.Cube, users, opts)
+			if _, err := e.AddRules(`Rule:5kmStores When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 5km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`); err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			sessions := make([]*Session, concurrentSessions)
+			for i := range sessions {
+				s, err := e.StartSession("alice", env.ds.CityLocs[i%len(env.ds.CityLocs)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions[i] = s
+			}
+			var next atomic.Int64
+			b.ReportAllocs()
+			// Several client goroutines per core: coalescing serves
+			// concurrent *clients*, not cores, and must show up even on a
+			// single-CPU host.
+			b.SetParallelism(concurrentSessions)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				s := sessions[int(next.Add(1))%len(sessions)]
+				for pb.Next() {
+					if _, err := s.Query(familyQuery); err != nil {
+						// b.Fatal must not run off the benchmark goroutine.
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if mode == "coalesced" {
+				if st := e.SchedulerStats(); st.FactScans > 0 {
+					b.ReportMetric(st.CoalesceRatio, "queries/scan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkResultCacheHit measures the epoch-keyed result cache: the same
+// personalized query repeated against an unchanged view must cost a map
+// lookup, not a fact scan.
+func BenchmarkResultCacheHit(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	users, err := NewSalesUserStore(map[string]string{"alice": "RegionalSalesManager"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(env.ds.Cube, users, EngineOptions{ResultCacheBytes: 32 << 20})
+	defer e.Close()
+	s, err := e.StartSession("alice", env.ds.CityLocs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Query(familyQuery); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(familyQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := e.SchedulerStats()
+	if st.CacheHits < int64(b.N) {
+		b.Fatalf("cache hits = %d, want >= %d", st.CacheHits, b.N)
 	}
 }
 

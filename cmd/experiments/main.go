@@ -4,6 +4,8 @@
 //	F1..F6 — the paper's six figures (process, models, profile, metamodel)
 //	X1..X3 — the paper's three worked examples (Section 5)
 //	C1..C5 — quantitative support for the paper's claims
+//	C6..C8 — ablations and scale-out: rule-plan optimizer, parallel/batch
+//	         executors, and the query scheduler (coalescing + result cache)
 //
 // The output of this command is what EXPERIMENTS.md records. Pass -full for
 // the larger sweeps (C1 to 1M facts, C4 to 1M points).
@@ -16,6 +18,7 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"sdwp"
@@ -53,6 +56,8 @@ func main() {
 	runC6()
 	header("C7 — parallel partitioned scan & shared-scan query batch")
 	runC7()
+	header("C8 — query scheduler: coalesced shared scans + result cache under concurrent clients")
+	runC8()
 }
 
 func header(s string) {
@@ -113,6 +118,7 @@ func runF5() {
 
 func runX1() {
 	e, ds := engineWithRules(sdwp.DefaultDataConfig())
+	defer e.Close()
 	alice := must(e.StartSession("alice", ds.CityLocs[0]))
 	bob := must(e.StartSession("bob", ds.CityLocs[0]))
 	fmt.Println("  manager schema delta (Fig. 2 → Fig. 6):")
@@ -127,6 +133,7 @@ func runX1() {
 
 func runX2() {
 	e, ds := engineWithRules(sdwp.DefaultDataConfig())
+	defer e.Close()
 	loc := ds.CityLocs[3]
 	s := must(e.StartSession("alice", loc))
 	mask := s.View().LevelMask("Store", "Store")
@@ -144,6 +151,7 @@ func runX2() {
 
 func runX3() {
 	e, ds := engineWithRules(sdwp.DefaultDataConfig())
+	defer e.Close()
 	const pred = "Distance(GeoMD.Store.City.geometry, GeoMD.Airport.geometry) < 20km"
 	for round := 1; round <= 3; round++ {
 		s := must(e.StartSession("alice", ds.CityLocs[0]))
@@ -193,6 +201,7 @@ func runC1() {
 			n, tBase.Round(time.Microsecond), tPers.Round(time.Microsecond),
 			rb.ScannedFacts, rp.ScannedFacts,
 			float64(tBase)/float64(tPers))
+		e.Close()
 	}
 }
 
@@ -201,6 +210,7 @@ func runC2() {
 	cfg.Stores = 2000
 	cfg.Sales = 200000
 	e, ds := engineWithRules(cfg)
+	defer e.Close()
 	loc := ds.CityLocs[7]
 	q := sdwp.Query{
 		Fact:       "Sales",
@@ -261,6 +271,7 @@ func runC3() {
 			mustErr(e.EndSession(s))
 		})
 		fmt.Printf("  %12d %18s\n", n, lat.Round(time.Microsecond))
+		e.Close()
 	}
 }
 
@@ -356,6 +367,7 @@ endWhen`
 				s := must(e.StartSession("u", loc))
 				mustErr(e.EndSession(s))
 			})
+			e.Close()
 		}
 		fmt.Printf("  %10d %16s %16s %9.1fx\n", stores,
 			lat[0].Round(time.Microsecond), lat[1].Round(time.Microsecond),
@@ -382,6 +394,7 @@ func runC7() {
 	ds := must(sdwp.GenerateData(cfg))
 	userStore := must(sdwp.NewSalesUserStore(roles))
 	e := sdwp.NewEngine(ds.Cube, userStore, sdwp.EngineOptions{})
+	defer e.Close()
 	e.SetParam("threshold", sdwp.Number(2))
 	must(e.AddRules(sdwp.PaperRules))
 
@@ -429,6 +442,94 @@ func runC7() {
 		batched.Round(time.Microsecond), float64(oneByOne)/float64(batched))
 	for _, s := range sessions {
 		mustErr(e.EndSession(s))
+	}
+}
+
+// runC8 measures the qsched subsystem end to end: N concurrent clients,
+// each looping personalized single queries (the traffic shape PR 1's batch
+// API could not help — nobody arrives holding a batch), answered three
+// ways: direct serial scans, direct parallel scans, and scheduler-routed
+// with coalescing plus the epoch-keyed result cache. The scheduler modes
+// also report how many fact scans actually ran for how many queries.
+func runC8() {
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Stores = 2000
+	cfg.Sales = 200000
+	if *full {
+		cfg.Sales = 1000000
+	}
+	const clients = 16
+	const queriesPerClient = 25
+	roles := map[string]string{}
+	for i := 0; i < clients; i++ {
+		roles[fmt.Sprintf("mgr%02d", i)] = "RegionalSalesManager"
+	}
+	ds := must(sdwp.GenerateData(cfg))
+
+	// Each client cycles through a few dashboard tiles; repeats within and
+	// across clients are what the cache and dedup paths exist for.
+	tiles := []sdwp.Query{
+		{Fact: "Sales", GroupBy: []sdwp.LevelRef{{Dimension: "Store", Level: "City"}},
+			Aggregates: []sdwp.MeasureAgg{{Measure: "UnitSales", Agg: sdwp.SUM}}},
+		{Fact: "Sales", GroupBy: []sdwp.LevelRef{{Dimension: "Product", Level: "Family"}},
+			Aggregates: []sdwp.MeasureAgg{{Measure: "StoreSales", Agg: sdwp.SUM}}},
+		{Fact: "Sales", Aggregates: []sdwp.MeasureAgg{{Agg: sdwp.COUNT}}},
+	}
+
+	modes := []struct {
+		name string
+		opts sdwp.EngineOptions
+	}{
+		{"direct-serial", sdwp.EngineOptions{DisableScheduler: true}},
+		{"direct-parallel", sdwp.EngineOptions{DisableScheduler: true, QueryWorkers: -1}},
+		{"coalesced", sdwp.EngineOptions{
+			CoalesceWindow: 500 * time.Microsecond, MaxInFlightScans: 2}},
+		{"coalesced+cache", sdwp.EngineOptions{
+			CoalesceWindow: 500 * time.Microsecond, MaxInFlightScans: 2,
+			ResultCacheBytes: 32 << 20}},
+	}
+	fmt.Printf("  %d clients x %d personalized queries, %d facts\n",
+		clients, queriesPerClient, cfg.Sales)
+	fmt.Printf("  %16s %12s %12s %10s %10s %8s\n",
+		"mode", "wall", "queries/s", "scans", "coalesce", "cachehit")
+	for _, mode := range modes {
+		users := must(sdwp.NewSalesUserStore(roles))
+		e := sdwp.NewEngine(ds.Cube, users, mode.opts)
+		e.SetParam("threshold", sdwp.Number(2))
+		must(e.AddRules(sdwp.PaperRules))
+		sessions := make([]*sdwp.Session, clients)
+		for i := range sessions {
+			sessions[i] = must(e.StartSession(fmt.Sprintf("mgr%02d", i),
+				ds.CityLocs[i%len(ds.CityLocs)]))
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, s := range sessions {
+			wg.Add(1)
+			go func(i int, s *sdwp.Session) {
+				defer wg.Done()
+				for k := 0; k < queriesPerClient; k++ {
+					must(s.Query(tiles[(i+k)%len(tiles)]))
+				}
+			}(i, s)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		st := e.SchedulerStats()
+		total := clients * queriesPerClient
+		scans, ratio, hit := "-", "-", "-"
+		if !mode.opts.DisableScheduler {
+			scans = fmt.Sprintf("%d", st.FactScans)
+			ratio = fmt.Sprintf("%.1fx", st.CoalesceRatio)
+			hit = fmt.Sprintf("%.0f%%", 100*st.CacheHitRate)
+		}
+		fmt.Printf("  %16s %12s %12.0f %10s %10s %8s\n",
+			mode.name, wall.Round(time.Microsecond),
+			float64(total)/wall.Seconds(), scans, ratio, hit)
+		for _, s := range sessions {
+			mustErr(e.EndSession(s))
+		}
+		e.Close()
 	}
 }
 

@@ -74,6 +74,7 @@ func cmdMap(args []string) {
 		log.Fatal(err)
 	}
 	engine := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{})
+	defer engine.Close()
 	engine.SetParam("threshold", sdwp.Number(2))
 	src := sdwp.PaperRules
 	if *rulesPath != "" {
@@ -218,6 +219,7 @@ func cmdSimulate(args []string) {
 		log.Fatal(err)
 	}
 	engine := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{})
+	defer engine.Close()
 	engine.SetParam("threshold", sdwp.Number(2))
 	src := sdwp.PaperRules
 	if *rulesPath != "" {

@@ -7,7 +7,9 @@
 //
 //	solapd [-addr :8080] [-seed 1] [-stores 300] [-sales 20000]
 //	       [-rules file.prml] [-users alice=RegionalSalesManager,bob=Accountant]
-//	       [-threshold 2]
+//	       [-threshold 2] [-workers -1]
+//	       [-coalesce-window 500us] [-max-inflight-scans 2]
+//	       [-result-cache-mb 32] [-max-batch-queries 64]
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"sdwp"
 	"sdwp/internal/cube"
@@ -40,6 +43,14 @@ func main() {
 		threshold = flag.Float64("threshold", 2, "designer threshold for the TrainAirportCity rule")
 		workers   = flag.Int("workers", 0,
 			"query scan workers: 0 or 1 = serial, N = parallel partitioned scans, -1 = one per CPU")
+		coalesceWindow = flag.Duration("coalesce-window", 500*time.Microsecond,
+			"query scheduler micro-batch window: how long to hold the first queued query open for more concurrent queries to join its shared scan (0 = no added latency)")
+		maxInFlight = flag.Int("max-inflight-scans", 0,
+			"concurrent shared scans the scheduler dispatches (0 = default)")
+		cacheMB = flag.Int("result-cache-mb", 32,
+			"personalized result cache size in MiB, keyed by query fingerprint + view epoch (0 = off)")
+		maxBatch = flag.Int("max-batch-queries", 0,
+			"max queries per batch, shared by coalesced scans and POST /api/query/batch (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -89,7 +100,13 @@ func main() {
 		log.Fatalf("user store: %v", err)
 	}
 
-	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{QueryWorkers: *workers})
+	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{
+		QueryWorkers:     *workers,
+		CoalesceWindow:   *coalesceWindow,
+		MaxInFlightScans: *maxInFlight,
+		ResultCacheBytes: int64(*cacheMB) << 20,
+		MaxBatchQueries:  *maxBatch,
+	})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 
 	src := sdwp.PaperRules
@@ -120,6 +137,7 @@ func main() {
 		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sigs
+			engine.Close() // stop the query scheduler before persisting
 			data, err := json.MarshalIndent(users, "", "  ")
 			if err == nil {
 				err = os.WriteFile(*profiles, data, 0o644)

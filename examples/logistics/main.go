@@ -51,6 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 	engine := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{})
+	defer engine.Close()
 	if _, err := engine.AddRules(logisticsRules); err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	engine := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{})
+	defer engine.Close()
 	engine.SetParam("threshold", sdwp.Number(2))
 	if _, err := engine.AddRules(sdwp.PaperRules); err != nil {
 		log.Fatal(err)

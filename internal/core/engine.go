@@ -23,6 +23,7 @@ import (
 	"sdwp/internal/cube"
 	"sdwp/internal/geom"
 	"sdwp/internal/prml"
+	"sdwp/internal/qsched"
 	"sdwp/internal/usermodel"
 )
 
@@ -47,6 +48,26 @@ type Options struct {
 	// integer-valued measures; otherwise equal up to floating-point
 	// summation order — see internal/cube/exec.go).
 	QueryWorkers int
+	// CoalesceWindow is the query scheduler's micro-batch window: how long
+	// the first queued query is held open for more concurrent queries to
+	// coalesce into the same shared scan (typically 0–2 ms). 0 adds no
+	// latency — under load, queries still coalesce behind in-flight scans.
+	CoalesceWindow time.Duration
+	// MaxInFlightScans bounds concurrent shared scans dispatched by the
+	// scheduler (0 = qsched.DefaultMaxInFlight).
+	MaxInFlightScans int
+	// ResultCacheBytes sizes the scheduler's epoch-keyed personalized
+	// result cache; 0 disables caching (the default: repeated queries in
+	// benchmarks and experiments then measure real scans).
+	ResultCacheBytes int64
+	// MaxBatchQueries caps queries per batch — one coalesced shared scan
+	// and one POST /api/query/batch request share the limit
+	// (0 = qsched.DefaultMaxBatch).
+	MaxBatchQueries int
+	// DisableScheduler routes Session.Query/QueryBaseline/QueryBatch
+	// straight to the cube executors, bypassing queueing, coalescing and
+	// caching — the scheduler's correctness baseline.
+	DisableScheduler bool
 }
 
 // QueryWorkers returns the engine's configured query worker-pool size.
@@ -57,6 +78,7 @@ type Engine struct {
 	cube  *cube.Cube
 	users *usermodel.Store
 	opts  Options
+	sched *qsched.Scheduler
 
 	mu       sync.Mutex
 	rules    []*prml.Rule
@@ -66,14 +88,42 @@ type Engine struct {
 }
 
 // NewEngine creates an engine over a loaded cube and a user-profile store.
+// The engine owns a query scheduler (see internal/qsched) that every
+// session's queries route through; long-lived deployments should Close the
+// engine to stop it.
 func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 	return &Engine{
-		cube:     c,
-		users:    users,
-		opts:     opts,
+		cube:  c,
+		users: users,
+		opts:  opts,
+		sched: qsched.New(c, qsched.Options{
+			Window:      opts.CoalesceWindow,
+			MaxBatch:    opts.MaxBatchQueries,
+			MaxInFlight: opts.MaxInFlightScans,
+			CacheBytes:  opts.ResultCacheBytes,
+			Workers:     opts.QueryWorkers,
+			Disabled:    opts.DisableScheduler,
+		}),
 		params:   map[string]prml.Value{},
 		sessions: map[string]*Session{},
 	}
+}
+
+// Close stops the engine's query scheduler: queued queries drain, new ones
+// are rejected. Idempotent; the engine must not be queried after Close.
+func (e *Engine) Close() { e.sched.Close() }
+
+// SchedulerStats snapshots the query scheduler's counters (coalesce ratio,
+// cache hit rate, queue depth — what GET /api/stats serves).
+func (e *Engine) SchedulerStats() qsched.Stats { return e.sched.Stats() }
+
+// MaxBatchQueries returns the effective per-batch query cap shared by the
+// scheduler's coalesced scans and the web API's batch endpoint.
+func (e *Engine) MaxBatchQueries() int {
+	if e.opts.MaxBatchQueries > 0 {
+		return e.opts.MaxBatchQueries
+	}
+	return qsched.DefaultMaxBatch
 }
 
 // Cube returns the engine's cube.
@@ -219,7 +269,14 @@ func (e *Engine) StartSession(userID string, location geom.Geometry) (*Session, 
 // — in one shared scan per fact table, the multi-tenant shape of a busy
 // deployment: many logged-in users' dashboards refreshing against the same
 // fact data. sessions may be nil (all baseline) or one entry per query.
+//
+// This is the raw shared-scan primitive (the scheduler's own executor);
+// callers serving interactive traffic should prefer Session.Query /
+// Session.QueryBatch, which add coalescing and caching on top.
 func (e *Engine) ExecuteBatch(qs []cube.Query, sessions []*Session) ([]*cube.Result, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("core: batch needs at least one query")
+	}
 	if sessions != nil && len(sessions) != len(qs) {
 		return nil, fmt.Errorf("core: batch has %d queries but %d sessions", len(qs), len(sessions))
 	}

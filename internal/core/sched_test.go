@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/prml"
+	"sdwp/internal/qsched"
+)
+
+// TestSchedulerRoutedQueryEquivalence runs the same personalized session
+// queries through a scheduler-enabled engine (window, cache, coalescing
+// all on) and a scheduler-disabled one, over the same cube, and requires
+// identical results — including on cache-hit repeats.
+func TestSchedulerRoutedQueryEquivalence(t *testing.T) {
+	e1, ds := newTestEngineOpts(t, Options{
+		CoalesceWindow:   time.Millisecond,
+		ResultCacheBytes: 1 << 20,
+		QueryWorkers:     2,
+	})
+	defer e1.Close()
+	e2 := NewEngine(ds.Cube, e1.Users(), Options{DisableScheduler: true})
+	defer e2.Close()
+	e2.SetParam("threshold", mustParam(t, e1, "threshold"))
+	if _, err := e2.AddRules(paperRules); err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := e1.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e2.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []cube.Query{
+		{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}},
+		{Fact: "Sales", GroupBy: []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+			Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}}},
+		{Fact: "Sales", GroupBy: []cube.LevelRef{{Dimension: "Product", Level: "Family"}},
+			Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}},
+			OrderBy:    &cube.OrderBy{Agg: 0, Desc: true}, Limit: 3},
+	}
+	for round := 0; round < 3; round++ { // round > 0 hits e1's cache
+		for i, q := range queries {
+			r1, err := s1.Query(q)
+			if err != nil {
+				t.Fatalf("round %d query %d scheduler: %v", round, i, err)
+			}
+			r2, err := s2.Query(q)
+			if err != nil {
+				t.Fatalf("round %d query %d direct: %v", round, i, err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("round %d query %d: scheduler result differs from direct", round, i)
+			}
+			b1, err := s1.QueryBaseline(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := s2.QueryBaseline(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(b1, b2) {
+				t.Errorf("round %d query %d: baseline differs", round, i)
+			}
+		}
+	}
+	if st := e1.SchedulerStats(); st.CacheHits == 0 {
+		t.Error("repeat rounds never hit the result cache")
+	}
+}
+
+func mustParam(t *testing.T, e *Engine, name string) prml.Value {
+	t.Helper()
+	v, ok := e.Param(name)
+	if !ok {
+		t.Fatalf("param %s missing", name)
+	}
+	return v
+}
+
+// TestEngineExecuteBatchMisuse covers the batch API's misuse paths
+// table-driven: empty query lists, mismatched sessions slices, and the
+// valid nil/partial-sessions shapes.
+func TestEngineExecuteBatchMisuse(t *testing.T) {
+	e, ds := newTestEngine(t)
+	defer e.Close()
+	s, err := e.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := cube.Query{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+
+	cases := []struct {
+		name     string
+		qs       []cube.Query
+		sessions []*Session
+		wantErr  string
+		wantLen  int
+	}{
+		{name: "empty query list", qs: nil, sessions: nil, wantErr: "at least one query"},
+		{name: "empty with sessions", qs: []cube.Query{}, sessions: []*Session{s}, wantErr: "at least one query"},
+		{name: "too few sessions", qs: []cube.Query{good, good}, sessions: []*Session{s}, wantErr: "2 queries but 1 sessions"},
+		{name: "too many sessions", qs: []cube.Query{good}, sessions: []*Session{s, s}, wantErr: "1 queries but 2 sessions"},
+		{name: "nil sessions is baseline", qs: []cube.Query{good, good}, sessions: nil, wantLen: 2},
+		{name: "nil entry is baseline", qs: []cube.Query{good, good}, sessions: []*Session{s, nil}, wantLen: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := e.ExecuteBatch(tc.qs, tc.sessions)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != tc.wantLen {
+				t.Fatalf("len(res) = %d, want %d", len(res), tc.wantLen)
+			}
+			for i, r := range res {
+				if r == nil {
+					t.Fatalf("result %d is nil", i)
+				}
+			}
+		})
+	}
+
+	// The personalized entry must see no more than the baseline one.
+	res, err := e.ExecuteBatch([]cube.Query{good, good}, []*Session{s, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].MatchedFacts > res[1].MatchedFacts {
+		t.Errorf("personalized matched %d > baseline %d", res[0].MatchedFacts, res[1].MatchedFacts)
+	}
+}
+
+// TestEngineCloseRejectsQueries checks the scheduler lifecycle on the
+// engine: Close drains, later queries fail, Close is idempotent.
+func TestEngineCloseRejectsQueries(t *testing.T) {
+	e, ds := newTestEngine(t)
+	s, err := e.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cube.Query{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if _, err := s.Query(q); err != qsched.ErrClosed {
+		t.Errorf("query after close: err = %v, want ErrClosed", err)
+	}
+	e.Close() // idempotent
+}
+
+// TestNoStaleCachedResultsUnderSpatialSelect is the stale-epoch stress
+// test: readers hammer cached personalized queries while a writer keeps
+// widening the session's selection through SpatialSelect. Selections only
+// ever union within a level, so the personalized fact count is
+// monotonically nondecreasing; a reader that observes view epoch E before
+// querying must get a result reflecting at least every selection recorded
+// at an epoch <= E — anything smaller is a stale pre-epoch cache entry.
+func TestNoStaleCachedResultsUnderSpatialSelect(t *testing.T) {
+	e, ds := newTestEngineOpts(t, Options{
+		CoalesceWindow:   200 * time.Microsecond,
+		ResultCacheBytes: 1 << 20,
+		QueryWorkers:     2,
+	})
+	defer e.Close()
+	s, err := e.StartSession("alice", ds.CityLocs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cube.Query{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+
+	// checkpoints record (epoch, direct personalized count) after each
+	// completed selection; the slice only grows.
+	type checkpoint struct {
+		epoch uint64
+		count int
+	}
+	var (
+		cpMu        sync.Mutex
+		checkpoints []checkpoint
+	)
+	record := func() {
+		direct, err := e.Cube().Execute(q, s.View())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ep := s.View().Epoch()
+		cpMu.Lock()
+		checkpoints = append(checkpoints, checkpoint{epoch: ep, count: direct.MatchedFacts})
+		cpMu.Unlock()
+	}
+	record() // post-login state
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	done := make(chan struct{})
+
+	// Writer: widen the selection radius step by step. Each SpatialSelect
+	// unions more stores into the Store.Store level mask, bumping the
+	// view's epoch per selected instance.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for _, km := range []int{2, 4, 8, 16, 32, 64, 120} {
+			pred := fmt.Sprintf(
+				"Distance(GeoMD.Store.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < %dkm", km)
+			if _, err := s.SpatialSelect("GeoMD.Store", pred); err != nil {
+				errs <- err
+				return
+			}
+			record()
+		}
+	}()
+
+	// Readers: cached scheduler-routed queries racing the selections.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				e0 := s.View().Epoch()
+				res, err := s.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Strongest recorded state the reader provably observed.
+				cpMu.Lock()
+				floor := -1
+				for _, cp := range checkpoints {
+					if cp.epoch <= e0 && cp.count > floor {
+						floor = cp.count
+					}
+				}
+				cpMu.Unlock()
+				if res.MatchedFacts < floor {
+					errs <- fmt.Errorf("stale result: matched %d < %d recorded at epoch <= %d",
+						res.MatchedFacts, floor, e0)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The radii must have actually widened the selection, or the harness
+	// proves nothing.
+	cpMu.Lock()
+	first, last := checkpoints[0], checkpoints[len(checkpoints)-1]
+	cpMu.Unlock()
+	if last.count <= first.count {
+		t.Fatalf("selection never widened: %d -> %d facts", first.count, last.count)
+	}
+
+	// Quiescent state: a fresh query (possibly cached) must equal direct
+	// execution exactly.
+	want, err := e.Cube().Execute(q, s.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("quiescent query %d differs from direct execution", i)
+		}
+	}
+	if st := e.SchedulerStats(); st.CacheHits == 0 {
+		t.Log("note: stress run recorded no cache hits (timing-dependent)")
+	}
+}

@@ -53,23 +53,27 @@ func (s *Session) Engine() *Engine { return s.engine }
 func (s *Session) Location() geom.Geometry { return s.location }
 
 // Query runs an OLAP query through the personalized view — what the
-// paper's "succeeding analysis in any BI tool" sees. The scan is
-// partitioned across the engine's QueryWorkers pool (serial when
-// unconfigured).
+// paper's "succeeding analysis in any BI tool" sees. The query routes
+// through the engine's scheduler (internal/qsched): it may be answered
+// from the epoch-keyed result cache, coalesce into a shared scan with
+// other sessions' concurrent queries, or execute alone — always with a
+// result identical to the direct serial path.
 func (s *Session) Query(q cube.Query) (*cube.Result, error) {
-	return s.engine.cube.ExecuteParallel(q, s.View(), s.engine.opts.QueryWorkers)
+	return s.engine.sched.Submit(q, s.View(), s.UserID)
 }
 
 // QueryBaseline runs the same query against the whole warehouse (the
-// non-personalized baseline of experiment C1).
+// non-personalized baseline of experiment C1), also scheduler-routed.
 func (s *Session) QueryBaseline(q cube.Query) (*cube.Result, error) {
-	return s.engine.cube.ExecuteParallel(q, nil, s.engine.opts.QueryWorkers)
+	return s.engine.sched.Submit(q, nil, s.UserID)
 }
 
-// QueryBatch answers a batch of queries in one shared scan per fact table
-// (see cube.ExecuteBatch). baseline optionally marks queries that bypass
-// the personalized view (nil = all personalized; otherwise one entry per
-// query).
+// QueryBatch answers a batch of queries through the scheduler: each entry
+// hits the result cache individually, and misses coalesce into shared
+// scans together with every other session's concurrent traffic (see
+// cube.ExecuteBatch for the underlying scan). baseline optionally marks
+// queries that bypass the personalized view (nil = all personalized;
+// otherwise one entry per query).
 func (s *Session) QueryBatch(qs []cube.Query, baseline []bool) ([]*cube.Result, error) {
 	if baseline != nil && len(baseline) != len(qs) {
 		return nil, fmt.Errorf("core: batch has %d queries but %d baseline flags", len(qs), len(baseline))
@@ -81,7 +85,7 @@ func (s *Session) QueryBatch(qs []cube.Query, baseline []bool) ([]*cube.Result, 
 			vs[i] = v
 		}
 	}
-	return s.engine.cube.ExecuteBatch(qs, vs, s.engine.opts.QueryWorkers)
+	return s.engine.sched.SubmitBatch(qs, vs, s.UserID)
 }
 
 // exec runs one rule body in this session's environment.

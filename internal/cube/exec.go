@@ -477,6 +477,28 @@ func (p *queryPlan) scan(mask *bitset.Set, workers int) *partial {
 	return out
 }
 
+// CompiledQuery is a validated query plan bound to its cube. Plans are
+// read-only after compilation, so one CompiledQuery may be executed any
+// number of times and shared across goroutines; the scheduler compiles on
+// admission and reuses the plan for the scan instead of resolving the
+// query twice.
+type CompiledQuery struct {
+	c *Cube
+	p *queryPlan
+}
+
+// Compile resolves and validates a query for later batch execution.
+func (c *Cube) Compile(q Query) (*CompiledQuery, error) {
+	p, err := c.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledQuery{c: c, p: p}, nil
+}
+
+// Query returns the source query of the plan.
+func (cq *CompiledQuery) Query() Query { return cq.p.q }
+
 // ExecuteBatch answers a batch of queries — e.g. many users' personalized
 // views of the same fact table — in one shared scan per fact table,
 // GLADE-style: queries are grouped by fact, the fact table is walked chunk
@@ -492,16 +514,33 @@ func (c *Cube) ExecuteBatch(qs []Query, vs []*View, workers int) ([]*Result, err
 	if vs != nil && len(vs) != len(qs) {
 		return nil, fmt.Errorf("cube: batch has %d queries but %d views", len(qs), len(vs))
 	}
-	plans := make([]*queryPlan, len(qs))
-	masks := make([]*bitset.Set, len(qs))
+	cqs := make([]*CompiledQuery, len(qs))
 	for i, q := range qs {
-		p, err := c.compile(q)
+		cq, err := c.Compile(q)
 		if err != nil {
 			return nil, fmt.Errorf("cube: batch query %d: %w", i, err)
 		}
-		plans[i] = p
+		cqs[i] = cq
+	}
+	return c.ExecuteBatchCompiled(cqs, vs, workers)
+}
+
+// ExecuteBatchCompiled is ExecuteBatch over pre-compiled plans: the same
+// shared scan without re-resolving each query. Every entry must come from
+// this cube's Compile.
+func (c *Cube) ExecuteBatchCompiled(cqs []*CompiledQuery, vs []*View, workers int) ([]*Result, error) {
+	if vs != nil && len(vs) != len(cqs) {
+		return nil, fmt.Errorf("cube: batch has %d queries but %d views", len(cqs), len(vs))
+	}
+	plans := make([]*queryPlan, len(cqs))
+	masks := make([]*bitset.Set, len(cqs))
+	for i, cq := range cqs {
+		if cq == nil || cq.c != c {
+			return nil, fmt.Errorf("cube: batch query %d not compiled for this cube", i)
+		}
+		plans[i] = cq.p
 		if vs != nil && vs[i] != nil {
-			masks[i] = vs[i].Materialize(q.Fact)
+			masks[i] = vs[i].Materialize(cq.p.q.Fact)
 		}
 	}
 
@@ -509,14 +548,14 @@ func (c *Cube) ExecuteBatch(qs []Query, vs []*View, workers int) ([]*Result, err
 	// scanned once per batch.
 	var factOrder []string
 	groups := map[string][]int{}
-	for i, q := range qs {
-		if _, ok := groups[q.Fact]; !ok {
-			factOrder = append(factOrder, q.Fact)
+	for i, p := range plans {
+		if _, ok := groups[p.q.Fact]; !ok {
+			factOrder = append(factOrder, p.q.Fact)
 		}
-		groups[q.Fact] = append(groups[q.Fact], i)
+		groups[p.q.Fact] = append(groups[p.q.Fact], i)
 	}
 
-	results := make([]*Result, len(qs))
+	results := make([]*Result, len(cqs))
 	for _, fact := range factOrder {
 		scanShared(groups[fact], plans, masks, results, normalizeWorkers(workers))
 	}

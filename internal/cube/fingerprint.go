@@ -1,0 +1,38 @@
+package cube
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a canonical textual key of the query plan: two
+// queries with the same fingerprint compute the same result table over the
+// same view state. The encoding is injective over the Query fields (each
+// component is length- and type-tagged), so distinct plans never collide;
+// it is intentionally order-sensitive on GroupBy/Aggregates/Filters —
+// reordered but semantically equal queries simply occupy separate cache
+// entries.
+func (q Query) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "f:%d:%s", len(q.Fact), q.Fact)
+	for _, g := range q.GroupBy {
+		fmt.Fprintf(&b, "|g:%d:%s:%d:%s", len(g.Dimension), g.Dimension, len(g.Level), g.Level)
+	}
+	for _, a := range q.Aggregates {
+		fmt.Fprintf(&b, "|a:%d:%d:%s", a.Agg, len(a.Measure), a.Measure)
+	}
+	for _, f := range q.Filters {
+		v := fmt.Sprintf("%T=%v", f.Value, f.Value)
+		fmt.Fprintf(&b, "|w:%d:%s:%d:%s:%d:%s:%d:%d:%s",
+			len(f.Dimension), f.Dimension, len(f.Level), f.Level,
+			len(f.Attr), f.Attr, f.Op, len(v), v)
+	}
+	if q.OrderBy != nil {
+		fmt.Fprintf(&b, "|o:%d:%t", q.OrderBy.Agg, q.OrderBy.Desc)
+	}
+	if q.Limit != 0 {
+		fmt.Fprintf(&b, "|l:%d", q.Limit)
+	}
+	return b.String()
+}
+

@@ -1,0 +1,186 @@
+package cube_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/datagen"
+)
+
+// TestFingerprintDistinguishesPlans checks that every field of a Query
+// feeds the fingerprint: mutating any one of them must change the key,
+// while an identical copy must not.
+func TestFingerprintDistinguishesPlans(t *testing.T) {
+	base := cube.Query{
+		Fact:       "Sales",
+		GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+		Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}},
+		Filters: []cube.AttrFilter{{
+			LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+			Attr:     "population", Op: cube.OpGt, Value: float64(1000),
+		}},
+		OrderBy: &cube.OrderBy{Agg: 0, Desc: true},
+		Limit:   5,
+	}
+	if got, want := base.Fingerprint(), base.Fingerprint(); got != want {
+		t.Fatalf("fingerprint not deterministic: %q vs %q", got, want)
+	}
+	copyQ := base
+	copyQ.GroupBy = append([]cube.LevelRef(nil), base.GroupBy...)
+	if copyQ.Fingerprint() != base.Fingerprint() {
+		t.Error("structural copy fingerprints differ")
+	}
+
+	mutations := map[string]func(q *cube.Query){
+		"fact":         func(q *cube.Query) { q.Fact = "Returns" },
+		"group-level":  func(q *cube.Query) { q.GroupBy = []cube.LevelRef{{Dimension: "Store", Level: "State"}} },
+		"group-extra":  func(q *cube.Query) { q.GroupBy = append(q.GroupBy, cube.LevelRef{Dimension: "Time", Level: "Year"}) },
+		"agg-fn":       func(q *cube.Query) { q.Aggregates = []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggAvg}} },
+		"agg-measure":  func(q *cube.Query) { q.Aggregates = []cube.MeasureAgg{{Measure: "StoreCost", Agg: cube.AggSum}} },
+		"filter-op":    func(q *cube.Query) { q.Filters[0].Op = cube.OpLt },
+		"filter-value": func(q *cube.Query) { q.Filters[0].Value = float64(2000) },
+		"filter-type":  func(q *cube.Query) { q.Filters[0].Value = "1000" },
+		"filter-none":  func(q *cube.Query) { q.Filters = nil },
+		"order-dir":    func(q *cube.Query) { q.OrderBy = &cube.OrderBy{Agg: 0, Desc: false} },
+		"order-none":   func(q *cube.Query) { q.OrderBy = nil },
+		"limit":        func(q *cube.Query) { q.Limit = 6 },
+		"limit-zero":   func(q *cube.Query) { q.Limit = 0 },
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, mutate := range mutations {
+		q := base
+		q.Filters = append([]cube.AttrFilter(nil), base.Filters...)
+		mutate(&q)
+		fp := q.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %q collides with %q: %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintNoBoundaryCollisions targets the classic concatenation
+// pitfall: field contents shifting across separators must not produce the
+// same key.
+func TestFingerprintNoBoundaryCollisions(t *testing.T) {
+	a := cube.Query{Fact: "S", GroupBy: []cube.LevelRef{{Dimension: "ab", Level: "c"}}}
+	b := cube.Query{Fact: "S", GroupBy: []cube.LevelRef{{Dimension: "a", Level: "bc"}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Errorf("boundary collision: %q", a.Fingerprint())
+	}
+}
+
+// TestExecuteBatchCompiled checks the precompiled batch path: identical
+// results to ExecuteBatch, and rejection of nil or foreign-cube plans.
+func TestExecuteBatchCompiled(t *testing.T) {
+	cfg := datagen.Config{
+		Seed: 1, States: 3, Cities: 6, Stores: 12, Customers: 10,
+		Products: 8, Days: 10, Sales: 200,
+		AirportEvery: 3, TrainLines: 2, Hospitals: 2, Highways: 1,
+	}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []cube.Query{
+		{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}},
+		{Fact: "Sales", GroupBy: []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+			Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}}},
+	}
+	cqs := make([]*cube.CompiledQuery, len(qs))
+	for i, q := range qs {
+		cq, err := ds.Cube.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cq.Query(), q) {
+			t.Errorf("compiled plan %d reports query %+v, want %+v", i, cq.Query(), q)
+		}
+		cqs[i] = cq
+	}
+	want, err := ds.Cube.ExecuteBatch(qs, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Cube.ExecuteBatchCompiled(cqs, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("compiled batch differs from ExecuteBatch")
+	}
+
+	if _, err := ds.Cube.ExecuteBatchCompiled([]*cube.CompiledQuery{cqs[0], nil}, nil, 1); err == nil {
+		t.Error("nil compiled entry accepted")
+	}
+	if _, err := ds.Cube.ExecuteBatchCompiled(cqs, make([]*cube.View, 1), 1); err == nil {
+		t.Error("view-length mismatch accepted")
+	}
+	other, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := other.Cube.Compile(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Cube.ExecuteBatchCompiled([]*cube.CompiledQuery{foreign}, nil, 1); err == nil {
+		t.Error("plan compiled for another cube accepted")
+	}
+	if _, err := ds.Cube.Compile(cube.Query{Fact: "Ghost",
+		Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}); err == nil {
+		t.Error("Compile accepted unknown fact")
+	}
+	if _, err := ds.Cube.Compile(cube.Query{Fact: "Sales"}); err == nil {
+		t.Error("Compile accepted query without aggregates")
+	}
+}
+
+// TestViewEpochAndID checks the cache-key substrate: ids are unique, the
+// epoch bumps on every selection (member and fact), and clones get fresh
+// identities.
+func TestViewEpochAndID(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 1, States: 3, Cities: 6, Stores: 12, Customers: 10,
+		Products: 8, Days: 10, Sales: 200,
+		AirportEvery: 3, TrainLines: 2, Hospitals: 2, Highways: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := cube.NewView(ds.Cube)
+	v2 := cube.NewView(ds.Cube)
+	if v1.ID() == v2.ID() {
+		t.Fatalf("view ids collide: %d", v1.ID())
+	}
+	if v1.Epoch() != 0 {
+		t.Fatalf("fresh view epoch = %d, want 0", v1.Epoch())
+	}
+	if err := v1.SelectMember("Store", "City", 0); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Epoch() != 1 {
+		t.Fatalf("epoch after member selection = %d, want 1", v1.Epoch())
+	}
+	if err := v1.SelectFact("Sales", 0); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Epoch() != 2 {
+		t.Fatalf("epoch after fact selection = %d, want 2", v1.Epoch())
+	}
+	// Failed selections must not bump the epoch.
+	if err := v1.SelectMember("Store", "City", 10_000); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+	if v1.Epoch() != 2 {
+		t.Fatalf("epoch after failed selection = %d, want 2", v1.Epoch())
+	}
+	c := v1.Clone()
+	if c.ID() == v1.ID() {
+		t.Error("clone shares the original's id")
+	}
+	if c.Epoch() != v1.Epoch() {
+		t.Errorf("clone epoch = %d, want %d", c.Epoch(), v1.Epoch())
+	}
+}

@@ -3,6 +3,7 @@ package cube
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sdwp/internal/bitset"
 )
@@ -23,6 +24,9 @@ import (
 // work from the materialized snapshot mask taken at query start.
 type View struct {
 	cube *Cube
+	// id is process-unique: result caches key entries by (view id, epoch)
+	// so entries of a dead view can never alias a new one.
+	id uint64
 
 	// mu guards all mutable state below. Materialized snapshots are built
 	// and replaced under the lock and never mutated in place afterwards,
@@ -30,6 +34,10 @@ type View struct {
 	// the accessors are live sets: they must not be read concurrently
 	// with new selections on the same view.
 	mu sync.RWMutex
+	// epoch counts selections applied to this view. Every mutation bumps
+	// it, so an (id, epoch) pair names one immutable state of the view —
+	// the invalidation key of the scheduler's result cache.
+	epoch uint64
 	// levelMasks maps "Dim.Level" to the selected members of that level.
 	levelMasks map[string]*bitset.Set
 	// factMasks maps fact names to directly selected fact instances.
@@ -39,10 +47,14 @@ type View struct {
 	materialized map[string]*bitset.Set
 }
 
+// viewSeq issues process-unique view ids.
+var viewSeq atomic.Uint64
+
 // NewView returns an unrestricted view over the cube.
 func NewView(c *Cube) *View {
 	return &View{
 		cube:       c,
+		id:         viewSeq.Add(1),
 		levelMasks: map[string]*bitset.Set{},
 		factMasks:  map[string]*bitset.Set{},
 	}
@@ -50,6 +62,19 @@ func NewView(c *Cube) *View {
 
 // Cube returns the underlying cube.
 func (v *View) Cube() *Cube { return v.cube }
+
+// ID returns the view's process-unique identity.
+func (v *View) ID() uint64 { return v.id }
+
+// Epoch returns the view's mutation counter. Two reads returning the same
+// value bracket a window in which no selection was applied, so any result
+// computed from the view in between reflects exactly that state — the
+// property the scheduler's result cache relies on.
+func (v *View) Epoch() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.epoch
+}
 
 func levelKey(dim, level string) string { return dim + "." + level }
 
@@ -72,7 +97,13 @@ func (v *View) SelectMember(dim, level string, member int32) error {
 		m = bitset.New(ld.Len())
 		v.levelMasks[key] = m
 	}
+	if m.Test(int(member)) {
+		// Re-selecting an already-selected member changes nothing: keep
+		// the epoch (and every cached result keyed by it) valid.
+		return nil
+	}
 	m.Set(int(member))
+	v.epoch++
 	v.materialized = nil
 	return nil
 }
@@ -93,7 +124,11 @@ func (v *View) SelectFact(fact string, idx int32) error {
 		m = bitset.New(fd.n)
 		v.factMasks[fact] = m
 	}
+	if m.Test(int(idx)) {
+		return nil // no-op re-selection, see SelectMember
+	}
 	m.Set(int(idx))
+	v.epoch++
 	v.materialized = nil
 	return nil
 }
@@ -271,11 +306,13 @@ func (v *View) VisibleFactCount(fact string) int {
 	return n
 }
 
-// Clone returns an independent copy of the view's masks.
+// Clone returns an independent copy of the view's masks under a fresh view
+// identity (cached results of the original never alias the clone).
 func (v *View) Clone() *View {
 	c := NewView(v.cube)
 	v.mu.RLock()
 	defer v.mu.RUnlock()
+	c.epoch = v.epoch
 	for k, m := range v.levelMasks {
 		c.levelMasks[k] = m.Clone()
 	}

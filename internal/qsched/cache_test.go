@@ -1,0 +1,81 @@
+package qsched
+
+import (
+	"fmt"
+	"testing"
+
+	"sdwp/internal/cube"
+)
+
+func testResult(tag string, rows int) *cube.Result {
+	r := &cube.Result{GroupCols: []string{"g"}, AggCols: []string{"COUNT(*)"}}
+	for i := 0; i < rows; i++ {
+		r.Rows = append(r.Rows, cube.Row{Groups: []string{fmt.Sprintf("%s-%03d", tag, i)}, Values: []float64{1}})
+	}
+	return r
+}
+
+func TestResultCacheHitAndUpdate(t *testing.T) {
+	c := newResultCache(1 << 20)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	ra := testResult("a", 3)
+	c.put("a", ra)
+	got, ok := c.get("a")
+	if !ok || got != ra {
+		t.Fatalf("get after put: ok=%v got=%p want=%p", ok, got, ra)
+	}
+	// Refreshing a key replaces the value and adjusts the footprint.
+	ra2 := testResult("a", 10)
+	c.put("a", ra2)
+	if got, _ := c.get("a"); got != ra2 {
+		t.Fatal("refreshed entry not returned")
+	}
+	hits, misses, evictions, bytes, entries := c.stats()
+	if hits != 2 || misses != 1 || evictions != 0 || entries != 1 {
+		t.Errorf("stats = hits %d misses %d evictions %d entries %d", hits, misses, evictions, entries)
+	}
+	if want := entrySize("a", ra2); bytes != want {
+		t.Errorf("bytes = %d, want %d", bytes, want)
+	}
+}
+
+func TestResultCacheEvictsLRU(t *testing.T) {
+	one := entrySize("k0", testResult("k0", 4))
+	c := newResultCache(3 * one)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), testResult(fmt.Sprintf("k%d", i), 4))
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k3", testResult("k3", 4))
+	if _, ok := c.get("k1"); ok {
+		t.Error("LRU victim k1 still cached")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+	_, _, evictions, bytes, entries := c.stats()
+	if evictions != 1 || entries != 3 {
+		t.Errorf("evictions = %d entries = %d, want 1 / 3", evictions, entries)
+	}
+	if bytes > 3*one {
+		t.Errorf("bytes = %d over budget %d", bytes, 3*one)
+	}
+}
+
+func TestResultCacheRejectsOversize(t *testing.T) {
+	c := newResultCache(64) // smaller than any real result
+	c.put("big", testResult("big", 100))
+	if _, ok := c.get("big"); ok {
+		t.Error("oversize result cached")
+	}
+	if _, _, _, bytes, entries := c.stats(); bytes != 0 || entries != 0 {
+		t.Errorf("bytes = %d entries = %d after oversize put", bytes, entries)
+	}
+}

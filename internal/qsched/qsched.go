@@ -1,0 +1,531 @@
+// Package qsched is the engine-level query scheduler: the piece that turns
+// "millions of users issuing concurrent single queries" into the shared
+// scans the cube's batch executor is built for (multi-query optimization in
+// the GLADE tradition), with self-tuning-style fair admission so one heavy
+// tenant cannot starve the rest (cf. Tempo).
+//
+// Three mechanisms compose:
+//
+//  1. Coalescing. Concurrent Submit calls queue per user; a dispatcher
+//     assembles them — round-robin across users — into one
+//     cube.ExecuteBatch shared scan per micro-batch. A batch closes when
+//     the configured window elapses, when MaxBatch queries are queued, or,
+//     with a zero window, as soon as an in-flight slot frees (scans
+//     running at the MaxInFlight bound are themselves the batching clock:
+//     everything that queues behind them coalesces).
+//  2. Deduplication. Identical queued queries (same plan fingerprint,
+//     same view state) execute once; every waiter shares the one result.
+//  3. Result cache. A byte-bounded LRU keyed by plan fingerprint plus the
+//     view's (id, epoch) pair answers repeats without any scan. A view
+//     mutation bumps its epoch, so PRML-driven selections invalidate
+//     exactly that session's entries — no scavenging, no stale reads.
+package qsched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdwp/internal/cube"
+)
+
+// DefaultMaxBatch bounds one coalesced shared scan and — shared through
+// core.Options.MaxBatchQueries — one POST /api/query/batch request. Every
+// query in a batch holds its own partial aggregation tables during the
+// scan, so the cap bounds per-scan memory.
+const DefaultMaxBatch = 64
+
+// DefaultMaxInFlight bounds concurrent shared scans when
+// Options.MaxInFlight is unset: enough to overlap one scan with the next
+// batch's assembly without oversubscribing small hosts.
+const DefaultMaxInFlight = 2
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("qsched: scheduler closed")
+
+// Options configures a Scheduler.
+type Options struct {
+	// Window is how long the dispatcher holds the first queued query open
+	// for more arrivals before dispatching the micro-batch (the 0–2 ms
+	// latency budget of the ISSUE). 0 adds no latency: batches then form
+	// only from queries that pile up behind in-flight scans.
+	Window time.Duration
+	// MaxBatch dispatches a batch immediately once this many queries are
+	// queued (default DefaultMaxBatch).
+	MaxBatch int
+	// MaxInFlight bounds concurrent shared scans (default
+	// DefaultMaxInFlight).
+	MaxInFlight int
+	// CacheBytes sizes the result cache; 0 disables caching.
+	CacheBytes int64
+	// Workers is the per-scan worker pool, as in cube.ExecuteParallel.
+	Workers int
+	// Disabled bypasses queueing and caching entirely: Submit executes
+	// directly. The correctness baseline of the equivalence harness.
+	Disabled bool
+}
+
+// outcome is one delivered query result.
+type outcome struct {
+	res *cube.Result
+	err error
+}
+
+// request is one admitted query plus everyone waiting on it (dedup merges
+// identical queries into a single request with several waiters). The plan
+// compiled at admission is reused for the scan.
+type request struct {
+	cq      *cube.CompiledQuery
+	view    *cube.View
+	epoch   uint64
+	key     string
+	waiters []chan outcome
+}
+
+// Scheduler coalesces concurrent queries into shared scans and fronts them
+// with the epoch-keyed result cache. All methods are safe for concurrent
+// use.
+type Scheduler struct {
+	c     *cube.Cube
+	opts  Options
+	cache *resultCache // nil when caching is disabled
+
+	kick  chan struct{} // wakes the dispatcher (buffered, lossy)
+	slots chan struct{} // in-flight scan semaphore
+	wg    sync.WaitGroup
+
+	// closedFlag mirrors closed for lock-free reads on the submit fast
+	// path, so a cache hit can never be served after Close returns.
+	closedFlag atomic.Bool
+
+	mu     sync.Mutex
+	closed bool
+	queues map[string][]*request // userKey → FIFO of admitted requests
+	order  []string              // users with queued work, arrival order
+	rr     int                   // round-robin cursor into order
+	byKey  map[string]*request   // dedup index over queued requests
+	queued int
+
+	stSubmitted atomic.Int64
+	stShared    atomic.Int64
+	stExecuted  atomic.Int64
+	stBatches   atomic.Int64
+	stScans     atomic.Int64
+	stMaxQueue  atomic.Int64
+}
+
+// New builds a scheduler over the cube and starts its dispatcher (unless
+// Disabled). Callers own the lifecycle: Close stops the dispatcher after
+// draining queued queries.
+func New(c *cube.Cube, opts Options) *Scheduler {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Scheduler{
+		c:      c,
+		opts:   opts,
+		queues: map[string][]*request{},
+		byKey:  map[string]*request{},
+	}
+	if opts.CacheBytes > 0 {
+		s.cache = newResultCache(opts.CacheBytes)
+	}
+	if !opts.Disabled {
+		s.kick = make(chan struct{}, 1)
+		s.slots = make(chan struct{}, opts.MaxInFlight)
+		s.wg.Add(1)
+		go s.dispatchLoop()
+	}
+	return s
+}
+
+// Close stops accepting queries, drains everything already queued, waits
+// for in-flight scans, and returns. Idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	s.closedFlag.Store(true)
+	if already || s.opts.Disabled {
+		return
+	}
+	s.kickDispatcher()
+	s.wg.Wait()
+}
+
+// Submit answers one query through the scheduler: cache first, then the
+// coalescing queue, blocking until the result is ready. userKey scopes
+// fair admission — each distinct key gets its own queue, and batches are
+// assembled round-robin across keys, so a tenant flooding the scheduler
+// only ever occupies the batch slots other tenants leave unused.
+//
+// v may be nil (the non-personalized baseline). The returned Result may be
+// shared with other waiters and with the cache: treat it as immutable.
+func (s *Scheduler) Submit(q cube.Query, v *cube.View, userKey string) (*cube.Result, error) {
+	ch, res, err := s.submit(q, v, userKey)
+	if ch == nil {
+		return res, err
+	}
+	out := <-ch
+	return out.res, out.err
+}
+
+// SubmitBatch answers several queries, preserving order. Entries hit the
+// cache individually; all misses are admitted under one queue lock and a
+// single dispatcher wake-up, so on an idle scheduler the whole batch lands
+// in one shared scan (the guarantee POST /api/query/batch always had) while
+// under load it additionally coalesces with other tenants' traffic.
+func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string) ([]*cube.Result, error) {
+	if vs != nil && len(vs) != len(qs) {
+		return nil, fmt.Errorf("qsched: batch has %d queries but %d views", len(qs), len(vs))
+	}
+	if s.opts.Disabled {
+		return s.c.ExecuteBatch(qs, vs, s.opts.Workers)
+	}
+	s.stSubmitted.Add(int64(len(qs)))
+	results := make([]*cube.Result, len(qs))
+	chans := make([]chan outcome, len(qs))
+	type pending struct {
+		i     int
+		cq    *cube.CompiledQuery
+		view  *cube.View
+		epoch uint64
+		key   string
+	}
+	var pends []pending
+	var firstErr error
+	for i, q := range qs {
+		if s.closedFlag.Load() {
+			firstErr = fmt.Errorf("qsched: batch query %d: %w", i, ErrClosed)
+			break
+		}
+		var v *cube.View
+		if vs != nil {
+			v = vs[i]
+		}
+		key, epoch := s.cacheKey(q, v)
+		if s.cache != nil {
+			if res, ok := s.cache.get(key); ok {
+				results[i] = res
+				continue
+			}
+		}
+		cq, err := s.c.Compile(q)
+		if err != nil {
+			firstErr = fmt.Errorf("qsched: batch query %d: %w", i, err)
+			break
+		}
+		pends = append(pends, pending{i: i, cq: cq, view: v, epoch: epoch, key: key})
+	}
+	if len(pends) > 0 {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			if firstErr == nil {
+				firstErr = ErrClosed
+			}
+		} else {
+			for _, p := range pends {
+				ch := make(chan outcome, 1)
+				chans[p.i] = ch
+				s.enqueueLocked(&request{cq: p.cq, view: p.view, epoch: p.epoch,
+					key: p.key, waiters: []chan outcome{ch}}, userKey)
+			}
+			s.mu.Unlock()
+			s.kickDispatcher()
+		}
+	}
+	// Drain everything admitted, even after an error: those queries will
+	// execute regardless, and abandoning the channels would strand their
+	// deliveries.
+	for i, ch := range chans {
+		if ch == nil {
+			continue
+		}
+		out := <-ch
+		if out.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("qsched: batch query %d: %w", i, out.err)
+		}
+		results[i] = out.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// submit admits one query. It returns either an immediate result (cache
+// hit, direct execution, or error) with a nil channel, or a channel the
+// result will be delivered on.
+func (s *Scheduler) submit(q cube.Query, v *cube.View, userKey string) (<-chan outcome, *cube.Result, error) {
+	s.stSubmitted.Add(1)
+	if s.closedFlag.Load() {
+		return nil, nil, ErrClosed
+	}
+	if s.opts.Disabled {
+		res, err := s.c.ExecuteParallel(q, v, s.opts.Workers)
+		return nil, res, err
+	}
+	// The epoch is read before execution, so a cached entry's result was
+	// computed from a view state at least as new as its key. A reader that
+	// observes epoch E and hits (id, E, fp) therefore never gets data from
+	// before E — a selection racing the scan can only make the entry
+	// fresher, which is within the view's query-vs-selection semantics
+	// (and runBatch skips caching in that case anyway).
+	key, epoch := s.cacheKey(q, v)
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			// Fingerprints are injective, so a hit proves this exact query
+			// validated before — no need to compile on the hit path.
+			return nil, res, nil
+		}
+	}
+	// Compile on admission: a malformed query must fail alone, never
+	// abort the shared scan it would have joined — and the scan then
+	// reuses the plan instead of resolving the query a second time.
+	cq, err := s.c.Compile(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := make(chan outcome, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key,
+		waiters: []chan outcome{ch}}, userKey)
+	s.mu.Unlock()
+	s.kickDispatcher()
+	return ch, nil, nil
+}
+
+// cacheKey builds the cache/dedup key — plan fingerprint plus the view's
+// (id, epoch) — and returns the epoch it observed. The comment block in
+// submit explains why reading the epoch before execution is the safe side
+// of the race with concurrent selections.
+func (s *Scheduler) cacheKey(q cube.Query, v *cube.View) (key string, epoch uint64) {
+	var viewID uint64
+	if v != nil {
+		viewID = v.ID()
+		epoch = v.Epoch()
+	}
+	return fmt.Sprintf("%d@%d|%s", viewID, epoch, q.Fingerprint()), epoch
+}
+
+// enqueueLocked admits one request: identical queued requests merge (the
+// new request's waiters join the existing one), otherwise it joins its
+// user's FIFO. Callers hold s.mu.
+func (s *Scheduler) enqueueLocked(req *request, userKey string) {
+	if prev := s.byKey[req.key]; prev != nil {
+		prev.waiters = append(prev.waiters, req.waiters...)
+		s.stShared.Add(int64(len(req.waiters)))
+		return
+	}
+	s.byKey[req.key] = req
+	if _, ok := s.queues[userKey]; !ok {
+		s.order = append(s.order, userKey)
+	}
+	s.queues[userKey] = append(s.queues[userKey], req)
+	s.queued++
+	if d := int64(s.queued); d > s.stMaxQueue.Load() {
+		s.stMaxQueue.Store(d)
+	}
+}
+
+// kickDispatcher wakes the dispatcher (lossy: a buffered token is enough,
+// the dispatcher rechecks the queue on every iteration).
+func (s *Scheduler) kickDispatcher() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// dispatchLoop is the scheduler's single dispatcher goroutine: wait for
+// work, hold the coalescing window open, take an in-flight slot, assemble
+// a fair batch, and hand it to a scan goroutine.
+func (s *Scheduler) dispatchLoop() {
+	defer s.wg.Done()
+	for {
+		// Wait for queued work (or for Close with an empty queue).
+		s.mu.Lock()
+		for s.queued == 0 {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			<-s.kick
+			s.mu.Lock()
+		}
+		s.mu.Unlock()
+
+		// Micro-batch window: let more concurrent queries pile in, but cut
+		// the wait short once the batch is full (or on Close).
+		if w := s.opts.Window; w > 0 {
+			deadline := time.NewTimer(w)
+		window:
+			for {
+				s.mu.Lock()
+				full := s.queued >= s.opts.MaxBatch || s.closed
+				s.mu.Unlock()
+				if full {
+					break
+				}
+				select {
+				case <-s.kick:
+				case <-deadline.C:
+					break window
+				}
+			}
+			deadline.Stop()
+		}
+
+		// Bound in-flight scans. Queries keep queueing while we wait for a
+		// slot — with Window 0 this is where all the coalescing happens.
+		s.slots <- struct{}{}
+		s.mu.Lock()
+		batch := s.assembleLocked(s.opts.MaxBatch)
+		s.mu.Unlock()
+		if len(batch) == 0 {
+			<-s.slots
+			continue
+		}
+		s.wg.Add(1)
+		go func(batch []*request) {
+			defer s.wg.Done()
+			defer func() { <-s.slots }()
+			s.runBatch(batch)
+		}(batch)
+	}
+}
+
+// assembleLocked pops up to max requests, taking one per user in
+// round-robin rotation (fair admission: a user with a deep backlog gets
+// only the slots the others leave unused). Callers hold s.mu.
+func (s *Scheduler) assembleLocked(max int) []*request {
+	var batch []*request
+	for s.queued > 0 && len(batch) < max {
+		if s.rr >= len(s.order) {
+			s.rr = 0
+		}
+		user := s.order[s.rr]
+		fifo := s.queues[user]
+		req := fifo[0]
+		if len(fifo) == 1 {
+			delete(s.queues, user)
+			s.order = append(s.order[:s.rr], s.order[s.rr+1:]...)
+		} else {
+			s.queues[user] = fifo[1:]
+			s.rr++
+		}
+		s.queued--
+		delete(s.byKey, req.key)
+		batch = append(batch, req)
+	}
+	if len(s.order) == 0 {
+		s.rr = 0
+	}
+	return batch
+}
+
+// runBatch executes one assembled batch as a shared scan and delivers the
+// results. Admission already validated every query, so an executor error
+// here is systemic and is delivered to the whole batch.
+func (s *Scheduler) runBatch(batch []*request) {
+	cqs := make([]*cube.CompiledQuery, len(batch))
+	vs := make([]*cube.View, len(batch))
+	facts := map[string]struct{}{}
+	for i, r := range batch {
+		cqs[i] = r.cq
+		vs[i] = r.view
+		facts[r.cq.Query().Fact] = struct{}{}
+	}
+	s.stBatches.Add(1)
+	s.stExecuted.Add(int64(len(batch)))
+	s.stScans.Add(int64(len(facts)))
+	results, err := s.c.ExecuteBatchCompiled(cqs, vs, s.opts.Workers)
+	for i, r := range batch {
+		out := outcome{err: err}
+		if err == nil {
+			out.res = results[i]
+			// Cache only if the view did not mutate during the scan: the
+			// executor may have seen the newer mask, and an entry must
+			// never claim an epoch older than the data it holds.
+			if s.cache != nil && (r.view == nil || r.view.Epoch() == r.epoch) {
+				s.cache.put(r.key, out.res)
+			}
+		}
+		for _, w := range r.waiters {
+			w <- out
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters.
+type Stats struct {
+	// Submitted counts every query handed to Submit/SubmitBatch.
+	Submitted int64 `json:"submitted"`
+	// CacheHits/CacheMisses count result-cache lookups (both 0 when the
+	// cache is disabled).
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	// Shared counts queries answered by joining an identical queued query
+	// instead of executing again.
+	Shared int64 `json:"shared"`
+	// Executed counts queries answered by a scan; Batches and FactScans
+	// count the shared scans that answered them. Executed/FactScans is the
+	// coalesce ratio.
+	Executed  int64 `json:"executed"`
+	Batches   int64 `json:"batches"`
+	FactScans int64 `json:"factScans"`
+	// QueueDepth/MaxQueueDepth observe the admission queue; InFlight the
+	// scans running right now.
+	QueueDepth    int   `json:"queueDepth"`
+	MaxQueueDepth int64 `json:"maxQueueDepth"`
+	InFlight      int   `json:"inFlight"`
+	// Cache footprint.
+	CacheBytes     int64 `json:"cacheBytes"`
+	CacheEntries   int   `json:"cacheEntries"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+	// CoalesceRatio is queries answered per fact scan, (Executed + Shared)
+	// / FactScans: > 1 means the scheduler is saving scans. CacheHitRate
+	// is hits / lookups. Both 0 until there is data.
+	CoalesceRatio float64 `json:"coalesceRatio"`
+	CacheHitRate  float64 `json:"cacheHitRate"`
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Submitted:     s.stSubmitted.Load(),
+		Shared:        s.stShared.Load(),
+		Executed:      s.stExecuted.Load(),
+		Batches:       s.stBatches.Load(),
+		FactScans:     s.stScans.Load(),
+		MaxQueueDepth: s.stMaxQueue.Load(),
+	}
+	if s.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes, st.CacheEntries = s.cache.stats()
+	}
+	s.mu.Lock()
+	st.QueueDepth = s.queued
+	s.mu.Unlock()
+	if s.slots != nil {
+		st.InFlight = len(s.slots)
+	}
+	if st.FactScans > 0 {
+		st.CoalesceRatio = float64(st.Executed+st.Shared) / float64(st.FactScans)
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return st
+}

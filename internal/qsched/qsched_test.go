@@ -1,0 +1,505 @@
+package qsched
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/datagen"
+)
+
+func testDataset(t testing.TB) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 1, States: 5, Cities: 15, Stores: 80, Customers: 60,
+		Products: 30, Days: 30, Sales: 4000,
+		AirportEvery: 5, TrainLines: 4, Hospitals: 5, Highways: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+var countQuery = cube.Query{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+
+// cityQuery returns a distinct single-group query per i (different level
+// filters would need attributes; distinct Limit keeps plans apart).
+func cityQuery(i int) cube.Query {
+	return cube.Query{
+		Fact:       "Sales",
+		GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+		Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}},
+		OrderBy:    &cube.OrderBy{Agg: 0, Desc: true},
+		Limit:      i + 1,
+	}
+}
+
+// TestCoalescingSharedScan floods the scheduler from many goroutines and
+// checks (a) every result is identical to the direct serial path and (b)
+// fewer fact-table scans ran than queries executed — the coalescing the
+// subsystem exists for.
+func TestCoalescingSharedScan(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{Window: 2 * time.Millisecond, MaxInFlight: 1})
+	defer s.Close()
+
+	const users, perUser = 8, 6
+	want := make(map[int]*cube.Result)
+	for i := 0; i < perUser; i++ {
+		res, err := ds.Cube.Execute(cityQuery(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, users*perUser)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for k := 0; k < perUser; k++ {
+				i := (k + u) % perUser // stagger so batches mix distinct plans
+				res, err := s.Submit(cityQuery(i), nil, fmt.Sprintf("user%d", u))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res, want[i]) {
+					errs <- fmt.Errorf("user %d query %d: result differs from serial", u, i)
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Submitted != users*perUser {
+		t.Errorf("submitted = %d, want %d", st.Submitted, users*perUser)
+	}
+	if st.Executed+st.Shared != st.Submitted {
+		t.Errorf("executed %d + shared %d != submitted %d", st.Executed, st.Shared, st.Submitted)
+	}
+	if st.FactScans >= st.Submitted {
+		t.Errorf("fact scans %d not fewer than %d queries: no coalescing", st.FactScans, st.Submitted)
+	}
+	if st.CoalesceRatio <= 1 {
+		t.Errorf("coalesce ratio = %.2f, want > 1", st.CoalesceRatio)
+	}
+}
+
+// TestDedupIdenticalConcurrentQueries checks that identical concurrent
+// queries execute once and every waiter still gets the full result.
+func TestDedupIdenticalConcurrentQueries(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{Window: 2 * time.Millisecond, MaxInFlight: 1})
+	defer s.Close()
+	want, err := ds.Cube.Execute(countQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := s.Submit(countQuery, nil, fmt.Sprintf("user%d", g%4))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(res, want) {
+				errs <- fmt.Errorf("goroutine %d: result differs", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Shared == 0 {
+		t.Error("no dedup sharing under identical concurrent queries")
+	}
+	if st.Executed+st.Shared != n {
+		t.Errorf("executed %d + shared %d != %d", st.Executed, st.Shared, n)
+	}
+}
+
+// TestCacheHitAndEpochInvalidation checks the personalized cache path: a
+// repeat query is a hit, a view mutation (epoch bump) is a miss that
+// recomputes against the new state, and the stale entry is never served.
+func TestCacheHitAndEpochInvalidation(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{CacheBytes: 1 << 20})
+	defer s.Close()
+	v := cube.NewView(ds.Cube)
+	if err := v.SelectMember("Store", "City", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := s.Submit(countQuery, v, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Submit(countQuery, v, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Error("repeat query did not return the cached result")
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.CacheHits)
+	}
+
+	// Mutating the view bumps its epoch: the next lookup must miss and see
+	// the wider selection.
+	if err := v.SelectMember("Store", "City", 1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Submit(countQuery, v, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == first {
+		t.Fatal("post-mutation query served the pre-epoch cached result")
+	}
+	want, err := ds.Cube.Execute(countQuery, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, want) {
+		t.Errorf("post-mutation result differs from direct execution")
+	}
+	if after.MatchedFacts < first.MatchedFacts {
+		t.Errorf("wider selection matched %d < %d", after.MatchedFacts, first.MatchedFacts)
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Errorf("cache hits after mutation = %d, want still 1", st.CacheHits)
+	}
+}
+
+// TestFairAdmissionRoundRobin drives the batch assembler directly: with
+// one flooding tenant and several light ones, a batch must interleave one
+// query per tenant before giving the flooder a second slot.
+func TestFairAdmissionRoundRobin(t *testing.T) {
+	s := &Scheduler{queues: map[string][]*request{}, byKey: map[string]*request{}}
+	enqueue := func(user string, n int) {
+		for i := 0; i < n; i++ {
+			req := &request{key: fmt.Sprintf("%s-%d", user, i)}
+			if _, ok := s.queues[user]; !ok {
+				s.order = append(s.order, user)
+			}
+			s.queues[user] = append(s.queues[user], req)
+			s.byKey[req.key] = req
+			s.queued++
+		}
+	}
+	enqueue("heavy", 10)
+	enqueue("lightA", 1)
+	enqueue("lightB", 1)
+
+	batch := s.assembleLocked(6)
+	if len(batch) != 6 {
+		t.Fatalf("batch size = %d, want 6", len(batch))
+	}
+	var order []string
+	for _, r := range batch {
+		order = append(order, r.key)
+	}
+	// One slot per tenant in rotation, then the flooder fills the rest.
+	want := []string{"heavy-0", "lightA-0", "lightB-0", "heavy-1", "heavy-2", "heavy-3"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("assembly order = %v, want %v", order, want)
+	}
+	// The remaining backlog drains in a later batch.
+	rest := s.assembleLocked(64)
+	if len(rest) != 6 || s.queued != 0 {
+		t.Errorf("second batch = %d requests, queued = %d; want 6 / 0", len(rest), s.queued)
+	}
+	if len(s.byKey) != 0 {
+		t.Errorf("dedup index has %d stale entries", len(s.byKey))
+	}
+}
+
+// TestValidationErrorDoesNotPoisonBatch checks that a malformed query
+// fails alone while concurrent valid queries coalesce and succeed.
+func TestValidationErrorDoesNotPoisonBatch(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{Window: 2 * time.Millisecond, MaxInFlight: 1})
+	defer s.Close()
+	bad := cube.Query{Fact: "Ghost", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := s.Submit(countQuery, nil, fmt.Sprintf("user%d", g)); err != nil {
+				errs <- fmt.Errorf("good query failed: %w", err)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(bad, nil, "mallory"); err == nil {
+			errs <- fmt.Errorf("malformed query accepted")
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitBatchPreservesOrder checks order, per-entry views, and the
+// view-length mismatch error.
+func TestSubmitBatchPreservesOrder(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{Window: time.Millisecond})
+	defer s.Close()
+	v := cube.NewView(ds.Cube)
+	if err := v.SelectMember("Store", "City", 2); err != nil {
+		t.Fatal(err)
+	}
+	qs := []cube.Query{cityQuery(0), countQuery, cityQuery(2)}
+	vs := []*cube.View{nil, v, nil}
+	got, err := s.SubmitBatch(qs, vs, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		want, err := ds.Cube.Execute(qs[i], vs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("batch entry %d differs from direct execution", i)
+		}
+	}
+	if _, err := s.SubmitBatch(qs, vs[:2], "alice"); err == nil {
+		t.Error("view-length mismatch accepted")
+	}
+	bad := cube.Query{Fact: "Ghost", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+	if _, err := s.SubmitBatch([]cube.Query{countQuery, bad}, nil, "alice"); err == nil {
+		t.Error("batch with malformed query succeeded")
+	}
+}
+
+// TestSubmitBatchSingleScanWhenIdle pins the batch-admission guarantee: a
+// whole dashboard batch admitted on an idle scheduler lands in ONE shared
+// scan, exactly like the pre-scheduler cube.ExecuteBatch path.
+func TestSubmitBatchSingleScanWhenIdle(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{}) // window 0 — the default engine shape
+	defer s.Close()
+	qs := []cube.Query{cityQuery(0), cityQuery(1), cityQuery(2), countQuery}
+	res, err := s.SubmitBatch(qs, nil, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		want, err := ds.Cube.Execute(qs[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res[i], want) {
+			t.Errorf("batch entry %d differs from direct execution", i)
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.FactScans != 1 {
+		t.Errorf("batches = %d, factScans = %d; want 1 shared scan for the whole batch",
+			st.Batches, st.FactScans)
+	}
+}
+
+// TestCloseDrainsAndRejects checks lifecycle: Close completes queued work,
+// later Submits fail with ErrClosed, and Close is idempotent.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{Window: 5 * time.Millisecond, MaxInFlight: 1})
+	const n = 12
+	results := make(chan error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, err := s.Submit(cityQuery(g%4), nil, fmt.Sprintf("user%d", g))
+			results <- err
+		}(g)
+	}
+	// Give the submitters a moment to queue, then close under load.
+	time.Sleep(2 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+	close(results)
+	for err := range results {
+		// Every submit either completed (drained) or was rejected cleanly.
+		if err != nil && err != ErrClosed {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(countQuery, nil, "late"); err != ErrClosed {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestCloseRejectsCachedQueries pins the shutdown contract for the cache
+// path: after Close even a query with a warm cache entry must get
+// ErrClosed, not a stealth success.
+func TestCloseRejectsCachedQueries(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{CacheBytes: 1 << 20})
+	for i := 0; i < 2; i++ { // second submit is a cache hit
+		if _, err := s.Submit(countQuery, nil, "alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.CacheHits)
+	}
+	s.Close()
+	if _, err := s.Submit(countQuery, nil, "alice"); err != ErrClosed {
+		t.Errorf("cached query after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// --- randomized concurrent equivalence harness (acceptance criterion) ---
+
+var equivLevels = []cube.LevelRef{
+	{Dimension: "Store", Level: "Store"}, {Dimension: "Store", Level: "City"},
+	{Dimension: "Store", Level: "State"}, {Dimension: "Store", Level: "Country"},
+	{Dimension: "Customer", Level: "Segment"}, {Dimension: "Product", Level: "Family"},
+	{Dimension: "Time", Level: "Month"},
+}
+
+// randomQuery draws a random aggregation; SUM/AVG only over the
+// integer-valued UnitSales so float64 sums are exact and byte-identity
+// holds across executors (see internal/cube/exec_equiv_test.go).
+func randomQuery(rng *rand.Rand) cube.Query {
+	q := cube.Query{Fact: "Sales"}
+	refs := append([]cube.LevelRef(nil), equivLevels...)
+	rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+	q.GroupBy = refs[:rng.Intn(3)]
+	for n := 1 + rng.Intn(2); len(q.Aggregates) < n; {
+		switch rng.Intn(4) {
+		case 0:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Agg: cube.AggCount})
+		case 1:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: "UnitSales", Agg: cube.AggSum})
+		case 2:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: "StoreCost", Agg: cube.AggMin})
+		case 3:
+			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: "StoreSales", Agg: cube.AggMax})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		q.OrderBy = &cube.OrderBy{Agg: rng.Intn(len(q.Aggregates)), Desc: rng.Intn(2) == 0}
+	}
+	if rng.Intn(2) == 0 {
+		q.Limit = 1 + rng.Intn(10)
+	}
+	return q
+}
+
+func randomView(rng *rand.Rand, c *cube.Cube) *cube.View {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	v := cube.NewView(c)
+	for i := 0; i < 2+rng.Intn(6); i++ {
+		if err := v.SelectMember("Store", "City", int32(rng.Intn(15))); err != nil {
+			panic(err)
+		}
+	}
+	return v
+}
+
+// TestConcurrentEquivalenceRandomized is the correctness bar: randomized
+// personalized queries hammered through the scheduler concurrently — with
+// the window, dedup, the in-flight bound, and the result cache all active
+// — must return results byte-identical to the direct serial path.
+func TestConcurrentEquivalenceRandomized(t *testing.T) {
+	ds := testDataset(t)
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const cases = 40
+			qs := make([]cube.Query, cases)
+			vs := make([]*cube.View, cases)
+			serial := make([]*cube.Result, cases)
+			for i := range qs {
+				qs[i] = randomQuery(rng)
+				vs[i] = randomView(rng, ds.Cube)
+				var err error
+				serial[i], err = ds.Cube.Execute(qs[i], vs[i])
+				if err != nil {
+					t.Fatalf("case %d: serial: %v", i, err)
+				}
+			}
+			s := New(ds.Cube, Options{
+				Window:      time.Millisecond,
+				MaxInFlight: 2,
+				MaxBatch:    8, // force several batches per round
+				CacheBytes:  1 << 20,
+				Workers:     3,
+			})
+			defer s.Close()
+
+			var wg sync.WaitGroup
+			errs := make(chan error, cases*3)
+			for round := 0; round < 3; round++ { // later rounds exercise cache hits
+				for g := 0; g < 4; g++ {
+					wg.Add(1)
+					go func(round, g int) {
+						defer wg.Done()
+						for i := g; i < cases; i += 4 {
+							res, err := s.Submit(qs[i], vs[i], fmt.Sprintf("user%d", i%5))
+							if err != nil {
+								errs <- fmt.Errorf("round %d case %d: %w", round, i, err)
+								return
+							}
+							if !reflect.DeepEqual(res, serial[i]) {
+								errs <- fmt.Errorf("round %d case %d: scheduler result differs from serial", round, i)
+								return
+							}
+						}
+					}(round, g)
+				}
+				wg.Wait()
+			}
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.CacheHits == 0 {
+				t.Error("harness never exercised the cache-hit path")
+			}
+			if st.Executed+st.Shared+st.CacheHits != st.Submitted {
+				t.Errorf("accounting: executed %d + shared %d + hits %d != submitted %d",
+					st.Executed, st.Shared, st.CacheHits, st.Submitted)
+			}
+		})
+	}
+}

@@ -19,6 +19,8 @@
 //	GET  /api/layers                                   → geographic catalog
 //	GET  /api/geojson?session=...[&selected=1][&simplify=0.01]
 //	                                                   → personalized map (GeoJSON)
+//	GET  /api/stats                                    → query-scheduler counters
+//	                                                     (coalesce ratio, cache hit rate, queue depth)
 //	GET  /api/healthz                                  → liveness
 package webapi
 
@@ -26,6 +28,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -36,6 +39,7 @@ import (
 	"sdwp/internal/export"
 	"sdwp/internal/geom"
 	"sdwp/internal/prml"
+	"sdwp/internal/qsched"
 )
 
 // Server serves the personalization API for one engine.
@@ -65,6 +69,7 @@ func NewServer(e *core.Engine) *Server {
 	s.mux.HandleFunc("/api/layers", s.handleLayers)
 	s.mux.HandleFunc("/api/geojson", s.handleGeoJSON)
 	s.mux.HandleFunc("/api/map.svg", s.handleMapSVG)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/healthz", s.handleHealthz)
 	return s
 }
@@ -304,22 +309,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = sess.Query(q)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "query failed: %v", err)
+		writeErr(w, queryErrStatus(err), "query failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// queryErrStatus maps a query-path error to its HTTP status: a closed
+// scheduler is a server lifecycle condition (shutdown in progress), not a
+// client mistake.
+func queryErrStatus(err error) int {
+	if errors.Is(err, qsched.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 type batchQueryRequest struct {
 	Session string      `json:"session"`
 	Queries []querySpec `json:"queries"`
 }
-
-// maxBatchQueries bounds the per-request work of /api/query/batch: every
-// query in a batch holds its own partial aggregation tables during the
-// shared scan, so an unbounded batch would let one request allocate
-// arbitrarily much.
-const maxBatchQueries = 64
 
 type batchQueryResponse struct {
 	Results []*cube.Result `json:"results"`
@@ -345,8 +354,13 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "batch needs at least one query")
 		return
 	}
-	if len(req.Queries) > maxBatchQueries {
-		writeErr(w, http.StatusBadRequest, "batch has %d queries, max %d", len(req.Queries), maxBatchQueries)
+	// The cap bounds the per-request scan memory (each query holds its own
+	// partial aggregation tables) and is the same limit the scheduler uses
+	// for one coalesced shared scan: core.Options.MaxBatchQueries.
+	if max := s.engine.MaxBatchQueries(); len(req.Queries) > max {
+		writeErr(w, http.StatusBadRequest,
+			"batch has %d queries, max %d (configurable via core.Options.MaxBatchQueries)",
+			len(req.Queries), max)
 		return
 	}
 	qs := make([]cube.Query, len(req.Queries))
@@ -362,7 +376,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := sess.QueryBatch(qs, baseline)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "batch query failed: %v", err)
+		writeErr(w, queryErrStatus(err), "batch query failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, batchQueryResponse{Results: results})
@@ -568,6 +582,16 @@ func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "image/svg+xml")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(svg))
+}
+
+// handleStats serves the query scheduler's counters: how many queries
+// coalesced into how few shared scans, result-cache effectiveness, and the
+// live queue depth — the observability surface of internal/qsched.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.engine.SchedulerStats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

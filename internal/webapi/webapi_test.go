@@ -12,6 +12,7 @@ import (
 	"sdwp/internal/core"
 	"sdwp/internal/datagen"
 	"sdwp/internal/prml"
+	"sdwp/internal/qsched"
 )
 
 const testRules = `
@@ -39,6 +40,11 @@ endWhen
 
 func newTestServer(t *testing.T) (*httptest.Server, *datagen.Dataset) {
 	t.Helper()
+	return newTestServerOpts(t, core.Options{})
+}
+
+func newTestServerOpts(t *testing.T, opts core.Options) (*httptest.Server, *datagen.Dataset) {
+	t.Helper()
 	cfg := datagen.Default()
 	cfg.Cities = 20
 	cfg.Stores = 80
@@ -55,11 +61,12 @@ func newTestServer(t *testing.T) (*httptest.Server, *datagen.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := core.NewEngine(ds.Cube, users, core.Options{})
+	e := core.NewEngine(ds.Cube, users, opts)
 	e.SetParam("threshold", prml.NumberVal(2))
 	if _, err := e.AddRules(testRules); err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	srv := httptest.NewServer(NewServer(e))
 	t.Cleanup(srv.Close)
 	return srv, ds
@@ -279,7 +286,7 @@ func TestQueryBatchEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad aggregation: %s", resp.Status)
 	}
-	oversized := make([]map[string]any, maxBatchQueries+1)
+	oversized := make([]map[string]any, qsched.DefaultMaxBatch+1)
 	for i := range oversized {
 		oversized[i] = spec
 	}
@@ -644,5 +651,96 @@ func TestMapSVGEndpoint(t *testing.T) {
 	resp, _ = getBody(t, srv.URL+"/api/map.svg?session=nope")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown session: %s", resp.Status)
+	}
+}
+
+// TestStatsEndpoint checks the scheduler observability surface: after a
+// mix of fresh and repeated queries, /api/stats reports the submissions,
+// cache traffic, and a coalesce ratio.
+func TestStatsEndpoint(t *testing.T) {
+	srv, ds := newTestServerOpts(t, core.Options{ResultCacheBytes: 1 << 20})
+	loc := ds.CityLocs[0]
+	tok := login(t, srv, "alice", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	spec := map[string]any{
+		"session":    tok,
+		"fact":       "Sales",
+		"aggregates": []map[string]string{{"agg": "COUNT"}},
+	}
+	var answers []string
+	for i := 0; i < 3; i++ { // repeats exercise the result cache
+		resp, body := postJSON(t, srv.URL+"/api/query", spec)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %s %s", i, resp.Status, body)
+		}
+		answers = append(answers, string(bytes.TrimSpace(body)))
+	}
+	for i := 1; i < len(answers); i++ {
+		if answers[i] != answers[0] {
+			t.Fatalf("cached answer %d differs:\n%s\nvs\n%s", i, answers[i], answers[0])
+		}
+	}
+
+	resp, body := getBody(t, srv.URL+"/api/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %s %s", resp.Status, body)
+	}
+	var st struct {
+		Submitted     int64   `json:"submitted"`
+		CacheHits     int64   `json:"cacheHits"`
+		Executed      int64   `json:"executed"`
+		FactScans     int64   `json:"factScans"`
+		CoalesceRatio float64 `json:"coalesceRatio"`
+		QueueDepth    int     `json:"queueDepth"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats JSON: %v (%s)", err, body)
+	}
+	if st.Submitted != 3 {
+		t.Errorf("submitted = %d, want 3", st.Submitted)
+	}
+	if st.CacheHits != 2 {
+		t.Errorf("cacheHits = %d, want 2", st.CacheHits)
+	}
+	if st.Executed != 1 || st.FactScans != 1 {
+		t.Errorf("executed/factScans = %d/%d, want 1/1", st.Executed, st.FactScans)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("queueDepth = %d, want 0 at rest", st.QueueDepth)
+	}
+
+	resp, _ = postJSON(t, srv.URL+"/api/stats", map[string]any{})
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST stats: %s, want 405", resp.Status)
+	}
+}
+
+// TestBatchCapConfigurable checks that core.Options.MaxBatchQueries drives
+// the /api/query/batch limit and that over-limit requests get a
+// descriptive 400.
+func TestBatchCapConfigurable(t *testing.T) {
+	srv, ds := newTestServerOpts(t, core.Options{MaxBatchQueries: 2})
+	loc := ds.CityLocs[0]
+	tok := login(t, srv, "bob", fmt.Sprintf("POINT (%f %f)", loc.X, loc.Y))
+
+	spec := map[string]any{
+		"fact":       "Sales",
+		"aggregates": []map[string]string{{"agg": "COUNT"}},
+	}
+	resp, body := postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": tok, "queries": []map[string]any{spec, spec}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-limit batch: %s %s", resp.Status, body)
+	}
+	resp, body = postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": tok, "queries": []map[string]any{spec, spec, spec}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-limit batch: %s, want 400", resp.Status)
+	}
+	msg := string(body)
+	for _, want := range []string{"3 queries", "max 2", "MaxBatchQueries"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("over-limit error %q missing %q", msg, want)
+		}
 	}
 }

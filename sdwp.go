@@ -18,7 +18,13 @@
 //   - query at scale: EngineOptions.QueryWorkers partitions every fact scan
 //     across a worker pool (Cube.ExecuteParallel), and Session.QueryBatch /
 //     Engine.ExecuteBatch / Cube.ExecuteBatch answer many queries in one
-//     shared scan per fact table (see README.md);
+//     shared scan per fact table; every Session query routes through the
+//     engine's scheduler (internal/qsched), which coalesces concurrent
+//     queries into shared scans with fair per-user admission and fronts
+//     them with an epoch-keyed result cache — see EngineOptions.
+//     CoalesceWindow / MaxInFlightScans / ResultCacheBytes /
+//     MaxBatchQueries and Engine.SchedulerStats (README.md has the
+//     architecture);
 //   - optionally serve everything over HTTP with NewHTTPServer.
 //
 // See examples/quickstart for a complete program.
@@ -32,6 +38,7 @@ import (
 	"sdwp/internal/geomd"
 	"sdwp/internal/mdmodel"
 	"sdwp/internal/prml"
+	"sdwp/internal/qsched"
 	"sdwp/internal/usermodel"
 	"sdwp/internal/webapi"
 )
@@ -142,6 +149,10 @@ type (
 	Session = core.Session
 	// SelectionResult reports a spatial selection's effect.
 	SelectionResult = core.SelectionResult
+	// SchedulerStats snapshots the engine's query-scheduler counters:
+	// coalesce ratio, cache hit rate, queue depth (Engine.SchedulerStats,
+	// GET /api/stats).
+	SchedulerStats = qsched.Stats
 )
 
 // ParseRules parses PRML source into rules (without registering them).
