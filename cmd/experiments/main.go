@@ -4,8 +4,9 @@
 //	F1..F6 — the paper's six figures (process, models, profile, metamodel)
 //	X1..X3 — the paper's three worked examples (Section 5)
 //	C1..C5 — quantitative support for the paper's claims
-//	C6..C8 — ablations and scale-out: rule-plan optimizer, parallel/batch
-//	         executors, and the query scheduler (coalescing + result cache)
+//	C6..C9 — ablations and scale-out: rule-plan optimizer, parallel/batch
+//	         executors, the query scheduler (coalescing + result cache),
+//	         and cross-query subexpression sharing
 //
 // The output of this command is what EXPERIMENTS.md records. Pass -full for
 // the larger sweeps (C1 to 1M facts, C4 to 1M points).
@@ -58,6 +59,8 @@ func main() {
 	runC7()
 	header("C8 — query scheduler: coalesced shared scans + result cache under concurrent clients")
 	runC8()
+	header("C9 — cross-query subexpression sharing: shared filter bitmaps + group-key columns")
+	runC9()
 }
 
 func header(s string) {
@@ -531,6 +534,135 @@ func runC8() {
 		}
 		e.Close()
 	}
+}
+
+// runC9 measures cross-query subexpression sharing inside batch scans,
+// both at the executor (a 16-query batch sharing one filter set across
+// four groupings, A/B over cube.BatchOptions.DisableSharing) and end to
+// end through the scheduler (concurrent clients issuing filtered
+// personalized queries that coalesce into sharing-aware scans, reported
+// through SchedulerStats' filter-mask / group-key sharing ratios — the
+// same numbers GET /api/stats serves).
+func runC9() {
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Stores = 2000
+	cfg.Sales = 200000
+	if *full {
+		cfg.Sales = 1000000
+	}
+	ds := must(sdwp.GenerateData(cfg))
+
+	// Executor-level A/B: one batch, shared filter set, four groupings.
+	filters := []sdwp.AttrFilter{{
+		LevelRef: sdwp.LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: sdwp.OpGt, Value: float64(100000),
+	}}
+	var qs []sdwp.Query
+	for _, level := range []string{"Store", "City", "State", "Country"} {
+		for _, measure := range []string{"UnitSales", "StoreSales"} {
+			for _, limit := range []int{0, 5} {
+				qs = append(qs, sdwp.Query{
+					Fact:       "Sales",
+					GroupBy:    []sdwp.LevelRef{{Dimension: "Store", Level: level}},
+					Aggregates: []sdwp.MeasureAgg{{Measure: measure, Agg: sdwp.SUM}},
+					Filters:    filters,
+					Limit:      limit,
+				})
+			}
+		}
+	}
+	var stats sdwp.SharingStats
+	tOff := timeIt(5, func() {
+		must2(ds.Cube.ExecuteBatchOpt(qs, nil, sdwp.BatchOptions{DisableSharing: true}))
+	})
+	tOn := timeIt(5, func() {
+		_, st, err := ds.Cube.ExecuteBatchOpt(qs, nil, sdwp.BatchOptions{})
+		mustErr(err)
+		stats = st
+	})
+	fmt.Printf("  batch of %d queries (%d facts): %d filter sets -> %d bitmaps, %d groupings -> %d key columns\n",
+		len(qs), cfg.Sales, stats.FilterSets, stats.DistinctFilterSets,
+		stats.GroupKeySets, stats.DistinctGroupings)
+	fmt.Printf("  %16s %14s %14s %10s\n", "mode", "batch", "per-query", "speedup")
+	fmt.Printf("  %16s %14s %14s %10s\n", "sharing off", tOff.Round(time.Microsecond),
+		(tOff / time.Duration(len(qs))).Round(time.Microsecond), "1.0x")
+	fmt.Printf("  %16s %14s %14s %9.1fx\n", "sharing on", tOn.Round(time.Microsecond),
+		(tOn / time.Duration(len(qs))).Round(time.Microsecond), float64(tOff)/float64(tOn))
+
+	// End to end: concurrent personalized clients whose filtered dashboard
+	// tiles coalesce into sharing-aware scans. A 300 km selection radius
+	// keeps each view broad enough (~17% of facts each, 8 clients per
+	// batch) that the executor's cost heuristic materializes the shared
+	// artifacts; narrower views deliberately stay on the fused path —
+	// sharing never regresses them — while the sharing ratios report the
+	// workload's shareability either way.
+	const clients = 8
+	const queriesPerClient = 12
+	const wideRule = `Rule:near300 When SessionStart do
+  Foreach s in (GeoMD.Store)
+    If (Distance(s.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < 300km) then
+      SelectInstance(s)
+    endIf
+  endForeach
+endWhen`
+	roles := map[string]string{}
+	for i := 0; i < clients; i++ {
+		roles[fmt.Sprintf("mgr%02d", i)] = "RegionalSalesManager"
+	}
+	tiles := qs[:6]
+	fmt.Printf("  scheduler end-to-end: %d clients x %d filtered queries\n", clients, queriesPerClient)
+	fmt.Printf("  %16s %12s %10s %12s %12s\n", "mode", "wall", "scans", "filter-share", "group-share")
+	for _, mode := range []struct {
+		name string
+		opts sdwp.EngineOptions
+	}{
+		{"sharing off", sdwp.EngineOptions{
+			CoalesceWindow: 500 * time.Microsecond, MaxInFlightScans: 2,
+			SharedSubexpr: sdwp.SharedSubexprOff}},
+		{"sharing on", sdwp.EngineOptions{
+			CoalesceWindow: 500 * time.Microsecond, MaxInFlightScans: 2}},
+	} {
+		users := must(sdwp.NewSalesUserStore(roles))
+		e := sdwp.NewEngine(ds.Cube, users, mode.opts)
+		must(e.AddRules(wideRule))
+		sessions := make([]*sdwp.Session, clients)
+		for i := range sessions {
+			sessions[i] = must(e.StartSession(fmt.Sprintf("mgr%02d", i),
+				ds.CityLocs[i%len(ds.CityLocs)]))
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, s := range sessions {
+			wg.Add(1)
+			go func(i int, s *sdwp.Session) {
+				defer wg.Done()
+				for k := 0; k < queriesPerClient; k++ {
+					must(s.Query(tiles[(i+k)%len(tiles)]))
+				}
+			}(i, s)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		st := e.SchedulerStats()
+		fShare, gShare := "-", "-"
+		if st.FilterMasks > 0 {
+			fShare = fmt.Sprintf("%.1fx", st.FilterMaskSharing)
+		}
+		if st.GroupKeyCols > 0 {
+			gShare = fmt.Sprintf("%.1fx", st.GroupKeySharing)
+		}
+		fmt.Printf("  %16s %12s %10d %12s %12s\n", mode.name,
+			wall.Round(time.Microsecond), st.FactScans, fShare, gShare)
+		for _, s := range sessions {
+			mustErr(e.EndSession(s))
+		}
+		e.Close()
+	}
+}
+
+// must2 aborts on error, discarding the two leading results.
+func must2[A, B any](_ A, _ B, err error) {
+	mustErr(err)
 }
 
 func indented(s string) {

@@ -10,6 +10,7 @@
 //	       [-threshold 2] [-workers -1]
 //	       [-coalesce-window 500us] [-max-inflight-scans 2]
 //	       [-result-cache-mb 32] [-max-batch-queries 64]
+//	       [-shared-subexpr=true]
 package main
 
 import (
@@ -51,6 +52,8 @@ func main() {
 			"personalized result cache size in MiB, keyed by query fingerprint + view epoch (0 = off)")
 		maxBatch = flag.Int("max-batch-queries", 0,
 			"max queries per batch, shared by coalesced scans and POST /api/query/batch (0 = default 64)")
+		sharedSubexpr = flag.Bool("shared-subexpr", true,
+			"share filter bitmaps and group-key columns across the queries of each batch scan (false = per-query evaluation, the A/B baseline)")
 	)
 	flag.Parse()
 
@@ -100,12 +103,17 @@ func main() {
 		log.Fatalf("user store: %v", err)
 	}
 
+	sharedMode := sdwp.SharedSubexprOn
+	if !*sharedSubexpr {
+		sharedMode = sdwp.SharedSubexprOff
+	}
 	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{
 		QueryWorkers:     *workers,
 		CoalesceWindow:   *coalesceWindow,
 		MaxInFlightScans: *maxInFlight,
 		ResultCacheBytes: int64(*cacheMB) << 20,
 		MaxBatchQueries:  *maxBatch,
+		SharedSubexpr:    sharedMode,
 	})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 

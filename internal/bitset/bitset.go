@@ -94,6 +94,39 @@ func (s *Set) Count() int {
 	return c
 }
 
+// CountRange returns the number of set bits i with lo <= i < hi. The
+// bounds are clamped to the set's capacity; a nil set counts 0 (callers
+// that treat nil as universe must special-case it, as with Count).
+func (s *Set) CountRange(lo, hi int) int {
+	if s == nil {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	c := 0
+	for wi := loW; wi <= hiW; wi++ {
+		w := s.words[wi]
+		if wi == loW {
+			w &= ^uint64(0) << (uint(lo) % wordBits)
+		}
+		if wi == hiW {
+			if rem := uint(hi) % wordBits; rem != 0 {
+				w &= 1<<rem - 1
+			}
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // Any reports whether at least one bit is set.
 func (s *Set) Any() bool {
 	if s == nil {
@@ -132,6 +165,17 @@ func (s *Set) DifferenceWith(o *Set) {
 	s.sameCap(o)
 	for i, w := range o.words {
 		s.words[i] &^= w
+	}
+}
+
+// Reset clears every bit, keeping the capacity. Supports buffer reuse
+// (e.g. pooled scan artifacts); a nil receiver panics like other writes.
+func (s *Set) Reset() {
+	if s == nil {
+		panic("bitset: write to nil set")
+	}
+	for i := range s.words {
+		s.words[i] = 0
 	}
 }
 

@@ -304,6 +304,110 @@ func TestForEachRange(t *testing.T) {
 	}
 }
 
+// TestCountRange checks the popcount-in-range used by the staged batch
+// executor for scan statistics: it must agree with ForEachRange on every
+// boundary shape, clamp out-of-range bounds, and count nil as 0.
+func TestCountRange(t *testing.T) {
+	s := New(200)
+	for _, b := range []int{0, 1, 63, 64, 65, 127, 128, 190, 199} {
+		s.Set(b)
+	}
+	ranges := [][2]int{
+		{0, 200}, {0, 64}, {64, 128}, {1, 64}, {63, 65}, {65, 127},
+		{128, 128}, {130, 129}, {-5, 10}, {190, 1000}, {199, 200}, {0, 1},
+		{62, 66}, {120, 135},
+	}
+	for _, r := range ranges {
+		want := 0
+		s.ForEachRange(r[0], r[1], func(int) bool { want++; return true })
+		if got := s.CountRange(r[0], r[1]); got != want {
+			t.Errorf("CountRange(%d, %d) = %d, want %d", r[0], r[1], got, want)
+		}
+	}
+	if got := s.CountRange(0, s.Len()); got != s.Count() {
+		t.Errorf("full CountRange = %d, want Count %d", got, s.Count())
+	}
+	if New(100).CountRange(0, 100) != 0 {
+		t.Error("empty set counted bits")
+	}
+	var nilSet *Set
+	if nilSet.CountRange(0, 10) != 0 {
+		t.Error("nil CountRange != 0")
+	}
+	empty := New(0)
+	if empty.CountRange(0, 10) != 0 {
+		t.Error("zero-capacity CountRange != 0")
+	}
+}
+
+// TestReset checks the pooled-buffer reset: all bits clear, capacity
+// kept, nil write panics.
+func TestReset(t *testing.T) {
+	s := FromIndices(130, []int{0, 63, 64, 129})
+	s.Reset()
+	if s.Any() || s.Len() != 130 {
+		t.Errorf("after Reset: any=%v len=%d", s.Any(), s.Len())
+	}
+	s.Set(5) // still writable at full capacity
+	if !s.Test(5) {
+		t.Error("set after Reset lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil Reset did not panic")
+		}
+	}()
+	var nilSet *Set
+	nilSet.Reset()
+}
+
+// TestIntersectWithEdgeCases covers the mask combination the staged
+// executor builds per query (filter bitmap ∩ view mask): empty operands,
+// set bits straddling word boundaries, nil-as-universe, and disjoint sets.
+func TestIntersectWithEdgeCases(t *testing.T) {
+	// Bits straddling the 64-bit word boundary on both sides.
+	a := FromIndices(130, []int{62, 63, 64, 65, 127, 128})
+	b := FromIndices(130, []int{63, 64, 128, 129})
+	a.IntersectWith(b)
+	if got, want := fmt.Sprint(a.Indices()), fmt.Sprint([]int{63, 64, 128}); got != want {
+		t.Errorf("straddle intersection = %s, want %s", got, want)
+	}
+
+	// Intersecting with an empty set clears everything.
+	c := Full(100)
+	c.IntersectWith(New(100))
+	if c.Any() {
+		t.Errorf("intersection with empty set left bits: %v", c.Indices())
+	}
+
+	// An empty receiver stays empty.
+	d := New(100)
+	d.IntersectWith(Full(100))
+	if d.Any() {
+		t.Error("empty receiver gained bits")
+	}
+
+	// nil operand is the universe: no change.
+	e := FromIndices(100, []int{0, 64, 99})
+	e.IntersectWith(nil)
+	if got, want := fmt.Sprint(e.Indices()), fmt.Sprint([]int{0, 64, 99}); got != want {
+		t.Errorf("universe intersection changed set: %s, want %s", got, want)
+	}
+
+	// Disjoint sets intersect to empty.
+	f := FromIndices(130, []int{0, 64})
+	f.IntersectWith(FromIndices(130, []int{1, 65, 129}))
+	if f.Any() {
+		t.Errorf("disjoint intersection nonempty: %v", f.Indices())
+	}
+
+	// ForEachRange over an empty set visits nothing on any bounds.
+	New(130).ForEachRange(0, 130, func(int) bool {
+		t.Error("empty set visited a bit")
+		return true
+	})
+}
+
 func TestIndicesNil(t *testing.T) {
 	var s *Set
 	if s.Indices() != nil {

@@ -27,6 +27,22 @@ import (
 	"sdwp/internal/usermodel"
 )
 
+// SharedSubexprMode toggles cross-query subexpression sharing inside
+// batch scans: whether a shared scan materializes each distinct filter set
+// as one bitmap and each distinct (dimension, level) grouping as one
+// roll-up key column, shared by every query of the batch (see
+// internal/cube/exec_shared.go).
+type SharedSubexprMode int
+
+const (
+	// SharedSubexprOn — the default (zero value) — shares stage-1/2
+	// artifacts across the queries of every batch scan.
+	SharedSubexprOn SharedSubexprMode = iota
+	// SharedSubexprOff reverts to per-query filter evaluation and
+	// group-key decode (the PR 1 fused path) — the A/B benching baseline.
+	SharedSubexprOff
+)
+
 // Options configures an Engine.
 type Options struct {
 	// Planar switches the Distance/unary-Distance operators from geodetic
@@ -68,6 +84,11 @@ type Options struct {
 	// straight to the cube executors, bypassing queueing, coalescing and
 	// caching — the scheduler's correctness baseline.
 	DisableScheduler bool
+	// SharedSubexpr controls cross-query subexpression sharing inside
+	// batch scans (shared filter bitmaps and group-key columns). On by
+	// default; SharedSubexprOff restores the per-query evaluation of PR 1
+	// for A/B benching. Results are identical either way.
+	SharedSubexpr SharedSubexprMode
 }
 
 // QueryWorkers returns the engine's configured query worker-pool size.
@@ -97,12 +118,13 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 		users: users,
 		opts:  opts,
 		sched: qsched.New(c, qsched.Options{
-			Window:      opts.CoalesceWindow,
-			MaxBatch:    opts.MaxBatchQueries,
-			MaxInFlight: opts.MaxInFlightScans,
-			CacheBytes:  opts.ResultCacheBytes,
-			Workers:     opts.QueryWorkers,
-			Disabled:    opts.DisableScheduler,
+			Window:               opts.CoalesceWindow,
+			MaxBatch:             opts.MaxBatchQueries,
+			MaxInFlight:          opts.MaxInFlightScans,
+			CacheBytes:           opts.ResultCacheBytes,
+			Workers:              opts.QueryWorkers,
+			Disabled:             opts.DisableScheduler,
+			DisableSharedSubexpr: opts.SharedSubexpr == SharedSubexprOff,
 		}),
 		params:   map[string]prml.Value{},
 		sessions: map[string]*Session{},
@@ -289,7 +311,11 @@ func (e *Engine) ExecuteBatch(qs []cube.Query, sessions []*Session) ([]*cube.Res
 			}
 		}
 	}
-	return e.cube.ExecuteBatch(qs, vs, e.opts.QueryWorkers)
+	res, _, err := e.cube.ExecuteBatchOpt(qs, vs, cube.BatchOptions{
+		Workers:        e.opts.QueryWorkers,
+		DisableSharing: e.opts.SharedSubexpr == SharedSubexprOff,
+	})
+	return res, err
 }
 
 // Session returns a live session by id, or nil.

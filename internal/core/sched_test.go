@@ -165,6 +165,117 @@ func TestEngineCloseRejectsQueries(t *testing.T) {
 	e.Close() // idempotent
 }
 
+// TestSharedSubexprBatchUnderSpatialSelect is the race-stress companion of
+// the staged batch executor: several goroutines hammer sharing-heavy
+// QueryBatch calls (queries sharing one filter set and grouping, so every
+// scan materializes shared stage-1/2 artifacts) while a writer keeps
+// mutating the session's selection through SpatialSelect. The run must be
+// data-race free (-race in CI), every batch must be internally consistent
+// (entries sharing artifacts see the same facts), and the quiescent state
+// must equal direct serial execution for both sharing modes.
+func TestSharedSubexprBatchUnderSpatialSelect(t *testing.T) {
+	for _, mode := range []SharedSubexprMode{SharedSubexprOn, SharedSubexprOff} {
+		mode := mode
+		name := "shared"
+		if mode == SharedSubexprOff {
+			name = "fused"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, ds := newTestEngineOpts(t, Options{
+				CoalesceWindow: 200 * time.Microsecond,
+				QueryWorkers:   2,
+				SharedSubexpr:  mode,
+			})
+			defer e.Close()
+			s, err := e.StartSession("alice", ds.CityLocs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			filters := []cube.AttrFilter{{
+				LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+				Attr:     "population", Op: cube.OpGt, Value: float64(0),
+			}}
+			qs := make([]cube.Query, 6)
+			for i := range qs {
+				qs[i] = cube.Query{
+					Fact:       "Sales",
+					GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+					Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}},
+					Filters:    filters,
+					Limit:      1000 + i, // distinct plans, shared subexpressions
+				}
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			done := make(chan struct{})
+			wg.Add(1)
+			go func() { // writer: widen the selection while batches run
+				defer wg.Done()
+				defer close(done)
+				for _, km := range []int{2, 8, 32, 120} {
+					pred := fmt.Sprintf(
+						"Distance(GeoMD.Store.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < %dkm", km)
+					if _, err := s.SpatialSelect("GeoMD.Store", pred); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						res, err := s.QueryBatch(qs, nil)
+						if err != nil {
+							errs <- err
+							return
+						}
+						// Entries materialize their view snapshot in batch
+						// order and selections only ever widen the mask, so
+						// within one batch the matched counts must be
+						// non-decreasing (an entry seeing *fewer* facts than
+						// an earlier one means a torn or stale mask).
+						for i := 1; i < len(res); i++ {
+							if res[i].MatchedFacts < res[i-1].MatchedFacts {
+								errs <- fmt.Errorf("batch entry %d matched %d < entry %d's %d",
+									i, res[i].MatchedFacts, i-1, res[i-1].MatchedFacts)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Quiescent: batch results equal direct serial execution.
+			res, err := s.QueryBatch(qs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				want, err := e.Cube().Execute(q, s.View())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res[i], want) {
+					t.Fatalf("quiescent batch entry %d differs from serial execution", i)
+				}
+			}
+		})
+	}
+}
+
 // TestNoStaleCachedResultsUnderSpatialSelect is the stale-epoch stress
 // test: readers hammer cached personalized queries while a writer keeps
 // widening the session's selection through SpatialSelect. Selections only

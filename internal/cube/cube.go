@@ -164,6 +164,14 @@ type FactData struct {
 	n        int
 	dimKeys  map[string][]int32
 	measures map[string][]float64
+
+	// colPool and maskPool recycle the batch executor's scan-scoped
+	// artifacts (roll-up key columns and filter/visibility bitmaps, all
+	// sized to n) so high-rate coalesced batches do not churn the GC; see
+	// exec_shared.go. Entries of a stale size (n grew via AddFact) are
+	// discarded on Get.
+	colPool  sync.Pool
+	maskPool sync.Pool
 }
 
 // Len returns the number of fact instances.

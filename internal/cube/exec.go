@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"sdwp/internal/bitset"
+	"sdwp/internal/mdmodel"
 )
 
 // This file is the query executor: a compiled plan (queryPlan) over
@@ -27,8 +28,13 @@ import (
 // execChunkSize is the facts-per-chunk scan granularity. Chunks are the
 // unit of work interleaving: the shared-scan batch executor walks one
 // chunk of the fact columns (a few hundred KB, cache-hot) through every
-// query of the batch before moving to the next.
+// query of the batch before moving to the next. It must stay a multiple
+// of 64 so chunk bounds are bitset-word-aligned and workers can fill one
+// shared filter bitmap chunk-by-chunk without write races.
 const execChunkSize = 8192
+
+// Compile-time guard for the word alignment buildArtifacts relies on.
+var _ = [1]struct{}{}[execChunkSize%64]
 
 // chunkCount returns the number of contiguous scan chunks for n facts.
 func chunkCount(n int) int {
@@ -39,14 +45,62 @@ func chunkCount(n int) int {
 	return chunks
 }
 
+// The executor is a three-stage pipeline over the fact columns:
+//
+//	stage 1  filter-mask      matchFact / materializeFilterMask
+//	stage 2  group-key decode groupSpec.decode / materializeGroupKeys
+//	stage 3  accumulate       partial.accumulateFact
+//
+// The serial and parallel single-query paths fuse the stages per fact
+// (process). The batch executor can instead materialize stages 1 and 2 as
+// shared artifacts — one filter bitmap per distinct filter set, one rolled-
+// up key column per distinct (dimension, level) grouping, keyed by the
+// sub-fingerprints in fingerprint.go — and drive every query's stage 3 off
+// them (exec_shared.go).
+
 // groupSpec is one resolved group-by level. anc maps each finest-level
 // member to its ancestor at the group level (the roll-up cache), and keys
-// is the fact's key column for the dimension.
+// is the fact's key column for the dimension. key is the grouping's
+// sub-fingerprint — the identity under which a batch scan shares one
+// decoded key column among queries.
 type groupSpec struct {
 	dd   *DimData
 	li   int
 	anc  []int32
 	keys []int32
+	key  string
+}
+
+// decode is stage 2 for one fact: the member of the grouping level that
+// fact i rolls up to.
+func (g *groupSpec) decode(i int32) int32 { return g.anc[g.keys[i]] }
+
+// materializeGroupKeys runs stage 2 over facts [lo, hi) into the shared
+// key column (col[i] valid for i in [lo, hi) afterwards).
+func (g *groupSpec) materializeGroupKeys(lo, hi int, col []int32) {
+	anc, keys := g.anc, g.keys
+	for i := lo; i < hi; i++ {
+		col[i] = anc[keys[i]]
+	}
+}
+
+// attrCol is a filter attribute resolved at compile time: either the level
+// descriptor column or a declared attribute column, so the per-fact path
+// never re-scans level.Attributes (which LevelData.Attr does linearly).
+type attrCol struct {
+	desc []string // descriptor column when the filter names the descriptor
+	col  []any    // attribute column otherwise (nil when never set)
+}
+
+// value returns the attribute of member i, mirroring LevelData.Attr.
+func (a attrCol) value(i int32) (any, bool) {
+	if a.desc != nil {
+		return a.desc[i], true
+	}
+	if a.col == nil || int(i) >= len(a.col) {
+		return nil, false
+	}
+	return a.col[i], true
 }
 
 // filterSpec is one resolved attribute filter.
@@ -56,6 +110,7 @@ type filterSpec struct {
 	f    AttrFilter
 	anc  []int32
 	keys []int32
+	attr attrCol
 }
 
 // queryPlan is a validated, resolved query: every name bound to column
@@ -66,9 +121,43 @@ type queryPlan struct {
 	fd      *FactData
 	groups  []groupSpec
 	filters []filterSpec
+	// filterKey is the filter set's sub-fingerprint ("" without filters):
+	// the identity under which a batch scan shares one materialized filter
+	// bitmap among queries.
+	filterKey string
 	// measureCols holds the measure column per aggregate (nil for COUNT),
 	// hoisted out of the scan loop.
 	measureCols [][]float64
+}
+
+// matchFact is stage 1 for one fact: whether fact i passes every filter of
+// the plan. The outcome is order-insensitive (a conjunction), so plans
+// whose filter sets are equal up to ordering share one FilterFingerprint
+// and, in a batch, one materialized bitmap.
+func (p *queryPlan) matchFact(i int32) bool {
+	for fi := range p.filters {
+		fs := &p.filters[fi]
+		anc := fs.anc[fs.keys[i]]
+		if anc == NoParent {
+			return false
+		}
+		val, has := fs.attr.value(anc)
+		if !has || !compare(val, fs.f.Op, fs.f.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// materializeFilterMask runs stage 1 over facts [lo, hi) into the shared
+// bitmap. Chunk bounds are word-aligned (execChunkSize is a multiple of
+// 64), so workers owning disjoint chunks fill one bitmap without racing.
+func (p *queryPlan) materializeFilterMask(lo, hi int, out *bitset.Set) {
+	for i := lo; i < hi; i++ {
+		if p.matchFact(int32(i)) {
+			out.Set(i)
+		}
+	}
 }
 
 // compile resolves and validates a query against the cube.
@@ -96,7 +185,8 @@ func (c *Cube) compile(q Query) (*queryPlan, error) {
 		if li < 0 {
 			return nil, fmt.Errorf("cube: dimension %q has no level %q", g.Dimension, g.Level)
 		}
-		p.groups[i] = groupSpec{dd: dd, li: li, anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[g.Dimension]}
+		p.groups[i] = groupSpec{dd: dd, li: li, anc: dd.ancestorsFromFinest(li),
+			keys: fd.dimKeys[g.Dimension], key: g.Fingerprint()}
 	}
 
 	// Resolve aggregates.
@@ -136,10 +226,25 @@ func (c *Cube) compile(q Query) (*queryPlan, error) {
 		if li < 0 {
 			return nil, fmt.Errorf("cube: dimension %q has no level %q in filter", f.Dimension, f.Level)
 		}
-		if dd.levels[li].level.Attribute(f.Attr) == nil {
+		ld := dd.levels[li]
+		attr := ld.level.Attribute(f.Attr)
+		if attr == nil {
 			return nil, fmt.Errorf("cube: level %s has no attribute %q", f.LevelRef, f.Attr)
 		}
-		p.filters[i] = filterSpec{dd: dd, li: li, f: f, anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[f.Dimension]}
+		// Resolve the attribute column once here instead of re-scanning
+		// level.Attributes per fact (LevelData.Attr's linear descriptor
+		// check) in the scan loop.
+		var ac attrCol
+		if attr.Kind == mdmodel.KindDescriptor {
+			ac.desc = ld.names
+		} else {
+			ac.col = ld.attrs[f.Attr]
+		}
+		p.filters[i] = filterSpec{dd: dd, li: li, f: f,
+			anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[f.Dimension], attr: ac}
+	}
+	if len(p.filters) > 0 {
+		p.filterKey = q.FilterFingerprint()
 	}
 	return p, nil
 }
@@ -211,25 +316,32 @@ func (pt *partial) newAccum(members []int32) *accum {
 	return cell
 }
 
-// process folds fact instance i into the partial.
+// process folds fact instance i into the partial: the fused form of the
+// three-stage pipeline (filter, decode, accumulate — one fact at a time).
 func (pt *partial) process(i int32) {
-	p := pt.p
 	pt.scanned++
-	for _, fs := range p.filters {
-		anc := fs.anc[fs.keys[i]]
-		if anc == NoParent {
-			return
-		}
-		val, has := fs.dd.levels[fs.li].Attr(fs.f.Attr, anc)
-		if !has || !compare(val, fs.f.Op, fs.f.Value) {
-			return
-		}
+	if !pt.p.matchFact(i) {
+		return
 	}
 	pt.matched++
+	pt.accumulateFact(i, nil)
+}
 
+// accumulateFact is stage 3 for one fact that already passed the filters:
+// look up (or create) the fact's group cell and fold the measures in. A
+// non-nil keyCols supplies pre-decoded shared key columns per grouping
+// (stage 2 artifacts of a batch scan); nil entries — and a nil keyCols —
+// fall back to inline decode.
+func (pt *partial) accumulateFact(i int32, keyCols [][]int32) {
+	p := pt.p
 	var cell *accum
 	if pt.dense != nil {
-		anc := p.groups[0].anc[p.groups[0].keys[i]]
+		var anc int32
+		if keyCols != nil && keyCols[0] != nil {
+			anc = keyCols[0][i]
+		} else {
+			anc = p.groups[0].decode(i)
+		}
 		pt.memberScratch[0] = anc
 		if anc == NoParent {
 			if pt.denseNone == nil {
@@ -246,7 +358,12 @@ func (pt *partial) process(i int32) {
 	} else {
 		pt.keyBuf = pt.keyBuf[:0]
 		for gi := range p.groups {
-			anc := p.groups[gi].anc[p.groups[gi].keys[i]]
+			var anc int32
+			if keyCols != nil && keyCols[gi] != nil {
+				anc = keyCols[gi][i]
+			} else {
+				anc = p.groups[gi].decode(i)
+			}
 			pt.memberScratch[gi] = anc
 			pt.keyBuf = appendInt32(pt.keyBuf, anc)
 		}
@@ -482,6 +599,12 @@ func (p *queryPlan) scan(mask *bitset.Set, workers int) *partial {
 // number of times and shared across goroutines; the scheduler compiles on
 // admission and reuses the plan for the scan instead of resolving the
 // query twice.
+//
+// A plan binds snapshots of the cube's columns (measures, dimension keys,
+// roll-up caches, filter attribute columns) as they were at Compile time.
+// Loading data or setting attributes afterwards may reallocate those
+// columns, so plans must not be held across warehouse mutation — compile
+// after loading, as the scheduler does per admission.
 type CompiledQuery struct {
 	c *Cube
 	p *queryPlan
@@ -499,11 +622,51 @@ func (c *Cube) Compile(q Query) (*CompiledQuery, error) {
 // Query returns the source query of the plan.
 func (cq *CompiledQuery) Query() Query { return cq.p.q }
 
+// BatchOptions configures one shared batch scan.
+type BatchOptions struct {
+	// Workers sizes the chunk worker pool exactly as in ExecuteParallel.
+	Workers int
+	// DisableSharing reverts to fused per-query filter evaluation and
+	// group-key decode inside the shared scan — the A/B baseline for the
+	// cross-query subexpression sharing that is otherwise on by default.
+	DisableSharing bool
+}
+
+// SharingStats reports how much cross-query stage-1/2 work one batch
+// shared: instances are (query, artifact) uses, distinct counts are the
+// artifacts actually needed. instances/distinct > 1 means the batch saved
+// redundant filter evaluations or roll-up decodes. All zero when sharing
+// is disabled.
+type SharingStats struct {
+	// Queries is the number of queries the batch executed.
+	Queries int `json:"queries"`
+	// FilterSets counts queries carrying at least one filter;
+	// DistinctFilterSets the distinct filter-set sub-fingerprints among
+	// them (= filter bitmaps the scan conceptually needs).
+	FilterSets         int `json:"filterSets"`
+	DistinctFilterSets int `json:"distinctFilterSets"`
+	// GroupKeySets counts (query, grouping) pairs; DistinctGroupings the
+	// distinct (dimension, level) sub-fingerprints among them (= roll-up
+	// key columns the scan conceptually needs).
+	GroupKeySets      int `json:"groupKeySets"`
+	DistinctGroupings int `json:"distinctGroupings"`
+}
+
+// add folds one fact-group's stats into the batch total.
+func (s *SharingStats) add(o SharingStats) {
+	s.Queries += o.Queries
+	s.FilterSets += o.FilterSets
+	s.DistinctFilterSets += o.DistinctFilterSets
+	s.GroupKeySets += o.GroupKeySets
+	s.DistinctGroupings += o.DistinctGroupings
+}
+
 // ExecuteBatch answers a batch of queries — e.g. many users' personalized
 // views of the same fact table — in one shared scan per fact table,
 // GLADE-style: queries are grouped by fact, the fact table is walked chunk
 // by chunk, and every query of the group aggregates from the same
-// cache-hot chunk before the scan moves on. Each result is identical to
+// cache-hot chunk before the scan moves on. Cross-query subexpression
+// sharing is on (see ExecuteBatchCompiledOpt). Each result is identical to
 // running its query through Execute/ExecuteParallel alone.
 //
 // vs pairs each query with its personalized view; nil vs (or a nil entry)
@@ -511,32 +674,55 @@ func (cq *CompiledQuery) Query() Query { return cq.p.q }
 // exactly as in ExecuteParallel. Validation errors of any query abort the
 // whole batch before scanning starts.
 func (c *Cube) ExecuteBatch(qs []Query, vs []*View, workers int) ([]*Result, error) {
+	res, _, err := c.ExecuteBatchOpt(qs, vs, BatchOptions{Workers: workers})
+	return res, err
+}
+
+// ExecuteBatchOpt is ExecuteBatch with explicit batch options, also
+// returning the scan's sharing statistics.
+func (c *Cube) ExecuteBatchOpt(qs []Query, vs []*View, opts BatchOptions) ([]*Result, SharingStats, error) {
 	if vs != nil && len(vs) != len(qs) {
-		return nil, fmt.Errorf("cube: batch has %d queries but %d views", len(qs), len(vs))
+		return nil, SharingStats{}, fmt.Errorf("cube: batch has %d queries but %d views", len(qs), len(vs))
 	}
 	cqs := make([]*CompiledQuery, len(qs))
 	for i, q := range qs {
 		cq, err := c.Compile(q)
 		if err != nil {
-			return nil, fmt.Errorf("cube: batch query %d: %w", i, err)
+			return nil, SharingStats{}, fmt.Errorf("cube: batch query %d: %w", i, err)
 		}
 		cqs[i] = cq
 	}
-	return c.ExecuteBatchCompiled(cqs, vs, workers)
+	return c.ExecuteBatchCompiledOpt(cqs, vs, opts)
 }
 
 // ExecuteBatchCompiled is ExecuteBatch over pre-compiled plans: the same
 // shared scan without re-resolving each query. Every entry must come from
 // this cube's Compile.
 func (c *Cube) ExecuteBatchCompiled(cqs []*CompiledQuery, vs []*View, workers int) ([]*Result, error) {
+	res, _, err := c.ExecuteBatchCompiledOpt(cqs, vs, BatchOptions{Workers: workers})
+	return res, err
+}
+
+// ExecuteBatchCompiledOpt runs one shared scan per fact table over
+// pre-compiled plans. Unless opts.DisableSharing is set, each fact group's
+// scan first materializes the shareable pipeline stages as batch-scoped
+// artifacts — one filter bitmap per distinct filter set and one roll-up
+// key column per distinct (dimension, level) grouping, identified by the
+// plans' sub-fingerprints — and then drives every query's accumulation off
+// the shared artifacts chunk by chunk, so queries that differ only in
+// selection mask or measure stop re-evaluating each other's filters and
+// re-deriving each other's group keys. Results are byte-identical either
+// way (the randomized harness in exec_equiv_test.go enforces it).
+func (c *Cube) ExecuteBatchCompiledOpt(cqs []*CompiledQuery, vs []*View, opts BatchOptions) ([]*Result, SharingStats, error) {
+	var stats SharingStats
 	if vs != nil && len(vs) != len(cqs) {
-		return nil, fmt.Errorf("cube: batch has %d queries but %d views", len(cqs), len(vs))
+		return nil, stats, fmt.Errorf("cube: batch has %d queries but %d views", len(cqs), len(vs))
 	}
 	plans := make([]*queryPlan, len(cqs))
 	masks := make([]*bitset.Set, len(cqs))
 	for i, cq := range cqs {
 		if cq == nil || cq.c != c {
-			return nil, fmt.Errorf("cube: batch query %d not compiled for this cube", i)
+			return nil, stats, fmt.Errorf("cube: batch query %d not compiled for this cube", i)
 		}
 		plans[i] = cq.p
 		if vs != nil && vs[i] != nil {
@@ -557,16 +743,23 @@ func (c *Cube) ExecuteBatchCompiled(cqs []*CompiledQuery, vs []*View, workers in
 
 	results := make([]*Result, len(cqs))
 	for _, fact := range factOrder {
-		scanShared(groups[fact], plans, masks, results, normalizeWorkers(workers))
+		w := normalizeWorkers(opts.Workers)
+		if opts.DisableSharing {
+			scanShared(groups[fact], plans, masks, results, w)
+		} else {
+			stats.add(scanSharedStaged(groups[fact], plans, masks, results, w))
+		}
 	}
-	return results, nil
+	return results, stats, nil
 }
 
-// scanShared runs one shared scan for all queries over one fact table.
-// idxs indexes plans/masks/results; every plan shares the same FactData.
-// Each worker keeps one partial per query and walks its chunks through all
-// queries before moving on, so a chunk of fact columns is aggregated by
-// the whole batch while it is cache-hot.
+// scanShared runs one shared scan for all queries over one fact table
+// with the stages fused per query (no cross-query artifact sharing) — the
+// BatchOptions.DisableSharing baseline; see exec_shared.go for the staged
+// variant. idxs indexes plans/masks/results; every plan shares the same
+// FactData. Each worker keeps one partial per query and walks its chunks
+// through all queries before moving on, so a chunk of fact columns is
+// aggregated by the whole batch while it is cache-hot.
 func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, results []*Result, workers int) {
 	n := plans[idxs[0]].fd.n
 	chunks := chunkCount(n)

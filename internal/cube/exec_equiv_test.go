@@ -196,17 +196,121 @@ func TestExecutorEquivalenceRandomized(t *testing.T) {
 				}
 			}
 
-			// Shared-scan batch executor (all cases in one batch).
+			// Shared-scan batch executor (all cases in one batch), with
+			// cross-query subexpression sharing both off (the fused PR 1
+			// path) and on (stage-1/2 artifacts shared by sub-fingerprint).
 			for _, w := range []int{1, 3, 8} {
-				batch, err := ds.Cube.ExecuteBatch(qs, vs, w)
-				if err != nil {
-					t.Fatalf("batch workers %d: %v", w, err)
+				for _, noShare := range []bool{false, true} {
+					batch, _, err := ds.Cube.ExecuteBatchOpt(qs, vs,
+						cube.BatchOptions{Workers: w, DisableSharing: noShare})
+					if err != nil {
+						t.Fatalf("batch workers %d noShare %v: %v", w, noShare, err)
+					}
+					if len(batch) != cases {
+						t.Fatalf("batch workers %d: %d results, want %d", w, len(batch), cases)
+					}
+					for i := range qs {
+						diffResults(t, fmt.Sprintf("batch case %d workers %d noShare %v",
+							i, w, noShare), batch[i], serial[i])
+					}
 				}
-				if len(batch) != cases {
-					t.Fatalf("batch workers %d: %d results, want %d", w, len(batch), cases)
+			}
+		})
+	}
+}
+
+// TestSharedSubexprBatchEquivalence targets the sharing-heavy shape the
+// staged executor exists for: many queries differing only in selection
+// mask, measure, or limit over a handful of filter sets and groupings.
+// Every result — with sharing on, across worker counts and randomized
+// views — must be byte-identical to the serial path, and the reported
+// SharingStats must account for every query.
+func TestSharedSubexprBatchEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 11, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := datagen.Config{
+				Seed: seed, States: 5, Cities: 15, Stores: 80, Customers: 60,
+				Products: 30, Days: 30, Sales: 4000,
+				AirportEvery: 5, TrainLines: 4, Hospitals: 5, Highways: 2,
+			}
+			ds, err := datagen.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+
+			// A small pool of filter sets (including reorderings of the
+			// same set, which must share one bitmap) and groupings.
+			popFilter := cube.AttrFilter{
+				LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+				Attr:     "population", Op: cube.OpGt, Value: float64(500000),
+			}
+			ageFilter := cube.AttrFilter{
+				LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
+				Attr:     "age", Op: cube.OpLe, Value: float64(40),
+			}
+			filterPool := [][]cube.AttrFilter{
+				nil,
+				{popFilter},
+				{popFilter, ageFilter},
+				{ageFilter, popFilter}, // reordered: same sub-fingerprint
+			}
+			groupPool := [][]cube.LevelRef{
+				{{Dimension: "Store", Level: "City"}},
+				{{Dimension: "Store", Level: "State"}},
+				{{Dimension: "Store", Level: "City"}, {Dimension: "Product", Level: "Family"}},
+			}
+			aggPool := [][]cube.MeasureAgg{
+				{{Agg: cube.AggCount}},
+				{{Measure: "UnitSales", Agg: cube.AggSum}},
+				{{Measure: "StoreCost", Agg: cube.AggMin}, {Measure: "StoreSales", Agg: cube.AggMax}},
+			}
+
+			const cases = 20
+			qs := make([]cube.Query, cases)
+			vs := make([]*cube.View, cases)
+			serial := make([]*cube.Result, cases)
+			for i := range qs {
+				qs[i] = cube.Query{
+					Fact:       "Sales",
+					GroupBy:    groupPool[rng.Intn(len(groupPool))],
+					Aggregates: aggPool[rng.Intn(len(aggPool))],
+					Filters:    filterPool[rng.Intn(len(filterPool))],
+				}
+				if rng.Intn(2) == 0 {
+					qs[i].Limit = 1 + rng.Intn(8)
+				}
+				vs[i] = randomView(rng, ds.Cube, cfg)
+				serial[i], err = ds.Cube.Execute(qs[i], vs[i])
+				if err != nil {
+					t.Fatalf("case %d: serial: %v", i, err)
+				}
+			}
+
+			for _, w := range []int{1, 2, 5, 8} {
+				batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, vs, cube.BatchOptions{Workers: w})
+				if err != nil {
+					t.Fatalf("workers %d: %v", w, err)
 				}
 				for i := range qs {
-					diffResults(t, fmt.Sprintf("batch case %d workers %d", i, w), batch[i], serial[i])
+					diffResults(t, fmt.Sprintf("shared case %d workers %d", i, w), batch[i], serial[i])
+				}
+				if stats.Queries != cases {
+					t.Errorf("stats.Queries = %d, want %d", stats.Queries, cases)
+				}
+				// The pool admits at most 2 distinct non-empty filter sets
+				// ({pop} and the reorder-shared {pop,age}) and 3 groupings.
+				if stats.DistinctFilterSets > 2 {
+					t.Errorf("distinct filter sets = %d, want <= 2 (reordered sets must share)",
+						stats.DistinctFilterSets)
+				}
+				if stats.DistinctGroupings > 4 {
+					t.Errorf("distinct groupings = %d, want <= 4", stats.DistinctGroupings)
+				}
+				if stats.FilterSets < stats.DistinctFilterSets ||
+					stats.GroupKeySets < stats.DistinctGroupings {
+					t.Errorf("instances below distinct counts: %+v", stats)
 				}
 			}
 		})

@@ -1,0 +1,350 @@
+package cube
+
+import (
+	"sync"
+
+	"sdwp/internal/bitset"
+)
+
+// This file is the sharing-aware batch executor: the explicit (non-fused)
+// form of the three-stage pipeline in exec.go. One shared scan first
+// materializes stage 1 (filter bitmaps) and stage 2 (roll-up key columns)
+// as batch-scoped artifacts shared by every query whose sub-fingerprint
+// matches, then runs stage 3 (accumulation) for all queries chunk by
+// chunk off the shared artifacts. Queries that differ only in selection
+// mask or measure — many personalized views over one fact table, the
+// paper's core workload — then pay the filter evaluation and group-key
+// decode once per batch instead of once per query.
+//
+// Artifacts are only materialized when they pay for themselves (at least
+// two sharing queries whose combined visible fact mass exceeds a full
+// table pass — see buildArtifacts); a query whose filter set or grouping
+// is unique in the batch, or a batch of narrowly personalized views,
+// keeps the fused per-fact path of exec.go and costs what PR 1's executor
+// cost. Materialized artifacts are also the natural per-shard exchange
+// unit once the fact table is sharded across processes.
+
+// sharedArtifacts holds one fact group's materialized stage-1/2 results.
+// Artifacts are scan-scoped and recycled through the fact table's pools
+// (releaseArtifacts) — a busy scheduler materializes them thousands of
+// times per second, and allocating them fresh each scan showed up as GC
+// pressure that starved concurrent writers on small hosts.
+type sharedArtifacts struct {
+	fd          *FactData
+	filterMasks map[string]*bitset.Set // filter-set sub-fingerprint → bitmap
+	keyCols     map[string][]int32     // grouping sub-fingerprint → key column
+}
+
+// getKeyCol takes a recycled (or fresh) key column sized to the table.
+func (fd *FactData) getKeyCol() []int32 {
+	if v, ok := fd.colPool.Get().(*[]int32); ok && len(*v) == fd.n {
+		return *v
+	}
+	return make([]int32, fd.n)
+}
+
+// getMask takes a recycled (or fresh) zeroed bitmap sized to the table.
+func (fd *FactData) getMask() *bitset.Set {
+	if v, ok := fd.maskPool.Get().(*bitset.Set); ok && v.Len() == fd.n {
+		v.Reset()
+		return v
+	}
+	return bitset.New(fd.n)
+}
+
+// queryScan is one query's precomputed accumulation drive: which mask to
+// iterate, whether filters are pre-applied through it, and the shared key
+// columns (nil entries decode inline).
+type queryScan struct {
+	// view is the personalized visibility mask (nil = whole table); its
+	// per-chunk popcount is the query's ScannedFacts contribution.
+	view *bitset.Set
+	// iter is the mask accumulation iterates. With pre-applied filters it
+	// is filterMask ∩ view; otherwise it is view and matchFact runs
+	// inline. nil iterates every fact.
+	iter *bitset.Set
+	// prefiltered marks that iter already encodes the filters, so matched
+	// facts are counted by popcount instead of per-fact evaluation.
+	prefiltered bool
+	// keyCols holds the shared decoded key column per grouping (nil →
+	// inline decode in accumulateFact).
+	keyCols [][]int32
+}
+
+// scanRangeStaged is the staged counterpart of partial.scanRange: fold
+// facts [lo, hi) into pt, driving stage 3 off qs's masks and key columns.
+func (pt *partial) scanRangeStaged(lo, hi int, qs *queryScan) {
+	if qs.prefiltered {
+		// Stage 1 ran ahead of the scan: ScannedFacts is the view's
+		// popcount, MatchedFacts the pre-intersected mask's (iter is never
+		// nil here — a prefiltered query always has a filter bitmap), and
+		// only matching facts are visited at all.
+		if qs.view == nil {
+			pt.scanned += hi - lo
+		} else {
+			pt.scanned += qs.view.CountRange(lo, hi)
+		}
+		pt.matched += qs.iter.CountRange(lo, hi)
+		qs.iter.ForEachRange(lo, hi, func(i int) bool {
+			pt.accumulateFact(int32(i), qs.keyCols)
+			return true
+		})
+		return
+	}
+	// Filters (if any) stay fused, but stage 2 may still come from shared
+	// key columns.
+	fold := func(i int32) {
+		pt.scanned++
+		if !pt.p.matchFact(i) {
+			return
+		}
+		pt.matched++
+		pt.accumulateFact(i, qs.keyCols)
+	}
+	if qs.iter == nil {
+		for i := lo; i < hi; i++ {
+			fold(int32(i))
+		}
+		return
+	}
+	qs.iter.ForEachRange(lo, hi, func(i int) bool {
+		fold(int32(i))
+		return true
+	})
+}
+
+// parallelFill runs fill over [0, n) with the worker pool, chunk-strided
+// exactly like the scan phases (chunk bounds are word-aligned, so workers
+// write disjoint bitmap words).
+func parallelFill(n, workers int, fill func(lo, hi int)) {
+	chunks := chunkCount(n)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		fill(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < chunks; ci += workers {
+				lo := ci * execChunkSize
+				hi := lo + execChunkSize
+				if hi > n {
+					hi = n
+				}
+				fill(lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// buildArtifacts materializes the filter bitmaps and key columns the fact
+// group's plans share, filling them with the worker pool chunk by chunk,
+// and returns them plus the batch's sharing statistics.
+//
+// An artifact is materialized only when it pays for itself: it needs at
+// least two sharing queries, and the sharing queries' combined fact mass
+// must exceed one full-table pass — a batch of narrowly personalized
+// views evaluates less work fused per query than one whole-table
+// materialization would cost, so it keeps the fused path. Filter masks
+// weigh view-mask popcounts (stage 1 runs on every visible fact); key
+// columns are decided after the filter masks are filled, so a filtered
+// query weighs the popcount of its materialized filter mask rather than
+// its full visible mass (stage 2 runs only on facts that passed stage 1).
+// Results are byte-identical whichever way the decision goes.
+func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers int) (*sharedArtifacts, SharingStats) {
+	stats := SharingStats{Queries: len(idxs)}
+	n := plans[idxs[0]].fd.n
+	filterUses := map[string]int{}  // sub-fingerprint → queries using it
+	groupUses := map[string]int{}   // sub-fingerprint → (query, grouping) uses
+	filterMass := map[string]int{}  // sub-fingerprint → Σ visible facts
+	filterOwner := map[string]*queryPlan{}
+	groupOwner := map[string]*groupSpec{}
+	visible := make([]int, len(idxs)) // per query-in-group
+	for k, qi := range idxs {
+		p := plans[qi]
+		visible[k] = n
+		if masks[qi] != nil {
+			visible[k] = masks[qi].Count()
+		}
+		if p.filterKey != "" {
+			stats.FilterSets++
+			if filterUses[p.filterKey] == 0 {
+				stats.DistinctFilterSets++
+				filterOwner[p.filterKey] = p
+			}
+			filterUses[p.filterKey]++
+			filterMass[p.filterKey] += visible[k]
+		}
+		for gi := range p.groups {
+			g := &p.groups[gi]
+			stats.GroupKeySets++
+			if groupUses[g.key] == 0 {
+				stats.DistinctGroupings++
+				groupOwner[g.key] = g
+			}
+			groupUses[g.key]++
+		}
+	}
+
+	fd := plans[idxs[0]].fd
+	art := &sharedArtifacts{fd: fd, filterMasks: map[string]*bitset.Set{}, keyCols: map[string][]int32{}}
+	for key, uses := range filterUses {
+		if uses >= 2 && filterMass[key] > n {
+			art.filterMasks[key] = fd.getMask()
+		}
+	}
+	if len(art.filterMasks) > 0 {
+		parallelFill(n, workers, func(lo, hi int) {
+			for key, mask := range art.filterMasks {
+				filterOwner[key].materializeFilterMask(lo, hi, mask)
+			}
+		})
+	}
+
+	// Decide key columns with the filter masks in hand: a query whose
+	// filter mask was materialized decodes keys for at most the facts the
+	// mask passes.
+	matchedBound := map[string]int{}
+	for key, fm := range art.filterMasks {
+		matchedBound[key] = fm.Count()
+	}
+	groupMass := map[string]int{}
+	for k, qi := range idxs {
+		p := plans[qi]
+		mass := visible[k]
+		if bound, ok := matchedBound[p.filterKey]; ok && p.filterKey != "" && bound < mass {
+			mass = bound
+		}
+		for gi := range p.groups {
+			groupMass[p.groups[gi].key] += mass
+		}
+	}
+	for key, uses := range groupUses {
+		if uses >= 2 && groupMass[key] > n {
+			art.keyCols[key] = fd.getKeyCol()
+		}
+	}
+	if len(art.keyCols) > 0 {
+		parallelFill(n, workers, func(lo, hi int) {
+			for key, col := range art.keyCols {
+				groupOwner[key].materializeGroupKeys(lo, hi, col)
+			}
+		})
+	}
+	return art, stats
+}
+
+// planScan builds one query's accumulation drive from the artifacts.
+func planScan(p *queryPlan, view *bitset.Set, art *sharedArtifacts) *queryScan {
+	qs := &queryScan{view: view, iter: view}
+	if len(p.groups) > 0 {
+		qs.keyCols = make([][]int32, len(p.groups))
+		for gi := range p.groups {
+			qs.keyCols[gi] = art.keyCols[p.groups[gi].key] // nil → inline decode
+		}
+	}
+	// A view mask sized before AddFact grew the table cannot be
+	// intersected with a bitmap at the current capacity; such a query
+	// keeps the fused path (ForEachRange clamps, exactly as scanShared
+	// always handled it).
+	if fm := art.filterMasks[p.filterKey]; fm != nil && (view == nil || view.Len() == fm.Len()) {
+		qs.prefiltered = true
+		if view == nil {
+			qs.iter = fm
+		} else {
+			// filter ∩ view, built in a pooled buffer (released with the
+			// artifacts at scan end).
+			eff := art.fd.getMask()
+			eff.UnionWith(fm)
+			eff.IntersectWith(view)
+			qs.iter = eff
+		}
+	}
+	return qs
+}
+
+// releaseArtifacts returns the scan's pooled buffers — shared bitmaps, key
+// columns, and the per-query intersection masks — once no partial needs
+// them (after the final merge; Results never reference artifacts).
+func releaseArtifacts(art *sharedArtifacts, scans []*queryScan) {
+	for _, qs := range scans {
+		if qs.prefiltered && qs.view != nil {
+			art.fd.maskPool.Put(qs.iter)
+		}
+	}
+	for _, m := range art.filterMasks {
+		art.fd.maskPool.Put(m)
+	}
+	for _, col := range art.keyCols {
+		col := col
+		art.fd.colPool.Put(&col)
+	}
+}
+
+// scanSharedStaged runs one fact group's shared scan through the staged
+// pipeline: materialize shared artifacts, then accumulate every query
+// chunk by chunk exactly as scanShared does — same chunk ownership, same
+// worker-order merge — so results are byte-identical to the fused path.
+func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, results []*Result, workers int) SharingStats {
+	art, stats := buildArtifacts(idxs, plans, masks, workers)
+
+	scans := make([]*queryScan, len(idxs))
+	for k, qi := range idxs {
+		scans[k] = planScan(plans[qi], masks[qi], art)
+	}
+
+	n := plans[idxs[0]].fd.n
+	chunks := chunkCount(n)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([][]*partial, workers) // [worker][query-in-group]
+	scanStride := func(w int) {
+		row := make([]*partial, len(idxs))
+		for k, qi := range idxs {
+			row[k] = newPartial(plans[qi])
+		}
+		for ci := w; ci < chunks; ci += workers {
+			lo := ci * execChunkSize
+			hi := lo + execChunkSize
+			if hi > n {
+				hi = n
+			}
+			for k := range idxs {
+				row[k].scanRangeStaged(lo, hi, scans[k])
+			}
+		}
+		parts[w] = row
+	}
+	if workers == 1 {
+		scanStride(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				scanStride(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for k, qi := range idxs {
+		out := parts[0][k]
+		for w := 1; w < workers; w++ {
+			out.merge(parts[w][k])
+		}
+		results[qi] = plans[qi].finalize(out)
+	}
+	releaseArtifacts(art, scans)
+	return stats
+}

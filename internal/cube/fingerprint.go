@@ -2,6 +2,7 @@ package cube
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -12,20 +13,23 @@ import (
 // it is intentionally order-sensitive on GroupBy/Aggregates/Filters —
 // reordered but semantically equal queries simply occupy separate cache
 // entries.
+//
+// The batch executor shares work at a finer grain than whole plans: see
+// FilterFingerprint (the filter-set sub-fingerprint, order-insensitive)
+// and LevelRef.Fingerprint (the per-grouping sub-fingerprint).
 func (q Query) Fingerprint() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "f:%d:%s", len(q.Fact), q.Fact)
 	for _, g := range q.GroupBy {
-		fmt.Fprintf(&b, "|g:%d:%s:%d:%s", len(g.Dimension), g.Dimension, len(g.Level), g.Level)
+		b.WriteByte('|')
+		g.appendFingerprint(&b)
 	}
 	for _, a := range q.Aggregates {
 		fmt.Fprintf(&b, "|a:%d:%d:%s", a.Agg, len(a.Measure), a.Measure)
 	}
 	for _, f := range q.Filters {
-		v := fmt.Sprintf("%T=%v", f.Value, f.Value)
-		fmt.Fprintf(&b, "|w:%d:%s:%d:%s:%d:%s:%d:%d:%s",
-			len(f.Dimension), f.Dimension, len(f.Level), f.Level,
-			len(f.Attr), f.Attr, f.Op, len(v), v)
+		b.WriteByte('|')
+		f.appendFingerprint(&b)
 	}
 	if q.OrderBy != nil {
 		fmt.Fprintf(&b, "|o:%d:%t", q.OrderBy.Agg, q.OrderBy.Desc)
@@ -36,3 +40,50 @@ func (q Query) Fingerprint() string {
 	return b.String()
 }
 
+// appendFingerprint writes the injective encoding of one grouping.
+func (r LevelRef) appendFingerprint(b *strings.Builder) {
+	fmt.Fprintf(b, "g:%d:%s:%d:%s", len(r.Dimension), r.Dimension, len(r.Level), r.Level)
+}
+
+// Fingerprint returns the injective sub-fingerprint of one (dimension,
+// level) grouping: the sharing key under which the batch executor
+// materializes one roll-up key column per distinct grouping in a batch.
+func (r LevelRef) Fingerprint() string {
+	var b strings.Builder
+	r.appendFingerprint(&b)
+	return b.String()
+}
+
+// appendFingerprint writes the injective encoding of one filter.
+func (f AttrFilter) appendFingerprint(b *strings.Builder) {
+	v := fmt.Sprintf("%T=%v", f.Value, f.Value)
+	fmt.Fprintf(b, "w:%d:%s:%d:%s:%d:%s:%d:%d:%s",
+		len(f.Dimension), f.Dimension, len(f.Level), f.Level,
+		len(f.Attr), f.Attr, f.Op, len(v), v)
+}
+
+// FilterFingerprint returns the injective sub-fingerprint of the query's
+// filter set: the sharing key under which the batch executor materializes
+// one filter bitmap per distinct set in a batch. A filter conjunction is
+// order-insensitive (the set of passing facts does not depend on
+// evaluation order), so each filter's injective encoding is length-tagged
+// and the encodings are sorted before joining — reordered but equal filter
+// sets share one artifact, while distinct sets never collide. Queries
+// without filters fingerprint to "".
+func (q Query) FilterFingerprint() string {
+	if len(q.Filters) == 0 {
+		return ""
+	}
+	encs := make([]string, len(q.Filters))
+	for i, f := range q.Filters {
+		var b strings.Builder
+		f.appendFingerprint(&b)
+		encs[i] = b.String()
+	}
+	sort.Strings(encs)
+	var b strings.Builder
+	for _, e := range encs {
+		fmt.Fprintf(&b, "%d:%s", len(e), e)
+	}
+	return b.String()
+}

@@ -71,6 +71,96 @@ func TestFingerprintNoBoundaryCollisions(t *testing.T) {
 	}
 }
 
+// TestFilterFingerprintOrderInsensitive checks the filter-set
+// sub-fingerprint: the batch executor's sharing key must be identical for
+// reordered but equal filter sets (a conjunction is order-insensitive)
+// and distinct for genuinely different sets.
+func TestFilterFingerprintOrderInsensitive(t *testing.T) {
+	pop := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+		Attr: "population", Op: cube.OpGt, Value: float64(1000)}
+	age := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
+		Attr: "age", Op: cube.OpLe, Value: float64(40)}
+	q := func(fs ...cube.AttrFilter) cube.Query { return cube.Query{Fact: "Sales", Filters: fs} }
+
+	if got, want := q(pop, age).FilterFingerprint(), q(age, pop).FilterFingerprint(); got != want {
+		t.Errorf("reordered filter sets do not share: %q vs %q", got, want)
+	}
+	if q().FilterFingerprint() != "" {
+		t.Errorf("empty filter set fingerprints to %q, want \"\"", q().FilterFingerprint())
+	}
+	// Reordering must share the key, but the full plan fingerprint stays
+	// order-sensitive (separate cache entries).
+	if q(pop, age).Fingerprint() == q(age, pop).Fingerprint() {
+		t.Error("plan fingerprint became order-insensitive")
+	}
+}
+
+// TestFilterFingerprintCollisionResistance checks injectivity across
+// filter orderings and field boundaries: distinct filter sets must never
+// collide, including sets whose concatenated fields would align and
+// multisets that differ only in repetition.
+func TestFilterFingerprintCollisionResistance(t *testing.T) {
+	mk := func(dim, level, attr string, op cube.FilterOp, v any) cube.AttrFilter {
+		return cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: dim, Level: level},
+			Attr: attr, Op: op, Value: v}
+	}
+	a := mk("Store", "City", "population", cube.OpGt, float64(1000))
+	b := mk("Customer", "Customer", "age", cube.OpLe, float64(40))
+	c := mk("Product", "Product", "brand", cube.OpEq, "Brand01")
+
+	sets := map[string][]cube.AttrFilter{
+		"a":          {a},
+		"b":          {b},
+		"ab":         {a, b},
+		"abc":        {a, b, c},
+		"aa":         {a, a}, // multiset: repetition matters
+		"boundary-1": {mk("ab", "c", "x", cube.OpEq, "y")},
+		"boundary-2": {mk("a", "bc", "x", cube.OpEq, "y")},
+		"value-type": {mk("Store", "City", "population", cube.OpGt, "1000")},
+		"op":         {mk("Store", "City", "population", cube.OpLt, float64(1000))},
+	}
+	seen := map[string]string{}
+	for name, fs := range sets {
+		fp := cube.Query{Fact: "Sales", Filters: fs}.FilterFingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("filter sets %q and %q collide: %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	// Every permutation of a 3-filter set shares one key.
+	want := cube.Query{Fact: "Sales", Filters: []cube.AttrFilter{a, b, c}}.FilterFingerprint()
+	for _, perm := range [][]cube.AttrFilter{{a, c, b}, {b, a, c}, {b, c, a}, {c, a, b}, {c, b, a}} {
+		if got := (cube.Query{Fact: "Sales", Filters: perm}).FilterFingerprint(); got != want {
+			t.Errorf("permutation fingerprints differ: %q vs %q", got, want)
+		}
+	}
+}
+
+// TestLevelRefFingerprint checks the grouping sub-fingerprint: distinct
+// (dimension, level) pairs get distinct keys, including across the
+// dimension/level boundary.
+func TestLevelRefFingerprint(t *testing.T) {
+	refs := []cube.LevelRef{
+		{Dimension: "Store", Level: "City"},
+		{Dimension: "Store", Level: "State"},
+		{Dimension: "City", Level: "Store"},
+		{Dimension: "ab", Level: "c"},
+		{Dimension: "a", Level: "bc"},
+	}
+	seen := map[string]cube.LevelRef{}
+	for _, r := range refs {
+		fp := r.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%v and %v collide: %q", r, prev, fp)
+		}
+		seen[fp] = r
+	}
+	r := cube.LevelRef{Dimension: "Store", Level: "City"}
+	if r.Fingerprint() != (cube.LevelRef{Dimension: "Store", Level: "City"}).Fingerprint() {
+		t.Error("equal groupings fingerprint differently")
+	}
+}
+
 // TestExecuteBatchCompiled checks the precompiled batch path: identical
 // results to ExecuteBatch, and rejection of nil or foreign-cube plans.
 func TestExecuteBatchCompiled(t *testing.T) {

@@ -97,6 +97,90 @@ func (c *resultCache) stats() (hits, misses, evictions, bytes int64, entries int
 	return c.hits, c.misses, c.evictions, c.bytes, len(c.items)
 }
 
+// doorkeeper is the result cache's admission filter: a result is cached
+// only once its plan fingerprint has been requested at least twice, so
+// one-off exploratory queries pass through without evicting hot entries.
+// It is keyed by the bare plan fingerprint (not the view epoch), so a
+// recurring dashboard tile stays admitted across selections and across
+// users. Two map generations bound the footprint: when the current
+// generation fills up it becomes the old one and a fresh map starts, which
+// forgets fingerprints roughly FIFO without ever scanning.
+type doorkeeper struct {
+	mu       sync.Mutex
+	capacity int
+	cur, old map[string]struct{}
+}
+
+func newDoorkeeper(capacity int) *doorkeeper {
+	return &doorkeeper{capacity: capacity, cur: map[string]struct{}{}}
+}
+
+// request records one request for the fingerprint and reports whether it
+// had been requested before (= the next put for it may cache).
+func (d *doorkeeper) request(fp string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.cur[fp]; ok {
+		return true
+	}
+	if _, ok := d.old[fp]; ok {
+		d.cur[fp] = struct{}{} // keep hot fingerprints in the fresh gen
+		return true
+	}
+	if len(d.cur) >= d.capacity {
+		d.old = d.cur
+		d.cur = map[string]struct{}{}
+	}
+	d.cur[fp] = struct{}{}
+	return false
+}
+
+// errCache is the negative cache for invalid queries: compile errors keyed
+// by query fingerprint. Validation depends only on the cube schema — never
+// on view state — so entries are epoch-agnostic; the bounded FIFO simply
+// forgets old mistakes. A hit answers a repeated malformed query without
+// re-deriving the error or touching the coalesce queue.
+type errCache struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[string]error
+	order    []string // insertion order, the FIFO eviction queue
+}
+
+func newErrCache(capacity int) *errCache {
+	return &errCache{capacity: capacity, m: map[string]error{}}
+}
+
+// get returns the cached compile error for the fingerprint, if any.
+func (c *errCache) get(fp string) (error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err, ok := c.m[fp]
+	return err, ok
+}
+
+// put records a compile error, evicting the oldest entry over capacity.
+func (c *errCache) put(fp string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[fp]; ok {
+		return
+	}
+	if len(c.m) >= c.capacity && len(c.order) > 0 {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.m[fp] = err
+	c.order = append(c.order, fp)
+}
+
+// size returns the number of cached errors.
+func (c *errCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
 // resultSize approximates a Result's memory footprint: struct and slice
 // headers plus string bytes and 8 bytes per aggregate value. It
 // deliberately overcounts a little (headers rounded up) so the byte bound

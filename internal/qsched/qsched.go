@@ -19,6 +19,18 @@
 //     view's (id, epoch) pair answers repeats without any scan. A view
 //     mutation bumps its epoch, so PRML-driven selections invalidate
 //     exactly that session's entries — no scavenging, no stale reads.
+//     Admission is doorkept: a result is cached only once its fingerprint
+//     has been requested at least twice, so one-off exploratory queries
+//     cannot evict hot entries. A bounded negative cache likewise answers
+//     repeated invalid queries from their cached compile error without
+//     re-deriving it or touching the coalesce queue.
+//
+// The scans themselves are sharing-aware: coalesced batches run through
+// cube.ExecuteBatchCompiledOpt, which materializes each distinct filter
+// set and (dimension, level) grouping once per scan and drives every
+// query's accumulation off the shared artifacts (Stats reports the
+// achieved sharing ratios; Options.DisableSharedSubexpr reverts to
+// per-query evaluation).
 package qsched
 
 import (
@@ -65,7 +77,19 @@ type Options struct {
 	// Disabled bypasses queueing and caching entirely: Submit executes
 	// directly. The correctness baseline of the equivalence harness.
 	Disabled bool
+	// DisableSharedSubexpr turns off cross-query subexpression sharing
+	// (shared filter bitmaps and group-key columns) inside coalesced
+	// scans — the A/B baseline for cube.BatchOptions.DisableSharing.
+	DisableSharedSubexpr bool
 }
+
+// negCacheCapacity bounds the negative cache for invalid queries;
+// doorkeeperCapacity bounds one generation of the result-cache admission
+// filter. Both are plain memory bounds, not tuning knobs.
+const (
+	negCacheCapacity   = 512
+	doorkeeperCapacity = 4096
+)
 
 // outcome is one delivered query result.
 type outcome struct {
@@ -81,6 +105,9 @@ type request struct {
 	view    *cube.View
 	epoch   uint64
 	key     string
+	// admit records the doorkeeper's verdict at admission: cache the
+	// result only if the plan fingerprint had been requested before.
+	admit   bool
 	waiters []chan outcome
 }
 
@@ -88,9 +115,11 @@ type request struct {
 // with the epoch-keyed result cache. All methods are safe for concurrent
 // use.
 type Scheduler struct {
-	c     *cube.Cube
-	opts  Options
-	cache *resultCache // nil when caching is disabled
+	c        *cube.Cube
+	opts     Options
+	cache    *resultCache // nil when caching is disabled
+	door     *doorkeeper  // nil when caching is disabled
+	negCache *errCache    // compile errors by fingerprint (always on)
 
 	kick  chan struct{} // wakes the dispatcher (buffered, lossy)
 	slots chan struct{} // in-flight scan semaphore
@@ -114,6 +143,15 @@ type Scheduler struct {
 	stBatches   atomic.Int64
 	stScans     atomic.Int64
 	stMaxQueue  atomic.Int64
+	stNegHits   atomic.Int64
+	stDoorkept  atomic.Int64
+
+	// Cross-query sharing counters, accumulated from every scan's
+	// cube.SharingStats (see Stats.FilterMaskSharing / GroupKeySharing).
+	stFilterSets     atomic.Int64
+	stFilterDistinct atomic.Int64
+	stGroupSets      atomic.Int64
+	stGroupDistinct  atomic.Int64
 }
 
 // New builds a scheduler over the cube and starts its dispatcher (unless
@@ -127,13 +165,15 @@ func New(c *cube.Cube, opts Options) *Scheduler {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
 	s := &Scheduler{
-		c:      c,
-		opts:   opts,
-		queues: map[string][]*request{},
-		byKey:  map[string]*request{},
+		c:        c,
+		opts:     opts,
+		queues:   map[string][]*request{},
+		byKey:    map[string]*request{},
+		negCache: newErrCache(negCacheCapacity),
 	}
 	if opts.CacheBytes > 0 {
 		s.cache = newResultCache(opts.CacheBytes)
+		s.door = newDoorkeeper(doorkeeperCapacity)
 	}
 	if !opts.Disabled {
 		s.kick = make(chan struct{}, 1)
@@ -197,6 +237,7 @@ func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string
 		view  *cube.View
 		epoch uint64
 		key   string
+		admit bool
 	}
 	var pends []pending
 	var firstErr error
@@ -209,19 +250,29 @@ func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string
 		if vs != nil {
 			v = vs[i]
 		}
-		key, epoch := s.cacheKey(q, v)
-		if s.cache != nil {
-			if res, ok := s.cache.get(key); ok {
-				results[i] = res
-				continue
-			}
-		}
-		cq, err := s.c.Compile(q)
-		if err != nil {
+		fp := q.Fingerprint()
+		if err, ok := s.negCache.get(fp); ok {
+			s.stNegHits.Add(1)
 			firstErr = fmt.Errorf("qsched: batch query %d: %w", i, err)
 			break
 		}
-		pends = append(pends, pending{i: i, cq: cq, view: v, epoch: epoch, key: key})
+		key, epoch := s.cacheKey(fp, v)
+		var admit bool
+		if s.cache != nil {
+			if res, ok := s.cache.get(key); ok {
+				s.door.request(fp) // keep hot fingerprints admitted (see submit)
+				results[i] = res
+				continue
+			}
+			admit = s.door.request(fp)
+		}
+		cq, err := s.c.Compile(q)
+		if err != nil {
+			s.negCache.put(fp, err)
+			firstErr = fmt.Errorf("qsched: batch query %d: %w", i, err)
+			break
+		}
+		pends = append(pends, pending{i: i, cq: cq, view: v, epoch: epoch, key: key, admit: admit})
 	}
 	if len(pends) > 0 {
 		s.mu.Lock()
@@ -235,7 +286,7 @@ func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string
 				ch := make(chan outcome, 1)
 				chans[p.i] = ch
 				s.enqueueLocked(&request{cq: p.cq, view: p.view, epoch: p.epoch,
-					key: p.key, waiters: []chan outcome{ch}}, userKey)
+					key: p.key, admit: p.admit, waiters: []chan outcome{ch}}, userKey)
 			}
 			s.mu.Unlock()
 			s.kickDispatcher()
@@ -272,25 +323,41 @@ func (s *Scheduler) submit(q cube.Query, v *cube.View, userKey string) (<-chan o
 		res, err := s.c.ExecuteParallel(q, v, s.opts.Workers)
 		return nil, res, err
 	}
+	// A repeated malformed query is answered from the negative cache
+	// before any key building or compilation — invalid traffic never
+	// reaches the coalesce queue twice.
+	fp := q.Fingerprint()
+	if err, ok := s.negCache.get(fp); ok {
+		s.stNegHits.Add(1)
+		return nil, nil, err
+	}
 	// The epoch is read before execution, so a cached entry's result was
 	// computed from a view state at least as new as its key. A reader that
 	// observes epoch E and hits (id, E, fp) therefore never gets data from
 	// before E — a selection racing the scan can only make the entry
 	// fresher, which is within the view's query-vs-selection semantics
 	// (and runBatch skips caching in that case anyway).
-	key, epoch := s.cacheKey(q, v)
+	key, epoch := s.cacheKey(fp, v)
+	var admit bool
 	if s.cache != nil {
 		if res, ok := s.cache.get(key); ok {
 			// Fingerprints are injective, so a hit proves this exact query
-			// validated before — no need to compile on the hit path.
+			// validated before — no need to compile on the hit path. The
+			// doorkeeper is still touched so a tile hot in the cache stays
+			// admitted when a view mutation forces its next miss.
+			s.door.request(fp)
 			return nil, res, nil
 		}
+		// The doorkeeper decides on the miss: only a fingerprint that has
+		// been requested before earns a cache slot for its result.
+		admit = s.door.request(fp)
 	}
 	// Compile on admission: a malformed query must fail alone, never
 	// abort the shared scan it would have joined — and the scan then
 	// reuses the plan instead of resolving the query a second time.
 	cq, err := s.c.Compile(q)
 	if err != nil {
+		s.negCache.put(fp, err)
 		return nil, nil, err
 	}
 	ch := make(chan outcome, 1)
@@ -299,7 +366,7 @@ func (s *Scheduler) submit(q cube.Query, v *cube.View, userKey string) (<-chan o
 		s.mu.Unlock()
 		return nil, nil, ErrClosed
 	}
-	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key,
+	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key, admit: admit,
 		waiters: []chan outcome{ch}}, userKey)
 	s.mu.Unlock()
 	s.kickDispatcher()
@@ -310,13 +377,13 @@ func (s *Scheduler) submit(q cube.Query, v *cube.View, userKey string) (<-chan o
 // (id, epoch) — and returns the epoch it observed. The comment block in
 // submit explains why reading the epoch before execution is the safe side
 // of the race with concurrent selections.
-func (s *Scheduler) cacheKey(q cube.Query, v *cube.View) (key string, epoch uint64) {
+func (s *Scheduler) cacheKey(fp string, v *cube.View) (key string, epoch uint64) {
 	var viewID uint64
 	if v != nil {
 		viewID = v.ID()
 		epoch = v.Epoch()
 	}
-	return fmt.Sprintf("%d@%d|%s", viewID, epoch, q.Fingerprint()), epoch
+	return fmt.Sprintf("%d@%d|%s", viewID, epoch, fp), epoch
 }
 
 // enqueueLocked admits one request: identical queued requests merge (the
@@ -325,6 +392,10 @@ func (s *Scheduler) cacheKey(q cube.Query, v *cube.View) (key string, epoch uint
 func (s *Scheduler) enqueueLocked(req *request, userKey string) {
 	if prev := s.byKey[req.key]; prev != nil {
 		prev.waiters = append(prev.waiters, req.waiters...)
+		// A second identical request proves the fingerprint is hot, so the
+		// merged execution may cache even if the first arrival was not yet
+		// admitted.
+		prev.admit = prev.admit || req.admit
 		s.stShared.Add(int64(len(req.waiters)))
 		return
 	}
@@ -451,16 +522,31 @@ func (s *Scheduler) runBatch(batch []*request) {
 	s.stBatches.Add(1)
 	s.stExecuted.Add(int64(len(batch)))
 	s.stScans.Add(int64(len(facts)))
-	results, err := s.c.ExecuteBatchCompiled(cqs, vs, s.opts.Workers)
+	results, sharing, err := s.c.ExecuteBatchCompiledOpt(cqs, vs, cube.BatchOptions{
+		Workers:        s.opts.Workers,
+		DisableSharing: s.opts.DisableSharedSubexpr,
+	})
+	if err == nil {
+		s.stFilterSets.Add(int64(sharing.FilterSets))
+		s.stFilterDistinct.Add(int64(sharing.DistinctFilterSets))
+		s.stGroupSets.Add(int64(sharing.GroupKeySets))
+		s.stGroupDistinct.Add(int64(sharing.DistinctGroupings))
+	}
 	for i, r := range batch {
 		out := outcome{err: err}
 		if err == nil {
 			out.res = results[i]
-			// Cache only if the view did not mutate during the scan: the
-			// executor may have seen the newer mask, and an entry must
-			// never claim an epoch older than the data it holds.
-			if s.cache != nil && (r.view == nil || r.view.Epoch() == r.epoch) {
-				s.cache.put(r.key, out.res)
+			// Cache only if the doorkeeper admitted the fingerprint (a
+			// repeat, not a one-off) and the view did not mutate during
+			// the scan: the executor may have seen the newer mask, and an
+			// entry must never claim an epoch older than the data it
+			// holds.
+			if s.cache != nil {
+				if !r.admit {
+					s.stDoorkept.Add(1)
+				} else if r.view == nil || r.view.Epoch() == r.epoch {
+					s.cache.put(r.key, out.res)
+				}
 			}
 		}
 		for _, w := range r.waiters {
@@ -495,11 +581,32 @@ type Stats struct {
 	CacheBytes     int64 `json:"cacheBytes"`
 	CacheEntries   int   `json:"cacheEntries"`
 	CacheEvictions int64 `json:"cacheEvictions"`
+	// CacheDoorkept counts results not cached because their fingerprint
+	// had only been requested once (the admission doorkeeper); NegCacheHits
+	// counts invalid queries answered from the negative cache without
+	// re-compiling; NegCacheEntries is its current size.
+	CacheDoorkept   int64 `json:"cacheDoorkept"`
+	NegCacheHits    int64 `json:"negCacheHits"`
+	NegCacheEntries int   `json:"negCacheEntries"`
+	// Cross-query subexpression sharing inside coalesced scans (all zero
+	// when DisableSharedSubexpr is set): FilterSets counts queries that
+	// carried filters, FilterMasks the distinct filter bitmaps their scans
+	// needed; GroupKeySets counts (query, grouping) pairs, GroupKeyCols
+	// the distinct roll-up key columns.
+	FilterSets   int64 `json:"filterSets"`
+	FilterMasks  int64 `json:"filterMasks"`
+	GroupKeySets int64 `json:"groupKeySets"`
+	GroupKeyCols int64 `json:"groupKeyCols"`
 	// CoalesceRatio is queries answered per fact scan, (Executed + Shared)
 	// / FactScans: > 1 means the scheduler is saving scans. CacheHitRate
-	// is hits / lookups. Both 0 until there is data.
-	CoalesceRatio float64 `json:"coalesceRatio"`
-	CacheHitRate  float64 `json:"cacheHitRate"`
+	// is hits / lookups. FilterMaskSharing and GroupKeySharing are
+	// instances per distinct artifact (FilterSets/FilterMasks and
+	// GroupKeySets/GroupKeyCols): > 1 means batches actually shared
+	// stage-1/2 work. All 0 until there is data.
+	CoalesceRatio     float64 `json:"coalesceRatio"`
+	CacheHitRate      float64 `json:"cacheHitRate"`
+	FilterMaskSharing float64 `json:"filterMaskSharing"`
+	GroupKeySharing   float64 `json:"groupKeySharing"`
 }
 
 // Stats snapshots the scheduler's counters.
@@ -511,6 +618,15 @@ func (s *Scheduler) Stats() Stats {
 		Batches:       s.stBatches.Load(),
 		FactScans:     s.stScans.Load(),
 		MaxQueueDepth: s.stMaxQueue.Load(),
+		CacheDoorkept: s.stDoorkept.Load(),
+		NegCacheHits:  s.stNegHits.Load(),
+		FilterSets:    s.stFilterSets.Load(),
+		FilterMasks:   s.stFilterDistinct.Load(),
+		GroupKeySets:  s.stGroupSets.Load(),
+		GroupKeyCols:  s.stGroupDistinct.Load(),
+	}
+	if s.negCache != nil {
+		st.NegCacheEntries = s.negCache.size()
 	}
 	if s.cache != nil {
 		st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes, st.CacheEntries = s.cache.stats()
@@ -526,6 +642,12 @@ func (s *Scheduler) Stats() Stats {
 	}
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	if st.FilterMasks > 0 {
+		st.FilterMaskSharing = float64(st.FilterSets) / float64(st.FilterMasks)
+	}
+	if st.GroupKeyCols > 0 {
+		st.GroupKeySharing = float64(st.GroupKeySets) / float64(st.GroupKeyCols)
 	}
 	return st
 }

@@ -138,9 +138,11 @@ func TestDedupIdenticalConcurrentQueries(t *testing.T) {
 	}
 }
 
-// TestCacheHitAndEpochInvalidation checks the personalized cache path: a
-// repeat query is a hit, a view mutation (epoch bump) is a miss that
-// recomputes against the new state, and the stale entry is never served.
+// TestCacheHitAndEpochInvalidation checks the personalized cache path:
+// the doorkeeper admits a fingerprint on its second request (the first
+// request of a one-off is never cached), a later repeat is a hit, a view
+// mutation (epoch bump) is a miss that recomputes against the new state,
+// and the stale entry is never served.
 func TestCacheHitAndEpochInvalidation(t *testing.T) {
 	ds := testDataset(t)
 	s := New(ds.Cube, Options{CacheBytes: 1 << 20})
@@ -150,16 +152,26 @@ func TestCacheHitAndEpochInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	first, err := s.Submit(countQuery, v, "alice")
+	first, err := s.Submit(countQuery, v, "alice") // one-off: not cached
 	if err != nil {
 		t.Fatal(err)
 	}
-	again, err := s.Submit(countQuery, v, "alice")
+	if st := s.Stats(); st.CacheDoorkept != 1 {
+		t.Errorf("doorkept = %d after one-off, want 1", st.CacheDoorkept)
+	}
+	second, err := s.Submit(countQuery, v, "alice") // admitted and cached
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != first {
+	third, err := s.Submit(countQuery, v, "alice") // served from cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third != second {
 		t.Error("repeat query did not return the cached result")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached result differs from the first execution")
 	}
 	if st := s.Stats(); st.CacheHits != 1 {
 		t.Errorf("cache hits = %d, want 1", st.CacheHits)
@@ -369,7 +381,7 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 func TestCloseRejectsCachedQueries(t *testing.T) {
 	ds := testDataset(t)
 	s := New(ds.Cube, Options{CacheBytes: 1 << 20})
-	for i := 0; i < 2; i++ { // second submit is a cache hit
+	for i := 0; i < 3; i++ { // doorkeeper admits on the 2nd, 3rd is a hit
 		if _, err := s.Submit(countQuery, nil, "alice"); err != nil {
 			t.Fatal(err)
 		}
@@ -380,6 +392,152 @@ func TestCloseRejectsCachedQueries(t *testing.T) {
 	s.Close()
 	if _, err := s.Submit(countQuery, nil, "alice"); err != ErrClosed {
 		t.Errorf("cached query after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestNegativeCacheRepeatedInvalidQueries checks that a repeated invalid
+// query is answered from the negative cache — same error, one compile —
+// and that distinct invalid queries occupy distinct entries.
+func TestNegativeCacheRepeatedInvalidQueries(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{})
+	defer s.Close()
+	bad := cube.Query{Fact: "Ghost", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}}
+
+	_, err1 := s.Submit(bad, nil, "alice")
+	if err1 == nil {
+		t.Fatal("invalid query accepted")
+	}
+	if st := s.Stats(); st.NegCacheHits != 0 || st.NegCacheEntries != 1 {
+		t.Fatalf("after first failure: negHits=%d entries=%d, want 0/1", st.NegCacheHits, st.NegCacheEntries)
+	}
+	_, err2 := s.Submit(bad, nil, "bob") // cached, regardless of user
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("cached error differs: %v vs %v", err2, err1)
+	}
+	bad2 := cube.Query{Fact: "Sales"} // no aggregates
+	if _, err := s.Submit(bad2, nil, "alice"); err == nil {
+		t.Fatal("aggregate-less query accepted")
+	}
+	st := s.Stats()
+	if st.NegCacheHits != 1 || st.NegCacheEntries != 2 {
+		t.Errorf("negHits=%d entries=%d, want 1/2", st.NegCacheHits, st.NegCacheEntries)
+	}
+	// The batch path consults the same negative cache.
+	if _, err := s.SubmitBatch([]cube.Query{bad}, nil, "carol"); err == nil {
+		t.Fatal("batch with cached-invalid query accepted")
+	}
+	if st := s.Stats(); st.NegCacheHits != 2 {
+		t.Errorf("negHits after batch = %d, want 2", st.NegCacheHits)
+	}
+	// A valid query still passes untouched.
+	if _, err := s.Submit(countQuery, nil, "alice"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrCacheBounded checks the negative cache's FIFO bound directly.
+func TestErrCacheBounded(t *testing.T) {
+	c := newErrCache(3)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("fp%d", i), fmt.Errorf("err%d", i))
+	}
+	if c.size() != 3 {
+		t.Fatalf("size = %d, want 3", c.size())
+	}
+	for _, fp := range []string{"fp0", "fp1"} {
+		if _, ok := c.get(fp); ok {
+			t.Errorf("%s survived FIFO eviction", fp)
+		}
+	}
+	for _, fp := range []string{"fp2", "fp3", "fp4"} {
+		if _, ok := c.get(fp); !ok {
+			t.Errorf("%s missing", fp)
+		}
+	}
+	// Re-putting an existing key neither duplicates nor evicts.
+	c.put("fp4", fmt.Errorf("other"))
+	if err, _ := c.get("fp4"); err == nil || err.Error() != "err4" {
+		t.Errorf("re-put replaced entry: %v", err)
+	}
+}
+
+// TestDoorkeeperRotation checks the admission filter: first request of a
+// fingerprint is not admitted, the second is, and generation rotation
+// keeps hot fingerprints while forgetting cold ones.
+func TestDoorkeeperRotation(t *testing.T) {
+	d := newDoorkeeper(2)
+	if d.request("a") {
+		t.Error("first request of a admitted")
+	}
+	if !d.request("a") {
+		t.Error("second request of a not admitted")
+	}
+	// Fill the current generation ("a" + "b"), then force rotation.
+	d.request("b")
+	d.request("c") // rotates: old={a,b}, cur={c}
+	if !d.request("a") {
+		t.Error("hot fingerprint forgotten across one rotation")
+	}
+	// Two full rotations without touching "b" forget it.
+	d.request("d")
+	d.request("e")
+	d.request("f")
+	if d.request("b") {
+		t.Error("cold fingerprint survived two rotations")
+	}
+}
+
+// TestSharingStatsReported checks that a batch whose queries share a
+// filter set and a grouping reports sharing ratios > 1 through Stats, and
+// that DisableSharedSubexpr zeroes the counters while returning identical
+// results.
+func TestSharingStatsReported(t *testing.T) {
+	ds := testDataset(t)
+	filters := []cube.AttrFilter{{
+		LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: cube.OpGt, Value: float64(100000),
+	}}
+	qs := make([]cube.Query, 6)
+	for i := range qs {
+		qs[i] = cube.Query{
+			Fact:       "Sales",
+			GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+			Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}},
+			Filters:    filters,
+			Limit:      i + 1, // distinct plans, shared subexpressions
+		}
+	}
+
+	shared := New(ds.Cube, Options{})
+	defer shared.Close()
+	resShared, err := shared.SubmitBatch(qs, nil, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := shared.Stats()
+	if st.FilterSets != 6 || st.FilterMasks != 1 {
+		t.Errorf("filter sharing = %d/%d, want 6/1", st.FilterSets, st.FilterMasks)
+	}
+	if st.GroupKeySets != 6 || st.GroupKeyCols != 1 {
+		t.Errorf("group sharing = %d/%d, want 6/1", st.GroupKeySets, st.GroupKeyCols)
+	}
+	if st.FilterMaskSharing <= 1 || st.GroupKeySharing <= 1 {
+		t.Errorf("sharing ratios = %.1f/%.1f, want > 1", st.FilterMaskSharing, st.GroupKeySharing)
+	}
+
+	plain := New(ds.Cube, Options{DisableSharedSubexpr: true})
+	defer plain.Close()
+	resPlain, err := plain.SubmitBatch(qs, nil, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := plain.Stats(); st.FilterSets != 0 || st.GroupKeySets != 0 {
+		t.Errorf("sharing counters with sharing disabled = %d/%d, want 0/0",
+			st.FilterSets, st.GroupKeySets)
+	}
+	if !reflect.DeepEqual(resShared, resPlain) {
+		t.Error("shared and unshared batch results differ")
 	}
 }
 

@@ -20,7 +20,9 @@
 //	GET  /api/geojson?session=...[&selected=1][&simplify=0.01]
 //	                                                   → personalized map (GeoJSON)
 //	GET  /api/stats                                    → query-scheduler counters
-//	                                                     (coalesce ratio, cache hit rate, queue depth)
+//	                                                     (coalesce ratio, cache hit rate, queue depth,
+//	                                                     filter-mask / group-key sharing ratios,
+//	                                                     negative-cache and admission counters)
 //	GET  /api/healthz                                  → liveness
 package webapi
 
@@ -585,8 +587,11 @@ func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats serves the query scheduler's counters: how many queries
-// coalesced into how few shared scans, result-cache effectiveness, and the
-// live queue depth — the observability surface of internal/qsched.
+// coalesced into how few shared scans, result-cache effectiveness
+// (including doorkeeper admissions and the negative cache), how much
+// cross-query stage work batch scans shared (filter-mask and group-key
+// sharing ratios), and the live queue depth — the observability surface of
+// internal/qsched.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return

@@ -655,8 +655,10 @@ func TestMapSVGEndpoint(t *testing.T) {
 }
 
 // TestStatsEndpoint checks the scheduler observability surface: after a
-// mix of fresh and repeated queries, /api/stats reports the submissions,
-// cache traffic, and a coalesce ratio.
+// mix of fresh and repeated queries plus a sharing-heavy batch, /api/stats
+// reports the submissions, cache traffic (under the doorkeeper admission
+// policy: the first request of a fingerprint is never cached), a coalesce
+// ratio, and the cross-query sharing ratios.
 func TestStatsEndpoint(t *testing.T) {
 	srv, ds := newTestServerOpts(t, core.Options{ResultCacheBytes: 1 << 20})
 	loc := ds.CityLocs[0]
@@ -668,7 +670,7 @@ func TestStatsEndpoint(t *testing.T) {
 		"aggregates": []map[string]string{{"agg": "COUNT"}},
 	}
 	var answers []string
-	for i := 0; i < 3; i++ { // repeats exercise the result cache
+	for i := 0; i < 3; i++ { // 1st doorkept, 2nd cached, 3rd a hit
 		resp, body := postJSON(t, srv.URL+"/api/query", spec)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("query %d: %s %s", i, resp.Status, body)
@@ -681,29 +683,60 @@ func TestStatsEndpoint(t *testing.T) {
 		}
 	}
 
-	resp, body := getBody(t, srv.URL+"/api/stats")
+	// A batch of queries sharing one grouping: one shared scan whose
+	// group-key column is decoded once for all three.
+	tile := func(limit int) map[string]any {
+		return map[string]any{
+			"fact":       "Sales",
+			"groupBy":    []map[string]string{{"dimension": "Store", "level": "City"}},
+			"aggregates": []map[string]string{{"agg": "SUM", "measure": "UnitSales"}},
+			"limit":      limit,
+		}
+	}
+	resp, body := postJSON(t, srv.URL+"/api/query/batch", map[string]any{
+		"session": tok,
+		"queries": []map[string]any{tile(1), tile(2), tile(3)},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %s %s", resp.Status, body)
+	}
+
+	resp, body = getBody(t, srv.URL+"/api/stats")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats: %s %s", resp.Status, body)
 	}
 	var st struct {
-		Submitted     int64   `json:"submitted"`
-		CacheHits     int64   `json:"cacheHits"`
-		Executed      int64   `json:"executed"`
-		FactScans     int64   `json:"factScans"`
-		CoalesceRatio float64 `json:"coalesceRatio"`
-		QueueDepth    int     `json:"queueDepth"`
+		Submitted       int64   `json:"submitted"`
+		CacheHits       int64   `json:"cacheHits"`
+		CacheDoorkept   int64   `json:"cacheDoorkept"`
+		Executed        int64   `json:"executed"`
+		FactScans       int64   `json:"factScans"`
+		CoalesceRatio   float64 `json:"coalesceRatio"`
+		QueueDepth      int     `json:"queueDepth"`
+		GroupKeySets    int64   `json:"groupKeySets"`
+		GroupKeyCols    int64   `json:"groupKeyCols"`
+		GroupKeySharing float64 `json:"groupKeySharing"`
 	}
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatalf("stats JSON: %v (%s)", err, body)
 	}
-	if st.Submitted != 3 {
-		t.Errorf("submitted = %d, want 3", st.Submitted)
+	if st.Submitted != 6 {
+		t.Errorf("submitted = %d, want 6", st.Submitted)
 	}
-	if st.CacheHits != 2 {
-		t.Errorf("cacheHits = %d, want 2", st.CacheHits)
+	if st.CacheHits != 1 {
+		t.Errorf("cacheHits = %d, want 1", st.CacheHits)
 	}
-	if st.Executed != 1 || st.FactScans != 1 {
-		t.Errorf("executed/factScans = %d/%d, want 1/1", st.Executed, st.FactScans)
+	if st.CacheDoorkept == 0 {
+		t.Error("cacheDoorkept = 0, want the first-seen fingerprints doorkept")
+	}
+	if st.Executed != 5 || st.FactScans != 3 {
+		t.Errorf("executed/factScans = %d/%d, want 5/3", st.Executed, st.FactScans)
+	}
+	if st.GroupKeySets != 3 || st.GroupKeyCols != 1 {
+		t.Errorf("groupKeySets/groupKeyCols = %d/%d, want 3/1", st.GroupKeySets, st.GroupKeyCols)
+	}
+	if st.GroupKeySharing <= 1 {
+		t.Errorf("groupKeySharing = %.1f, want > 1", st.GroupKeySharing)
 	}
 	if st.QueueDepth != 0 {
 		t.Errorf("queueDepth = %d, want 0 at rest", st.QueueDepth)

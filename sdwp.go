@@ -119,8 +119,19 @@ type (
 	LevelRef = cube.LevelRef
 	// MeasureAgg is one aggregate column of a query.
 	MeasureAgg = cube.MeasureAgg
+	// AttrFilter restricts facts by a dimension attribute at some level.
+	AttrFilter = cube.AttrFilter
+	// FilterOp enumerates attribute comparison operators.
+	FilterOp = cube.FilterOp
 	// View is a personalized window over a cube.
 	View = cube.View
+	// BatchOptions configures one shared batch scan
+	// (Cube.ExecuteBatchOpt): worker count and the cross-query
+	// subexpression-sharing A/B switch.
+	BatchOptions = cube.BatchOptions
+	// SharingStats reports how much cross-query stage work one batch scan
+	// shared (filter bitmaps, group-key columns).
+	SharingStats = cube.SharingStats
 )
 
 // Aggregation functions.
@@ -130,6 +141,16 @@ const (
 	AVG   = cube.AggAvg
 	MIN   = cube.AggMin
 	MAX   = cube.AggMax
+)
+
+// Filter comparison operators (AttrFilter.Op).
+const (
+	OpEq = cube.OpEq
+	OpNe = cube.OpNe
+	OpLt = cube.OpLt
+	OpLe = cube.OpLe
+	OpGt = cube.OpGt
+	OpGe = cube.OpGe
 )
 
 // NewCube creates an empty cube for a GeoMD schema.
@@ -150,9 +171,20 @@ type (
 	// SelectionResult reports a spatial selection's effect.
 	SelectionResult = core.SelectionResult
 	// SchedulerStats snapshots the engine's query-scheduler counters:
-	// coalesce ratio, cache hit rate, queue depth (Engine.SchedulerStats,
+	// coalesce ratio, cache hit rate, queue depth, and the cross-query
+	// subexpression-sharing ratios (Engine.SchedulerStats,
 	// GET /api/stats).
 	SchedulerStats = qsched.Stats
+	// SharedSubexprMode toggles cross-query subexpression sharing inside
+	// batch scans (EngineOptions.SharedSubexpr).
+	SharedSubexprMode = core.SharedSubexprMode
+)
+
+// Shared-subexpression modes for EngineOptions.SharedSubexpr: sharing is
+// on by default, SharedSubexprOff restores per-query evaluation.
+const (
+	SharedSubexprOn  = core.SharedSubexprOn
+	SharedSubexprOff = core.SharedSubexprOff
 )
 
 // ParseRules parses PRML source into rules (without registering them).
