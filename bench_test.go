@@ -602,3 +602,98 @@ endWhen`); err != nil {
 		})
 	}
 }
+
+// BenchmarkShardedScan measures the sharded fact-table executor: the same
+// eight-query dashboard batch answered by the single-table engine
+// (FactShards 1 — exactly the pre-shard path) vs scatter-gather over
+// hash-partitioned shards. Results are identical across rows; the win is
+// per-shard parallelism (on multi-CPU hosts) and per-shard ingest locks.
+func BenchmarkShardedScan(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	var qs []Query
+	for _, level := range []string{"Store", "City", "State", "Country"} {
+		for _, measure := range []string{"UnitSales", "StoreSales"} {
+			qs = append(qs, Query{
+				Fact:       "Sales",
+				GroupBy:    []LevelRef{{Dimension: "Store", Level: level}},
+				Aggregates: []MeasureAgg{{Measure: measure, Agg: SUM}},
+			})
+		}
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			users, err := NewSalesUserStore(map[string]string{"alice": "RegionalSalesManager"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := NewEngine(env.ds.Cube, users, EngineOptions{FactShards: shards, QueryWorkers: 2})
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExecuteBatch(qs, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArtifactCacheHit measures the cross-batch artifact cache: a
+// sharing-heavy batch repeated against an unchanged table must take its
+// filter bitmap and key columns from the cache instead of re-materializing
+// them every scan (cold = no cache, warm = cache primed by the first run).
+func BenchmarkArtifactCacheHit(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	filters := []AttrFilter{{
+		LevelRef: LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: OpGt, Value: float64(100000),
+	}}
+	var qs []Query
+	for _, level := range []string{"Store", "City", "State", "Country"} {
+		for _, measure := range []string{"UnitSales", "StoreSales"} {
+			qs = append(qs, Query{
+				Fact:       "Sales",
+				GroupBy:    []LevelRef{{Dimension: "Store", Level: level}},
+				Aggregates: []MeasureAgg{{Measure: measure, Agg: SUM}},
+				Filters:    filters,
+			})
+		}
+	}
+	for _, cached := range []bool{false, true} {
+		name := "cold"
+		if cached {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			users, err := NewSalesUserStore(map[string]string{"alice": "RegionalSalesManager"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := EngineOptions{QueryWorkers: 2}
+			if cached {
+				opts.ArtifactCacheBytes = 64 << 20
+			}
+			e := NewEngine(env.ds.Cube, users, opts)
+			defer e.Close()
+			// Prime: the first batch materializes and (warm mode) caches.
+			if _, err := e.ExecuteBatch(qs, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExecuteBatch(qs, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if cached {
+				st := e.SchedulerStats()
+				if st.ArtifactCache.Hits < int64(b.N) {
+					b.Fatalf("artifact cache hits = %d, want >= %d", st.ArtifactCache.Hits, b.N)
+				}
+			}
+		})
+	}
+}

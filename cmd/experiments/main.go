@@ -61,6 +61,8 @@ func main() {
 	runC8()
 	header("C9 — cross-query subexpression sharing: shared filter bitmaps + group-key columns")
 	runC9()
+	header("C10 — sharded fact table: scatter-gather scans + cross-batch artifact cache")
+	runC10()
 }
 
 func header(s string) {
@@ -656,6 +658,87 @@ endWhen`
 		for _, s := range sessions {
 			mustErr(e.EndSession(s))
 		}
+		e.Close()
+	}
+}
+
+// runC10 measures the sharded fact-table executor A/B: the same 16-query
+// dashboard batch answered by the single-table engine vs scatter-gather
+// over 2/4/8 hash-partitioned shards (results are identical; the shard
+// columns show the fan-out and the per-shard fact balance), plus the
+// cross-batch artifact cache (repeated batches stop re-materializing
+// their shared filter bitmaps and key columns — the hit rate column).
+func runC10() {
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Stores = 2000
+	cfg.Sales = 200000
+	if *full {
+		cfg.Sales = 1000000
+	}
+	ds := must(sdwp.GenerateData(cfg))
+	users := must(sdwp.NewSalesUserStore(map[string]string{"alice": "RegionalSalesManager"}))
+
+	filters := []sdwp.AttrFilter{{
+		LevelRef: sdwp.LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: sdwp.OpGt, Value: float64(100000),
+	}}
+	var qs []sdwp.Query
+	for _, level := range []string{"Store", "City", "State", "Country"} {
+		for _, measure := range []string{"UnitSales", "StoreSales"} {
+			for _, limit := range []int{0, 5} {
+				qs = append(qs, sdwp.Query{
+					Fact:       "Sales",
+					GroupBy:    []sdwp.LevelRef{{Dimension: "Store", Level: level}},
+					Aggregates: []sdwp.MeasureAgg{{Measure: measure, Agg: sdwp.SUM}},
+					Filters:    filters,
+					Limit:      limit,
+				})
+			}
+		}
+	}
+
+	const rounds = 5
+	fmt.Printf("  batch of %d queries x %d rounds, %d facts, %d CPUs\n",
+		len(qs), rounds, cfg.Sales, runtime.GOMAXPROCS(0))
+	fmt.Printf("  %14s %12s %10s %10s %14s %12s\n",
+		"mode", "wall/round", "shardscans", "balance", "artifact-hits", "vs 1 shard")
+	var base time.Duration
+	for _, shards := range []int{1, 2, 4, 8} {
+		e := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{
+			FactShards:         shards,
+			QueryWorkers:       2,
+			ArtifactCacheBytes: 64 << 20,
+		})
+		t := timeIt(rounds, func() {
+			must(e.ExecuteBatch(qs, nil))
+		}) / rounds
+		st := e.SchedulerStats()
+		balance := "-"
+		if len(st.ShardFactCounts) > 1 {
+			min, max := st.ShardFactCounts[0], st.ShardFactCounts[0]
+			for _, c := range st.ShardFactCounts {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			balance = fmt.Sprintf("%.2f", float64(min)/float64(max))
+		}
+		name := "unsharded"
+		if shards > 1 {
+			name = fmt.Sprintf("%d shards", shards)
+		}
+		speedup := "1.0x"
+		if shards == 1 {
+			base = t
+		} else if t > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(base)/float64(t))
+		}
+		fmt.Printf("  %14s %12s %10d %10s %14d %12s\n",
+			name, t.Round(time.Microsecond), st.ShardScans, balance,
+			st.ArtifactCache.Hits, speedup)
 		e.Close()
 	}
 }

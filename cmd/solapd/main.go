@@ -11,6 +11,7 @@
 //	       [-coalesce-window 500us] [-max-inflight-scans 2]
 //	       [-result-cache-mb 32] [-max-batch-queries 64]
 //	       [-shared-subexpr=true]
+//	       [-fact-shards 0] [-query-timeout 0] [-artifact-cache-mb 0]
 package main
 
 import (
@@ -54,6 +55,12 @@ func main() {
 			"max queries per batch, shared by coalesced scans and POST /api/query/batch (0 = default 64)")
 		sharedSubexpr = flag.Bool("shared-subexpr", true,
 			"share filter bitmaps and group-key columns across the queries of each batch scan (false = per-query evaluation, the A/B baseline)")
+		factShards = flag.Int("fact-shards", 0,
+			"hash-partition every fact table into N shards behind the scheduler (scatter-gather scans, per-shard ingest locks); 0 or 1 = single-table path")
+		queryTimeout = flag.Duration("query-timeout", 0,
+			"admission deadline: a query still queued this long is dropped with an error instead of executing late (0 = no deadline)")
+		artifactCacheMB = flag.Int("artifact-cache-mb", 0,
+			"cross-batch artifact cache in MiB: hot filter bitmaps and roll-up key columns survive between scans, invalidated by table-version bumps (0 = off; split across shards when sharded)")
 	)
 	flag.Parse()
 
@@ -108,12 +115,15 @@ func main() {
 		sharedMode = sdwp.SharedSubexprOff
 	}
 	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{
-		QueryWorkers:     *workers,
-		CoalesceWindow:   *coalesceWindow,
-		MaxInFlightScans: *maxInFlight,
-		ResultCacheBytes: int64(*cacheMB) << 20,
-		MaxBatchQueries:  *maxBatch,
-		SharedSubexpr:    sharedMode,
+		QueryWorkers:       *workers,
+		CoalesceWindow:     *coalesceWindow,
+		MaxInFlightScans:   *maxInFlight,
+		ResultCacheBytes:   int64(*cacheMB) << 20,
+		MaxBatchQueries:    *maxBatch,
+		SharedSubexpr:      sharedMode,
+		FactShards:         *factShards,
+		QueryTimeout:       *queryTimeout,
+		ArtifactCacheBytes: int64(*artifactCacheMB) << 20,
 	})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 
@@ -159,8 +169,9 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("solapd: %d stores / %d cities / %d facts, %d rules, %d users\n",
-		cfg.Stores, cfg.Cities, warehouse.FactData("Sales").Len(), len(rules), len(roles))
+	fmt.Printf("solapd: %d stores / %d cities / %d facts, %d rules, %d users, %d fact shard(s)\n",
+		cfg.Stores, cfg.Cities, warehouse.FactData("Sales").Len(), len(rules), len(roles),
+		engine.FactShards())
 	fmt.Printf("solapd: listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, sdwp.NewHTTPServer(engine)))
 }

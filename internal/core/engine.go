@@ -24,6 +24,7 @@ import (
 	"sdwp/internal/geom"
 	"sdwp/internal/prml"
 	"sdwp/internal/qsched"
+	"sdwp/internal/shard"
 	"sdwp/internal/usermodel"
 )
 
@@ -89,10 +90,81 @@ type Options struct {
 	// default; SharedSubexprOff restores the per-query evaluation of PR 1
 	// for A/B benching. Results are identical either way.
 	SharedSubexpr SharedSubexprMode
+	// FactShards hash-partitions every fact table into this many shards
+	// behind the scheduler (internal/shard): ingest and scans then scale
+	// across independent per-shard locks and the scatter-gather executor
+	// merges per-shard partials into results identical to the unsharded
+	// engine. 0 or 1 keeps today's single-table path exactly. With shards,
+	// MaxInFlightScans also bounds the per-batch shard-scan fan-out.
+	FactShards int
+	// QueryTimeout is the scheduler's admission deadline: a query still
+	// queued this long is dropped with a descriptive error instead of
+	// executing late (0 = no deadline). Per-request contexts passed to
+	// Session.QueryCtx/QueryBatchCtx can tighten it per query.
+	QueryTimeout time.Duration
+	// ArtifactCacheBytes sizes the cross-batch artifact cache: hot filter
+	// bitmaps and roll-up key columns survive between batch scans, keyed
+	// by sub-fingerprint and invalidated by table-version bumps on
+	// AddFact/member mutation (0 = off). On a sharded engine the budget is
+	// split evenly across the shards.
+	ArtifactCacheBytes int64
 }
 
 // QueryWorkers returns the engine's configured query worker-pool size.
 func (e *Engine) QueryWorkers() int { return e.opts.QueryWorkers }
+
+// lockedCubeExec is the unsharded engine's executor: the cube fronted by
+// one RWMutex so Engine.AddFact (write) is safe against in-flight scans
+// and compiles (read). The sharded table has finer-grained per-shard
+// locks and does this itself; here a single warehouse-wide lock matches
+// the single fact table it guards. Reads are shared, so concurrent
+// queries pay one uncontended RLock per scan.
+type lockedCubeExec struct {
+	mu sync.RWMutex
+	c  *cube.Cube
+}
+
+func (l *lockedCubeExec) Compile(q cube.Query) (*cube.CompiledQuery, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.c.Compile(q)
+}
+
+func (l *lockedCubeExec) ExecuteParallel(q cube.Query, v *cube.View, workers int) (*cube.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.c.ExecuteParallel(q, v, workers)
+}
+
+func (l *lockedCubeExec) ExecuteBatch(qs []cube.Query, vs []*cube.View, workers int) ([]*cube.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.c.ExecuteBatch(qs, vs, workers)
+}
+
+func (l *lockedCubeExec) ExecuteBatchCompiledOpt(cqs []*cube.CompiledQuery, vs []*cube.View, opts cube.BatchOptions) ([]*cube.Result, cube.SharingStats, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.c.ExecuteBatchCompiledOpt(cqs, vs, opts)
+}
+
+// addFact appends under the write lock: no scan or compile is mid-flight
+// while fact columns reallocate.
+func (l *lockedCubeExec) addFact(fact string, keys map[string]int32, measures map[string]float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.AddFact(fact, keys, measures)
+}
+
+// materializeView builds a view's combined fact masks under the read
+// lock (mask building walks the fact key columns).
+func (l *lockedCubeExec) materializeView(v *cube.View, facts []string) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, f := range facts {
+		v.Materialize(f)
+	}
+}
 
 // Engine is the personalization engine for one warehouse deployment.
 type Engine struct {
@@ -100,6 +172,17 @@ type Engine struct {
 	users *usermodel.Store
 	opts  Options
 	sched *qsched.Scheduler
+	// exec is what the scheduler dispatches to: the RWMutex-fronted cube,
+	// or — with Options.FactShards > 1 — the sharded table routing
+	// scatter-gather scans across fact shards.
+	exec qsched.Executor
+	// locked is the unsharded executor (nil on a sharded engine).
+	locked *lockedCubeExec
+	// shards is non-nil on a sharded engine (exec is then the table).
+	shards *shard.Table
+	// artifacts is the unsharded engine's cross-batch artifact cache
+	// (sharded engines keep one per shard inside the table).
+	artifacts *cube.ArtifactCache
 
 	mu       sync.Mutex
 	rules    []*prml.Rule
@@ -111,24 +194,44 @@ type Engine struct {
 // NewEngine creates an engine over a loaded cube and a user-profile store.
 // The engine owns a query scheduler (see internal/qsched) that every
 // session's queries route through; long-lived deployments should Close the
-// engine to stop it.
+// engine to stop it. With Options.FactShards > 1 the engine also derives
+// the fact shards here (hash-redistributing already-loaded facts), so all
+// warehouse loading should precede engine construction — and subsequent
+// ingest must go through Engine.AddFact so shards stay consistent.
 func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
-	return &Engine{
-		cube:  c,
-		users: users,
-		opts:  opts,
-		sched: qsched.New(c, qsched.Options{
-			Window:               opts.CoalesceWindow,
-			MaxBatch:             opts.MaxBatchQueries,
-			MaxInFlight:          opts.MaxInFlightScans,
-			CacheBytes:           opts.ResultCacheBytes,
-			Workers:              opts.QueryWorkers,
-			Disabled:             opts.DisableScheduler,
-			DisableSharedSubexpr: opts.SharedSubexpr == SharedSubexprOff,
-		}),
+	e := &Engine{
+		cube:     c,
+		users:    users,
+		opts:     opts,
 		params:   map[string]prml.Value{},
 		sessions: map[string]*Session{},
 	}
+	if opts.FactShards > 1 {
+		e.shards = shard.New(c, shard.Options{
+			Shards:             opts.FactShards,
+			MaxInFlightScans:   opts.MaxInFlightScans,
+			ArtifactCacheBytes: opts.ArtifactCacheBytes,
+		})
+		e.exec = e.shards
+	} else {
+		e.locked = &lockedCubeExec{c: c}
+		e.exec = e.locked
+		if opts.ArtifactCacheBytes > 0 {
+			e.artifacts = cube.NewArtifactCache(opts.ArtifactCacheBytes)
+		}
+	}
+	e.sched = qsched.New(e.exec, qsched.Options{
+		Window:               opts.CoalesceWindow,
+		MaxBatch:             opts.MaxBatchQueries,
+		MaxInFlight:          opts.MaxInFlightScans,
+		CacheBytes:           opts.ResultCacheBytes,
+		Workers:              opts.QueryWorkers,
+		Disabled:             opts.DisableScheduler,
+		DisableSharedSubexpr: opts.SharedSubexpr == SharedSubexprOff,
+		Timeout:              opts.QueryTimeout,
+		Artifacts:            e.artifacts,
+	})
+	return e
 }
 
 // Close stops the engine's query scheduler: queued queries drain, new ones
@@ -136,8 +239,50 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 func (e *Engine) Close() { e.sched.Close() }
 
 // SchedulerStats snapshots the query scheduler's counters (coalesce ratio,
-// cache hit rate, queue depth — what GET /api/stats serves).
-func (e *Engine) SchedulerStats() qsched.Stats { return e.sched.Stats() }
+// cache hit rate, queue depth — what GET /api/stats serves), composed with
+// the shard layer's view when the engine is sharded: shard count,
+// per-shard fact balance, scan fan-out, and the aggregated cross-batch
+// artifact-cache counters.
+func (e *Engine) SchedulerStats() qsched.Stats {
+	st := e.sched.Stats()
+	if e.shards != nil {
+		ss := e.shards.Stats()
+		st.FactShards = ss.Shards
+		st.ShardFactCounts = ss.FactCounts
+		st.ShardScans = ss.ShardScans
+		st.ArtifactCache = ss.ArtifactCache
+	}
+	return st
+}
+
+// FactShards returns the engine's shard count (1 = unsharded).
+func (e *Engine) FactShards() int {
+	if e.shards == nil {
+		return 1
+	}
+	return e.shards.Shards()
+}
+
+// AddFact appends a fact instance to the warehouse, safely against the
+// engine's in-flight queries on either path: on an unsharded engine the
+// append takes the executor's write lock (scans hold its read lock); on
+// a sharded one it routes the instance to its key-hashed shard under the
+// shard's lock and records the global→(shard, local) mapping. Live
+// ingest must come through here (or shard.Table.AddFact) — calling
+// cube.AddFact directly bypasses both the locking and, when sharded, the
+// routing (such facts are invisible to shard scans).
+//
+// The scheduler's result cache is keyed by view epochs, which track
+// selections, not ingest: deployments querying repeatedly during live
+// ingest should run with ResultCacheBytes 0 or accept entries up to one
+// cache lifetime stale (the cross-batch artifact cache, by contrast, is
+// version-keyed and never serves pre-ingest artifacts).
+func (e *Engine) AddFact(fact string, keys map[string]int32, measures map[string]float64) error {
+	if e.shards != nil {
+		return e.shards.AddFact(fact, keys, measures)
+	}
+	return e.locked.addFact(fact, keys, measures)
+}
 
 // MaxBatchQueries returns the effective per-batch query cap shared by the
 // scheduler's coalesced scans and the web API's batch endpoint.
@@ -275,9 +420,17 @@ func (e *Engine) StartSession(userID string, location geom.Geometry) (*Session, 
 	}
 	// Pre-materialize the personalized view so the session's first query
 	// pays no selection cost (the paper's one-time "the spatial analysis
-	// have been done" property, Section 4.2.4).
+	// have been done" property, Section 4.2.4). Mask building walks the
+	// fact key columns, so it takes the same read lock the scans use —
+	// safe against concurrent Engine.AddFact on both paths.
+	facts := make([]string, 0, len(e.cube.Schema().MD.Facts))
 	for _, f := range e.cube.Schema().MD.Facts {
-		s.view.Materialize(f.Name)
+		facts = append(facts, f.Name)
+	}
+	if e.shards != nil {
+		e.shards.MaterializeView(s.view, facts)
+	} else {
+		e.locked.materializeView(s.view, facts)
 	}
 
 	e.mu.Lock()
@@ -311,9 +464,21 @@ func (e *Engine) ExecuteBatch(qs []cube.Query, sessions []*Session) ([]*cube.Res
 			}
 		}
 	}
-	res, _, err := e.cube.ExecuteBatchOpt(qs, vs, cube.BatchOptions{
+	// Compile through the executor (cube or sharded table) so the scan
+	// runs wherever the scheduler's scans run — on a sharded engine this
+	// is the scatter-gather path.
+	cqs := make([]*cube.CompiledQuery, len(qs))
+	for i, q := range qs {
+		cq, err := e.exec.Compile(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+		cqs[i] = cq
+	}
+	res, _, err := e.exec.ExecuteBatchCompiledOpt(cqs, vs, cube.BatchOptions{
 		Workers:        e.opts.QueryWorkers,
 		DisableSharing: e.opts.SharedSubexpr == SharedSubexprOff,
+		Artifacts:      e.artifacts,
 	})
 	return res, err
 }

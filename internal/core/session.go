@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -59,13 +60,26 @@ func (s *Session) Location() geom.Geometry { return s.location }
 // other sessions' concurrent queries, or execute alone — always with a
 // result identical to the direct serial path.
 func (s *Session) Query(q cube.Query) (*cube.Result, error) {
-	return s.engine.sched.Submit(q, s.View(), s.UserID)
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with a per-request context: cancellation unblocks the
+// caller, and a context deadline (or core.Options.QueryTimeout) drops the
+// query from the admission queue instead of executing it late.
+func (s *Session) QueryCtx(ctx context.Context, q cube.Query) (*cube.Result, error) {
+	return s.engine.sched.SubmitCtx(ctx, q, s.View(), s.UserID)
 }
 
 // QueryBaseline runs the same query against the whole warehouse (the
 // non-personalized baseline of experiment C1), also scheduler-routed.
 func (s *Session) QueryBaseline(q cube.Query) (*cube.Result, error) {
-	return s.engine.sched.Submit(q, nil, s.UserID)
+	return s.QueryBaselineCtx(context.Background(), q)
+}
+
+// QueryBaselineCtx is QueryBaseline with a per-request context (see
+// QueryCtx).
+func (s *Session) QueryBaselineCtx(ctx context.Context, q cube.Query) (*cube.Result, error) {
+	return s.engine.sched.SubmitCtx(ctx, q, nil, s.UserID)
 }
 
 // QueryBatch answers a batch of queries through the scheduler: each entry
@@ -75,6 +89,12 @@ func (s *Session) QueryBaseline(q cube.Query) (*cube.Result, error) {
 // queries that bypass the personalized view (nil = all personalized;
 // otherwise one entry per query).
 func (s *Session) QueryBatch(qs []cube.Query, baseline []bool) ([]*cube.Result, error) {
+	return s.QueryBatchCtx(context.Background(), qs, baseline)
+}
+
+// QueryBatchCtx is QueryBatch with a per-request context scoping the
+// whole batch (see QueryCtx).
+func (s *Session) QueryBatchCtx(ctx context.Context, qs []cube.Query, baseline []bool) ([]*cube.Result, error) {
 	if baseline != nil && len(baseline) != len(qs) {
 		return nil, fmt.Errorf("core: batch has %d queries but %d baseline flags", len(qs), len(baseline))
 	}
@@ -85,7 +105,7 @@ func (s *Session) QueryBatch(qs []cube.Query, baseline []bool) ([]*cube.Result, 
 			vs[i] = v
 		}
 	}
-	return s.engine.sched.SubmitBatch(qs, vs, s.UserID)
+	return s.engine.sched.SubmitBatchCtx(ctx, qs, vs, s.UserID)
 }
 
 // exec runs one rule body in this session's environment.

@@ -17,6 +17,7 @@ package cube
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sdwp/internal/geoidx"
 	"sdwp/internal/geom"
@@ -165,6 +166,14 @@ type FactData struct {
 	dimKeys  map[string][]int32
 	measures map[string][]float64
 
+	// version counts mutations that can change what a scan over this table
+	// computes: AddFact appends, and member/attribute mutations on any
+	// dimension the warehouse shares (those move roll-up ancestors and
+	// filter attribute values). It is the invalidation key of the
+	// cross-batch ArtifactCache — a cached filter bitmap or key column is
+	// only served while the version it was built under is still current.
+	version atomic.Uint64
+
 	// colPool and maskPool recycle the batch executor's scan-scoped
 	// artifacts (roll-up key columns and filter/visibility bitmaps, all
 	// sized to n) so high-rate coalesced batches do not churn the GC; see
@@ -173,6 +182,9 @@ type FactData struct {
 	colPool  sync.Pool
 	maskPool sync.Pool
 }
+
+// Version returns the table's mutation counter (see the field comment).
+func (fd *FactData) Version() uint64 { return fd.version.Load() }
 
 // Len returns the number of fact instances.
 func (fd *FactData) Len() int { return fd.n }
@@ -225,6 +237,19 @@ type Cube struct {
 	dims   map[string]*DimData
 	facts  map[string]*FactData
 	layers map[string]*LayerData // the geographic catalog: all loadable layers
+
+	// shardParent is non-nil on a cube created by NewFactShard: the cube
+	// whose dimension and layer data this shard shares. Rebind uses it to
+	// verify a compiled plan and its rebinding target describe the same
+	// warehouse metadata.
+	shardParent *Cube
+	// shardMu guards shardKids: the shards derived from this cube.
+	// Member/attribute mutations on the parent must bump every shard's
+	// fact-table versions too — shard scans validate cross-batch artifacts
+	// against their own FactData's version, and shards share the parent's
+	// member data by reference.
+	shardMu   sync.Mutex
+	shardKids []*Cube
 }
 
 // New creates an empty cube for the schema.
@@ -262,6 +287,71 @@ func New(s *geomd.Schema) *Cube {
 // Schema returns the cube's base GeoMD schema.
 func (c *Cube) Schema() *geomd.Schema { return c.schema }
 
+// NewFactShard derives a shard cube: it shares this cube's schema,
+// dimension tables and layer catalog by reference but starts with empty
+// fact tables of its own. The shard subsystem (internal/shard) uses it to
+// hash-partition one logical fact table into independent scan units — each
+// shard has its own fact columns, bitset pools and table version, so
+// ingest into one shard never contends with scans over another, while
+// roll-up caches and member attributes stay shared (dimension data is
+// identical across shards by construction).
+//
+// Member and attribute loading must be complete before shards are derived:
+// shards share the parent's live LevelData/DimData, so later member
+// mutations affect all shards at once and must not race in-flight scans
+// (the same discipline CompiledQuery already documents).
+func (c *Cube) NewFactShard() *Cube {
+	parent := c
+	if c.shardParent != nil {
+		parent = c.shardParent
+	}
+	s := &Cube{
+		schema:      c.schema,
+		dims:        c.dims,
+		facts:       map[string]*FactData{},
+		layers:      c.layers,
+		shardParent: parent,
+	}
+	for _, f := range c.schema.MD.Facts {
+		fd := &FactData{fact: f, dimKeys: map[string][]int32{}, measures: map[string][]float64{}}
+		for _, dn := range f.Dimensions {
+			fd.dimKeys[dn] = nil
+		}
+		for _, m := range f.Measures {
+			fd.measures[m.Name] = nil
+		}
+		s.facts[f.Name] = fd
+	}
+	parent.shardMu.Lock()
+	parent.shardKids = append(parent.shardKids, s)
+	parent.shardMu.Unlock()
+	return s
+}
+
+// bumpFactVersions invalidates every fact table's artifact-cache version
+// after a member or attribute mutation (roll-up ancestors and filter
+// attribute columns feed every table's scans). Shards share the mutated
+// member data by reference and validate artifacts against their own
+// FactData versions, so the bump fans out across the whole shard family —
+// whichever family member the mutation came in through.
+func (c *Cube) bumpFactVersions() {
+	root := c
+	if c.shardParent != nil {
+		root = c.shardParent
+	}
+	for _, fd := range root.facts {
+		fd.version.Add(1)
+	}
+	root.shardMu.Lock()
+	kids := append([]*Cube(nil), root.shardKids...)
+	root.shardMu.Unlock()
+	for _, kid := range kids {
+		for _, fd := range kid.facts {
+			fd.version.Add(1)
+		}
+	}
+}
+
 // Dimension returns a dimension's data, or nil.
 func (c *Cube) Dimension(name string) *DimData { return c.dims[name] }
 
@@ -296,6 +386,7 @@ func (c *Cube) AddMember(dim, level, descriptor string, parent int32) (int32, er
 		}
 	}
 	dd.invalidateAncestors()
+	c.bumpFactVersions()
 	idx := int32(ld.Len())
 	ld.names = append(ld.names, descriptor)
 	ld.parents = append(ld.parents, parent)
@@ -324,6 +415,7 @@ func (c *Cube) SetMemberAttr(dim, level string, member int32, attr string, v any
 	if int(member) >= ld.Len() {
 		return fmt.Errorf("cube: member %d out of range for %s.%s", member, dim, level)
 	}
+	c.bumpFactVersions()
 	if a.Kind == mdmodel.KindDescriptor {
 		s, ok := v.(string)
 		if !ok {
@@ -410,6 +502,7 @@ func (c *Cube) AddFact(fact string, keys map[string]int32, measures map[string]f
 		fd.measures[m.Name] = append(fd.measures[m.Name], measures[m.Name])
 	}
 	fd.n++
+	fd.version.Add(1)
 	return nil
 }
 

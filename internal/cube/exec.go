@@ -622,6 +622,51 @@ func (c *Cube) Compile(q Query) (*CompiledQuery, error) {
 // Query returns the source query of the plan.
 func (cq *CompiledQuery) Query() Query { return cq.p.q }
 
+// Rebind clones the plan onto another cube's fact columns. The target must
+// share this plan's warehouse metadata — it is either the same cube, a
+// fact shard derived from it via NewFactShard, or a sibling shard — so
+// every name the plan resolved (levels, attributes, roll-up caches) stays
+// valid and only the fact-local bindings (dimension key columns, measure
+// columns, table handle) are swapped. This is how the shard executor
+// compiles a query once and fans it out: one resolve, N cheap rebinds.
+func (cq *CompiledQuery) Rebind(target *Cube) (*CompiledQuery, error) {
+	if target == cq.c {
+		return cq, nil
+	}
+	src, dst := cq.c, target
+	if src.shardParent != nil {
+		src = src.shardParent
+	}
+	if dst.shardParent != nil {
+		dst = dst.shardParent
+	}
+	if src != dst {
+		return nil, fmt.Errorf("cube: cannot rebind plan for fact %q onto an unrelated cube", cq.p.q.Fact)
+	}
+	p := cq.p
+	fd := target.facts[p.q.Fact]
+	if fd == nil {
+		return nil, fmt.Errorf("cube: rebind target has no fact %q", p.q.Fact)
+	}
+	np := *p
+	np.fd = fd
+	np.groups = append([]groupSpec(nil), p.groups...)
+	for i := range np.groups {
+		np.groups[i].keys = fd.dimKeys[np.groups[i].dd.dim.Name]
+	}
+	np.filters = append([]filterSpec(nil), p.filters...)
+	for i := range np.filters {
+		np.filters[i].keys = fd.dimKeys[np.filters[i].f.Dimension]
+	}
+	np.measureCols = make([][]float64, len(p.measureCols))
+	for j, a := range p.q.Aggregates {
+		if p.measureCols[j] != nil {
+			np.measureCols[j] = fd.measures[a.Measure]
+		}
+	}
+	return &CompiledQuery{c: target, p: &np}, nil
+}
+
 // BatchOptions configures one shared batch scan.
 type BatchOptions struct {
 	// Workers sizes the chunk worker pool exactly as in ExecuteParallel.
@@ -630,6 +675,11 @@ type BatchOptions struct {
 	// group-key decode inside the shared scan — the A/B baseline for the
 	// cross-query subexpression sharing that is otherwise on by default.
 	DisableSharing bool
+	// Artifacts optionally carries a cross-batch artifact cache (see
+	// exec_cache.go): hot filter bitmaps and roll-up key columns then
+	// survive between scans instead of being re-materialized per batch.
+	// nil keeps artifacts scan-scoped (pooled), exactly as before.
+	Artifacts *ArtifactCache
 }
 
 // SharingStats reports how much cross-query stage-1/2 work one batch
@@ -650,15 +700,20 @@ type SharingStats struct {
 	// key columns the scan conceptually needs).
 	GroupKeySets      int `json:"groupKeySets"`
 	DistinctGroupings int `json:"distinctGroupings"`
+	// ArtifactCacheHits counts artifacts this scan took from the
+	// cross-batch cache instead of re-materializing (0 without a cache).
+	ArtifactCacheHits int `json:"artifactCacheHits"`
 }
 
-// add folds one fact-group's stats into the batch total.
-func (s *SharingStats) add(o SharingStats) {
+// Add folds another scan's stats in (the batch executor totals its
+// per-fact-group scans; the shard table totals its per-shard scans).
+func (s *SharingStats) Add(o SharingStats) {
 	s.Queries += o.Queries
 	s.FilterSets += o.FilterSets
 	s.DistinctFilterSets += o.DistinctFilterSets
 	s.GroupKeySets += o.GroupKeySets
 	s.DistinctGroupings += o.DistinctGroupings
+	s.ArtifactCacheHits += o.ArtifactCacheHits
 }
 
 // ExecuteBatch answers a batch of queries — e.g. many users' personalized
@@ -729,9 +784,21 @@ func (c *Cube) ExecuteBatchCompiledOpt(cqs []*CompiledQuery, vs []*View, opts Ba
 			masks[i] = vs[i].Materialize(cq.p.q.Fact)
 		}
 	}
+	parts, stats := executeBatchPartials(plans, masks, opts)
+	results := make([]*Result, len(cqs))
+	for i, pt := range parts {
+		results[i] = plans[i].finalize(pt)
+	}
+	return results, stats, nil
+}
 
-	// Group queries by fact (first-appearance order) so each fact table is
-	// scanned once per batch.
+// executeBatchPartials is the shared core of the batch executors: group
+// queries by fact (first-appearance order) so each fact table is scanned
+// once per batch, run the shared scans, and return one fully merged (but
+// not yet finalized) partial per query. masks are pre-materialized view
+// masks (nil = whole table).
+func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOptions) ([]*partial, SharingStats) {
+	var stats SharingStats
 	var factOrder []string
 	groups := map[string][]int{}
 	for i, p := range plans {
@@ -740,27 +807,91 @@ func (c *Cube) ExecuteBatchCompiledOpt(cqs []*CompiledQuery, vs []*View, opts Ba
 		}
 		groups[p.q.Fact] = append(groups[p.q.Fact], i)
 	}
-
-	results := make([]*Result, len(cqs))
+	parts := make([]*partial, len(plans))
 	for _, fact := range factOrder {
 		w := normalizeWorkers(opts.Workers)
 		if opts.DisableSharing {
-			scanShared(groups[fact], plans, masks, results, w)
+			scanShared(groups[fact], plans, masks, parts, w)
 		} else {
-			stats.add(scanSharedStaged(groups[fact], plans, masks, results, w))
+			stats.Add(scanSharedStaged(groups[fact], plans, masks, parts, w, opts.Artifacts))
 		}
 	}
-	return results, stats, nil
+	return parts, stats
+}
+
+// BatchPartial is one query's merged partial aggregation state from a
+// shared scan over one cube — typically one fact shard. Partials from
+// sibling shards of the same scatter merge through MergeFinalize into the
+// Result the unsharded executor would have produced.
+type BatchPartial struct {
+	p  *queryPlan
+	pt *partial
+}
+
+// ExecuteBatchCompiledPartials runs the same shared scan as
+// ExecuteBatchCompiledOpt but stops before finalize, returning each
+// query's merged partial. masks pairs each query with a pre-materialized
+// visibility mask over this cube's fact table (nil entry or nil slice =
+// whole table); the shard layer passes the per-shard slice of a split
+// view mask here. Plans must be compiled for (or rebound onto) this cube.
+func (c *Cube) ExecuteBatchCompiledPartials(cqs []*CompiledQuery, masks []*bitset.Set, opts BatchOptions) ([]*BatchPartial, SharingStats, error) {
+	var stats SharingStats
+	if masks != nil && len(masks) != len(cqs) {
+		return nil, stats, fmt.Errorf("cube: batch has %d queries but %d masks", len(cqs), len(masks))
+	}
+	plans := make([]*queryPlan, len(cqs))
+	for i, cq := range cqs {
+		if cq == nil || cq.c != c {
+			return nil, stats, fmt.Errorf("cube: batch query %d not compiled for this cube", i)
+		}
+		plans[i] = cq.p
+	}
+	if masks == nil {
+		masks = make([]*bitset.Set, len(cqs))
+	}
+	parts, stats := executeBatchPartials(plans, masks, opts)
+	out := make([]*BatchPartial, len(parts))
+	for i, pt := range parts {
+		out[i] = &BatchPartial{p: plans[i], pt: pt}
+	}
+	return out, stats, nil
+}
+
+// MergeFinalize gathers a scatter: shards[s][i] is query i's partial from
+// shard s. Per query, the shard partials are merged in shard order — the
+// same deterministic convention as the executor's worker-order merge — and
+// finalized into the Result the unsharded engine would return (AVG divides
+// merged sums by merged counts, MIN/MAX narrow). The partials are consumed.
+func MergeFinalize(shards [][]*BatchPartial) ([]*Result, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cube: merge of zero shards")
+	}
+	nq := len(shards[0])
+	for s, parts := range shards {
+		if len(parts) != nq {
+			return nil, fmt.Errorf("cube: shard %d has %d partials, want %d", s, len(parts), nq)
+		}
+	}
+	results := make([]*Result, nq)
+	for i := 0; i < nq; i++ {
+		base := shards[0][i]
+		for s := 1; s < len(shards); s++ {
+			base.pt.merge(shards[s][i].pt)
+		}
+		results[i] = base.p.finalize(base.pt)
+	}
+	return results, nil
 }
 
 // scanShared runs one shared scan for all queries over one fact table
 // with the stages fused per query (no cross-query artifact sharing) — the
 // BatchOptions.DisableSharing baseline; see exec_shared.go for the staged
-// variant. idxs indexes plans/masks/results; every plan shares the same
+// variant. idxs indexes plans/masks/out; every plan shares the same
 // FactData. Each worker keeps one partial per query and walks its chunks
 // through all queries before moving on, so a chunk of fact columns is
-// aggregated by the whole batch while it is cache-hot.
-func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, results []*Result, workers int) {
+// aggregated by the whole batch while it is cache-hot. The merged partial
+// per query lands in out (callers finalize).
+func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers int) {
 	n := plans[idxs[0]].fd.n
 	chunks := chunkCount(n)
 	if workers > chunks {
@@ -801,10 +932,10 @@ func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, results []*
 		wg.Wait()
 	}
 	for k, qi := range idxs {
-		out := parts[0][k]
+		merged := parts[0][k]
 		for w := 1; w < workers; w++ {
-			out.merge(parts[w][k])
+			merged.merge(parts[w][k])
 		}
-		results[qi] = plans[qi].finalize(out)
+		out[qi] = merged
 	}
 }

@@ -1,0 +1,167 @@
+package cube_test
+
+// Unit coverage of the cross-batch ArtifactCache through the batch
+// executor: repeated batches hit, table mutations invalidate, the byte
+// bound evicts, and results never change whichever way a lookup goes.
+
+import (
+	"reflect"
+	"testing"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/datagen"
+)
+
+func cacheTestBatch() []cube.Query {
+	filters := []cube.AttrFilter{{
+		LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: cube.OpGt, Value: float64(100000),
+	}}
+	var qs []cube.Query
+	for _, level := range []string{"Store", "City", "State"} {
+		for _, agg := range []cube.MeasureAgg{
+			{Measure: "UnitSales", Agg: cube.AggSum},
+			{Agg: cube.AggCount},
+		} {
+			qs = append(qs, cube.Query{
+				Fact:       "Sales",
+				GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: level}},
+				Aggregates: []cube.MeasureAgg{agg},
+				Filters:    filters,
+			})
+		}
+	}
+	return qs
+}
+
+func TestArtifactCacheHitStaleAndEquivalence(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 5, States: 5, Cities: 15, Stores: 80, Customers: 60,
+		Products: 30, Days: 30, Sales: 4000,
+		AirportEvery: 5, TrainLines: 4, Hospitals: 5, Highways: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := cacheTestBatch()
+	ac := cube.NewArtifactCache(16 << 20)
+	run := func(label string) []*cube.Result {
+		res, _, err := ds.Cube.ExecuteBatchOpt(qs, nil, cube.BatchOptions{Artifacts: ac})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return res
+	}
+
+	baseline := make([]*cube.Result, len(qs))
+	for i, q := range qs {
+		baseline[i], err = ds.Cube.Execute(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := run("first")
+	if st := ac.Stats(); st.Entries == 0 {
+		t.Fatalf("first batch cached nothing: %+v", st)
+	}
+	hitsAfterFirst := ac.Stats().Hits
+	second := run("second")
+	st := ac.Stats()
+	if st.Hits <= hitsAfterFirst {
+		t.Fatalf("repeat batch did not hit the cache: %+v", st)
+	}
+	for i := range qs {
+		if !reflect.DeepEqual(first[i], baseline[i]) || !reflect.DeepEqual(second[i], baseline[i]) {
+			t.Errorf("case %d: cached execution differs from serial", i)
+		}
+	}
+
+	// AddFact bumps the table version: the next batch must observe stale
+	// entries, re-materialize, and still match the serial oracle.
+	if err := ds.Cube.AddFact("Sales", map[string]int32{
+		"Store": 0, "Customer": 0, "Product": 0, "Time": 0,
+	}, map[string]float64{"UnitSales": 3}); err != nil {
+		t.Fatal(err)
+	}
+	third := run("after-addfact")
+	if got := ac.Stats(); got.Stale == 0 {
+		t.Errorf("AddFact did not invalidate cached artifacts: %+v", got)
+	}
+	for i, q := range qs {
+		want, err := ds.Cube.Execute(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(third[i], want) {
+			t.Errorf("case %d: post-mutation cached execution differs from serial", i)
+		}
+	}
+
+	// Member attribute mutation invalidates too (filter columns moved).
+	if err := ds.Cube.SetMemberAttr("Store", "City", 0, "population", float64(1)); err != nil {
+		t.Fatal(err)
+	}
+	staleBefore := ac.Stats().Stale
+	fourth := run("after-attr")
+	if got := ac.Stats(); got.Stale <= staleBefore {
+		t.Errorf("SetMemberAttr did not invalidate cached artifacts: %+v", got)
+	}
+	for i, q := range qs {
+		want, err := ds.Cube.Execute(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fourth[i], want) {
+			t.Errorf("case %d: post-attr cached execution differs from serial", i)
+		}
+	}
+}
+
+func TestArtifactCacheEviction(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 9, States: 4, Cities: 12, Stores: 60, Customers: 50,
+		Products: 20, Days: 20, Sales: 3000,
+		AirportEvery: 4, TrainLines: 3, Hospitals: 4, Highways: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cache barely big enough for one key column (4 bytes/fact) forces
+	// displacement as distinct groupings stream through.
+	ac := cube.NewArtifactCache(int64(4*3000 + 64))
+	for round := 0; round < 3; round++ {
+		for _, level := range []string{"Store", "City", "State", "Country"} {
+			qs := []cube.Query{
+				{Fact: "Sales", GroupBy: []cube.LevelRef{{Dimension: "Store", Level: level}},
+					Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}}},
+				{Fact: "Sales", GroupBy: []cube.LevelRef{{Dimension: "Store", Level: level}},
+					Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}},
+			}
+			res, _, err := ds.Cube.ExecuteBatchOpt(qs, nil, cube.BatchOptions{Artifacts: ac})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				want, werr := ds.Cube.Execute(q, nil)
+				if werr != nil {
+					t.Fatal(werr)
+				}
+				if !reflect.DeepEqual(res[i], want) {
+					t.Errorf("round %d level %s case %d: differs under eviction pressure",
+						round, level, i)
+				}
+			}
+		}
+	}
+	st := ac.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("tiny cache never evicted: %+v", st)
+	}
+	if st.Bytes > int64(4*3000+64) {
+		t.Errorf("cache exceeds its byte bound: %+v", st)
+	}
+	if st.Entries > 1 {
+		// One key column fits; a second must displace the first.
+		t.Logf("note: %d entries resident (%d bytes)", st.Entries, st.Bytes)
+	}
+}

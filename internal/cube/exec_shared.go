@@ -28,11 +28,30 @@ import (
 // Artifacts are scan-scoped and recycled through the fact table's pools
 // (releaseArtifacts) — a busy scheduler materializes them thousands of
 // times per second, and allocating them fresh each scan showed up as GC
-// pressure that starved concurrent writers on small hosts.
+// pressure that starved concurrent writers on small hosts — unless they
+// came from (or were handed to) the cross-batch ArtifactCache, in which
+// case the cache owns them: cached artifacts are immutable, may be read
+// by several concurrent scans, and are never returned to the pools.
 type sharedArtifacts struct {
 	fd          *FactData
 	filterMasks map[string]*bitset.Set // filter-set sub-fingerprint → bitmap
 	keyCols     map[string][]int32     // grouping sub-fingerprint → key column
+	// cacheOwned marks sub-fingerprints (either kind) whose artifact the
+	// cross-batch cache owns; releaseArtifacts must not pool those.
+	cacheOwned map[string]bool
+}
+
+// owned reports whether the artifact under key belongs to the cache.
+func (a *sharedArtifacts) owned(key string) bool {
+	return a.cacheOwned != nil && a.cacheOwned[key]
+}
+
+// markOwned records that the cache owns the artifact under key.
+func (a *sharedArtifacts) markOwned(key string) {
+	if a.cacheOwned == nil {
+		a.cacheOwned = map[string]bool{}
+	}
+	a.cacheOwned[key] = true
 }
 
 // getKeyCol takes a recycled (or fresh) key column sized to the table.
@@ -157,7 +176,13 @@ func parallelFill(n, workers int, fill func(lo, hi int)) {
 // query weighs the popcount of its materialized filter mask rather than
 // its full visible mass (stage 2 runs only on facts that passed stage 1).
 // Results are byte-identical whichever way the decision goes.
-func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers int) (*sharedArtifacts, SharingStats) {
+//
+// With a cross-batch cache, every distinct sub-fingerprint is first looked
+// up by (fingerprint, table version): a hit is free, so it is used even by
+// a single query, and freshly filled artifacts are handed to the cache so
+// the next batch's lookup hits. Cache-owned artifacts are immutable and
+// bypass the pools.
+func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers int, cache *ArtifactCache) (*sharedArtifacts, SharingStats) {
 	stats := SharingStats{Queries: len(idxs)}
 	n := plans[idxs[0]].fd.n
 	filterUses := map[string]int{}  // sub-fingerprint → queries using it
@@ -193,18 +218,37 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 	}
 
 	fd := plans[idxs[0]].fd
+	version := fd.version.Load()
 	art := &sharedArtifacts{fd: fd, filterMasks: map[string]*bitset.Set{}, keyCols: map[string][]int32{}}
+	fillMasks := map[string]*bitset.Set{} // freshly materialized this scan
 	for key, uses := range filterUses {
+		if cache != nil {
+			if m := cache.getMask(fd, version, key); m != nil {
+				art.filterMasks[key] = m
+				art.markOwned(key)
+				stats.ArtifactCacheHits++
+				continue
+			}
+		}
 		if uses >= 2 && filterMass[key] > n {
-			art.filterMasks[key] = fd.getMask()
+			m := fd.getMask()
+			art.filterMasks[key] = m
+			fillMasks[key] = m
 		}
 	}
-	if len(art.filterMasks) > 0 {
+	if len(fillMasks) > 0 {
 		parallelFill(n, workers, func(lo, hi int) {
-			for key, mask := range art.filterMasks {
+			for key, mask := range fillMasks {
 				filterOwner[key].materializeFilterMask(lo, hi, mask)
 			}
 		})
+		if cache != nil {
+			for key, m := range fillMasks {
+				if cache.putMask(fd, version, key, m) {
+					art.markOwned(key)
+				}
+			}
+		}
 	}
 
 	// Decide key columns with the filter masks in hand: a query whose
@@ -225,17 +269,35 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 			groupMass[p.groups[gi].key] += mass
 		}
 	}
+	fillCols := map[string][]int32{}
 	for key, uses := range groupUses {
+		if cache != nil {
+			if col := cache.getCol(fd, version, key); col != nil {
+				art.keyCols[key] = col
+				art.markOwned(key)
+				stats.ArtifactCacheHits++
+				continue
+			}
+		}
 		if uses >= 2 && groupMass[key] > n {
-			art.keyCols[key] = fd.getKeyCol()
+			col := fd.getKeyCol()
+			art.keyCols[key] = col
+			fillCols[key] = col
 		}
 	}
-	if len(art.keyCols) > 0 {
+	if len(fillCols) > 0 {
 		parallelFill(n, workers, func(lo, hi int) {
-			for key, col := range art.keyCols {
+			for key, col := range fillCols {
 				groupOwner[key].materializeGroupKeys(lo, hi, col)
 			}
 		})
+		if cache != nil {
+			for key, col := range fillCols {
+				if cache.putCol(fd, version, key, col) {
+					art.markOwned(key)
+				}
+			}
+		}
 	}
 	return art, stats
 }
@@ -272,27 +334,38 @@ func planScan(p *queryPlan, view *bitset.Set, art *sharedArtifacts) *queryScan {
 // releaseArtifacts returns the scan's pooled buffers — shared bitmaps, key
 // columns, and the per-query intersection masks — once no partial needs
 // them (after the final merge; Results never reference artifacts).
+// Cache-owned artifacts are skipped: the cross-batch cache keeps them for
+// future scans (possibly reading them concurrently), so pooling them would
+// hand a mutable buffer to a reader.
 func releaseArtifacts(art *sharedArtifacts, scans []*queryScan) {
 	for _, qs := range scans {
 		if qs.prefiltered && qs.view != nil {
 			art.fd.maskPool.Put(qs.iter)
 		}
 	}
-	for _, m := range art.filterMasks {
+	for key, m := range art.filterMasks {
+		if art.owned(key) {
+			continue
+		}
 		art.fd.maskPool.Put(m)
 	}
-	for _, col := range art.keyCols {
+	for key, col := range art.keyCols {
+		if art.owned(key) {
+			continue
+		}
 		col := col
 		art.fd.colPool.Put(&col)
 	}
 }
 
 // scanSharedStaged runs one fact group's shared scan through the staged
-// pipeline: materialize shared artifacts, then accumulate every query
-// chunk by chunk exactly as scanShared does — same chunk ownership, same
-// worker-order merge — so results are byte-identical to the fused path.
-func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, results []*Result, workers int) SharingStats {
-	art, stats := buildArtifacts(idxs, plans, masks, workers)
+// pipeline: materialize shared artifacts (taking cross-batch cached ones
+// when a cache is given), then accumulate every query chunk by chunk
+// exactly as scanShared does — same chunk ownership, same worker-order
+// merge — so results are byte-identical to the fused path. The merged
+// partial per query lands in out (callers finalize).
+func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers int, cache *ArtifactCache) SharingStats {
+	art, stats := buildArtifacts(idxs, plans, masks, workers, cache)
 
 	scans := make([]*queryScan, len(idxs))
 	for k, qi := range idxs {
@@ -339,11 +412,11 @@ func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, resul
 		wg.Wait()
 	}
 	for k, qi := range idxs {
-		out := parts[0][k]
+		merged := parts[0][k]
 		for w := 1; w < workers; w++ {
-			out.merge(parts[w][k])
+			merged.merge(parts[w][k])
 		}
-		results[qi] = plans[qi].finalize(out)
+		out[qi] = merged
 	}
 	releaseArtifacts(art, scans)
 	return stats

@@ -34,6 +34,7 @@
 package qsched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,6 +43,22 @@ import (
 
 	"sdwp/internal/cube"
 )
+
+// Executor is what the scheduler dispatches to: the plain *cube.Cube for
+// a single fact store, or a *shard.Table for a hash-partitioned one (the
+// scatter-gather executor has the same batch surface, so the scheduler is
+// the shard router without knowing it — exactly the "scheduler as natural
+// shard router" step the partial-merge protocol was built for).
+type Executor interface {
+	// Compile resolves and validates a query for later batch execution.
+	Compile(q cube.Query) (*cube.CompiledQuery, error)
+	// ExecuteParallel answers one query (the Disabled bypass path).
+	ExecuteParallel(q cube.Query, v *cube.View, workers int) (*cube.Result, error)
+	// ExecuteBatch answers a batch (the Disabled bypass path).
+	ExecuteBatch(qs []cube.Query, vs []*cube.View, workers int) ([]*cube.Result, error)
+	// ExecuteBatchCompiledOpt runs one coalesced shared scan.
+	ExecuteBatchCompiledOpt(cqs []*cube.CompiledQuery, vs []*cube.View, opts cube.BatchOptions) ([]*cube.Result, cube.SharingStats, error)
+}
 
 // DefaultMaxBatch bounds one coalesced shared scan and — shared through
 // core.Options.MaxBatchQueries — one POST /api/query/batch request. Every
@@ -56,6 +73,11 @@ const DefaultMaxInFlight = 2
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("qsched: scheduler closed")
+
+// ErrTimeout is the base error of queries dropped from the admission
+// queue past their deadline (Options.Timeout or a request context
+// deadline, whichever is earlier). Callers match it with errors.Is.
+var ErrTimeout = errors.New("qsched: query timed out in admission queue")
 
 // Options configures a Scheduler.
 type Options struct {
@@ -81,6 +103,17 @@ type Options struct {
 	// (shared filter bitmaps and group-key columns) inside coalesced
 	// scans — the A/B baseline for cube.BatchOptions.DisableSharing.
 	DisableSharedSubexpr bool
+	// Timeout is the admission deadline: a query still queued this long
+	// after Submit is dropped with ErrTimeout instead of executing — under
+	// overload the queue sheds its oldest waiters deterministically rather
+	// than growing unboundedly stale. 0 = no deadline. A request context
+	// with an earlier deadline tightens it per query.
+	Timeout time.Duration
+	// Artifacts optionally fronts every coalesced scan with a cross-batch
+	// artifact cache (hot filter bitmaps and roll-up key columns survive
+	// between scans; see cube.ArtifactCache). A sharded Executor manages
+	// its own per-shard caches and ignores this.
+	Artifacts *cube.ArtifactCache
 }
 
 // negCacheCapacity bounds the negative cache for invalid queries;
@@ -101,21 +134,26 @@ type outcome struct {
 // identical queries into a single request with several waiters). The plan
 // compiled at admission is reused for the scan.
 type request struct {
-	cq      *cube.CompiledQuery
-	view    *cube.View
-	epoch   uint64
-	key     string
+	cq    *cube.CompiledQuery
+	view  *cube.View
+	epoch uint64
+	key   string
 	// admit records the doorkeeper's verdict at admission: cache the
 	// result only if the plan fingerprint had been requested before.
 	admit   bool
 	waiters []chan outcome
+	// enqueuedAt and deadline implement admission timeouts: a request
+	// popped after its deadline is answered with ErrTimeout instead of
+	// joining a batch. Zero deadline = no limit.
+	enqueuedAt time.Time
+	deadline   time.Time
 }
 
 // Scheduler coalesces concurrent queries into shared scans and fronts them
 // with the epoch-keyed result cache. All methods are safe for concurrent
 // use.
 type Scheduler struct {
-	c        *cube.Cube
+	c        Executor
 	opts     Options
 	cache    *resultCache // nil when caching is disabled
 	door     *doorkeeper  // nil when caching is disabled
@@ -145,6 +183,7 @@ type Scheduler struct {
 	stMaxQueue  atomic.Int64
 	stNegHits   atomic.Int64
 	stDoorkept  atomic.Int64
+	stTimedOut  atomic.Int64
 
 	// Cross-query sharing counters, accumulated from every scan's
 	// cube.SharingStats (see Stats.FilterMaskSharing / GroupKeySharing).
@@ -154,10 +193,11 @@ type Scheduler struct {
 	stGroupDistinct  atomic.Int64
 }
 
-// New builds a scheduler over the cube and starts its dispatcher (unless
+// New builds a scheduler over an executor — the cube itself, or a sharded
+// table routing to fact shards — and starts its dispatcher (unless
 // Disabled). Callers own the lifecycle: Close stops the dispatcher after
 // draining queued queries.
-func New(c *cube.Cube, opts Options) *Scheduler {
+func New(c Executor, opts Options) *Scheduler {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultMaxBatch
 	}
@@ -208,12 +248,46 @@ func (s *Scheduler) Close() {
 // v may be nil (the non-personalized baseline). The returned Result may be
 // shared with other waiters and with the cache: treat it as immutable.
 func (s *Scheduler) Submit(q cube.Query, v *cube.View, userKey string) (*cube.Result, error) {
-	ch, res, err := s.submit(q, v, userKey)
+	return s.SubmitCtx(context.Background(), q, v, userKey)
+}
+
+// SubmitCtx is Submit with a request context: cancellation or a context
+// deadline unblocks the caller early (the query may still execute for its
+// other waiters), and a context deadline earlier than Options.Timeout
+// tightens this query's admission deadline.
+func (s *Scheduler) SubmitCtx(ctx context.Context, q cube.Query, v *cube.View, userKey string) (*cube.Result, error) {
+	ch, res, err := s.submit(ctx, q, v, userKey)
 	if ch == nil {
 		return res, err
 	}
-	out := <-ch
-	return out.res, out.err
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// requestDeadline combines Options.Timeout with the context deadline into
+// the request's admission deadline (zero = none).
+func (s *Scheduler) requestDeadline(ctx context.Context, now time.Time) time.Time {
+	var d time.Time
+	if s.opts.Timeout > 0 {
+		d = now.Add(s.opts.Timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (d.IsZero() || cd.Before(d)) {
+		d = cd
+	}
+	return d
+}
+
+// timeoutOutcome builds the descriptive drop error for one expired
+// request.
+func timeoutOutcome(req *request, now time.Time) outcome {
+	return outcome{err: fmt.Errorf("%w (queued %s, deadline exceeded by %s)",
+		ErrTimeout,
+		now.Sub(req.enqueuedAt).Round(time.Microsecond),
+		now.Sub(req.deadline).Round(time.Microsecond))}
 }
 
 // SubmitBatch answers several queries, preserving order. Entries hit the
@@ -222,6 +296,12 @@ func (s *Scheduler) Submit(q cube.Query, v *cube.View, userKey string) (*cube.Re
 // in one shared scan (the guarantee POST /api/query/batch always had) while
 // under load it additionally coalesces with other tenants' traffic.
 func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string) ([]*cube.Result, error) {
+	return s.SubmitBatchCtx(context.Background(), qs, vs, userKey)
+}
+
+// SubmitBatchCtx is SubmitBatch with a request context (see SubmitCtx for
+// the deadline semantics; one context scopes the whole batch).
+func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*cube.View, userKey string) ([]*cube.Result, error) {
 	if vs != nil && len(vs) != len(qs) {
 		return nil, fmt.Errorf("qsched: batch has %d queries but %d views", len(qs), len(vs))
 	}
@@ -275,6 +355,8 @@ func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string
 		pends = append(pends, pending{i: i, cq: cq, view: v, epoch: epoch, key: key, admit: admit})
 	}
 	if len(pends) > 0 {
+		now := time.Now()
+		deadline := s.requestDeadline(ctx, now)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -286,7 +368,8 @@ func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string
 				ch := make(chan outcome, 1)
 				chans[p.i] = ch
 				s.enqueueLocked(&request{cq: p.cq, view: p.view, epoch: p.epoch,
-					key: p.key, admit: p.admit, waiters: []chan outcome{ch}}, userKey)
+					key: p.key, admit: p.admit, waiters: []chan outcome{ch},
+					enqueuedAt: now, deadline: deadline}, userKey)
 			}
 			s.mu.Unlock()
 			s.kickDispatcher()
@@ -294,12 +377,18 @@ func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string
 	}
 	// Drain everything admitted, even after an error: those queries will
 	// execute regardless, and abandoning the channels would strand their
-	// deliveries.
+	// deliveries. Context cancellation unblocks the caller; the buffered
+	// per-waiter channels absorb the late deliveries.
 	for i, ch := range chans {
 		if ch == nil {
 			continue
 		}
-		out := <-ch
+		var out outcome
+		select {
+		case out = <-ch:
+		case <-ctx.Done():
+			out = outcome{err: ctx.Err()}
+		}
 		if out.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("qsched: batch query %d: %w", i, out.err)
 		}
@@ -314,7 +403,7 @@ func (s *Scheduler) SubmitBatch(qs []cube.Query, vs []*cube.View, userKey string
 // submit admits one query. It returns either an immediate result (cache
 // hit, direct execution, or error) with a nil channel, or a channel the
 // result will be delivered on.
-func (s *Scheduler) submit(q cube.Query, v *cube.View, userKey string) (<-chan outcome, *cube.Result, error) {
+func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, userKey string) (<-chan outcome, *cube.Result, error) {
 	s.stSubmitted.Add(1)
 	if s.closedFlag.Load() {
 		return nil, nil, ErrClosed
@@ -361,13 +450,15 @@ func (s *Scheduler) submit(q cube.Query, v *cube.View, userKey string) (<-chan o
 		return nil, nil, err
 	}
 	ch := make(chan outcome, 1)
+	now := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, nil, ErrClosed
 	}
 	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key, admit: admit,
-		waiters: []chan outcome{ch}}, userKey)
+		waiters: []chan outcome{ch}, enqueuedAt: now,
+		deadline: s.requestDeadline(ctx, now)}, userKey)
 	s.mu.Unlock()
 	s.kickDispatcher()
 	return ch, nil, nil
@@ -396,6 +487,12 @@ func (s *Scheduler) enqueueLocked(req *request, userKey string) {
 		// merged execution may cache even if the first arrival was not yet
 		// admitted.
 		prev.admit = prev.admit || req.admit
+		// The merged request keeps the most generous admission deadline
+		// (zero = none): a fresh waiter must not inherit an instant
+		// timeout from an older identical one.
+		if req.deadline.IsZero() || (!prev.deadline.IsZero() && prev.deadline.Before(req.deadline)) {
+			prev.deadline = req.deadline
+		}
 		s.stShared.Add(int64(len(req.waiters)))
 		return
 	}
@@ -480,9 +577,13 @@ func (s *Scheduler) dispatchLoop() {
 
 // assembleLocked pops up to max requests, taking one per user in
 // round-robin rotation (fair admission: a user with a deep backlog gets
-// only the slots the others leave unused). Callers hold s.mu.
+// only the slots the others leave unused). Requests popped past their
+// admission deadline are dropped — every waiter gets ErrTimeout and the
+// request never joins a scan — so under overload the queue sheds stale
+// work deterministically instead of executing it late. Callers hold s.mu.
 func (s *Scheduler) assembleLocked(max int) []*request {
 	var batch []*request
+	now := time.Now()
 	for s.queued > 0 && len(batch) < max {
 		if s.rr >= len(s.order) {
 			s.rr = 0
@@ -499,6 +600,14 @@ func (s *Scheduler) assembleLocked(max int) []*request {
 		}
 		s.queued--
 		delete(s.byKey, req.key)
+		if !req.deadline.IsZero() && now.After(req.deadline) {
+			out := timeoutOutcome(req, now)
+			s.stTimedOut.Add(int64(len(req.waiters)))
+			for _, w := range req.waiters {
+				w <- out // buffered: never blocks under the lock
+			}
+			continue
+		}
 		batch = append(batch, req)
 	}
 	if len(s.order) == 0 {
@@ -525,6 +634,7 @@ func (s *Scheduler) runBatch(batch []*request) {
 	results, sharing, err := s.c.ExecuteBatchCompiledOpt(cqs, vs, cube.BatchOptions{
 		Workers:        s.opts.Workers,
 		DisableSharing: s.opts.DisableSharedSubexpr,
+		Artifacts:      s.opts.Artifacts,
 	})
 	if err == nil {
 		s.stFilterSets.Add(int64(sharing.FilterSets))
@@ -588,6 +698,20 @@ type Stats struct {
 	CacheDoorkept   int64 `json:"cacheDoorkept"`
 	NegCacheHits    int64 `json:"negCacheHits"`
 	NegCacheEntries int   `json:"negCacheEntries"`
+	// TimedOut counts queries dropped from the admission queue past their
+	// deadline (Options.Timeout / request context) without executing.
+	TimedOut int64 `json:"timedOut"`
+	// Sharded execution (all zero on an unsharded engine; the engine fills
+	// them from the shard table): FactShards is the shard count,
+	// ShardFactCounts the per-shard fact totals (the hash-partition
+	// balance), ShardScans the per-shard scans the scatter-gather executor
+	// fanned batches out to (ShardScans/FactScans is the fan-out).
+	FactShards      int   `json:"factShards,omitempty"`
+	ShardFactCounts []int `json:"shardFactCounts,omitempty"`
+	ShardScans      int64 `json:"shardScans,omitempty"`
+	// ArtifactCache reports the cross-batch artifact cache (zero value
+	// when disabled; aggregated across shards on a sharded engine).
+	ArtifactCache cube.ArtifactCacheStats `json:"artifactCache"`
 	// Cross-query subexpression sharing inside coalesced scans (all zero
 	// when DisableSharedSubexpr is set): FilterSets counts queries that
 	// carried filters, FilterMasks the distinct filter bitmaps their scans
@@ -620,6 +744,8 @@ func (s *Scheduler) Stats() Stats {
 		MaxQueueDepth: s.stMaxQueue.Load(),
 		CacheDoorkept: s.stDoorkept.Load(),
 		NegCacheHits:  s.stNegHits.Load(),
+		TimedOut:      s.stTimedOut.Load(),
+		ArtifactCache: s.opts.Artifacts.Stats(),
 		FilterSets:    s.stFilterSets.Load(),
 		FilterMasks:   s.stFilterDistinct.Load(),
 		GroupKeySets:  s.stGroupSets.Load(),

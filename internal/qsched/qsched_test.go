@@ -1,6 +1,8 @@
 package qsched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -659,5 +661,145 @@ func TestConcurrentEquivalenceRandomized(t *testing.T) {
 					st.Executed, st.Shared, st.CacheHits, st.Submitted)
 			}
 		})
+	}
+}
+
+// TestAdmissionTimeoutDropsQueuedQueries covers Options.Timeout: with a
+// deadline shorter than the coalescing window, every query expires while
+// still queued and must be dropped with ErrTimeout — deterministically,
+// without executing — and counted in Stats.TimedOut.
+func TestAdmissionTimeoutDropsQueuedQueries(t *testing.T) {
+	ds := testDataset(t)
+	// The window holds the batch open well past the 1ns deadline, so every
+	// request is expired by the time the dispatcher assembles.
+	s := New(ds.Cube, Options{Window: 20 * time.Millisecond, Timeout: time.Nanosecond})
+	defer s.Close()
+
+	const n = 6
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, err := s.Submit(cityQuery(g), nil, fmt.Sprintf("user%d", g))
+			errs <- err
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	}
+	st := s.Stats()
+	if st.TimedOut != n {
+		t.Errorf("Stats.TimedOut = %d, want %d", st.TimedOut, n)
+	}
+	if st.Executed != 0 {
+		t.Errorf("expired queries executed: %d", st.Executed)
+	}
+
+	// Without a deadline the same scheduler shape executes normally.
+	s2 := New(ds.Cube, Options{Window: time.Millisecond})
+	defer s2.Close()
+	if _, err := s2.Submit(countQuery, nil, "alice"); err != nil {
+		t.Fatalf("no-timeout submit: %v", err)
+	}
+	if st := s2.Stats(); st.TimedOut != 0 {
+		t.Errorf("spurious timeouts: %d", st.TimedOut)
+	}
+}
+
+// TestSubmitCtxCancellationUnblocks covers the per-request context: a
+// canceled context must unblock the caller with ctx.Err() even while the
+// query is still queued behind the window.
+func TestSubmitCtxCancellationUnblocks(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{Window: 50 * time.Millisecond})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitCtx(ctx, countQuery, nil, "alice")
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SubmitCtx did not unblock on cancellation")
+	}
+}
+
+// TestSubmitBatchCtxDeadline covers the batch context path: a context
+// deadline earlier than the window times the whole batch out with
+// ErrTimeout (dropped at assembly) or DeadlineExceeded (unblocked wait).
+func TestSubmitBatchCtxDeadline(t *testing.T) {
+	ds := testDataset(t)
+	s := New(ds.Cube, Options{Window: 50 * time.Millisecond})
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := s.SubmitBatchCtx(ctx, []cube.Query{countQuery, cityQuery(1)}, nil, "alice")
+	if err == nil || (!errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded)) {
+		t.Errorf("err = %v, want ErrTimeout or DeadlineExceeded", err)
+	}
+}
+
+// TestCloseUnderInFlightLoad is the shutdown regression of the ISSUE:
+// Close called while scans are in flight and queries are still arriving
+// must terminate every Submit (result, ErrClosed, or a timeout) and
+// return within a bounded time — no goroutine leak, no silent hang.
+func TestCloseUnderInFlightLoad(t *testing.T) {
+	ds := testDataset(t)
+	for round := 0; round < 5; round++ {
+		s := New(ds.Cube, Options{Window: time.Millisecond, MaxInFlight: 1, Workers: 2})
+		const n = 24
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				res, err := s.Submit(cityQuery(g%6), nil, fmt.Sprintf("user%d", g%4))
+				if err == nil && res == nil {
+					errs <- fmt.Errorf("nil result without error")
+					return
+				}
+				errs <- err
+			}(g)
+		}
+		// Close races the submitters: some queries are queued, some are
+		// mid-scan, some have not been admitted yet.
+		closed := make(chan struct{})
+		go func() { s.Close(); close(closed) }()
+
+		waited := make(chan struct{})
+		go func() { wg.Wait(); close(waited) }()
+		deadline := time.After(10 * time.Second)
+		select {
+		case <-waited:
+		case <-deadline:
+			t.Fatal("Submit goroutines leaked after Close")
+		}
+		select {
+		case <-closed:
+		case <-deadline:
+			t.Fatal("Close hung with queries in flight")
+		}
+		close(errs)
+		for err := range errs {
+			if err != nil && err != ErrClosed {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
 	}
 }

@@ -1,0 +1,456 @@
+// Package shard is the horizontal scaling layer under the query
+// scheduler: it hash-partitions every fact table of one cube into N
+// independent shards and answers batch queries by scatter-gather — the
+// compiled plans fan out across the shards (each shard scan materializes
+// its own stage-1/2 artifacts and accumulates per-query partials under
+// its own lock), and the per-shard partials gather through the executor's
+// deterministic chunk-order merge/finalize path, so results are identical
+// to the unsharded engine.
+//
+// Why shards: one fact table per cube is a single ingest lock and a
+// single scan unit — the remaining ceiling on fact-table size and write
+// throughput. A sharded Table gives every shard its own fact columns,
+// bitset pools, artifact cache and RWMutex: ingest into one shard blocks
+// only that shard's scans for the duration of an append, and the
+// scatter's fan-out is bounded (Options.MaxInFlightScans) so a wide
+// table cannot oversubscribe small hosts.
+//
+// The parent cube keeps the authoritative copy of every fact (shards are
+// scan replicas): views, exports, snapshots and PRML iteration keep
+// working on global fact indices, and the Table routes each global index
+// to its (shard, local) position for mask splitting and ingest. Member
+// and attribute data is shared by reference across shards — it must be
+// fully loaded before New, the same "compile after loading" discipline
+// the executor already documents.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sdwp/internal/bitset"
+	"sdwp/internal/cube"
+)
+
+// MaxShards bounds the shard count (routes store the shard id in a byte).
+const MaxShards = 256
+
+// Options configures a sharded table.
+type Options struct {
+	// Shards is the shard count (clamped to [1, MaxShards]). 1 still runs
+	// the scatter-gather machinery over a single shard — the degenerate
+	// case the equivalence harness pins against the unsharded executor.
+	Shards int
+	// MaxInFlightScans bounds concurrent shard scans per Table (0 = one
+	// per shard: unbounded fan-out).
+	MaxInFlightScans int
+	// ArtifactCacheBytes sizes the cross-batch artifact cache, split
+	// evenly across the shards (0 = no caching).
+	ArtifactCacheBytes int64
+}
+
+// route maps one fact's global instance indices to shard positions.
+type route struct {
+	shardOf []uint8
+	localOf []int32
+}
+
+// factShard is one shard: a derived cube holding this shard's slice of
+// every fact table, its own lock, and its own cross-batch artifact cache.
+type factShard struct {
+	// mu orders ingest (write) against scans (read): a scan holds the read
+	// lock across rebind + scan so the shard's columns cannot grow under
+	// it, which is what makes concurrent AddFact safe in sharded mode.
+	mu    sync.RWMutex
+	c     *cube.Cube
+	cache *cube.ArtifactCache
+}
+
+// splitKey identifies one split view mask: a view state (id, epoch) over
+// one fact table.
+type splitKey struct {
+	viewID uint64
+	epoch  uint64
+	fact   string
+}
+
+// splitCacheCap bounds the split-mask cache (a plain memory bound; every
+// entry is one view state's per-shard bitmaps).
+const splitCacheCap = 128
+
+// Table is a sharded fact store bound to one parent cube. It implements
+// the scheduler's Executor interface, so core.Engine swaps it in for the
+// cube transparently when Options.FactShards > 1.
+type Table struct {
+	parent *cube.Cube
+	shards []*factShard
+	opts   Options
+
+	// mu guards the parent's fact columns and the routes during ingest;
+	// scans only take it briefly to materialize and split view masks.
+	mu     sync.RWMutex
+	routes map[string]*route
+
+	splitMu    sync.Mutex
+	splits     map[splitKey][]*bitset.Set
+	splitOrder []splitKey
+
+	sem chan struct{} // bounds concurrent shard scans
+
+	stBatches    atomic.Int64
+	stShardScans atomic.Int64
+}
+
+// New builds a sharded table over a loaded cube: it derives opts.Shards
+// fact-shard cubes (sharing the parent's dimension and layer data) and
+// redistributes every existing fact instance by key hash. Facts loaded
+// into the parent after New must go through Table.AddFact, which keeps
+// parent, routes and shards consistent.
+func New(parent *cube.Cube, opts Options) *Table {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Shards > MaxShards {
+		opts.Shards = MaxShards
+	}
+	inFlight := opts.MaxInFlightScans
+	if inFlight <= 0 || inFlight > opts.Shards {
+		inFlight = opts.Shards
+	}
+	t := &Table{
+		parent: parent,
+		opts:   opts,
+		routes: map[string]*route{},
+		splits: map[splitKey][]*bitset.Set{},
+		sem:    make(chan struct{}, inFlight),
+	}
+	perShardCache := opts.ArtifactCacheBytes / int64(opts.Shards)
+	for s := 0; s < opts.Shards; s++ {
+		t.shards = append(t.shards, &factShard{
+			c:     parent.NewFactShard(),
+			cache: cube.NewArtifactCache(perShardCache),
+		})
+	}
+	for _, f := range parent.Schema().MD.Facts {
+		fd := parent.FactData(f.Name)
+		r := &route{}
+		keys := make(map[string]int32, len(f.Dimensions))
+		measures := make(map[string]float64, len(f.Measures))
+		for i := int32(0); int(i) < fd.Len(); i++ {
+			for _, dn := range f.Dimensions {
+				keys[dn], _ = fd.DimKey(dn, i)
+			}
+			for _, m := range f.Measures {
+				measures[m.Name], _ = fd.Measure(m.Name, i)
+			}
+			s := t.shardFor(f.Dimensions, keys)
+			sh := t.shards[s]
+			r.shardOf = append(r.shardOf, uint8(s))
+			r.localOf = append(r.localOf, int32(sh.c.FactData(f.Name).Len()))
+			if err := sh.c.AddFact(f.Name, keys, measures); err != nil {
+				// The parent accepted this instance, so the shard (sharing
+				// the parent's dimensions) must too.
+				panic(fmt.Sprintf("shard: redistributing fact %q: %v", f.Name, err))
+			}
+		}
+		t.routes[f.Name] = r
+	}
+	return t
+}
+
+// shardFor hashes a fact instance's dimension keys (FNV-1a over the
+// fact's declared dimension order) to its owning shard. The assignment
+// depends only on the keys, so identical load orders shard identically
+// run to run.
+func (t *Table) shardFor(dims []string, keys map[string]int32) int {
+	h := uint32(2166136261)
+	for _, dn := range dims {
+		k := uint32(keys[dn])
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= (k >> shift) & 0xff
+			h *= 16777619
+		}
+	}
+	return int(h % uint32(len(t.shards)))
+}
+
+// Shards returns the shard count.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// Parent returns the parent cube (the authoritative fact store).
+func (t *Table) Parent() *cube.Cube { return t.parent }
+
+// AddFact appends a fact instance: to the parent (which assigns the
+// global index and keeps views, exports and snapshots whole), to the
+// routing table, and to the key-hashed shard. Only the owning shard's
+// scans wait on the append; scatter-gather scans over other shards
+// proceed concurrently.
+func (t *Table) AddFact(fact string, keys map[string]int32, measures map[string]float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.parent.AddFact(fact, keys, measures); err != nil {
+		return err
+	}
+	r := t.routes[fact]
+	if r == nil {
+		r = &route{}
+		t.routes[fact] = r
+	}
+	s := t.shardFor(t.parent.Schema().MD.Fact(fact).Dimensions, keys)
+	sh := t.shards[s]
+	sh.mu.Lock()
+	local := int32(sh.c.FactData(fact).Len())
+	err := sh.c.AddFact(fact, keys, measures)
+	sh.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("shard: shard %d rejected fact the parent accepted: %w", s, err)
+	}
+	r.shardOf = append(r.shardOf, uint8(s))
+	r.localOf = append(r.localOf, local)
+	return nil
+}
+
+// FactCounts returns every shard's total fact count (summed across fact
+// tables) — the per-shard balance GET /api/stats reports.
+func (t *Table) FactCounts() []int {
+	out := make([]int, len(t.shards))
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for s, sh := range t.shards {
+		for _, f := range t.parent.Schema().MD.Facts {
+			out[s] += sh.c.FactData(f.Name).Len()
+		}
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the table's counters.
+type Stats struct {
+	// Shards is the shard count; FactCounts the per-shard fact totals.
+	Shards     int   `json:"shards"`
+	FactCounts []int `json:"factCounts"`
+	// Batches counts scatter-gather executions; ShardScans the per-shard
+	// scans they fanned out to (ShardScans/Batches is the fan-out ratio).
+	Batches    int64 `json:"batches"`
+	ShardScans int64 `json:"shardScans"`
+	// ArtifactCache aggregates the per-shard cross-batch caches.
+	ArtifactCache cube.ArtifactCacheStats `json:"artifactCache"`
+}
+
+// Stats snapshots the table's counters.
+func (t *Table) Stats() Stats {
+	st := Stats{
+		Shards:     len(t.shards),
+		FactCounts: t.FactCounts(),
+		Batches:    t.stBatches.Load(),
+		ShardScans: t.stShardScans.Load(),
+	}
+	for _, sh := range t.shards {
+		st.ArtifactCache.Add(sh.cache.Stats())
+	}
+	return st
+}
+
+// MaterializeView builds a view's combined visibility masks over the
+// given fact tables under the ingest read lock (mask building walks the
+// parent's fact key columns, which AddFact grows under the write lock).
+func (t *Table) MaterializeView(v *cube.View, facts []string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, f := range facts {
+		v.Materialize(f)
+	}
+}
+
+// Compile resolves and validates a query against the parent cube. The
+// scheduler compiles once at admission; execution rebinds the plan onto
+// each shard's columns (cube.CompiledQuery.Rebind). The ingest read lock
+// keeps the parent's columns stable while the plan binds them (the
+// bindings are then swapped per shard, but resolution reads them).
+func (t *Table) Compile(q cube.Query) (*cube.CompiledQuery, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.parent.Compile(q)
+}
+
+// ExecuteParallel answers one query by scatter-gather (the single-query
+// degenerate batch). workers sizes each shard scan's worker pool.
+func (t *Table) ExecuteParallel(q cube.Query, v *cube.View, workers int) (*cube.Result, error) {
+	res, _, err := t.ExecuteBatchOpt([]cube.Query{q}, []*cube.View{v}, cube.BatchOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// ExecuteBatch answers a batch of queries with one scatter-gather per
+// fact table, mirroring cube.ExecuteBatch (sharing on).
+func (t *Table) ExecuteBatch(qs []cube.Query, vs []*cube.View, workers int) ([]*cube.Result, error) {
+	res, _, err := t.ExecuteBatchOpt(qs, vs, cube.BatchOptions{Workers: workers})
+	return res, err
+}
+
+// ExecuteBatchOpt is ExecuteBatch with explicit batch options.
+func (t *Table) ExecuteBatchOpt(qs []cube.Query, vs []*cube.View, opts cube.BatchOptions) ([]*cube.Result, cube.SharingStats, error) {
+	if vs != nil && len(vs) != len(qs) {
+		return nil, cube.SharingStats{}, fmt.Errorf("shard: batch has %d queries but %d views", len(qs), len(vs))
+	}
+	cqs := make([]*cube.CompiledQuery, len(qs))
+	for i, q := range qs {
+		cq, err := t.Compile(q)
+		if err != nil {
+			return nil, cube.SharingStats{}, fmt.Errorf("shard: batch query %d: %w", i, err)
+		}
+		cqs[i] = cq
+	}
+	return t.ExecuteBatchCompiledOpt(cqs, vs, opts)
+}
+
+// ExecuteBatchCompiledOpt is the scatter-gather executor: split every
+// query's view mask by shard, fan the batch out (each shard rebinds the
+// plans onto its columns under its read lock and runs the shared staged
+// scan with its own artifact cache), and gather the per-shard partials
+// through the deterministic merge/finalize path. Results are identical to
+// the unsharded executor's; SharingStats sums the per-shard scans (so
+// instance and distinct counts scale with the fan-out, but their ratios
+// still measure per-scan sharing), with Queries reported once.
+func (t *Table) ExecuteBatchCompiledOpt(cqs []*cube.CompiledQuery, vs []*cube.View, opts cube.BatchOptions) ([]*cube.Result, cube.SharingStats, error) {
+	var stats cube.SharingStats
+	if vs != nil && len(vs) != len(cqs) {
+		return nil, stats, fmt.Errorf("shard: batch has %d queries but %d views", len(cqs), len(vs))
+	}
+	if len(cqs) == 0 {
+		return []*cube.Result{}, stats, nil
+	}
+
+	// Split personalized view masks per shard under the ingest read lock
+	// (routes and the parent's columns are stable there).
+	masks := make([][]*bitset.Set, len(cqs)) // [query][shard], nil = unrestricted
+	t.mu.RLock()
+	for i, cq := range cqs {
+		if cq == nil {
+			t.mu.RUnlock()
+			return nil, stats, fmt.Errorf("shard: batch query %d is nil", i)
+		}
+		if vs != nil && vs[i] != nil {
+			ms, err := t.splitLocked(cq.Query().Fact, vs[i])
+			if err != nil {
+				t.mu.RUnlock()
+				return nil, stats, err
+			}
+			masks[i] = ms
+		}
+	}
+	t.mu.RUnlock()
+
+	t.stBatches.Add(1)
+	n := len(t.shards)
+	shardParts := make([][]*cube.BatchPartial, n)
+	shardStats := make([]cube.SharingStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := range t.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			t.sem <- struct{}{}
+			defer func() { <-t.sem }()
+			sh := t.shards[s]
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			rebound := make([]*cube.CompiledQuery, len(cqs))
+			for i, cq := range cqs {
+				rc, err := cq.Rebind(sh.c)
+				if err != nil {
+					errs[s] = fmt.Errorf("shard %d: query %d: %w", s, i, err)
+					return
+				}
+				rebound[i] = rc
+			}
+			smasks := make([]*bitset.Set, len(cqs))
+			for i := range cqs {
+				if masks[i] != nil {
+					smasks[i] = masks[i][s]
+				}
+			}
+			o := opts
+			o.Artifacts = sh.cache
+			parts, st, err := sh.c.ExecuteBatchCompiledPartials(rebound, smasks, o)
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			shardParts[s] = parts
+			shardStats[s] = st
+			t.stShardScans.Add(1)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	results, err := cube.MergeFinalize(shardParts)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, st := range shardStats {
+		stats.Add(st)
+	}
+	stats.Queries = len(cqs)
+	return results, stats, nil
+}
+
+// splitLocked returns the per-shard visibility masks of one view over one
+// fact table: the view's materialized global mask scattered through the
+// routing table (nil when the view leaves the fact unrestricted). Splits
+// are cached by (view id, epoch, fact) — per-shard bitmaps are exactly
+// the "selection epochs scale across shards" exchange unit: a selection
+// bumps the epoch and the next query re-splits once, not once per shard
+// scan. Callers hold t.mu (read).
+func (t *Table) splitLocked(fact string, v *cube.View) ([]*bitset.Set, error) {
+	r := t.routes[fact]
+	if r == nil {
+		return nil, fmt.Errorf("shard: unknown fact %q", fact)
+	}
+	key := splitKey{viewID: v.ID(), epoch: v.Epoch(), fact: fact}
+	t.splitMu.Lock()
+	if ms, ok := t.splits[key]; ok {
+		t.splitMu.Unlock()
+		return ms, nil
+	}
+	t.splitMu.Unlock()
+
+	m := v.Materialize(fact)
+	if m == nil {
+		return nil, nil
+	}
+	out := make([]*bitset.Set, len(t.shards))
+	for s, sh := range t.shards {
+		out[s] = bitset.New(sh.c.FactData(fact).Len())
+	}
+	m.ForEach(func(g int) bool {
+		if g >= len(r.shardOf) {
+			// A fact loaded into the parent without going through
+			// Table.AddFact has no route; it is invisible to shard scans
+			// (ingest must go through the Table once sharded).
+			return true
+		}
+		out[r.shardOf[g]].Set(int(r.localOf[g]))
+		return true
+	})
+	t.splitMu.Lock()
+	if _, ok := t.splits[key]; !ok {
+		if len(t.splitOrder) >= splitCacheCap {
+			oldest := t.splitOrder[0]
+			t.splitOrder = t.splitOrder[1:]
+			delete(t.splits, oldest)
+		}
+		t.splits[key] = out
+		t.splitOrder = append(t.splitOrder, key)
+	}
+	t.splitMu.Unlock()
+	return out, nil
+}

@@ -22,11 +22,15 @@
 //	GET  /api/stats                                    → query-scheduler counters
 //	                                                     (coalesce ratio, cache hit rate, queue depth,
 //	                                                     filter-mask / group-key sharing ratios,
-//	                                                     negative-cache and admission counters)
+//	                                                     negative-cache, admission-timeout and
+//	                                                     doorkeeper counters; on a sharded engine also
+//	                                                     shard count, per-shard fact balance, shard-scan
+//	                                                     fan-out and artifact-cache hit rates)
 //	GET  /api/healthz                                  → liveness
 package webapi
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -304,11 +308,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The request context rides into the scheduler: a client that hangs up
+	// unblocks the handler, and core.Options.QueryTimeout (or an upstream
+	// context deadline) drops the query from the admission queue instead
+	// of executing it late.
 	var res *cube.Result
 	if req.Baseline {
-		res, err = sess.QueryBaseline(q)
+		res, err = sess.QueryBaselineCtx(r.Context(), q)
 	} else {
-		res, err = sess.Query(q)
+		res, err = sess.QueryCtx(r.Context(), q)
 	}
 	if err != nil {
 		writeErr(w, queryErrStatus(err), "query failed: %v", err)
@@ -318,11 +326,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryErrStatus maps a query-path error to its HTTP status: a closed
-// scheduler is a server lifecycle condition (shutdown in progress), not a
-// client mistake.
+// scheduler is a server lifecycle condition (shutdown in progress) and an
+// admission timeout is the scheduler shedding load — neither is a client
+// mistake.
 func queryErrStatus(err error) int {
-	if errors.Is(err, qsched.ErrClosed) {
+	switch {
+	case errors.Is(err, qsched.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, qsched.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusBadRequest
 }
@@ -376,7 +388,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		qs[i] = q
 		baseline[i] = spec.Baseline
 	}
-	results, err := sess.QueryBatch(qs, baseline)
+	results, err := sess.QueryBatchCtx(r.Context(), qs, baseline)
 	if err != nil {
 		writeErr(w, queryErrStatus(err), "batch query failed: %v", err)
 		return
@@ -590,8 +602,9 @@ func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
 // coalesced into how few shared scans, result-cache effectiveness
 // (including doorkeeper admissions and the negative cache), how much
 // cross-query stage work batch scans shared (filter-mask and group-key
-// sharing ratios), and the live queue depth — the observability surface of
-// internal/qsched.
+// sharing ratios), admission timeouts, the live queue depth, and — on a
+// sharded engine — the shard fan-out and cross-batch artifact-cache
+// counters: the observability surface of internal/qsched + internal/shard.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return

@@ -20,11 +20,19 @@
 //     Engine.ExecuteBatch / Cube.ExecuteBatch answer many queries in one
 //     shared scan per fact table; every Session query routes through the
 //     engine's scheduler (internal/qsched), which coalesces concurrent
-//     queries into shared scans with fair per-user admission and fronts
-//     them with an epoch-keyed result cache — see EngineOptions.
-//     CoalesceWindow / MaxInFlightScans / ResultCacheBytes /
-//     MaxBatchQueries and Engine.SchedulerStats (README.md has the
-//     architecture);
+//     queries into shared scans with fair per-user admission, drops
+//     queries queued past EngineOptions.QueryTimeout (per-request contexts
+//     via Session.QueryCtx), and fronts them with an epoch-keyed result
+//     cache — see EngineOptions.CoalesceWindow / MaxInFlightScans /
+//     ResultCacheBytes / MaxBatchQueries and Engine.SchedulerStats
+//     (README.md has the architecture);
+//   - shard for write and scan scale: EngineOptions.FactShards
+//     hash-partitions every fact table behind the scheduler
+//     (internal/shard) — scatter-gather scans over per-shard locks with
+//     results identical to the unsharded engine, routed ingest via
+//     Engine.AddFact, and a cross-batch artifact cache
+//     (EngineOptions.ArtifactCacheBytes) that keeps hot filter bitmaps
+//     and roll-up key columns alive between scans;
 //   - optionally serve everything over HTTP with NewHTTPServer.
 //
 // See examples/quickstart for a complete program.
@@ -171,10 +179,14 @@ type (
 	// SelectionResult reports a spatial selection's effect.
 	SelectionResult = core.SelectionResult
 	// SchedulerStats snapshots the engine's query-scheduler counters:
-	// coalesce ratio, cache hit rate, queue depth, and the cross-query
-	// subexpression-sharing ratios (Engine.SchedulerStats,
-	// GET /api/stats).
+	// coalesce ratio, cache hit rate, queue depth, admission timeouts,
+	// the cross-query subexpression-sharing ratios, and — on a sharded
+	// engine — shard fan-out and artifact-cache counters
+	// (Engine.SchedulerStats, GET /api/stats).
 	SchedulerStats = qsched.Stats
+	// ArtifactCacheStats reports the cross-batch artifact cache
+	// (SchedulerStats.ArtifactCache; EngineOptions.ArtifactCacheBytes).
+	ArtifactCacheStats = cube.ArtifactCacheStats
 	// SharedSubexprMode toggles cross-query subexpression sharing inside
 	// batch scans (EngineOptions.SharedSubexpr).
 	SharedSubexprMode = core.SharedSubexprMode
