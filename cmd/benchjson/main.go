@@ -1,0 +1,145 @@
+// Command benchjson turns `go test -bench` output into the repo's
+// benchmark-regression artifact (BENCH_<n>.json): one record per
+// benchmark with its iteration count and every reported metric (ns/op,
+// B/op, allocs/op, plus custom b.ReportMetric units such as preds/mask
+// or queries/scan).
+//
+// It reads the benchmark stream on stdin, echoes it to stderr (so CI
+// logs keep the raw numbers), and fails when a benchmark named in the
+// manifest produced no results — a renamed or deleted benchmark then
+// breaks the pipeline loudly instead of silently dropping its perf
+// trajectory.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchtime 1x . | \
+//	  go run ./cmd/benchjson -issue 5 -out BENCH_5.json \
+//	    -manifest BenchmarkSharedSubexprBatch,BenchmarkShardedScan,...
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one benchmark line: name (sub-benchmark path included,
+// GOMAXPROCS suffix stripped), iteration count, and metric → value.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the emitted artifact.
+type report struct {
+	Issue      int           `json:"issue"`
+	Generated  string        `json:"generated"`
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*\S)\s*$`)
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	issue := flag.Int("issue", 5, "issue number recorded in the artifact")
+	manifest := flag.String("manifest", "",
+		"comma-separated benchmark names that MUST appear in the input (prefix match; fail otherwise)")
+	flag.Parse()
+
+	rep := report{Issue: *issue, Generated: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			rep.GoOS = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			rep.GoArch = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = v
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		// The tail is value/unit pairs: "123 ns/op  45 B/op  6 allocs/op".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a metric tail (e.g. a log line that slipped in)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if len(res.Metrics) > 0 {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Manifest gate: every required benchmark must have produced at least
+	// one result (sub-benchmarks extend the name, so prefix-match).
+	var missing []string
+	for _, want := range strings.Split(*manifest, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, b := range rep.Benchmarks {
+			if b.Name == want || strings.HasPrefix(b.Name, want+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: manifest benchmarks missing from input: %s\n",
+			strings.Join(missing, ", "))
+		fmt.Fprintln(os.Stderr, "benchjson: a renamed or deleted benchmark must be updated in scripts/bench.sh")
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), *out)
+}

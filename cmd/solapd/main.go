@@ -10,7 +10,7 @@
 //	       [-threshold 2] [-workers -1]
 //	       [-coalesce-window 500us] [-max-inflight-scans 2]
 //	       [-result-cache-mb 32] [-max-batch-queries 64]
-//	       [-shared-subexpr=true]
+//	       [-shared-subexpr=true] [-per-filter-sharing=true]
 //	       [-fact-shards 0] [-query-timeout 0] [-artifact-cache-mb 0]
 package main
 
@@ -55,6 +55,8 @@ func main() {
 			"max queries per batch, shared by coalesced scans and POST /api/query/batch (0 = default 64)")
 		sharedSubexpr = flag.Bool("shared-subexpr", true,
 			"share filter bitmaps and group-key columns across the queries of each batch scan (false = per-query evaluation, the A/B baseline)")
+		perFilterSharing = flag.Bool("per-filter-sharing", true,
+			"decompose batch filter sharing to per-predicate bitmaps AND-composed into set masks (false = whole-filter-set granularity, the A/B baseline)")
 		factShards = flag.Int("fact-shards", 0,
 			"hash-partition every fact table into N shards behind the scheduler (scatter-gather scans, per-shard ingest locks); 0 or 1 = single-table path")
 		queryTimeout = flag.Duration("query-timeout", 0,
@@ -115,15 +117,16 @@ func main() {
 		sharedMode = sdwp.SharedSubexprOff
 	}
 	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{
-		QueryWorkers:       *workers,
-		CoalesceWindow:     *coalesceWindow,
-		MaxInFlightScans:   *maxInFlight,
-		ResultCacheBytes:   int64(*cacheMB) << 20,
-		MaxBatchQueries:    *maxBatch,
-		SharedSubexpr:      sharedMode,
-		FactShards:         *factShards,
-		QueryTimeout:       *queryTimeout,
-		ArtifactCacheBytes: int64(*artifactCacheMB) << 20,
+		QueryWorkers:            *workers,
+		CoalesceWindow:          *coalesceWindow,
+		MaxInFlightScans:        *maxInFlight,
+		ResultCacheBytes:        int64(*cacheMB) << 20,
+		MaxBatchQueries:         *maxBatch,
+		SharedSubexpr:           sharedMode,
+		DisablePerFilterSharing: !*perFilterSharing,
+		FactShards:              *factShards,
+		QueryTimeout:            *queryTimeout,
+		ArtifactCacheBytes:      int64(*artifactCacheMB) << 20,
 	})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 

@@ -160,6 +160,64 @@ func (s *Set) IntersectWith(o *Set) {
 	}
 }
 
+// AndInto sets s = a ∩ b in one pass, overwriting s's previous contents.
+// A nil operand is the universe (s then copies the other operand; two nil
+// operands make s full). All non-nil sets must share s's capacity, and s
+// may alias a or b (each word is read before it is written), so
+// m.AndInto(m, v) narrows m by v in place.
+func (s *Set) AndInto(a, b *Set) {
+	if s == nil {
+		panic("bitset: write to nil set")
+	}
+	if a == nil {
+		a, b = b, nil
+	}
+	if a == nil {
+		for i := range s.words {
+			s.words[i] = ^uint64(0)
+		}
+		s.trim()
+		return
+	}
+	s.sameCap(a)
+	if b == nil {
+		copy(s.words, a.words)
+		return
+	}
+	s.sameCap(b)
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// IntersectAll sets s to the multi-way intersection of sets, overwriting
+// s's previous contents — the AND-composition primitive of the per-filter
+// batch executor (one word-parallel pass composes a query's filter mask
+// from its predicate bitmaps). nil entries are the universe and an empty
+// (or all-nil) list yields the full set of s's capacity, the identity of
+// intersection. Non-nil entries must share s's capacity; s may appear in
+// sets (every word of every operand is read before s's word is written).
+func (s *Set) IntersectAll(sets []*Set) {
+	if s == nil {
+		panic("bitset: write to nil set")
+	}
+	for _, o := range sets {
+		if o != nil {
+			s.sameCap(o)
+		}
+	}
+	for wi := range s.words {
+		w := ^uint64(0)
+		for _, o := range sets {
+			if o != nil {
+				w &= o.words[wi]
+			}
+		}
+		s.words[wi] = w
+	}
+	s.trim()
+}
+
 // DifferenceWith sets s = s \ o. The sets must have equal capacity.
 func (s *Set) DifferenceWith(o *Set) {
 	s.sameCap(o)

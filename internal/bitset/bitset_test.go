@@ -133,22 +133,13 @@ func TestEqual(t *testing.T) {
 }
 
 func TestPanics(t *testing.T) {
-	mustPanic := func(name string, f func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
-	}
 	s := New(10)
-	mustPanic("negative New", func() { New(-1) })
-	mustPanic("Set out of range", func() { s.Set(10) })
-	mustPanic("Clear negative", func() { s.Clear(-1) })
-	mustPanic("nil write", func() { var n *Set; n.Set(0) })
-	mustPanic("capacity mismatch", func() { s.UnionWith(New(11)) })
-	mustPanic("nil operand", func() { s.UnionWith(nil) })
+	mustPanic(t, "negative New", func() { New(-1) })
+	mustPanic(t, "Set out of range", func() { s.Set(10) })
+	mustPanic(t, "Clear negative", func() { s.Clear(-1) })
+	mustPanic(t, "nil write", func() { var n *Set; n.Set(0) })
+	mustPanic(t, "capacity mismatch", func() { s.UnionWith(New(11)) })
+	mustPanic(t, "nil operand", func() { s.UnionWith(nil) })
 }
 
 // Property: for random index sets, Count == len(unique indices) and
@@ -416,4 +407,121 @@ func TestIndicesNil(t *testing.T) {
 	if s.Len() != 0 || s.Count() != 0 || s.Any() {
 		t.Error("nil set stats")
 	}
+}
+
+func TestAndInto(t *testing.T) {
+	a := FromIndices(130, []int{0, 5, 64, 65, 129})
+	b := FromIndices(130, []int{5, 64, 100, 129})
+	dst := FromIndices(130, []int{1, 2, 3}) // prior contents must be overwritten
+	dst.AndInto(a, b)
+	if got, want := fmt.Sprint(dst.Indices()), fmt.Sprint([]int{5, 64, 129}); got != want {
+		t.Errorf("AndInto = %s, want %s", got, want)
+	}
+
+	// nil operands are the universe.
+	dst.AndInto(a, nil)
+	if !dst.Equal(a) {
+		t.Errorf("AndInto(a, universe) = %v, want a", dst.Indices())
+	}
+	dst.AndInto(nil, b)
+	if !dst.Equal(b) {
+		t.Errorf("AndInto(universe, b) = %v, want b", dst.Indices())
+	}
+	dst.AndInto(nil, nil)
+	if !dst.Equal(Full(130)) {
+		t.Errorf("AndInto(universe, universe) = %v, want full", dst.Indices())
+	}
+
+	// Aliasing: the destination may be one of the operands (in-place
+	// narrowing), including both (self-intersection is the identity).
+	m := a.Clone()
+	m.AndInto(m, b)
+	want := a.Clone()
+	want.IntersectWith(b)
+	if !m.Equal(want) {
+		t.Errorf("aliased AndInto = %v, want %v", m.Indices(), want.Indices())
+	}
+	m = a.Clone()
+	m.AndInto(m, m)
+	if !m.Equal(a) {
+		t.Errorf("self AndInto changed the set: %v", m.Indices())
+	}
+
+	// Capacity mismatch and nil receiver panic like the other writes.
+	mustPanic(t, "AndInto mismatch", func() { New(10).AndInto(New(11), nil) })
+	mustPanic(t, "AndInto nil receiver", func() {
+		var s *Set
+		s.AndInto(New(1), New(1))
+	})
+}
+
+func TestIntersectAll(t *testing.T) {
+	a := FromIndices(200, []int{0, 3, 64, 128, 199})
+	b := FromIndices(200, []int{3, 64, 70, 199})
+	c := FromIndices(200, []int{3, 64, 199})
+
+	dst := FromIndices(200, []int{7}) // prior contents must be overwritten
+	dst.IntersectAll([]*Set{a, b, c})
+	if got, want := fmt.Sprint(dst.Indices()), fmt.Sprint([]int{3, 64, 199}); got != want {
+		t.Errorf("IntersectAll = %s, want %s", got, want)
+	}
+
+	// Empty (and all-nil) operand lists yield the full set — the identity
+	// of intersection, clipped to capacity (tail bits stay clear).
+	dst.IntersectAll(nil)
+	if !dst.Equal(Full(200)) {
+		t.Errorf("IntersectAll(nil) = %d bits, want full", dst.Count())
+	}
+	dst.IntersectAll([]*Set{nil, nil})
+	if !dst.Equal(Full(200)) {
+		t.Errorf("IntersectAll(universes) = %d bits, want full", dst.Count())
+	}
+	odd := New(67) // capacity not word-aligned: trailing word must be trimmed
+	odd.IntersectAll(nil)
+	if odd.Count() != 67 || odd.Test(67) {
+		t.Errorf("IntersectAll identity leaked past capacity: count %d", odd.Count())
+	}
+
+	// nil entries are skipped as universes.
+	dst.IntersectAll([]*Set{a, nil, c})
+	want := a.Clone()
+	want.IntersectWith(c)
+	if !dst.Equal(want) {
+		t.Errorf("IntersectAll with universe entry = %v, want %v", dst.Indices(), want.Indices())
+	}
+
+	// Self-intersection: the destination may appear among the operands.
+	m := a.Clone()
+	m.IntersectAll([]*Set{b, m, c})
+	dst.IntersectAll([]*Set{a, b, c})
+	if !m.Equal(dst) {
+		t.Errorf("aliased IntersectAll = %v, want %v", m.Indices(), dst.Indices())
+	}
+
+	// A single operand copies it; an empty operand empties the result.
+	dst.IntersectAll([]*Set{c})
+	if !dst.Equal(c) {
+		t.Errorf("single-operand IntersectAll = %v, want %v", dst.Indices(), c.Indices())
+	}
+	dst.IntersectAll([]*Set{a, New(200)})
+	if dst.Any() {
+		t.Errorf("intersection with empty set nonempty: %v", dst.Indices())
+	}
+
+	mustPanic(t, "IntersectAll mismatch", func() { New(10).IntersectAll([]*Set{New(11)}) })
+	mustPanic(t, "IntersectAll nil receiver", func() {
+		var s *Set
+		s.IntersectAll(nil)
+	})
+}
+
+// mustPanic asserts fn panics.
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
 }

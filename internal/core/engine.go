@@ -90,6 +90,14 @@ type Options struct {
 	// default; SharedSubexprOff restores the per-query evaluation of PR 1
 	// for A/B benching. Results are identical either way.
 	SharedSubexpr SharedSubexprMode
+	// DisablePerFilterSharing keeps the batch executor's stage-1 sharing
+	// at whole-filter-set granularity: each distinct filter set evaluates
+	// its full conjunction instead of materializing one bitmap per
+	// distinct single AttrFilter and AND-composing set masks from them.
+	// Off by default (per-filter sharing on); the A/B baseline for
+	// overlapping-but-unequal filter-set workloads. Results are identical
+	// either way.
+	DisablePerFilterSharing bool
 	// FactShards hash-partitions every fact table into this many shards
 	// behind the scheduler (internal/shard): ingest and scans then scale
 	// across independent per-shard locks and the scatter-gather executor
@@ -221,15 +229,16 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 		}
 	}
 	e.sched = qsched.New(e.exec, qsched.Options{
-		Window:               opts.CoalesceWindow,
-		MaxBatch:             opts.MaxBatchQueries,
-		MaxInFlight:          opts.MaxInFlightScans,
-		CacheBytes:           opts.ResultCacheBytes,
-		Workers:              opts.QueryWorkers,
-		Disabled:             opts.DisableScheduler,
-		DisableSharedSubexpr: opts.SharedSubexpr == SharedSubexprOff,
-		Timeout:              opts.QueryTimeout,
-		Artifacts:            e.artifacts,
+		Window:                  opts.CoalesceWindow,
+		MaxBatch:                opts.MaxBatchQueries,
+		MaxInFlight:             opts.MaxInFlightScans,
+		CacheBytes:              opts.ResultCacheBytes,
+		Workers:                 opts.QueryWorkers,
+		Disabled:                opts.DisableScheduler,
+		DisableSharedSubexpr:    opts.SharedSubexpr == SharedSubexprOff,
+		DisablePerFilterSharing: opts.DisablePerFilterSharing,
+		Timeout:                 opts.QueryTimeout,
+		Artifacts:               e.artifacts,
 	})
 	return e
 }
@@ -251,6 +260,7 @@ func (e *Engine) SchedulerStats() qsched.Stats {
 		st.ShardFactCounts = ss.FactCounts
 		st.ShardScans = ss.ShardScans
 		st.ArtifactCache = ss.ArtifactCache
+		st.ArtifactDoorkept = ss.ArtifactCache.Doorkept
 	}
 	return st
 }
@@ -476,9 +486,10 @@ func (e *Engine) ExecuteBatch(qs []cube.Query, sessions []*Session) ([]*cube.Res
 		cqs[i] = cq
 	}
 	res, _, err := e.exec.ExecuteBatchCompiledOpt(cqs, vs, cube.BatchOptions{
-		Workers:        e.opts.QueryWorkers,
-		DisableSharing: e.opts.SharedSubexpr == SharedSubexprOff,
-		Artifacts:      e.artifacts,
+		Workers:                 e.opts.QueryWorkers,
+		DisableSharing:          e.opts.SharedSubexpr == SharedSubexprOff,
+		DisablePredicateSharing: e.opts.DisablePerFilterSharing,
+		Artifacts:               e.artifacts,
 	})
 	return res, err
 }

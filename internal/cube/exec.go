@@ -103,7 +103,10 @@ func (a attrCol) value(i int32) (any, bool) {
 	return a.col[i], true
 }
 
-// filterSpec is one resolved attribute filter.
+// filterSpec is one resolved attribute filter. key is the predicate's
+// sub-fingerprint (AttrFilter.Fingerprint) — the identity under which a
+// batch scan materializes one bitmap per distinct predicate and composes
+// each query's filter mask by AND.
 type filterSpec struct {
 	dd   *DimData
 	li   int
@@ -111,6 +114,30 @@ type filterSpec struct {
 	anc  []int32
 	keys []int32
 	attr attrCol
+	key  string
+}
+
+// match is stage 1 for one fact and one predicate: whether fact i passes
+// this filter alone.
+func (fs *filterSpec) match(i int32) bool {
+	anc := fs.anc[fs.keys[i]]
+	if anc == NoParent {
+		return false
+	}
+	val, has := fs.attr.value(anc)
+	return has && compare(val, fs.f.Op, fs.f.Value)
+}
+
+// materializePredicateMask runs this one predicate over facts [lo, hi)
+// into the shared bitmap — the per-filter counterpart of
+// queryPlan.materializeFilterMask, with the same word-aligned chunk
+// contract (workers owning disjoint chunks fill one bitmap racelessly).
+func (fs *filterSpec) materializePredicateMask(lo, hi int, out *bitset.Set) {
+	for i := lo; i < hi; i++ {
+		if fs.match(int32(i)) {
+			out.Set(i)
+		}
+	}
 }
 
 // queryPlan is a validated, resolved query: every name bound to column
@@ -136,13 +163,20 @@ type queryPlan struct {
 // and, in a batch, one materialized bitmap.
 func (p *queryPlan) matchFact(i int32) bool {
 	for fi := range p.filters {
-		fs := &p.filters[fi]
-		anc := fs.anc[fs.keys[i]]
-		if anc == NoParent {
+		if !p.filters[fi].match(i) {
 			return false
 		}
-		val, has := fs.attr.value(anc)
-		if !has || !compare(val, fs.f.Op, fs.f.Value) {
+	}
+	return true
+}
+
+// matchResidual evaluates only the filters at the given indices — the
+// residual predicates of a partially composed filter mask (the iterated
+// bitmap already encodes the others). The conjunction over (encoded ∪
+// residual) predicates equals matchFact, so results stay byte-identical.
+func (p *queryPlan) matchResidual(i int32, idx []int) bool {
+	for _, fi := range idx {
+		if !p.filters[fi].match(i) {
 			return false
 		}
 	}
@@ -241,7 +275,8 @@ func (c *Cube) compile(q Query) (*queryPlan, error) {
 			ac.col = ld.attrs[f.Attr]
 		}
 		p.filters[i] = filterSpec{dd: dd, li: li, f: f,
-			anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[f.Dimension], attr: ac}
+			anc: dd.ancestorsFromFinest(li), keys: fd.dimKeys[f.Dimension], attr: ac,
+			key: f.Fingerprint()}
 	}
 	if len(p.filters) > 0 {
 		p.filterKey = q.FilterFingerprint()
@@ -675,6 +710,13 @@ type BatchOptions struct {
 	// group-key decode inside the shared scan — the A/B baseline for the
 	// cross-query subexpression sharing that is otherwise on by default.
 	DisableSharing bool
+	// DisablePredicateSharing keeps stage-1 sharing at whole-filter-set
+	// granularity (the pre-per-filter behavior): each distinct filter set
+	// materializes its bitmap by evaluating the full conjunction, instead
+	// of factoring the set into per-predicate bitmaps and AND-composing.
+	// The A/B baseline for per-filter sharing; results are identical
+	// either way. Ignored when DisableSharing is set.
+	DisablePredicateSharing bool
 	// Artifacts optionally carries a cross-batch artifact cache (see
 	// exec_cache.go): hot filter bitmaps and roll-up key columns then
 	// survive between scans instead of being re-materialized per batch.
@@ -695,6 +737,22 @@ type SharingStats struct {
 	// them (= filter bitmaps the scan conceptually needs).
 	FilterSets         int `json:"filterSets"`
 	DistinctFilterSets int `json:"distinctFilterSets"`
+	// FilterPredicates counts (query, distinct-predicate) uses across the
+	// batch; DistinctPredicates the distinct single-AttrFilter
+	// sub-fingerprints among them (= predicate bitmaps the scan
+	// conceptually needs under per-filter sharing). Their ratio is the
+	// per-predicate sharing factor: queries filtering
+	// {year=2009, region=EU} and {year=2009, region=US} count 4 instances
+	// over 3 distinct predicates.
+	FilterPredicates   int `json:"filterPredicates"`
+	DistinctPredicates int `json:"distinctPredicates"`
+	// ComposedMasks counts filter-set masks this scan produced by
+	// AND-composing per-predicate bitmaps (full composition) rather than
+	// evaluating the conjunction; PartialMasks counts sets that composed
+	// some predicates and evaluated the residue inline. Both 0 when
+	// per-predicate sharing is disabled.
+	ComposedMasks int `json:"composedMasks"`
+	PartialMasks  int `json:"partialMasks"`
 	// GroupKeySets counts (query, grouping) pairs; DistinctGroupings the
 	// distinct (dimension, level) sub-fingerprints among them (= roll-up
 	// key columns the scan conceptually needs).
@@ -711,6 +769,10 @@ func (s *SharingStats) Add(o SharingStats) {
 	s.Queries += o.Queries
 	s.FilterSets += o.FilterSets
 	s.DistinctFilterSets += o.DistinctFilterSets
+	s.FilterPredicates += o.FilterPredicates
+	s.DistinctPredicates += o.DistinctPredicates
+	s.ComposedMasks += o.ComposedMasks
+	s.PartialMasks += o.PartialMasks
 	s.GroupKeySets += o.GroupKeySets
 	s.DistinctGroupings += o.DistinctGroupings
 	s.ArtifactCacheHits += o.ArtifactCacheHits
@@ -813,7 +875,7 @@ func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOpt
 		if opts.DisableSharing {
 			scanShared(groups[fact], plans, masks, parts, w)
 		} else {
-			stats.Add(scanSharedStaged(groups[fact], plans, masks, parts, w, opts.Artifacts))
+			stats.Add(scanSharedStaged(groups[fact], plans, masks, parts, w, opts))
 		}
 	}
 	return parts, stats

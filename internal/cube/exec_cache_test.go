@@ -60,18 +60,25 @@ func TestArtifactCacheHitStaleAndEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The admission doorkeeper turns first offers away: one batch is not
+	// enough to cache anything, the repeat admits, the third run hits.
 	first := run("first")
-	if st := ac.Stats(); st.Entries == 0 {
-		t.Fatalf("first batch cached nothing: %+v", st)
+	if st := ac.Stats(); st.Entries != 0 || st.Doorkept == 0 {
+		t.Fatalf("first batch should be doorkept, not cached: %+v", st)
 	}
-	hitsAfterFirst := ac.Stats().Hits
+	admitted := run("admitted")
+	if st := ac.Stats(); st.Entries == 0 {
+		t.Fatalf("second batch cached nothing: %+v", st)
+	}
+	hitsAfterAdmit := ac.Stats().Hits
 	second := run("second")
 	st := ac.Stats()
-	if st.Hits <= hitsAfterFirst {
+	if st.Hits <= hitsAfterAdmit {
 		t.Fatalf("repeat batch did not hit the cache: %+v", st)
 	}
 	for i := range qs {
-		if !reflect.DeepEqual(first[i], baseline[i]) || !reflect.DeepEqual(second[i], baseline[i]) {
+		if !reflect.DeepEqual(first[i], baseline[i]) || !reflect.DeepEqual(admitted[i], baseline[i]) ||
+			!reflect.DeepEqual(second[i], baseline[i]) {
 			t.Errorf("case %d: cached execution differs from serial", i)
 		}
 	}
@@ -163,5 +170,110 @@ func TestArtifactCacheEviction(t *testing.T) {
 	if st.Entries > 1 {
 		// One key column fits; a second must displace the first.
 		t.Logf("note: %d entries resident (%d bytes)", st.Entries, st.Bytes)
+	}
+}
+
+// doorkeeperBatch builds two no-group-by queries sharing one single-filter
+// set, so a batch offers the cache exactly one artifact: the composed
+// filter-set mask (no groupings → no key columns).
+func doorkeeperBatch(value float64) []cube.Query {
+	filters := []cube.AttrFilter{{
+		LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: cube.OpGt, Value: value,
+	}}
+	return []cube.Query{
+		{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}, Filters: filters},
+		{Fact: "Sales", Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}}, Filters: filters},
+	}
+}
+
+// TestArtifactCacheDoorkeeperAdmission pins the two-generation admission
+// policy: a one-shot filter's artifact is never cached, its second offer
+// admits, and a third run is served from the cache.
+func TestArtifactCacheDoorkeeperAdmission(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 21, States: 4, Cities: 10, Stores: 50, Customers: 40,
+		Products: 20, Days: 20, Sales: 2500,
+		AirportEvery: 4, TrainLines: 3, Hospitals: 4, Highways: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := cube.NewArtifactCache(8 << 20)
+	run := func(v float64) {
+		if _, _, err := ds.Cube.ExecuteBatchOpt(doorkeeperBatch(v), nil,
+			cube.BatchOptions{Artifacts: ac}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One-shot filters: each value is offered once and turned away.
+	for i := 0; i < 4; i++ {
+		run(float64(10000 + i))
+	}
+	st := ac.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("one-shot filters were cached: %+v", st)
+	}
+	if st.Doorkept != 4 {
+		t.Fatalf("doorkept = %d, want 4 (one per one-shot filter set): %+v", st.Doorkept, st)
+	}
+
+	// A repeated filter admits on its second offer and hits from then on.
+	run(99999)
+	if st := ac.Stats(); st.Entries != 0 {
+		t.Fatalf("first offer admitted: %+v", st)
+	}
+	run(99999)
+	if st := ac.Stats(); st.Entries != 1 {
+		t.Fatalf("second offer did not admit: %+v", st)
+	}
+	hits := ac.Stats().Hits
+	run(99999)
+	if st := ac.Stats(); st.Hits <= hits {
+		t.Fatalf("admitted artifact not served: %+v", st)
+	}
+}
+
+// TestArtifactCacheDoorkeeperRotation pins generation rotation: with a
+// one-entry generation, a stream of distinct fingerprints keeps rotating
+// the maps, so a fingerprint re-offered after two strangers has been
+// forgotten (still not admitted), while an immediate repeat — surviving in
+// the old generation — is.
+func TestArtifactCacheDoorkeeperRotation(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 22, States: 4, Cities: 10, Stores: 50, Customers: 40,
+		Products: 20, Days: 20, Sales: 2500,
+		AirportEvery: 4, TrainLines: 3, Hospitals: 4, Highways: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := cube.NewArtifactCache(8 << 20)
+	ac.SetDoorkeeperCapacity(1)
+	run := func(v float64) {
+		if _, _, err := ds.Cube.ExecuteBatchOpt(doorkeeperBatch(v), nil,
+			cube.BatchOptions{Artifacts: ac}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A, B, C rotate the single-slot generations twice; by the time A is
+	// re-offered both generations have forgotten it.
+	run(1)
+	run(2)
+	run(3)
+	run(1)
+	if st := ac.Stats(); st.Entries != 0 || st.Doorkept != 4 {
+		t.Fatalf("rotation should have forgotten A (want 4 doorkept, 0 entries): %+v", st)
+	}
+
+	// An immediate repeat survives in the old generation and admits: after
+	// offering D (filling the current generation), D's repeat still hits
+	// one of the two generations.
+	run(4)
+	run(4)
+	if st := ac.Stats(); st.Entries != 1 {
+		t.Fatalf("immediate repeat should admit across generations: %+v", st)
 	}
 }

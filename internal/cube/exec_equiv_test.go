@@ -157,6 +157,19 @@ func diffResults(t *testing.T, label string, got, want *cube.Result) {
 	}
 }
 
+// batchSharingModes enumerates the executor's stage-1/2 sharing levels:
+// fully fused (PR 1), whole-filter-set artifacts, and per-predicate
+// bitmaps AND-composed into set masks (the default). Results must be
+// byte-identical across all three.
+var batchSharingModes = []struct {
+	name string
+	opts cube.BatchOptions
+}{
+	{"fused", cube.BatchOptions{DisableSharing: true}},
+	{"per-set", cube.BatchOptions{DisablePredicateSharing: true}},
+	{"per-predicate", cube.BatchOptions{}},
+}
+
 func TestExecutorEquivalenceRandomized(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42} {
 		seed := seed
@@ -196,22 +209,23 @@ func TestExecutorEquivalenceRandomized(t *testing.T) {
 				}
 			}
 
-			// Shared-scan batch executor (all cases in one batch), with
-			// cross-query subexpression sharing both off (the fused PR 1
-			// path) and on (stage-1/2 artifacts shared by sub-fingerprint).
+			// Shared-scan batch executor (all cases in one batch), across
+			// every sharing mode: fused (the PR 1 path), whole-set
+			// artifacts, and per-predicate bitmaps with AND-composition.
 			for _, w := range []int{1, 3, 8} {
-				for _, noShare := range []bool{false, true} {
+				for _, mode := range batchSharingModes {
 					batch, _, err := ds.Cube.ExecuteBatchOpt(qs, vs,
-						cube.BatchOptions{Workers: w, DisableSharing: noShare})
+						cube.BatchOptions{Workers: w, DisableSharing: mode.opts.DisableSharing,
+							DisablePredicateSharing: mode.opts.DisablePredicateSharing})
 					if err != nil {
-						t.Fatalf("batch workers %d noShare %v: %v", w, noShare, err)
+						t.Fatalf("batch workers %d mode %s: %v", w, mode.name, err)
 					}
 					if len(batch) != cases {
 						t.Fatalf("batch workers %d: %d results, want %d", w, len(batch), cases)
 					}
 					for i := range qs {
-						diffResults(t, fmt.Sprintf("batch case %d workers %d noShare %v",
-							i, w, noShare), batch[i], serial[i])
+						diffResults(t, fmt.Sprintf("batch case %d workers %d mode %s",
+							i, w, mode.name), batch[i], serial[i])
 					}
 				}
 			}
@@ -240,8 +254,11 @@ func TestSharedSubexprBatchEquivalence(t *testing.T) {
 			}
 			rng := rand.New(rand.NewSource(seed))
 
-			// A small pool of filter sets (including reorderings of the
-			// same set, which must share one bitmap) and groupings.
+			// A small pool of filter sets — including reorderings of the
+			// same set (which must share one bitmap) and
+			// overlapping-but-unequal sets drawn from three predicates
+			// (which must share per-predicate bitmaps through full and
+			// partial AND-composition) — and groupings.
 			popFilter := cube.AttrFilter{
 				LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
 				Attr:     "population", Op: cube.OpGt, Value: float64(500000),
@@ -250,11 +267,19 @@ func TestSharedSubexprBatchEquivalence(t *testing.T) {
 				LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
 				Attr:     "age", Op: cube.OpLe, Value: float64(40),
 			}
+			brandFilter := cube.AttrFilter{
+				LevelRef: cube.LevelRef{Dimension: "Product", Level: "Product"},
+				Attr:     "brand", Op: cube.OpNe, Value: "Brand03",
+			}
 			filterPool := [][]cube.AttrFilter{
 				nil,
 				{popFilter},
+				{ageFilter},
 				{popFilter, ageFilter},
 				{ageFilter, popFilter}, // reordered: same sub-fingerprint
+				{popFilter, brandFilter},
+				{ageFilter, brandFilter},
+				{brandFilter, popFilter, ageFilter},
 			}
 			groupPool := [][]cube.LevelRef{
 				{{Dimension: "Store", Level: "City"}},
@@ -289,28 +314,47 @@ func TestSharedSubexprBatchEquivalence(t *testing.T) {
 			}
 
 			for _, w := range []int{1, 2, 5, 8} {
-				batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, vs, cube.BatchOptions{Workers: w})
-				if err != nil {
-					t.Fatalf("workers %d: %v", w, err)
-				}
-				for i := range qs {
-					diffResults(t, fmt.Sprintf("shared case %d workers %d", i, w), batch[i], serial[i])
-				}
-				if stats.Queries != cases {
-					t.Errorf("stats.Queries = %d, want %d", stats.Queries, cases)
-				}
-				// The pool admits at most 2 distinct non-empty filter sets
-				// ({pop} and the reorder-shared {pop,age}) and 3 groupings.
-				if stats.DistinctFilterSets > 2 {
-					t.Errorf("distinct filter sets = %d, want <= 2 (reordered sets must share)",
-						stats.DistinctFilterSets)
-				}
-				if stats.DistinctGroupings > 4 {
-					t.Errorf("distinct groupings = %d, want <= 4", stats.DistinctGroupings)
-				}
-				if stats.FilterSets < stats.DistinctFilterSets ||
-					stats.GroupKeySets < stats.DistinctGroupings {
-					t.Errorf("instances below distinct counts: %+v", stats)
+				for _, mode := range batchSharingModes {
+					opts := mode.opts
+					opts.Workers = w
+					batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, vs, opts)
+					if err != nil {
+						t.Fatalf("workers %d mode %s: %v", w, mode.name, err)
+					}
+					for i := range qs {
+						diffResults(t, fmt.Sprintf("shared case %d workers %d mode %s",
+							i, w, mode.name), batch[i], serial[i])
+					}
+					if mode.opts.DisableSharing {
+						continue // fused scans report no sharing stats
+					}
+					if stats.Queries != cases {
+						t.Errorf("mode %s: stats.Queries = %d, want %d", mode.name, stats.Queries, cases)
+					}
+					// The pool admits at most 6 distinct non-empty filter
+					// sets (the reordered {pop,age} pair shares one key)
+					// built from 3 distinct predicates, and 3 groupings.
+					if stats.DistinctFilterSets > 6 {
+						t.Errorf("mode %s: distinct filter sets = %d, want <= 6 (reordered sets must share)",
+							mode.name, stats.DistinctFilterSets)
+					}
+					if stats.DistinctPredicates > 3 {
+						t.Errorf("mode %s: distinct predicates = %d, want <= 3",
+							mode.name, stats.DistinctPredicates)
+					}
+					if stats.DistinctGroupings > 4 {
+						t.Errorf("mode %s: distinct groupings = %d, want <= 4",
+							mode.name, stats.DistinctGroupings)
+					}
+					if stats.FilterSets < stats.DistinctFilterSets ||
+						stats.FilterPredicates < stats.DistinctPredicates ||
+						stats.GroupKeySets < stats.DistinctGroupings {
+						t.Errorf("mode %s: instances below distinct counts: %+v", mode.name, stats)
+					}
+					if mode.opts.DisablePredicateSharing &&
+						(stats.ComposedMasks > 0 || stats.PartialMasks > 0) {
+						t.Errorf("per-set mode composed masks: %+v", stats)
+					}
 				}
 			}
 		})
@@ -362,5 +406,137 @@ func TestExecuteBatchValidation(t *testing.T) {
 	if batch[0].MatchedFacts >= batch[1].MatchedFacts {
 		t.Errorf("personalized view should see fewer facts: %d vs %d",
 			batch[0].MatchedFacts, batch[1].MatchedFacts)
+	}
+}
+
+// TestPerFilterCompositionPaths pins the per-predicate planner's three
+// stage-1 shapes on a deterministic batch: a predicate shared across
+// three filter sets materializes one bitmap; qualifying sets compose it
+// and refine their unshared predicate in one pass (full masks); a
+// single-use set AND-composes the shared bitmap into a partial mask and
+// leaves its residue to the per-fact path. Results must match the serial
+// oracle in every mode.
+func TestPerFilterCompositionPaths(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 13, States: 5, Cities: 15, Stores: 80, Customers: 60,
+		Products: 30, Days: 30, Sales: 4000,
+		AirportEvery: 5, TrainLines: 4, Hospitals: 5, Highways: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(attrDim, level, attr string, v any) cube.AttrFilter {
+		return cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: attrDim, Level: level},
+			Attr: attr, Op: cube.OpGt, Value: v}
+	}
+	shared := mk("Store", "City", "population", float64(300000)) // in all three sets
+	b := mk("Customer", "Customer", "age", float64(30))
+	c := mk("Customer", "Customer", "age", float64(50))
+	d := mk("Store", "City", "population", float64(900000))
+	agg := []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}}
+	group := []cube.LevelRef{{Dimension: "Store", Level: "State"}}
+	qs := []cube.Query{
+		{Fact: "Sales", GroupBy: group, Aggregates: agg, Filters: []cube.AttrFilter{shared, b}},
+		{Fact: "Sales", GroupBy: group, Aggregates: agg, Filters: []cube.AttrFilter{b, shared}},
+		{Fact: "Sales", GroupBy: group, Aggregates: agg, Filters: []cube.AttrFilter{shared, c}},
+		{Fact: "Sales", GroupBy: group, Aggregates: agg, Filters: []cube.AttrFilter{c, shared}},
+		{Fact: "Sales", GroupBy: group, Aggregates: agg, Filters: []cube.AttrFilter{shared, d}},
+	}
+	serial := make([]*cube.Result, len(qs))
+	for i, q := range qs {
+		if serial[i], err = ds.Cube.Execute(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range []int{1, 4} {
+		for _, mode := range batchSharingModes {
+			opts := mode.opts
+			opts.Workers = w
+			batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, nil, opts)
+			if err != nil {
+				t.Fatalf("workers %d mode %s: %v", w, mode.name, err)
+			}
+			for i := range qs {
+				diffResults(t, fmt.Sprintf("case %d workers %d mode %s", i, w, mode.name),
+					batch[i], serial[i])
+			}
+			if mode.name != "per-predicate" {
+				continue
+			}
+			// {shared,b} and {shared,c} qualify (2 uses each) and compose
+			// the shared bitmap, refining b/c once per set; {shared,d}
+			// (one use) gets a partial mask and evaluates d inline.
+			if stats.DistinctPredicates != 4 || stats.FilterPredicates != 10 {
+				t.Errorf("workers %d: predicates = %d/%d, want 4 distinct / 10 instances",
+					w, stats.DistinctPredicates, stats.FilterPredicates)
+			}
+			if stats.ComposedMasks != 2 {
+				t.Errorf("workers %d: composed masks = %d, want 2", w, stats.ComposedMasks)
+			}
+			if stats.PartialMasks != 1 {
+				t.Errorf("workers %d: partial masks = %d, want 1", w, stats.PartialMasks)
+			}
+		}
+	}
+}
+
+// TestPerFilterArtifactCachePredicates checks that per-predicate bitmaps
+// flow through the cross-batch artifact cache: after the doorkeeper
+// admits them, a repeated overlapping-set batch takes its shared
+// predicate bitmap (and composed set masks) from the cache.
+func TestPerFilterArtifactCachePredicates(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Seed: 14, States: 5, Cities: 15, Stores: 80, Customers: 60,
+		Products: 30, Days: 30, Sales: 4000,
+		AirportEvery: 5, TrainLines: 4, Hospitals: 5, Highways: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+		Attr: "population", Op: cube.OpGt, Value: float64(300000)}
+	young := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
+		Attr: "age", Op: cube.OpLe, Value: float64(35)}
+	old := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
+		Attr: "age", Op: cube.OpGt, Value: float64(55)}
+	agg := []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}}
+	var qs []cube.Query
+	for _, fs := range [][]cube.AttrFilter{{shared, young}, {shared, old}} {
+		for _, level := range []string{"City", "State"} {
+			qs = append(qs, cube.Query{Fact: "Sales",
+				GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: level}},
+				Aggregates: agg, Filters: fs})
+		}
+	}
+	ac := cube.NewArtifactCache(16 << 20)
+	var last cube.SharingStats
+	for i := 0; i < 3; i++ {
+		res, stats, err := ds.Cube.ExecuteBatchOpt(qs, nil, cube.BatchOptions{Artifacts: ac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = stats
+		for j, q := range qs {
+			want, werr := ds.Cube.Execute(q, nil)
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			diffResults(t, fmt.Sprintf("run %d case %d", i, j), res[j], want)
+		}
+	}
+	// Run 1 materializes the shared predicate bitmap and both composed set
+	// masks and offers all three (doorkept); run 2 re-materializes and is
+	// admitted; run 3 takes both composed set masks straight from the
+	// cache (the predicate bitmap is then not even needed). Key columns
+	// never materialize here — the selective filters leave less than a
+	// table pass of decode work.
+	if last.ArtifactCacheHits < 2 {
+		t.Errorf("third run took %d artifacts from the cache, want >= 2 (stats %+v, cache %+v)",
+			last.ArtifactCacheHits, last, ac.Stats())
+	}
+	st := ac.Stats()
+	if st.Doorkept < 3 || st.Entries < 3 {
+		t.Errorf("doorkeeper flow: want >= 3 doorkept (run 1) and >= 3 entries (run 2 admits the"+
+			" predicate bitmap and both set masks): %+v", st)
 	}
 }

@@ -35,9 +35,19 @@ import (
 type sharedArtifacts struct {
 	fd          *FactData
 	filterMasks map[string]*bitset.Set // filter-set sub-fingerprint → bitmap
-	keyCols     map[string][]int32     // grouping sub-fingerprint → key column
-	// cacheOwned marks sub-fingerprints (either kind) whose artifact the
-	// cross-batch cache owns; releaseArtifacts must not pool those.
+	predMasks   map[string]*bitset.Set // predicate sub-fingerprint → bitmap
+	// partialMasks maps a filter-set sub-fingerprint to the AND of the
+	// set's *available* predicate bitmaps only — the set's remaining
+	// predicates are evaluated inline per query (queryScan.residual).
+	// Partial masks are not the set's semantic mask, so they are never
+	// cached and always return to the pool.
+	partialMasks map[string]*bitset.Set
+	keyCols      map[string][]int32 // grouping sub-fingerprint → key column
+	// cacheOwned marks sub-fingerprints whose artifact the cross-batch
+	// cache owns; releaseArtifacts must not pool those. One map serves all
+	// three keyspaces: set fingerprints start with a digit, predicate
+	// fingerprints with 'w', grouping fingerprints with 'g' — they cannot
+	// collide.
 	cacheOwned map[string]bool
 }
 
@@ -79,12 +89,17 @@ type queryScan struct {
 	// per-chunk popcount is the query's ScannedFacts contribution.
 	view *bitset.Set
 	// iter is the mask accumulation iterates. With pre-applied filters it
-	// is filterMask ∩ view; otherwise it is view and matchFact runs
-	// inline. nil iterates every fact.
+	// is filterMask ∩ view (or partialMask ∩ view); otherwise it is view
+	// and matchFact runs inline. nil iterates every fact.
 	iter *bitset.Set
-	// prefiltered marks that iter already encodes the filters, so matched
-	// facts are counted by popcount instead of per-fact evaluation.
+	// prefiltered marks that iter already encodes the filters (all of
+	// them when residual is empty), so fully matched facts are counted by
+	// popcount instead of per-fact evaluation.
 	prefiltered bool
+	// residual lists the plan's filter indices NOT encoded in iter — the
+	// predicates of a partially composed mask that must still be
+	// evaluated per fact (over the already-narrowed iteration domain).
+	residual []int
 	// keyCols holds the shared decoded key column per grouping (nil →
 	// inline decode in accumulateFact).
 	keyCols [][]int32
@@ -94,14 +109,28 @@ type queryScan struct {
 // facts [lo, hi) into pt, driving stage 3 off qs's masks and key columns.
 func (pt *partial) scanRangeStaged(lo, hi int, qs *queryScan) {
 	if qs.prefiltered {
-		// Stage 1 ran ahead of the scan: ScannedFacts is the view's
-		// popcount, MatchedFacts the pre-intersected mask's (iter is never
-		// nil here — a prefiltered query always has a filter bitmap), and
-		// only matching facts are visited at all.
+		// Stage 1 (or part of it) ran ahead of the scan: ScannedFacts is
+		// the view's popcount (identical to the fused path, which counts
+		// every visible fact it visits), and only facts passing the
+		// encoded predicates are visited at all (iter is never nil here —
+		// a prefiltered query always has a filter bitmap).
 		if qs.view == nil {
 			pt.scanned += hi - lo
 		} else {
 			pt.scanned += qs.view.CountRange(lo, hi)
+		}
+		if len(qs.residual) > 0 {
+			// Partially composed mask: the residual predicates run inline
+			// over the narrowed domain. MatchedFacts counts facts passing
+			// the whole conjunction, exactly as the fused path does.
+			qs.iter.ForEachRange(lo, hi, func(i int) bool {
+				if pt.p.matchResidual(int32(i), qs.residual) {
+					pt.matched++
+					pt.accumulateFact(int32(i), qs.keyCols)
+				}
+				return true
+			})
+			return
 		}
 		pt.matched += qs.iter.CountRange(lo, hi)
 		qs.iter.ForEachRange(lo, hi, func(i int) bool {
@@ -162,6 +191,51 @@ func parallelFill(n, workers int, fill func(lo, hi int)) {
 	wg.Wait()
 }
 
+// setFill is one filter-set mask being materialized this scan: composed
+// from the set's available predicate bitmaps (base), with the remaining
+// predicates (residual) evaluated in a refinement pass over the already-
+// narrowed domain. A set with no available predicates degenerates to the
+// classic full-conjunction fill.
+type setFill struct {
+	m        *bitset.Set
+	base     []*bitset.Set // available predicate bitmaps (composed first)
+	residual []*filterSpec // predicates without bitmaps, evaluated once per set
+}
+
+// refine runs the residual predicates over facts [lo, hi). With a
+// composed base the mask already holds the AND of the base predicates and
+// refinement clears facts failing the residue; without one it evaluates
+// the residue (= the whole conjunction) into the zeroed mask.
+func (sf *setFill) refine(lo, hi int) {
+	if len(sf.residual) == 0 {
+		return
+	}
+	if len(sf.base) > 0 {
+		sf.m.ForEachRange(lo, hi, func(i int) bool {
+			for _, fs := range sf.residual {
+				if !fs.match(int32(i)) {
+					sf.m.Clear(i)
+					break
+				}
+			}
+			return true
+		})
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ok := true
+		for _, fs := range sf.residual {
+			if !fs.match(int32(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sf.m.Set(i)
+		}
+	}
+}
+
 // buildArtifacts materializes the filter bitmaps and key columns the fact
 // group's plans share, filling them with the worker pool chunk by chunk,
 // and returns them plus the batch's sharing statistics.
@@ -177,18 +251,38 @@ func parallelFill(n, workers int, fill func(lo, hi int)) {
 // its full visible mass (stage 2 runs only on facts that passed stage 1).
 // Results are byte-identical whichever way the decision goes.
 //
-// With a cross-batch cache, every distinct sub-fingerprint is first looked
-// up by (fingerprint, table version): a hit is free, so it is used even by
-// a single query, and freshly filled artifacts are handed to the cache so
-// the next batch's lookup hits. Cache-owned artifacts are immutable and
-// bypass the pools.
-func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers int, cache *ArtifactCache) (*sharedArtifacts, SharingStats) {
+// Stage 1 is decomposed per predicate (unless opts.DisablePredicateSharing
+// reverts to whole-set granularity): each distinct single AttrFilter that
+// is shared across at least two distinct filter sets materializes one
+// bitmap, and set masks are AND-composed from their predicate bitmaps —
+// so batches with overlapping-but-unequal filter sets ({year, regionEU}
+// and {year, regionUS}) evaluate the shared predicate once instead of
+// once per set. A qualifying set whose predicates are not all shared
+// composes what is available and refines the residue in one pass over the
+// narrowed domain; a non-qualifying set still AND-composes whatever
+// predicate bitmaps exist into a partial mask and leaves the residue to
+// the per-fact path (queryScan.residual).
+//
+// With a cross-batch cache, every distinct sub-fingerprint — composed set
+// masks and predicate bitmaps alike — is first looked up by (fingerprint,
+// table version): a hit is free, so it is used even by a single query,
+// and freshly filled artifacts are offered to the cache (its doorkeeper
+// admits only fingerprints seen across at least two scans) so the next
+// batch's lookup hits. Cache-owned artifacts are immutable and bypass the
+// pools.
+func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers int, opts BatchOptions) (*sharedArtifacts, SharingStats) {
+	cache := opts.Artifacts
 	stats := SharingStats{Queries: len(idxs)}
 	n := plans[idxs[0]].fd.n
-	filterUses := map[string]int{}  // sub-fingerprint → queries using it
-	groupUses := map[string]int{}   // sub-fingerprint → (query, grouping) uses
-	filterMass := map[string]int{}  // sub-fingerprint → Σ visible facts
+	filterUses := map[string]int{} // set sub-fingerprint → queries using it
+	groupUses := map[string]int{}  // sub-fingerprint → (query, grouping) uses
+	filterMass := map[string]int{} // set sub-fingerprint → Σ visible facts
 	filterOwner := map[string]*queryPlan{}
+	setPreds := map[string][]string{}     // set sub-fingerprint → distinct predicate keys
+	predUses := map[string]int{}          // predicate key → query uses
+	predSets := map[string]int{}          // predicate key → distinct sets containing it
+	predMass := map[string]int{}          // predicate key → Σ visible facts
+	predOwner := map[string]*filterSpec{} // any resolved spec for the predicate
 	groupOwner := map[string]*groupSpec{}
 	visible := make([]int, len(idxs)) // per query-in-group
 	for k, qi := range idxs {
@@ -202,9 +296,34 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 			if filterUses[p.filterKey] == 0 {
 				stats.DistinctFilterSets++
 				filterOwner[p.filterKey] = p
+				// Record the set's distinct predicates once: every plan
+				// with this set fingerprint holds the same predicate
+				// multiset (the set key is derived from the predicate
+				// keys), so the first plan seen can speak for all.
+				seen := map[string]bool{}
+				for fi := range p.filters {
+					fs := &p.filters[fi]
+					if seen[fs.key] {
+						continue
+					}
+					seen[fs.key] = true
+					setPreds[p.filterKey] = append(setPreds[p.filterKey], fs.key)
+					predSets[fs.key]++
+					if predOwner[fs.key] == nil {
+						predOwner[fs.key] = fs
+					}
+				}
 			}
 			filterUses[p.filterKey]++
 			filterMass[p.filterKey] += visible[k]
+			for _, pk := range setPreds[p.filterKey] {
+				stats.FilterPredicates++
+				if predUses[pk] == 0 {
+					stats.DistinctPredicates++
+				}
+				predUses[pk]++
+				predMass[pk] += visible[k]
+			}
 		}
 		for gi := range p.groups {
 			g := &p.groups[gi]
@@ -219,36 +338,46 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 
 	fd := plans[idxs[0]].fd
 	version := fd.version.Load()
-	art := &sharedArtifacts{fd: fd, filterMasks: map[string]*bitset.Set{}, keyCols: map[string][]int32{}}
-	fillMasks := map[string]*bitset.Set{} // freshly materialized this scan
-	for key, uses := range filterUses {
-		if cache != nil {
-			if m := cache.getMask(fd, version, key); m != nil {
-				art.filterMasks[key] = m
-				art.markOwned(key)
-				stats.ArtifactCacheHits++
-				continue
-			}
-		}
-		if uses >= 2 && filterMass[key] > n {
-			m := fd.getMask()
-			art.filterMasks[key] = m
-			fillMasks[key] = m
-		}
-	}
-	if len(fillMasks) > 0 {
-		parallelFill(n, workers, func(lo, hi int) {
-			for key, mask := range fillMasks {
-				filterOwner[key].materializeFilterMask(lo, hi, mask)
-			}
-		})
-		if cache != nil {
-			for key, m := range fillMasks {
-				if cache.putMask(fd, version, key, m) {
+	art := &sharedArtifacts{fd: fd, filterMasks: map[string]*bitset.Set{},
+		predMasks: map[string]*bitset.Set{}, partialMasks: map[string]*bitset.Set{},
+		keyCols: map[string][]int32{}}
+
+	if opts.DisablePredicateSharing {
+		// Whole-set granularity (the pre-per-filter path): one bitmap per
+		// distinct filter set, filled by evaluating the full conjunction.
+		fillMasks := map[string]*bitset.Set{} // freshly materialized this scan
+		for key, uses := range filterUses {
+			if cache != nil {
+				if m := cache.getMask(fd, version, key); m != nil {
+					art.filterMasks[key] = m
 					art.markOwned(key)
+					stats.ArtifactCacheHits++
+					continue
+				}
+			}
+			if uses >= 2 && filterMass[key] > n {
+				m := fd.getMask()
+				art.filterMasks[key] = m
+				fillMasks[key] = m
+			}
+		}
+		if len(fillMasks) > 0 {
+			parallelFill(n, workers, func(lo, hi int) {
+				for key, mask := range fillMasks {
+					filterOwner[key].materializeFilterMask(lo, hi, mask)
+				}
+			})
+			if cache != nil {
+				for key, m := range fillMasks {
+					if cache.putMask(fd, version, key, m) {
+						art.markOwned(key)
+					}
 				}
 			}
 		}
+	} else {
+		buildFilterMasksPerPredicate(art, &stats, n, version, workers, cache,
+			filterUses, filterMass, filterOwner, setPreds, predSets, predMass, predOwner)
 	}
 
 	// Decide key columns with the filter masks in hand: a query whose
@@ -302,6 +431,144 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 	return art, stats
 }
 
+// buildFilterMasksPerPredicate is buildArtifacts' stage-1 planner at
+// per-predicate granularity. Predicate bitmaps materialize when the
+// predicate recurs across at least two distinct filter sets (its total
+// visible mass exceeding one table pass) or sits in the cross-batch
+// cache; set masks are then AND-composed from them, with any residual
+// predicates refined in a single pass over the already-narrowed domain.
+// The resulting art.filterMasks entries are exactly the semantic set
+// masks the whole-set path would have produced, so everything downstream
+// (planScan, accumulation, caching) is untouched and results stay
+// byte-identical.
+func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
+	n int, version uint64, workers int, cache *ArtifactCache,
+	filterUses, filterMass map[string]int, filterOwner map[string]*queryPlan,
+	setPreds map[string][]string, predSets, predMass map[string]int,
+	predOwner map[string]*filterSpec) {
+	fd := art.fd
+
+	// Composed set masks straight from the cache; the rest need building.
+	var needSets []string
+	for key := range filterUses {
+		if cache != nil {
+			if m := cache.getMask(fd, version, key); m != nil {
+				art.filterMasks[key] = m
+				art.markOwned(key)
+				stats.ArtifactCacheHits++
+				continue
+			}
+		}
+		needSets = append(needSets, key)
+	}
+
+	// Predicate bitmaps: a cache hit is free and used unconditionally; a
+	// fresh fill must pay for itself — the predicate has to recur across
+	// distinct sets (within one set, the set's own conjunction pass
+	// evaluates it with short-circuiting at no extra cost).
+	fillPreds := map[string]*bitset.Set{}
+	for _, sk := range needSets {
+		for _, pk := range setPreds[sk] {
+			if art.predMasks[pk] != nil {
+				continue
+			}
+			if cache != nil {
+				if m := cache.getPredMask(fd, version, pk); m != nil {
+					art.predMasks[pk] = m
+					art.markOwned(pk)
+					stats.ArtifactCacheHits++
+					continue
+				}
+			}
+			if predSets[pk] >= 2 && predMass[pk] > n {
+				m := fd.getMask()
+				art.predMasks[pk] = m
+				fillPreds[pk] = m
+			}
+		}
+	}
+	if len(fillPreds) > 0 {
+		parallelFill(n, workers, func(lo, hi int) {
+			for pk, m := range fillPreds {
+				predOwner[pk].materializePredicateMask(lo, hi, m)
+			}
+		})
+		if cache != nil {
+			for pk, m := range fillPreds {
+				if cache.putPredMask(fd, version, pk, m) {
+					art.markOwned(pk)
+				}
+			}
+		}
+	}
+
+	// Set masks. A set qualifying on its own (>= 2 queries whose mass
+	// exceeds a table pass) always materializes fully — base composed,
+	// residue refined once. A non-qualifying set becomes a full mask only
+	// when every predicate already has a bitmap (composition is then pure
+	// word-ANDs), or a partial mask when some do (queries evaluate the
+	// residue inline over the narrowed domain).
+	fillSets := map[string]*setFill{}
+	for _, sk := range needSets {
+		owner := filterOwner[sk]
+		var base []*bitset.Set
+		var residual []*filterSpec
+		seen := map[string]bool{}
+		for fi := range owner.filters {
+			fs := &owner.filters[fi]
+			if seen[fs.key] {
+				continue
+			}
+			seen[fs.key] = true
+			if m := art.predMasks[fs.key]; m != nil {
+				base = append(base, m)
+			} else {
+				residual = append(residual, fs)
+			}
+		}
+		qualifies := filterUses[sk] >= 2 && filterMass[sk] > n
+		switch {
+		case qualifies || len(residual) == 0 && len(base) > 0:
+			m := fd.getMask()
+			art.filterMasks[sk] = m
+			fillSets[sk] = &setFill{m: m, base: base, residual: residual}
+			if len(base) > 0 {
+				stats.ComposedMasks++
+			}
+		case len(base) > 0:
+			m := fd.getMask()
+			art.partialMasks[sk] = m
+			fillSets[sk] = &setFill{m: m, base: base}
+			stats.PartialMasks++
+		}
+	}
+	refine := false
+	for _, sf := range fillSets {
+		if len(sf.base) > 0 {
+			sf.m.IntersectAll(sf.base) // word-parallel, memory-bound
+		}
+		if len(sf.residual) > 0 {
+			refine = true
+		}
+	}
+	if refine {
+		parallelFill(n, workers, func(lo, hi int) {
+			for _, sf := range fillSets {
+				sf.refine(lo, hi)
+			}
+		})
+	}
+	// Offer freshly built full set masks to the cache (partial masks are
+	// not the set's semantic mask and never leave the scan).
+	if cache != nil {
+		for sk, sf := range fillSets {
+			if art.filterMasks[sk] == sf.m && cache.putMask(fd, version, sk, sf.m) {
+				art.markOwned(sk)
+			}
+		}
+	}
+}
+
 // planScan builds one query's accumulation drive from the artifacts.
 func planScan(p *queryPlan, view *bitset.Set, art *sharedArtifacts) *queryScan {
 	qs := &queryScan{view: view, iter: view}
@@ -323,8 +590,26 @@ func planScan(p *queryPlan, view *bitset.Set, art *sharedArtifacts) *queryScan {
 			// filter ∩ view, built in a pooled buffer (released with the
 			// artifacts at scan end).
 			eff := art.fd.getMask()
-			eff.UnionWith(fm)
-			eff.IntersectWith(view)
+			eff.AndInto(fm, view)
+			qs.iter = eff
+		}
+	} else if pm := art.partialMasks[p.filterKey]; pm != nil && (view == nil || view.Len() == pm.Len()) {
+		// Partially composed set: iterate the AND of the available
+		// predicate bitmaps and evaluate the residual predicates inline.
+		// residual indexes this plan's own filter order — plans sharing a
+		// set fingerprint hold the same predicate multiset, but possibly
+		// reordered, so the indices are per plan.
+		qs.prefiltered = true
+		for fi := range p.filters {
+			if art.predMasks[p.filters[fi].key] == nil {
+				qs.residual = append(qs.residual, fi)
+			}
+		}
+		if view == nil {
+			qs.iter = pm
+		} else {
+			eff := art.fd.getMask()
+			eff.AndInto(pm, view)
 			qs.iter = eff
 		}
 	}
@@ -349,6 +634,17 @@ func releaseArtifacts(art *sharedArtifacts, scans []*queryScan) {
 		}
 		art.fd.maskPool.Put(m)
 	}
+	for key, m := range art.predMasks {
+		if art.owned(key) {
+			continue
+		}
+		art.fd.maskPool.Put(m)
+	}
+	for _, m := range art.partialMasks {
+		// Partial masks are never cache-owned (they are not the set's
+		// semantic mask), so they always recycle.
+		art.fd.maskPool.Put(m)
+	}
 	for key, col := range art.keyCols {
 		if art.owned(key) {
 			continue
@@ -364,8 +660,8 @@ func releaseArtifacts(art *sharedArtifacts, scans []*queryScan) {
 // exactly as scanShared does — same chunk ownership, same worker-order
 // merge — so results are byte-identical to the fused path. The merged
 // partial per query lands in out (callers finalize).
-func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers int, cache *ArtifactCache) SharingStats {
-	art, stats := buildArtifacts(idxs, plans, masks, workers, cache)
+func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers int, opts BatchOptions) SharingStats {
+	art, stats := buildArtifacts(idxs, plans, masks, workers, opts)
 
 	scans := make([]*queryScan, len(idxs))
 	for k, qi := range idxs {

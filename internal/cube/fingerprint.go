@@ -62,28 +62,49 @@ func (f AttrFilter) appendFingerprint(b *strings.Builder) {
 		len(f.Attr), f.Attr, f.Op, len(v), v)
 }
 
-// FilterFingerprint returns the injective sub-fingerprint of the query's
-// filter set: the sharing key under which the batch executor materializes
-// one filter bitmap per distinct set in a batch. A filter conjunction is
-// order-insensitive (the set of passing facts does not depend on
-// evaluation order), so each filter's injective encoding is length-tagged
-// and the encodings are sorted before joining — reordered but equal filter
-// sets share one artifact, while distinct sets never collide. Queries
-// without filters fingerprint to "".
-func (q Query) FilterFingerprint() string {
-	if len(q.Filters) == 0 {
-		return ""
-	}
-	encs := make([]string, len(q.Filters))
-	for i, f := range q.Filters {
-		var b strings.Builder
-		f.appendFingerprint(&b)
-		encs[i] = b.String()
-	}
+// Fingerprint returns the injective sub-fingerprint of one filter
+// predicate: the sharing key under which the batch executor materializes
+// one bitmap per distinct single AttrFilter in a batch (each query's
+// filter mask is then AND-composed from its predicate bitmaps). Every
+// component is length- or type-tagged, so distinct predicates never
+// collide.
+func (f AttrFilter) Fingerprint() string {
+	var b strings.Builder
+	f.appendFingerprint(&b)
+	return b.String()
+}
+
+// CombinePredicateFingerprints folds per-predicate sub-fingerprints into
+// the filter-set sub-fingerprint: each is length-tagged and the list is
+// sorted before joining, so reordered but equal sets share one key while
+// distinct sets (including multisets differing only in repetition) never
+// collide. This is the single point where the set keyspace is derived
+// from the predicate keyspace — the two can never disagree. The input
+// slice is not modified.
+func CombinePredicateFingerprints(fps []string) string {
+	encs := append([]string(nil), fps...)
 	sort.Strings(encs)
 	var b strings.Builder
 	for _, e := range encs {
 		fmt.Fprintf(&b, "%d:%s", len(e), e)
 	}
 	return b.String()
+}
+
+// FilterFingerprint returns the injective sub-fingerprint of the query's
+// filter set: the sharing key under which the batch executor caches one
+// composed filter bitmap per distinct set. A filter conjunction is
+// order-insensitive (the set of passing facts does not depend on
+// evaluation order), so the key is derived from the per-predicate
+// AttrFilter.Fingerprint values via CombinePredicateFingerprints. Queries
+// without filters fingerprint to "".
+func (q Query) FilterFingerprint() string {
+	if len(q.Filters) == 0 {
+		return ""
+	}
+	fps := make([]string, len(q.Filters))
+	for i, f := range q.Filters {
+		fps[i] = f.Fingerprint()
+	}
+	return CombinePredicateFingerprints(fps)
 }

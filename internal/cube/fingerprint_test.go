@@ -274,3 +274,79 @@ func TestViewEpochAndID(t *testing.T) {
 		t.Errorf("clone epoch = %d, want %d", c.Epoch(), v1.Epoch())
 	}
 }
+
+// TestAttrFilterFingerprint checks the per-predicate sub-fingerprint:
+// every field feeds it, boundary shifts cannot collide, and equal
+// predicates share one key.
+func TestAttrFilterFingerprint(t *testing.T) {
+	mk := func(dim, level, attr string, op cube.FilterOp, v any) cube.AttrFilter {
+		return cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: dim, Level: level},
+			Attr: attr, Op: op, Value: v}
+	}
+	base := mk("Store", "City", "population", cube.OpGt, float64(1000))
+	if base.Fingerprint() != mk("Store", "City", "population", cube.OpGt, float64(1000)).Fingerprint() {
+		t.Error("equal predicates fingerprint differently")
+	}
+	variants := map[string]cube.AttrFilter{
+		"dimension":  mk("Customer", "City", "population", cube.OpGt, float64(1000)),
+		"level":      mk("Store", "State", "population", cube.OpGt, float64(1000)),
+		"attr":       mk("Store", "City", "area", cube.OpGt, float64(1000)),
+		"op":         mk("Store", "City", "population", cube.OpLt, float64(1000)),
+		"value":      mk("Store", "City", "population", cube.OpGt, float64(2000)),
+		"value-type": mk("Store", "City", "population", cube.OpGt, "1000"),
+		"boundary-1": mk("ab", "c", "x", cube.OpEq, "y"),
+		"boundary-2": mk("a", "bc", "x", cube.OpEq, "y"),
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, f := range variants {
+		fp := f.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("predicate %q collides with %q: %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFilterFingerprintDerivedFromPredicates pins the satellite fix: the
+// filter-set keyspace is DERIVED from the per-predicate keyspace
+// (CombinePredicateFingerprints over sorted AttrFilter.Fingerprint
+// values), so the two can never disagree — the set key of {A, B} is a
+// pure function of A's and B's predicate keys, in any order.
+func TestFilterFingerprintDerivedFromPredicates(t *testing.T) {
+	pop := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
+		Attr: "population", Op: cube.OpGt, Value: float64(1000)}
+	age := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
+		Attr: "age", Op: cube.OpLe, Value: float64(40)}
+	brand := cube.AttrFilter{LevelRef: cube.LevelRef{Dimension: "Product", Level: "Product"},
+		Attr: "brand", Op: cube.OpEq, Value: "Brand01"}
+
+	for _, set := range [][]cube.AttrFilter{
+		{pop}, {pop, age}, {age, pop}, {brand, pop, age}, {pop, pop},
+	} {
+		fps := make([]string, len(set))
+		for i, f := range set {
+			fps[i] = f.Fingerprint()
+		}
+		want := cube.CombinePredicateFingerprints(fps)
+		got := cube.Query{Fact: "Sales", Filters: set}.FilterFingerprint()
+		if got != want {
+			t.Errorf("set key not derived from predicate keys: got %q, want %q", got, want)
+		}
+	}
+
+	// CombinePredicateFingerprints itself: order-insensitive, repetition-
+	// and boundary-sensitive, and it must not mutate its input.
+	in := []string{"zz", "aa"}
+	if cube.CombinePredicateFingerprints(in) != cube.CombinePredicateFingerprints([]string{"aa", "zz"}) {
+		t.Error("combine is order-sensitive")
+	}
+	if in[0] != "zz" {
+		t.Error("combine mutated its input slice")
+	}
+	if cube.CombinePredicateFingerprints([]string{"aa"}) == cube.CombinePredicateFingerprints([]string{"aa", "aa"}) {
+		t.Error("combine ignores repetition")
+	}
+	if cube.CombinePredicateFingerprints([]string{"ab", "c"}) == cube.CombinePredicateFingerprints([]string{"a", "bc"}) {
+		t.Error("combine has boundary collisions")
+	}
+}

@@ -103,6 +103,11 @@ type Options struct {
 	// (shared filter bitmaps and group-key columns) inside coalesced
 	// scans — the A/B baseline for cube.BatchOptions.DisableSharing.
 	DisableSharedSubexpr bool
+	// DisablePerFilterSharing keeps stage-1 sharing at whole-filter-set
+	// granularity inside coalesced scans (no per-predicate bitmaps, no
+	// AND-composition) — the A/B baseline for
+	// cube.BatchOptions.DisablePredicateSharing.
+	DisablePerFilterSharing bool
 	// Timeout is the admission deadline: a query still queued this long
 	// after Submit is dropped with ErrTimeout instead of executing — under
 	// overload the queue sheds its oldest waiters deterministically rather
@@ -186,9 +191,13 @@ type Scheduler struct {
 	stTimedOut  atomic.Int64
 
 	// Cross-query sharing counters, accumulated from every scan's
-	// cube.SharingStats (see Stats.FilterMaskSharing / GroupKeySharing).
+	// cube.SharingStats (see Stats.FilterMaskSharing / GroupKeySharing /
+	// PredicateSharing).
 	stFilterSets     atomic.Int64
 	stFilterDistinct atomic.Int64
+	stPredSets       atomic.Int64
+	stPredDistinct   atomic.Int64
+	stComposed       atomic.Int64
 	stGroupSets      atomic.Int64
 	stGroupDistinct  atomic.Int64
 }
@@ -632,13 +641,17 @@ func (s *Scheduler) runBatch(batch []*request) {
 	s.stExecuted.Add(int64(len(batch)))
 	s.stScans.Add(int64(len(facts)))
 	results, sharing, err := s.c.ExecuteBatchCompiledOpt(cqs, vs, cube.BatchOptions{
-		Workers:        s.opts.Workers,
-		DisableSharing: s.opts.DisableSharedSubexpr,
-		Artifacts:      s.opts.Artifacts,
+		Workers:                 s.opts.Workers,
+		DisableSharing:          s.opts.DisableSharedSubexpr,
+		DisablePredicateSharing: s.opts.DisablePerFilterSharing,
+		Artifacts:               s.opts.Artifacts,
 	})
 	if err == nil {
 		s.stFilterSets.Add(int64(sharing.FilterSets))
 		s.stFilterDistinct.Add(int64(sharing.DistinctFilterSets))
+		s.stPredSets.Add(int64(sharing.FilterPredicates))
+		s.stPredDistinct.Add(int64(sharing.DistinctPredicates))
+		s.stComposed.Add(int64(sharing.ComposedMasks + sharing.PartialMasks))
 		s.stGroupSets.Add(int64(sharing.GroupKeySets))
 		s.stGroupDistinct.Add(int64(sharing.DistinctGroupings))
 	}
@@ -715,42 +728,59 @@ type Stats struct {
 	// Cross-query subexpression sharing inside coalesced scans (all zero
 	// when DisableSharedSubexpr is set): FilterSets counts queries that
 	// carried filters, FilterMasks the distinct filter bitmaps their scans
-	// needed; GroupKeySets counts (query, grouping) pairs, GroupKeyCols
-	// the distinct roll-up key columns.
-	FilterSets   int64 `json:"filterSets"`
-	FilterMasks  int64 `json:"filterMasks"`
-	GroupKeySets int64 `json:"groupKeySets"`
-	GroupKeyCols int64 `json:"groupKeyCols"`
+	// needed; FilterPredicates counts (query, distinct-predicate) uses,
+	// PredicateMasks the distinct single-filter sub-fingerprints among
+	// them, ComposedMasks the set masks produced by AND-composing
+	// per-predicate bitmaps (full or partial); GroupKeySets counts
+	// (query, grouping) pairs, GroupKeyCols the distinct roll-up key
+	// columns.
+	FilterSets       int64 `json:"filterSets"`
+	FilterMasks      int64 `json:"filterMasks"`
+	FilterPredicates int64 `json:"filterPredicates"`
+	PredicateMasks   int64 `json:"predicateMasks"`
+	ComposedMasks    int64 `json:"composedMasks"`
+	GroupKeySets     int64 `json:"groupKeySets"`
+	GroupKeyCols     int64 `json:"groupKeyCols"`
+	// ArtifactDoorkept counts artifacts the cross-batch cache's admission
+	// doorkeeper turned away (= ArtifactCache.Doorkept, surfaced top-level
+	// beside the result cache's CacheDoorkept).
+	ArtifactDoorkept int64 `json:"artifactDoorkept"`
 	// CoalesceRatio is queries answered per fact scan, (Executed + Shared)
 	// / FactScans: > 1 means the scheduler is saving scans. CacheHitRate
-	// is hits / lookups. FilterMaskSharing and GroupKeySharing are
-	// instances per distinct artifact (FilterSets/FilterMasks and
+	// is hits / lookups. FilterMaskSharing, PredicateSharing and
+	// GroupKeySharing are instances per distinct artifact
+	// (FilterSets/FilterMasks, FilterPredicates/PredicateMasks and
 	// GroupKeySets/GroupKeyCols): > 1 means batches actually shared
 	// stage-1/2 work. All 0 until there is data.
 	CoalesceRatio     float64 `json:"coalesceRatio"`
 	CacheHitRate      float64 `json:"cacheHitRate"`
 	FilterMaskSharing float64 `json:"filterMaskSharing"`
+	PredicateSharing  float64 `json:"predicateSharing"`
 	GroupKeySharing   float64 `json:"groupKeySharing"`
 }
 
 // Stats snapshots the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
 	st := Stats{
-		Submitted:     s.stSubmitted.Load(),
-		Shared:        s.stShared.Load(),
-		Executed:      s.stExecuted.Load(),
-		Batches:       s.stBatches.Load(),
-		FactScans:     s.stScans.Load(),
-		MaxQueueDepth: s.stMaxQueue.Load(),
-		CacheDoorkept: s.stDoorkept.Load(),
-		NegCacheHits:  s.stNegHits.Load(),
-		TimedOut:      s.stTimedOut.Load(),
-		ArtifactCache: s.opts.Artifacts.Stats(),
-		FilterSets:    s.stFilterSets.Load(),
-		FilterMasks:   s.stFilterDistinct.Load(),
-		GroupKeySets:  s.stGroupSets.Load(),
-		GroupKeyCols:  s.stGroupDistinct.Load(),
+		Submitted:        s.stSubmitted.Load(),
+		Shared:           s.stShared.Load(),
+		Executed:         s.stExecuted.Load(),
+		Batches:          s.stBatches.Load(),
+		FactScans:        s.stScans.Load(),
+		MaxQueueDepth:    s.stMaxQueue.Load(),
+		CacheDoorkept:    s.stDoorkept.Load(),
+		NegCacheHits:     s.stNegHits.Load(),
+		TimedOut:         s.stTimedOut.Load(),
+		ArtifactCache:    s.opts.Artifacts.Stats(),
+		FilterSets:       s.stFilterSets.Load(),
+		FilterMasks:      s.stFilterDistinct.Load(),
+		FilterPredicates: s.stPredSets.Load(),
+		PredicateMasks:   s.stPredDistinct.Load(),
+		ComposedMasks:    s.stComposed.Load(),
+		GroupKeySets:     s.stGroupSets.Load(),
+		GroupKeyCols:     s.stGroupDistinct.Load(),
 	}
+	st.ArtifactDoorkept = st.ArtifactCache.Doorkept
 	if s.negCache != nil {
 		st.NegCacheEntries = s.negCache.size()
 	}
@@ -771,6 +801,9 @@ func (s *Scheduler) Stats() Stats {
 	}
 	if st.FilterMasks > 0 {
 		st.FilterMaskSharing = float64(st.FilterSets) / float64(st.FilterMasks)
+	}
+	if st.PredicateMasks > 0 {
+		st.PredicateSharing = float64(st.FilterPredicates) / float64(st.PredicateMasks)
 	}
 	if st.GroupKeyCols > 0 {
 		st.GroupKeySharing = float64(st.GroupKeySets) / float64(st.GroupKeyCols)

@@ -2,10 +2,12 @@
 // scheduler: it hash-partitions every fact table of one cube into N
 // independent shards and answers batch queries by scatter-gather — the
 // compiled plans fan out across the shards (each shard scan materializes
-// its own stage-1/2 artifacts and accumulates per-query partials under
-// its own lock), and the per-shard partials gather through the executor's
-// deterministic chunk-order merge/finalize path, so results are identical
-// to the unsharded engine.
+// its own stage-1/2 artifacts — per-predicate filter bitmaps AND-composed
+// into set masks over the shard's own fact rows, and roll-up key columns
+// — and accumulates per-query partials under its own lock), and the
+// per-shard partials gather through the executor's deterministic
+// chunk-order merge/finalize path, so results are identical to the
+// unsharded engine.
 //
 // Why shards: one fact table per cube is a single ingest lock and a
 // single scan unit — the remaining ceiling on fact-table size and write

@@ -67,7 +67,13 @@ func randomQuery(rng *rand.Rand) cube.Query {
 			q.Aggregates = append(q.Aggregates, cube.MeasureAgg{Measure: "StoreSales", Agg: cube.AggMax})
 		}
 	}
+	// Filter values come from small pools so predicates recur across the
+	// batch's queries: overlapping-but-unequal filter sets are exactly
+	// what the per-predicate composition paths (full, partial, residual)
+	// need to be exercised against the serial oracle.
 	numericOps := []cube.FilterOp{cube.OpEq, cube.OpNe, cube.OpLt, cube.OpLe, cube.OpGt, cube.OpGe}
+	popPool := []float64{100000, 500000, 1500000}
+	agePool := []float64{30, 45, 60}
 	for i := rng.Intn(3); i > 0; i-- {
 		switch rng.Intn(2) {
 		case 0:
@@ -75,14 +81,14 @@ func randomQuery(rng *rand.Rand) cube.Query {
 				LevelRef: cube.LevelRef{Dimension: "Store", Level: "City"},
 				Attr:     "population",
 				Op:       numericOps[rng.Intn(len(numericOps))],
-				Value:    float64(20000 + rng.Intn(3000000)),
+				Value:    popPool[rng.Intn(len(popPool))],
 			})
 		case 1:
 			q.Filters = append(q.Filters, cube.AttrFilter{
 				LevelRef: cube.LevelRef{Dimension: "Customer", Level: "Customer"},
 				Attr:     "age",
 				Op:       numericOps[rng.Intn(len(numericOps))],
-				Value:    float64(18 + rng.Intn(70)),
+				Value:    agePool[rng.Intn(len(agePool))],
 			})
 		}
 	}
@@ -192,19 +198,31 @@ func TestShardedEquivalenceRandomized(t *testing.T) {
 						t.Fatalf("%s case %d: serial: %v", phase, i, err)
 					}
 				}
+				// Sharing modes: fused, whole-set artifacts, and
+				// per-predicate bitmaps with AND-composition (the default)
+				// — per-shard composition must stay byte-identical too.
+				modes := []struct {
+					name string
+					opts cube.BatchOptions
+				}{
+					{"fused", cube.BatchOptions{DisableSharing: true}},
+					{"per-set", cube.BatchOptions{DisablePredicateSharing: true}},
+					{"per-predicate", cube.BatchOptions{}},
+				}
 				for _, w := range []int{1, 3} {
-					for _, noShare := range []bool{false, true} {
-						batch, stats, err := table.ExecuteBatchOpt(qs, vs,
-							cube.BatchOptions{Workers: w, DisableSharing: noShare})
+					for _, mode := range modes {
+						opts := mode.opts
+						opts.Workers = w
+						batch, stats, err := table.ExecuteBatchOpt(qs, vs, opts)
 						if err != nil {
-							t.Fatalf("%s workers %d noShare %v: %v", phase, w, noShare, err)
+							t.Fatalf("%s workers %d mode %s: %v", phase, w, mode.name, err)
 						}
 						if stats.Queries != cases {
 							t.Errorf("%s: stats.Queries = %d, want %d", phase, stats.Queries, cases)
 						}
 						for i := range qs {
-							diffResults(t, fmt.Sprintf("%s case %d shards %d workers %d noShare %v",
-								phase, i, shards, w, noShare), batch[i], serial[i])
+							diffResults(t, fmt.Sprintf("%s case %d shards %d workers %d mode %s",
+								phase, i, shards, w, mode.name), batch[i], serial[i])
 						}
 					}
 				}
@@ -287,6 +305,10 @@ func TestShardedArtifactCacheAcrossBatches(t *testing.T) {
 		return res
 	}
 	first := run("first")
+	if st := table.Stats().ArtifactCache; st.Doorkept == 0 || st.Entries != 0 {
+		t.Errorf("first batch should be doorkept, not cached: %+v", st)
+	}
+	run("admit") // the admission doorkeeper caches fingerprints on their second offer
 	before := table.Stats().ArtifactCache
 	second := run("second")
 	after := table.Stats().ArtifactCache

@@ -601,10 +601,13 @@ func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
 // handleStats serves the query scheduler's counters: how many queries
 // coalesced into how few shared scans, result-cache effectiveness
 // (including doorkeeper admissions and the negative cache), how much
-// cross-query stage work batch scans shared (filter-mask and group-key
-// sharing ratios), admission timeouts, the live queue depth, and — on a
-// sharded engine — the shard fan-out and cross-batch artifact-cache
-// counters: the observability surface of internal/qsched + internal/shard.
+// cross-query stage work batch scans shared (filterMaskSharing,
+// predicateSharing — per-filter bitmaps AND-composed into set masks,
+// composedMasks — and groupKeySharing ratios), admission timeouts, the
+// live queue depth, and — on a sharded engine — the shard fan-out and
+// cross-batch artifact-cache counters (including artifactDoorkept, its
+// admission doorkeeper): the observability surface of internal/qsched +
+// internal/shard.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return

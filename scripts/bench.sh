@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench.sh — the benchmark-regression pipeline: run the core executor
+# benchmarks and emit BENCH_5.json (ns/op, allocs/op, sharing-ratio
+# metrics) through cmd/benchjson. The manifest makes a renamed or deleted
+# benchmark fail the pipeline instead of silently dropping its perf
+# trajectory.
+#
+# Env knobs:
+#   BENCHTIME  go test -benchtime value   (default 1x: a smoke pass; use
+#              e.g. 2s for stable numbers)
+#   COUNT      go test -count value       (default 1)
+#   OUT        output artifact path       (default BENCH_5.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_5.json}"
+
+# The manifest: the benchmarks whose trajectory the repo records. The
+# -bench regexp is derived from it, so one edit adds a benchmark to both
+# the run and the existence gate.
+MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing"
+
+go test -run '^$' \
+  -bench "${MANIFEST//,/|}" \
+  -benchtime "$BENCHTIME" -count "$COUNT" . \
+  | go run ./cmd/benchjson -issue 5 -out "$OUT" -manifest "$MANIFEST"
+
+echo "bench.sh: wrote $OUT"

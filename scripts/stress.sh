@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# stress.sh — the race-stress and benchmark-smoke suite CI runs per
+# GOMAXPROCS matrix cell (the multi-CPU cell exercises the parallelism
+# single-CPU runners never did). One script instead of five copy-pasted
+# workflow steps; run locally with e.g. `GOMAXPROCS=4 scripts/stress.sh`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== stress (GOMAXPROCS=${GOMAXPROCS:-default}) =="
+
+# The query scheduler is all goroutines and channels; hammer its tests
+# specifically under the race detector.
+go test -race -count=3 ./internal/qsched/
+
+# The shared-subexpression and per-filter batch paths fill cross-worker
+# artifacts (predicate bitmaps, composed set masks) while views mutate
+# underneath.
+go test -race -count=3 -run 'SharedSubexpr|PerFilter' ./internal/core/ ./internal/cube/
+
+# The sharded executor interleaves scatter-gather scans with routed
+# ingest and view selections across per-shard locks.
+go test -race -count=2 -run 'Sharded' ./internal/shard/ ./internal/core/
+
+# Compile-and-run every benchmark once so they cannot bit-rot; the named
+# manifest benchmarks are additionally gated by scripts/bench.sh.
+go test -run '^$' -bench=. -benchtime=1x ./...

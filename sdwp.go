@@ -134,13 +134,24 @@ type (
 	// View is a personalized window over a cube.
 	View = cube.View
 	// BatchOptions configures one shared batch scan
-	// (Cube.ExecuteBatchOpt): worker count and the cross-query
-	// subexpression-sharing A/B switch.
+	// (Cube.ExecuteBatchOpt): worker count, the cross-query
+	// subexpression-sharing and per-filter-sharing A/B switches, and an
+	// optional cross-batch artifact cache.
 	BatchOptions = cube.BatchOptions
 	// SharingStats reports how much cross-query stage work one batch scan
-	// shared (filter bitmaps, group-key columns).
+	// shared (filter bitmaps — per set and per predicate — and group-key
+	// columns).
 	SharingStats = cube.SharingStats
+	// ArtifactCache is the cross-batch artifact cache: doorkept,
+	// version-invalidated storage for filter bitmaps (per-predicate and
+	// composed per-set) and roll-up key columns (BatchOptions.Artifacts;
+	// engines size one via EngineOptions.ArtifactCacheBytes).
+	ArtifactCache = cube.ArtifactCache
 )
+
+// NewArtifactCache builds a cross-batch artifact cache bounded to
+// maxBytes (nil when maxBytes <= 0 — caching off).
+func NewArtifactCache(maxBytes int64) *ArtifactCache { return cube.NewArtifactCache(maxBytes) }
 
 // Aggregation functions.
 const (
