@@ -400,6 +400,57 @@ func BenchmarkSharedSubexprBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchPartialPooling measures the pooled-partial discipline of
+// the morsel executor: the same 16-query sharing batch as
+// BenchmarkSharedSubexprBatch, re-run on a warm per-table pool so every
+// scan should take its partial tables from FactData.partialPool instead
+// of allocating them. poolhit/op is reused/(reused+allocated) across the
+// run — the steady-state pool hit rate (1.0 means no partial-table or
+// accumulator allocation after warm-up); allocs/op tracks what remains.
+func BenchmarkBatchPartialPooling(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	filters := []AttrFilter{{
+		LevelRef: LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: OpGt, Value: float64(100000),
+	}}
+	var qs []Query
+	for _, level := range []string{"Store", "City", "State", "Country"} {
+		for _, measure := range []string{"UnitSales", "StoreSales"} {
+			for _, limit := range []int{0, 5} {
+				qs = append(qs, Query{
+					Fact:       "Sales",
+					GroupBy:    []LevelRef{{Dimension: "Store", Level: level}},
+					Aggregates: []MeasureAgg{{Measure: measure, Agg: SUM}},
+					Filters:    filters,
+					Limit:      limit,
+				})
+			}
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := BatchOptions{Workers: workers}
+			if _, _, err := env.ds.Cube.ExecuteBatchOpt(qs, nil, opts); err != nil {
+				b.Fatal(err) // warm the pool outside the timer
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var reused, allocated int
+			for i := 0; i < b.N; i++ {
+				_, st, err := env.ds.Cube.ExecuteBatchOpt(qs, nil, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reused += st.PartialsReused
+				allocated += st.PartialsAllocated
+			}
+			if total := reused + allocated; total > 0 {
+				b.ReportMetric(float64(reused)/float64(total), "poolhit/op")
+			}
+		})
+	}
+}
+
 // BenchmarkPerFilterSharing measures per-predicate bitmap sharing with
 // AND-composition: a 16-query batch whose filter sets are
 // overlapping-but-unequal — six pairwise conjunctions drawn from a pool

@@ -8,12 +8,18 @@
 // logs keep the raw numbers), and fails when a benchmark named in the
 // manifest produced no results — a renamed or deleted benchmark then
 // breaks the pipeline loudly instead of silently dropping its perf
-// trajectory.
+// trajectory. With -baseline it additionally compares allocs/op per
+// benchmark against the previous artifact and fails past -alloc-tolerance,
+// so allocation regressions (a pool no longer hit, an artifact no longer
+// released) break CI instead of drifting the trajectory. The run's
+// -benchtime/-count settings are recorded in the artifact so readers can
+// tell a 1x smoke pass from a duration-based measurement.
 //
 // Usage:
 //
-//	go test -run '^$' -bench ... -benchtime 1x . | \
-//	  go run ./cmd/benchjson -issue 5 -out BENCH_5.json \
+//	go test -run '^$' -bench ... -benchtime 1s . | \
+//	  go run ./cmd/benchjson -issue 6 -out BENCH_6.json \
+//	    -benchtime 1s -baseline BENCH_5.json \
 //	    -manifest BenchmarkSharedSubexprBatch,BenchmarkShardedScan,...
 package main
 
@@ -39,8 +45,14 @@ type benchResult struct {
 
 // report is the emitted artifact.
 type report struct {
-	Issue      int           `json:"issue"`
-	Generated  string        `json:"generated"`
+	Issue     int    `json:"issue"`
+	Generated string `json:"generated"`
+	// Benchtime and Count record the `go test` settings of the run, so a
+	// reader of the artifact can tell a 1x smoke pass (whose per-op numbers
+	// carry cold-start noise — see the BENCH_5 workers=1/shared allocation
+	// mirage) from a duration-based measurement.
+	Benchtime  string        `json:"benchtime,omitempty"`
+	Count      int           `json:"count,omitempty"`
 	GoOS       string        `json:"goos,omitempty"`
 	GoArch     string        `json:"goarch,omitempty"`
 	CPU        string        `json:"cpu,omitempty"`
@@ -50,13 +62,20 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*\S)\s*$`)
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
-	issue := flag.Int("issue", 5, "issue number recorded in the artifact")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	issue := flag.Int("issue", 6, "issue number recorded in the artifact")
 	manifest := flag.String("manifest", "",
 		"comma-separated benchmark names that MUST appear in the input (prefix match; fail otherwise)")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value of this run, recorded in the artifact")
+	count := flag.Int("count", 0, "go test -count value of this run, recorded in the artifact")
+	baseline := flag.String("baseline", "",
+		"previous BENCH_<n>.json to compare allocs/op against (missing file warns and skips)")
+	allocTol := flag.Float64("alloc-tolerance", 0.15,
+		"allowed fractional allocs/op growth over -baseline before failing")
 	flag.Parse()
 
-	rep := report{Issue: *issue, Generated: time.Now().UTC().Format(time.RFC3339)}
+	rep := report{Issue: *issue, Generated: time.Now().UTC().Format(time.RFC3339),
+		Benchtime: *benchtime, Count: *count}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -142,4 +161,64 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), *out)
+
+	// Allocation-regression gate: compare allocs/op per benchmark against
+	// the previous artifact. The artifact above is written regardless, so a
+	// failing run still leaves its numbers behind for inspection. ns/op is
+	// deliberately not gated — shared CI runners make wall time too noisy —
+	// but allocs/op is deterministic for a given code path, so growth there
+	// is a real regression (a pool stopped being hit, an artifact stopped
+	// being released), not scheduler jitter.
+	if *baseline != "" {
+		if code := compareAllocs(*baseline, &rep, *allocTol); code != 0 {
+			os.Exit(code)
+		}
+	}
+}
+
+// compareAllocs returns a non-zero exit code when any benchmark present in
+// both artifacts grew its allocs/op beyond the tolerance. A missing or
+// unreadable baseline warns and passes: the gate compares trajectories, it
+// does not invent one on first run.
+func compareAllocs(path string, cur *report, tol float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s unreadable (%v); skipping allocs/op comparison\n", path, err)
+		return 0
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s unparsable (%v); skipping allocs/op comparison\n", path, err)
+		return 0
+	}
+	baseAllocs := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if v, ok := b.Metrics["allocs/op"]; ok {
+			baseAllocs[b.Name] = v
+		}
+	}
+	regressed := 0
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		curV, ok := b.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		baseV, ok := baseAllocs[b.Name]
+		if !ok {
+			continue // new benchmark: no trajectory yet
+		}
+		compared++
+		if curV > baseV*(1+tol)+0.5 { // +0.5: never fail tiny counts on a single alloc
+			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: %.0f allocs/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)\n",
+				b.Name, curV, baseV, 100*(curV-baseV)/baseV, 100*tol)
+			regressed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: compared allocs/op for %d benchmarks against %s (issue %d): %d regressed\n",
+		compared, path, base.Issue, regressed)
+	if regressed > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,151 @@
+package core
+
+// Race-stress companion of the pooled-partial morsel executor: parallel
+// batches (QueryWorkers > 1, so every scan takes several partial tables
+// from the per-fact-table pool, steals morsels off the shared cursor, and
+// releases the partials after finalize) run against concurrent AddFact
+// ingest and SpatialSelect selection churn. The run must be data-race
+// free (-race in CI; scripts/stress.sh runs the PooledPartial pattern),
+// batches must stay internally consistent, and the quiescent state must
+// match serial execution — pooled state bleeding between scans, or a
+// partial released while a sibling still aliases its arena, shows up here
+// as corrupted aggregates or detector reports.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sdwp/internal/cube"
+)
+
+func TestPooledPartialBatchUnderIngestAndSpatialSelect(t *testing.T) {
+	for _, mode := range []SharedSubexprMode{SharedSubexprOn, SharedSubexprOff} {
+		mode := mode
+		name := "shared"
+		if mode == SharedSubexprOff {
+			name = "fused"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, ds := newTestEngineOpts(t, Options{
+				CoalesceWindow: 200 * time.Microsecond,
+				QueryWorkers:   4, // parallel scans: several pooled partials per query
+				SharedSubexpr:  mode,
+			})
+			defer e.Close()
+			s, err := e.StartSession("alice", ds.CityLocs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Alternate group-bys so consecutive scans rebind pooled
+			// partials between the dense path (single group) and the
+			// hash-cells path (two groups) with different aggregate counts.
+			qs := make([]cube.Query, 6)
+			for i := range qs {
+				qs[i] = cube.Query{
+					Fact:       "Sales",
+					GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+					Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}, {Measure: "UnitSales", Agg: cube.AggSum}},
+					Limit:      1000 + i, // distinct plans, shared subexpressions
+				}
+				if i%2 == 1 {
+					qs[i].GroupBy = []cube.LevelRef{
+						{Dimension: "Store", Level: "State"}, {Dimension: "Time", Level: "Month"}}
+					qs[i].Aggregates = []cube.MeasureAgg{{Agg: cube.AggCount}}
+				}
+			}
+
+			stop := make(chan struct{})
+			errs := make(chan error, 64)
+			var writers sync.WaitGroup
+			writers.Add(1)
+			go func() { // ingest: append facts while batches scan
+				defer writers.Done()
+				rng := rand.New(rand.NewSource(11))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					keys := map[string]int32{
+						"Store":    int32(rng.Intn(150)),
+						"Customer": int32(rng.Intn(100)),
+						"Product":  int32(rng.Intn(40)),
+						"Time":     int32(rng.Intn(60)),
+					}
+					if err := e.AddFact("Sales", keys, map[string]float64{"UnitSales": 1}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			writers.Add(1)
+			go func() { // selection churn: widen the view while batches scan
+				defer writers.Done()
+				for _, km := range []int{2, 8, 32, 120} {
+					pred := fmt.Sprintf(
+						"Distance(GeoMD.Store.geometry, SUS.DecisionMaker.dm2session.s2location.geometry) < %dkm", km)
+					if _, err := s.SpatialSelect("GeoMD.Store", pred); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+
+			var queriers sync.WaitGroup
+			for g := 0; g < 3; g++ {
+				queriers.Add(1)
+				go func() {
+					defer queriers.Done()
+					for n := 0; n < 20; n++ {
+						res, err := s.QueryBatch(qs, nil)
+						if err != nil {
+							errs <- err
+							return
+						}
+						// No query filters, so MatchedFacts is each entry's
+						// visible fact count. The table only grows and
+						// selections only widen, and entries materialize
+						// their view snapshot in batch order — so within
+						// one batch the counts must be non-decreasing; a
+						// drop means a torn mask or pooled state bleeding
+						// between scans.
+						for i := 1; i < len(res); i++ {
+							if res[i].MatchedFacts < res[i-1].MatchedFacts {
+								errs <- fmt.Errorf("batch entry %d matched %d < entry %d's %d",
+									i, res[i].MatchedFacts, i-1, res[i-1].MatchedFacts)
+								return
+							}
+						}
+					}
+				}()
+			}
+			queriers.Wait()
+			close(stop)
+			writers.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Quiescent: pooled batch results equal direct serial execution.
+			res, err := s.QueryBatch(qs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				want, err := e.Cube().Execute(q, s.View())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res[i], want) {
+					t.Fatalf("quiescent batch entry %d differs from serial execution", i)
+				}
+			}
+		})
+	}
+}

@@ -181,6 +181,13 @@ type FactData struct {
 	// discarded on Get.
 	colPool  sync.Pool
 	maskPool sync.Pool
+
+	// partialPool recycles per-worker partial aggregation tables (and the
+	// accumulator arenas behind them) across queries and batches; see
+	// FactData.getPartial in exec.go. A partial is rebound (fully reset) to
+	// its new plan on Get, so pooled entries may carry arbitrary state from
+	// any earlier query over this table.
+	partialPool sync.Pool
 }
 
 // Version returns the table's mutation counter (see the field comment).

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sdwp/internal/bitset"
 	"sdwp/internal/mdmodel"
@@ -15,15 +16,25 @@ import (
 // thread-local partial aggregation tables (partial) that one goroutine or a
 // worker pool can fill and merge.
 //
-// The fact table is split into contiguous fixed-size chunks; worker w of W
-// owns chunks w, w+W, w+2W, … (a static stride), scans them in ascending
-// order into its own partial table, and the W partials are merged in
-// worker order. The chunk→worker assignment depends only on the fact count
-// and the worker count — never on goroutine scheduling — so a query
-// returns the same Result on every run, and the same Result as the serial
-// path whenever the per-group measure sums are exact in float64 (always
-// true for COUNT/MIN/MAX, and for SUM/AVG over integer-valued or dyadic
-// measures; otherwise equal up to floating-point summation order).
+// The fact table is split into contiguous fixed-size chunks and scanned
+// morsel-driven: workers claim the next unclaimed chunk off a shared
+// atomic cursor (forEachMorsel), so which worker scans which chunk follows
+// execution speed, not a static stride, and a straggler holds back at most
+// one chunk of work. Determinism comes from the merge, not from chunk
+// ownership: the per-worker partials are always merged in worker index
+// order, which fixes the fold order of COUNT (exact) and MIN/MAX
+// (order-insensitive), and fixes SUM/AVG byte-for-byte whenever the
+// per-group sums are exact in float64 (integer-valued or dyadic measures —
+// what the equivalence harness pins); otherwise SUM/AVG are equal up to
+// floating-point summation order, exactly the contract ExecuteParallel has
+// always had across differing worker counts.
+//
+// Partial tables themselves are pooled per fact table (FactData.getPartial):
+// a partial and the slab arena backing its accumulator cells are reset and
+// rebound to the new plan on Get, live for exactly one scan, and return to
+// the pool together after finalize (scanPartials.release) — merge moves
+// accumulator cells between sibling partials by reference, so partials of
+// one scan recycle only as a unit.
 
 // execChunkSize is the facts-per-chunk scan granularity. Chunks are the
 // unit of work interleaving: the shared-scan batch executor walks one
@@ -144,8 +155,16 @@ func (fs *filterSpec) materializePredicateMask(lo, hi int, out *bitset.Set) {
 // data, ready to scan. Plans are read-only after compile, so any number of
 // workers can share one.
 type queryPlan struct {
-	q       Query
-	fd      *FactData
+	q  Query
+	fd *FactData
+	// n is the fact count at compile time — the scan bound of this plan.
+	// The column snapshots bound below (dimension keys, measures, filter
+	// attributes) are guaranteed to cover exactly [0, n); facts appended
+	// after compile grow fd.n and the live columns but not these
+	// snapshots, so scanning by live fd.n would over-index them. A plan
+	// therefore always aggregates the table prefix that existed when it
+	// was compiled.
+	n       int
 	groups  []groupSpec
 	filters []filterSpec
 	// filterKey is the filter set's sub-fingerprint ("" without filters):
@@ -203,7 +222,7 @@ func (c *Cube) compile(q Query) (*queryPlan, error) {
 	if len(q.Aggregates) == 0 {
 		return nil, fmt.Errorf("cube: query needs at least one aggregate")
 	}
-	p := &queryPlan{q: q, fd: fd}
+	p := &queryPlan{q: q, fd: fd, n: fd.n}
 
 	// Resolve group-by levels.
 	p.groups = make([]groupSpec, len(q.GroupBy))
@@ -308,12 +327,73 @@ func (a *accum) mergeFrom(src *accum) {
 	}
 }
 
+// slab is a rewindable block allocator: take carves n elements off the
+// current block (growing by blockSize blocks as needed) and reset rewinds
+// every block for reuse without freeing. Carved slices alias the blocks,
+// so a slab may only rewind once nothing from the previous use is
+// referenced — the unit-release discipline scanPartials enforces.
+type slab[T any] struct {
+	blocks [][]T
+	bi     int // current block index
+	off    int // next free element of blocks[bi]
+}
+
+// take returns a capacity-capped slice of n elements. Contents are
+// whatever the previous use left behind; callers overwrite every element.
+func (s *slab[T]) take(n, blockSize int) []T {
+	for {
+		if s.bi == len(s.blocks) {
+			if blockSize < n {
+				blockSize = n
+			}
+			s.blocks = append(s.blocks, make([]T, blockSize))
+		}
+		if b := s.blocks[s.bi]; s.off+n <= len(b) {
+			out := b[s.off : s.off+n : s.off+n]
+			s.off += n
+			return out
+		}
+		s.bi++
+		s.off = 0
+	}
+}
+
+func (s *slab[T]) reset() { s.bi, s.off = 0, 0 }
+
+// Slab block sizes: large enough that a scan with thousands of groups
+// allocates a handful of blocks, small enough that a tiny shard's pooled
+// partial does not pin megabytes.
+const (
+	accumBlockSize  = 256
+	floatBlockSize  = 4096
+	memberBlockSize = 1024
+)
+
+// accumArena backs every accumulator cell of one partial: the cells
+// themselves plus their members/sums/mins/maxs slices all come from slabs
+// that rewind when the partial is rebound, so a reused partial creates
+// cells without a single heap allocation.
+type accumArena struct {
+	cells   slab[accum]
+	floats  slab[float64]
+	members slab[int32]
+}
+
+func (a *accumArena) reset() {
+	a.cells.reset()
+	a.floats.reset()
+	a.members.reset()
+}
+
 // partial is one thread-local partial aggregation table plus scan
 // statistics. Single-level group-bys (the common OLAP roll-up) use a dense
 // slice indexed by group member; multi-level group-bys hash a composite
-// key.
+// key. Partials recycle through FactData.partialPool: rebind resets one
+// for its next plan, and every field below survives pooling as reusable
+// capacity (denseBuf, keyBuf, the arena blocks, the cells map's buckets).
 type partial struct {
 	p         *queryPlan
+	fd        *FactData
 	cells     map[string]*accum
 	dense     []*accum
 	denseNone *accum // the NoParent group of the dense path
@@ -322,32 +402,120 @@ type partial struct {
 
 	keyBuf        []byte
 	memberScratch []int32
+
+	denseBuf []*accum // backing storage dense reslices from
+	arena    accumArena
 }
 
+// newPartial builds an unpooled partial — the fresh-allocation path the
+// pool falls back to, and what tests use as an uncontaminated oracle.
 func newPartial(p *queryPlan) *partial {
-	pt := &partial{
-		p:             p,
-		cells:         map[string]*accum{},
-		memberScratch: make([]int32, len(p.groups)),
-	}
-	if len(p.groups) == 1 {
-		pt.dense = make([]*accum, p.groups[0].dd.levels[p.groups[0].li].Len())
-	}
+	pt := &partial{}
+	pt.rebind(p)
 	return pt
+}
+
+// rebind resets a partial for a new plan, recycling every allocation from
+// its previous life: the accumulator arena rewinds, the dense table
+// reslices (and clears) denseBuf to the new plan's group cardinality, and
+// the hash cells clear in place. After rebind the partial is
+// indistinguishable from a freshly constructed one — the pooled-partial
+// hygiene test pins this.
+func (pt *partial) rebind(p *queryPlan) {
+	pt.p = p
+	pt.scanned, pt.matched = 0, 0
+	pt.denseNone = nil
+	pt.dense = nil
+	// Clear the whole backing buffer, not just the new plan's prefix:
+	// cell pointers beyond it (from a wider previous plan, possibly moved
+	// in by merge from a sibling's arena) would otherwise pin dead arenas.
+	clear(pt.denseBuf)
+	if len(p.groups) == 1 {
+		l := p.groups[0].dd.levels[p.groups[0].li].Len()
+		if cap(pt.denseBuf) < l {
+			pt.denseBuf = make([]*accum, l)
+		}
+		pt.dense = pt.denseBuf[:l]
+	}
+	if pt.cells == nil {
+		pt.cells = map[string]*accum{}
+	} else {
+		clear(pt.cells)
+	}
+	if cap(pt.memberScratch) < len(p.groups) {
+		pt.memberScratch = make([]int32, len(p.groups))
+	}
+	pt.memberScratch = pt.memberScratch[:len(p.groups)]
+	pt.keyBuf = pt.keyBuf[:0]
+	pt.arena.reset()
+}
+
+// getPartial takes a pooled (or fresh) partial rebound to the plan. The
+// second result reports whether the pool served it (stats fodder).
+func (fd *FactData) getPartial(p *queryPlan) (*partial, bool) {
+	pt, reused := fd.partialPool.Get().(*partial)
+	if !reused {
+		pt = &partial{}
+	}
+	pt.fd = fd
+	pt.rebind(p)
+	return pt, reused
+}
+
+// scanPartials tracks every partial one scan (single-query or batch) took
+// from the per-table pools so the executor can return them together once
+// the Results are finalized. Unit release is load-bearing: merge moves
+// accumulator cells between sibling partials by reference, so recycling
+// one partial while a sibling is still live would hand out aliased arena
+// memory. Error paths may simply drop the tracker — unreleased partials
+// fall to the GC like pre-pool partials always did.
+type scanPartials struct {
+	parts     []*partial
+	reused    int
+	allocated int
+	released  bool
+}
+
+// get takes a partial for the plan from its table's pool and tracks it.
+func (sp *scanPartials) get(p *queryPlan) *partial {
+	pt, reused := p.fd.getPartial(p)
+	if reused {
+		sp.reused++
+	} else {
+		sp.allocated++
+	}
+	sp.parts = append(sp.parts, pt)
+	return pt
+}
+
+// release returns every tracked partial to its table's pool. Idempotent —
+// a sharded gather holds one handle per BatchPartial of the same scan —
+// and nil-safe.
+func (sp *scanPartials) release() {
+	if sp == nil || sp.released {
+		return
+	}
+	sp.released = true
+	for _, pt := range sp.parts {
+		pt.p = nil
+		pt.fd.partialPool.Put(pt)
+	}
+	sp.parts = nil
 }
 
 func (pt *partial) newAccum(members []int32) *accum {
 	n := len(pt.p.q.Aggregates)
-	cell := &accum{
-		members: append([]int32(nil), members...),
-		sums:    make([]float64, n),
-		mins:    make([]float64, n),
-		maxs:    make([]float64, n),
+	cell := &pt.arena.cells.take(1, accumBlockSize)[0]
+	m := pt.arena.members.take(len(members), memberBlockSize)
+	copy(m, members)
+	f := pt.arena.floats.take(3*n, floatBlockSize)
+	sums, mins, maxs := f[0:n:n], f[n:2*n:2*n], f[2*n:3*n]
+	for j := 0; j < n; j++ {
+		sums[j] = 0
+		mins[j] = math.Inf(1)
+		maxs[j] = math.Inf(-1)
 	}
-	for j := range cell.mins {
-		cell.mins[j] = math.Inf(1)
-		cell.maxs[j] = math.Inf(-1)
-	}
+	*cell = accum{members: m, sums: sums, mins: mins, maxs: maxs}
 	return cell
 }
 
@@ -441,8 +609,14 @@ func (pt *partial) scanRange(lo, hi int, mask *bitset.Set) {
 }
 
 // merge folds src into pt. Callers merge the per-worker partials in worker
-// order, so for a given worker count the summation order is deterministic
-// (worker-major over the strided chunk ownership).
+// index order — the stable-merge half of the determinism contract: with
+// work stealing the chunk→worker assignment varies run to run, but COUNT/
+// MIN/MAX are order-insensitive and SUM folds are byte-stable whenever the
+// per-group sums are exact in float64 (see the file header).
+//
+// merge moves accumulator cells from src into pt by reference when pt has
+// no cell for the group yet — the reason a scan's partials recycle only as
+// a unit (scanPartials.release).
 func (pt *partial) merge(src *partial) {
 	pt.scanned += src.scanned
 	pt.matched += src.matched
@@ -558,21 +732,49 @@ func (p *queryPlan) finalize(pt *partial) *Result {
 	return res
 }
 
-// normalizeWorkers maps the worker-count knob to a concrete pool size:
-// negative = one worker per logical CPU, 0 or 1 = serial.
-func normalizeWorkers(workers int) int {
+// normalizeWorkers maps the worker-count knob to a concrete pool size for
+// a scan over n facts: negative = one worker per logical CPU, 0 or 1 =
+// serial — and never more workers than there are scan chunks. A surplus
+// worker would take a partial table from the pool, scan nothing, and
+// still be merged; post-sharding (shards × workers partials per batch)
+// that waste was the norm for small shards, not the exception.
+func normalizeWorkers(workers, n int) int {
 	if workers < 0 {
-		return runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 0 {
+	if workers <= 1 {
 		return 1
+	}
+	if chunks := chunkCount(n); workers > chunks {
+		workers = chunks
 	}
 	return workers
 }
 
+// forEachMorsel is the work-stealing scan loop: claim the next unclaimed
+// execChunkSize chunk off the shared cursor and hand its fact range to
+// body, until the table is drained. Chunk→worker assignment follows
+// execution speed (a straggling worker holds back at most one chunk, not
+// a 1/W stripe of the table); chunk bounds stay word-aligned, so the
+// shared-bitmap fill phases keep their racelessness.
+func forEachMorsel(cur *atomic.Int64, chunks, n int, body func(lo, hi int)) {
+	for {
+		ci := int(cur.Add(1)) - 1
+		if ci >= chunks {
+			return
+		}
+		lo := ci * execChunkSize
+		hi := lo + execChunkSize
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	}
+}
+
 // ExecuteParallel runs the query like Execute but partitions the fact scan
 // across a pool of workers goroutines, each aggregating into a thread-local
-// partial table; partials are merged in chunk order before ordering/limit.
+// partial table; partials are merged in worker order before ordering/limit.
 // workers <= 1 is the serial fallback (identical to Execute); workers < 0
 // uses one worker per logical CPU.
 func (c *Cube) ExecuteParallel(q Query, v *View, workers int) (*Result, error) {
@@ -588,38 +790,37 @@ func (c *Cube) ExecuteParallel(q Query, v *View, workers int) (*Result, error) {
 		// non-personalized baseline (nil view) scans the whole fact table.
 		mask = v.Materialize(q.Fact)
 	}
-	return p.finalize(p.scan(mask, normalizeWorkers(workers))), nil
+	sp := &scanPartials{}
+	res := p.finalize(p.scan(mask, normalizeWorkers(workers, p.n), sp))
+	sp.release()
+	return res, nil
 }
 
-// scan fills and merges partials for the whole fact table.
-func (p *queryPlan) scan(mask *bitset.Set, workers int) *partial {
-	n := p.fd.n
-	chunks := chunkCount(n)
-	if workers > chunks {
-		workers = chunks
-	}
+// scan fills and merges partials for the whole fact table. workers must
+// already be normalized (clamped to the chunk count); partials come from
+// sp and stay live until the caller finalizes and releases.
+func (p *queryPlan) scan(mask *bitset.Set, workers int, sp *scanPartials) *partial {
+	n := p.n
 	if workers <= 1 {
-		pt := newPartial(p)
+		pt := sp.get(p)
 		pt.scanRange(0, n, mask)
 		return pt
 	}
+	chunks := chunkCount(n)
 	parts := make([]*partial, workers)
+	for w := range parts {
+		parts[w] = sp.get(p)
+	}
+	var cur atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(pt *partial) {
 			defer wg.Done()
-			pt := newPartial(p)
-			for ci := w; ci < chunks; ci += workers {
-				lo := ci * execChunkSize
-				hi := lo + execChunkSize
-				if hi > n {
-					hi = n
-				}
+			forEachMorsel(&cur, chunks, n, func(lo, hi int) {
 				pt.scanRange(lo, hi, mask)
-			}
-			parts[w] = pt
-		}(w)
+			})
+		}(parts[w])
 	}
 	wg.Wait()
 	out := parts[0]
@@ -636,10 +837,15 @@ func (p *queryPlan) scan(mask *bitset.Set, workers int) *partial {
 // query twice.
 //
 // A plan binds snapshots of the cube's columns (measures, dimension keys,
-// roll-up caches, filter attribute columns) as they were at Compile time.
-// Loading data or setting attributes afterwards may reallocate those
-// columns, so plans must not be held across warehouse mutation — compile
-// after loading, as the scheduler does per admission.
+// roll-up caches, filter attribute columns) as they were at Compile time,
+// together with the fact count (queryPlan.n) those snapshots cover.
+// Appending facts afterwards is safe — AddFact grows the columns without
+// disturbing the prefix a plan holds, and the plan's scans stay bounded
+// by its compile-time count, so a plan held across concurrent ingest
+// aggregates exactly the table prefix that existed when it was compiled.
+// Structural mutation (loading dimension data, redefining attributes)
+// still invalidates plans — compile after loading, as the scheduler does
+// per admission.
 type CompiledQuery struct {
 	c *Cube
 	p *queryPlan
@@ -685,6 +891,7 @@ func (cq *CompiledQuery) Rebind(target *Cube) (*CompiledQuery, error) {
 	}
 	np := *p
 	np.fd = fd
+	np.n = fd.n
 	np.groups = append([]groupSpec(nil), p.groups...)
 	for i := range np.groups {
 		np.groups[i].keys = fd.dimKeys[np.groups[i].dd.dim.Name]
@@ -761,6 +968,12 @@ type SharingStats struct {
 	// ArtifactCacheHits counts artifacts this scan took from the
 	// cross-batch cache instead of re-materializing (0 without a cache).
 	ArtifactCacheHits int `json:"artifactCacheHits"`
+	// PartialsReused / PartialsAllocated count the per-worker partial
+	// aggregation tables this scan took from the per-table pool vs
+	// allocated fresh — the pool's effectiveness on the parallel path
+	// (reported for both sharing modes; a warm steady state is all reuse).
+	PartialsReused    int `json:"partialsReused"`
+	PartialsAllocated int `json:"partialsAllocated"`
 }
 
 // Add folds another scan's stats in (the batch executor totals its
@@ -776,6 +989,8 @@ func (s *SharingStats) Add(o SharingStats) {
 	s.GroupKeySets += o.GroupKeySets
 	s.DistinctGroupings += o.DistinctGroupings
 	s.ArtifactCacheHits += o.ArtifactCacheHits
+	s.PartialsReused += o.PartialsReused
+	s.PartialsAllocated += o.PartialsAllocated
 }
 
 // ExecuteBatch answers a batch of queries — e.g. many users' personalized
@@ -846,11 +1061,12 @@ func (c *Cube) ExecuteBatchCompiledOpt(cqs []*CompiledQuery, vs []*View, opts Ba
 			masks[i] = vs[i].Materialize(cq.p.q.Fact)
 		}
 	}
-	parts, stats := executeBatchPartials(plans, masks, opts)
+	parts, sp, stats := executeBatchPartials(plans, masks, opts)
 	results := make([]*Result, len(cqs))
 	for i, pt := range parts {
 		results[i] = plans[i].finalize(pt)
 	}
+	sp.release()
 	return results, stats, nil
 }
 
@@ -858,8 +1074,9 @@ func (c *Cube) ExecuteBatchCompiledOpt(cqs []*CompiledQuery, vs []*View, opts Ba
 // queries by fact (first-appearance order) so each fact table is scanned
 // once per batch, run the shared scans, and return one fully merged (but
 // not yet finalized) partial per query. masks are pre-materialized view
-// masks (nil = whole table).
-func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOptions) ([]*partial, SharingStats) {
+// masks (nil = whole table). The returned scanPartials owns every pooled
+// partial of the scan; callers release it after finalizing.
+func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOptions) ([]*partial, *scanPartials, SharingStats) {
 	var stats SharingStats
 	var factOrder []string
 	groups := map[string][]int{}
@@ -870,15 +1087,37 @@ func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOpt
 		groups[p.q.Fact] = append(groups[p.q.Fact], i)
 	}
 	parts := make([]*partial, len(plans))
+	sp := &scanPartials{}
 	for _, fact := range factOrder {
-		w := normalizeWorkers(opts.Workers)
+		idxs := groups[fact]
+		n := groupScanBound(plans, idxs)
+		w := normalizeWorkers(opts.Workers, n)
 		if opts.DisableSharing {
-			scanShared(groups[fact], plans, masks, parts, w)
+			scanShared(idxs, plans, masks, parts, w, n, sp)
 		} else {
-			stats.Add(scanSharedStaged(groups[fact], plans, masks, parts, w, opts))
+			stats.Add(scanSharedStaged(idxs, plans, masks, parts, w, n, opts, sp))
 		}
 	}
-	return parts, stats
+	stats.PartialsReused = sp.reused
+	stats.PartialsAllocated = sp.allocated
+	return parts, sp, stats
+}
+
+// groupScanBound is the shared scan bound for one fact group: the minimum
+// of the group's compile-time fact counts. Plans in a group always target
+// the same fact table but may have been compiled at different times —
+// under concurrent ingest a later plan's column snapshots are longer — so
+// the group's single morsel walk must stop where the shortest snapshot
+// does. Facts past the bound are simply invisible to this batch, exactly
+// as they are to a serial execution of the earliest-compiled plan.
+func groupScanBound(plans []*queryPlan, idxs []int) int {
+	n := plans[idxs[0]].n
+	for _, qi := range idxs[1:] {
+		if plans[qi].n < n {
+			n = plans[qi].n
+		}
+	}
+	return n
 }
 
 // BatchPartial is one query's merged partial aggregation state from a
@@ -888,6 +1127,10 @@ func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOpt
 type BatchPartial struct {
 	p  *queryPlan
 	pt *partial
+	// sp is the owning scan's pooled-partials handle, shared by every
+	// BatchPartial of the scan; MergeFinalize releases it (idempotently)
+	// once the gathered Results are finalized.
+	sp *scanPartials
 }
 
 // ExecuteBatchCompiledPartials runs the same shared scan as
@@ -911,10 +1154,10 @@ func (c *Cube) ExecuteBatchCompiledPartials(cqs []*CompiledQuery, masks []*bitse
 	if masks == nil {
 		masks = make([]*bitset.Set, len(cqs))
 	}
-	parts, stats := executeBatchPartials(plans, masks, opts)
+	parts, sp, stats := executeBatchPartials(plans, masks, opts)
 	out := make([]*BatchPartial, len(parts))
 	for i, pt := range parts {
-		out[i] = &BatchPartial{p: plans[i], pt: pt}
+		out[i] = &BatchPartial{p: plans[i], pt: pt, sp: sp}
 	}
 	return out, stats, nil
 }
@@ -942,6 +1185,14 @@ func MergeFinalize(shards [][]*BatchPartial) ([]*Result, error) {
 		}
 		results[i] = base.p.finalize(base.pt)
 	}
+	// Consumed: every shard scan's pooled partials go back to their
+	// table's pool. release is idempotent, so iterating every handle
+	// (shards of one scan share one) is fine.
+	for _, parts := range shards {
+		for _, bp := range parts {
+			bp.sp.release()
+		}
+	}
 	return results, nil
 }
 
@@ -949,47 +1200,40 @@ func MergeFinalize(shards [][]*BatchPartial) ([]*Result, error) {
 // with the stages fused per query (no cross-query artifact sharing) — the
 // BatchOptions.DisableSharing baseline; see exec_shared.go for the staged
 // variant. idxs indexes plans/masks/out; every plan shares the same
-// FactData. Each worker keeps one partial per query and walks its chunks
-// through all queries before moving on, so a chunk of fact columns is
-// aggregated by the whole batch while it is cache-hot. The merged partial
-// per query lands in out (callers finalize).
-func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers int) {
-	n := plans[idxs[0]].fd.n
+// FactData. Each worker keeps one partial per query and walks each
+// claimed morsel through all queries before claiming the next, so a chunk
+// of fact columns is aggregated by the whole batch while it is cache-hot.
+// workers must already be normalized and n is the group's scan bound
+// (groupScanBound). The merged partial per query lands in out (callers
+// finalize, then release sp).
+func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers, n int, sp *scanPartials) {
 	chunks := chunkCount(n)
-	if workers > chunks {
-		workers = chunks
-	}
-	if workers < 1 {
-		workers = 1
-	}
 	parts := make([][]*partial, workers) // [worker][query-in-group]
-	scanStride := func(w int) {
+	for w := range parts {
 		row := make([]*partial, len(idxs))
 		for k, qi := range idxs {
-			row[k] = newPartial(plans[qi])
-		}
-		for ci := w; ci < chunks; ci += workers {
-			lo := ci * execChunkSize
-			hi := lo + execChunkSize
-			if hi > n {
-				hi = n
-			}
-			for k, qi := range idxs {
-				row[k].scanRange(lo, hi, masks[qi])
-			}
+			row[k] = sp.get(plans[qi])
 		}
 		parts[w] = row
 	}
+	var cur atomic.Int64
+	scanWorker := func(row []*partial) {
+		forEachMorsel(&cur, chunks, n, func(lo, hi int) {
+			for k, qi := range idxs {
+				row[k].scanRange(lo, hi, masks[qi])
+			}
+		})
+	}
 	if workers == 1 {
-		scanStride(0)
+		scanWorker(parts[0])
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			go func(row []*partial) {
 				defer wg.Done()
-				scanStride(w)
-			}(w)
+				scanWorker(row)
+			}(parts[w])
 		}
 		wg.Wait()
 	}

@@ -1,0 +1,226 @@
+package cube
+
+// Pooled-partial hygiene and worker-clamp regression tests for the
+// morsel-driven executor: partials recycle through FactData.partialPool
+// with a full reset-on-get (rebind), and normalizeWorkers never sizes a
+// pool past the chunk count, so a tiny table (or shard) at workers=8 no
+// longer allocates seven partial tables that scan nothing.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"sdwp/internal/bitset"
+)
+
+func TestNormalizeWorkersClampsToChunkCount(t *testing.T) {
+	big := 10 * execChunkSize // 10 chunks
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, big, 1},
+		{1, big, 1},
+		{8, big, 8},
+		{16, big, 10},             // more workers than chunks
+		{8, 6, 1},                 // tiny table: one chunk
+		{8, execChunkSize, 1},     // exactly one chunk
+		{8, execChunkSize + 1, 2}, // just past the boundary
+		{3, 2 * execChunkSize, 2}, // clamp below requested
+		{2, 4 * execChunkSize, 2}, // no clamp needed
+		{8, 0, 1},                 // empty table still scans as one chunk
+	}
+	for _, tc := range cases {
+		if got := normalizeWorkers(tc.workers, tc.n); got != tc.want {
+			t.Errorf("normalizeWorkers(%d, %d) = %d, want %d", tc.workers, tc.n, got, tc.want)
+		}
+	}
+	// Negative = one worker per logical CPU, still chunk-clamped.
+	if got := normalizeWorkers(-1, big); got != min(runtime.GOMAXPROCS(0), 10) {
+		t.Errorf("normalizeWorkers(-1, big) = %d", got)
+	}
+	if got := normalizeWorkers(-1, 6); got != 1 {
+		t.Errorf("normalizeWorkers(-1, tiny) = %d, want 1", got)
+	}
+}
+
+// TestTinyTableWorkersAllocateOnePartial is the regression test for the
+// surplus-partials bug: 6 facts fit one chunk, so workers=8 must take
+// exactly one partial from the pool, not eight.
+func TestTinyTableWorkersAllocateOnePartial(t *testing.T) {
+	c := testWarehouse(t)
+	p, err := c.compile(Query{
+		Fact:       "Sales",
+		GroupBy:    []LevelRef{{"Store", "City"}},
+		Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: AggSum}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &scanPartials{}
+	pt := p.scan(nil, normalizeWorkers(8, p.fd.n), sp)
+	if got := len(sp.parts); got != 1 {
+		t.Fatalf("tiny-table scan at workers=8 took %d partials, want 1", got)
+	}
+	res := p.finalize(pt)
+	sp.release()
+	if len(res.Rows) != 3 || res.ScannedFacts != 6 {
+		t.Fatalf("clamped scan result wrong: %+v", res)
+	}
+}
+
+// TestPartialPoolNoStateBleed runs two structurally different queries
+// back-to-back through one partial — exactly what the pool does on reuse —
+// and pins that rebind leaves no trace of the previous query: no stale
+// accumulator rows, no stale scan counters, results identical to a
+// freshly allocated partial's.
+func TestPartialPoolNoStateBleed(t *testing.T) {
+	c := testWarehouse(t)
+	// Query A: filtered, multi-group (hash-cells path), SUM + COUNT.
+	qA := Query{
+		Fact:    "Sales",
+		GroupBy: []LevelRef{{"Store", "State"}, {"Time", "Day"}},
+		Aggregates: []MeasureAgg{
+			{Measure: "UnitSales", Agg: AggSum},
+			{Agg: AggCount},
+		},
+		Filters: []AttrFilter{{
+			LevelRef: LevelRef{"Store", "City"}, Attr: "population",
+			Op: OpGt, Value: 300000.0,
+		}},
+	}
+	// Query B: unfiltered, single-group (dense path), different measure,
+	// different aggregate count — everything about its partial differs.
+	qB := Query{
+		Fact:    "Sales",
+		GroupBy: []LevelRef{{"Store", "City"}},
+		Aggregates: []MeasureAgg{
+			{Measure: "StoreCost", Agg: AggMin},
+			{Measure: "StoreCost", Agg: AggMax},
+			{Measure: "UnitSales", Agg: AggAvg},
+		},
+	}
+	pA, err := c.compile(qA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := c.compile(qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pA.fd.n
+	run := func(p *queryPlan, pt *partial) *Result {
+		pt.scanRange(0, n, nil)
+		return p.finalize(pt)
+	}
+	wantA := run(pA, newPartial(pA))
+	wantB := run(pB, newPartial(pB))
+
+	pt := newPartial(pA)
+	if got := run(pA, pt); !reflect.DeepEqual(got, wantA) {
+		t.Fatalf("first use diverged:\ngot  %+v\nwant %+v", got, wantA)
+	}
+	// Rebind to B — the reset-on-get path — and check the partial is
+	// indistinguishable from fresh before it scans anything.
+	pt.rebind(pB)
+	if pt.scanned != 0 || pt.matched != 0 {
+		t.Fatalf("stale scan counters after rebind: %d/%d", pt.scanned, pt.matched)
+	}
+	if len(pt.cells) != 0 || pt.denseNone != nil {
+		t.Fatalf("stale accumulator rows after rebind: %d cells", len(pt.cells))
+	}
+	for i, cell := range pt.dense {
+		if cell != nil {
+			t.Fatalf("stale dense cell %d after rebind", i)
+		}
+	}
+	if got := run(pB, pt); !reflect.DeepEqual(got, wantB) {
+		t.Fatalf("reused partial diverged on B:\ngot  %+v\nwant %+v", got, wantB)
+	}
+	// And back to A: the arena has rewound twice, dense→cells→dense.
+	pt.rebind(pA)
+	if got := run(pA, pt); !reflect.DeepEqual(got, wantA) {
+		t.Fatalf("reused partial diverged on A:\ngot  %+v\nwant %+v", got, wantA)
+	}
+}
+
+// TestBatchPartialPoolReuseStats pins the pool round-trip through the
+// public batch API: the second identical batch over a warm pool reports
+// reused partials in its SharingStats.
+func TestBatchPartialPoolReuseStats(t *testing.T) {
+	c := testWarehouse(t)
+	qs := []Query{
+		{
+			Fact:       "Sales",
+			GroupBy:    []LevelRef{{"Store", "City"}},
+			Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: AggSum}},
+		},
+		{
+			Fact:       "Sales",
+			GroupBy:    []LevelRef{{"Store", "State"}},
+			Aggregates: []MeasureAgg{{Agg: AggCount}},
+		},
+	}
+	res1, st1, err := c.ExecuteBatchOpt(qs, nil, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.PartialsAllocated == 0 {
+		t.Fatalf("cold batch reported no allocated partials: %+v", st1)
+	}
+	res2, st2, err := c.ExecuteBatchOpt(qs, nil, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.PartialsReused == 0 {
+		t.Errorf("warm batch reused no partials: %+v", st2)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("pooled rerun changed results")
+	}
+}
+
+// TestSingleWorkerSharedArtifactsReturnToPools audits the workers=1
+// staged-path release discipline end to end: after a sharing batch whose
+// filter bitmap and key column materialized, both artifacts — and the
+// scan's partials — must be back in their per-table pools.
+func TestSingleWorkerSharedArtifactsReturnToPools(t *testing.T) {
+	c := testWarehouse(t)
+	filt := []AttrFilter{{
+		LevelRef: LevelRef{"Store", "City"}, Attr: "population",
+		Op: OpGt, Value: 300000.0,
+	}}
+	// Two queries sharing filter set and grouping: combined visible mass
+	// 2n > n, so both the set bitmap and the City key column materialize.
+	qs := []Query{
+		{
+			Fact:       "Sales",
+			GroupBy:    []LevelRef{{"Store", "City"}},
+			Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: AggSum}},
+			Filters:    filt,
+		},
+		{
+			Fact:       "Sales",
+			GroupBy:    []LevelRef{{"Store", "City"}},
+			Aggregates: []MeasureAgg{{Agg: AggCount}},
+			Filters:    filt,
+		},
+	}
+	_, st, err := c.ExecuteBatchOpt(qs, nil, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DistinctFilterSets != 1 || st.DistinctGroupings != 1 {
+		t.Fatalf("batch did not share as expected: %+v", st)
+	}
+	fd := c.FactData("Sales")
+	if v, ok := fd.maskPool.Get().(*bitset.Set); !ok || v.Len() != fd.n {
+		t.Error("filter bitmap was not returned to maskPool after the single-worker scan")
+	}
+	if v, ok := fd.colPool.Get().(*[]int32); !ok || len(*v) != fd.n {
+		t.Error("key column was not returned to colPool after the single-worker scan")
+	}
+	if _, ok := fd.partialPool.Get().(*partial); !ok {
+		t.Error("partials were not returned to partialPool after finalize")
+	}
+}

@@ -2,6 +2,7 @@ package cube
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sdwp/internal/bitset"
 )
@@ -161,32 +162,24 @@ func (pt *partial) scanRangeStaged(lo, hi int, qs *queryScan) {
 	})
 }
 
-// parallelFill runs fill over [0, n) with the worker pool, chunk-strided
-// exactly like the scan phases (chunk bounds are word-aligned, so workers
-// write disjoint bitmap words).
+// parallelFill runs fill over [0, n) with the worker pool, morsel-driven
+// exactly like the scan phases (chunk bounds are word-aligned and each
+// chunk is claimed by exactly one worker, so workers write disjoint
+// bitmap words). workers must already be normalized.
 func parallelFill(n, workers int, fill func(lo, hi int)) {
-	chunks := chunkCount(n)
-	if workers > chunks {
-		workers = chunks
-	}
 	if workers <= 1 {
 		fill(0, n)
 		return
 	}
+	chunks := chunkCount(n)
+	var cur atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			for ci := w; ci < chunks; ci += workers {
-				lo := ci * execChunkSize
-				hi := lo + execChunkSize
-				if hi > n {
-					hi = n
-				}
-				fill(lo, hi)
-			}
-		}(w)
+			forEachMorsel(&cur, chunks, n, fill)
+		}()
 	}
 	wg.Wait()
 }
@@ -270,10 +263,9 @@ func (sf *setFill) refine(lo, hi int) {
 // admits only fingerprints seen across at least two scans) so the next
 // batch's lookup hits. Cache-owned artifacts are immutable and bypass the
 // pools.
-func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers int, opts BatchOptions) (*sharedArtifacts, SharingStats) {
+func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers, n int, opts BatchOptions) (*sharedArtifacts, SharingStats) {
 	cache := opts.Artifacts
 	stats := SharingStats{Queries: len(idxs)}
-	n := plans[idxs[0]].fd.n
 	filterUses := map[string]int{} // set sub-fingerprint → queries using it
 	groupUses := map[string]int{}  // sub-fingerprint → (query, grouping) uses
 	filterMass := map[string]int{} // set sub-fingerprint → Σ visible facts
@@ -338,6 +330,14 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 
 	fd := plans[idxs[0]].fd
 	version := fd.version.Load()
+	// Artifacts are offered to the cross-batch cache only when this scan
+	// fills them over the whole live table: a group compiled before
+	// concurrent ingest scans a shorter prefix (n < fd.n), and caching such
+	// a partially filled bitmap under the live version would hand later
+	// full-length scans missing facts. Cache *hits* are always safe — a hit
+	// was filled full-length at this version, and scans never iterate past
+	// their own bound.
+	cachePut := cache != nil && n == fd.n
 	art := &sharedArtifacts{fd: fd, filterMasks: map[string]*bitset.Set{},
 		predMasks: map[string]*bitset.Set{}, partialMasks: map[string]*bitset.Set{},
 		keyCols: map[string][]int32{}}
@@ -367,7 +367,7 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 					filterOwner[key].materializeFilterMask(lo, hi, mask)
 				}
 			})
-			if cache != nil {
+			if cachePut {
 				for key, m := range fillMasks {
 					if cache.putMask(fd, version, key, m) {
 						art.markOwned(key)
@@ -376,7 +376,7 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 			}
 		}
 	} else {
-		buildFilterMasksPerPredicate(art, &stats, n, version, workers, cache,
+		buildFilterMasksPerPredicate(art, &stats, n, version, workers, cache, cachePut,
 			filterUses, filterMass, filterOwner, setPreds, predSets, predMass, predOwner)
 	}
 
@@ -420,7 +420,7 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 				groupOwner[key].materializeGroupKeys(lo, hi, col)
 			}
 		})
-		if cache != nil {
+		if cachePut {
 			for key, col := range fillCols {
 				if cache.putCol(fd, version, key, col) {
 					art.markOwned(key)
@@ -442,7 +442,7 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 // (planScan, accumulation, caching) is untouched and results stay
 // byte-identical.
 func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
-	n int, version uint64, workers int, cache *ArtifactCache,
+	n int, version uint64, workers int, cache *ArtifactCache, cachePut bool,
 	filterUses, filterMass map[string]int, filterOwner map[string]*queryPlan,
 	setPreds map[string][]string, predSets, predMass map[string]int,
 	predOwner map[string]*filterSpec) {
@@ -493,7 +493,7 @@ func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
 				predOwner[pk].materializePredicateMask(lo, hi, m)
 			}
 		})
-		if cache != nil {
+		if cachePut {
 			for pk, m := range fillPreds {
 				if cache.putPredMask(fd, version, pk, m) {
 					art.markOwned(pk)
@@ -560,7 +560,7 @@ func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
 	}
 	// Offer freshly built full set masks to the cache (partial masks are
 	// not the set's semantic mask and never leave the scan).
-	if cache != nil {
+	if cachePut {
 		for sk, sf := range fillSets {
 			if art.filterMasks[sk] == sf.m && cache.putMask(fd, version, sk, sf.m) {
 				art.markOwned(sk)
@@ -656,54 +656,48 @@ func releaseArtifacts(art *sharedArtifacts, scans []*queryScan) {
 
 // scanSharedStaged runs one fact group's shared scan through the staged
 // pipeline: materialize shared artifacts (taking cross-batch cached ones
-// when a cache is given), then accumulate every query chunk by chunk
-// exactly as scanShared does — same chunk ownership, same worker-order
-// merge — so results are byte-identical to the fused path. The merged
-// partial per query lands in out (callers finalize).
-func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers int, opts BatchOptions) SharingStats {
-	art, stats := buildArtifacts(idxs, plans, masks, workers, opts)
+// when a cache is given), then accumulate every query morsel by morsel
+// exactly as scanShared does — same work stealing, same worker-order
+// merge — so results are byte-identical to the fused path. workers must
+// already be normalized and n is the group's scan bound (groupScanBound).
+// The merged partial per query lands in out (callers finalize, then
+// release sp; the scan-scoped artifacts are released here, since no
+// partial or Result references them).
+func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers, n int, opts BatchOptions, sp *scanPartials) SharingStats {
+	art, stats := buildArtifacts(idxs, plans, masks, workers, n, opts)
 
 	scans := make([]*queryScan, len(idxs))
 	for k, qi := range idxs {
 		scans[k] = planScan(plans[qi], masks[qi], art)
 	}
 
-	n := plans[idxs[0]].fd.n
 	chunks := chunkCount(n)
-	if workers > chunks {
-		workers = chunks
-	}
-	if workers < 1 {
-		workers = 1
-	}
 	parts := make([][]*partial, workers) // [worker][query-in-group]
-	scanStride := func(w int) {
+	for w := range parts {
 		row := make([]*partial, len(idxs))
 		for k, qi := range idxs {
-			row[k] = newPartial(plans[qi])
-		}
-		for ci := w; ci < chunks; ci += workers {
-			lo := ci * execChunkSize
-			hi := lo + execChunkSize
-			if hi > n {
-				hi = n
-			}
-			for k := range idxs {
-				row[k].scanRangeStaged(lo, hi, scans[k])
-			}
+			row[k] = sp.get(plans[qi])
 		}
 		parts[w] = row
 	}
+	var cur atomic.Int64
+	scanWorker := func(row []*partial) {
+		forEachMorsel(&cur, chunks, n, func(lo, hi int) {
+			for k := range idxs {
+				row[k].scanRangeStaged(lo, hi, scans[k])
+			}
+		})
+	}
 	if workers == 1 {
-		scanStride(0)
+		scanWorker(parts[0])
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			go func(row []*partial) {
 				defer wg.Done()
-				scanStride(w)
-			}(w)
+				scanWorker(row)
+			}(parts[w])
 		}
 		wg.Wait()
 	}

@@ -200,6 +200,8 @@ type Scheduler struct {
 	stComposed       atomic.Int64
 	stGroupSets      atomic.Int64
 	stGroupDistinct  atomic.Int64
+	stPartialsReused atomic.Int64
+	stPartialsAlloc  atomic.Int64
 }
 
 // New builds a scheduler over an executor — the cube itself, or a sharded
@@ -654,6 +656,8 @@ func (s *Scheduler) runBatch(batch []*request) {
 		s.stComposed.Add(int64(sharing.ComposedMasks + sharing.PartialMasks))
 		s.stGroupSets.Add(int64(sharing.GroupKeySets))
 		s.stGroupDistinct.Add(int64(sharing.DistinctGroupings))
+		s.stPartialsReused.Add(int64(sharing.PartialsReused))
+		s.stPartialsAlloc.Add(int64(sharing.PartialsAllocated))
 	}
 	for i, r := range batch {
 		out := outcome{err: err}
@@ -741,6 +745,13 @@ type Stats struct {
 	ComposedMasks    int64 `json:"composedMasks"`
 	GroupKeySets     int64 `json:"groupKeySets"`
 	GroupKeyCols     int64 `json:"groupKeyCols"`
+	// PartialsReused / PartialsAllocated count the per-worker partial
+	// aggregation tables the executor's scans took from the per-fact-table
+	// pools vs allocated fresh (see cube.SharingStats); reused /
+	// (reused + allocated) is the pool hit rate — near 1 once the
+	// scheduler reaches a warm steady state.
+	PartialsReused    int64 `json:"partialsReused"`
+	PartialsAllocated int64 `json:"partialsAllocated"`
 	// ArtifactDoorkept counts artifacts the cross-batch cache's admission
 	// doorkeeper turned away (= ArtifactCache.Doorkept, surfaced top-level
 	// beside the result cache's CacheDoorkept).
@@ -762,23 +773,25 @@ type Stats struct {
 // Stats snapshots the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
 	st := Stats{
-		Submitted:        s.stSubmitted.Load(),
-		Shared:           s.stShared.Load(),
-		Executed:         s.stExecuted.Load(),
-		Batches:          s.stBatches.Load(),
-		FactScans:        s.stScans.Load(),
-		MaxQueueDepth:    s.stMaxQueue.Load(),
-		CacheDoorkept:    s.stDoorkept.Load(),
-		NegCacheHits:     s.stNegHits.Load(),
-		TimedOut:         s.stTimedOut.Load(),
-		ArtifactCache:    s.opts.Artifacts.Stats(),
-		FilterSets:       s.stFilterSets.Load(),
-		FilterMasks:      s.stFilterDistinct.Load(),
-		FilterPredicates: s.stPredSets.Load(),
-		PredicateMasks:   s.stPredDistinct.Load(),
-		ComposedMasks:    s.stComposed.Load(),
-		GroupKeySets:     s.stGroupSets.Load(),
-		GroupKeyCols:     s.stGroupDistinct.Load(),
+		Submitted:         s.stSubmitted.Load(),
+		Shared:            s.stShared.Load(),
+		Executed:          s.stExecuted.Load(),
+		Batches:           s.stBatches.Load(),
+		FactScans:         s.stScans.Load(),
+		MaxQueueDepth:     s.stMaxQueue.Load(),
+		CacheDoorkept:     s.stDoorkept.Load(),
+		NegCacheHits:      s.stNegHits.Load(),
+		TimedOut:          s.stTimedOut.Load(),
+		ArtifactCache:     s.opts.Artifacts.Stats(),
+		FilterSets:        s.stFilterSets.Load(),
+		FilterMasks:       s.stFilterDistinct.Load(),
+		FilterPredicates:  s.stPredSets.Load(),
+		PredicateMasks:    s.stPredDistinct.Load(),
+		ComposedMasks:     s.stComposed.Load(),
+		GroupKeySets:      s.stGroupSets.Load(),
+		GroupKeyCols:      s.stGroupDistinct.Load(),
+		PartialsReused:    s.stPartialsReused.Load(),
+		PartialsAllocated: s.stPartialsAlloc.Load(),
 	}
 	st.ArtifactDoorkept = st.ArtifactCache.Doorkept
 	if s.negCache != nil {

@@ -6,16 +6,19 @@
 // into set masks over the shard's own fact rows, and roll-up key columns
 // — and accumulates per-query partials under its own lock), and the
 // per-shard partials gather through the executor's deterministic
-// chunk-order merge/finalize path, so results are identical to the
-// unsharded engine.
+// shard-order merge/finalize path, so results are identical to the
+// unsharded engine. MergeFinalize also returns every shard scan's pooled
+// partial tables to their shard's pool once the gathered results are
+// finalized.
 //
 // Why shards: one fact table per cube is a single ingest lock and a
 // single scan unit — the remaining ceiling on fact-table size and write
 // throughput. A sharded Table gives every shard its own fact columns,
-// bitset pools, artifact cache and RWMutex: ingest into one shard blocks
-// only that shard's scans for the duration of an append, and the
-// scatter's fan-out is bounded (Options.MaxInFlightScans) so a wide
-// table cannot oversubscribe small hosts.
+// bitset and partial-table pools, artifact cache and RWMutex: ingest
+// into one shard blocks only that shard's scans for the duration of an
+// append, and the scatter's fan-out is bounded
+// (Options.MaxInFlightScans) so a wide table cannot oversubscribe small
+// hosts.
 //
 // The parent cube keeps the authoritative copy of every fact (shards are
 // scan replicas): views, exports, snapshots and PRML iteration keep

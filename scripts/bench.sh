@@ -1,30 +1,48 @@
 #!/usr/bin/env bash
 # bench.sh — the benchmark-regression pipeline: run the core executor
-# benchmarks and emit BENCH_5.json (ns/op, allocs/op, sharing-ratio
-# metrics) through cmd/benchjson. The manifest makes a renamed or deleted
-# benchmark fail the pipeline instead of silently dropping its perf
-# trajectory.
+# benchmarks and emit BENCH_6.json (ns/op, allocs/op, sharing-ratio and
+# pool-hit metrics) through cmd/benchjson. The manifest makes a renamed or
+# deleted benchmark fail the pipeline instead of silently dropping its
+# perf trajectory, and the baseline comparison fails the pipeline when a
+# benchmark's allocs/op regresses past the tolerance.
 #
 # Env knobs:
-#   BENCHTIME  go test -benchtime value   (default 1x: a smoke pass; use
-#              e.g. 2s for stable numbers)
+#   BENCHTIME  go test -benchtime value   (default 1s: duration-based, so
+#              per-op numbers amortize cold-start allocation — the
+#              iterations:2 artifacts of BENCH_5 hid a 1.6MB/op mirage;
+#              use 1x only for a smoke pass)
 #   COUNT      go test -count value       (default 1)
-#   OUT        output artifact path       (default BENCH_5.json)
+#   OUT        output artifact path       (default BENCH_6.json)
+#   BASELINE   previous artifact to gate allocs/op against (default: the
+#              highest-numbered BENCH_<n>.json other than OUT; set to ""
+#              to skip the gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${BENCHTIME:-1x}"
+BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_5.json}"
+OUT="${OUT:-BENCH_6.json}"
+
+if [[ -z "${BASELINE+x}" ]]; then
+  BASELINE=""
+  for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r); do
+    if [[ "$f" != "$OUT" ]]; then
+      BASELINE="$f"
+      break
+    fi
+  done
+fi
 
 # The manifest: the benchmarks whose trajectory the repo records. The
 # -bench regexp is derived from it, so one edit adds a benchmark to both
 # the run and the existence gate.
-MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing"
+MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing"
 
 go test -run '^$' \
-  -bench "${MANIFEST//,/|}" \
+  -bench "^(${MANIFEST//,/|})\$" \
   -benchtime "$BENCHTIME" -count "$COUNT" . \
-  | go run ./cmd/benchjson -issue 5 -out "$OUT" -manifest "$MANIFEST"
+  | go run ./cmd/benchjson -issue 6 -out "$OUT" -manifest "$MANIFEST" \
+      -benchtime "$BENCHTIME" -count "$COUNT" \
+      ${BASELINE:+-baseline "$BASELINE"}
 
-echo "bench.sh: wrote $OUT"
+echo "bench.sh: wrote $OUT${BASELINE:+ (allocs/op gated against $BASELINE)}"

@@ -14,8 +14,10 @@ go test -race -count=3 ./internal/qsched/
 
 # The shared-subexpression and per-filter batch paths fill cross-worker
 # artifacts (predicate bitmaps, composed set masks) while views mutate
-# underneath.
-go test -race -count=3 -run 'SharedSubexpr|PerFilter' ./internal/core/ ./internal/cube/
+# underneath; the pooled-partial pattern additionally recycles partial
+# tables through the per-fact-table pool while AddFact ingest and
+# SpatialSelect churn run against the morsel-stealing scans.
+go test -race -count=3 -run 'SharedSubexpr|PerFilter|PooledPartial' ./internal/core/ ./internal/cube/
 
 # The sharded executor interleaves scatter-gather scans with routed
 # ingest and view selections across per-shard locks.
