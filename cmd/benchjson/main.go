@@ -11,7 +11,9 @@
 // trajectory. With -baseline it additionally compares allocs/op per
 // benchmark against the previous artifact and fails past -alloc-tolerance,
 // so allocation regressions (a pool no longer hit, an artifact no longer
-// released) break CI instead of drifting the trajectory. The run's
+// released) break CI instead of drifting the trajectory; -nsop-gate opts
+// named benchmarks into a ns/op comparison too (the tracing-overhead
+// proof — see BenchmarkTraceOverhead). The run's
 // -benchtime/-count settings are recorded in the artifact so readers can
 // tell a 1x smoke pass from a duration-based measurement.
 //
@@ -72,6 +74,10 @@ func main() {
 		"previous BENCH_<n>.json to compare allocs/op against (missing file warns and skips)")
 	allocTol := flag.Float64("alloc-tolerance", 0.15,
 		"allowed fractional allocs/op growth over -baseline before failing")
+	nsopGate := flag.String("nsop-gate", "",
+		"regexp of benchmark names whose ns/op is ALSO gated against -baseline (empty = none: wall time is too noisy to gate broadly; scope this to overhead-proof benchmarks such as ^BenchmarkTraceOverhead)")
+	nsopTol := flag.Float64("nsop-tolerance", 0.30,
+		"allowed fractional ns/op growth over -baseline for -nsop-gate benchmarks")
 	flag.Parse()
 
 	rep := report{Issue: *issue, Generated: time.Now().UTC().Format(time.RFC3339),
@@ -162,61 +168,85 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), *out)
 
-	// Allocation-regression gate: compare allocs/op per benchmark against
-	// the previous artifact. The artifact above is written regardless, so a
-	// failing run still leaves its numbers behind for inspection. ns/op is
-	// deliberately not gated — shared CI runners make wall time too noisy —
-	// but allocs/op is deterministic for a given code path, so growth there
-	// is a real regression (a pool stopped being hit, an artifact stopped
-	// being released), not scheduler jitter.
+	// Regression gates against the previous artifact. The artifact above
+	// is written regardless, so a failing run still leaves its numbers
+	// behind for inspection. allocs/op is gated for every benchmark: it is
+	// deterministic for a given code path, so growth there is a real
+	// regression (a pool stopped being hit, an artifact stopped being
+	// released), not scheduler jitter. ns/op is too noisy on shared
+	// runners to gate broadly, but -nsop-gate opts specific benchmarks in
+	// (with a looser tolerance) — the overhead-proof ones, where "tracing
+	// off costs nothing" is the claim under test and wall time IS the
+	// metric.
 	if *baseline != "" {
-		if code := compareAllocs(*baseline, &rep, *allocTol); code != 0 {
+		code := compareMetric(*baseline, &rep, "allocs/op", nil, *allocTol, 0.5)
+		if *nsopGate != "" {
+			re, err := regexp.Compile(*nsopGate)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -nsop-gate %q: %v\n", *nsopGate, err)
+				os.Exit(1)
+			}
+			if c := compareMetric(*baseline, &rep, "ns/op", re, *nsopTol, 0); c != 0 {
+				code = c
+			}
+		}
+		if code != 0 {
 			os.Exit(code)
 		}
 	}
 }
 
-// compareAllocs returns a non-zero exit code when any benchmark present in
-// both artifacts grew its allocs/op beyond the tolerance. A missing or
-// unreadable baseline warns and passes: the gate compares trajectories, it
-// does not invent one on first run.
-func compareAllocs(path string, cur *report, tol float64) int {
+// compareMetric returns a non-zero exit code when any benchmark present in
+// both artifacts (and matching `only`, when non-nil) grew the given metric
+// beyond the tolerance. grace is an absolute allowance on top of the
+// fractional one (0.5 for allocs/op: never fail tiny counts on a single
+// alloc). A missing or unreadable baseline — or a benchmark absent from it
+// — warns and passes: the gate compares trajectories, it does not invent
+// one on first run.
+func compareMetric(path string, cur *report, metric string, only *regexp.Regexp, tol, grace float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: baseline %s unreadable (%v); skipping allocs/op comparison\n", path, err)
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s unreadable (%v); skipping %s comparison\n", path, err, metric)
 		return 0
 	}
 	var base report
 	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: baseline %s unparsable (%v); skipping allocs/op comparison\n", path, err)
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s unparsable (%v); skipping %s comparison\n", path, err, metric)
 		return 0
 	}
-	baseAllocs := map[string]float64{}
+	baseVals := map[string]float64{}
 	for _, b := range base.Benchmarks {
-		if v, ok := b.Metrics["allocs/op"]; ok {
-			baseAllocs[b.Name] = v
+		if v, ok := b.Metrics[metric]; ok {
+			baseVals[b.Name] = v
 		}
 	}
 	regressed := 0
 	compared := 0
 	for _, b := range cur.Benchmarks {
-		curV, ok := b.Metrics["allocs/op"]
+		if only != nil && !only.MatchString(b.Name) {
+			continue
+		}
+		curV, ok := b.Metrics[metric]
 		if !ok {
 			continue
 		}
-		baseV, ok := baseAllocs[b.Name]
+		baseV, ok := baseVals[b.Name]
 		if !ok {
+			if only != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s absent from baseline %s; its %s gate starts next run\n",
+					b.Name, path, metric)
+			}
 			continue // new benchmark: no trajectory yet
 		}
 		compared++
-		if curV > baseV*(1+tol)+0.5 { // +0.5: never fail tiny counts on a single alloc
-			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: %.0f allocs/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)\n",
-				b.Name, curV, baseV, 100*(curV-baseV)/baseV, 100*tol)
+		if curV > baseV*(1+tol)+grace {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f %s vs baseline %.1f (+%.1f%%, tolerance %.0f%%)\n",
+				b.Name, curV, metric, baseV, 100*(curV-baseV)/baseV, 100*tol)
 			regressed++
 		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: compared allocs/op for %d benchmarks against %s (issue %d): %d regressed\n",
-		compared, path, base.Issue, regressed)
+	fmt.Fprintf(os.Stderr, "benchjson: compared %s for %d benchmarks against %s (issue %d): %d regressed\n",
+		metric, compared, path, base.Issue, regressed)
 	if regressed > 0 {
 		return 1
 	}

@@ -12,6 +12,7 @@
 //	       [-result-cache-mb 32] [-max-batch-queries 64]
 //	       [-shared-subexpr=true] [-per-filter-sharing=true]
 //	       [-fact-shards 0] [-query-timeout 0] [-artifact-cache-mb 0]
+//	       [-trace-sample-rate 0] [-slow-query 0] [-pprof-addr ""]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -pprof-addr listener
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +65,12 @@ func main() {
 			"admission deadline: a query still queued this long is dropped with an error instead of executing late (0 = no deadline)")
 		artifactCacheMB = flag.Int("artifact-cache-mb", 0,
 			"cross-batch artifact cache in MiB: hot filter bitmaps and roll-up key columns survive between scans, invalidated by table-version bumps (0 = off; split across shards when sharded)")
+		traceSampleRate = flag.Float64("trace-sample-rate", 0,
+			"query-lifecycle tracing: probability a successful query's span tree is retained for GET /api/trace/{id} (errors and timeouts are always retained; 0 = tracing off)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log a structured warning for any query at or above this end-to-end latency, with trace ID and stage breakdown (0 = off)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -127,6 +135,8 @@ func main() {
 		FactShards:              *factShards,
 		QueryTimeout:            *queryTimeout,
 		ArtifactCacheBytes:      int64(*artifactCacheMB) << 20,
+		TraceSampleRate:         *traceSampleRate,
+		SlowQueryThreshold:      *slowQuery,
 	})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 
@@ -169,6 +179,17 @@ func main() {
 			}
 			fmt.Printf("\nsolapd: saved %d user profiles to %s\n", users.Len(), *profiles)
 			os.Exit(0)
+		}()
+	}
+
+	// The profiling listener is separate from the API address (and off by
+	// default) so pprof is never reachable from the API's exposure. The
+	// blank net/http/pprof import registered its handlers on
+	// http.DefaultServeMux, which only this listener serves.
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Printf("solapd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
 		}()
 	}
 

@@ -22,6 +22,7 @@ import (
 
 	"sdwp/internal/cube"
 	"sdwp/internal/geom"
+	"sdwp/internal/obs"
 	"sdwp/internal/prml"
 	"sdwp/internal/qsched"
 	"sdwp/internal/shard"
@@ -116,6 +117,18 @@ type Options struct {
 	// AddFact/member mutation (0 = off). On a sharded engine the budget is
 	// split evenly across the shards.
 	ArtifactCacheBytes int64
+	// TraceSampleRate enables query-lifecycle tracing: each traced query
+	// records a span tree (admission wait, compile, shared scan with
+	// per-shard stage timings, finalize) served by GET /api/trace/{id}.
+	// Queries that end in an error are always retained; successful ones
+	// are kept with this probability (1 = every query, 0 = tracing off —
+	// the default, which skips trace allocation entirely). Latency
+	// histograms and /metrics are independent of this knob and always on.
+	TraceSampleRate float64
+	// SlowQueryThreshold logs a structured warning (slog) for any query
+	// whose end-to-end latency — admission wait included — meets or
+	// exceeds it, with its trace ID and stage breakdown (0 = off).
+	SlowQueryThreshold time.Duration
 }
 
 // QueryWorkers returns the engine's configured query worker-pool size.
@@ -191,6 +204,15 @@ type Engine struct {
 	// artifacts is the unsharded engine's cross-batch artifact cache
 	// (sharded engines keep one per shard inside the table).
 	artifacts *cube.ArtifactCache
+	// registry/metrics are the engine's telemetry sink: per-stage latency
+	// histograms plus a collector re-emitting the scheduler counters, all
+	// rendered by GET /metrics. Always on — recording is lock-free and
+	// costs a few atomic adds per query.
+	registry *obs.Registry
+	metrics  *obs.QueryMetrics
+	// tracer is non-nil only when Options.TraceSampleRate > 0; a nil
+	// tracer short-circuits every tracing hook to a pointer test.
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	rules    []*prml.Rule
@@ -228,6 +250,11 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 			e.artifacts = cube.NewArtifactCache(opts.ArtifactCacheBytes)
 		}
 	}
+	e.registry = obs.NewRegistry()
+	e.metrics = obs.NewQueryMetrics(e.registry)
+	if opts.TraceSampleRate > 0 {
+		e.tracer = obs.NewTracer(obs.TracerOptions{SampleRate: opts.TraceSampleRate})
+	}
 	e.sched = qsched.New(e.exec, qsched.Options{
 		Window:                  opts.CoalesceWindow,
 		MaxBatch:                opts.MaxBatchQueries,
@@ -239,9 +266,51 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 		DisablePerFilterSharing: opts.DisablePerFilterSharing,
 		Timeout:                 opts.QueryTimeout,
 		Artifacts:               e.artifacts,
+		Metrics:                 e.metrics,
+		SlowQuery:               opts.SlowQueryThreshold,
 	})
+	e.registry.RegisterCollector(e.collectSchedulerSamples)
 	return e
 }
+
+// collectSchedulerSamples re-emits the scheduler's cumulative counters
+// (and a few gauges) as Prometheus samples on every /metrics scrape, so
+// one scrape carries both the latency histograms and the counter state
+// that GET /api/stats serves as JSON.
+func (e *Engine) collectSchedulerSamples(emit func(obs.Sample)) {
+	st := e.SchedulerStats()
+	counter := func(name, help string, v int64) {
+		emit(obs.Sample{Name: name, Help: help, Type: "counter", Value: float64(v)})
+	}
+	gauge := func(name, help string, v float64) {
+		emit(obs.Sample{Name: name, Help: help, Type: "gauge", Value: v})
+	}
+	gauge("sdwp_uptime_seconds", "Seconds since the query scheduler started.", st.UptimeSeconds)
+	counter("sdwp_queries_submitted_total", "Queries handed to the scheduler.", st.Submitted)
+	counter("sdwp_queries_executed_total", "Queries answered by a shared scan.", st.Executed)
+	counter("sdwp_queries_coalesced_total", "Queries answered by joining an identical queued query.", st.Shared)
+	counter("sdwp_queries_timed_out_total", "Queries dropped past their admission deadline.", st.TimedOut)
+	counter("sdwp_batches_total", "Coalesced batches dispatched.", st.Batches)
+	counter("sdwp_fact_scans_total", "Shared fact scans executed.", st.FactScans)
+	counter("sdwp_result_cache_hits_total", "Result-cache hits.", st.CacheHits)
+	counter("sdwp_result_cache_misses_total", "Result-cache misses.", st.CacheMisses)
+	counter("sdwp_result_cache_evictions_total", "Result-cache evictions.", st.CacheEvictions)
+	gauge("sdwp_result_cache_bytes", "Bytes held by the result cache.", float64(st.CacheBytes))
+	gauge("sdwp_queue_depth", "Queries waiting in the admission queue.", float64(st.QueueDepth))
+	gauge("sdwp_scans_in_flight", "Shared scans running right now.", float64(st.InFlight))
+	if st.FactShards > 0 {
+		gauge("sdwp_fact_shards", "Fact-table shard count.", float64(st.FactShards))
+		counter("sdwp_shard_scans_total", "Per-shard scans fanned out by the scatter-gather executor.", st.ShardScans)
+	}
+}
+
+// MetricsRegistry returns the engine's telemetry registry — what
+// GET /metrics renders in Prometheus text format.
+func (e *Engine) MetricsRegistry() *obs.Registry { return e.registry }
+
+// Tracer returns the engine's query-lifecycle tracer, nil unless
+// Options.TraceSampleRate > 0.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Close stops the engine's query scheduler: queued queries drain, new ones
 // are rejected. Idempotent; the engine must not be queried after Close.

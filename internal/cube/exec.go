@@ -7,9 +7,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdwp/internal/bitset"
 	"sdwp/internal/mdmodel"
+	"sdwp/internal/obs"
 )
 
 // This file is the query executor: a compiled plan (queryPlan) over
@@ -929,6 +931,16 @@ type BatchOptions struct {
 	// survive between scans instead of being re-materialized per batch.
 	// nil keeps artifacts scan-scoped (pooled), exactly as before.
 	Artifacts *ArtifactCache
+	// Trace optionally collects per-stage wall times of this scan (one
+	// ShardScan per fact group, plus gather/finalize time). nil — the
+	// default — records nothing; every timing hook is guarded by a single
+	// pointer test taken once per scan phase, never per fact, so the
+	// morsel loop is untouched.
+	Trace *obs.ScanTrace
+	// TraceShard labels recorded ShardScans with the shard index of this
+	// scan (the shard executor sets it per fan-out goroutine; 0 when
+	// unsharded).
+	TraceShard int
 }
 
 // SharingStats reports how much cross-query stage-1/2 work one batch
@@ -1062,11 +1074,18 @@ func (c *Cube) ExecuteBatchCompiledOpt(cqs []*CompiledQuery, vs []*View, opts Ba
 		}
 	}
 	parts, sp, stats := executeBatchPartials(plans, masks, opts)
+	var t0 time.Time
+	if opts.Trace != nil {
+		t0 = time.Now()
+	}
 	results := make([]*Result, len(cqs))
 	for i, pt := range parts {
 		results[i] = plans[i].finalize(pt)
 	}
 	sp.release()
+	if opts.Trace != nil {
+		opts.Trace.AddGather(time.Since(t0))
+	}
 	return results, stats, nil
 }
 
@@ -1092,10 +1111,20 @@ func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOpt
 		idxs := groups[fact]
 		n := groupScanBound(plans, idxs)
 		w := normalizeWorkers(opts.Workers, n)
+		var sc *obs.ShardScan
+		var t0 time.Time
+		if opts.Trace != nil {
+			sc = &obs.ShardScan{Shard: opts.TraceShard, Facts: n}
+			t0 = time.Now()
+		}
 		if opts.DisableSharing {
-			scanShared(idxs, plans, masks, parts, w, n, sp)
+			scanShared(idxs, plans, masks, parts, w, n, sp, sc)
 		} else {
-			stats.Add(scanSharedStaged(idxs, plans, masks, parts, w, n, opts, sp))
+			stats.Add(scanSharedStaged(idxs, plans, masks, parts, w, n, opts, sp, sc))
+		}
+		if sc != nil {
+			sc.Wall = time.Since(t0)
+			opts.Trace.AddShard(*sc)
 		}
 	}
 	stats.PartialsReused = sp.reused
@@ -1205,8 +1234,9 @@ func MergeFinalize(shards [][]*BatchPartial) ([]*Result, error) {
 // of fact columns is aggregated by the whole batch while it is cache-hot.
 // workers must already be normalized and n is the group's scan bound
 // (groupScanBound). The merged partial per query lands in out (callers
-// finalize, then release sp).
-func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers, n int, sp *scanPartials) {
+// finalize, then release sp). A non-nil sc receives the scan's stage
+// timings (the fused path charges everything to accumulate + merge).
+func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers, n int, sp *scanPartials, sc *obs.ShardScan) {
 	chunks := chunkCount(n)
 	parts := make([][]*partial, workers) // [worker][query-in-group]
 	for w := range parts {
@@ -1224,6 +1254,10 @@ func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*part
 			}
 		})
 	}
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 	if workers == 1 {
 		scanWorker(parts[0])
 	} else {
@@ -1237,11 +1271,18 @@ func scanShared(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*part
 		}
 		wg.Wait()
 	}
+	if sc != nil {
+		sc.Accumulate = time.Since(t0)
+		t0 = time.Now()
+	}
 	for k, qi := range idxs {
 		merged := parts[0][k]
 		for w := 1; w < workers; w++ {
 			merged.merge(parts[w][k])
 		}
 		out[qi] = merged
+	}
+	if sc != nil {
+		sc.Merge = time.Since(t0)
 	}
 }

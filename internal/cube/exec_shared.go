@@ -3,8 +3,10 @@ package cube
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdwp/internal/bitset"
+	"sdwp/internal/obs"
 )
 
 // This file is the sharing-aware batch executor: the explicit (non-fused)
@@ -263,7 +265,10 @@ func (sf *setFill) refine(lo, hi int) {
 // admits only fingerprints seen across at least two scans) so the next
 // batch's lookup hits. Cache-owned artifacts are immutable and bypass the
 // pools.
-func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers, n int, opts BatchOptions) (*sharedArtifacts, SharingStats) {
+//
+// A non-nil sc receives the stage-1 (filter-mask) and stage-2 (group
+// decode) wall times — two time.Now() pairs per scan, nothing per fact.
+func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers, n int, opts BatchOptions, sc *obs.ShardScan) (*sharedArtifacts, SharingStats) {
 	cache := opts.Artifacts
 	stats := SharingStats{Queries: len(idxs)}
 	filterUses := map[string]int{} // set sub-fingerprint → queries using it
@@ -342,6 +347,10 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 		predMasks: map[string]*bitset.Set{}, partialMasks: map[string]*bitset.Set{},
 		keyCols: map[string][]int32{}}
 
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 	if opts.DisablePredicateSharing {
 		// Whole-set granularity (the pre-per-filter path): one bitmap per
 		// distinct filter set, filled by evaluating the full conjunction.
@@ -378,6 +387,11 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 	} else {
 		buildFilterMasksPerPredicate(art, &stats, n, version, workers, cache, cachePut,
 			filterUses, filterMass, filterOwner, setPreds, predSets, predMass, predOwner)
+	}
+
+	if sc != nil {
+		sc.FilterMask = time.Since(t0)
+		t0 = time.Now()
 	}
 
 	// Decide key columns with the filter masks in hand: a query whose
@@ -427,6 +441,9 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 				}
 			}
 		}
+	}
+	if sc != nil {
+		sc.GroupDecode = time.Since(t0)
 	}
 	return art, stats
 }
@@ -662,9 +679,10 @@ func releaseArtifacts(art *sharedArtifacts, scans []*queryScan) {
 // already be normalized and n is the group's scan bound (groupScanBound).
 // The merged partial per query lands in out (callers finalize, then
 // release sp; the scan-scoped artifacts are released here, since no
-// partial or Result references them).
-func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers, n int, opts BatchOptions, sp *scanPartials) SharingStats {
-	art, stats := buildArtifacts(idxs, plans, masks, workers, n, opts)
+// partial or Result references them). A non-nil sc receives the scan's
+// per-stage wall times.
+func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers, n int, opts BatchOptions, sp *scanPartials, sc *obs.ShardScan) SharingStats {
+	art, stats := buildArtifacts(idxs, plans, masks, workers, n, opts, sc)
 
 	scans := make([]*queryScan, len(idxs))
 	for k, qi := range idxs {
@@ -688,6 +706,10 @@ func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out [
 			}
 		})
 	}
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 	if workers == 1 {
 		scanWorker(parts[0])
 	} else {
@@ -701,12 +723,19 @@ func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out [
 		}
 		wg.Wait()
 	}
+	if sc != nil {
+		sc.Accumulate = time.Since(t0)
+		t0 = time.Now()
+	}
 	for k, qi := range idxs {
 		merged := parts[0][k]
 		for w := 1; w < workers; w++ {
 			merged.merge(parts[w][k])
 		}
 		out[qi] = merged
+	}
+	if sc != nil {
+		sc.Merge = time.Since(t0)
 	}
 	releaseArtifacts(art, scans)
 	return stats

@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram with power-of-two
+// microsecond buckets: bucket k counts observations whose latency is
+// ≤ 2^k µs (k = 0..26, ~67s), with one overflow bucket above that.
+// Observe is a couple of atomic adds — cheap enough for every query.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// histBuckets: 27 power-of-two µs buckets (1µs .. 2^26µs ≈ 67s) + overflow.
+const histBuckets = 28
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+func bucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	idx := bits.Len64(us - 1) // smallest k with us <= 2^k
+	if idx >= histBuckets-1 {
+		return histBuckets - 1 // overflow
+	}
+	return idx
+}
+
+// bucketUpperSeconds returns bucket k's upper bound in seconds (the
+// Prometheus `le` label value); the last bucket is +Inf.
+func bucketUpperSeconds(k int) float64 {
+	return float64(uint64(1)<<uint(k)) / 1e6
+}
+
+// snapshot returns the cumulative bucket counts, total count, and sum
+// in seconds. Reads are atomic per bucket; a scrape racing Observe may
+// see a sample in count but not yet in sum, which Prometheus tolerates
+// (counters are scraped independently anyway).
+func (h *Histogram) snapshot() (cum [histBuckets]uint64, count uint64, sumSec float64) {
+	var running uint64
+	for i := 0; i < histBuckets; i++ {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, running, float64(h.sumNS.Load()) / 1e9
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	_, n, _ := h.snapshot()
+	return n
+}
+
+// HistogramVec is a Histogram partitioned by one label (e.g. tenant).
+// The label space is bounded: past maxLabelValues new values collapse
+// into an "_overflow" series so a hostile tenant ID stream cannot grow
+// the registry without bound.
+type HistogramVec struct {
+	label string
+
+	mu     sync.RWMutex
+	series map[string]*Histogram
+}
+
+const maxLabelValues = 64
+
+// With returns the histogram for one label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.series[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.series[value]; h != nil {
+		return h
+	}
+	if len(v.series) >= maxLabelValues {
+		value = "_overflow"
+		if h = v.series[value]; h != nil {
+			return h
+		}
+	}
+	h = &Histogram{}
+	v.series[value] = h
+	return h
+}
+
+// Observe records a sample under the given label value.
+func (v *HistogramVec) Observe(value string, d time.Duration) {
+	if v == nil {
+		return
+	}
+	v.With(value).Observe(d)
+}
+
+// Registry holds named histograms and counter/gauge collectors and
+// renders them in Prometheus text exposition format 0.0.4.
+type Registry struct {
+	mu         sync.Mutex
+	hists      []*registeredHist
+	collectors []Collector
+}
+
+type registeredHist struct {
+	name string
+	help string
+	h    *Histogram // single-series form
+	vec  *HistogramVec
+}
+
+// Sample is one counter or gauge emitted by a Collector at scrape time.
+type Sample struct {
+	Name  string
+	Help  string
+	Type  string // "counter" or "gauge"
+	Value float64
+	// Labels are rendered in key order; may be nil.
+	Labels map[string]string
+}
+
+// Collector is called at each scrape to emit point-in-time samples —
+// the bridge that re-exposes the engine's existing cumulative counters
+// without moving their ownership into this package.
+type Collector func(emit func(Sample))
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewHistogram registers and returns a single-series histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.mu.Lock()
+	r.hists = append(r.hists, &registeredHist{name: name, help: help, h: h})
+	r.mu.Unlock()
+	return h
+}
+
+// NewHistogramVec registers and returns a histogram partitioned by one
+// label.
+func (r *Registry) NewHistogramVec(name, help, label string) *HistogramVec {
+	v := &HistogramVec{label: label, series: make(map[string]*Histogram)}
+	r.mu.Lock()
+	r.hists = append(r.hists, &registeredHist{name: name, help: help, vec: v})
+	r.mu.Unlock()
+	return v
+}
+
+// RegisterCollector adds a scrape-time counter/gauge source.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every registered metric. Safe to call
+// concurrently with Observe from any number of goroutines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := append([]*registeredHist(nil), r.hists...)
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, rh := range hists {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", rh.name, rh.help, rh.name)
+		if rh.h != nil {
+			writeHistogram(&b, rh.name, "", rh.h)
+			continue
+		}
+		rh.vec.mu.RLock()
+		values := make([]string, 0, len(rh.vec.series))
+		for v := range rh.vec.series {
+			values = append(values, v)
+		}
+		rh.vec.mu.RUnlock()
+		sort.Strings(values)
+		for _, v := range values {
+			// %q escapes `"` `\` and `\n` — exactly the label escaping the
+			// Prometheus text format requires.
+			writeHistogram(&b, rh.name,
+				fmt.Sprintf("%s=%q", rh.vec.label, v), rh.vec.With(v))
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, c := range collectors {
+		c(func(s Sample) {
+			if !seen[s.Name] {
+				seen[s.Name] = true
+				typ := s.Type
+				if typ == "" {
+					typ = "gauge"
+				}
+				fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", s.Name, s.Help, s.Name, typ)
+			}
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				keys := make([]string, 0, len(s.Labels))
+				for k := range s.Labels {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				b.WriteByte('{')
+				for i, k := range keys {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+				}
+				b.WriteByte('}')
+			}
+			fmt.Fprintf(&b, " %s\n", formatValue(s.Value))
+		})
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series. extraLabel is a
+// pre-rendered `name="value"` pair or "".
+func writeHistogram(b *strings.Builder, name, extraLabel string, h *Histogram) {
+	cum, count, sum := h.snapshot()
+	sep := ""
+	if extraLabel != "" {
+		sep = extraLabel + ","
+	}
+	for k := 0; k < histBuckets-1; k++ {
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n",
+			name, sep, formatValue(bucketUpperSeconds(k)), cum[k])
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cum[histBuckets-1])
+	if extraLabel != "" {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, extraLabel, formatValue(sum))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, extraLabel, count)
+	} else {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(sum))
+		fmt.Fprintf(b, "%s_count %d\n", name, count)
+	}
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// QueryMetrics groups the per-query latency histograms the scheduler
+// feeds. All Observe methods are nil-safe so an engine without a
+// registry pays a single pointer test per stage.
+type QueryMetrics struct {
+	EndToEnd  *HistogramVec // by tenant: submit → result delivered
+	QueueWait *Histogram    // enqueue → batch assembly
+	Scan      *Histogram    // executor batch wall time
+	Merge     *Histogram    // shard-merge + finalize portion of the batch
+}
+
+// NewQueryMetrics registers the standard query histograms on r.
+func NewQueryMetrics(r *Registry) *QueryMetrics {
+	return &QueryMetrics{
+		EndToEnd: r.NewHistogramVec("sdwp_query_duration_seconds",
+			"End-to-end query latency from submit to result delivery.", "user"),
+		QueueWait: r.NewHistogram("sdwp_query_queue_wait_seconds",
+			"Time a query spent awaiting admission before batch assembly."),
+		Scan: r.NewHistogram("sdwp_batch_scan_seconds",
+			"Executor wall time per coalesced batch (all fact scans)."),
+		Merge: r.NewHistogram("sdwp_batch_merge_seconds",
+			"Partial-merge plus finalize time per coalesced batch."),
+	}
+}
+
+// ObserveEndToEnd records one end-to-end latency under the tenant label.
+func (m *QueryMetrics) ObserveEndToEnd(user string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.EndToEnd.Observe(user, d)
+}
+
+// ObserveQueueWait records one admission-wait latency.
+func (m *QueryMetrics) ObserveQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.QueueWait.Observe(d)
+}
+
+// ObserveScan records one batch scan wall time.
+func (m *QueryMetrics) ObserveScan(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Scan.Observe(d)
+}
+
+// ObserveMerge records one batch merge+finalize time.
+func (m *QueryMetrics) ObserveMerge(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Merge.Observe(d)
+}

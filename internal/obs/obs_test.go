@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0}, // sub-µs truncates to 0µs
+		{time.Microsecond, 0},      // ≤ 2^0 µs
+		{2 * time.Microsecond, 1},  // ≤ 2^1 µs
+		{3 * time.Microsecond, 2},  // first value past 2µs
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{time.Millisecond, 10},               // 1024µs = 2^10
+		{(1 << 26) * time.Microsecond, 26},   // last finite bucket (~67s)
+		{(1<<26 + 1) * time.Microsecond, 27}, // overflow
+		{10 * time.Hour, histBuckets - 1},    // deep overflow clamps
+		{-time.Second, 0},                    // Observe clamps negatives...
+	}
+	for _, c := range cases {
+		d := c.d
+		if d < 0 {
+			d = 0 // ...before calling bucketIndex
+		}
+		if got := bucketIndex(d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if got := bucketUpperSeconds(0); got != 1e-6 {
+		t.Errorf("bucketUpperSeconds(0) = %g, want 1e-6", got)
+	}
+	if got := bucketUpperSeconds(10); got != 1024e-6 {
+		t.Errorf("bucketUpperSeconds(10) = %g, want 1024e-6", got)
+	}
+}
+
+// promLine is the shape of one sample line in text exposition 0.0.4.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9eE.+-]+(Inf)?$`)
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "Test latency.")
+	v := r.NewHistogramVec("test_by_user_seconds", "Per-user latency.", "user")
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "test_events_total", Help: "Events.", Type: "counter", Value: 42})
+		emit(Sample{Name: "test_events_total", Help: "Events.", Type: "counter", Value: 7,
+			Labels: map[string]string{"kind": "b", "area": "a"}})
+		emit(Sample{Name: "test_depth", Help: "Depth.", Value: 3}) // default gauge
+	})
+
+	h.Observe(time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	v.Observe(`al"ice`, time.Millisecond) // label value needing escaping
+	v.Observe("bob", time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP test_latency_seconds Test latency.",
+		"# TYPE test_latency_seconds histogram",
+		"# TYPE test_by_user_seconds histogram",
+		"# TYPE test_events_total counter",
+		"# TYPE test_depth gauge",
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_count 3",
+		`test_by_user_seconds_bucket{user="al\"ice",le="0.001024"} 1`,
+		`test_by_user_seconds_count{user="bob"} 1`,
+		"test_events_total 42",
+		`test_events_total{area="a",kind="b"} 7`,
+		"test_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	// HELP/TYPE for test_events_total must appear exactly once despite two
+	// samples sharing the name.
+	if n := strings.Count(out, "# TYPE test_events_total counter"); n != 1 {
+		t.Errorf("TYPE test_events_total rendered %d times, want 1", n)
+	}
+
+	// Every sample line must be well-formed and every histogram's buckets
+	// cumulative (non-decreasing in le order, +Inf equal to _count).
+	var lastCum uint64
+	var lastLe float64
+	inHist := ""
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+		name, rest, _ := strings.Cut(line, " ")
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			labels := name[i:]
+			name = name[:i]
+			if strings.HasSuffix(name, "_bucket") {
+				m := regexp.MustCompile(`le="([^"]+)"`).FindStringSubmatch(labels)
+				if m == nil {
+					t.Fatalf("bucket line without le: %q", line)
+				}
+				cum, err := strconv.ParseUint(rest, 10, 64)
+				if err != nil {
+					t.Fatalf("bucket count %q: %v", rest, err)
+				}
+				series := name + labels[:strings.Index(labels, "le=")]
+				le := 1e300 // +Inf sorts above every finite bound
+				if m[1] != "+Inf" {
+					if le, err = strconv.ParseFloat(m[1], 64); err != nil {
+						t.Fatalf("le %q: %v", m[1], err)
+					}
+				}
+				if series == inHist {
+					if le < lastLe {
+						t.Errorf("%s: le %g after %g", series, le, lastLe)
+					}
+					if cum < lastCum {
+						t.Errorf("%s: bucket %g count %d < previous %d (not cumulative)", series, le, cum, lastCum)
+					}
+				}
+				inHist, lastLe, lastCum = series, le, cum
+			}
+		}
+	}
+}
+
+func TestHistogramVecOverflowLabel(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_seconds", "t", "user")
+	for i := 0; i < maxLabelValues+16; i++ {
+		v.Observe(fmt.Sprintf("user%03d", i), time.Millisecond)
+	}
+	v.mu.RLock()
+	n := len(v.series)
+	_, hasOverflow := v.series["_overflow"]
+	v.mu.RUnlock()
+	if !hasOverflow {
+		t.Fatal("no _overflow series after exceeding maxLabelValues")
+	}
+	if n > maxLabelValues+1 {
+		t.Fatalf("series map grew to %d, want <= %d", n, maxLabelValues+1)
+	}
+	if got := v.With("_overflow").Count(); got != 16 {
+		t.Fatalf("_overflow count = %d, want 16", got)
+	}
+}
+
+func TestTracerRetention(t *testing.T) {
+	// Rate 0: traces are issued (so IDs/spans exist) but only errors retain.
+	tr0 := NewTracer(TracerOptions{SampleRate: 0})
+	ok := tr0.Start("req-ok")
+	ok.Finish(nil)
+	if _, found := tr0.Get("req-ok"); found {
+		t.Fatal("unsampled success retained at rate 0")
+	}
+	bad := tr0.Start("req-bad")
+	bad.Finish(errors.New("boom"))
+	snap, found := tr0.Get("req-bad")
+	if !found {
+		t.Fatal("error trace not retained at rate 0")
+	}
+	if snap.Error != "boom" || snap.Sampled {
+		t.Fatalf("error trace snapshot = %+v", snap)
+	}
+
+	// Rate 1: every finish retains.
+	tr1 := NewTracer(TracerOptions{SampleRate: 1})
+	s := tr1.Start("")
+	if s.ID() == "" {
+		t.Fatal("no generated ID")
+	}
+	s.AddSpan("compile", time.Now(), time.Millisecond, nil)
+	s.Finish(nil)
+	snap, found = tr1.Get(s.ID())
+	if !found {
+		t.Fatal("sampled success not retained at rate 1")
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "compile" {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, RingSize: 4})
+	var ids []string
+	for i := 0; i < 10; i++ {
+		s := tr.Start(fmt.Sprintf("t%02d", i))
+		s.Finish(nil)
+		ids = append(ids, s.ID())
+	}
+	for _, id := range ids[:6] {
+		if _, found := tr.Get(id); found {
+			t.Errorf("evicted trace %s still indexed", id)
+		}
+	}
+	for _, id := range ids[6:] {
+		if _, found := tr.Get(id); !found {
+			t.Errorf("recent trace %s missing", id)
+		}
+	}
+	recent := tr.Recent(10)
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d, want 4", len(recent))
+	}
+	for i, snap := range recent { // newest first
+		if want := ids[9-i]; snap.ID != want {
+			t.Errorf("Recent[%d] = %s, want %s", i, snap.ID, want)
+		}
+	}
+}
+
+func TestTraceFinishIdempotent(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, RingSize: 8})
+	s := tr.Start("once")
+	s.Finish(errors.New("first"))
+	s.Finish(nil) // the HTTP layer double-finishing after the scheduler
+	s.Finish(errors.New("third"))
+	snap, found := tr.Get("once")
+	if !found {
+		t.Fatal("trace not retained")
+	}
+	if snap.Error != "first" {
+		t.Fatalf("Error = %q, want the first finish to win", snap.Error)
+	}
+	if got := len(tr.Recent(8)); got != 1 {
+		t.Fatalf("ring has %d entries after re-finishing, want 1", got)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(Background) = %v", got)
+	}
+	ctx := context.Background()
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Fatal("NewContext(nil trace) should return ctx unchanged")
+	}
+	tr := NewTracer(TracerOptions{SampleRate: 1}).Start("ctx")
+	if got := FromContext(NewContext(ctx, tr)); got != tr {
+		t.Fatalf("FromContext = %v, want %v", got, tr)
+	}
+}
+
+func TestRequestIDSanitizing(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1})
+	if got := tr.Start("client-id-42").ID(); got != "client-id-42" {
+		t.Errorf("clean client ID not adopted: %q", got)
+	}
+	for _, junk := range []string{"has space", "ctrl\x01byte", "üñïçödé", ""} {
+		if got := tr.Start(junk).ID(); got == junk || got == "" {
+			t.Errorf("junk ID %q not replaced (got %q)", junk, got)
+		}
+	}
+	long := strings.Repeat("x", 200)
+	if got := tr.Start(long).ID(); len(got) > 64 {
+		t.Errorf("long ID not truncated: %d bytes", len(got))
+	}
+	if a, b := NewRequestID(), NewRequestID(); a == b {
+		t.Errorf("NewRequestID not unique: %s", a)
+	}
+	if got := RequestID("ok-id"); got != "ok-id" {
+		t.Errorf("RequestID(clean) = %q", got)
+	}
+	if got := RequestID("bad id"); got == "bad id" || got == "" {
+		t.Errorf("RequestID(junk) = %q", got)
+	}
+}
+
+func TestScanTraceConcurrentShards(t *testing.T) {
+	var st ScanTrace
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			st.AddShard(ShardScan{Shard: shard, Facts: shard * 100, Wall: time.Millisecond})
+			st.AddGather(time.Microsecond)
+		}(i)
+	}
+	wg.Wait()
+	shards, gather := st.Snapshot()
+	if len(shards) != 8 {
+		t.Fatalf("got %d shard records, want 8", len(shards))
+	}
+	for i, s := range shards {
+		if s.Shard != i {
+			t.Fatalf("shards not sorted: %v", shards)
+		}
+	}
+	if gather != 8*time.Microsecond {
+		t.Fatalf("gather = %v, want 8µs", gather)
+	}
+	// Nil recorder is a no-op, not a panic.
+	var nilST *ScanTrace
+	nilST.AddShard(ShardScan{})
+	nilST.AddGather(time.Second)
+	if s, g := nilST.Snapshot(); s != nil || g != 0 {
+		t.Fatal("nil ScanTrace snapshot not empty")
+	}
+}
+
+// TestObserveDuringScrape hammers Observe and retention concurrently with
+// WritePrometheus and Recent — the race-detector target stress.sh runs.
+func TestObserveDuringScrape(t *testing.T) {
+	r := NewRegistry()
+	m := NewQueryMetrics(r)
+	tr := NewTracer(TracerOptions{SampleRate: 1, RingSize: 16})
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "x_total", Help: "x", Type: "counter", Value: 1})
+	})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				m.ObserveEndToEnd(fmt.Sprintf("u%d", w), time.Duration(i)*time.Microsecond)
+				m.ObserveQueueWait(time.Microsecond)
+				m.ObserveScan(time.Millisecond)
+				m.ObserveMerge(time.Microsecond)
+				s := tr.Start("")
+				s.AddSpan("scan", time.Now(), time.Millisecond, nil)
+				s.Finish(nil)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Error(err)
+			break
+		}
+		_ = tr.Recent(16)
+	}
+	close(done)
+	wg.Wait()
+}

@@ -37,11 +37,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sdwp/internal/cube"
+	"sdwp/internal/obs"
 )
 
 // Executor is what the scheduler dispatches to: the plain *cube.Cube for
@@ -119,6 +121,16 @@ type Options struct {
 	// between scans; see cube.ArtifactCache). A sharded Executor manages
 	// its own per-shard caches and ignores this.
 	Artifacts *cube.ArtifactCache
+	// Metrics optionally receives per-query latency observations
+	// (end-to-end by tenant, queue wait, scan, merge). nil records
+	// nothing.
+	Metrics *obs.QueryMetrics
+	// SlowQuery, when > 0, logs a structured record (slog, level WARN)
+	// for every query whose end-to-end latency reaches it, carrying the
+	// trace ID and stage breakdown.
+	SlowQuery time.Duration
+	// Logger receives slow-query records (nil = slog.Default()).
+	Logger *slog.Logger
 }
 
 // negCacheCapacity bounds the negative cache for invalid queries;
@@ -135,6 +147,18 @@ type outcome struct {
 	err error
 }
 
+// waiter is one caller blocked on a request. Dedup merges waiters of
+// different tenants (and traces) onto one request, so the telemetry
+// identity — trace, tenant label for the end-to-end histogram, submit
+// time — rides per waiter, not per request. tr and start are zero when
+// telemetry is off.
+type waiter struct {
+	ch    chan outcome
+	tr    *obs.Trace
+	user  string
+	start time.Time
+}
+
 // request is one admitted query plus everyone waiting on it (dedup merges
 // identical queries into a single request with several waiters). The plan
 // compiled at admission is reused for the scan.
@@ -146,7 +170,7 @@ type request struct {
 	// admit records the doorkeeper's verdict at admission: cache the
 	// result only if the plan fingerprint had been requested before.
 	admit   bool
-	waiters []chan outcome
+	waiters []waiter
 	// enqueuedAt and deadline implement admission timeouts: a request
 	// popped after its deadline is answered with ErrTimeout instead of
 	// joining a batch. Zero deadline = no limit.
@@ -167,6 +191,10 @@ type Scheduler struct {
 	kick  chan struct{} // wakes the dispatcher (buffered, lossy)
 	slots chan struct{} // in-flight scan semaphore
 	wg    sync.WaitGroup
+
+	// startedAt anchors Stats.UptimeSeconds so scrapers can turn the
+	// cumulative counters into rates.
+	startedAt time.Time
 
 	// closedFlag mirrors closed for lock-free reads on the submit fast
 	// path, so a cache hit can never be served after Close returns.
@@ -216,11 +244,12 @@ func New(c Executor, opts Options) *Scheduler {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
 	s := &Scheduler{
-		c:        c,
-		opts:     opts,
-		queues:   map[string][]*request{},
-		byKey:    map[string]*request{},
-		negCache: newErrCache(negCacheCapacity),
+		c:         c,
+		opts:      opts,
+		queues:    map[string][]*request{},
+		byKey:     map[string]*request{},
+		negCache:  newErrCache(negCacheCapacity),
+		startedAt: time.Now(),
 	}
 	if opts.CacheBytes > 0 {
 		s.cache = newResultCache(opts.CacheBytes)
@@ -320,6 +349,13 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 		return s.c.ExecuteBatch(qs, vs, s.opts.Workers)
 	}
 	s.stSubmitted.Add(int64(len(qs)))
+	// One trace (from the request context) scopes the whole batch: every
+	// entry's spans land on it. start is zero when telemetry is off.
+	tr := obs.FromContext(ctx)
+	var start time.Time
+	if tr != nil || s.opts.Metrics != nil || s.opts.SlowQuery > 0 {
+		start = time.Now()
+	}
 	results := make([]*cube.Result, len(qs))
 	chans := make([]chan outcome, len(qs))
 	type pending struct {
@@ -352,6 +388,9 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 		if s.cache != nil {
 			if res, ok := s.cache.get(key); ok {
 				s.door.request(fp) // keep hot fingerprints admitted (see submit)
+				if !start.IsZero() {
+					s.opts.Metrics.ObserveEndToEnd(userKey, time.Since(start))
+				}
 				results[i] = res
 				continue
 			}
@@ -379,7 +418,8 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 				ch := make(chan outcome, 1)
 				chans[p.i] = ch
 				s.enqueueLocked(&request{cq: p.cq, view: p.view, epoch: p.epoch,
-					key: p.key, admit: p.admit, waiters: []chan outcome{ch},
+					key: p.key, admit: p.admit,
+					waiters:    []waiter{{ch: ch, tr: tr, user: userKey, start: start}},
 					enqueuedAt: now, deadline: deadline}, userKey)
 			}
 			s.mu.Unlock()
@@ -423,12 +463,21 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 		res, err := s.c.ExecuteParallel(q, v, s.opts.Workers)
 		return nil, res, err
 	}
+	// Telemetry is pay-per-use: tr is nil unless the caller's context
+	// carries a trace, and start stays zero unless something (trace,
+	// histogram, slow-query log) will consume it.
+	tr := obs.FromContext(ctx)
+	var start time.Time
+	if tr != nil || s.opts.Metrics != nil || s.opts.SlowQuery > 0 {
+		start = time.Now()
+	}
 	// A repeated malformed query is answered from the negative cache
 	// before any key building or compilation — invalid traffic never
 	// reaches the coalesce queue twice.
 	fp := q.Fingerprint()
 	if err, ok := s.negCache.get(fp); ok {
 		s.stNegHits.Add(1)
+		tr.Finish(err)
 		return nil, nil, err
 	}
 	// The epoch is read before execution, so a cached entry's result was
@@ -446,6 +495,13 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 			// doorkeeper is still touched so a tile hot in the cache stays
 			// admitted when a view mutation forces its next miss.
 			s.door.request(fp)
+			if !start.IsZero() {
+				s.opts.Metrics.ObserveEndToEnd(userKey, time.Since(start))
+			}
+			if tr != nil {
+				tr.AddSpan("resultCache", start, time.Since(start), map[string]any{"hit": true})
+				tr.Finish(nil)
+			}
 			return nil, res, nil
 		}
 		// The doorkeeper decides on the miss: only a fingerprint that has
@@ -455,9 +511,17 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 	// Compile on admission: a malformed query must fail alone, never
 	// abort the shared scan it would have joined — and the scan then
 	// reuses the plan instead of resolving the query a second time.
+	var compileStart time.Time
+	if tr != nil {
+		compileStart = time.Now()
+	}
 	cq, err := s.c.Compile(q)
+	if tr != nil {
+		tr.AddSpan("compile", compileStart, time.Since(compileStart), nil)
+	}
 	if err != nil {
 		s.negCache.put(fp, err)
+		tr.Finish(err)
 		return nil, nil, err
 	}
 	ch := make(chan outcome, 1)
@@ -468,8 +532,9 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 		return nil, nil, ErrClosed
 	}
 	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key, admit: admit,
-		waiters: []chan outcome{ch}, enqueuedAt: now,
-		deadline: s.requestDeadline(ctx, now)}, userKey)
+		waiters:    []waiter{{ch: ch, tr: tr, user: userKey, start: start}},
+		enqueuedAt: now,
+		deadline:   s.requestDeadline(ctx, now)}, userKey)
 	s.mu.Unlock()
 	s.kickDispatcher()
 	return ch, nil, nil
@@ -614,8 +679,18 @@ func (s *Scheduler) assembleLocked(max int) []*request {
 		if !req.deadline.IsZero() && now.After(req.deadline) {
 			out := timeoutOutcome(req, now)
 			s.stTimedOut.Add(int64(len(req.waiters)))
+			wait := now.Sub(req.enqueuedAt)
+			s.opts.Metrics.ObserveQueueWait(wait)
 			for _, w := range req.waiters {
-				w <- out // buffered: never blocks under the lock
+				if !w.start.IsZero() {
+					s.opts.Metrics.ObserveEndToEnd(w.user, now.Sub(w.start))
+				}
+				if w.tr != nil {
+					w.tr.AddSpan("admissionWait", req.enqueuedAt, wait,
+						map[string]any{"timedOut": true})
+					w.tr.Finish(out.err)
+				}
+				w.ch <- out // buffered: never blocks under the lock
 			}
 			continue
 		}
@@ -631,23 +706,92 @@ func (s *Scheduler) assembleLocked(max int) []*request {
 // results. Admission already validated every query, so an executor error
 // here is systemic and is delivered to the whole batch.
 func (s *Scheduler) runBatch(batch []*request) {
+	assembled := time.Now()
 	cqs := make([]*cube.CompiledQuery, len(batch))
 	vs := make([]*cube.View, len(batch))
 	facts := map[string]struct{}{}
+	traced := false
 	for i, r := range batch {
 		cqs[i] = r.cq
 		vs[i] = r.view
 		facts[r.cq.Query().Fact] = struct{}{}
+		for _, w := range r.waiters {
+			if w.tr != nil {
+				traced = true
+			}
+		}
+	}
+	// Telemetry plumbing: the executor fills st with per-shard stage
+	// timings when anyone will read them (a trace or the histograms). All
+	// of it is per batch — a handful of time.Now() calls around a scan
+	// that touches every fact row — so the tracing-off overhead is noise
+	// (BenchmarkTraceOverhead pins this).
+	telem := traced || s.opts.Metrics != nil || s.opts.SlowQuery > 0
+	var st *obs.ScanTrace
+	if traced || s.opts.Metrics != nil {
+		st = &obs.ScanTrace{}
 	}
 	s.stBatches.Add(1)
 	s.stExecuted.Add(int64(len(batch)))
 	s.stScans.Add(int64(len(facts)))
+	var scanStart time.Time
+	if telem {
+		scanStart = time.Now()
+	}
 	results, sharing, err := s.c.ExecuteBatchCompiledOpt(cqs, vs, cube.BatchOptions{
 		Workers:                 s.opts.Workers,
 		DisableSharing:          s.opts.DisableSharedSubexpr,
 		DisablePredicateSharing: s.opts.DisablePerFilterSharing,
 		Artifacts:               s.opts.Artifacts,
+		Trace:                   st,
 	})
+	var scanEnd time.Time
+	var scanDur time.Duration
+	var scanSpan *obs.Span
+	if telem {
+		scanEnd = time.Now()
+		scanDur = scanEnd.Sub(scanStart)
+		s.opts.Metrics.ObserveScan(scanDur)
+		shardScans, gather := st.Snapshot()
+		merge := gather
+		for _, ss := range shardScans {
+			merge += ss.Merge
+		}
+		if st != nil {
+			s.opts.Metrics.ObserveMerge(merge)
+		}
+		if traced {
+			// One scan span is shared by every trace of the batch (the scan
+			// itself is shared work) with a child per shard carrying the
+			// executor's stage breakdown, plus the gather/finalize tail.
+			scanSpan = &obs.Span{Name: "scan", Start: scanStart.UnixNano(),
+				Dur: scanDur.Nanoseconds(),
+				Attrs: map[string]any{
+					"batchQueries": len(batch), "factScans": len(facts)}}
+			for _, ss := range shardScans {
+				scanSpan.Children = append(scanSpan.Children, &obs.Span{
+					Name:  "shardScan",
+					Start: scanStart.UnixNano(),
+					Dur:   ss.Wall.Nanoseconds(),
+					Attrs: map[string]any{
+						"shard":         ss.Shard,
+						"facts":         ss.Facts,
+						"filterMaskNs":  ss.FilterMask.Nanoseconds(),
+						"groupDecodeNs": ss.GroupDecode.Nanoseconds(),
+						"accumulateNs":  ss.Accumulate.Nanoseconds(),
+						"mergeNs":       ss.Merge.Nanoseconds(),
+					},
+				})
+			}
+			if gather > 0 {
+				scanSpan.Children = append(scanSpan.Children, &obs.Span{
+					Name:  "gather",
+					Start: scanEnd.Add(-gather).UnixNano(),
+					Dur:   gather.Nanoseconds(),
+				})
+			}
+		}
+	}
 	if err == nil {
 		s.stFilterSets.Add(int64(sharing.FilterSets))
 		s.stFilterDistinct.Add(int64(sharing.DistinctFilterSets))
@@ -676,14 +820,66 @@ func (s *Scheduler) runBatch(batch []*request) {
 				}
 			}
 		}
+		if telem {
+			wait := assembled.Sub(r.enqueuedAt)
+			s.opts.Metrics.ObserveQueueWait(wait)
+			for _, w := range r.waiters {
+				now := time.Now()
+				var e2e time.Duration
+				if !w.start.IsZero() {
+					e2e = now.Sub(w.start)
+					s.opts.Metrics.ObserveEndToEnd(w.user, e2e)
+				}
+				if w.tr != nil {
+					w.tr.AddSpan("admissionWait", r.enqueuedAt, wait,
+						map[string]any{"batchQueries": len(batch)})
+					w.tr.Attach(scanSpan)
+					w.tr.AddSpan("finalize", scanEnd, now.Sub(scanEnd), nil)
+					w.tr.Finish(err)
+				}
+				s.maybeLogSlow(w.tr.ID(), w.user, r.cq.Query().Fact,
+					e2e, wait, scanDur, len(batch), err)
+			}
+		}
 		for _, w := range r.waiters {
-			w <- out
+			w.ch <- out
 		}
 	}
 }
 
+// maybeLogSlow emits the structured slow-query record when the knob is on
+// and the query crossed the threshold.
+func (s *Scheduler) maybeLogSlow(traceID, user, fact string, e2e, wait, scan time.Duration, batchQueries int, err error) {
+	if s.opts.SlowQuery <= 0 || e2e < s.opts.SlowQuery {
+		return
+	}
+	lg := s.opts.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	attrs := []slog.Attr{
+		slog.String("traceId", traceID),
+		slog.String("user", user),
+		slog.String("fact", fact),
+		slog.Duration("total", e2e),
+		slog.Duration("queueWait", wait),
+		slog.Duration("scan", scan),
+		slog.Int("batchQueries", batchQueries),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	lg.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+}
+
 // Stats is a point-in-time snapshot of the scheduler's counters.
 type Stats struct {
+	// SnapshotAt is when this snapshot was taken (RFC3339Nano) and
+	// UptimeSeconds how long the scheduler has been up — together they
+	// let a scraper turn two successive snapshots of the cumulative
+	// counters below into rates.
+	SnapshotAt    string  `json:"snapshotAt"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
 	// Submitted counts every query handed to Submit/SubmitBatch.
 	Submitted int64 `json:"submitted"`
 	// CacheHits/CacheMisses count result-cache lookups (both 0 when the
@@ -772,7 +968,10 @@ type Stats struct {
 
 // Stats snapshots the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
+	now := time.Now()
 	st := Stats{
+		SnapshotAt:        now.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds:     now.Sub(s.startedAt).Seconds(),
 		Submitted:         s.stSubmitted.Load(),
 		Shared:            s.stShared.Load(),
 		Executed:          s.stExecuted.Load(),

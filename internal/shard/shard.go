@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdwp/internal/bitset"
 	"sdwp/internal/cube"
@@ -381,6 +382,9 @@ func (t *Table) ExecuteBatchCompiledOpt(cqs []*cube.CompiledQuery, vs []*cube.Vi
 			}
 			o := opts
 			o.Artifacts = sh.cache
+			// Label this shard's stage timings in the batch's scan trace
+			// (opts.Trace, when set, is shared across the fan-out).
+			o.TraceShard = s
 			parts, st, err := sh.c.ExecuteBatchCompiledPartials(rebound, smasks, o)
 			if err != nil {
 				errs[s] = fmt.Errorf("shard %d: %w", s, err)
@@ -397,7 +401,14 @@ func (t *Table) ExecuteBatchCompiledOpt(cqs []*cube.CompiledQuery, vs []*cube.Vi
 			return nil, stats, err
 		}
 	}
+	var t0 time.Time
+	if opts.Trace != nil {
+		t0 = time.Now()
+	}
 	results, err := cube.MergeFinalize(shardParts)
+	if opts.Trace != nil {
+		opts.Trace.AddGather(time.Since(t0))
+	}
 	if err != nil {
 		return nil, stats, err
 	}

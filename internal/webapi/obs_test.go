@@ -1,0 +1,355 @@
+package webapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdwp/internal/core"
+	"sdwp/internal/datagen"
+	"sdwp/internal/obs"
+	"sdwp/internal/prml"
+)
+
+// newObsServer is newTestServerOpts plus the engine handle, which the
+// telemetry tests need for AddFact ingest during scrapes.
+func newObsServer(t *testing.T, opts core.Options) (*httptest.Server, *core.Engine) {
+	t.Helper()
+	cfg := datagen.Default()
+	cfg.Cities = 20
+	cfg.Stores = 80
+	cfg.Customers = 50
+	cfg.Sales = 1500
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := datagen.NewUserStore(map[string]string{
+		"alice": "RegionalSalesManager",
+		"bob":   "Accountant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(ds.Cube, users, opts)
+	e.SetParam("threshold", prml.NumberVal(2))
+	if _, err := e.AddRules(testRules); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	srv := httptest.NewServer(NewServer(e))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func countBody(session string) map[string]any {
+	return map[string]any{
+		"session":    session,
+		"fact":       "Sales",
+		"aggregates": []map[string]any{{"agg": "COUNT"}},
+	}
+}
+
+// postWithHeader is postJSON with request headers.
+func postWithHeader(t *testing.T, url string, body any, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestTraceRoundTrip drives the tentpole end to end: a client-supplied
+// X-Request-Id is adopted as the trace ID, echoed on the response, and
+// the retained trace is served by GET /api/trace/{id} with the full
+// lifecycle span tree.
+func TestTraceRoundTrip(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{TraceSampleRate: 1})
+	sess := login(t, srv, "alice", "POINT(-3.7 40.4)")
+
+	resp, body := postWithHeader(t, srv.URL+"/api/query", countBody(sess),
+		map[string]string{"X-Request-Id": "round-trip-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %s (%s)", resp.Status, body)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "round-trip-1" {
+		t.Fatalf("X-Request-Id = %q, want the client's ID echoed", got)
+	}
+
+	resp, body = getBody(t, srv.URL+"/api/trace/round-trip-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace lookup: %s (%s)", resp.Status, body)
+	}
+	var snap obs.TraceSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "round-trip-1" || snap.DurNs <= 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	have := map[string]bool{}
+	for _, sp := range snap.Spans {
+		have[sp.Name] = true
+	}
+	for _, want := range []string{"compile", "admissionWait", "scan", "finalize"} {
+		if !have[want] {
+			t.Errorf("trace missing span %q: %+v", want, snap.Spans)
+		}
+	}
+
+	resp, body = getBody(t, srv.URL+"/api/traces/recent")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "round-trip-1") {
+		t.Fatalf("traces/recent: %s (%s)", resp.Status, body)
+	}
+
+	// Unknown trace ID: a 404 that still carries a request ID.
+	resp, body = getBody(t, srv.URL+"/api/trace/never-seen")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: %s (%s)", resp.Status, body)
+	}
+}
+
+// TestShardedTraceFanout checks the sharded scatter-gather path records
+// one shardScan child per fact shard inside the shared scan span.
+func TestShardedTraceFanout(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{FactShards: 3, TraceSampleRate: 1})
+	sess := login(t, srv, "alice", "POINT(-3.7 40.4)")
+	resp, body := postWithHeader(t, srv.URL+"/api/query", countBody(sess),
+		map[string]string{"X-Request-Id": "sharded-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %s (%s)", resp.Status, body)
+	}
+	_, body = getBody(t, srv.URL+"/api/trace/sharded-1")
+	var snap obs.TraceSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	shardScans := 0
+	for _, sp := range snap.Spans {
+		if sp.Name != "scan" {
+			continue
+		}
+		for _, c := range sp.Children {
+			if c.Name == "shardScan" {
+				shardScans++
+			}
+		}
+	}
+	if shardScans != 3 {
+		t.Fatalf("scan span has %d shardScan children, want 3\n%s", shardScans, body)
+	}
+}
+
+// TestErrorResponsesCarryRequestID checks satellite (b): validation 400s
+// and admission-timeout 504s echo the request ID on header and body.
+func TestErrorResponsesCarryRequestID(t *testing.T) {
+	// Tracing disabled (the default): IDs are still generated and echoed.
+	srv, _ := newObsServer(t, core.Options{})
+	sess := login(t, srv, "bob", "POINT(-3.7 40.4)")
+
+	bad := countBody(sess)
+	bad["aggregates"] = []map[string]any{{"agg": "BOGUS"}}
+	resp, body := postWithHeader(t, srv.URL+"/api/query", bad, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad agg: %s (%s)", resp.Status, body)
+	}
+	hdrID := resp.Header.Get("X-Request-Id")
+	if hdrID == "" {
+		t.Fatal("400 without X-Request-Id header")
+	}
+	var apiErr struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.Unmarshal(body, &apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.RequestID != hdrID {
+		t.Fatalf("400 body requestId %q != header %q", apiErr.RequestID, hdrID)
+	}
+
+	resp, body = postWithHeader(t, srv.URL+"/api/query", countBody("no-such-session"),
+		map[string]string{"X-Request-Id": "sess-miss-1"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: %s (%s)", resp.Status, body)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "sess-miss-1" {
+		t.Fatalf("404 X-Request-Id = %q", got)
+	}
+	if !strings.Contains(string(body), `"requestId":"sess-miss-1"`) {
+		t.Fatalf("404 body missing requestId: %s", body)
+	}
+}
+
+// TestTimeout504CarriesTraceID checks the flagship correlation path: a
+// query dropped past its admission deadline answers 504 with its trace
+// ID echoed, and the trace — retained because it erred — shows the
+// timed-out admission wait.
+func TestTimeout504CarriesTraceID(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{
+		QueryTimeout:    time.Nanosecond,
+		CoalesceWindow:  60 * time.Millisecond,
+		TraceSampleRate: 1,
+	})
+	sess := login(t, srv, "alice", "POINT(-3.7 40.4)")
+	resp, body := postWithHeader(t, srv.URL+"/api/query", countBody(sess),
+		map[string]string{"X-Request-Id": "timeout-1"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %s, want 504 (%s)", resp.Status, body)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "timeout-1" {
+		t.Fatalf("504 X-Request-Id = %q", got)
+	}
+	if !strings.Contains(string(body), `"requestId":"timeout-1"`) {
+		t.Fatalf("504 body missing requestId: %s", body)
+	}
+	resp, body = getBody(t, srv.URL+"/api/trace/timeout-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace of timed-out query: %s (%s)", resp.Status, body)
+	}
+	var snap obs.TraceSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Error == "" {
+		t.Fatalf("timed-out trace has no error: %s", body)
+	}
+}
+
+// TestMetricsExposition checks GET /metrics: correct content type, the
+// standard histograms and re-exported scheduler counters, every sample
+// line well-formed.
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{})
+	sess := login(t, srv, "alice", "POINT(-3.7 40.4)")
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, srv.URL+"/api/query", countBody(sess)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %s (%s)", resp.Status, body)
+		}
+	}
+	resp, body := getBody(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE sdwp_query_duration_seconds histogram",
+		`sdwp_query_duration_seconds_bucket{user="alice",le="+Inf"} 3`,
+		"sdwp_query_queue_wait_seconds_count",
+		"sdwp_batch_scan_seconds_count",
+		"sdwp_batch_merge_seconds_count",
+		"# TYPE sdwp_queries_submitted_total counter",
+		"sdwp_queries_submitted_total 3",
+		"sdwp_uptime_seconds",
+		"sdwp_queue_depth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("malformed metrics line %q", line)
+		}
+	}
+}
+
+// TestMetricsScrapeUnderShardedLoad is the stress.sh race target: scrape
+// /metrics and /api/stats continuously while sharded batches execute and
+// AddFact ingest routes to shards — the lock-free histograms, the
+// scheduler-counter collector, and the trace ring all under fire.
+func TestMetricsScrapeUnderShardedLoad(t *testing.T) {
+	srv, e := newObsServer(t, core.Options{
+		FactShards:      3,
+		CoalesceWindow:  time.Millisecond,
+		TraceSampleRate: 0.5,
+	})
+	aliceSess := login(t, srv, "alice", "POINT(-3.7 40.4)")
+	bobSess := login(t, srv, "bob", "POINT(-3.7 40.4)")
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	fail := make(chan string, 32)
+	report := func(format string, args ...any) {
+		select {
+		case fail <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	for _, sess := range []string{aliceSess, bobSess} {
+		wg.Add(1)
+		go func(sess string) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, body := postJSON(t, srv.URL+"/api/query", countBody(sess))
+				if resp.StatusCode != http.StatusOK {
+					report("query: %s (%s)", resp.Status, body)
+					return
+				}
+			}
+		}(sess)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			if err := e.AddFact("Sales",
+				map[string]int32{"Store": int32(i % 80), "Customer": int32(i % 50),
+					"Product": 0, "Time": 0},
+				map[string]float64{"UnitSales": 1}); err != nil {
+				report("AddFact: %v", err)
+				return
+			}
+		}
+	}()
+	for _, path := range []string{"/metrics", "/api/stats", "/api/traces/recent"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, body := getBody(t, srv.URL+path)
+				if resp.StatusCode != http.StatusOK {
+					report("%s: %s (%s)", path, resp.Status, body)
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -26,7 +26,17 @@
 //	                                                     doorkeeper counters; on a sharded engine also
 //	                                                     shard count, per-shard fact balance, shard-scan
 //	                                                     fan-out and artifact-cache hit rates)
+//	GET  /api/trace/{id}                               → one retained query-lifecycle trace (span tree)
+//	GET  /api/traces/recent[?n=20]                     → recently retained traces, newest first
+//	GET  /metrics                                      → Prometheus text exposition (latency histograms
+//	                                                     + scheduler counters)
 //	GET  /api/healthz                                  → liveness
+//
+// Query endpoints correlate with traces via the X-Request-Id header: a
+// client-supplied value is adopted as the trace ID, otherwise one is
+// generated, and either way it is echoed on the response — success and
+// error alike (admission timeouts included), so a 504 can still be looked
+// up under /api/trace/{id}. Error bodies carry the same ID as requestId.
 package webapi
 
 import (
@@ -44,6 +54,7 @@ import (
 	"sdwp/internal/cube"
 	"sdwp/internal/export"
 	"sdwp/internal/geom"
+	"sdwp/internal/obs"
 	"sdwp/internal/prml"
 	"sdwp/internal/qsched"
 )
@@ -76,6 +87,9 @@ func NewServer(e *core.Engine) *Server {
 	s.mux.HandleFunc("/api/geojson", s.handleGeoJSON)
 	s.mux.HandleFunc("/api/map.svg", s.handleMapSVG)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /api/traces/recent", s.handleTracesRecent)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/healthz", s.handleHealthz)
 	return s
 }
@@ -87,6 +101,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 type apiError struct {
 	Error string `json:"error"`
+	// RequestID is the request's correlation ID (the X-Request-Id response
+	// header), present on the query endpoints so a failed query — a 504
+	// admission timeout in particular — can be looked up at /api/trace/{id}.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -96,7 +114,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+	// The request ID was stamped on the response header by startTrace
+	// before any handler work; echo it in the body too ("" elsewhere).
+	writeJSON(w, status, apiError{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-Id"),
+	})
+}
+
+// startTrace gives the request its correlation ID — adopting the client's
+// X-Request-Id when present, generating one otherwise — stamps it on the
+// response header before any body is written (so success, validation 400
+// and timeout 504 responses all carry it), and, when tracing is enabled,
+// starts a lifecycle trace that rides the returned context into the
+// scheduler. The returned trace is nil when tracing is off; every use
+// below is nil-safe.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) (context.Context, *obs.Trace) {
+	tr := s.engine.Tracer().Start(r.Header.Get("X-Request-Id"))
+	id := tr.ID()
+	if id == "" {
+		id = obs.RequestID(r.Header.Get("X-Request-Id"))
+	}
+	w.Header().Set("X-Request-Id", id)
+	return obs.NewContext(r.Context(), tr), tr
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -294,36 +334,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
+	ctx, tr := s.startTrace(w, r)
 	var req queryRequest
 	if !decodeBody(w, r, &req) {
+		tr.Finish(errBadRequest)
 		return
 	}
 	sess := s.session(req.Session)
 	if sess == nil {
+		tr.Finish(errUnknownSession)
 		writeErr(w, http.StatusNotFound, "unknown session")
 		return
 	}
 	q, err := req.toCubeQuery()
 	if err != nil {
+		tr.Finish(err)
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// The request context rides into the scheduler: a client that hangs up
-	// unblocks the handler, and core.Options.QueryTimeout (or an upstream
-	// context deadline) drops the query from the admission queue instead
-	// of executing it late.
+	// The request context rides into the scheduler — carrying the trace —
+	// so a client that hangs up unblocks the handler, and
+	// core.Options.QueryTimeout (or an upstream context deadline) drops
+	// the query from the admission queue instead of executing it late.
 	var res *cube.Result
 	if req.Baseline {
-		res, err = sess.QueryBaselineCtx(r.Context(), q)
+		res, err = sess.QueryBaselineCtx(ctx, q)
 	} else {
-		res, err = sess.QueryCtx(r.Context(), q)
+		res, err = sess.QueryCtx(ctx, q)
 	}
 	if err != nil {
+		tr.Finish(err) // idempotent: queries that reached the scheduler are already finished
 		writeErr(w, queryErrStatus(err), "query failed: %v", err)
 		return
 	}
+	tr.Finish(nil)
 	writeJSON(w, http.StatusOK, res)
 }
+
+// Sentinel errors for trace retention on requests rejected before they
+// reach the scheduler (the response body carries the detailed message).
+var (
+	errBadRequest     = errors.New("bad request body")
+	errUnknownSession = errors.New("unknown session")
+)
 
 // queryErrStatus maps a query-path error to its HTTP status: a closed
 // scheduler is a server lifecycle condition (shutdown in progress) and an
@@ -355,16 +408,20 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
+	ctx, tr := s.startTrace(w, r)
 	var req batchQueryRequest
 	if !decodeBody(w, r, &req) {
+		tr.Finish(errBadRequest)
 		return
 	}
 	sess := s.session(req.Session)
 	if sess == nil {
+		tr.Finish(errUnknownSession)
 		writeErr(w, http.StatusNotFound, "unknown session")
 		return
 	}
 	if len(req.Queries) == 0 {
+		tr.Finish(errBadRequest)
 		writeErr(w, http.StatusBadRequest, "batch needs at least one query")
 		return
 	}
@@ -372,6 +429,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	// partial aggregation tables) and is the same limit the scheduler uses
 	// for one coalesced shared scan: core.Options.MaxBatchQueries.
 	if max := s.engine.MaxBatchQueries(); len(req.Queries) > max {
+		tr.Finish(errBadRequest)
 		writeErr(w, http.StatusBadRequest,
 			"batch has %d queries, max %d (configurable via core.Options.MaxBatchQueries)",
 			len(req.Queries), max)
@@ -382,17 +440,22 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	for i, spec := range req.Queries {
 		q, err := spec.toCubeQuery()
 		if err != nil {
+			tr.Finish(err)
 			writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
 			return
 		}
 		qs[i] = q
 		baseline[i] = spec.Baseline
 	}
-	results, err := sess.QueryBatchCtx(r.Context(), qs, baseline)
+	// All queries of the HTTP batch share one trace (one request, one
+	// span tree); the first of them to complete freezes its duration.
+	results, err := sess.QueryBatchCtx(ctx, qs, baseline)
 	if err != nil {
+		tr.Finish(err)
 		writeErr(w, queryErrStatus(err), "batch query failed: %v", err)
 		return
 	}
+	tr.Finish(nil)
 	writeJSON(w, http.StatusOK, batchQueryResponse{Results: results})
 }
 
@@ -613,6 +676,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.engine.SchedulerStats())
+}
+
+// handleTrace serves one retained query-lifecycle trace: the span tree
+// (admission wait, compile, shared scan with per-shard stage timings,
+// finalize) of a query that was sampled or ended in an error. Look-ups
+// use the X-Request-Id echoed on the query response.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.engine.Tracer()
+	if t == nil {
+		writeErr(w, http.StatusNotFound, "tracing is disabled (set core.Options.TraceSampleRate > 0)")
+		return
+	}
+	id := r.PathValue("id")
+	snap, ok := t.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no trace %q (not sampled, evicted, or never seen)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTracesRecent lists recently retained traces, newest first.
+func (s *Server) handleTracesRecent(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad n %q", ns)
+			return
+		}
+		n = v
+	}
+	out := s.engine.Tracer().Recent(n) // nil-safe: nil tracer → no traces
+	if out == nil {
+		out = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics renders the engine's telemetry registry — per-stage
+// latency histograms plus the scheduler counters — in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.engine.MetricsRegistry().WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

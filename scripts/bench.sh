@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — the benchmark-regression pipeline: run the core executor
-# benchmarks and emit BENCH_6.json (ns/op, allocs/op, sharing-ratio and
+# benchmarks and emit BENCH_7.json (ns/op, allocs/op, sharing-ratio and
 # pool-hit metrics) through cmd/benchjson. The manifest makes a renamed or
 # deleted benchmark fail the pipeline instead of silently dropping its
 # perf trajectory, and the baseline comparison fails the pipeline when a
-# benchmark's allocs/op regresses past the tolerance.
+# benchmark's allocs/op regresses past the tolerance — or when the
+# tracing-off mode of BenchmarkTraceOverhead regresses ns/op (the
+# telemetry subsystem's "off costs nothing" proof).
 #
 # Env knobs:
 #   BENCHTIME  go test -benchtime value   (default 1s: duration-based, so
@@ -12,7 +14,7 @@
 #              iterations:2 artifacts of BENCH_5 hid a 1.6MB/op mirage;
 #              use 1x only for a smoke pass)
 #   COUNT      go test -count value       (default 1)
-#   OUT        output artifact path       (default BENCH_6.json)
+#   OUT        output artifact path       (default BENCH_7.json)
 #   BASELINE   previous artifact to gate allocs/op against (default: the
 #              highest-numbered BENCH_<n>.json other than OUT; set to ""
 #              to skip the gate)
@@ -21,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_7.json}"
 
 if [[ -z "${BASELINE+x}" ]]; then
   BASELINE=""
@@ -36,13 +38,14 @@ fi
 # The manifest: the benchmarks whose trajectory the repo records. The
 # -bench regexp is derived from it, so one edit adds a benchmark to both
 # the run and the existence gate.
-MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing"
+MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing,BenchmarkTraceOverhead"
 
 go test -run '^$' \
   -bench "^(${MANIFEST//,/|})\$" \
   -benchtime "$BENCHTIME" -count "$COUNT" . \
-  | go run ./cmd/benchjson -issue 6 -out "$OUT" -manifest "$MANIFEST" \
+  | go run ./cmd/benchjson -issue 7 -out "$OUT" -manifest "$MANIFEST" \
       -benchtime "$BENCHTIME" -count "$COUNT" \
+      -nsop-gate '^BenchmarkTraceOverhead/off' \
       ${BASELINE:+-baseline "$BASELINE"}
 
 echo "bench.sh: wrote $OUT${BASELINE:+ (allocs/op gated against $BASELINE)}"

@@ -23,6 +23,12 @@ go test -race -count=3 -run 'SharedSubexpr|PerFilter|PooledPartial' ./internal/c
 # ingest and view selections across per-shard locks.
 go test -race -count=2 -run 'Sharded' ./internal/shard/ ./internal/core/
 
+# The telemetry layer is scraped while it is written: concurrent
+# GET /metrics + GET /api/stats against in-flight sharded batches and
+# AddFact ingest (lock-free histograms, the scheduler-counter collector,
+# and the trace ring all under the race detector).
+go test -race -count=2 -run 'MetricsScrapeUnderShardedLoad|Obs' ./internal/webapi/ ./internal/obs/
+
 # Compile-and-run every benchmark once so they cannot bit-rot; the named
 # manifest benchmarks are additionally gated by scripts/bench.sh.
 go test -run '^$' -bench=. -benchtime=1x ./...
