@@ -857,3 +857,70 @@ func BenchmarkArtifactCacheHit(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPackedScan is the A/B price of the compressed column layer on
+// the hot single-query scan shape (the BenchmarkParallelScan query,
+// serial): packed=true drives the monomorphic single-level SUM kernel
+// over the dictionary-encoded bit-packed key column, packed=false the
+// unpacked scalar path. Results are byte-identical; the packed=true
+// ns/op is gated against the previous artifact by scripts/bench.sh
+// (-nsop-gate) — the kernel must stay fast, not just correct.
+func BenchmarkPackedScan(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	q := Query{
+		Fact:       "Sales",
+		GroupBy:    []LevelRef{{Dimension: "Store", Level: "City"}},
+		Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: SUM}},
+	}
+	prev := env.ds.Cube.PackedColumns()
+	defer env.ds.Cube.SetPackedColumns(prev)
+	for _, packed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("packed=%v", packed), func(b *testing.B) {
+			env.ds.Cube.SetPackedColumns(packed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.ds.Cube.ExecuteParallel(q, nil, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPackedPredicateKernel measures stage-1 predicate evaluation
+// word-at-a-time: a batch whose queries share one numeric attribute
+// filter, so the per-predicate planner materializes the filter bitmap
+// once per scan — packed=true fills it with the SWAR range kernel over
+// the bit-packed key column (64/width lanes per load), packed=false
+// tests every fact's key against the ancestor table one at a time.
+func BenchmarkPackedPredicateKernel(b *testing.B) {
+	env := getBenchEnv(b, 200000)
+	filters := []AttrFilter{{
+		LevelRef: LevelRef{Dimension: "Store", Level: "City"},
+		Attr:     "population", Op: OpGt, Value: float64(100000),
+	}}
+	var qs []Query
+	for _, level := range []string{"City", "State"} {
+		qs = append(qs, Query{
+			Fact:       "Sales",
+			GroupBy:    []LevelRef{{Dimension: "Store", Level: level}},
+			Aggregates: []MeasureAgg{{Measure: "UnitSales", Agg: SUM}},
+			Filters:    filters,
+		})
+	}
+	prev := env.ds.Cube.PackedColumns()
+	defer env.ds.Cube.SetPackedColumns(prev)
+	for _, packed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("packed=%v", packed), func(b *testing.B) {
+			env.ds.Cube.SetPackedColumns(packed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := env.ds.Cube.ExecuteBatchOpt(qs, nil, BatchOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -10,7 +10,7 @@
 //	       [-threshold 2] [-workers -1]
 //	       [-coalesce-window 500us] [-max-inflight-scans 2]
 //	       [-result-cache-mb 32] [-max-batch-queries 64]
-//	       [-shared-subexpr=true] [-per-filter-sharing=true]
+//	       [-shared-subexpr=true] [-per-filter-sharing=true] [-packed-columns=true]
 //	       [-fact-shards 0] [-query-timeout 0] [-artifact-cache-mb 0]
 //	       [-trace-sample-rate 0] [-slow-query 0] [-pprof-addr ""]
 package main
@@ -59,6 +59,8 @@ func main() {
 			"share filter bitmaps and group-key columns across the queries of each batch scan (false = per-query evaluation, the A/B baseline)")
 		perFilterSharing = flag.Bool("per-filter-sharing", true,
 			"decompose batch filter sharing to per-predicate bitmaps AND-composed into set masks (false = whole-filter-set granularity, the A/B baseline)")
+		packedColumns = flag.Bool("packed-columns", true,
+			"execute scans against the dictionary-encoded bit-packed fact columns (word-at-a-time predicate kernels, monomorphic aggregation kernels); false = unpacked scalar path, the A/B baseline — results are identical either way")
 		factShards = flag.Int("fact-shards", 0,
 			"hash-partition every fact table into N shards behind the scheduler (scatter-gather scans, per-shard ingest locks); 0 or 1 = single-table path")
 		queryTimeout = flag.Duration("query-timeout", 0,
@@ -124,6 +126,10 @@ func main() {
 	if !*sharedSubexpr {
 		sharedMode = sdwp.SharedSubexprOff
 	}
+	packedMode := sdwp.PackedColumnsOn
+	if !*packedColumns {
+		packedMode = sdwp.PackedColumnsOff
+	}
 	engine := sdwp.NewEngine(warehouse, users, sdwp.EngineOptions{
 		QueryWorkers:            *workers,
 		CoalesceWindow:          *coalesceWindow,
@@ -132,6 +138,7 @@ func main() {
 		MaxBatchQueries:         *maxBatch,
 		SharedSubexpr:           sharedMode,
 		DisablePerFilterSharing: !*perFilterSharing,
+		PackedColumns:           packedMode,
 		FactShards:              *factShards,
 		QueryTimeout:            *queryTimeout,
 		ArtifactCacheBytes:      int64(*artifactCacheMB) << 20,

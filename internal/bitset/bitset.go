@@ -327,6 +327,19 @@ func (s *Set) Indices() []int {
 	return out
 }
 
+// Words exposes the set's backing words, least-significant bit first (bit i
+// of the set is bit i%64 of word i/64). The packed-column predicate kernels
+// of internal/cube write filter results straight into these words, one
+// 64-fact word at a time. len(Words()) == ceil(Len()/64); bits at or past
+// Len() in the last word are zero and writers must keep them zero (the
+// Count/iteration primitives rely on the trimmed tail).
+func (s *Set) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
+}
+
 // String renders the set as "{1, 5, 9}" capped at 16 elements for logging.
 func (s *Set) String() string {
 	if s == nil {

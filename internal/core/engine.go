@@ -45,6 +45,25 @@ const (
 	SharedSubexprOff
 )
 
+// PackedColumnsMode toggles compressed-column execution: whether compiled
+// plans bind the dictionary-encoded bit-packed fact columns and dispatch
+// the word-at-a-time predicate kernels and monomorphic aggregation
+// kernels (see internal/cube/packed.go). The packed columns themselves
+// are always maintained; the mode only selects the execution path, so
+// flipping it never rewrites storage. Results are identical either way.
+type PackedColumnsMode int
+
+const (
+	// PackedColumnsOn — the default (zero value) — compiles plans against
+	// the packed columns. The SDWP_PACKED_COLUMNS env var (strconv
+	// booleans) still applies and lets test matrices flip the default
+	// without a config change.
+	PackedColumnsOn PackedColumnsMode = iota
+	// PackedColumnsOff forces the unpacked scalar path — the equivalence
+	// oracle and the A/B benching baseline.
+	PackedColumnsOff
+)
+
 // Options configures an Engine.
 type Options struct {
 	// Planar switches the Distance/unary-Distance operators from geodetic
@@ -91,6 +110,11 @@ type Options struct {
 	// default; SharedSubexprOff restores the per-query evaluation of PR 1
 	// for A/B benching. Results are identical either way.
 	SharedSubexpr SharedSubexprMode
+	// PackedColumns controls compressed-column execution: packed predicate
+	// and aggregation kernels on (the default) or the unpacked scalar path
+	// (the oracle the equivalence harness pins kernels against). Results
+	// are identical either way.
+	PackedColumns PackedColumnsMode
 	// DisablePerFilterSharing keeps the batch executor's stage-1 sharing
 	// at whole-filter-set granularity: each distinct filter set evaluates
 	// its full conjunction instead of materializing one bitmap per
@@ -236,6 +260,14 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 		params:   map[string]prml.Value{},
 		sessions: map[string]*Session{},
 	}
+	// Apply the packed-columns mode before deriving shards: NewFactShard
+	// inherits the parent's setting, so the fan-out below compiles the
+	// same execution path everywhere. PackedColumnsOn (the zero value)
+	// leaves the cube's default alone, which keeps the SDWP_PACKED_COLUMNS
+	// env override effective for engines built with default options.
+	if opts.PackedColumns == PackedColumnsOff {
+		c.SetPackedColumns(false)
+	}
 	if opts.FactShards > 1 {
 		e.shards = shard.New(c, shard.Options{
 			Shards:             opts.FactShards,
@@ -302,6 +334,11 @@ func (e *Engine) collectSchedulerSamples(emit func(obs.Sample)) {
 		gauge("sdwp_fact_shards", "Fact-table shard count.", float64(st.FactShards))
 		counter("sdwp_shard_scans_total", "Per-shard scans fanned out by the scatter-gather executor.", st.ShardScans)
 	}
+	counter("sdwp_packed_kernel_scans_total", "Plan scans dispatched to a monomorphic packed aggregation kernel.", st.PackedKernelScans)
+	counter("sdwp_packed_predicate_kernels_total", "Predicate bitmaps filled word-at-a-time from packed columns.", st.PackedPredicateKernels)
+	gauge("sdwp_packed_columns", "Fact dimension-key columns carrying a packed representation.", float64(st.Packed.Columns))
+	gauge("sdwp_packed_bytes", "Bytes held by the bit-packed fact columns.", float64(st.Packed.PackedBytes))
+	gauge("sdwp_packed_unpacked_bytes", "Bytes the same columns occupy unpacked (int32 per fact).", float64(st.Packed.UnpackedBytes))
 }
 
 // MetricsRegistry returns the engine's telemetry registry — what
@@ -330,6 +367,11 @@ func (e *Engine) SchedulerStats() qsched.Stats {
 		st.ShardScans = ss.ShardScans
 		st.ArtifactCache = ss.ArtifactCache
 		st.ArtifactDoorkept = ss.ArtifactCache.Doorkept
+		st.Packed = ss.Packed
+	} else {
+		e.locked.mu.RLock()
+		st.Packed = e.cube.PackedStats()
+		e.locked.mu.RUnlock()
 	}
 	return st
 }

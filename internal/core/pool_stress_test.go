@@ -20,7 +20,163 @@ import (
 	"time"
 
 	"sdwp/internal/cube"
+	"sdwp/internal/datagen"
 )
+
+// TestPackedRepackUnderIngestRespectsScanBound stresses the compressed
+// column layer's repack path: the warehouse is seeded with low dimension
+// keys (every packed column starts at width 1), then concurrent ingest
+// ramps the keys so each column overflows its bit width several times —
+// each overflow repacks into a fresh word array — while parallel batch
+// scans hold packed views taken at compile time. A scan reading past its
+// compile-time bound, or through a torn repack, breaks the SUM ==
+// MatchedFacts identity below (every fact carries UnitSales 1) or the
+// quiescent equality against the serial unpacked oracle.
+func TestPackedRepackUnderIngestRespectsScanBound(t *testing.T) {
+	const (
+		stores    = 400 // forces Store-key widths 1 through 9 bits
+		customers = 130
+		products  = 70
+		days      = 40
+	)
+	c := cube.New(datagen.SalesSchema())
+	mustAdd := func(dim, level, name string, parent int32) int32 {
+		t.Helper()
+		id, err := c.AddMember(dim, level, name, parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	country := mustAdd("Store", "Country", "Spain", cube.NoParent)
+	state := mustAdd("Store", "State", "State00", country)
+	city := mustAdd("Store", "City", "City000", state)
+	for i := 0; i < stores; i++ {
+		mustAdd("Store", "Store", fmt.Sprintf("Store%04d", i), city)
+	}
+	seg := mustAdd("Customer", "Segment", "Retail", cube.NoParent)
+	for i := 0; i < customers; i++ {
+		mustAdd("Customer", "Customer", fmt.Sprintf("Cust%04d", i), seg)
+	}
+	fam := mustAdd("Product", "Family", "Food", cube.NoParent)
+	for i := 0; i < products; i++ {
+		mustAdd("Product", "Product", fmt.Sprintf("Prod%03d", i), fam)
+	}
+	year := mustAdd("Time", "Year", "2009", cube.NoParent)
+	month := mustAdd("Time", "Month", "2009-01", year)
+	for i := 0; i < days; i++ {
+		mustAdd("Time", "Day", fmt.Sprintf("2009-01-%02d", i), month)
+	}
+	// Seed low-key facts so every packed dim-key column starts at width 1.
+	for i := 0; i < 1500; i++ {
+		if err := c.AddFact("Sales", map[string]int32{
+			"Store": int32(i % 2), "Customer": int32(i % 2),
+			"Product": int32(i % 2), "Time": int32(i % 2),
+		}, map[string]float64{"UnitSales": 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	users, err := datagen.NewUserStore(map[string]string{"alice": "RegionalSalesManager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(c, users, Options{QueryWorkers: 4})
+	defer e.Close()
+
+	// Single-level SUM and COUNT (the dense monomorphic kernels) plus a
+	// multi-level shape (the hashed-cell kernel).
+	qs := []cube.Query{
+		{Fact: "Sales", GroupBy: []cube.LevelRef{{Dimension: "Store", Level: "Store"}},
+			Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}}},
+		{Fact: "Sales", GroupBy: []cube.LevelRef{{Dimension: "Store", Level: "City"}},
+			Aggregates: []cube.MeasureAgg{{Agg: cube.AggCount}}},
+		{Fact: "Sales",
+			GroupBy:    []cube.LevelRef{{Dimension: "Store", Level: "Store"}, {Dimension: "Time", Level: "Day"}},
+			Aggregates: []cube.MeasureAgg{{Measure: "UnitSales", Agg: cube.AggSum}, {Agg: cube.AggCount}}},
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() { // ingest: ramp keys so every column repacks mid-run
+		defer writers.Done()
+		for i := 0; i < 40000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.AddFact("Sales", map[string]int32{
+				"Store": int32(i % stores), "Customer": int32(i % customers),
+				"Product": int32(i % products), "Time": int32(i % days),
+			}, map[string]float64{"UnitSales": 1}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	var queriers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			for n := 0; n < 25; n++ {
+				res, err := e.ExecuteBatch(qs, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// No filters and no view: every scanned fact matches, and
+				// each fact's UnitSales is 1, so each entry's first
+				// aggregate (SUM or COUNT) must total MatchedFacts exactly.
+				for i, r := range res {
+					if r.ScannedFacts != r.MatchedFacts {
+						errs <- fmt.Errorf("batch entry %d: scanned %d != matched %d",
+							i, r.ScannedFacts, r.MatchedFacts)
+						return
+					}
+					var sum float64
+					for _, row := range r.Rows {
+						sum += row.Values[0]
+					}
+					if sum != float64(r.MatchedFacts) {
+						errs <- fmt.Errorf("batch entry %d: aggregate total %v != matched %d (scan bound violated)",
+							i, sum, r.MatchedFacts)
+						return
+					}
+				}
+			}
+		}()
+	}
+	queriers.Wait()
+	close(stop)
+	writers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiescent: the packed batch path equals the serial unpacked oracle
+	// over the fully repacked columns.
+	res, err := e.ExecuteBatch(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := c.PackedColumns()
+	c.SetPackedColumns(false)
+	for i, q := range qs {
+		want, err := c.Execute(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res[i], want) {
+			t.Fatalf("quiescent batch entry %d differs from the unpacked serial oracle", i)
+		}
+	}
+	c.SetPackedColumns(prev)
+}
 
 func TestPooledPartialBatchUnderIngestAndSpatialSelect(t *testing.T) {
 	for _, mode := range []SharedSubexprMode{SharedSubexprOn, SharedSubexprOff} {

@@ -128,12 +128,23 @@ type filterSpec struct {
 	keys []int32
 	attr attrCol
 	key  string
+	// pk/codes are the compressed-column bindings, set at compile when
+	// packed execution is on: pk snapshots the dimension's bit-packed key
+	// column and codes is the predicate translated to its matching
+	// finest-level member codes (see packed.go). codes also accelerates
+	// the scalar match below — one bitmap probe instead of roll-up lookup
+	// plus interface-valued compare — so the translation pays off even on
+	// paths that never touch packed words.
+	pk    packedView
+	codes *codeSet
 }
 
-// match is stage 1 for one fact and one predicate: whether fact i passes
-// this filter alone.
-func (fs *filterSpec) match(i int32) bool {
-	anc := fs.anc[fs.keys[i]]
+// matchCode is the predicate's member-granularity semantics: whether a
+// fact whose finest-level key is code passes this filter. match is
+// exactly matchCode(keys[i]); newCodeSet evaluates matchCode once per
+// code at compile so scans can test membership instead.
+func (fs *filterSpec) matchCode(code int32) bool {
+	anc := fs.anc[code]
 	if anc == NoParent {
 		return false
 	}
@@ -141,11 +152,26 @@ func (fs *filterSpec) match(i int32) bool {
 	return has && compare(val, fs.f.Op, fs.f.Value)
 }
 
+// match is stage 1 for one fact and one predicate: whether fact i passes
+// this filter alone.
+func (fs *filterSpec) match(i int32) bool {
+	if fs.codes != nil {
+		return fs.codes.test(fs.keys[i])
+	}
+	return fs.matchCode(fs.keys[i])
+}
+
 // materializePredicateMask runs this one predicate over facts [lo, hi)
 // into the shared bitmap — the per-filter counterpart of
 // queryPlan.materializeFilterMask, with the same word-aligned chunk
 // contract (workers owning disjoint chunks fill one bitmap racelessly).
 func (fs *filterSpec) materializePredicateMask(lo, hi int, out *bitset.Set) {
+	if fs.codes != nil && fs.pk.n >= hi {
+		// Word-at-a-time on the packed key column: 64/width codes per
+		// load, same chunk contract (fillMask writes only bits [lo, hi)).
+		fs.pk.fillMask(fs.codes, lo, hi, out)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		if fs.match(int32(i)) {
 			out.Set(i)
@@ -176,6 +202,10 @@ type queryPlan struct {
 	// measureCols holds the measure column per aggregate (nil for COUNT),
 	// hoisted out of the scan loop.
 	measureCols [][]float64
+	// kern is the stage-3 accumulate kernel selected for this plan (see
+	// exec_kernels.go); kernGeneric keeps the classic accumulateFact loop
+	// and is always used when packed execution is off (the oracle path).
+	kern kernelKind
 }
 
 // matchFact is stage 1 for one fact: whether fact i passes every filter of
@@ -302,7 +332,34 @@ func (c *Cube) compile(q Query) (*queryPlan, error) {
 	if len(p.filters) > 0 {
 		p.filterKey = q.FilterFingerprint()
 	}
+	if c.packedExec.Load() {
+		p.kern = selectKernel(p)
+		p.bindPacked(fd)
+	}
 	return p, nil
+}
+
+// bindPacked attaches the compressed-column execution state to a plan's
+// filters: a packed snapshot of each filtered dimension's key column and
+// the predicate translated to its matching code set. The translation
+// evaluates the predicate once per finest-level member (O(card), a
+// vanishing fraction of one fact scan) and is what both the word-at-a-
+// time stage-1 kernels and the bitmap-probe scalar match run on. A
+// dimension without packed data (empty table) keeps the scalar path.
+func (p *queryPlan) bindPacked(fd *FactData) {
+	for i := range p.filters {
+		fs := &p.filters[i]
+		pc := fd.packed[fs.f.Dimension]
+		if pc == nil || pc.width == 0 {
+			continue
+		}
+		if pv := pc.view(); pv.n >= p.n {
+			fs.pk = pv
+			if fs.codes == nil {
+				fs.codes = newCodeSet(len(fs.anc), fs.matchCode)
+			}
+		}
+	}
 }
 
 // accum is the aggregation state of one group.
@@ -547,36 +604,9 @@ func (pt *partial) accumulateFact(i int32, keyCols [][]int32) {
 		} else {
 			anc = p.groups[0].decode(i)
 		}
-		pt.memberScratch[0] = anc
-		if anc == NoParent {
-			if pt.denseNone == nil {
-				pt.denseNone = pt.newAccum(pt.memberScratch)
-			}
-			cell = pt.denseNone
-		} else {
-			cell = pt.dense[anc]
-			if cell == nil {
-				cell = pt.newAccum(pt.memberScratch)
-				pt.dense[anc] = cell
-			}
-		}
+		cell = pt.cellFor(anc)
 	} else {
-		pt.keyBuf = pt.keyBuf[:0]
-		for gi := range p.groups {
-			var anc int32
-			if keyCols != nil && keyCols[gi] != nil {
-				anc = keyCols[gi][i]
-			} else {
-				anc = p.groups[gi].decode(i)
-			}
-			pt.memberScratch[gi] = anc
-			pt.keyBuf = appendInt32(pt.keyBuf, anc)
-		}
-		cell = pt.cells[string(pt.keyBuf)]
-		if cell == nil {
-			cell = pt.newAccum(pt.memberScratch)
-			pt.cells[string(pt.keyBuf)] = cell
-		}
+		cell = pt.multiCell(i, keyCols)
 	}
 	cell.count++
 	for j := range p.q.Aggregates {
@@ -596,8 +626,36 @@ func (pt *partial) accumulateFact(i int32, keyCols [][]int32) {
 }
 
 // scanRange folds facts [lo, hi) into the partial, visiting only mask bits
-// when a view mask is given (nil mask = the whole table).
+// when a view mask is given (nil mask = the whole table). A plan with a
+// specialized stage-3 kernel runs it where the shape allows — whole-range
+// or mask-driven accumulation, and per-fact after a fused filter pass —
+// with scanned/matched kept exactly as the generic path counts them.
 func (pt *partial) scanRange(lo, hi int, mask *bitset.Set) {
+	if p := pt.p; p.kern != kernGeneric {
+		if mask == nil {
+			if len(p.filters) == 0 {
+				pt.scanned += hi - lo
+				pt.matched += hi - lo
+				pt.accumRange(lo, hi, nil)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				pt.scanned++
+				if p.matchFact(int32(i)) {
+					pt.matched++
+					pt.accumOne(int32(i), nil)
+				}
+			}
+			return
+		}
+		if len(p.filters) == 0 {
+			c := mask.CountRange(lo, hi)
+			pt.scanned += c
+			pt.matched += c
+			pt.accumMask(mask, lo, hi, nil)
+			return
+		}
+	}
 	if mask != nil {
 		mask.ForEachRange(lo, hi, func(i int) bool {
 			pt.process(int32(i))
@@ -900,7 +958,21 @@ func (cq *CompiledQuery) Rebind(target *Cube) (*CompiledQuery, error) {
 	}
 	np.filters = append([]filterSpec(nil), p.filters...)
 	for i := range np.filters {
-		np.filters[i].keys = fd.dimKeys[np.filters[i].f.Dimension]
+		fs := &np.filters[i]
+		fs.keys = fd.dimKeys[fs.f.Dimension]
+		// Re-snapshot the packed key column from the target shard. The
+		// code set is reused as-is: it is member-level (dimension data is
+		// shared by reference across the shard family), not fact-local.
+		// A source plan compiled with packed execution off has no code
+		// sets, so its rebinds stay on the scalar oracle path too.
+		fs.pk = packedView{}
+		if fs.codes != nil {
+			if pc := fd.packed[fs.f.Dimension]; pc != nil && pc.width != 0 {
+				if pv := pc.view(); pv.n >= np.n {
+					fs.pk = pv
+				}
+			}
+		}
 	}
 	np.measureCols = make([][]float64, len(p.measureCols))
 	for j, a := range p.q.Aggregates {
@@ -986,6 +1058,13 @@ type SharingStats struct {
 	// (reported for both sharing modes; a warm steady state is all reuse).
 	PartialsReused    int `json:"partialsReused"`
 	PartialsAllocated int `json:"partialsAllocated"`
+	// PackedKernelScans counts queries whose plan ran a specialized
+	// stage-3 accumulate kernel (exec_kernels.go) in this batch;
+	// PackedPredicateKernels counts predicate bitmaps filled by the
+	// word-at-a-time packed-column kernels instead of the scalar
+	// per-fact loop. Both 0 when packed execution is off.
+	PackedKernelScans      int `json:"packedKernelScans"`
+	PackedPredicateKernels int `json:"packedPredicateKernels"`
 }
 
 // Add folds another scan's stats in (the batch executor totals its
@@ -1003,6 +1082,8 @@ func (s *SharingStats) Add(o SharingStats) {
 	s.ArtifactCacheHits += o.ArtifactCacheHits
 	s.PartialsReused += o.PartialsReused
 	s.PartialsAllocated += o.PartialsAllocated
+	s.PackedKernelScans += o.PackedKernelScans
+	s.PackedPredicateKernels += o.PackedPredicateKernels
 }
 
 // ExecuteBatch answers a batch of queries — e.g. many users' personalized
@@ -1107,6 +1188,11 @@ func executeBatchPartials(plans []*queryPlan, masks []*bitset.Set, opts BatchOpt
 	}
 	parts := make([]*partial, len(plans))
 	sp := &scanPartials{}
+	for _, p := range plans {
+		if p.kern != kernGeneric {
+			stats.PackedKernelScans++
+		}
+	}
 	for _, fact := range factOrder {
 		idxs := groups[fact]
 		n := groupScanBound(plans, idxs)

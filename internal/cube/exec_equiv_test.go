@@ -157,6 +157,27 @@ func diffResults(t *testing.T, label string, got, want *cube.Result) {
 	}
 }
 
+// unpackedOracle runs f with packed execution forced off: the serial
+// unpacked scalar path is the oracle every packed kernel must match
+// byte-for-byte.
+func unpackedOracle(c *cube.Cube, f func()) {
+	prev := c.PackedColumns()
+	c.SetPackedColumns(false)
+	f()
+	c.SetPackedColumns(prev)
+}
+
+// packedModes sweeps compressed-column execution on and off; results must
+// be byte-identical in both (the off side also pins the scalar path
+// against accidental kernel dependence).
+var packedModes = []struct {
+	name string
+	on   bool
+}{
+	{"packed", true},
+	{"unpacked", false},
+}
+
 // batchSharingModes enumerates the executor's stage-1/2 sharing levels:
 // fully fused (PR 1), whole-filter-set artifacts, and per-predicate
 // bitmaps AND-composed into set masks (the default). Results must be
@@ -192,40 +213,51 @@ func TestExecutorEquivalenceRandomized(t *testing.T) {
 			for i := range qs {
 				qs[i] = randomQuery(rng)
 				vs[i] = randomView(rng, ds.Cube, cfg)
-				serial[i], err = ds.Cube.Execute(qs[i], vs[i])
-				if err != nil {
-					t.Fatalf("case %d: serial: %v", i, err)
-				}
 			}
-
-			// Parallel executor across worker counts.
-			for i := range qs {
-				for w := 1; w <= 8; w++ {
-					got, err := ds.Cube.ExecuteParallel(qs[i], vs[i], w)
+			unpackedOracle(ds.Cube, func() {
+				for i := range qs {
+					serial[i], err = ds.Cube.Execute(qs[i], vs[i])
 					if err != nil {
-						t.Fatalf("case %d workers %d: %v", i, w, err)
+						t.Fatalf("case %d: serial: %v", i, err)
 					}
-					diffResults(t, fmt.Sprintf("case %d workers %d", i, w), got, serial[i])
 				}
-			}
+			})
 
-			// Shared-scan batch executor (all cases in one batch), across
-			// every sharing mode: fused (the PR 1 path), whole-set
-			// artifacts, and per-predicate bitmaps with AND-composition.
-			for _, w := range []int{1, 3, 8} {
-				for _, mode := range batchSharingModes {
-					batch, _, err := ds.Cube.ExecuteBatchOpt(qs, vs,
-						cube.BatchOptions{Workers: w, DisableSharing: mode.opts.DisableSharing,
-							DisablePredicateSharing: mode.opts.DisablePredicateSharing})
-					if err != nil {
-						t.Fatalf("batch workers %d mode %s: %v", w, mode.name, err)
+			prev := ds.Cube.PackedColumns()
+			defer ds.Cube.SetPackedColumns(prev)
+			for _, pm := range packedModes {
+				ds.Cube.SetPackedColumns(pm.on)
+
+				// Parallel executor across worker counts.
+				for i := range qs {
+					for w := 1; w <= 8; w++ {
+						got, err := ds.Cube.ExecuteParallel(qs[i], vs[i], w)
+						if err != nil {
+							t.Fatalf("case %d workers %d %s: %v", i, w, pm.name, err)
+						}
+						diffResults(t, fmt.Sprintf("case %d workers %d %s", i, w, pm.name),
+							got, serial[i])
 					}
-					if len(batch) != cases {
-						t.Fatalf("batch workers %d: %d results, want %d", w, len(batch), cases)
-					}
-					for i := range qs {
-						diffResults(t, fmt.Sprintf("batch case %d workers %d mode %s",
-							i, w, mode.name), batch[i], serial[i])
+				}
+
+				// Shared-scan batch executor (all cases in one batch), across
+				// every sharing mode: fused (the PR 1 path), whole-set
+				// artifacts, and per-predicate bitmaps with AND-composition.
+				for _, w := range []int{1, 3, 8} {
+					for _, mode := range batchSharingModes {
+						batch, _, err := ds.Cube.ExecuteBatchOpt(qs, vs,
+							cube.BatchOptions{Workers: w, DisableSharing: mode.opts.DisableSharing,
+								DisablePredicateSharing: mode.opts.DisablePredicateSharing})
+						if err != nil {
+							t.Fatalf("batch workers %d mode %s %s: %v", w, mode.name, pm.name, err)
+						}
+						if len(batch) != cases {
+							t.Fatalf("batch workers %d: %d results, want %d", w, len(batch), cases)
+						}
+						for i := range qs {
+							diffResults(t, fmt.Sprintf("batch case %d workers %d mode %s %s",
+								i, w, mode.name, pm.name), batch[i], serial[i])
+						}
 					}
 				}
 			}
@@ -307,53 +339,62 @@ func TestSharedSubexprBatchEquivalence(t *testing.T) {
 					qs[i].Limit = 1 + rng.Intn(8)
 				}
 				vs[i] = randomView(rng, ds.Cube, cfg)
-				serial[i], err = ds.Cube.Execute(qs[i], vs[i])
-				if err != nil {
-					t.Fatalf("case %d: serial: %v", i, err)
-				}
 			}
-
-			for _, w := range []int{1, 2, 5, 8} {
-				for _, mode := range batchSharingModes {
-					opts := mode.opts
-					opts.Workers = w
-					batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, vs, opts)
+			unpackedOracle(ds.Cube, func() {
+				for i := range qs {
+					serial[i], err = ds.Cube.Execute(qs[i], vs[i])
 					if err != nil {
-						t.Fatalf("workers %d mode %s: %v", w, mode.name, err)
+						t.Fatalf("case %d: serial: %v", i, err)
 					}
-					for i := range qs {
-						diffResults(t, fmt.Sprintf("shared case %d workers %d mode %s",
-							i, w, mode.name), batch[i], serial[i])
-					}
-					if mode.opts.DisableSharing {
-						continue // fused scans report no sharing stats
-					}
-					if stats.Queries != cases {
-						t.Errorf("mode %s: stats.Queries = %d, want %d", mode.name, stats.Queries, cases)
-					}
-					// The pool admits at most 6 distinct non-empty filter
-					// sets (the reordered {pop,age} pair shares one key)
-					// built from 3 distinct predicates, and 3 groupings.
-					if stats.DistinctFilterSets > 6 {
-						t.Errorf("mode %s: distinct filter sets = %d, want <= 6 (reordered sets must share)",
-							mode.name, stats.DistinctFilterSets)
-					}
-					if stats.DistinctPredicates > 3 {
-						t.Errorf("mode %s: distinct predicates = %d, want <= 3",
-							mode.name, stats.DistinctPredicates)
-					}
-					if stats.DistinctGroupings > 4 {
-						t.Errorf("mode %s: distinct groupings = %d, want <= 4",
-							mode.name, stats.DistinctGroupings)
-					}
-					if stats.FilterSets < stats.DistinctFilterSets ||
-						stats.FilterPredicates < stats.DistinctPredicates ||
-						stats.GroupKeySets < stats.DistinctGroupings {
-						t.Errorf("mode %s: instances below distinct counts: %+v", mode.name, stats)
-					}
-					if mode.opts.DisablePredicateSharing &&
-						(stats.ComposedMasks > 0 || stats.PartialMasks > 0) {
-						t.Errorf("per-set mode composed masks: %+v", stats)
+				}
+			})
+
+			prev := ds.Cube.PackedColumns()
+			defer ds.Cube.SetPackedColumns(prev)
+			for _, pm := range packedModes {
+				ds.Cube.SetPackedColumns(pm.on)
+				for _, w := range []int{1, 2, 5, 8} {
+					for _, mode := range batchSharingModes {
+						opts := mode.opts
+						opts.Workers = w
+						batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, vs, opts)
+						if err != nil {
+							t.Fatalf("workers %d mode %s %s: %v", w, mode.name, pm.name, err)
+						}
+						for i := range qs {
+							diffResults(t, fmt.Sprintf("shared case %d workers %d mode %s %s",
+								i, w, mode.name, pm.name), batch[i], serial[i])
+						}
+						if mode.opts.DisableSharing {
+							continue // fused scans report no sharing stats
+						}
+						if stats.Queries != cases {
+							t.Errorf("mode %s: stats.Queries = %d, want %d", mode.name, stats.Queries, cases)
+						}
+						// The pool admits at most 6 distinct non-empty filter
+						// sets (the reordered {pop,age} pair shares one key)
+						// built from 3 distinct predicates, and 3 groupings.
+						if stats.DistinctFilterSets > 6 {
+							t.Errorf("mode %s: distinct filter sets = %d, want <= 6 (reordered sets must share)",
+								mode.name, stats.DistinctFilterSets)
+						}
+						if stats.DistinctPredicates > 3 {
+							t.Errorf("mode %s: distinct predicates = %d, want <= 3",
+								mode.name, stats.DistinctPredicates)
+						}
+						if stats.DistinctGroupings > 4 {
+							t.Errorf("mode %s: distinct groupings = %d, want <= 4",
+								mode.name, stats.DistinctGroupings)
+						}
+						if stats.FilterSets < stats.DistinctFilterSets ||
+							stats.FilterPredicates < stats.DistinctPredicates ||
+							stats.GroupKeySets < stats.DistinctGroupings {
+							t.Errorf("mode %s: instances below distinct counts: %+v", mode.name, stats)
+						}
+						if mode.opts.DisablePredicateSharing &&
+							(stats.ComposedMasks > 0 || stats.PartialMasks > 0) {
+							t.Errorf("per-set mode composed masks: %+v", stats)
+						}
 					}
 				}
 			}
@@ -443,38 +484,45 @@ func TestPerFilterCompositionPaths(t *testing.T) {
 		{Fact: "Sales", GroupBy: group, Aggregates: agg, Filters: []cube.AttrFilter{shared, d}},
 	}
 	serial := make([]*cube.Result, len(qs))
-	for i, q := range qs {
-		if serial[i], err = ds.Cube.Execute(q, nil); err != nil {
-			t.Fatal(err)
+	unpackedOracle(ds.Cube, func() {
+		for i, q := range qs {
+			if serial[i], err = ds.Cube.Execute(q, nil); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}
-	for _, w := range []int{1, 4} {
-		for _, mode := range batchSharingModes {
-			opts := mode.opts
-			opts.Workers = w
-			batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, nil, opts)
-			if err != nil {
-				t.Fatalf("workers %d mode %s: %v", w, mode.name, err)
-			}
-			for i := range qs {
-				diffResults(t, fmt.Sprintf("case %d workers %d mode %s", i, w, mode.name),
-					batch[i], serial[i])
-			}
-			if mode.name != "per-predicate" {
-				continue
-			}
-			// {shared,b} and {shared,c} qualify (2 uses each) and compose
-			// the shared bitmap, refining b/c once per set; {shared,d}
-			// (one use) gets a partial mask and evaluates d inline.
-			if stats.DistinctPredicates != 4 || stats.FilterPredicates != 10 {
-				t.Errorf("workers %d: predicates = %d/%d, want 4 distinct / 10 instances",
-					w, stats.DistinctPredicates, stats.FilterPredicates)
-			}
-			if stats.ComposedMasks != 2 {
-				t.Errorf("workers %d: composed masks = %d, want 2", w, stats.ComposedMasks)
-			}
-			if stats.PartialMasks != 1 {
-				t.Errorf("workers %d: partial masks = %d, want 1", w, stats.PartialMasks)
+	})
+	prev := ds.Cube.PackedColumns()
+	defer ds.Cube.SetPackedColumns(prev)
+	for _, pm := range packedModes {
+		ds.Cube.SetPackedColumns(pm.on)
+		for _, w := range []int{1, 4} {
+			for _, mode := range batchSharingModes {
+				opts := mode.opts
+				opts.Workers = w
+				batch, stats, err := ds.Cube.ExecuteBatchOpt(qs, nil, opts)
+				if err != nil {
+					t.Fatalf("workers %d mode %s %s: %v", w, mode.name, pm.name, err)
+				}
+				for i := range qs {
+					diffResults(t, fmt.Sprintf("case %d workers %d mode %s %s", i, w, mode.name, pm.name),
+						batch[i], serial[i])
+				}
+				if mode.name != "per-predicate" {
+					continue
+				}
+				// {shared,b} and {shared,c} qualify (2 uses each) and compose
+				// the shared bitmap, refining b/c once per set; {shared,d}
+				// (one use) gets a partial mask and evaluates d inline.
+				if stats.DistinctPredicates != 4 || stats.FilterPredicates != 10 {
+					t.Errorf("workers %d: predicates = %d/%d, want 4 distinct / 10 instances",
+						w, stats.DistinctPredicates, stats.FilterPredicates)
+				}
+				if stats.ComposedMasks != 2 {
+					t.Errorf("workers %d: composed masks = %d, want 2", w, stats.ComposedMasks)
+				}
+				if stats.PartialMasks != 1 {
+					t.Errorf("workers %d: partial masks = %d, want 1", w, stats.PartialMasks)
+				}
 			}
 		}
 	}

@@ -1,0 +1,392 @@
+package cube
+
+import (
+	"math/bits"
+
+	"sdwp/internal/bitset"
+)
+
+// This file is the stage-3 specialization layer: monomorphic accumulate
+// kernels per (measure-op, group-shape), selected once at plan compile
+// (selectKernel) instead of dispatched per fact. The generic
+// accumulateFact walks the aggregate list per fact, re-testing each
+// measure column for COUNT and updating sum, min and max whether the
+// query asked for them or not; a plan with exactly one aggregate — the
+// overwhelmingly common OLAP shape — instead runs a tight loop that
+// hoists the measure column, key column and roll-up table into locals
+// and performs only the one update its aggregate needs.
+//
+// Skipping the untouched accumulator fields is safe for byte-identical
+// results: finalize reads only the field its aggregate defines (sums for
+// SUM, count for COUNT/AVG, mins/maxs for MIN/MAX), and merge folds the
+// untouched fields as identities (adding zero counts/sums, narrowing
+// against ±Inf), so a kernel-filled partial finalizes and merges exactly
+// like a generically filled one. The equivalence harness pins this
+// against the unpacked serial oracle.
+
+// kernelKind identifies one specialized accumulate loop. kernGeneric
+// (the zero value) means "no specialization": the plan keeps the classic
+// accumulateFact path — which is also the oracle path when packed
+// execution is disabled.
+type kernelKind uint8
+
+const (
+	kernGeneric kernelKind = iota
+	kernSingleSum
+	kernSingleCount
+	kernSingleAvg
+	kernSingleMin
+	kernSingleMax
+	kernMultiSum
+	kernMultiCount
+	kernMultiAvg
+	kernMultiMin
+	kernMultiMax
+)
+
+// selectKernel maps a plan to its accumulate kernel: one aggregate
+// specializes per op, with the group shape picking the dense single-level
+// variant or the hashed multi-level one (which also covers grand totals —
+// zero group-by levels). Multi-aggregate plans keep the generic loop.
+func selectKernel(p *queryPlan) kernelKind {
+	if len(p.q.Aggregates) != 1 {
+		return kernGeneric
+	}
+	single := len(p.groups) == 1
+	switch p.q.Aggregates[0].Agg {
+	case AggSum:
+		if single {
+			return kernSingleSum
+		}
+		return kernMultiSum
+	case AggCount:
+		if single {
+			return kernSingleCount
+		}
+		return kernMultiCount
+	case AggAvg:
+		if single {
+			return kernSingleAvg
+		}
+		return kernMultiAvg
+	case AggMin:
+		if single {
+			return kernSingleMin
+		}
+		return kernMultiMin
+	case AggMax:
+		if single {
+			return kernSingleMax
+		}
+		return kernMultiMax
+	}
+	return kernGeneric
+}
+
+// kernDrive is one scan range's hoisted kernel state: the measure column
+// and the single-group key source (shared decoded column when the batch
+// materialized one, else roll-up table + fact keys), loaded once per
+// range instead of once per fact.
+type kernDrive struct {
+	col  []float64 // the aggregate's measure column (nil for COUNT)
+	kc0  []int32   // shared decoded key column (nil → inline decode)
+	anc  []int32
+	keys []int32
+	kc   [][]int32 // per-grouping shared columns for the multi shape
+}
+
+func (p *queryPlan) kernDrive(kc [][]int32) kernDrive {
+	d := kernDrive{col: p.measureCols[0], kc: kc}
+	if len(p.groups) == 1 {
+		g := &p.groups[0]
+		d.anc, d.keys = g.anc, g.keys
+		if kc != nil {
+			d.kc0 = kc[0]
+		}
+	}
+	return d
+}
+
+// key is stage 2 for one fact of a single-level plan.
+func (d *kernDrive) key(i int32) int32 {
+	if d.kc0 != nil {
+		return d.kc0[i]
+	}
+	return d.anc[d.keys[i]]
+}
+
+// cellFor is the dense-path cell fetch, shaped to inline into the kernel
+// loops (inline budget is why the body is only the single hottest
+// outcome): an existing dense cell returns directly, everything else —
+// the NoParent slot and the rare create path — is one outlined call.
+func (pt *partial) cellFor(a int32) *accum {
+	if a >= 0 {
+		if cell := pt.dense[a]; cell != nil {
+			return cell
+		}
+	}
+	return pt.cellForSlow(a)
+}
+
+// cellForSlow is cellFor's outlined tail: the NoParent slot and cell
+// creation for member a (NoParent allowed).
+func (pt *partial) cellForSlow(a int32) *accum {
+	if a < 0 && pt.denseNone != nil {
+		return pt.denseNone
+	}
+	pt.memberScratch[0] = a
+	cell := pt.newAccum(pt.memberScratch)
+	if a >= 0 {
+		pt.dense[a] = cell
+	} else {
+		pt.denseNone = cell
+	}
+	return cell
+}
+
+// multiCell is the hashed-path cell fetch for multi-level (or zero-level)
+// group keys — the composite-key half of accumulateFact, shared between
+// the generic loop and the multi kernels.
+func (pt *partial) multiCell(i int32, kc [][]int32) *accum {
+	p := pt.p
+	pt.keyBuf = pt.keyBuf[:0]
+	for gi := range p.groups {
+		var a int32
+		if kc != nil && kc[gi] != nil {
+			a = kc[gi][i]
+		} else {
+			a = p.groups[gi].decode(i)
+		}
+		pt.memberScratch[gi] = a
+		pt.keyBuf = appendInt32(pt.keyBuf, a)
+	}
+	cell := pt.cells[string(pt.keyBuf)]
+	if cell == nil {
+		cell = pt.newAccum(pt.memberScratch)
+		pt.cells[string(pt.keyBuf)] = cell
+	}
+	return cell
+}
+
+// accumRange folds every fact in [lo, hi) through the plan's kernel —
+// the unfiltered, unmasked stage 3. Callers must only invoke it when
+// p.kern != kernGeneric.
+func (pt *partial) accumRange(lo, hi int, kc [][]int32) {
+	d := pt.p.kernDrive(kc)
+	switch pt.p.kern {
+	case kernSingleSum:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			pt.cellFor(d.key(int32(i))).sums[0] += col[i]
+		}
+	case kernSingleCount:
+		for i := lo; i < hi; i++ {
+			pt.cellFor(d.key(int32(i))).count++
+		}
+	case kernSingleAvg:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			cell := pt.cellFor(d.key(int32(i)))
+			cell.count++
+			cell.sums[0] += col[i]
+		}
+	case kernSingleMin:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			cell := pt.cellFor(d.key(int32(i)))
+			if mv := col[i]; mv < cell.mins[0] {
+				cell.mins[0] = mv
+			}
+		}
+	case kernSingleMax:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			cell := pt.cellFor(d.key(int32(i)))
+			if mv := col[i]; mv > cell.maxs[0] {
+				cell.maxs[0] = mv
+			}
+		}
+	case kernMultiSum:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			pt.multiCell(int32(i), kc).sums[0] += col[i]
+		}
+	case kernMultiCount:
+		for i := lo; i < hi; i++ {
+			pt.multiCell(int32(i), kc).count++
+		}
+	case kernMultiAvg:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			cell := pt.multiCell(int32(i), kc)
+			cell.count++
+			cell.sums[0] += col[i]
+		}
+	case kernMultiMin:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			cell := pt.multiCell(int32(i), kc)
+			if mv := col[i]; mv < cell.mins[0] {
+				cell.mins[0] = mv
+			}
+		}
+	case kernMultiMax:
+		col := d.col
+		for i := lo; i < hi; i++ {
+			cell := pt.multiCell(int32(i), kc)
+			if mv := col[i]; mv > cell.maxs[0] {
+				cell.maxs[0] = mv
+			}
+		}
+	}
+}
+
+// accumMask folds every set bit of m in [lo, hi) through the plan's
+// kernel — the prefiltered stage 3, iterating mask words directly
+// instead of taking a callback per fact. Bounds clamp to the mask's
+// capacity exactly as ForEachRange does. Callers must only invoke it
+// when p.kern != kernGeneric.
+func (pt *partial) accumMask(m *bitset.Set, lo, hi int, kc [][]int32) {
+	if hi > m.Len() {
+		hi = m.Len()
+	}
+	if lo >= hi {
+		return
+	}
+	d := pt.p.kernDrive(kc)
+	words := m.Words()
+	loW, hiW := lo>>6, (hi-1)>>6
+	for wi := loW; wi <= hiW; wi++ {
+		w := words[wi]
+		if wi == loW {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == hiW {
+			if rem := uint(hi) & 63; rem != 0 {
+				w &= uint64(1)<<rem - 1
+			}
+		}
+		if w != 0 {
+			pt.accumWord(w, int32(wi)<<6, &d)
+		}
+	}
+}
+
+// accumWord folds the set bits of one mask word (facts [base, base+64))
+// through the kernel. The kind switch runs once per word, not per fact.
+func (pt *partial) accumWord(w uint64, base int32, d *kernDrive) {
+	switch pt.p.kern {
+	case kernSingleSum:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			pt.cellFor(d.key(i)).sums[0] += d.col[i]
+		}
+	case kernSingleCount:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			pt.cellFor(d.key(i)).count++
+		}
+	case kernSingleAvg:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cell := pt.cellFor(d.key(i))
+			cell.count++
+			cell.sums[0] += d.col[i]
+		}
+	case kernSingleMin:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cell := pt.cellFor(d.key(i))
+			if mv := d.col[i]; mv < cell.mins[0] {
+				cell.mins[0] = mv
+			}
+		}
+	case kernSingleMax:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cell := pt.cellFor(d.key(i))
+			if mv := d.col[i]; mv > cell.maxs[0] {
+				cell.maxs[0] = mv
+			}
+		}
+	case kernMultiSum:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			pt.multiCell(i, d.kc).sums[0] += d.col[i]
+		}
+	case kernMultiCount:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			pt.multiCell(i, d.kc).count++
+		}
+	case kernMultiAvg:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cell := pt.multiCell(i, d.kc)
+			cell.count++
+			cell.sums[0] += d.col[i]
+		}
+	case kernMultiMin:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cell := pt.multiCell(i, d.kc)
+			if mv := d.col[i]; mv < cell.mins[0] {
+				cell.mins[0] = mv
+			}
+		}
+	case kernMultiMax:
+		for w != 0 {
+			i := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			cell := pt.multiCell(i, d.kc)
+			if mv := d.col[i]; mv > cell.maxs[0] {
+				cell.maxs[0] = mv
+			}
+		}
+	}
+}
+
+// accumOne folds a single already-matched fact through the plan's kernel
+// — stage 3 of the fused filter path. Callers must only invoke it when
+// p.kern != kernGeneric.
+func (pt *partial) accumOne(i int32, kc [][]int32) {
+	p := pt.p
+	var cell *accum
+	if pt.dense != nil {
+		var a int32
+		if kc != nil && kc[0] != nil {
+			a = kc[0][i]
+		} else {
+			a = p.groups[0].decode(i)
+		}
+		cell = pt.cellFor(a)
+	} else {
+		cell = pt.multiCell(i, kc)
+	}
+	switch p.kern {
+	case kernSingleSum, kernMultiSum:
+		cell.sums[0] += p.measureCols[0][i]
+	case kernSingleCount, kernMultiCount:
+		cell.count++
+	case kernSingleAvg, kernMultiAvg:
+		cell.count++
+		cell.sums[0] += p.measureCols[0][i]
+	case kernSingleMin, kernMultiMin:
+		if mv := p.measureCols[0][i]; mv < cell.mins[0] {
+			cell.mins[0] = mv
+		}
+	case kernSingleMax, kernMultiMax:
+		if mv := p.measureCols[0][i]; mv > cell.maxs[0] {
+			cell.maxs[0] = mv
+		}
+	}
+}

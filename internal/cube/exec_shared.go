@@ -136,6 +136,10 @@ func (pt *partial) scanRangeStaged(lo, hi int, qs *queryScan) {
 			return
 		}
 		pt.matched += qs.iter.CountRange(lo, hi)
+		if pt.p.kern != kernGeneric {
+			pt.accumMask(qs.iter, lo, hi, qs.keyCols)
+			return
+		}
 		qs.iter.ForEachRange(lo, hi, func(i int) bool {
 			pt.accumulateFact(int32(i), qs.keyCols)
 			return true
@@ -215,6 +219,21 @@ func (sf *setFill) refine(lo, hi int) {
 			}
 			return true
 		})
+		return
+	}
+	if fs0 := sf.residual[0]; fs0.codes != nil && fs0.pk.n >= hi {
+		// No base: the mask is zero over [lo, hi), so the first residual
+		// predicate can fill it with the packed word-at-a-time kernel and
+		// the remaining predicates narrow the (already sparse) result.
+		fs0.pk.fillMask(fs0.codes, lo, hi, sf.m)
+		for _, fs := range sf.residual[1:] {
+			sf.m.ForEachRange(lo, hi, func(i int) bool {
+				if !fs.match(int32(i)) {
+					sf.m.Clear(i)
+				}
+				return true
+			})
+		}
 		return
 	}
 	for i := lo; i < hi; i++ {
@@ -505,6 +524,11 @@ func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
 		}
 	}
 	if len(fillPreds) > 0 {
+		for pk := range fillPreds {
+			if fs := predOwner[pk]; fs.codes != nil && fs.pk.n >= n {
+				stats.PackedPredicateKernels++
+			}
+		}
 		parallelFill(n, workers, func(lo, hi int) {
 			for pk, m := range fillPreds {
 				predOwner[pk].materializePredicateMask(lo, hi, m)

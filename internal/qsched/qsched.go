@@ -230,6 +230,8 @@ type Scheduler struct {
 	stGroupDistinct  atomic.Int64
 	stPartialsReused atomic.Int64
 	stPartialsAlloc  atomic.Int64
+	stPackedKernels  atomic.Int64
+	stPackedPreds    atomic.Int64
 }
 
 // New builds a scheduler over an executor — the cube itself, or a sharded
@@ -802,6 +804,8 @@ func (s *Scheduler) runBatch(batch []*request) {
 		s.stGroupDistinct.Add(int64(sharing.DistinctGroupings))
 		s.stPartialsReused.Add(int64(sharing.PartialsReused))
 		s.stPartialsAlloc.Add(int64(sharing.PartialsAllocated))
+		s.stPackedKernels.Add(int64(sharing.PackedKernelScans))
+		s.stPackedPreds.Add(int64(sharing.PackedPredicateKernels))
 	}
 	for i, r := range batch {
 		out := outcome{err: err}
@@ -952,6 +956,16 @@ type Stats struct {
 	// doorkeeper turned away (= ArtifactCache.Doorkept, surfaced top-level
 	// beside the result cache's CacheDoorkept).
 	ArtifactDoorkept int64 `json:"artifactDoorkept"`
+	// PackedKernelScans counts plan scans that dispatched a monomorphic
+	// stage-3 aggregation kernel; PackedPredicateKernels counts stage-1
+	// predicate bitmaps filled word-at-a-time from the packed columns
+	// (both 0 when packed execution is off — see cube.SharingStats).
+	PackedKernelScans      int64 `json:"packedKernelScans"`
+	PackedPredicateKernels int64 `json:"packedPredicateKernels"`
+	// Packed reports the compressed-column storage footprint (bit widths
+	// per column, packed vs unpacked bytes; filled by the engine —
+	// aggregated across shards on a sharded engine).
+	Packed cube.PackedStats `json:"packed"`
 	// CoalesceRatio is queries answered per fact scan, (Executed + Shared)
 	// / FactScans: > 1 means the scheduler is saving scans. CacheHitRate
 	// is hits / lookups. FilterMaskSharing, PredicateSharing and
@@ -970,27 +984,29 @@ type Stats struct {
 func (s *Scheduler) Stats() Stats {
 	now := time.Now()
 	st := Stats{
-		SnapshotAt:        now.UTC().Format(time.RFC3339Nano),
-		UptimeSeconds:     now.Sub(s.startedAt).Seconds(),
-		Submitted:         s.stSubmitted.Load(),
-		Shared:            s.stShared.Load(),
-		Executed:          s.stExecuted.Load(),
-		Batches:           s.stBatches.Load(),
-		FactScans:         s.stScans.Load(),
-		MaxQueueDepth:     s.stMaxQueue.Load(),
-		CacheDoorkept:     s.stDoorkept.Load(),
-		NegCacheHits:      s.stNegHits.Load(),
-		TimedOut:          s.stTimedOut.Load(),
-		ArtifactCache:     s.opts.Artifacts.Stats(),
-		FilterSets:        s.stFilterSets.Load(),
-		FilterMasks:       s.stFilterDistinct.Load(),
-		FilterPredicates:  s.stPredSets.Load(),
-		PredicateMasks:    s.stPredDistinct.Load(),
-		ComposedMasks:     s.stComposed.Load(),
-		GroupKeySets:      s.stGroupSets.Load(),
-		GroupKeyCols:      s.stGroupDistinct.Load(),
-		PartialsReused:    s.stPartialsReused.Load(),
-		PartialsAllocated: s.stPartialsAlloc.Load(),
+		SnapshotAt:             now.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds:          now.Sub(s.startedAt).Seconds(),
+		Submitted:              s.stSubmitted.Load(),
+		Shared:                 s.stShared.Load(),
+		Executed:               s.stExecuted.Load(),
+		Batches:                s.stBatches.Load(),
+		FactScans:              s.stScans.Load(),
+		MaxQueueDepth:          s.stMaxQueue.Load(),
+		CacheDoorkept:          s.stDoorkept.Load(),
+		NegCacheHits:           s.stNegHits.Load(),
+		TimedOut:               s.stTimedOut.Load(),
+		ArtifactCache:          s.opts.Artifacts.Stats(),
+		FilterSets:             s.stFilterSets.Load(),
+		FilterMasks:            s.stFilterDistinct.Load(),
+		FilterPredicates:       s.stPredSets.Load(),
+		PredicateMasks:         s.stPredDistinct.Load(),
+		ComposedMasks:          s.stComposed.Load(),
+		GroupKeySets:           s.stGroupSets.Load(),
+		GroupKeyCols:           s.stGroupDistinct.Load(),
+		PartialsReused:         s.stPartialsReused.Load(),
+		PartialsAllocated:      s.stPartialsAlloc.Load(),
+		PackedKernelScans:      s.stPackedKernels.Load(),
+		PackedPredicateKernels: s.stPackedPreds.Load(),
 	}
 	st.ArtifactDoorkept = st.ArtifactCache.Doorkept
 	if s.negCache != nil {

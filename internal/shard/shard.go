@@ -242,6 +242,9 @@ type Stats struct {
 	ShardScans int64 `json:"shardScans"`
 	// ArtifactCache aggregates the per-shard cross-batch caches.
 	ArtifactCache cube.ArtifactCacheStats `json:"artifactCache"`
+	// Packed aggregates the per-shard compressed-column storage stats
+	// (bytes sum across shards; per-column bit widths max-merge).
+	Packed cube.PackedStats `json:"packed"`
 }
 
 // Stats snapshots the table's counters.
@@ -251,11 +254,24 @@ func (t *Table) Stats() Stats {
 		FactCounts: t.FactCounts(),
 		Batches:    t.stBatches.Load(),
 		ShardScans: t.stShardScans.Load(),
+		Packed:     t.PackedStats(),
 	}
 	for _, sh := range t.shards {
 		st.ArtifactCache.Add(sh.cache.Stats())
 	}
 	return st
+}
+
+// PackedStats aggregates the shards' compressed-column storage stats,
+// taking each shard's read lock so ingest cannot grow columns mid-sum.
+func (t *Table) PackedStats() cube.PackedStats {
+	var ps cube.PackedStats
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		ps.Add(sh.c.PackedStats())
+		sh.mu.RUnlock()
+	}
+	return ps
 }
 
 // MaterializeView builds a view's combined visibility masks over the

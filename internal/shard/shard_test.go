@@ -192,12 +192,21 @@ func TestShardedEquivalenceRandomized(t *testing.T) {
 				for i := range qs {
 					qs[i] = randomQuery(rng)
 					vs[i] = randomView(rng, ds.Cube, cfg)
+				}
+				// The oracle is the serial unpacked scalar path; the
+				// scatter-gather sweep below then runs with the packed
+				// kernels both on and off (the parent's setting fans out
+				// to the shard cubes).
+				prevPacked := ds.Cube.PackedColumns()
+				ds.Cube.SetPackedColumns(false)
+				for i := range qs {
 					var err error
 					serial[i], err = ds.Cube.Execute(qs[i], vs[i])
 					if err != nil {
 						t.Fatalf("%s case %d: serial: %v", phase, i, err)
 					}
 				}
+				ds.Cube.SetPackedColumns(prevPacked)
 				// Sharing modes: fused, whole-set artifacts, and
 				// per-predicate bitmaps with AND-composition (the default)
 				// — per-shard composition must stay byte-identical too.
@@ -209,23 +218,27 @@ func TestShardedEquivalenceRandomized(t *testing.T) {
 					{"per-set", cube.BatchOptions{DisablePredicateSharing: true}},
 					{"per-predicate", cube.BatchOptions{}},
 				}
-				for _, w := range []int{1, 3} {
-					for _, mode := range modes {
-						opts := mode.opts
-						opts.Workers = w
-						batch, stats, err := table.ExecuteBatchOpt(qs, vs, opts)
-						if err != nil {
-							t.Fatalf("%s workers %d mode %s: %v", phase, w, mode.name, err)
-						}
-						if stats.Queries != cases {
-							t.Errorf("%s: stats.Queries = %d, want %d", phase, stats.Queries, cases)
-						}
-						for i := range qs {
-							diffResults(t, fmt.Sprintf("%s case %d shards %d workers %d mode %s",
-								phase, i, shards, w, mode.name), batch[i], serial[i])
+				for _, packed := range []bool{true, false} {
+					ds.Cube.SetPackedColumns(packed)
+					for _, w := range []int{1, 3} {
+						for _, mode := range modes {
+							opts := mode.opts
+							opts.Workers = w
+							batch, stats, err := table.ExecuteBatchOpt(qs, vs, opts)
+							if err != nil {
+								t.Fatalf("%s workers %d mode %s packed=%v: %v", phase, w, mode.name, packed, err)
+							}
+							if stats.Queries != cases {
+								t.Errorf("%s: stats.Queries = %d, want %d", phase, stats.Queries, cases)
+							}
+							for i := range qs {
+								diffResults(t, fmt.Sprintf("%s case %d shards %d workers %d mode %s packed=%v",
+									phase, i, shards, w, mode.name, packed), batch[i], serial[i])
+							}
 						}
 					}
 				}
+				ds.Cube.SetPackedColumns(prevPacked)
 				// Single-query scatter-gather path.
 				for i := 0; i < 4; i++ {
 					got, err := table.ExecuteParallel(qs[i], vs[i], 2)

@@ -716,6 +716,12 @@ func TestStatsEndpoint(t *testing.T) {
 		GroupKeySets    int64   `json:"groupKeySets"`
 		GroupKeyCols    int64   `json:"groupKeyCols"`
 		GroupKeySharing float64 `json:"groupKeySharing"`
+		Packed          struct {
+			Columns       int            `json:"columns"`
+			PackedBytes   int64          `json:"packedBytes"`
+			UnpackedBytes int64          `json:"unpackedBytes"`
+			BitsPerColumn map[string]int `json:"bitsPerColumn"`
+		} `json:"packed"`
 	}
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatalf("stats JSON: %v (%s)", err, body)
@@ -740,6 +746,21 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if st.QueueDepth != 0 {
 		t.Errorf("queueDepth = %d, want 0 at rest", st.QueueDepth)
+	}
+	// Compressed-column storage stats (maintained regardless of the
+	// execution toggle): the Sales fact packs its four dim-key columns at
+	// a fraction of the int32 footprint.
+	if st.Packed.Columns != 4 {
+		t.Errorf("packed.columns = %d, want 4", st.Packed.Columns)
+	}
+	if st.Packed.PackedBytes <= 0 || st.Packed.PackedBytes >= st.Packed.UnpackedBytes {
+		t.Errorf("packed.packedBytes = %d, want in (0, %d)",
+			st.Packed.PackedBytes, st.Packed.UnpackedBytes)
+	}
+	for _, col := range []string{"Sales/Store", "Sales/Customer", "Sales/Product", "Sales/Time"} {
+		if w := st.Packed.BitsPerColumn[col]; w < 1 || w > 32 {
+			t.Errorf("packed.bitsPerColumn[%s] = %d, want 1..32", col, w)
+		}
 	}
 
 	resp, _ = postJSON(t, srv.URL+"/api/stats", map[string]any{})

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # bench.sh — the benchmark-regression pipeline: run the core executor
-# benchmarks and emit BENCH_7.json (ns/op, allocs/op, sharing-ratio and
+# benchmarks and emit BENCH_8.json (ns/op, allocs/op, sharing-ratio and
 # pool-hit metrics) through cmd/benchjson. The manifest makes a renamed or
 # deleted benchmark fail the pipeline instead of silently dropping its
 # perf trajectory, and the baseline comparison fails the pipeline when a
-# benchmark's allocs/op regresses past the tolerance — or when the
-# tracing-off mode of BenchmarkTraceOverhead regresses ns/op (the
-# telemetry subsystem's "off costs nothing" proof).
+# benchmark's allocs/op regresses past the tolerance — or when an
+# ns/op-gated benchmark regresses wall time: the tracing-off mode of
+# BenchmarkTraceOverhead (the telemetry subsystem's "off costs nothing"
+# proof) and the packed mode of BenchmarkPackedScan (the compressed
+# column layer must stay fast, not just correct).
 #
 # Env knobs:
 #   BENCHTIME  go test -benchtime value   (default 1s: duration-based, so
@@ -14,7 +16,7 @@
 #              iterations:2 artifacts of BENCH_5 hid a 1.6MB/op mirage;
 #              use 1x only for a smoke pass)
 #   COUNT      go test -count value       (default 1)
-#   OUT        output artifact path       (default BENCH_7.json)
+#   OUT        output artifact path       (default BENCH_8.json)
 #   BASELINE   previous artifact to gate allocs/op against (default: the
 #              highest-numbered BENCH_<n>.json other than OUT; set to ""
 #              to skip the gate)
@@ -23,14 +25,23 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_7.json}"
+OUT="${OUT:-BENCH_8.json}"
 
+# Pick the baseline by the highest <n> compared numerically. (The old
+# `sort -t_ -k2 -n` keyed on "<n>.json" strings, which happens to work
+# for GNU sort but is locale- and suffix-fragile; extracting the bare
+# number is unambiguous — BENCH_10 must outrank BENCH_9.)
 if [[ -z "${BASELINE+x}" ]]; then
   BASELINE=""
-  for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r); do
-    if [[ "$f" != "$OUT" ]]; then
+  best=-1
+  for f in BENCH_*.json; do
+    [[ -e "$f" && "$f" != "$OUT" ]] || continue
+    n="${f#BENCH_}"
+    n="${n%.json}"
+    [[ "$n" =~ ^[0-9]+$ ]] || continue
+    if ((n > best)); then
+      best=$n
       BASELINE="$f"
-      break
     fi
   done
 fi
@@ -38,14 +49,14 @@ fi
 # The manifest: the benchmarks whose trajectory the repo records. The
 # -bench regexp is derived from it, so one edit adds a benchmark to both
 # the run and the existence gate.
-MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing,BenchmarkTraceOverhead"
+MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing,BenchmarkTraceOverhead,BenchmarkPackedScan,BenchmarkPackedPredicateKernel"
 
 go test -run '^$' \
   -bench "^(${MANIFEST//,/|})\$" \
   -benchtime "$BENCHTIME" -count "$COUNT" . \
-  | go run ./cmd/benchjson -issue 7 -out "$OUT" -manifest "$MANIFEST" \
+  | go run ./cmd/benchjson -issue 8 -out "$OUT" -manifest "$MANIFEST" \
       -benchtime "$BENCHTIME" -count "$COUNT" \
-      -nsop-gate '^BenchmarkTraceOverhead/off' \
+      -nsop-gate '^(BenchmarkTraceOverhead/off|BenchmarkPackedScan/packed=true)' \
       ${BASELINE:+-baseline "$BASELINE"}
 
 echo "bench.sh: wrote $OUT${BASELINE:+ (allocs/op gated against $BASELINE)}"

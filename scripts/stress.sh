@@ -16,8 +16,13 @@ go test -race -count=3 ./internal/qsched/
 # artifacts (predicate bitmaps, composed set masks) while views mutate
 # underneath; the pooled-partial pattern additionally recycles partial
 # tables through the per-fact-table pool while AddFact ingest and
-# SpatialSelect churn run against the morsel-stealing scans.
-go test -race -count=3 -run 'SharedSubexpr|PerFilter|PooledPartial' ./internal/core/ ./internal/cube/
+# SpatialSelect churn run against the morsel-stealing scans. The Packed
+# pattern adds the compressed-column kernels: packed views held across
+# ingest-driven width repacks, word-at-a-time predicate fills racing the
+# appenders, and the packed-vs-unpacked equivalence sweeps. CI also runs
+# this whole script in an SDWP_PACKED_COLUMNS=0 cell, which flips every
+# one of these scans onto the unpacked scalar path.
+go test -race -count=3 -run 'SharedSubexpr|PerFilter|PooledPartial|Packed' ./internal/core/ ./internal/cube/
 
 # The sharded executor interleaves scatter-gather scans with routed
 # ingest and view selections across per-shard locks.

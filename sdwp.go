@@ -201,6 +201,13 @@ type (
 	// SharedSubexprMode toggles cross-query subexpression sharing inside
 	// batch scans (EngineOptions.SharedSubexpr).
 	SharedSubexprMode = core.SharedSubexprMode
+	// PackedColumnsMode toggles compressed-column execution — packed
+	// predicate/aggregation kernels vs the unpacked scalar path
+	// (EngineOptions.PackedColumns).
+	PackedColumnsMode = core.PackedColumnsMode
+	// PackedStats reports the compressed-column storage footprint
+	// (SchedulerStats.Packed, Cube.PackedStats).
+	PackedStats = cube.PackedStats
 )
 
 // Shared-subexpression modes for EngineOptions.SharedSubexpr: sharing is
@@ -208,6 +215,14 @@ type (
 const (
 	SharedSubexprOn  = core.SharedSubexprOn
 	SharedSubexprOff = core.SharedSubexprOff
+)
+
+// Packed-column modes for EngineOptions.PackedColumns: packed execution
+// is on by default, PackedColumnsOff forces the unpacked scalar path.
+// Results are identical either way.
+const (
+	PackedColumnsOn  = core.PackedColumnsOn
+	PackedColumnsOff = core.PackedColumnsOff
 )
 
 // ParseRules parses PRML source into rules (without registering them).
