@@ -17,6 +17,7 @@ import (
 	"sdwp/internal/geom"
 	"sdwp/internal/obs"
 	"sdwp/internal/prml"
+	"sdwp/internal/qsched"
 )
 
 // benchEnv lazily builds one standard scenario per fact count and caches it
@@ -790,6 +791,40 @@ func BenchmarkTraceOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 				tr.Finish(nil)
+			}
+		})
+	}
+}
+
+// BenchmarkCostAccountingOverhead measures what per-tenant cost
+// accounting adds to a scan-bound query: the same scheduler and query
+// with no accountant (off — no scan-stage timing, no attribution, the
+// pre-accounting fast path) versus a wired accountant (on — stage
+// timings snapshotted, CPU split across the batch, tenant account and
+// heavy-query profile updated per query). The on mode's ns/op is gated
+// against the previous artifact by scripts/bench.sh (-nsop-gate): the
+// subsystem's claim is that metering every query costs low single-digit
+// percent on a PackedScan-class scan, and wall time is the metric.
+// The result cache stays off so every iteration pays a real scan.
+func BenchmarkCostAccountingOverhead(b *testing.B) {
+	env := getBenchEnv(b, 20000)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var acct *obs.Accountant
+			if mode.on {
+				acct = obs.NewAccountant(obs.AccountantOptions{})
+			}
+			s := qsched.New(env.ds.Cube, qsched.Options{Costs: acct})
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Submit(familyQuery, nil, "alice"); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

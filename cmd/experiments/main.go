@@ -4,11 +4,12 @@
 //	F1..F6 — the paper's six figures (process, models, profile, metamodel)
 //	X1..X3 — the paper's three worked examples (Section 5)
 //	C1..C5 — quantitative support for the paper's claims
-//	C6..C11 — ablations and scale-out: rule-plan optimizer, parallel/batch
+//	C6..C12 — ablations and scale-out: rule-plan optimizer, parallel/batch
 //	         executors, the query scheduler (coalescing + result cache),
-//	         cross-query subexpression sharing, sharded fact tables, and
+//	         cross-query subexpression sharing, sharded fact tables,
 //	         per-filter bitmap algebra (predicate bitmaps AND-composed
-//	         into filter-set masks)
+//	         into filter-set masks), and per-tenant query-cost accounting
+//	         under a mixed-tenant workload
 //
 // The output of this command is what EXPERIMENTS.md records. Pass -full for
 // the larger sweeps (C1 to 1M facts, C4 to 1M points).
@@ -67,6 +68,8 @@ func main() {
 	runC10()
 	header("C11 — per-filter bitmap algebra: predicate bitmaps AND-composed into set masks")
 	runC11()
+	header("C12 — per-tenant cost accounting: mixed-tenant traffic, fair splits, cache credits")
+	runC12()
 }
 
 func header(s string) {
@@ -832,6 +835,103 @@ func runC11() {
 		st := ac.Stats()
 		fmt.Printf("  %8d %14s %8d %10d %10d %10d\n", round, t.Round(time.Microsecond),
 			st.Hits, st.Doorkept, st.Entries, st.Bytes)
+	}
+}
+
+// runC12 drives a mixed-tenant workload through one engine and reads the
+// cost accounts back: a dashboard tenant whose repeated batch turns into
+// result-cache credits, an ad-hoc tenant paying full scans for one-off
+// fingerprints, and two tenants issuing the identical query concurrently
+// so the coalesced scan's cost splits fairly between them. The tables
+// printed here are the same data GET /api/tenants and
+// GET /api/queries/top serve.
+func runC12() {
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Stores = 1000
+	cfg.Sales = 100000
+	ds := must(sdwp.GenerateData(cfg))
+	users := must(sdwp.NewSalesUserStore(map[string]string{
+		"dash":   "RegionalSalesManager", // repeated dashboard: cache hits
+		"adhoc":  "Accountant",           // one-off fingerprints: full scans
+		"twin-a": "RegionalSalesManager", // identical concurrent queries:
+		"twin-b": "RegionalSalesManager", // one scan, cost split across both
+	}))
+	e := sdwp.NewEngine(ds.Cube, users, sdwp.EngineOptions{
+		CoalesceWindow:   2 * time.Millisecond,
+		ResultCacheBytes: 8 << 20,
+	})
+	defer e.Close()
+
+	mkQ := func(level, measure string, minPop float64) sdwp.Query {
+		return sdwp.Query{Fact: "Sales",
+			GroupBy:    []sdwp.LevelRef{{Dimension: "Store", Level: level}},
+			Aggregates: []sdwp.MeasureAgg{{Measure: measure, Agg: sdwp.SUM}},
+			Filters: []sdwp.AttrFilter{{LevelRef: sdwp.LevelRef{Dimension: "Store", Level: "City"},
+				Attr: "population", Op: sdwp.OpGt, Value: minPop}},
+		}
+	}
+	dashboard := []sdwp.Query{
+		mkQ("City", "UnitSales", 100000),
+		mkQ("State", "UnitSales", 100000),
+		mkQ("State", "StoreSales", 100000),
+	}
+	sessions := map[string]*sdwp.Session{}
+	for user := range map[string]string{"dash": "", "adhoc": "", "twin-a": "", "twin-b": ""} {
+		sessions[user] = must(e.StartSession(user, ds.CityLocs[0]))
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // the dashboard tenant repeats one batch: hits from round 2 on
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			must(sessions["dash"].QueryBatch(dashboard, nil))
+		}
+	}()
+	go func() { // the ad-hoc tenant never repeats a fingerprint
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			must(sessions["adhoc"].Query(mkQ("City", "UnitSales", float64(50000+r))))
+		}
+	}()
+	go func() { // the twins race the identical query into the coalesce window
+		defer wg.Done()
+		twin := sdwp.Query{Fact: "Sales", Aggregates: []sdwp.MeasureAgg{{Agg: sdwp.COUNT}}}
+		var tw sync.WaitGroup
+		for r := 0; r < rounds; r++ {
+			for _, u := range []string{"twin-a", "twin-b"} {
+				tw.Add(1)
+				go func(u string) {
+					defer tw.Done()
+					must(sessions[u].Query(twin))
+				}(u)
+			}
+			tw.Wait()
+		}
+	}()
+	wg.Wait()
+
+	acct := e.Accountant()
+	queries, total := acct.Totals()
+	fmt.Printf("  %d queries accounted, %d facts scanned, %.2fms CPU attributed\n",
+		queries, total.FactsScanned, float64(total.CPUNs)/1e6)
+	fmt.Printf("  %8s %8s %6s %6s %12s %10s %11s\n",
+		"tenant", "queries", "hits", "hit%", "facts", "cpu", "credit")
+	for _, ts := range acct.Tenants() {
+		fmt.Printf("  %8s %8d %6d %5.0f%% %12d %9.2fms %9.2fms\n",
+			ts.Tenant, ts.Queries, ts.CacheHits, 100*ts.CacheHitRate,
+			ts.Cost.FactsScanned, float64(ts.Cost.CPUNs)/1e6, float64(ts.Cost.CacheCreditNs)/1e6)
+	}
+	fmt.Printf("  heavy-query profiles (decay-weighted top 5 of %d fingerprints):\n", acct.Profiles().Len())
+	fmt.Printf("  %14s %6s %9s %9s %12s\n", "fingerprint", "count", "mean", "p99", "facts/query")
+	for _, p := range acct.TopQueries(5) {
+		fp := p.Fingerprint
+		if len(fp) > 14 {
+			fp = fp[:14]
+		}
+		fmt.Printf("  %14s %6d %7.2fms %7.2fms %12d\n",
+			fp, p.Count, p.MeanMs, p.P99Ms, p.MeanCost.FactsScanned)
 	}
 }
 

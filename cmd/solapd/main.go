@@ -13,6 +13,7 @@
 //	       [-shared-subexpr=true] [-per-filter-sharing=true] [-packed-columns=true]
 //	       [-fact-shards 0] [-query-timeout 0] [-artifact-cache-mb 0]
 //	       [-trace-sample-rate 0] [-slow-query 0] [-pprof-addr ""]
+//	       [-profile-registry-size 0] [-profile-decay 0] [-tenant-label-cap 0]
 package main
 
 import (
@@ -71,6 +72,12 @@ func main() {
 			"query-lifecycle tracing: probability a successful query's span tree is retained for GET /api/trace/{id} (errors and timeouts are always retained; 0 = tracing off)")
 		slowQuery = flag.Duration("slow-query", 0,
 			"log a structured warning for any query at or above this end-to-end latency, with trace ID and stage breakdown (0 = off)")
+		profileRegistrySize = flag.Int("profile-registry-size", 0,
+			"heavy-query profile registry capacity: top-K query fingerprints by decay-weighted cost served at GET /api/queries/top (0 = default 128)")
+		profileDecay = flag.Duration("profile-decay", 0,
+			"half-life of heavy-query profile scores: a fingerprint idle this long weighs half as much in the top-K ranking (0 = default 10m)")
+		tenantLabelCap = flag.Int("tenant-label-cap", 0,
+			"max distinct tenant label values on /metrics and in the cost accountant; overflow tenants collapse into \"other\" (0 = default 64)")
 		pprofAddr = flag.String("pprof-addr", "",
 			"serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	)
@@ -144,6 +151,9 @@ func main() {
 		ArtifactCacheBytes:      int64(*artifactCacheMB) << 20,
 		TraceSampleRate:         *traceSampleRate,
 		SlowQueryThreshold:      *slowQuery,
+		QueryCostProfiles:       *profileRegistrySize,
+		QueryCostDecay:          *profileDecay,
+		TenantLabelCap:          *tenantLabelCap,
 	})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 

@@ -153,6 +153,19 @@ type Options struct {
 	// whose end-to-end latency — admission wait included — meets or
 	// exceeds it, with its trace ID and stage breakdown (0 = off).
 	SlowQueryThreshold time.Duration
+	// QueryCostProfiles sizes the heavy-query profile registry: the top-K
+	// query fingerprints by decay-weighted cumulative cost, served by
+	// GET /api/queries/top (0 = the obs default, 128).
+	QueryCostProfiles int
+	// QueryCostDecay is the half-life of the profile registry's scores: a
+	// fingerprint idle this long counts half as heavy as a fresh one, so
+	// yesterday's hot dashboard ages out of the top-K (0 = the obs
+	// default, 10 minutes).
+	QueryCostDecay time.Duration
+	// TenantLabelCap bounds per-tenant metric label cardinality: past this
+	// many distinct tenants, new ones collapse into the "other" series on
+	// /metrics and in the accountant (0 = the obs default, 64).
+	TenantLabelCap int
 }
 
 // QueryWorkers returns the engine's configured query worker-pool size.
@@ -237,6 +250,10 @@ type Engine struct {
 	// tracer is non-nil only when Options.TraceSampleRate > 0; a nil
 	// tracer short-circuits every tracing hook to a pointer test.
 	tracer *obs.Tracer
+	// costs attributes per-query resource consumption to tenants and
+	// feeds the heavy-query profile registry; served by GET /api/tenants
+	// and GET /api/queries/top and re-emitted on /metrics. Always on.
+	costs *obs.Accountant
 
 	mu       sync.Mutex
 	rules    []*prml.Rule
@@ -283,7 +300,12 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 		}
 	}
 	e.registry = obs.NewRegistry()
-	e.metrics = obs.NewQueryMetrics(e.registry)
+	e.metrics = obs.NewQueryMetricsCap(e.registry, opts.TenantLabelCap)
+	e.costs = obs.NewAccountant(obs.AccountantOptions{
+		ProfileCapacity: opts.QueryCostProfiles,
+		DecayHalfLife:   opts.QueryCostDecay,
+		TenantCap:       opts.TenantLabelCap,
+	})
 	if opts.TraceSampleRate > 0 {
 		e.tracer = obs.NewTracer(obs.TracerOptions{SampleRate: opts.TraceSampleRate})
 	}
@@ -300,8 +322,11 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 		Artifacts:               e.artifacts,
 		Metrics:                 e.metrics,
 		SlowQuery:               opts.SlowQueryThreshold,
+		Costs:                   e.costs,
 	})
 	e.registry.RegisterCollector(e.collectSchedulerSamples)
+	e.registry.RegisterCollector(e.collectCostSamples)
+	obs.RegisterRuntimeMetrics(e.registry)
 	return e
 }
 
@@ -340,6 +365,38 @@ func (e *Engine) collectSchedulerSamples(emit func(obs.Sample)) {
 	gauge("sdwp_packed_bytes", "Bytes held by the bit-packed fact columns.", float64(st.Packed.PackedBytes))
 	gauge("sdwp_packed_unpacked_bytes", "Bytes the same columns occupy unpacked (int32 per fact).", float64(st.Packed.UnpackedBytes))
 }
+
+// collectCostSamples re-emits the tenant cost accounts and profile
+// registry counters on every /metrics scrape. Tenant series are bounded
+// by Options.TenantLabelCap — the accountant already collapsed overflow
+// tenants into "other" — so scrape size cannot grow with tenant churn.
+func (e *Engine) collectCostSamples(emit func(obs.Sample)) {
+	counter := func(name, help, tenant string, v float64) {
+		s := obs.Sample{Name: name, Help: help, Type: "counter", Value: v}
+		if tenant != "" {
+			s.Labels = map[string]string{"tenant": tenant}
+		}
+		emit(s)
+	}
+	for _, ts := range e.costs.Tenants() {
+		counter("sdwp_tenant_queries_total", "Queries attributed to the tenant.", ts.Tenant, float64(ts.Queries))
+		counter("sdwp_tenant_cache_hits_total", "Result-cache hits attributed to the tenant.", ts.Tenant, float64(ts.CacheHits))
+		counter("sdwp_tenant_facts_scanned_total", "Fact rows scanned on behalf of the tenant.", ts.Tenant, float64(ts.Cost.FactsScanned))
+		counter("sdwp_tenant_cpu_seconds_total", "Scan CPU attributed to the tenant.", ts.Tenant, float64(ts.Cost.CPUNs)/1e9)
+		counter("sdwp_tenant_artifact_bytes_total", "Filter-bitmap and key-column bytes charged to the tenant.", ts.Tenant, float64(ts.Cost.BitmapBytes+ts.Cost.KeyColBytes))
+		counter("sdwp_tenant_cache_credit_seconds_total", "CPU the tenant avoided through result-cache hits.", ts.Tenant, float64(ts.Cost.CacheCreditNs)/1e9)
+	}
+	profiles := e.costs.Profiles()
+	records, evictions := profiles.Counters()
+	emit(obs.Sample{Name: "sdwp_query_profile_count", Help: "Query fingerprints tracked by the heavy-query registry.",
+		Type: "gauge", Value: float64(profiles.Len())})
+	counter("sdwp_query_profile_records_total", "Query completions folded into the heavy-query registry.", "", float64(records))
+	counter("sdwp_query_profile_evictions_total", "Cold fingerprints evicted from the heavy-query registry.", "", float64(evictions))
+}
+
+// Accountant returns the engine's per-tenant cost accountant — what
+// GET /api/tenants and GET /api/queries/top serve.
+func (e *Engine) Accountant() *obs.Accountant { return e.costs }
 
 // MetricsRegistry returns the engine's telemetry registry — what
 // GET /metrics renders in Prometheus text format.

@@ -14,7 +14,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -171,7 +170,7 @@ func TestPackedRepackUnderIngestRespectsScanBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(res[i], want) {
+		if !sameAnswer(res[i], want) {
 			t.Fatalf("quiescent batch entry %d differs from the unpacked serial oracle", i)
 		}
 	}
@@ -298,7 +297,7 @@ func TestPooledPartialBatchUnderIngestAndSpatialSelect(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reflect.DeepEqual(res[i], want) {
+				if !sameAnswer(res[i], want) {
 					t.Fatalf("quiescent batch entry %d differs from serial execution", i)
 				}
 			}

@@ -1,0 +1,35 @@
+package core
+
+// Cost-insensitive Result comparison shared by the engine's equivalence
+// tests: the Cost vector is attribution — it depends on the scheduling,
+// sharing, and sharding mode a query happened to execute under (batch CPU
+// shares, artifact splits, cache credits) — while the equivalence laws
+// these tests pin cover the logical answer: rows, row order, columns, and
+// the scan counters.
+
+import (
+	"reflect"
+
+	"sdwp/internal/cube"
+	"sdwp/internal/obs"
+)
+
+// sameAnswer reports whether two Results agree on everything but Cost.
+func sameAnswer(got, want *cube.Result) bool {
+	g, w := *got, *want
+	g.Cost, w.Cost = obs.QueryCost{}, obs.QueryCost{}
+	return reflect.DeepEqual(&g, &w)
+}
+
+// sameAnswers is sameAnswer over aligned result slices.
+func sameAnswers(got, want []*cube.Result) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if !sameAnswer(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}

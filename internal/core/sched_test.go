@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -57,7 +56,7 @@ func TestSchedulerRoutedQueryEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("round %d query %d direct: %v", round, i, err)
 			}
-			if !reflect.DeepEqual(r1, r2) {
+			if !sameAnswer(r1, r2) {
 				t.Errorf("round %d query %d: scheduler result differs from direct", round, i)
 			}
 			b1, err := s1.QueryBaseline(q)
@@ -68,7 +67,7 @@ func TestSchedulerRoutedQueryEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(b1, b2) {
+			if !sameAnswer(b1, b2) {
 				t.Errorf("round %d query %d: baseline differs", round, i)
 			}
 		}
@@ -268,7 +267,7 @@ func TestSharedSubexprBatchUnderSpatialSelect(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reflect.DeepEqual(res[i], want) {
+				if !sameAnswer(res[i], want) {
 					t.Fatalf("quiescent batch entry %d differs from serial execution", i)
 				}
 			}
@@ -401,7 +400,7 @@ func TestNoStaleCachedResultsUnderSpatialSelect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(got, want) {
+		if !sameAnswer(got, want) {
 			t.Fatalf("quiescent query %d differs from direct execution", i)
 		}
 	}

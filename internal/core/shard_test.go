@@ -10,7 +10,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -86,7 +85,7 @@ func TestShardedEngineEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("query %d plain: %v", i, err)
 				}
-				if !reflect.DeepEqual(r1, r2) {
+				if !sameAnswer(r1, r2) {
 					t.Errorf("query %d: sharded result differs from unsharded", i)
 				}
 				b1, err := s1.QueryBaseline(q)
@@ -97,7 +96,7 @@ func TestShardedEngineEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reflect.DeepEqual(b1, b2) {
+				if !sameAnswer(b1, b2) {
 					t.Errorf("query %d: sharded baseline differs", i)
 				}
 			}
@@ -111,7 +110,7 @@ func TestShardedEngineEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(batch1, batch2) {
+			if !sameAnswers(batch1, batch2) {
 				t.Error("sharded QueryBatch differs from unsharded")
 			}
 			raw1, err := sharded.ExecuteBatch(shardedTestQueries, []*Session{s1, nil, s1, nil})
@@ -122,7 +121,7 @@ func TestShardedEngineEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(raw1, raw2) {
+			if !sameAnswers(raw1, raw2) {
 				t.Error("sharded Engine.ExecuteBatch differs from unsharded")
 			}
 
@@ -150,7 +149,7 @@ func TestShardedEngineEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reflect.DeepEqual(b1, want) {
+				if !sameAnswer(b1, want) {
 					t.Errorf("post-ingest query %d: sharded differs from serial oracle", i)
 				}
 			}
@@ -321,7 +320,7 @@ func TestUnshardedAddFactUnderQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, want) {
+	if !sameAnswer(got, want) {
 		t.Error("post-ingest result differs from serial oracle")
 	}
 }

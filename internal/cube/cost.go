@@ -1,0 +1,49 @@
+package cube
+
+import (
+	"sdwp/internal/bitset"
+	"sdwp/internal/obs"
+)
+
+// Cost attribution for shared-scan artifacts: every filter bitmap and
+// roll-up key column a staged scan freshly materializes is charged to
+// the queries that drive work off it, split evenly with the remainder
+// bytes going to the earliest users — so the per-query shares sum
+// exactly to the artifact's size, and summing Result.Cost across a
+// batch reproduces SharingStats.BitmapBytesBuilt/KeyColBytesBuilt (the
+// conservation law the cost tests pin). Cache hits charge nothing: the
+// bytes were paid by the batch that built them.
+
+// maskBytes is the byte footprint of one filter bitmap.
+func maskBytes(m *bitset.Set) int64 {
+	return int64((m.Len() + 7) / 8)
+}
+
+// keyColBytes is the byte footprint of one roll-up key column.
+func keyColBytes(col []int32) int64 {
+	return 4 * int64(len(col))
+}
+
+// chargeArtifact splits one artifact's byte cost across its using
+// queries (users holds indices into costs, one entry per use). Each
+// user is also credited the sharing discount — the full build cost it
+// avoided by not materializing the artifact alone.
+func chargeArtifact(costs []obs.QueryCost, users []int, total int64, bitmap bool) {
+	if len(costs) == 0 || len(users) == 0 || total <= 0 {
+		return
+	}
+	q, r := total/int64(len(users)), total%int64(len(users))
+	for i, k := range users {
+		share := q
+		if int64(i) < r {
+			share++
+		}
+		c := &costs[k]
+		if bitmap {
+			c.BitmapBytes += share
+		} else {
+			c.KeyColBytes += share
+		}
+		c.SharedSavedBytes += total - share
+	}
+}

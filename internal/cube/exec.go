@@ -458,6 +458,10 @@ type partial struct {
 	denseNone *accum // the NoParent group of the dense path
 	scanned   int
 	matched   int
+	// cost carries this partial's share of batch artifact bytes (set by
+	// the staged scan's attribution pass); merge sums it so the gathered
+	// per-shard partials conserve the batch totals.
+	cost obs.QueryCost
 
 	keyBuf        []byte
 	memberScratch []int32
@@ -483,6 +487,7 @@ func newPartial(p *queryPlan) *partial {
 func (pt *partial) rebind(p *queryPlan) {
 	pt.p = p
 	pt.scanned, pt.matched = 0, 0
+	pt.cost = obs.QueryCost{}
 	pt.denseNone = nil
 	pt.dense = nil
 	// Clear the whole backing buffer, not just the new plan's prefix:
@@ -680,6 +685,7 @@ func (pt *partial) scanRange(lo, hi int, mask *bitset.Set) {
 func (pt *partial) merge(src *partial) {
 	pt.scanned += src.scanned
 	pt.matched += src.matched
+	pt.cost.Add(src.cost)
 	if pt.dense != nil {
 		for idx, cell := range src.dense {
 			if cell == nil {
@@ -736,6 +742,14 @@ func (p *queryPlan) finalize(pt *partial) *Result {
 			cells[string(appendInt32(nil, NoParent))] = pt.denseNone
 		}
 	}
+
+	// The cost vector: artifact-byte shares accumulated on the partial
+	// by the staged scan, plus the scan counters and the distinct group
+	// cells materialized (pre-Limit).
+	res.Cost = pt.cost
+	res.Cost.FactsScanned += int64(pt.scanned)
+	res.Cost.FactsMatched += int64(pt.matched)
+	res.Cost.CellsTouched += int64(len(cells))
 
 	// Materialize rows.
 	for _, cell := range cells {
@@ -1065,6 +1079,12 @@ type SharingStats struct {
 	// per-fact loop. Both 0 when packed execution is off.
 	PackedKernelScans      int `json:"packedKernelScans"`
 	PackedPredicateKernels int `json:"packedPredicateKernels"`
+	// BitmapBytesBuilt / KeyColBytesBuilt total the filter bitmaps and
+	// roll-up key columns this scan freshly materialized (cache hits
+	// excluded). The per-query Result.Cost byte shares sum exactly to
+	// these — the conservation law the cost tests pin.
+	BitmapBytesBuilt int64 `json:"bitmapBytesBuilt"`
+	KeyColBytesBuilt int64 `json:"keyColBytesBuilt"`
 }
 
 // Add folds another scan's stats in (the batch executor totals its
@@ -1084,6 +1104,8 @@ func (s *SharingStats) Add(o SharingStats) {
 	s.PartialsAllocated += o.PartialsAllocated
 	s.PackedKernelScans += o.PackedKernelScans
 	s.PackedPredicateKernels += o.PackedPredicateKernels
+	s.BitmapBytesBuilt += o.BitmapBytesBuilt
+	s.KeyColBytesBuilt += o.KeyColBytesBuilt
 }
 
 // ExecuteBatch answers a batch of queries — e.g. many users' personalized

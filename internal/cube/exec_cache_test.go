@@ -5,7 +5,6 @@ package cube_test
 // bound evicts, and results never change whichever way a lookup goes.
 
 import (
-	"reflect"
 	"testing"
 
 	"sdwp/internal/cube"
@@ -77,8 +76,8 @@ func TestArtifactCacheHitStaleAndEquivalence(t *testing.T) {
 		t.Fatalf("repeat batch did not hit the cache: %+v", st)
 	}
 	for i := range qs {
-		if !reflect.DeepEqual(first[i], baseline[i]) || !reflect.DeepEqual(admitted[i], baseline[i]) ||
-			!reflect.DeepEqual(second[i], baseline[i]) {
+		if !sameAnswer(first[i], baseline[i]) || !sameAnswer(admitted[i], baseline[i]) ||
+			!sameAnswer(second[i], baseline[i]) {
 			t.Errorf("case %d: cached execution differs from serial", i)
 		}
 	}
@@ -99,7 +98,7 @@ func TestArtifactCacheHitStaleAndEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(third[i], want) {
+		if !sameAnswer(third[i], want) {
 			t.Errorf("case %d: post-mutation cached execution differs from serial", i)
 		}
 	}
@@ -118,7 +117,7 @@ func TestArtifactCacheHitStaleAndEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(fourth[i], want) {
+		if !sameAnswer(fourth[i], want) {
 			t.Errorf("case %d: post-attr cached execution differs from serial", i)
 		}
 	}
@@ -153,7 +152,7 @@ func TestArtifactCacheEviction(t *testing.T) {
 				if werr != nil {
 					t.Fatal(werr)
 				}
-				if !reflect.DeepEqual(res[i], want) {
+				if !sameAnswer(res[i], want) {
 					t.Errorf("round %d level %s case %d: differs under eviction pressure",
 						round, level, i)
 				}

@@ -287,7 +287,11 @@ func (sf *setFill) refine(lo, hi int) {
 //
 // A non-nil sc receives the stage-1 (filter-mask) and stage-2 (group
 // decode) wall times — two time.Now() pairs per scan, nothing per fact.
-func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers, n int, opts BatchOptions, sc *obs.ShardScan) (*sharedArtifacts, SharingStats) {
+//
+// A non-nil costs (len(idxs), indexed like idxs) receives each query's
+// byte share of the artifacts this scan freshly materializes — see
+// chargeArtifact for the split.
+func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers, n int, opts BatchOptions, sc *obs.ShardScan, costs []obs.QueryCost) (*sharedArtifacts, SharingStats) {
 	cache := opts.Artifacts
 	stats := SharingStats{Queries: len(idxs)}
 	filterUses := map[string]int{} // set sub-fingerprint → queries using it
@@ -300,6 +304,11 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 	predMass := map[string]int{}          // predicate key → Σ visible facts
 	predOwner := map[string]*filterSpec{} // any resolved spec for the predicate
 	groupOwner := map[string]*groupSpec{}
+	// Artifact → using queries (indices into idxs/costs), for cost
+	// attribution; group users append one entry per (query, grouping) use.
+	setUsers := map[string][]int{}
+	predUsers := map[string][]int{}
+	groupUsers := map[string][]int{}
 	visible := make([]int, len(idxs)) // per query-in-group
 	for k, qi := range idxs {
 		p := plans[qi]
@@ -332,6 +341,7 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 			}
 			filterUses[p.filterKey]++
 			filterMass[p.filterKey] += visible[k]
+			setUsers[p.filterKey] = append(setUsers[p.filterKey], k)
 			for _, pk := range setPreds[p.filterKey] {
 				stats.FilterPredicates++
 				if predUses[pk] == 0 {
@@ -339,6 +349,7 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 				}
 				predUses[pk]++
 				predMass[pk] += visible[k]
+				predUsers[pk] = append(predUsers[pk], k)
 			}
 		}
 		for gi := range p.groups {
@@ -349,6 +360,7 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 				groupOwner[g.key] = g
 			}
 			groupUses[g.key]++
+			groupUsers[g.key] = append(groupUsers[g.key], k)
 		}
 	}
 
@@ -402,10 +414,16 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 					}
 				}
 			}
+			for key, m := range fillMasks {
+				b := maskBytes(m)
+				stats.BitmapBytesBuilt += b
+				chargeArtifact(costs, setUsers[key], b, true)
+			}
 		}
 	} else {
 		buildFilterMasksPerPredicate(art, &stats, n, version, workers, cache, cachePut,
-			filterUses, filterMass, filterOwner, setPreds, predSets, predMass, predOwner)
+			filterUses, filterMass, filterOwner, setPreds, predSets, predMass, predOwner,
+			costs, setUsers, predUsers)
 	}
 
 	if sc != nil {
@@ -460,6 +478,11 @@ func buildArtifacts(idxs []int, plans []*queryPlan, masks []*bitset.Set, workers
 				}
 			}
 		}
+		for key, col := range fillCols {
+			b := keyColBytes(col)
+			stats.KeyColBytesBuilt += b
+			chargeArtifact(costs, groupUsers[key], b, false)
+		}
 	}
 	if sc != nil {
 		sc.GroupDecode = time.Since(t0)
@@ -481,7 +504,8 @@ func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
 	n int, version uint64, workers int, cache *ArtifactCache, cachePut bool,
 	filterUses, filterMass map[string]int, filterOwner map[string]*queryPlan,
 	setPreds map[string][]string, predSets, predMass map[string]int,
-	predOwner map[string]*filterSpec) {
+	predOwner map[string]*filterSpec,
+	costs []obs.QueryCost, setUsers, predUsers map[string][]int) {
 	fd := art.fd
 
 	// Composed set masks straight from the cache; the rest need building.
@@ -540,6 +564,11 @@ func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
 					art.markOwned(pk)
 				}
 			}
+		}
+		for pk, m := range fillPreds {
+			b := maskBytes(m)
+			stats.BitmapBytesBuilt += b
+			chargeArtifact(costs, predUsers[pk], b, true)
 		}
 	}
 
@@ -607,6 +636,13 @@ func buildFilterMasksPerPredicate(art *sharedArtifacts, stats *SharingStats,
 				art.markOwned(sk)
 			}
 		}
+	}
+	// Charge composed and partial set masks alike — both were freshly
+	// materialized for this scan's queries.
+	for sk, sf := range fillSets {
+		b := maskBytes(sf.m)
+		stats.BitmapBytesBuilt += b
+		chargeArtifact(costs, setUsers[sk], b, true)
 	}
 }
 
@@ -706,7 +742,8 @@ func releaseArtifacts(art *sharedArtifacts, scans []*queryScan) {
 // partial or Result references them). A non-nil sc receives the scan's
 // per-stage wall times.
 func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out []*partial, workers, n int, opts BatchOptions, sp *scanPartials, sc *obs.ShardScan) SharingStats {
-	art, stats := buildArtifacts(idxs, plans, masks, workers, n, opts, sc)
+	costs := make([]obs.QueryCost, len(idxs))
+	art, stats := buildArtifacts(idxs, plans, masks, workers, n, opts, sc, costs)
 
 	scans := make([]*queryScan, len(idxs))
 	for k, qi := range idxs {
@@ -756,6 +793,10 @@ func scanSharedStaged(idxs []int, plans []*queryPlan, masks []*bitset.Set, out [
 		for w := 1; w < workers; w++ {
 			merged.merge(parts[w][k])
 		}
+		// Land the artifact-byte attribution on the merged partial only —
+		// worker partials carry zero cost, so the merges above added
+		// nothing and each share is counted exactly once.
+		merged.cost.Add(costs[k])
 		out[qi] = merged
 	}
 	if sc != nil {

@@ -3,6 +3,8 @@ package cube
 import (
 	"fmt"
 	"strings"
+
+	"sdwp/internal/obs"
 )
 
 // Agg enumerates the aggregation functions.
@@ -125,6 +127,11 @@ type Result struct {
 	Rows         []Row    `json:"rows"`
 	ScannedFacts int      `json:"scannedFacts"`
 	MatchedFacts int      `json:"matchedFacts"`
+	// Cost is the resource-consumption vector the executor measured for
+	// this query: scan counters, its share of freshly materialized batch
+	// artifacts, and — once the scheduler attributes the batch — CPU
+	// time and sharing/caching credits.
+	Cost obs.QueryCost `json:"cost"`
 }
 
 // Execute runs the query through the given view (nil view = the whole

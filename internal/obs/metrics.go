@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"strconv"
@@ -77,11 +78,12 @@ func (h *Histogram) Count() uint64 {
 }
 
 // HistogramVec is a Histogram partitioned by one label (e.g. tenant).
-// The label space is bounded: past maxLabelValues new values collapse
-// into an "_overflow" series so a hostile tenant ID stream cannot grow
-// the registry without bound.
+// The label space is bounded: past the cardinality cap new values
+// collapse into an OtherTenant ("other") series so a hostile tenant ID
+// stream cannot grow the registry without bound.
 type HistogramVec struct {
 	label string
+	max   int
 
 	mu     sync.RWMutex
 	series map[string]*Histogram
@@ -106,8 +108,8 @@ func (v *HistogramVec) With(value string) *Histogram {
 	if h = v.series[value]; h != nil {
 		return h
 	}
-	if len(v.series) >= maxLabelValues {
-		value = "_overflow"
+	if len(v.series) >= v.max {
+		value = OtherTenant
 		if h = v.series[value]; h != nil {
 			return h
 		}
@@ -115,6 +117,20 @@ func (v *HistogramVec) With(value string) *Histogram {
 	h = &Histogram{}
 	v.series[value] = h
 	return h
+}
+
+// Count sums observations across every series of the vec.
+func (v *HistogramVec) Count() uint64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var n uint64
+	for _, h := range v.series {
+		n += h.Count()
+	}
+	return n
 }
 
 // Observe records a sample under the given label value.
@@ -138,7 +154,20 @@ type registeredHist struct {
 	help string
 	h    *Histogram // single-series form
 	vec  *HistogramVec
+	fn   HistogramFunc // scrape-time pre-aggregated form
 }
+
+// HistogramBucket is one cumulative bucket of a pre-aggregated
+// histogram (UpperBound is the `le` value; +Inf for the tail).
+type HistogramBucket struct {
+	UpperBound      float64
+	CumulativeCount uint64
+}
+
+// HistogramFunc produces a full histogram snapshot at scrape time —
+// used for distributions owned elsewhere (e.g. the runtime's GC pause
+// histogram) that can't be fed through Observe.
+type HistogramFunc func() (buckets []HistogramBucket, sum float64, count uint64)
 
 // Sample is one counter or gauge emitted by a Collector at scrape time.
 type Sample struct {
@@ -168,13 +197,30 @@ func (r *Registry) NewHistogram(name, help string) *Histogram {
 }
 
 // NewHistogramVec registers and returns a histogram partitioned by one
-// label.
+// label with the default cardinality cap.
 func (r *Registry) NewHistogramVec(name, help, label string) *HistogramVec {
-	v := &HistogramVec{label: label, series: make(map[string]*Histogram)}
+	return r.NewHistogramVecCap(name, help, label, 0)
+}
+
+// NewHistogramVecCap is NewHistogramVec with an explicit label
+// cardinality cap (0 = default 64); past it new values collapse into
+// the OtherTenant series.
+func (r *Registry) NewHistogramVecCap(name, help, label string, max int) *HistogramVec {
+	if max <= 0 {
+		max = maxLabelValues
+	}
+	v := &HistogramVec{label: label, max: max, series: make(map[string]*Histogram)}
 	r.mu.Lock()
 	r.hists = append(r.hists, &registeredHist{name: name, help: help, vec: v})
 	r.mu.Unlock()
 	return v
+}
+
+// NewHistogramFunc registers a scrape-time pre-aggregated histogram.
+func (r *Registry) NewHistogramFunc(name, help string, fn HistogramFunc) {
+	r.mu.Lock()
+	r.hists = append(r.hists, &registeredHist{name: name, help: help, fn: fn})
+	r.mu.Unlock()
 }
 
 // RegisterCollector adds a scrape-time counter/gauge source.
@@ -200,6 +246,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", rh.name, rh.help, rh.name)
 		if rh.h != nil {
 			writeHistogram(&b, rh.name, "", rh.h)
+			continue
+		}
+		if rh.fn != nil {
+			writeHistogramFunc(&b, rh.name, rh.fn)
 			continue
 		}
 		rh.vec.mu.RLock()
@@ -273,6 +323,26 @@ func writeHistogram(b *strings.Builder, name, extraLabel string, h *Histogram) {
 	}
 }
 
+// writeHistogramFunc renders a pre-aggregated histogram snapshot.
+func writeHistogramFunc(b *strings.Builder, name string, fn HistogramFunc) {
+	buckets, sum, count := fn()
+	sawInf := false
+	for _, bk := range buckets {
+		le := "+Inf"
+		if !math.IsInf(bk.UpperBound, 1) {
+			le = formatValue(bk.UpperBound)
+		} else {
+			sawInf = true
+		}
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, le, bk.CumulativeCount)
+	}
+	if !sawInf {
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	}
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(sum))
+	fmt.Fprintf(b, "%s_count %d\n", name, count)
+}
+
 func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
@@ -282,18 +352,25 @@ func formatValue(v float64) string {
 // registry pays a single pointer test per stage.
 type QueryMetrics struct {
 	EndToEnd  *HistogramVec // by tenant: submit → result delivered
-	QueueWait *Histogram    // enqueue → batch assembly
+	QueueWait *HistogramVec // by tenant: enqueue → batch assembly
 	Scan      *Histogram    // executor batch wall time
 	Merge     *Histogram    // shard-merge + finalize portion of the batch
 }
 
-// NewQueryMetrics registers the standard query histograms on r.
+// NewQueryMetrics registers the standard query histograms on r with the
+// default tenant-label cardinality cap.
 func NewQueryMetrics(r *Registry) *QueryMetrics {
+	return NewQueryMetricsCap(r, 0)
+}
+
+// NewQueryMetricsCap is NewQueryMetrics with an explicit tenant-label
+// cardinality cap on the per-tenant vecs (0 = default 64).
+func NewQueryMetricsCap(r *Registry, tenantCap int) *QueryMetrics {
 	return &QueryMetrics{
-		EndToEnd: r.NewHistogramVec("sdwp_query_duration_seconds",
-			"End-to-end query latency from submit to result delivery.", "user"),
-		QueueWait: r.NewHistogram("sdwp_query_queue_wait_seconds",
-			"Time a query spent awaiting admission before batch assembly."),
+		EndToEnd: r.NewHistogramVecCap("sdwp_query_duration_seconds",
+			"End-to-end query latency from submit to result delivery.", "user", tenantCap),
+		QueueWait: r.NewHistogramVecCap("sdwp_query_queue_wait_seconds",
+			"Time a query spent awaiting admission before batch assembly.", "user", tenantCap),
 		Scan: r.NewHistogram("sdwp_batch_scan_seconds",
 			"Executor wall time per coalesced batch (all fact scans)."),
 		Merge: r.NewHistogram("sdwp_batch_merge_seconds",
@@ -309,12 +386,13 @@ func (m *QueryMetrics) ObserveEndToEnd(user string, d time.Duration) {
 	m.EndToEnd.Observe(user, d)
 }
 
-// ObserveQueueWait records one admission-wait latency.
-func (m *QueryMetrics) ObserveQueueWait(d time.Duration) {
+// ObserveQueueWait records one admission-wait latency under the tenant
+// label.
+func (m *QueryMetrics) ObserveQueueWait(user string, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.QueueWait.Observe(d)
+	m.QueueWait.Observe(user, d)
 }
 
 // ObserveScan records one batch scan wall time.

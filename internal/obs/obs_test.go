@@ -151,16 +151,39 @@ func TestHistogramVecOverflowLabel(t *testing.T) {
 	}
 	v.mu.RLock()
 	n := len(v.series)
-	_, hasOverflow := v.series["_overflow"]
+	_, hasOverflow := v.series[OtherTenant]
 	v.mu.RUnlock()
 	if !hasOverflow {
-		t.Fatal("no _overflow series after exceeding maxLabelValues")
+		t.Fatalf("no %q series after exceeding maxLabelValues", OtherTenant)
 	}
 	if n > maxLabelValues+1 {
 		t.Fatalf("series map grew to %d, want <= %d", n, maxLabelValues+1)
 	}
-	if got := v.With("_overflow").Count(); got != 16 {
-		t.Fatalf("_overflow count = %d, want 16", got)
+	if got := v.With(OtherTenant).Count(); got != 16 {
+		t.Fatalf("%q count = %d, want 16", OtherTenant, got)
+	}
+	if got := v.Count(); got != maxLabelValues+16 {
+		t.Fatalf("vec total count = %d, want %d", got, maxLabelValues+16)
+	}
+}
+
+// TestHistogramVecConfigurableCap checks the explicit cardinality cap:
+// past it, new label values collapse into the "other" series instead of
+// growing the map.
+func TestHistogramVecConfigurableCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVecCap("capped_seconds", "t", "user", 4)
+	for i := 0; i < 10; i++ {
+		v.Observe(fmt.Sprintf("tenant%d", i), time.Millisecond)
+	}
+	v.mu.RLock()
+	n := len(v.series)
+	v.mu.RUnlock()
+	if n > 5 {
+		t.Fatalf("series map grew to %d with cap 4, want <= 5", n)
+	}
+	if got := v.With(OtherTenant).Count(); got != 6 {
+		t.Fatalf("%q count = %d, want 6", OtherTenant, got)
 	}
 }
 
@@ -340,7 +363,7 @@ func TestObserveDuringScrape(t *testing.T) {
 				default:
 				}
 				m.ObserveEndToEnd(fmt.Sprintf("u%d", w), time.Duration(i)*time.Microsecond)
-				m.ObserveQueueWait(time.Microsecond)
+				m.ObserveQueueWait(fmt.Sprintf("u%d", w), time.Microsecond)
 				m.ObserveScan(time.Millisecond)
 				m.ObserveMerge(time.Microsecond)
 				s := tr.Start("")

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ProfileRegistry is the fingerprint-keyed heavy-query registry: a
+// bounded map from plan fingerprint to cumulative cost statistics,
+// ranked by an exponentially decayed cost score so the top-K reflects
+// what is expensive *now* rather than since boot. When full, recording
+// a new fingerprint evicts the entry with the smallest decayed score —
+// a cheap O(capacity) scan that only runs on insertion past the bound.
+type ProfileRegistry struct {
+	capacity int
+	halfLife time.Duration
+
+	mu        sync.Mutex
+	entries   map[string]*profileEntry
+	records   int64
+	evictions int64
+
+	// now is stubbed in tests to exercise decay deterministically.
+	now func() time.Time
+}
+
+type profileEntry struct {
+	count     int64
+	sumDurNS  int64
+	hist      Histogram // duration distribution, for p99
+	sumCost   QueryCost
+	lastTrace string
+
+	score     float64 // decayed cumulative cost weight
+	lastTouch time.Time
+}
+
+// QueryProfile is one registry entry's snapshot, as served by
+// GET /api/queries/top.
+type QueryProfile struct {
+	Fingerprint string    `json:"fingerprint"`
+	Count       int64     `json:"count"`
+	MeanMs      float64   `json:"meanMs"`
+	P99Ms       float64   `json:"p99Ms"`
+	MeanCost    QueryCost `json:"meanCost"`
+	TotalCost   QueryCost `json:"totalCost"`
+	LastTraceID string    `json:"lastTraceId,omitempty"`
+	// Score is the decay-weighted cumulative cost the ranking uses.
+	Score float64 `json:"score"`
+}
+
+// NewProfileRegistry builds a registry holding at most capacity
+// fingerprints with the given decay half-life.
+func NewProfileRegistry(capacity int, halfLife time.Duration) *ProfileRegistry {
+	if capacity <= 0 {
+		capacity = defaultProfileCapacity
+	}
+	if halfLife <= 0 {
+		halfLife = defaultDecayHalfLife
+	}
+	return &ProfileRegistry{
+		capacity: capacity,
+		halfLife: halfLife,
+		entries:  make(map[string]*profileEntry),
+		now:      time.Now,
+	}
+}
+
+// decayFactor is 2^(-age/halfLife).
+func (p *ProfileRegistry) decayFactor(age time.Duration) float64 {
+	if age <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(age) / float64(p.halfLife))
+}
+
+// Record folds one execution into the fingerprint's entry.
+func (p *ProfileRegistry) Record(fingerprint, traceID string, dur time.Duration, c QueryCost) {
+	if p == nil || fingerprint == "" {
+		return
+	}
+	now := p.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.records++
+	e := p.entries[fingerprint]
+	if e == nil {
+		if len(p.entries) >= p.capacity {
+			p.evictColdestLocked(now)
+		}
+		e = &profileEntry{}
+		p.entries[fingerprint] = e
+	}
+	e.count++
+	e.sumDurNS += dur.Nanoseconds()
+	e.hist.Observe(dur)
+	e.sumCost.Add(c)
+	if traceID != "" {
+		e.lastTrace = traceID
+	}
+	e.score = e.score*p.decayFactor(now.Sub(e.lastTouch)) + c.Weight()
+	e.lastTouch = now
+}
+
+// evictColdestLocked removes the entry with the smallest decayed score.
+func (p *ProfileRegistry) evictColdestLocked(now time.Time) {
+	var coldKey string
+	coldScore := math.Inf(1)
+	for k, e := range p.entries {
+		s := e.score * p.decayFactor(now.Sub(e.lastTouch))
+		if s < coldScore || (s == coldScore && k < coldKey) {
+			coldScore, coldKey = s, k
+		}
+	}
+	if coldKey != "" {
+		delete(p.entries, coldKey)
+		p.evictions++
+	}
+}
+
+// Top snapshots the n highest-scoring profiles, heaviest first.
+func (p *ProfileRegistry) Top(n int) []QueryProfile {
+	if p == nil || n <= 0 {
+		return nil
+	}
+	now := p.now()
+	p.mu.Lock()
+	out := make([]QueryProfile, 0, len(p.entries))
+	for fp, e := range p.entries {
+		q := QueryProfile{
+			Fingerprint: fp,
+			Count:       e.count,
+			TotalCost:   e.sumCost,
+			LastTraceID: e.lastTrace,
+			Score:       e.score * p.decayFactor(now.Sub(e.lastTouch)),
+		}
+		if e.count > 0 {
+			q.MeanMs = float64(e.sumDurNS) / float64(e.count) / 1e6
+			div := func(v int64) int64 { return v / e.count }
+			q.MeanCost = QueryCost{
+				FactsScanned:     div(e.sumCost.FactsScanned),
+				FactsMatched:     div(e.sumCost.FactsMatched),
+				CellsTouched:     div(e.sumCost.CellsTouched),
+				BitmapBytes:      div(e.sumCost.BitmapBytes),
+				KeyColBytes:      div(e.sumCost.KeyColBytes),
+				SharedSavedBytes: div(e.sumCost.SharedSavedBytes),
+				CPUNs:            div(e.sumCost.CPUNs),
+				SharedSavedNs:    div(e.sumCost.SharedSavedNs),
+				CacheCreditNs:    div(e.sumCost.CacheCreditNs),
+			}
+		}
+		q.P99Ms = e.hist.Quantile(0.99) * 1e3
+		out = append(out, q)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns the number of live entries.
+func (p *ProfileRegistry) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Counters returns total records folded in and evictions performed.
+func (p *ProfileRegistry) Counters() (records, evictions int64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.records, p.evictions
+}
+
+// Quantile returns an upper bound on the q-quantile latency in seconds,
+// resolved to the histogram's power-of-two bucket bounds (the overflow
+// bucket reports twice the last finite bound). Exact enough for p99
+// dashboards; not for SLO math tighter than a factor of two.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank == 0 {
+		rank = 1
+	}
+	for k := 0; k < histBuckets; k++ {
+		if cum[k] >= rank {
+			if k == histBuckets-1 {
+				return 2 * bucketUpperSeconds(histBuckets-2)
+			}
+			return bucketUpperSeconds(k)
+		}
+	}
+	return 2 * bucketUpperSeconds(histBuckets-2)
+}

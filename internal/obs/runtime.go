@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+)
+
+// Runtime telemetry: re-exposes the Go runtime's own metrics on the
+// registry so a scrape of /metrics answers "is it the engine or the
+// runtime" without attaching pprof. Everything reads runtime/metrics at
+// scrape time — no background goroutine, no sampling loop.
+
+// runtimeSampleNames are the runtime/metrics series the collector reads
+// per scrape.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// gcPauseBounds are the fixed `le` bounds the runtime's variable-width
+// GC pause histogram is downsampled to (seconds).
+var gcPauseBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// RegisterRuntimeMetrics registers Go runtime telemetry on r:
+// sdwp_go_goroutines and sdwp_go_heap_bytes gauges, the
+// sdwp_go_gc_pause_seconds histogram, and a constant sdwp_build_info
+// gauge carrying the Go version and module revision as labels.
+func RegisterRuntimeMetrics(r *Registry) {
+	buildLabels := map[string]string{"goversion": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			buildLabels["module"] = bi.Main.Path
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				buildLabels["revision"] = s.Value
+			}
+		}
+	}
+	r.RegisterCollector(func(emit func(Sample)) {
+		samples := []metrics.Sample{{Name: rmGoroutines}, {Name: rmHeapBytes}}
+		metrics.Read(samples)
+		emit(Sample{
+			Name: "sdwp_go_goroutines", Help: "Live goroutines (runtime/metrics).",
+			Type: "gauge", Value: runtimeSampleValue(samples[0]),
+		})
+		emit(Sample{
+			Name: "sdwp_go_heap_bytes", Help: "Bytes of live heap objects (runtime/metrics).",
+			Type: "gauge", Value: runtimeSampleValue(samples[1]),
+		})
+		emit(Sample{
+			Name: "sdwp_build_info", Help: "Build metadata; constant 1.",
+			Type: "gauge", Value: 1, Labels: buildLabels,
+		})
+	})
+	r.NewHistogramFunc("sdwp_go_gc_pause_seconds",
+		"Stop-the-world GC pause distribution since process start (runtime/metrics, downsampled).",
+		gcPauseHistogram)
+}
+
+// runtimeSampleValue normalizes a runtime/metrics sample to float64.
+func runtimeSampleValue(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// gcPauseHistogram reads the runtime's cumulative GC pause histogram
+// and downsamples it to gcPauseBounds. The runtime's bucket boundaries
+// don't align with ours, so a bucket straddling a bound is counted
+// under the first fixed bound at or above its upper edge — a ≤ one
+// bucket-width overestimate, fine for a pause dashboard.
+func gcPauseHistogram() (buckets []HistogramBucket, sum float64, count uint64) {
+	samples := []metrics.Sample{{Name: rmGCPauses}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return nil, 0, 0
+	}
+	h := samples[0].Value.Float64Histogram()
+	cum := make([]uint64, len(gcPauseBounds)+1) // +Inf tail
+	for i, c := range h.Counts {
+		// Bucket i spans (Buckets[i], Buckets[i+1]]; file it under the
+		// first fixed bound >= its upper edge.
+		upper := math.Inf(1)
+		if i+1 < len(h.Buckets) {
+			upper = h.Buckets[i+1]
+		}
+		slot := len(gcPauseBounds) // +Inf
+		for b, bound := range gcPauseBounds {
+			if upper <= bound {
+				slot = b
+				break
+			}
+		}
+		cum[slot] += c
+		count += c
+		// Approximate the pause-time sum from bucket midpoints (clamped
+		// for the open-ended tails).
+		lo, hi := 0.0, upper
+		if i < len(h.Buckets) && !math.IsInf(h.Buckets[i], -1) {
+			lo = h.Buckets[i]
+		}
+		if math.IsInf(hi, 1) {
+			hi = 2 * lo
+		}
+		sum += float64(c) * (lo + hi) / 2
+	}
+	// Cumulate and attach bounds.
+	var running uint64
+	buckets = make([]HistogramBucket, 0, len(cum))
+	for i, c := range cum {
+		running += c
+		bound := math.Inf(1)
+		if i < len(gcPauseBounds) {
+			bound = gcPauseBounds[i]
+		}
+		buckets = append(buckets, HistogramBucket{UpperBound: bound, CumulativeCount: running})
+	}
+	return buckets, sum, count
+}

@@ -44,10 +44,23 @@ type Trace struct {
 	tracer  *Tracer
 
 	mu    sync.Mutex
+	user  string
 	spans []*Span
 	done  bool
 	errS  string
 	durNS int64
+}
+
+// SetUser stamps the tenant the query belongs to (set by the scheduler
+// once the session is resolved, so /api/traces/recent can filter by
+// tenant). Last write wins on the rare deduplicated multi-tenant trace.
+func (t *Trace) SetUser(user string) {
+	if t == nil || user == "" {
+		return
+	}
+	t.mu.Lock()
+	t.user = user
+	t.mu.Unlock()
 }
 
 // ID returns the trace/request ID ("" on a nil trace).
@@ -110,6 +123,7 @@ func (t *Trace) Finish(err error) {
 // TraceSnapshot is the JSON form served by /api/trace/{id}.
 type TraceSnapshot struct {
 	ID          string  `json:"id"`
+	User        string  `json:"user,omitempty"`
 	StartUnixNs int64   `json:"startUnixNs"`
 	DurNs       int64   `json:"durNs"`
 	Error       string  `json:"error,omitempty"`
@@ -122,6 +136,7 @@ func (t *Trace) snapshot() TraceSnapshot {
 	defer t.mu.Unlock()
 	return TraceSnapshot{
 		ID:          t.id,
+		User:        t.user,
 		StartUnixNs: t.start.UnixNano(),
 		DurNs:       t.durNS,
 		Error:       t.errS,
@@ -218,12 +233,20 @@ func (tr *Tracer) Get(id string) (TraceSnapshot, bool) {
 // Recent returns snapshots of up to n most recently retained traces,
 // newest first.
 func (tr *Tracer) Recent(n int) []TraceSnapshot {
+	return tr.RecentFiltered(n, nil)
+}
+
+// RecentFiltered returns up to n most recent retained traces whose
+// snapshot satisfies keep (nil keep = all), newest first. The whole
+// ring is walked so a filter still finds older matches past n
+// non-matching newer traces.
+func (tr *Tracer) RecentFiltered(n int, keep func(TraceSnapshot) bool) []TraceSnapshot {
 	if tr == nil || n <= 0 {
 		return nil
 	}
 	tr.mu.Lock()
-	traces := make([]*Trace, 0, n)
-	for i := 0; i < len(tr.ring) && len(traces) < n; i++ {
+	traces := make([]*Trace, 0, len(tr.ring))
+	for i := 0; i < len(tr.ring); i++ {
 		// Walk backwards from the insertion cursor: newest first.
 		idx := (tr.next - 1 - i + 2*len(tr.ring)) % len(tr.ring)
 		if len(tr.ring) < tr.opts.RingSize {
@@ -233,9 +256,15 @@ func (tr *Tracer) Recent(n int) []TraceSnapshot {
 		traces = append(traces, tr.ring[idx])
 	}
 	tr.mu.Unlock()
-	out := make([]TraceSnapshot, len(traces))
-	for i, t := range traces {
-		out[i] = t.snapshot()
+	out := make([]TraceSnapshot, 0, min(n, len(traces)))
+	for _, t := range traces {
+		if len(out) >= n {
+			break
+		}
+		s := t.snapshot()
+		if keep == nil || keep(s) {
+			out = append(out, s)
+		}
 	}
 	return out
 }

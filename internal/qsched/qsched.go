@@ -125,6 +125,14 @@ type Options struct {
 	// (end-to-end by tenant, queue wait, scan, merge). nil records
 	// nothing.
 	Metrics *obs.QueryMetrics
+	// Costs optionally receives per-query cost attribution: each
+	// executed query's Result.Cost — with the batch's measured scan CPU
+	// split proportionally to facts scanned across the coalesced batch,
+	// and the sharing discount recorded per query — is attributed to its
+	// tenant and folded into the heavy-query profile registry; result-
+	// cache hits credit the stored cost as avoided work. nil records
+	// nothing.
+	Costs *obs.Accountant
 	// SlowQuery, when > 0, logs a structured record (slog, level WARN)
 	// for every query whose end-to-end latency reaches it, carrying the
 	// trace ID and stage breakdown.
@@ -167,6 +175,9 @@ type request struct {
 	view  *cube.View
 	epoch uint64
 	key   string
+	// fp is the plan fingerprint (the heavy-query profile registry's
+	// key; also a prefix-free component of key).
+	fp string
 	// admit records the doorkeeper's verdict at admission: cache the
 	// result only if the plan fingerprint had been requested before.
 	admit   bool
@@ -354,8 +365,9 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 	// One trace (from the request context) scopes the whole batch: every
 	// entry's spans land on it. start is zero when telemetry is off.
 	tr := obs.FromContext(ctx)
+	tr.SetUser(userKey)
 	var start time.Time
-	if tr != nil || s.opts.Metrics != nil || s.opts.SlowQuery > 0 {
+	if tr != nil || s.opts.Metrics != nil || s.opts.SlowQuery > 0 || s.opts.Costs != nil {
 		start = time.Now()
 	}
 	results := make([]*cube.Result, len(qs))
@@ -366,6 +378,7 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 		view  *cube.View
 		epoch uint64
 		key   string
+		fp    string
 		admit bool
 	}
 	var pends []pending
@@ -393,6 +406,7 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 				if !start.IsZero() {
 					s.opts.Metrics.ObserveEndToEnd(userKey, time.Since(start))
 				}
+				s.opts.Costs.RecordCacheHit(userKey, res.Cost)
 				results[i] = res
 				continue
 			}
@@ -404,7 +418,7 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 			firstErr = fmt.Errorf("qsched: batch query %d: %w", i, err)
 			break
 		}
-		pends = append(pends, pending{i: i, cq: cq, view: v, epoch: epoch, key: key, admit: admit})
+		pends = append(pends, pending{i: i, cq: cq, view: v, epoch: epoch, key: key, fp: fp, admit: admit})
 	}
 	if len(pends) > 0 {
 		now := time.Now()
@@ -420,7 +434,7 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 				ch := make(chan outcome, 1)
 				chans[p.i] = ch
 				s.enqueueLocked(&request{cq: p.cq, view: p.view, epoch: p.epoch,
-					key: p.key, admit: p.admit,
+					key: p.key, fp: p.fp, admit: p.admit,
 					waiters:    []waiter{{ch: ch, tr: tr, user: userKey, start: start}},
 					enqueuedAt: now, deadline: deadline}, userKey)
 			}
@@ -467,10 +481,11 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 	}
 	// Telemetry is pay-per-use: tr is nil unless the caller's context
 	// carries a trace, and start stays zero unless something (trace,
-	// histogram, slow-query log) will consume it.
+	// histogram, slow-query log, cost accounting) will consume it.
 	tr := obs.FromContext(ctx)
+	tr.SetUser(userKey)
 	var start time.Time
-	if tr != nil || s.opts.Metrics != nil || s.opts.SlowQuery > 0 {
+	if tr != nil || s.opts.Metrics != nil || s.opts.SlowQuery > 0 || s.opts.Costs != nil {
 		start = time.Now()
 	}
 	// A repeated malformed query is answered from the negative cache
@@ -497,6 +512,7 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 			// doorkeeper is still touched so a tile hot in the cache stays
 			// admitted when a view mutation forces its next miss.
 			s.door.request(fp)
+			s.opts.Costs.RecordCacheHit(userKey, res.Cost)
 			if !start.IsZero() {
 				s.opts.Metrics.ObserveEndToEnd(userKey, time.Since(start))
 			}
@@ -533,7 +549,7 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 		s.mu.Unlock()
 		return nil, nil, ErrClosed
 	}
-	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key, admit: admit,
+	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key, fp: fp, admit: admit,
 		waiters:    []waiter{{ch: ch, tr: tr, user: userKey, start: start}},
 		enqueuedAt: now,
 		deadline:   s.requestDeadline(ctx, now)}, userKey)
@@ -682,8 +698,8 @@ func (s *Scheduler) assembleLocked(max int) []*request {
 			out := timeoutOutcome(req, now)
 			s.stTimedOut.Add(int64(len(req.waiters)))
 			wait := now.Sub(req.enqueuedAt)
-			s.opts.Metrics.ObserveQueueWait(wait)
 			for _, w := range req.waiters {
+				s.opts.Metrics.ObserveQueueWait(w.user, wait)
 				if !w.start.IsZero() {
 					s.opts.Metrics.ObserveEndToEnd(w.user, now.Sub(w.start))
 				}
@@ -728,9 +744,10 @@ func (s *Scheduler) runBatch(batch []*request) {
 	// of it is per batch — a handful of time.Now() calls around a scan
 	// that touches every fact row — so the tracing-off overhead is noise
 	// (BenchmarkTraceOverhead pins this).
-	telem := traced || s.opts.Metrics != nil || s.opts.SlowQuery > 0
+	acct := s.opts.Costs
+	telem := traced || s.opts.Metrics != nil || s.opts.SlowQuery > 0 || acct != nil
 	var st *obs.ScanTrace
-	if traced || s.opts.Metrics != nil {
+	if traced || s.opts.Metrics != nil || acct != nil {
 		st = &obs.ScanTrace{}
 	}
 	s.stBatches.Add(1)
@@ -807,6 +824,27 @@ func (s *Scheduler) runBatch(batch []*request) {
 		s.stPackedKernels.Add(int64(sharing.PackedKernelScans))
 		s.stPackedPreds.Add(int64(sharing.PackedPredicateKernels))
 	}
+	// Cost attribution: the batch pays the full measured CPU (every shard's
+	// stage time plus the gather), each query gets a share proportional to
+	// the facts it scanned, and the rest of the batch's CPU is recorded as
+	// its sharing discount — the work it rode along on. The split conserves:
+	// Σ per-query CPUNs == batch CPU exactly (obs.SplitTotal pins the tail).
+	if acct != nil && err == nil {
+		shardScans, gather := st.Snapshot()
+		batchCPU := gather.Nanoseconds()
+		for _, ss := range shardScans {
+			batchCPU += (ss.FilterMask + ss.GroupDecode + ss.Accumulate + ss.Merge).Nanoseconds()
+		}
+		weights := make([]int64, len(results))
+		for i, res := range results {
+			weights[i] = res.Cost.FactsScanned + 1
+		}
+		shares := obs.SplitTotal(batchCPU, weights)
+		for i, res := range results {
+			res.Cost.CPUNs += shares[i]
+			res.Cost.SharedSavedNs += batchCPU - shares[i]
+		}
+	}
 	for i, r := range batch {
 		out := outcome{err: err}
 		if err == nil {
@@ -826,23 +864,45 @@ func (s *Scheduler) runBatch(batch []*request) {
 		}
 		if telem {
 			wait := assembled.Sub(r.enqueuedAt)
-			s.opts.Metrics.ObserveQueueWait(wait)
-			for _, w := range r.waiters {
+			// Deduplicated waiters split their request's cost evenly: the
+			// scan ran once for all of them, so the per-waiter shares sum
+			// back to the request's attributed cost (conservation again).
+			var wcosts []obs.QueryCost
+			if acct != nil && err == nil {
+				wcosts = obs.SplitCost(out.res.Cost, len(r.waiters))
+			}
+			for wi, w := range r.waiters {
+				s.opts.Metrics.ObserveQueueWait(w.user, wait)
 				now := time.Now()
 				var e2e time.Duration
 				if !w.start.IsZero() {
 					e2e = now.Sub(w.start)
 					s.opts.Metrics.ObserveEndToEnd(w.user, e2e)
 				}
+				if wcosts != nil {
+					acct.RecordQuery(w.user, r.fp, w.tr.ID(), e2e, wcosts[wi])
+				}
 				if w.tr != nil {
 					w.tr.AddSpan("admissionWait", r.enqueuedAt, wait,
 						map[string]any{"batchQueries": len(batch)})
 					w.tr.Attach(scanSpan)
-					w.tr.AddSpan("finalize", scanEnd, now.Sub(scanEnd), nil)
+					var costAttrs map[string]any
+					if err == nil {
+						c := out.res.Cost
+						costAttrs = map[string]any{
+							"factsScanned":  c.FactsScanned,
+							"bitmapBytes":   c.BitmapBytes,
+							"keyColBytes":   c.KeyColBytes,
+							"cells":         c.CellsTouched,
+							"cpuNs":         c.CPUNs,
+							"sharedSavedNs": c.SharedSavedNs,
+						}
+					}
+					w.tr.AddSpan("finalize", scanEnd, now.Sub(scanEnd), costAttrs)
 					w.tr.Finish(err)
 				}
 				s.maybeLogSlow(w.tr.ID(), w.user, r.cq.Query().Fact,
-					e2e, wait, scanDur, len(batch), err)
+					e2e, wait, scanDur, len(batch), out.res, err)
 			}
 		}
 		for _, w := range r.waiters {
@@ -853,7 +913,7 @@ func (s *Scheduler) runBatch(batch []*request) {
 
 // maybeLogSlow emits the structured slow-query record when the knob is on
 // and the query crossed the threshold.
-func (s *Scheduler) maybeLogSlow(traceID, user, fact string, e2e, wait, scan time.Duration, batchQueries int, err error) {
+func (s *Scheduler) maybeLogSlow(traceID, user, fact string, e2e, wait, scan time.Duration, batchQueries int, res *cube.Result, err error) {
 	if s.opts.SlowQuery <= 0 || e2e < s.opts.SlowQuery {
 		return
 	}
@@ -869,6 +929,14 @@ func (s *Scheduler) maybeLogSlow(traceID, user, fact string, e2e, wait, scan tim
 		slog.Duration("queueWait", wait),
 		slog.Duration("scan", scan),
 		slog.Int("batchQueries", batchQueries),
+	}
+	if res != nil {
+		attrs = append(attrs,
+			slog.Int64("factsScanned", res.Cost.FactsScanned),
+			slog.Int64("cpuNs", res.Cost.CPUNs),
+			slog.Int64("bitmapBytes", res.Cost.BitmapBytes),
+			slog.Int64("keyColBytes", res.Cost.KeyColBytes),
+			slog.Int64("cells", res.Cost.CellsTouched))
 	}
 	if err != nil {
 		attrs = append(attrs, slog.String("error", err.Error()))

@@ -361,3 +361,170 @@ func TestMetricsScrapeUnderShardedLoad(t *testing.T) {
 	default:
 	}
 }
+
+// TestTenantCostEndpoints drives mixed-tenant traffic and checks the
+// cost-accounting surface end to end: per-tenant accounts on
+// GET /api/tenants, heavy-query profiles on GET /api/queries/top, and
+// the sdwp_tenant_* / sdwp_query_profile_* series on /metrics.
+func TestTenantCostEndpoints(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{})
+	alice := login(t, srv, "alice", "POINT(-3.7 40.4)")
+	bob := login(t, srv, "bob", "POINT(-3.7 40.4)")
+
+	groupBody := func(sess string) map[string]any {
+		return map[string]any{
+			"session":    sess,
+			"fact":       "Sales",
+			"groupBy":    []map[string]string{{"dimension": "Store", "level": "City"}},
+			"aggregates": []map[string]any{{"measure": "UnitSales", "agg": "SUM"}},
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, srv.URL+"/api/query", groupBody(alice)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alice query: %s (%s)", resp.Status, body)
+		}
+	}
+	if resp, body := postJSON(t, srv.URL+"/api/query", countBody(bob)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob query: %s (%s)", resp.Status, body)
+	}
+
+	resp, body := getBody(t, srv.URL+"/api/tenants")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/tenants: %s (%s)", resp.Status, body)
+	}
+	var tenants []obs.TenantStat
+	if err := json.Unmarshal(body, &tenants); err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 {
+		t.Fatalf("tenants = %d (%s), want alice and bob", len(tenants), body)
+	}
+	byName := map[string]obs.TenantStat{}
+	for _, ts := range tenants {
+		byName[ts.Tenant] = ts
+	}
+	if a := byName["alice"]; a.Queries != 3 || a.Cost.FactsScanned <= 0 {
+		t.Errorf("alice account %+v", a)
+	}
+	if b := byName["bob"]; b.Queries != 1 {
+		t.Errorf("bob account %+v", b)
+	}
+
+	resp, body = getBody(t, srv.URL+"/api/queries/top?n=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/queries/top: %s (%s)", resp.Status, body)
+	}
+	var top []obs.QueryProfile
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 { // two distinct fingerprints
+		t.Fatalf("profiles = %d (%s), want 2", len(top), body)
+	}
+	if top[0].Count <= 0 || top[0].Fingerprint == "" || top[0].MeanCost.FactsScanned <= 0 {
+		t.Errorf("top profile %+v", top[0])
+	}
+
+	resp, body = getBody(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`sdwp_tenant_queries_total{tenant="alice"} 3`,
+		`sdwp_tenant_queries_total{tenant="bob"} 1`,
+		`sdwp_tenant_facts_scanned_total{tenant="alice"}`,
+		`sdwp_tenant_cpu_seconds_total{tenant="alice"}`,
+		`sdwp_tenant_artifact_bytes_total{tenant=`,
+		`sdwp_tenant_cache_credit_seconds_total{tenant=`,
+		"sdwp_query_profile_count 2",
+		"sdwp_query_profile_records_total 4",
+		"sdwp_query_profile_evictions_total 0",
+		`sdwp_query_queue_wait_seconds_count{user="alice"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestGoRuntimeMetrics checks the runtime telemetry satellite: goroutine
+// and heap gauges, the GC pause histogram, and the build-info series.
+func TestGoRuntimeMetrics(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{})
+	_, body := getBody(t, srv.URL+"/metrics")
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE sdwp_go_goroutines gauge",
+		"sdwp_go_goroutines ",
+		"# TYPE sdwp_go_heap_bytes gauge",
+		"sdwp_go_heap_bytes ",
+		"# TYPE sdwp_go_gc_pause_seconds histogram",
+		`sdwp_go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"sdwp_go_gc_pause_seconds_count",
+		"# TYPE sdwp_build_info gauge",
+		`sdwp_build_info{`,
+		`goversion="go`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTracesRecentFilters checks the ?user=, ?min_ms= and ?limit= query
+// parameters on GET /api/traces/recent.
+func TestTracesRecentFilters(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{TraceSampleRate: 1})
+	alice := login(t, srv, "alice", "POINT(-3.7 40.4)")
+	bob := login(t, srv, "bob", "POINT(-3.7 40.4)")
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, srv.URL+"/api/query", countBody(alice)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alice query: %s (%s)", resp.Status, body)
+		}
+	}
+	if resp, body := postJSON(t, srv.URL+"/api/query", countBody(bob)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob query: %s (%s)", resp.Status, body)
+	}
+
+	fetch := func(query string) []obs.TraceSnapshot {
+		t.Helper()
+		resp, body := getBody(t, srv.URL+"/api/traces/recent"+query)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traces/recent%s: %s (%s)", query, resp.Status, body)
+		}
+		var out []obs.TraceSnapshot
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if all := fetch(""); len(all) != 3 {
+		t.Fatalf("unfiltered traces = %d, want 3", len(all))
+	}
+	aliceOnly := fetch("?user=alice")
+	if len(aliceOnly) != 2 {
+		t.Fatalf("user=alice traces = %d, want 2", len(aliceOnly))
+	}
+	for _, ts := range aliceOnly {
+		if ts.User != "alice" {
+			t.Errorf("user filter leaked trace for %q", ts.User)
+		}
+	}
+	if got := fetch("?user=alice&limit=1"); len(got) != 1 {
+		t.Errorf("limit=1 returned %d traces", len(got))
+	}
+	if got := fetch("?min_ms=999999"); len(got) != 0 {
+		t.Errorf("min_ms filter kept %d traces, want 0", len(got))
+	}
+	if got := fetch("?user=nobody"); len(got) != 0 {
+		t.Errorf("unknown user returned %d traces", len(got))
+	}
+	// Bad parameters are 400s.
+	for _, q := range []string{"?limit=0", "?n=x", "?min_ms=-1"} {
+		if resp, _ := getBody(t, srv.URL+"/api/traces/recent"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("traces/recent%s: %s, want 400", q, resp.Status)
+		}
+	}
+}

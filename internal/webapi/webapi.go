@@ -27,9 +27,18 @@
 //	                                                     shard count, per-shard fact balance, shard-scan
 //	                                                     fan-out and artifact-cache hit rates)
 //	GET  /api/trace/{id}                               → one retained query-lifecycle trace (span tree)
-//	GET  /api/traces/recent[?n=20]                     → recently retained traces, newest first
+//	GET  /api/traces/recent[?n=20][&user=...][&min_ms=...]
+//	                                                   → recently retained traces, newest first,
+//	                                                     optionally filtered by tenant and latency floor
+//	GET  /api/tenants                                  → per-tenant cost accounts, heaviest first
+//	                                                     (queries, cache hits, facts scanned, CPU,
+//	                                                     artifact bytes, sharing/caching credits)
+//	GET  /api/queries/top[?n=20]                       → heavy-query profiles by decay-weighted cost
+//	                                                     (count, mean/p99 latency, mean cost vector,
+//	                                                     last trace ID)
 //	GET  /metrics                                      → Prometheus text exposition (latency histograms
-//	                                                     + scheduler counters)
+//	                                                     + scheduler, tenant-cost and Go runtime
+//	                                                     telemetry)
 //	GET  /api/healthz                                  → liveness
 //
 // Query endpoints correlate with traces via the X-Request-Id header: a
@@ -89,6 +98,8 @@ func NewServer(e *core.Engine) *Server {
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /api/traces/recent", s.handleTracesRecent)
+	s.mux.HandleFunc("GET /api/tenants", s.handleTenants)
+	s.mux.HandleFunc("GET /api/queries/top", s.handleQueriesTop)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/healthz", s.handleHealthz)
 	return s
@@ -698,7 +709,68 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTracesRecent lists recently retained traces, newest first.
+// ?user= keeps one tenant's traces, ?min_ms= keeps traces at least that
+// slow, and ?n= / ?limit= cap the count (default 20).
 func (s *Server) handleTracesRecent(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 20
+	for _, key := range []string{"n", "limit"} {
+		if ns := q.Get(key); ns != "" {
+			v, err := strconv.Atoi(ns)
+			if err != nil || v <= 0 {
+				writeErr(w, http.StatusBadRequest, "bad %s %q", key, ns)
+				return
+			}
+			n = v
+		}
+	}
+	var minMs float64
+	if ms := q.Get("min_ms"); ms != "" {
+		v, err := strconv.ParseFloat(ms, 64)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "bad min_ms %q", ms)
+			return
+		}
+		minMs = v
+	}
+	user, filterUser := q.Get("user"), q.Has("user")
+	var keep func(obs.TraceSnapshot) bool
+	if filterUser || minMs > 0 {
+		keep = func(ts obs.TraceSnapshot) bool {
+			if filterUser && ts.User != user {
+				return false
+			}
+			return float64(ts.DurNs)/1e6 >= minMs
+		}
+	}
+	out := s.engine.Tracer().RecentFiltered(n, keep) // nil-safe: nil tracer → no traces
+	if out == nil {
+		out = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTenants serves the per-tenant cost accounts, heaviest first:
+// query and cache-hit counts, hit rate, and the accumulated cost vector
+// (facts scanned, artifact bytes, CPU, sharing and caching credits).
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	out := s.engine.Accountant().Tenants()
+	if out == nil {
+		out = []obs.TenantStat{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQueriesTop serves the heavy-query profile registry: the top-n
+// query fingerprints by decay-weighted cumulative cost, with call counts,
+// mean/p99 latency, mean cost vector and the last retained trace ID.
+func (s *Server) handleQueriesTop(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	n := 20
 	if ns := r.URL.Query().Get("n"); ns != "" {
 		v, err := strconv.Atoi(ns)
@@ -708,9 +780,9 @@ func (s *Server) handleTracesRecent(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	out := s.engine.Tracer().Recent(n) // nil-safe: nil tracer → no traces
+	out := s.engine.Accountant().TopQueries(n)
 	if out == nil {
-		out = []obs.TraceSnapshot{}
+		out = []obs.QueryProfile{}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

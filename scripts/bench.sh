@@ -25,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_8.json}"
+OUT="${OUT:-BENCH_9.json}"
 
 # Pick the baseline by the highest <n> compared numerically. (The old
 # `sort -t_ -k2 -n` keyed on "<n>.json" strings, which happens to work
@@ -49,14 +49,14 @@ fi
 # The manifest: the benchmarks whose trajectory the repo records. The
 # -bench regexp is derived from it, so one edit adds a benchmark to both
 # the run and the existence gate.
-MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing,BenchmarkTraceOverhead,BenchmarkPackedScan,BenchmarkPackedPredicateKernel"
+MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing,BenchmarkTraceOverhead,BenchmarkPackedScan,BenchmarkPackedPredicateKernel,BenchmarkCostAccountingOverhead"
 
 go test -run '^$' \
   -bench "^(${MANIFEST//,/|})\$" \
   -benchtime "$BENCHTIME" -count "$COUNT" . \
-  | go run ./cmd/benchjson -issue 8 -out "$OUT" -manifest "$MANIFEST" \
+  | go run ./cmd/benchjson -issue 9 -out "$OUT" -manifest "$MANIFEST" \
       -benchtime "$BENCHTIME" -count "$COUNT" \
-      -nsop-gate '^(BenchmarkTraceOverhead/off|BenchmarkPackedScan/packed=true)' \
+      -nsop-gate '^(BenchmarkTraceOverhead/off|BenchmarkPackedScan/packed=true|BenchmarkCostAccountingOverhead/on)' \
       ${BASELINE:+-baseline "$BASELINE"}
 
 echo "bench.sh: wrote $OUT${BASELINE:+ (allocs/op gated against $BASELINE)}"
