@@ -830,6 +830,38 @@ func BenchmarkCostAccountingOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkFairAdmissionOverhead measures what the cost-driven fair
+// admission ledger adds to a scan-bound query: the same scheduler and
+// query with one tenant (a single ledger entry, the common case) versus
+// eight tenants submitting round-robin (every batch slot scans all eight
+// scores, every settle updates a distinct ledger). Both modes pay the
+// debit/settle protocol; the tenants=8 mode additionally pays the
+// per-slot min-score scan. ns/op is gated against the previous artifact
+// by scripts/bench.sh (-nsop-gate): the fairness machinery's claim is
+// that it prices admission, not queries — overhead must stay noise
+// against a real scan. The result cache stays off so every iteration
+// pays one.
+func BenchmarkFairAdmissionOverhead(b *testing.B) {
+	env := getBenchEnv(b, 20000)
+	for _, tenants := range []int{1, 8} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			users := make([]string, tenants)
+			for i := range users {
+				users[i] = fmt.Sprintf("tenant%02d", i)
+			}
+			s := qsched.New(env.ds.Cube, qsched.Options{})
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Submit(familyQuery, nil, users[i%tenants]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkArtifactCacheHit measures the cross-batch artifact cache: a
 // sharing-heavy batch repeated against an unchanged table must take its
 // filter bitmap and key columns from the cache instead of re-materializing

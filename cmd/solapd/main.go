@@ -14,6 +14,11 @@
 //	       [-fact-shards 0] [-query-timeout 0] [-artifact-cache-mb 0]
 //	       [-trace-sample-rate 0] [-slow-query 0] [-pprof-addr ""]
 //	       [-profile-registry-size 0] [-profile-decay 0] [-tenant-label-cap 0]
+//	       [-max-queue-depth 0] [-target-queue-wait 0]
+//	       [-tenant-weights alice=2,bob=1] [-auto-tune] [-auto-tune-interval 2s]
+//
+// Every flag, its default, and how the knobs interact is documented in
+// docs/OPERATIONS.md.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the -pprof-addr listener
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -80,6 +86,16 @@ func main() {
 			"max distinct tenant label values on /metrics and in the cost accountant; overflow tenants collapse into \"other\" (0 = default 64)")
 		pprofAddr = flag.String("pprof-addr", "",
 			"serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+		maxQueueDepth = flag.Int("max-queue-depth", 0,
+			"overload threshold on admission-queue depth: at or past it, over-share tenants get HTTP 429 + Retry-After instead of queueing toward the 504 deadline (0 = shedding off)")
+		targetQueueWait = flag.Duration("target-queue-wait", 0,
+			"overload threshold on smoothed admission wait: past it, over-share tenants are shed with 429; set well below -query-timeout (0 = off)")
+		tenantWeights = flag.String("tenant-weights", "",
+			"comma-separated user=weight fair-share weights (e.g. alice=2,bob=1); unlisted tenants weigh 1")
+		autoTune = flag.Bool("auto-tune", false,
+			"adaptive knob tuner: auto-size the coalesce window from arrival rate and the result/artifact cache budgets from hit rates, within bounds of the configured values; every adjustment is logged")
+		autoTuneInterval = flag.Duration("auto-tune-interval", 0,
+			"adaptive tuner observation period (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -129,6 +145,25 @@ func main() {
 		log.Fatalf("user store: %v", err)
 	}
 
+	var weights map[string]float64
+	for _, pair := range strings.Split(*tenantWeights, ",") {
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("bad -tenant-weights entry %q (want user=weight)", pair)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			log.Fatalf("bad -tenant-weights entry %q (weight must be a positive number)", pair)
+		}
+		if weights == nil {
+			weights = map[string]float64{}
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+
 	sharedMode := sdwp.SharedSubexprOn
 	if !*sharedSubexpr {
 		sharedMode = sdwp.SharedSubexprOff
@@ -154,6 +189,11 @@ func main() {
 		QueryCostProfiles:       *profileRegistrySize,
 		QueryCostDecay:          *profileDecay,
 		TenantLabelCap:          *tenantLabelCap,
+		MaxQueueDepth:           *maxQueueDepth,
+		TargetQueueWait:         *targetQueueWait,
+		TenantWeights:           weights,
+		AutoTune:                *autoTune,
+		AutoTuneInterval:        *autoTuneInterval,
 	})
 	engine.SetParam("threshold", sdwp.Number(*threshold))
 

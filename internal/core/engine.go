@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -68,7 +69,7 @@ const (
 type Options struct {
 	// Planar switches the Distance/unary-Distance operators from geodetic
 	// kilometres (the default, for lon/lat data) to planar units (used by
-	// tests and the ablation benchmarks; see DESIGN.md §6).
+	// tests and the ablation benchmarks; see internal/geom).
 	Planar bool
 	// DisableRuleOptimizer turns off the radius-query execution plan for
 	// the Foreach/Distance/SelectInstance idiom (see internal/core/
@@ -166,6 +167,31 @@ type Options struct {
 	// many distinct tenants, new ones collapse into the "other" series on
 	// /metrics and in the accountant (0 = the obs default, 64).
 	TenantLabelCap int
+	// MaxQueueDepth turns on overload shedding by queue depth: when the
+	// scheduler's admission queue is at or past it, queries from tenants
+	// at or over their fair share are refused with qsched.ErrOverloaded
+	// (HTTP 429 + Retry-After at the web layer) instead of queueing toward
+	// the QueryTimeout deadline (0 = off).
+	MaxQueueDepth int
+	// TargetQueueWait turns on overload shedding by admission latency:
+	// when the smoothed admission wait exceeds it, over-share tenants are
+	// shed (0 = off). Set it well below QueryTimeout — shedding exists to
+	// act before the 504 deadline does.
+	TargetQueueWait time.Duration
+	// TenantWeights maps userKey → fair-share weight for the scheduler's
+	// cost-driven admission (unlisted tenants weigh 1; a weight-2 tenant
+	// sustains twice the attributed scan cost before losing priority).
+	TenantWeights map[string]float64
+	// AutoTune starts the adaptive knob tuner: a background goroutine that
+	// re-sizes CoalesceWindow from the observed arrival rate and
+	// ResultCacheBytes/ArtifactCacheBytes from hit-rate telemetry, within
+	// bounds derived from the configured values (window ≤ max(4×configured,
+	// 2ms); caches within [configured/4, configured×4]; a knob configured
+	// 0 — disabled — is never touched). Off by default; every adjustment
+	// is logged via slog.
+	AutoTune bool
+	// AutoTuneInterval is the tuner's observation period (0 = 2s).
+	AutoTuneInterval time.Duration
 }
 
 // QueryWorkers returns the engine's configured query worker-pool size.
@@ -254,6 +280,9 @@ type Engine struct {
 	// feeds the heavy-query profile registry; served by GET /api/tenants
 	// and GET /api/queries/top and re-emitted on /metrics. Always on.
 	costs *obs.Accountant
+	// tun is the adaptive knob tuner, non-nil only with Options.AutoTune
+	// (stopped by Close before the scheduler drains).
+	tun *tuner
 
 	mu       sync.Mutex
 	rules    []*prml.Rule
@@ -323,10 +352,17 @@ func NewEngine(c *cube.Cube, users *usermodel.Store, opts Options) *Engine {
 		Metrics:                 e.metrics,
 		SlowQuery:               opts.SlowQueryThreshold,
 		Costs:                   e.costs,
+		TenantWeights:           opts.TenantWeights,
+		MaxQueueDepth:           opts.MaxQueueDepth,
+		TargetQueueWait:         opts.TargetQueueWait,
 	})
 	e.registry.RegisterCollector(e.collectSchedulerSamples)
 	e.registry.RegisterCollector(e.collectCostSamples)
 	obs.RegisterRuntimeMetrics(e.registry)
+	if opts.AutoTune && !opts.DisableScheduler {
+		e.tun = newTuner(e)
+		go e.tun.run()
+	}
 	return e
 }
 
@@ -355,6 +391,40 @@ func (e *Engine) collectSchedulerSamples(emit func(obs.Sample)) {
 	gauge("sdwp_result_cache_bytes", "Bytes held by the result cache.", float64(st.CacheBytes))
 	gauge("sdwp_queue_depth", "Queries waiting in the admission queue.", float64(st.QueueDepth))
 	gauge("sdwp_scans_in_flight", "Shared scans running right now.", float64(st.InFlight))
+	// Overload-control and fair-share series, all derived from the one
+	// locked Stats snapshot above — a scrape can never see shed counters
+	// torn against queue depth or the per-tenant ledgers. Maps are walked
+	// in sorted order so successive scrapes render identically.
+	gauge("sdwp_shed_rate", "Decaying rate of shed queries per second.", st.ShedRatePerSec)
+	gauge("sdwp_queue_wait_ewma_seconds", "Smoothed admission wait the queue_wait shed threshold compares against.", st.QueueWaitEWMAMs/1e3)
+	gauge("sdwp_drain_rate", "Smoothed admission rate (requests/sec) Retry-After hints derive from.", st.DrainRatePerSec)
+	users := make([]string, 0, len(st.ShedByTenant))
+	for user := range st.ShedByTenant {
+		users = append(users, user)
+	}
+	sort.Strings(users)
+	for _, user := range users {
+		byReason := st.ShedByTenant[user]
+		reasons := make([]string, 0, len(byReason))
+		for reason := range byReason {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			emit(obs.Sample{Name: "sdwp_shed_total",
+				Help: "Queries refused by the overload controller.", Type: "counter",
+				Value:  float64(byReason[reason]),
+				Labels: map[string]string{"user": user, "reason": reason}})
+		}
+	}
+	for _, fs := range st.FairShares {
+		emit(obs.Sample{Name: "sdwp_tenant_fair_share",
+			Help: "Tenant's fraction of the summed weight-normalized attributed cost.", Type: "gauge",
+			Value:  fs.Share,
+			Labels: map[string]string{"tenant": fs.Tenant}})
+	}
+	gauge("sdwp_coalesce_window_seconds", "Live coalescing window (drifts from the configured value under auto-tune).", float64(st.CoalesceWindowNs)/1e9)
+	gauge("sdwp_result_cache_cap_bytes", "Live result-cache byte budget (drifts under auto-tune).", float64(st.ResultCacheCapBytes))
 	if st.FactShards > 0 {
 		gauge("sdwp_fact_shards", "Fact-table shard count.", float64(st.FactShards))
 		counter("sdwp_shard_scans_total", "Per-shard scans fanned out by the scatter-gather executor.", st.ShardScans)
@@ -408,7 +478,14 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Close stops the engine's query scheduler: queued queries drain, new ones
 // are rejected. Idempotent; the engine must not be queried after Close.
-func (e *Engine) Close() { e.sched.Close() }
+// The adaptive tuner (if running) is stopped first, so no knob moves
+// while the scheduler drains.
+func (e *Engine) Close() {
+	if e.tun != nil {
+		e.tun.stopWait()
+	}
+	e.sched.Close()
+}
 
 // SchedulerStats snapshots the query scheduler's counters (coalesce ratio,
 // cache hit rate, queue depth — what GET /api/stats serves), composed with

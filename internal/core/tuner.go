@@ -1,0 +1,284 @@
+package core
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"sdwp/internal/qsched"
+)
+
+// The adaptive knob tuner (Options.AutoTune): a background goroutine that
+// observes the scheduler's telemetry every interval and re-sizes the
+// runtime-tunable knobs within bounds derived from the operator's
+// configured values. Heuristics, deliberately coarse (factor-of-two
+// moves, wide deadbands — a tuner that oscillates is worse than none):
+//
+//   - CoalesceWindow from arrival rate: high arrivals filling only small
+//     batches mean the window closes before concurrency can coalesce —
+//     grow it (×2, bounded by max(4×configured, 2ms)); a near-idle
+//     scheduler pays the window as pure latency — shrink it back (÷2,
+//     down to 0).
+//   - ResultCacheBytes / ArtifactCacheBytes from hit rates: a full cache
+//     with a high hit rate earns a bigger budget (×2); a cache missing
+//     nearly everything sheds budget (÷2). Both clamp to
+//     [configured/4, configured×4], and a cache the operator disabled
+//     (configured 0) is never touched.
+//
+// Every adjustment is logged via slog with the observation that drove it.
+// The decision logic lives in tick(), which is driven by the run() loop
+// in production and fed synthetic Stats deltas in tests.
+
+const (
+	// defaultAutoTuneInterval is the observation period when
+	// Options.AutoTuneInterval is unset.
+	defaultAutoTuneInterval = 2 * time.Second
+
+	// Window heuristics: grow when arrivals are past windowGrowArrival/s
+	// but batches still fill below windowLowFill queries; shrink when
+	// arrivals drop under windowShrinkArrival/s. windowStep is the
+	// smallest non-zero window (growing from 0 starts here; shrinking
+	// below it snaps to 0).
+	windowGrowArrival   = 200.0
+	windowShrinkArrival = 50.0
+	windowLowFill       = 4.0
+	windowStep          = 100 * time.Microsecond
+
+	// Cache heuristics: act only on intervals with at least
+	// minCacheLookups lookups (below that, hit rates are noise); shrink
+	// below cacheShrinkHitRate, grow above cacheGrowHitRate when the
+	// cache is also near its budget (cacheFullFraction) — a high hit rate
+	// with slack left needs no more bytes.
+	minCacheLookups    = 32
+	cacheShrinkHitRate = 0.05
+	cacheGrowHitRate   = 0.5
+	cacheFullFraction  = 0.9
+)
+
+// tunerHooks are the tuner's levers, split from the engine so tests can
+// drive tick() against recorded fakes.
+type tunerHooks struct {
+	stats           func() qsched.Stats
+	setWindow       func(time.Duration)
+	resizeResult    func(int64)
+	resizeArtifacts func(int64)
+	logger          *slog.Logger
+}
+
+// tuner owns the adaptive-knob loop. All mutable state is touched only by
+// the run() goroutine (or the test driving tick() directly).
+type tuner struct {
+	hooks    tunerHooks
+	interval time.Duration
+
+	// Live knob values and their bounds. tuneResult/tuneArtifacts are
+	// false when the corresponding cache is configured off.
+	window        time.Duration
+	windowMax     time.Duration
+	resultBytes   int64
+	resultMin     int64
+	resultMax     int64
+	tuneResult    bool
+	artifactBytes int64
+	artifactMin   int64
+	artifactMax   int64
+	tuneArtifacts bool
+
+	// prev is the previous interval's counter snapshot (deltas drive the
+	// heuristics); havePrev gates the first interval, which has no delta.
+	prev     qsched.Stats
+	havePrev bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newTuner builds the engine's tuner (Options.AutoTune): hooks wired to
+// the scheduler and cache layers, bounds derived from the configured
+// knobs.
+func newTuner(e *Engine) *tuner {
+	interval := e.opts.AutoTuneInterval
+	if interval <= 0 {
+		interval = defaultAutoTuneInterval
+	}
+	t := &tuner{
+		hooks: tunerHooks{
+			stats:        e.SchedulerStats,
+			setWindow:    e.sched.SetWindow,
+			resizeResult: e.sched.ResizeResultCache,
+			resizeArtifacts: func(n int64) {
+				if e.shards != nil {
+					e.shards.ResizeArtifactCaches(n)
+				} else {
+					e.artifacts.Resize(n) // nil-safe
+				}
+			},
+			logger: slog.Default(),
+		},
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	t.configure(e.opts)
+	return t
+}
+
+// configure derives the tuner's starting values and bounds from the
+// configured knobs.
+func (t *tuner) configure(opts Options) {
+	t.window = opts.CoalesceWindow
+	t.windowMax = 4 * opts.CoalesceWindow
+	if t.windowMax < 2*time.Millisecond {
+		t.windowMax = 2 * time.Millisecond
+	}
+	if opts.ResultCacheBytes > 0 {
+		t.tuneResult = true
+		t.resultBytes = opts.ResultCacheBytes
+		t.resultMin = opts.ResultCacheBytes / 4
+		t.resultMax = opts.ResultCacheBytes * 4
+	}
+	if opts.ArtifactCacheBytes > 0 {
+		t.tuneArtifacts = true
+		t.artifactBytes = opts.ArtifactCacheBytes
+		t.artifactMin = opts.ArtifactCacheBytes / 4
+		t.artifactMax = opts.ArtifactCacheBytes * 4
+	}
+}
+
+// run is the tuner goroutine: one tick per interval until stopWait.
+func (t *tuner) run() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.interval)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case now := <-ticker.C:
+			t.tick(t.hooks.stats(), now.Sub(last))
+			last = now
+		}
+	}
+}
+
+// stopWait stops the tuner and waits for its goroutine to exit (so Close
+// never races a knob adjustment against scheduler shutdown). Idempotent.
+func (t *tuner) stopWait() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+}
+
+// tick is one observation: compare st against the previous snapshot over
+// dt and move whichever knobs the heuristics call for. The first call
+// only seeds the baseline.
+func (t *tuner) tick(st qsched.Stats, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	prev := t.prev
+	t.prev = st
+	if !t.havePrev {
+		t.havePrev = true
+		return
+	}
+
+	arrival := float64(st.Submitted-prev.Submitted) / dt.Seconds()
+	batches := st.Batches - prev.Batches
+	fill := 0.0
+	if batches > 0 {
+		fill = float64(st.Executed-prev.Executed) / float64(batches)
+	}
+	switch {
+	case arrival >= windowGrowArrival && batches > 0 && fill < windowLowFill && t.window < t.windowMax:
+		next := t.window * 2
+		if next < windowStep {
+			next = windowStep
+		}
+		if next > t.windowMax {
+			next = t.windowMax
+		}
+		t.setWindow(next, "high arrival, low batch fill", arrival, fill)
+	case arrival < windowShrinkArrival && t.window > 0:
+		next := t.window / 2
+		if next < windowStep {
+			next = 0
+		}
+		t.setWindow(next, "low arrival", arrival, fill)
+	}
+
+	if t.tuneResult {
+		if next, rate, ok := retuneCache(st.CacheHits-prev.CacheHits, st.CacheMisses-prev.CacheMisses,
+			st.CacheBytes, t.resultBytes, t.resultMin, t.resultMax); ok {
+			t.logAdjust("resultCacheBytes", t.resultBytes, next, cacheReason(next, t.resultBytes), rate)
+			t.resultBytes = next
+			t.hooks.resizeResult(next)
+		}
+	}
+	if t.tuneArtifacts {
+		ac, pac := st.ArtifactCache, prev.ArtifactCache
+		if next, rate, ok := retuneCache(ac.Hits-pac.Hits, ac.Misses-pac.Misses,
+			ac.Bytes, t.artifactBytes, t.artifactMin, t.artifactMax); ok {
+			t.logAdjust("artifactCacheBytes", t.artifactBytes, next, cacheReason(next, t.artifactBytes), rate)
+			t.artifactBytes = next
+			t.hooks.resizeArtifacts(next)
+		}
+	}
+}
+
+// retuneCache is the shared cache heuristic: given an interval's hit/miss
+// deltas and the cache's current footprint vs budget, return the next
+// budget (ok=false when no move is warranted).
+func retuneCache(hits, misses, bytes, cur, min, max int64) (next int64, hitRate float64, ok bool) {
+	lookups := hits + misses
+	if lookups < minCacheLookups {
+		return 0, 0, false
+	}
+	hitRate = float64(hits) / float64(lookups)
+	switch {
+	case hitRate < cacheShrinkHitRate:
+		next = cur / 2
+	case hitRate > cacheGrowHitRate && float64(bytes) >= cacheFullFraction*float64(cur):
+		next = cur * 2
+	default:
+		return 0, hitRate, false
+	}
+	if next < min {
+		next = min
+	}
+	if next > max {
+		next = max
+	}
+	return next, hitRate, next != cur
+}
+
+func cacheReason(next, cur int64) string {
+	if next > cur {
+		return "high hit rate, cache full"
+	}
+	return "low hit rate"
+}
+
+// setWindow applies and logs one window move (no-op if unchanged).
+func (t *tuner) setWindow(next time.Duration, reason string, arrival, fill float64) {
+	if next == t.window {
+		return
+	}
+	t.hooks.logger.Info("auto-tune",
+		slog.String("knob", "coalesceWindow"),
+		slog.Duration("from", t.window), slog.Duration("to", next),
+		slog.String("reason", reason),
+		slog.Float64("arrivalPerSec", arrival), slog.Float64("batchFill", fill))
+	t.window = next
+	t.hooks.setWindow(next)
+}
+
+// logAdjust records one cache-budget move.
+func (t *tuner) logAdjust(knob string, from, to int64, reason string, hitRate float64) {
+	t.hooks.logger.Info("auto-tune",
+		slog.String("knob", knob),
+		slog.Int64("from", from), slog.Int64("to", to),
+		slog.String("reason", reason),
+		slog.Float64("hitRate", hitRate))
+}

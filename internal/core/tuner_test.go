@@ -1,0 +1,215 @@
+package core
+
+import (
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+
+	"sdwp/internal/qsched"
+)
+
+// fakeHooks records every knob adjustment the tuner makes, so tick() can
+// be driven with synthetic Stats deltas and checked exactly.
+type fakeHooks struct {
+	windows   []time.Duration
+	results   []int64
+	artifacts []int64
+}
+
+func (f *fakeHooks) hooks() tunerHooks {
+	return tunerHooks{
+		stats:           func() qsched.Stats { return qsched.Stats{} },
+		setWindow:       func(w time.Duration) { f.windows = append(f.windows, w) },
+		resizeResult:    func(n int64) { f.results = append(f.results, n) },
+		resizeArtifacts: func(n int64) { f.artifacts = append(f.artifacts, n) },
+		logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+}
+
+// newTestTuner builds a tuner over fake hooks with both caches configured.
+func newTestTuner(opts Options) (*tuner, *fakeHooks) {
+	f := &fakeHooks{}
+	t := &tuner{hooks: f.hooks(), interval: time.Second}
+	t.configure(opts)
+	return t, f
+}
+
+// TestTunerFirstTickSeedsBaseline: the first observation has no delta to
+// act on — it must only record the snapshot.
+func TestTunerFirstTickSeedsBaseline(t *testing.T) {
+	tun, f := newTestTuner(Options{CoalesceWindow: time.Millisecond, ResultCacheBytes: 1 << 20})
+	tun.tick(qsched.Stats{Submitted: 1 << 20, CacheMisses: 1 << 20}, time.Second)
+	if len(f.windows) != 0 || len(f.results) != 0 {
+		t.Errorf("first tick adjusted knobs: windows=%v results=%v", f.windows, f.results)
+	}
+	if !tun.havePrev {
+		t.Error("first tick did not seed the baseline")
+	}
+}
+
+// TestTunerWindowGrow: sustained arrivals with underfilled batches double
+// the window, bounded by the configured max.
+func TestTunerWindowGrow(t *testing.T) {
+	tun, f := newTestTuner(Options{CoalesceWindow: time.Millisecond})
+	tun.tick(qsched.Stats{}, time.Second)
+	st := qsched.Stats{Submitted: 500, Executed: 100, Batches: 50} // fill 2 < 4
+	tun.tick(st, time.Second)
+	if len(f.windows) != 1 || f.windows[0] != 2*time.Millisecond {
+		t.Fatalf("windows = %v, want one grow to 2ms", f.windows)
+	}
+	// Keep growing: the bound is 4× configured.
+	for i := 2; i <= 4; i++ {
+		st.Submitted += 500
+		st.Executed += 100
+		st.Batches += 50
+		tun.tick(st, time.Second)
+	}
+	if got := f.windows[len(f.windows)-1]; got != 4*time.Millisecond {
+		t.Errorf("window grew to %v, want capped at 4ms", got)
+	}
+	if tun.window != 4*time.Millisecond {
+		t.Errorf("tuner window = %v, want 4ms", tun.window)
+	}
+	// At the cap, another hot interval must not adjust again.
+	n := len(f.windows)
+	st.Submitted += 500
+	st.Executed += 100
+	st.Batches += 50
+	tun.tick(st, time.Second)
+	if len(f.windows) != n {
+		t.Errorf("window adjusted past its cap: %v", f.windows)
+	}
+}
+
+// TestTunerWindowShrink: a near-idle scheduler halves the window, snapping
+// to zero below the minimum step.
+func TestTunerWindowShrink(t *testing.T) {
+	tun, f := newTestTuner(Options{CoalesceWindow: 200 * time.Microsecond})
+	tun.tick(qsched.Stats{}, time.Second)
+	st := qsched.Stats{Submitted: 10}
+	tun.tick(st, time.Second) // 10/s < 50/s
+	if len(f.windows) != 1 || f.windows[0] != 100*time.Microsecond {
+		t.Fatalf("windows = %v, want one shrink to 100µs", f.windows)
+	}
+	st.Submitted += 10
+	tun.tick(st, time.Second) // 100µs/2 < windowStep: snap to 0
+	if got := f.windows[len(f.windows)-1]; got != 0 {
+		t.Errorf("window shrank to %v, want 0", got)
+	}
+	// A zero window stays put on further idle intervals.
+	n := len(f.windows)
+	st.Submitted += 10
+	tun.tick(st, time.Second)
+	if len(f.windows) != n {
+		t.Errorf("idle interval adjusted a zero window: %v", f.windows)
+	}
+}
+
+// TestTunerCacheGrowShrink: hit-rate-driven cache budget moves, clamped to
+// [configured/4, configured×4].
+func TestTunerCacheGrowShrink(t *testing.T) {
+	const cfg = 1 << 20
+	tun, f := newTestTuner(Options{ResultCacheBytes: cfg})
+	tun.tick(qsched.Stats{}, time.Second)
+
+	// High hit rate with the cache nearly full: grow ×2.
+	st := qsched.Stats{CacheHits: 90, CacheMisses: 10, CacheBytes: cfg}
+	tun.tick(st, time.Second)
+	if len(f.results) != 1 || f.results[0] != 2*cfg {
+		t.Fatalf("results = %v, want one grow to %d", f.results, 2*cfg)
+	}
+
+	// High hit rate with slack left: no move.
+	st.CacheHits += 90
+	st.CacheMisses += 10
+	st.CacheBytes = cfg / 2
+	tun.tick(st, time.Second)
+	if len(f.results) != 1 {
+		t.Errorf("grew with slack left: %v", f.results)
+	}
+
+	// Near-zero hit rate: shrink ×2 per interval down to the floor.
+	for i := 0; i < 6; i++ {
+		st.CacheMisses += 100
+		tun.tick(st, time.Second)
+	}
+	if got := f.results[len(f.results)-1]; got != cfg/4 {
+		t.Errorf("cache shrank to %d, want floor %d", got, cfg/4)
+	}
+
+	// Too few lookups to judge: no move either way.
+	n := len(f.results)
+	st.CacheMisses += minCacheLookups - 1
+	tun.tick(st, time.Second)
+	if len(f.results) != n {
+		t.Errorf("adjusted on %d lookups (below the %d floor)", minCacheLookups-1, minCacheLookups)
+	}
+}
+
+// TestTunerDisabledCacheNeverTouched: a cache the operator configured off
+// must never be resized on, whatever the telemetry says.
+func TestTunerDisabledCacheNeverTouched(t *testing.T) {
+	tun, f := newTestTuner(Options{CoalesceWindow: time.Millisecond}) // both cache budgets 0
+	tun.tick(qsched.Stats{}, time.Second)
+	st := qsched.Stats{CacheHits: 1000, CacheBytes: 1 << 30}
+	st.ArtifactCache.Hits = 1000
+	st.ArtifactCache.Bytes = 1 << 30
+	tun.tick(st, time.Second)
+	if len(f.results) != 0 || len(f.artifacts) != 0 {
+		t.Errorf("tuner resized disabled caches: results=%v artifacts=%v", f.results, f.artifacts)
+	}
+}
+
+// TestTunerArtifactCache: the artifact cache is tuned off its own counters,
+// independent of the result cache's.
+func TestTunerArtifactCache(t *testing.T) {
+	const cfg = 1 << 20
+	tun, f := newTestTuner(Options{ArtifactCacheBytes: cfg})
+	tun.tick(qsched.Stats{}, time.Second)
+	var st qsched.Stats
+	st.ArtifactCache.Hits = 80
+	st.ArtifactCache.Misses = 20
+	st.ArtifactCache.Bytes = cfg
+	tun.tick(st, time.Second)
+	if len(f.artifacts) != 1 || f.artifacts[0] != 2*cfg {
+		t.Errorf("artifacts = %v, want one grow to %d", f.artifacts, 2*cfg)
+	}
+	if len(f.results) != 0 {
+		t.Errorf("result cache resized with budget 0: %v", f.results)
+	}
+}
+
+// TestEngineAutoTuneClose: an engine with AutoTune on must stop the tuner
+// goroutine cleanly on Close, and the tuner must actually drive the live
+// scheduler knob (visible through SchedulerStats).
+func TestEngineAutoTuneClose(t *testing.T) {
+	e, _ := newTestEngineOpts(t, Options{
+		AutoTune:         true,
+		AutoTuneInterval: time.Millisecond,
+		CoalesceWindow:   200 * time.Microsecond,
+	})
+	if e.tun == nil {
+		t.Fatal("AutoTune on but no tuner started")
+	}
+	// An idle engine shrinks the window toward zero within a few intervals.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.SchedulerStats().CoalesceWindowNs == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.SchedulerStats().CoalesceWindowNs; got != 0 {
+		t.Errorf("idle window = %dns after tuning, want 0", got)
+	}
+	done := make(chan struct{})
+	go func() { e.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close with AutoTune hung")
+	}
+	// Idempotent stop: a second Close must not panic or hang.
+	e.Close()
+}

@@ -1,7 +1,12 @@
 // Package obs is the engine's telemetry subsystem: query-lifecycle
 // traces (span trees kept in a bounded ring), lock-free log-bucketed
-// latency histograms with a Prometheus text exposition, and the scan
-// stage-timing recorder the executor fills per shard.
+// latency histograms with a Prometheus text exposition, the scan
+// stage-timing recorder the executor fills per shard, and per-tenant
+// cost accounting — every query is priced as a QueryCost vector, the
+// bill is attributed to its tenant (Accountant), and a decay-weighted
+// registry ranks the heaviest query fingerprints (ProfileRegistry).
+// The accountant's decayed per-tenant costs are what the scheduler's
+// fair admission consumes, so "fair" means fair by resources used.
 //
 // The package sits below every other internal package (it imports only
 // the standard library) so the scheduler, executor, and HTTP layer can

@@ -1,18 +1,23 @@
 // Package qsched is the engine-level query scheduler: the piece that turns
 // "millions of users issuing concurrent single queries" into the shared
 // scans the cube's batch executor is built for (multi-query optimization in
-// the GLADE tradition), with self-tuning-style fair admission so one heavy
-// tenant cannot starve the rest (cf. Tempo).
+// the GLADE tradition), with a cost-driven resource manager — weighted fair
+// shares, overload shedding, runtime-tunable knobs — so one heavy tenant is
+// boundedly isolated instead of starving the rest (cf. Tempo).
 //
-// Three mechanisms compose:
+// Four mechanisms compose:
 //
-//  1. Coalescing. Concurrent Submit calls queue per user; a dispatcher
-//     assembles them — round-robin across users — into one
-//     cube.ExecuteBatch shared scan per micro-batch. A batch closes when
-//     the configured window elapses, when MaxBatch queries are queued, or,
-//     with a zero window, as soon as an in-flight slot frees (scans
-//     running at the MaxInFlight bound are themselves the batching clock:
-//     everything that queues behind them coalesces).
+//  1. Coalescing with cost-driven fair admission. Concurrent Submit calls
+//     queue per user; a dispatcher assembles them into one
+//     cube.ExecuteBatch shared scan per micro-batch, always admitting the
+//     tenant with the lowest attributed scan cost per unit weight over a
+//     decaying window (deficit-weighted scheduling over the obs.QueryCost
+//     attribution; see fair.go). With identical cost profiles this
+//     degrades exactly to round-robin. A batch closes when the configured
+//     window elapses, when MaxBatch queries are queued, or, with a zero
+//     window, as soon as an in-flight slot frees (scans running at the
+//     MaxInFlight bound are themselves the batching clock: everything
+//     that queues behind them coalesces).
 //  2. Deduplication. Identical queued queries (same plan fingerprint,
 //     same view state) execute once; every waiter shares the one result.
 //  3. Result cache. A byte-bounded LRU keyed by plan fingerprint plus the
@@ -24,6 +29,16 @@
 //     cannot evict hot entries. A bounded negative cache likewise answers
 //     repeated invalid queries from their cached compile error without
 //     re-deriving it or touching the coalesce queue.
+//  4. Overload control. When the admission queue is past MaxQueueDepth or
+//     smoothed admission waits exceed TargetQueueWait, queries from
+//     tenants at or over their fair share are refused up front with
+//     ErrOverloaded and a drain-rate-derived retry hint (HTTP 429 +
+//     Retry-After at the web layer) instead of timing out at the 504
+//     deadline after queueing uselessly. Under-share tenants are never
+//     shed. Both thresholds unset = shedding off.
+//
+// The coalescing window and the result-cache budget are runtime-tunable
+// (SetWindow, ResizeResultCache) — the hooks core's adaptive tuner drives.
 //
 // The scans themselves are sharing-aware: coalesced batches run through
 // cube.ExecuteBatchCompiledOpt, which materializes each distinct filter
@@ -139,6 +154,23 @@ type Options struct {
 	SlowQuery time.Duration
 	// Logger receives slow-query records (nil = slog.Default()).
 	Logger *slog.Logger
+	// TenantWeights maps userKey → fair-share weight (default 1, and any
+	// value <= 0 reads as 1): a tenant with weight 2 sustains twice the
+	// attributed scan cost of a weight-1 tenant before losing admission
+	// priority. Unlisted tenants get weight 1.
+	TenantWeights map[string]float64
+	// FairShareHalfLife is the decay half-life of the per-tenant usage
+	// window fair admission ranks on (default DefaultFairShareHalfLife).
+	FairShareHalfLife time.Duration
+	// MaxQueueDepth, when > 0, is the overload threshold on admission-queue
+	// depth: at or past it, over-share tenants are shed with ErrOverloaded
+	// instead of queueing (see mechanism 4 in the package comment).
+	MaxQueueDepth int
+	// TargetQueueWait, when > 0, is the overload threshold on the smoothed
+	// admission wait: when the EWMA of observed queue waits exceeds it,
+	// over-share tenants are shed. Meaningful only below Timeout —
+	// shedding exists to act before the deadline does.
+	TargetQueueWait time.Duration
 }
 
 // negCacheCapacity bounds the negative cache for invalid queries;
@@ -182,6 +214,12 @@ type request struct {
 	// result only if the plan fingerprint had been requested before.
 	admit   bool
 	waiters []waiter
+	// user is the tenant that enqueued the request first — the fair-share
+	// ledger's charge target (dedup'd joiners ride free; see fair.go).
+	user string
+	// debit is the provisional fair-share charge taken at batch assembly
+	// and reversed at settle (zero until assembled).
+	debit float64
 	// enqueuedAt and deadline implement admission timeouts: a request
 	// popped after its deadline is answered with ErrTimeout instead of
 	// joining a batch. Zero deadline = no limit.
@@ -211,13 +249,26 @@ type Scheduler struct {
 	// path, so a cache hit can never be served after Close returns.
 	closedFlag atomic.Bool
 
-	mu     sync.Mutex
-	closed bool
-	queues map[string][]*request // userKey → FIFO of admitted requests
-	order  []string              // users with queued work, arrival order
-	rr     int                   // round-robin cursor into order
-	byKey  map[string]*request   // dedup index over queued requests
-	queued int
+	// windowNs is the live coalescing window (seeded from Options.Window,
+	// retunable via SetWindow), read atomically by the dispatcher.
+	windowNs atomic.Int64
+
+	mu      sync.Mutex
+	closed  bool
+	tenants map[string]*tenant  // userKey → queue + fair-share ledger
+	active  []string            // tenants with queued work, arrival order
+	byKey   map[string]*request // dedup index over queued requests
+	queued  int
+	// Overload-control state (see fair.go): smoothed admission wait and
+	// drain rate, shed counters per (tenant, reason), and the decaying
+	// shed window behind the shed-rate gauge.
+	waitEWMA       float64 // ns
+	drainEWMA      float64 // requests/sec
+	lastAssembleAt time.Time
+	shedTotal      int64
+	shedCounts     map[string]map[string]int64
+	shedRecent     float64
+	shedDecayAt    time.Time
 
 	stSubmitted atomic.Int64
 	stShared    atomic.Int64
@@ -257,13 +308,17 @@ func New(c Executor, opts Options) *Scheduler {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
 	s := &Scheduler{
-		c:         c,
-		opts:      opts,
-		queues:    map[string][]*request{},
-		byKey:     map[string]*request{},
-		negCache:  newErrCache(negCacheCapacity),
-		startedAt: time.Now(),
+		c:          c,
+		opts:       opts,
+		tenants:    map[string]*tenant{},
+		byKey:      map[string]*request{},
+		shedCounts: map[string]map[string]int64{},
+		negCache:   newErrCache(negCacheCapacity),
+		startedAt:  time.Now(),
 	}
+	s.windowNs.Store(int64(opts.Window))
+	s.lastAssembleAt = s.startedAt
+	s.shedDecayAt = s.startedAt
 	if opts.CacheBytes > 0 {
 		s.cache = newResultCache(opts.CacheBytes)
 		s.door = newDoorkeeper(doorkeeperCapacity)
@@ -294,9 +349,13 @@ func (s *Scheduler) Close() {
 
 // Submit answers one query through the scheduler: cache first, then the
 // coalescing queue, blocking until the result is ready. userKey scopes
-// fair admission — each distinct key gets its own queue, and batches are
-// assembled round-robin across keys, so a tenant flooding the scheduler
-// only ever occupies the batch slots other tenants leave unused.
+// fair admission — each distinct key gets its own queue and fair-share
+// ledger, and batches always admit the tenant with the lowest attributed
+// cost per unit weight, so a tenant flooding the scheduler (by count or
+// by expensive queries) only ever occupies the batch slots other tenants
+// leave unused. Under overload (Options.MaxQueueDepth /
+// TargetQueueWait), queries from over-share tenants are refused with an
+// error matching ErrOverloaded instead of queueing.
 //
 // v may be nil (the non-personalized baseline). The returned Result may be
 // shared with other waiters and with the cache: treat it as immutable.
@@ -420,6 +479,14 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 		}
 		pends = append(pends, pending{i: i, cq: cq, view: v, epoch: epoch, key: key, fp: fp, admit: admit})
 	}
+	// One overload decision covers the whole batch: cache hits above were
+	// already served, and a shed batch never touches the queue.
+	if len(pends) > 0 && firstErr == nil {
+		if err := s.maybeShed(userKey); err != nil {
+			firstErr = err
+			pends = nil
+		}
+	}
 	if len(pends) > 0 {
 		now := time.Now()
 		deadline := s.requestDeadline(ctx, now)
@@ -434,7 +501,7 @@ func (s *Scheduler) SubmitBatchCtx(ctx context.Context, qs []cube.Query, vs []*c
 				ch := make(chan outcome, 1)
 				chans[p.i] = ch
 				s.enqueueLocked(&request{cq: p.cq, view: p.view, epoch: p.epoch,
-					key: p.key, fp: p.fp, admit: p.admit,
+					key: p.key, fp: p.fp, admit: p.admit, user: userKey,
 					waiters:    []waiter{{ch: ch, tr: tr, user: userKey, start: start}},
 					enqueuedAt: now, deadline: deadline}, userKey)
 			}
@@ -526,6 +593,23 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 		// been requested before earns a cache slot for its result.
 		admit = s.door.request(fp)
 	}
+	// Overload gate, after the cache (hits cost no scan — overload is no
+	// reason to refuse them) and before compilation: shed traffic costs
+	// one mutex hold.
+	if err := s.maybeShed(userKey); err != nil {
+		if tr != nil {
+			attrs := map[string]any{"shed": true}
+			var oe *OverloadError
+			if errors.As(err, &oe) {
+				attrs["reason"] = oe.Reason
+				attrs["queueDepth"] = oe.QueueDepth
+				attrs["retryAfterMs"] = oe.RetryAfter.Milliseconds()
+			}
+			tr.AddSpan("shed", start, time.Since(start), attrs)
+		}
+		tr.Finish(err)
+		return nil, nil, err
+	}
 	// Compile on admission: a malformed query must fail alone, never
 	// abort the shared scan it would have joined — and the scan then
 	// reuses the plan instead of resolving the query a second time.
@@ -550,6 +634,7 @@ func (s *Scheduler) submit(ctx context.Context, q cube.Query, v *cube.View, user
 		return nil, nil, ErrClosed
 	}
 	s.enqueueLocked(&request{cq: cq, view: v, epoch: epoch, key: key, fp: fp, admit: admit,
+		user:       userKey,
 		waiters:    []waiter{{ch: ch, tr: tr, user: userKey, start: start}},
 		enqueuedAt: now,
 		deadline:   s.requestDeadline(ctx, now)}, userKey)
@@ -591,10 +676,11 @@ func (s *Scheduler) enqueueLocked(req *request, userKey string) {
 		return
 	}
 	s.byKey[req.key] = req
-	if _, ok := s.queues[userKey]; !ok {
-		s.order = append(s.order, userKey)
+	t := s.tenantLocked(userKey, req.enqueuedAt)
+	if len(t.fifo) == 0 {
+		s.active = append(s.active, userKey)
 	}
-	s.queues[userKey] = append(s.queues[userKey], req)
+	t.fifo = append(t.fifo, req)
 	s.queued++
 	if d := int64(s.queued); d > s.stMaxQueue.Load() {
 		s.stMaxQueue.Store(d)
@@ -608,6 +694,40 @@ func (s *Scheduler) kickDispatcher() {
 	case s.kick <- struct{}{}:
 	default:
 	}
+}
+
+// Window is the live coalescing window (Options.Window until SetWindow
+// retunes it).
+func (s *Scheduler) Window() time.Duration {
+	return s.window()
+}
+
+func (s *Scheduler) window() time.Duration {
+	return time.Duration(s.windowNs.Load())
+}
+
+// SetWindow retunes the coalescing window at runtime — the adaptive
+// tuner's arrival-rate knob — clamped to [0, 100ms] (past that it is
+// queueing, not batching). Takes effect on the next dispatch iteration.
+func (s *Scheduler) SetWindow(w time.Duration) {
+	if w < 0 {
+		w = 0
+	}
+	if w > maxWindow {
+		w = maxWindow
+	}
+	s.windowNs.Store(int64(w))
+}
+
+// ResizeResultCache retunes the result-cache byte budget at runtime,
+// evicting down when shrinking. A no-op when caching is disabled or
+// n <= 0 — the tuner never turns a disabled cache on (CacheBytes 0 is an
+// operator decision, not a starting point).
+func (s *Scheduler) ResizeResultCache(n int64) {
+	if s.cache == nil || n <= 0 {
+		return
+	}
+	s.cache.resize(n)
 }
 
 // dispatchLoop is the scheduler's single dispatcher goroutine: wait for
@@ -630,8 +750,9 @@ func (s *Scheduler) dispatchLoop() {
 		s.mu.Unlock()
 
 		// Micro-batch window: let more concurrent queries pile in, but cut
-		// the wait short once the batch is full (or on Close).
-		if w := s.opts.Window; w > 0 {
+		// the wait short once the batch is full (or on Close). The window
+		// is read atomically — the adaptive tuner retunes it at runtime.
+		if w := s.window(); w > 0 {
 			deadline := time.NewTimer(w)
 		window:
 			for {
@@ -669,31 +790,36 @@ func (s *Scheduler) dispatchLoop() {
 	}
 }
 
-// assembleLocked pops up to max requests, taking one per user in
-// round-robin rotation (fair admission: a user with a deep backlog gets
-// only the slots the others leave unused). Requests popped past their
-// admission deadline are dropped — every waiter gets ErrTimeout and the
-// request never joins a scan — so under overload the queue sheds stale
-// work deterministically instead of executing it late. Callers hold s.mu.
+// assembleLocked pops up to max requests, each time from the tenant with
+// the lowest fair-share score — attributed cost plus provisional debits
+// per unit weight, ties broken by arrival order — so a tenant with a deep
+// backlog or expensive queries gets only the cost share the others leave
+// unused (with uniform costs this is exactly round-robin). Each admitted
+// request provisionally debits its tenant's per-query cost estimate,
+// reversed and replaced by the measured cost at settle. Requests popped
+// past their admission deadline are dropped — every waiter gets
+// ErrTimeout and the request never joins a scan — so under overload the
+// queue sheds stale work deterministically instead of executing it late.
+// The pops also feed the overload controller's admission-wait and
+// drain-rate EWMAs. Callers hold s.mu.
 func (s *Scheduler) assembleLocked(max int) []*request {
 	var batch []*request
 	now := time.Now()
+	popped := 0
 	for s.queued > 0 && len(batch) < max {
-		if s.rr >= len(s.order) {
-			s.rr = 0
-		}
-		user := s.order[s.rr]
-		fifo := s.queues[user]
-		req := fifo[0]
-		if len(fifo) == 1 {
-			delete(s.queues, user)
-			s.order = append(s.order[:s.rr], s.order[s.rr+1:]...)
+		idx, user := s.pickTenantLocked(now)
+		t := s.tenants[user]
+		req := t.fifo[0]
+		if len(t.fifo) == 1 {
+			t.fifo = nil
+			s.active = append(s.active[:idx], s.active[idx+1:]...)
 		} else {
-			s.queues[user] = fifo[1:]
-			s.rr++
+			t.fifo = t.fifo[1:]
 		}
 		s.queued--
+		popped++
 		delete(s.byKey, req.key)
+		s.waitEWMA = (1-ewmaAlpha)*s.waitEWMA + ewmaAlpha*float64(now.Sub(req.enqueuedAt))
 		if !req.deadline.IsZero() && now.After(req.deadline) {
 			out := timeoutOutcome(req, now)
 			s.stTimedOut.Add(int64(len(req.waiters)))
@@ -712,10 +838,21 @@ func (s *Scheduler) assembleLocked(max int) []*request {
 			}
 			continue
 		}
+		// Provisional debit: the tenant pays its estimated per-query cost
+		// up front, so several batches assembled before any completion
+		// cannot over-admit one tenant. Dropped requests above never pay.
+		req.debit = t.estimate
+		if req.debit < minDebit {
+			req.debit = minDebit
+		}
+		t.pending += req.debit
 		batch = append(batch, req)
 	}
-	if len(s.order) == 0 {
-		s.rr = 0
+	if popped > 0 {
+		if dt := now.Sub(s.lastAssembleAt).Seconds(); dt > 0 {
+			s.drainEWMA = (1-ewmaAlpha)*s.drainEWMA + ewmaAlpha*float64(popped)/dt
+		}
+		s.lastAssembleAt = now
 	}
 	return batch
 }
@@ -844,6 +981,23 @@ func (s *Scheduler) runBatch(batch []*request) {
 			res.Cost.CPUNs += shares[i]
 			res.Cost.SharedSavedNs += batchCPU - shares[i]
 		}
+	}
+	// Fair-share settle: reverse every provisional debit taken at assembly
+	// and charge each request's measured cost into its tenant's decayed
+	// usage window — one lock hold for the whole batch, after the CPU
+	// split above so the charge is the attributed cost.
+	{
+		var costs []obs.QueryCost
+		if err == nil {
+			costs = make([]obs.QueryCost, len(results))
+			for i, res := range results {
+				costs[i] = res.Cost
+			}
+		}
+		settleAt := time.Now()
+		s.mu.Lock()
+		s.settleBatchLocked(batch, costs, settleAt)
+		s.mu.Unlock()
 	}
 	for i, r := range batch {
 		out := outcome{err: err}
@@ -986,6 +1140,28 @@ type Stats struct {
 	// TimedOut counts queries dropped from the admission queue past their
 	// deadline (Options.Timeout / request context) without executing.
 	TimedOut int64 `json:"timedOut"`
+	// Overload control (all zero with MaxQueueDepth/TargetQueueWait
+	// unset): ShedTotal counts queries refused with ErrOverloaded,
+	// ShedByTenant breaks them down per tenant and reason (label
+	// cardinality capped into "other"), ShedRatePerSec is the decaying
+	// shed rate, QueueWaitEWMAMs the smoothed admission wait the
+	// queue_wait threshold compares against, and DrainRatePerSec the
+	// smoothed admission rate Retry-After hints derive from. The snapshot
+	// is taken under one lock: sum over ShedByTenant always equals
+	// ShedTotal.
+	ShedTotal       int64                       `json:"shedTotal"`
+	ShedByTenant    map[string]map[string]int64 `json:"shedByTenant,omitempty"`
+	ShedRatePerSec  float64                     `json:"shedRatePerSec"`
+	QueueWaitEWMAMs float64                     `json:"queueWaitEwmaMs"`
+	DrainRatePerSec float64                     `json:"drainRatePerSec"`
+	// FairShares is every live tenant's fair-share ledger, heaviest share
+	// first (same lock as the shed counters — never torn against them).
+	FairShares []TenantShare `json:"fairShares,omitempty"`
+	// CoalesceWindowNs and ResultCacheCapBytes are the live values of the
+	// runtime-tunable knobs (they drift from the configured Options under
+	// the adaptive tuner).
+	CoalesceWindowNs    int64 `json:"coalesceWindowNs"`
+	ResultCacheCapBytes int64 `json:"resultCacheCapBytes"`
 	// Sharded execution (all zero on an unsharded engine; the engine fills
 	// them from the shard table): FactShards is the shard count,
 	// ShardFactCounts the per-shard fact totals (the hash-partition
@@ -1083,9 +1259,32 @@ func (s *Scheduler) Stats() Stats {
 	if s.cache != nil {
 		st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes, st.CacheEntries = s.cache.stats()
 	}
+	// One lock hold snapshots all the mutually-consistent scheduler state:
+	// queue depth, shed counters, and the fair-share ledgers are never
+	// torn against each other (sum over ShedByTenant == ShedTotal in any
+	// snapshot a scraper sees).
 	s.mu.Lock()
 	st.QueueDepth = s.queued
+	st.ShedTotal = s.shedTotal
+	if len(s.shedCounts) > 0 {
+		st.ShedByTenant = make(map[string]map[string]int64, len(s.shedCounts))
+		for user, byReason := range s.shedCounts {
+			m := make(map[string]int64, len(byReason))
+			for reason, n := range byReason {
+				m[reason] = n
+			}
+			st.ShedByTenant[user] = m
+		}
+	}
+	st.ShedRatePerSec = s.shedRateLocked(now)
+	st.QueueWaitEWMAMs = s.waitEWMA / float64(time.Millisecond)
+	st.DrainRatePerSec = s.drainEWMA
+	st.FairShares = s.fairSharesLocked(now)
 	s.mu.Unlock()
+	st.CoalesceWindowNs = s.window().Nanoseconds()
+	if s.cache != nil {
+		st.ResultCacheCapBytes = s.cache.capBytes()
+	}
 	if s.slots != nil {
 		st.InFlight = len(s.slots)
 	}

@@ -217,19 +217,15 @@ func TestCacheHitAndEpochInvalidation(t *testing.T) {
 }
 
 // TestFairAdmissionRoundRobin drives the batch assembler directly: with
-// one flooding tenant and several light ones, a batch must interleave one
-// query per tenant before giving the flooder a second slot.
+// one flooding tenant and several light ones — all with identical (never
+// yet measured) cost profiles — deficit-weighted assembly must degrade
+// exactly to round-robin: one query per tenant before the flooder gets a
+// second slot.
 func TestFairAdmissionRoundRobin(t *testing.T) {
-	s := &Scheduler{queues: map[string][]*request{}, byKey: map[string]*request{}}
+	s := &Scheduler{tenants: map[string]*tenant{}, byKey: map[string]*request{}}
 	enqueue := func(user string, n int) {
 		for i := 0; i < n; i++ {
-			req := &request{key: fmt.Sprintf("%s-%d", user, i)}
-			if _, ok := s.queues[user]; !ok {
-				s.order = append(s.order, user)
-			}
-			s.queues[user] = append(s.queues[user], req)
-			s.byKey[req.key] = req
-			s.queued++
+			s.enqueueLocked(&request{key: fmt.Sprintf("%s-%d", user, i), user: user}, user)
 		}
 	}
 	enqueue("heavy", 10)

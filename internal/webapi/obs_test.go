@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -293,20 +295,25 @@ func TestMetricsExposition(t *testing.T) {
 }
 
 // TestMetricsScrapeUnderShardedLoad is the stress.sh race target: scrape
-// /metrics and /api/stats continuously while sharded batches execute and
-// AddFact ingest routes to shards — the lock-free histograms, the
-// scheduler-counter collector, and the trace ring all under fire.
+// /metrics and /api/stats continuously while sharded batches execute,
+// AddFact ingest routes to shards, and the overload controller sheds part
+// of the traffic — the lock-free histograms, the scheduler-counter
+// collector, the shed/fair-share snapshot, and the trace ring all under
+// fire. Every /api/stats snapshot must be internally consistent: the
+// per-tenant shed breakdown sums to the shed total even while both move.
 func TestMetricsScrapeUnderShardedLoad(t *testing.T) {
 	srv, e := newObsServer(t, core.Options{
 		FactShards:      3,
 		CoalesceWindow:  time.Millisecond,
 		TraceSampleRate: 0.5,
+		MaxQueueDepth:   1, // any backlog is a breach: sheds are routine here
 	})
 	aliceSess := login(t, srv, "alice", "POINT(-3.7 40.4)")
 	bobSess := login(t, srv, "bob", "POINT(-3.7 40.4)")
 
 	deadline := time.Now().Add(300 * time.Millisecond)
 	var wg sync.WaitGroup
+	var sheds atomic.Int64
 	fail := make(chan string, 32)
 	report := func(format string, args ...any) {
 		select {
@@ -321,7 +328,15 @@ func TestMetricsScrapeUnderShardedLoad(t *testing.T) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				resp, body := postJSON(t, srv.URL+"/api/query", countBody(sess))
-				if resp.StatusCode != http.StatusOK {
+				switch resp.StatusCode {
+				case http.StatusOK:
+				case http.StatusTooManyRequests:
+					sheds.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						report("429 without Retry-After header")
+						return
+					}
+				default:
 					report("query: %s (%s)", resp.Status, body)
 					return
 				}
@@ -341,7 +356,7 @@ func TestMetricsScrapeUnderShardedLoad(t *testing.T) {
 			}
 		}
 	}()
-	for _, path := range []string{"/metrics", "/api/stats", "/api/traces/recent"} {
+	for _, path := range []string{"/metrics", "/api/traces/recent"} {
 		wg.Add(1)
 		go func(path string) {
 			defer wg.Done()
@@ -354,11 +369,124 @@ func TestMetricsScrapeUnderShardedLoad(t *testing.T) {
 			}
 		}(path)
 	}
+	// The torn-read scraper: every stats snapshot's shed breakdown must sum
+	// to its shed total, even with sheds landing between scrapes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for time.Now().Before(deadline) {
+			resp, body := getBody(t, srv.URL+"/api/stats")
+			if resp.StatusCode != http.StatusOK {
+				report("/api/stats: %s (%s)", resp.Status, body)
+				return
+			}
+			var st struct {
+				ShedTotal    int64                       `json:"shedTotal"`
+				ShedByTenant map[string]map[string]int64 `json:"shedByTenant"`
+			}
+			if err := json.Unmarshal(body, &st); err != nil {
+				report("/api/stats decode: %v", err)
+				return
+			}
+			var sum int64
+			for _, byReason := range st.ShedByTenant {
+				for _, n := range byReason {
+					sum += n
+				}
+			}
+			if sum != st.ShedTotal {
+				report("torn snapshot: shedByTenant sums to %d, shedTotal %d", sum, st.ShedTotal)
+				return
+			}
+			if st.ShedTotal < last {
+				report("shedTotal went backwards: %d after %d", st.ShedTotal, last)
+				return
+			}
+			last = st.ShedTotal
+		}
+	}()
 	wg.Wait()
 	select {
 	case msg := <-fail:
 		t.Fatal(msg)
 	default:
+	}
+	if sheds.Load() == 0 {
+		t.Log("no sheds this run; the snapshot invariant still held throughout")
+		return
+	}
+	// The shed counters made it to the exposition surface too.
+	_, body := getBody(t, srv.URL+"/metrics")
+	for _, want := range []string{"sdwp_shed_total{", "sdwp_shed_rate", "sdwp_tenant_fair_share{"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q after shed traffic", want)
+		}
+	}
+}
+
+// TestOverload429RetryAfter pins the overload HTTP contract: a query shed
+// by the scheduler answers 429 with a Retry-After header of at least one
+// whole second, on both the single and the batch endpoint, and the queued
+// query it was shed behind still completes.
+func TestOverload429RetryAfter(t *testing.T) {
+	srv, _ := newObsServer(t, core.Options{
+		CoalesceWindow: 60 * time.Millisecond, // holds the first query queued
+		MaxQueueDepth:  1,
+	})
+	sess := login(t, srv, "alice", "POINT(-3.7 40.4)")
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, srv.URL+"/api/query", countBody(sess))
+		first <- resp.StatusCode
+	}()
+	// Wait until the first query is queued (inside the coalescing window).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, body := getBody(t, srv.URL+"/api/stats")
+		var st struct {
+			QueueDepth int `json:"queueDepth"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.QueueDepth >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/api/query", countBody(sess))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second query: %s, want 429 (%s)", resp.Status, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 60 {
+		t.Errorf("Retry-After = %q, want integer seconds in [1, 60]", resp.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Errorf("429 body does not say why: %s", body)
+	}
+
+	// The batch endpoint sheds with the same contract.
+	batch := map[string]any{"session": sess, "queries": []map[string]any{
+		{"fact": "Sales", "aggregates": []map[string]any{{"agg": "COUNT"}}},
+	}}
+	resp, body = postJSON(t, srv.URL+"/api/query/batch", batch)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch: %s, want 429 (%s)", resp.Status, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("batch 429 without Retry-After header")
+	}
+
+	// The query that was shed *behind* still completes normally.
+	if got := <-first; got != http.StatusOK {
+		t.Errorf("first (queued) query: %d, want 200", got)
 	}
 }
 

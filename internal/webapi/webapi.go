@@ -23,9 +23,12 @@
 //	                                                     (coalesce ratio, cache hit rate, queue depth,
 //	                                                     filter-mask / group-key sharing ratios,
 //	                                                     negative-cache, admission-timeout and
-//	                                                     doorkeeper counters; on a sharded engine also
-//	                                                     shard count, per-shard fact balance, shard-scan
-//	                                                     fan-out and artifact-cache hit rates)
+//	                                                     doorkeeper counters; shed counters, per-tenant
+//	                                                     fair shares and the live auto-tuned knob
+//	                                                     values, snapshotted under one scheduler lock;
+//	                                                     on a sharded engine also shard count, per-shard
+//	                                                     fact balance, shard-scan fan-out and
+//	                                                     artifact-cache hit rates)
 //	GET  /api/trace/{id}                               → one retained query-lifecycle trace (span tree)
 //	GET  /api/traces/recent[?n=20][&user=...][&min_ms=...]
 //	                                                   → recently retained traces, newest first,
@@ -46,6 +49,13 @@
 // generated, and either way it is echoed on the response — success and
 // error alike (admission timeouts included), so a 504 can still be looked
 // up under /api/trace/{id}. Error bodies carry the same ID as requestId.
+//
+// Query-path status contract: 400 invalid query, 404 unknown session,
+// 429 shed by the overload controller (over-share tenant under
+// MaxQueueDepth/TargetQueueWait breach; the response carries a
+// Retry-After header in whole seconds derived from the observed queue
+// drain rate), 503 engine shutting down, 504 dropped at the admission
+// deadline (QueryTimeout). See docs/OPERATIONS.md.
 package webapi
 
 import (
@@ -58,6 +68,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"sdwp/internal/core"
 	"sdwp/internal/cube"
@@ -375,6 +386,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		tr.Finish(err) // idempotent: queries that reached the scheduler are already finished
+		setRetryAfter(w, err)
 		writeErr(w, queryErrStatus(err), "query failed: %v", err)
 		return
 	}
@@ -390,17 +402,35 @@ var (
 )
 
 // queryErrStatus maps a query-path error to its HTTP status: a closed
-// scheduler is a server lifecycle condition (shutdown in progress) and an
-// admission timeout is the scheduler shedding load — neither is a client
-// mistake.
+// scheduler is a server lifecycle condition (shutdown in progress), an
+// admission timeout is the scheduler dropping stale queued work at the
+// deadline, and an overload shed is the scheduler refusing an over-share
+// tenant up front — none of these is a client mistake.
 func queryErrStatus(err error) int {
 	switch {
 	case errors.Is(err, qsched.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, qsched.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, qsched.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	}
 	return http.StatusBadRequest
+}
+
+// setRetryAfter stamps the Retry-After header (whole seconds, rounded up,
+// never 0) when the error carries the scheduler's drain-rate-derived
+// retry hint. Must run before the status line is written.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var oe *qsched.OverloadError
+	if !errors.As(err, &oe) {
+		return
+	}
+	secs := int((oe.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 type batchQueryRequest struct {
@@ -463,6 +493,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	results, err := sess.QueryBatchCtx(ctx, qs, baseline)
 	if err != nil {
 		tr.Finish(err)
+		setRetryAfter(w, err)
 		writeErr(w, queryErrStatus(err), "batch query failed: %v", err)
 		return
 	}
@@ -678,10 +709,14 @@ func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
 // cross-query stage work batch scans shared (filterMaskSharing,
 // predicateSharing — per-filter bitmaps AND-composed into set masks,
 // composedMasks — and groupKeySharing ratios), admission timeouts, the
-// live queue depth, and — on a sharded engine — the shard fan-out and
-// cross-batch artifact-cache counters (including artifactDoorkept, its
-// admission doorkeeper): the observability surface of internal/qsched +
-// internal/shard.
+// live queue depth, the overload-control state (shedTotal, shedByTenant,
+// shedRatePerSec, queueWaitEwmaMs, drainRatePerSec — snapshotted under one
+// lock with the queue depth, so the breakdown always sums to the total),
+// the per-tenant fair-share ledgers (fairShares) and live knob values
+// (coalesceWindowNs, resultCacheCapBytes), and — on a sharded engine — the
+// shard fan-out and cross-batch artifact-cache counters (including
+// artifactDoorkept, its admission doorkeeper): the observability surface
+// of internal/qsched + internal/shard.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # bench.sh — the benchmark-regression pipeline: run the core executor
-# benchmarks and emit BENCH_8.json (ns/op, allocs/op, sharing-ratio and
+# benchmarks and emit BENCH_10.json (ns/op, allocs/op, sharing-ratio and
 # pool-hit metrics) through cmd/benchjson. The manifest makes a renamed or
 # deleted benchmark fail the pipeline instead of silently dropping its
 # perf trajectory, and the baseline comparison fails the pipeline when a
 # benchmark's allocs/op regresses past the tolerance — or when an
 # ns/op-gated benchmark regresses wall time: the tracing-off mode of
 # BenchmarkTraceOverhead (the telemetry subsystem's "off costs nothing"
-# proof) and the packed mode of BenchmarkPackedScan (the compressed
-# column layer must stay fast, not just correct).
+# proof), the packed mode of BenchmarkPackedScan (the compressed column
+# layer must stay fast, not just correct), the on mode of
+# BenchmarkCostAccountingOverhead, and BenchmarkFairAdmissionOverhead
+# (fair admission prices tenants, not queries — its ledger must stay
+# noise against a real scan).
 #
 # Env knobs:
 #   BENCHTIME  go test -benchtime value   (default 1s: duration-based, so
@@ -25,7 +28,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_9.json}"
+OUT="${OUT:-BENCH_10.json}"
 
 # Pick the baseline by the highest <n> compared numerically. (The old
 # `sort -t_ -k2 -n` keyed on "<n>.json" strings, which happens to work
@@ -49,14 +52,14 @@ fi
 # The manifest: the benchmarks whose trajectory the repo records. The
 # -bench regexp is derived from it, so one edit adds a benchmark to both
 # the run and the existence gate.
-MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing,BenchmarkTraceOverhead,BenchmarkPackedScan,BenchmarkPackedPredicateKernel,BenchmarkCostAccountingOverhead"
+MANIFEST="BenchmarkSharedSubexprBatch,BenchmarkParallelScan,BenchmarkBatchPartialPooling,BenchmarkShardedScan,BenchmarkArtifactCacheHit,BenchmarkPerFilterSharing,BenchmarkTraceOverhead,BenchmarkPackedScan,BenchmarkPackedPredicateKernel,BenchmarkCostAccountingOverhead,BenchmarkFairAdmissionOverhead"
 
 go test -run '^$' \
   -bench "^(${MANIFEST//,/|})\$" \
   -benchtime "$BENCHTIME" -count "$COUNT" . \
-  | go run ./cmd/benchjson -issue 9 -out "$OUT" -manifest "$MANIFEST" \
+  | go run ./cmd/benchjson -issue 10 -out "$OUT" -manifest "$MANIFEST" \
       -benchtime "$BENCHTIME" -count "$COUNT" \
-      -nsop-gate '^(BenchmarkTraceOverhead/off|BenchmarkPackedScan/packed=true|BenchmarkCostAccountingOverhead/on)' \
+      -nsop-gate '^(BenchmarkTraceOverhead/off|BenchmarkPackedScan/packed=true|BenchmarkCostAccountingOverhead/on|BenchmarkFairAdmissionOverhead/)' \
       ${BASELINE:+-baseline "$BASELINE"}
 
 echo "bench.sh: wrote $OUT${BASELINE:+ (allocs/op gated against $BASELINE)}"

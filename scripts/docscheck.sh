@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# docscheck.sh — the docs lint: fail CI when the operator/architecture
+# docs go missing or the solapd flag surface drifts away from
+# docs/OPERATIONS.md. The flag list is parsed out of cmd/solapd/main.go
+# itself, so adding a flag without documenting it is a one-commit CI
+# failure instead of a slow divergence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for f in docs/OPERATIONS.md docs/ARCHITECTURE.md README.md; do
+  if [[ ! -s "$f" ]]; then
+    echo "docscheck: missing or empty: $f" >&2
+    fail=1
+  fi
+done
+[[ $fail -eq 0 ]] || exit 1
+
+# Every flag solapd defines must appear in OPERATIONS.md as `-name`.
+flags=$(grep -oE 'flag\.(String|Bool|Int|Int64|Float64|Duration)\("[a-z-]+"' \
+  cmd/solapd/main.go | sed -E 's/.*\("([a-z-]+)"/\1/' | sort -u)
+if [[ -z "$flags" ]]; then
+  echo "docscheck: parsed no flags out of cmd/solapd/main.go" >&2
+  exit 1
+fi
+
+for f in $flags; do
+  if ! grep -q -- "\`-$f\`" docs/OPERATIONS.md; then
+    echo "docscheck: solapd flag -$f is not documented in docs/OPERATIONS.md" >&2
+    fail=1
+  fi
+done
+
+# The README must point readers at both docs.
+for link in docs/ARCHITECTURE.md docs/OPERATIONS.md; do
+  if ! grep -q "$link" README.md; then
+    echo "docscheck: README.md does not link $link" >&2
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  exit 1
+fi
+n=$(wc -w <<<"$flags")
+echo "docscheck: OK ($n solapd flags documented)"

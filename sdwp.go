@@ -20,12 +20,18 @@
 //     Engine.ExecuteBatch / Cube.ExecuteBatch answer many queries in one
 //     shared scan per fact table; every Session query routes through the
 //     engine's scheduler (internal/qsched), which coalesces concurrent
-//     queries into shared scans with fair per-user admission, drops
-//     queries queued past EngineOptions.QueryTimeout (per-request contexts
-//     via Session.QueryCtx), and fronts them with an epoch-keyed result
-//     cache — see EngineOptions.CoalesceWindow / MaxInFlightScans /
-//     ResultCacheBytes / MaxBatchQueries and Engine.SchedulerStats
-//     (README.md has the architecture);
+//     queries into shared scans under cost-driven fair admission (each
+//     tenant's share of batch slots tracks its attributed scan cost per
+//     unit EngineOptions.TenantWeights weight, so a heavy tenant is
+//     boundedly isolated), sheds over-share tenants under overload
+//     (EngineOptions.MaxQueueDepth / TargetQueueWait → HTTP 429 +
+//     Retry-After) before the EngineOptions.QueryTimeout deadline drops
+//     stale queued work (per-request contexts via Session.QueryCtx), and
+//     fronts everything with an epoch-keyed result cache — see
+//     EngineOptions.CoalesceWindow / MaxInFlightScans / ResultCacheBytes
+//     / MaxBatchQueries / AutoTune and Engine.SchedulerStats
+//     (docs/ARCHITECTURE.md has the architecture, docs/OPERATIONS.md the
+//     operator guide);
 //   - shard for write and scan scale: EngineOptions.FactShards
 //     hash-partitions every fact table behind the scheduler
 //     (internal/shard) — scatter-gather scans over per-shard locks with
@@ -191,10 +197,15 @@ type (
 	SelectionResult = core.SelectionResult
 	// SchedulerStats snapshots the engine's query-scheduler counters:
 	// coalesce ratio, cache hit rate, queue depth, admission timeouts,
+	// overload-shed counters and per-tenant fair shares (snapshotted
+	// atomically with the queue state), the live auto-tuned knob values,
 	// the cross-query subexpression-sharing ratios, and — on a sharded
 	// engine — shard fan-out and artifact-cache counters
 	// (Engine.SchedulerStats, GET /api/stats).
 	SchedulerStats = qsched.Stats
+	// TenantShare is one tenant's fair-share ledger position
+	// (SchedulerStats.FairShares).
+	TenantShare = qsched.TenantShare
 	// ArtifactCacheStats reports the cross-batch artifact cache
 	// (SchedulerStats.ArtifactCache; EngineOptions.ArtifactCacheBytes).
 	ArtifactCacheStats = cube.ArtifactCacheStats
@@ -224,6 +235,23 @@ const (
 	PackedColumnsOn  = core.PackedColumnsOn
 	PackedColumnsOff = core.PackedColumnsOff
 )
+
+// Scheduler errors, re-exported for callers that match on them.
+var (
+	// ErrOverloaded is the base error of queries shed by the scheduler's
+	// overload controller (EngineOptions.MaxQueueDepth / TargetQueueWait;
+	// match with errors.Is — the web layer serves it as HTTP 429).
+	ErrOverloaded = qsched.ErrOverloaded
+	// ErrQueryTimeout is the base error of queries dropped from the
+	// admission queue past their deadline (EngineOptions.QueryTimeout;
+	// HTTP 504 at the web layer).
+	ErrQueryTimeout = qsched.ErrTimeout
+)
+
+// OverloadError is the structured form of an overload shed (errors.As):
+// the reason, the queue depth at the decision, and the drain-rate-derived
+// Retry-After hint.
+type OverloadError = qsched.OverloadError
 
 // ParseRules parses PRML source into rules (without registering them).
 func ParseRules(src string) ([]*Rule, error) { return prml.Parse(src) }
